@@ -1,0 +1,49 @@
+// Experiment A1 — V/f transition-cost sensitivity.
+//
+// Microsecond-scale DVFS is enabled by integrated voltage regulators with
+// sub-µs settling (§I, §VI). This ablation sweeps the per-switch stall
+// (dvfs_transition_ns) to show how the benefit of 10 µs decisions erodes as
+// the regulator slows down — the motivation for IVR-class hardware.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+
+using namespace ssm;
+using namespace ssm::bench;
+
+int main() {
+  std::cout << "=== A1: DVFS transition-cost ablation ===\n\n";
+  const FullSystem sys = buildSharedSystem();
+  const VfTable vf = VfTable::titanX();
+
+  Table t("compressed SSMDVFS @10% preset vs V/f switch cost");
+  t.header({"transition stall", "mean EDP", "mean latency"});
+
+  for (const TimeNs stall_ns : {0LL, 500LL, 2000LL, 5000LL}) {
+    GpuConfig gpu;
+    gpu.dvfs_transition_ns = stall_ns;
+    SsmGovernorConfig cfg;
+    cfg.loss_preset = 0.10;
+    const SsmGovernorFactory factory(sys.compressed, cfg);
+
+    double edp_sum = 0.0;
+    double lat_sum = 0.0;
+    int n = 0;
+    for (const auto& kernel : evaluationWorkloads()) {
+      Gpu g(gpu, vf, kernel, 777, ChipPowerModel(gpu.num_clusters));
+      const RunResult base = runBaseline(g);
+      const RunResult run = runWithGovernor(g, factory, "ssm-comp");
+      edp_sum += run.edp / base.edp;
+      lat_sum += static_cast<double>(run.exec_time_ns) /
+                 static_cast<double>(base.exec_time_ns);
+      ++n;
+    }
+    t.addRow({Table::num(static_cast<double>(stall_ns) / 1000.0, 1) + " us",
+              Table::num(edp_sum / n, 3), Table::num(lat_sum / n, 3)});
+  }
+  t.print(std::cout);
+  std::cout << "\nexpected shape: EDP benefit shrinks (and latency grows) as "
+               "the switch cost approaches the 10 us epoch itself.\n";
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Experiment A2 — V/f table density ablation.
+//
+// The paper uses six operating points (§V.A). This ablation trains and runs
+// SSMDVFS against a sparse 3-point table (endpoints + midpoint) to quantify
+// how much of the EDP benefit comes from having fine-grained points to
+// choose from.
+#include <filesystem>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "core/ssm_io.hpp"
+#include "datagen/cache.hpp"
+
+using namespace ssm;
+using namespace ssm::bench;
+
+namespace {
+
+/// Builds (or loads) a model trained against the sparse table.
+std::shared_ptr<SsmModel> sparseModel(const GpuConfig& gpu) {
+  const std::string model_path = artifactDir() + "/model_sparse3.txt";
+  if (std::filesystem::exists(model_path))
+    return std::make_shared<SsmModel>(loadModel(model_path));
+
+  GenConfig gen;
+  gen.epochs_per_breakpoint = 6;
+  gen.runs_per_workload = 2;
+  const DataGenerator dg(gpu, VfTable::titanXSparse(), gen);
+  const Dataset all = getOrGenerateDataset(
+      artifactDir() + "/train_dataset_sparse3.csv",
+      [&] { return dg.generate(trainingWorkloads()); });
+  auto [train, holdout] = all.split(0.75, 0x5117);
+
+  SsmModelConfig cfg;
+  cfg.num_levels = 3;
+  auto model = std::make_shared<SsmModel>(cfg);
+  model->train(train, holdout);
+  saveModel(*model, model_path);
+  return model;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== A2: V/f table density ablation ===\n\n";
+  const FullSystem sys = buildSharedSystem();
+  const GpuConfig gpu;
+  auto sparse = sparseModel(gpu);
+
+  Table t("SSMDVFS @10% preset: 6-point vs 3-point V/f table");
+  t.header({"workload", "EDP 6pt", "EDP 3pt", "latency 6pt", "latency 3pt"});
+
+  SsmGovernorConfig cfg;
+  cfg.loss_preset = 0.10;
+  const SsmGovernorFactory f6(sys.uncompressed, cfg);
+  const SsmGovernorFactory f3(sparse, cfg);
+
+  double e6 = 0.0;
+  double e3 = 0.0;
+  double l6 = 0.0;
+  double l3 = 0.0;
+  int n = 0;
+  for (const auto& kernel : evaluationWorkloads()) {
+    Gpu g6(gpu, VfTable::titanX(), kernel, 777,
+           ChipPowerModel(gpu.num_clusters));
+    Gpu g3(gpu, VfTable::titanXSparse(), kernel, 777,
+           ChipPowerModel(gpu.num_clusters));
+    const RunResult b6 = runBaseline(g6);
+    const RunResult b3 = runBaseline(g3);
+    const RunResult r6 = runWithGovernor(g6, f6, "ssm-6pt");
+    const RunResult r3 = runWithGovernor(g3, f3, "ssm-3pt");
+    const double edp6 = r6.edp / b6.edp;
+    const double edp3 = r3.edp / b3.edp;
+    const double lat6 = static_cast<double>(r6.exec_time_ns) / b6.exec_time_ns;
+    const double lat3 = static_cast<double>(r3.exec_time_ns) / b3.exec_time_ns;
+    t.addRow({kernel.name, Table::num(edp6, 3), Table::num(edp3, 3),
+              Table::num(lat6, 3), Table::num(lat3, 3)});
+    e6 += edp6;
+    e3 += edp3;
+    l6 += lat6;
+    l3 += lat3;
+    ++n;
+  }
+  t.addRow({"MEAN", Table::num(e6 / n, 3), Table::num(e3 / n, 3),
+            Table::num(l6 / n, 3), Table::num(l3 / n, 3)});
+  t.print(std::cout);
+  std::cout
+      << "\nhow to read: the sparse table trades differently — it cannot\n"
+         "pick mid levels, so compute-bound programs stay pinned at the\n"
+         "default (latency ~1.00, EDP ~1.00) while memory-bound ones still\n"
+         "drop to the floor; the dense table finds mid-level wins (and\n"
+         "mid-level mistakes) the sparse one cannot express.\n";
+  return 0;
+}

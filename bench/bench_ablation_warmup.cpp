@@ -1,0 +1,81 @@
+// Experiment A4 — F-LEMMA warm-up quantified (§V.C's explanation).
+//
+// The paper attributes F-LEMMA's poor showing to its exploration warm-up:
+// on short (~300 µs) programs, the overhead of learning outweighs the
+// benefit. Here the same program is executed repeatedly with *persistent*
+// F-LEMMA governors (the hierarchical design keeps learned weights across
+// programs; episodic state resets), so the trajectory from "exploring" to
+// "converged" becomes visible — and with it, how much a one-shot execution
+// (the paper's setting) leaves on the table. SSMDVFS, trained offline,
+// needs no warm-up by construction.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+
+using namespace ssm;
+using namespace ssm::bench;
+
+int main() {
+  std::cout << "=== A4: F-LEMMA warm-up across repeated executions ===\n\n";
+  const FullSystem sys = buildSharedSystem();
+  const GpuConfig gpu;
+  const VfTable vf = VfTable::titanX();
+  constexpr int kReps = 12;
+
+  for (const char* wl : {"spmv", "sgemm"}) {
+    const KernelProfile& kernel = workloadByName(wl);
+
+    // Baseline EDP of each repetition (seeds differ per repetition).
+    std::vector<double> base_edp(kReps);
+    std::vector<double> base_time(kReps);
+    for (int r = 0; r < kReps; ++r) {
+      Gpu g(gpu, vf, kernel, 777 + static_cast<std::uint64_t>(r),
+            ChipPowerModel(gpu.num_clusters));
+      const RunResult b = runBaseline(g);
+      base_edp[static_cast<std::size_t>(r)] = b.edp;
+      base_time[static_cast<std::size_t>(r)] =
+          static_cast<double>(b.exec_time_ns);
+    }
+
+    FlemmaConfig fl_cfg;
+    fl_cfg.loss_preset = 0.10;
+    const FlemmaFactory fl(vf, fl_cfg);
+    SsmGovernorConfig ssm_cfg;
+    ssm_cfg.loss_preset = 0.10;
+    const SsmGovernorFactory ssm(sys.compressed, ssm_cfg);
+
+    const std::vector<KernelProfile> seq(kReps, kernel);
+    const auto fl_runs = runSequence(seq, fl, "flemma");
+    const auto ssm_runs = runSequence(seq, ssm, "ssmdvfs-comp");
+
+    Table t(std::string("repeated '") + wl + "' @10% preset (normalized)");
+    t.header({"repetition", "F-LEMMA EDP", "F-LEMMA latency",
+              "SSMDVFS-comp EDP", "SSMDVFS-comp latency"});
+    for (int r = 0; r < kReps; ++r) {
+      const auto i = static_cast<std::size_t>(r);
+      t.addRow({std::to_string(r + 1),
+                Table::num(fl_runs[i].edp / base_edp[i], 3),
+                Table::num(static_cast<double>(fl_runs[i].exec_time_ns) /
+                               base_time[i],
+                           3),
+                Table::num(ssm_runs[i].edp / base_edp[i], 3),
+                Table::num(static_cast<double>(ssm_runs[i].exec_time_ns) /
+                               base_time[i],
+                           3)});
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout
+      << "how to read: on memory-bound work (spmv) random low-frequency\n"
+         "exploration is harmless, so F-LEMMA looks fine from repetition 1.\n"
+         "On compute-bound work (sgemm) it stays ~30% over the preset across\n"
+         "ALL repetitions: the §V.B-adapted reward normalises throughput\n"
+         "against a decaying reference, so sustained slow execution drags\n"
+         "the target down and the policy never learns that high frequency\n"
+         "pays — the structural version of the warm-up problem §V.C\n"
+         "describes. Offline-trained SSMDVFS needs no online learning at\n"
+         "all.\n";
+  return 0;
+}

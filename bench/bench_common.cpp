@@ -1,0 +1,98 @@
+#include "bench_common.hpp"
+
+#include <memory>
+
+#include "baselines/oracle.hpp"
+#include "common/check.hpp"
+
+namespace ssm::bench {
+
+FullSystem buildSharedSystem() {
+  return buildFullSystem(defaultPipelineConfig());
+}
+
+const std::vector<std::string>& mechanismNames() {
+  // oracle-edp is the best *static* level chosen in hindsight (per program)
+  // — a bound on static policies, not part of the paper's line-up.
+  static const std::vector<std::string> names = {
+      "pcstall", "flemma", "ssmdvfs-nocal", "ssmdvfs", "ssmdvfs-comp",
+      "oracle-edp"};
+  return names;
+}
+
+std::vector<Fig4Row> runFig4(const FullSystem& sys, double preset,
+                             std::uint64_t seed) {
+  const GpuConfig gpu;
+  const VfTable vf = VfTable::titanX();
+
+  SsmGovernorConfig ssm_cfg;
+  ssm_cfg.loss_preset = preset;
+  SsmGovernorConfig nocal_cfg = ssm_cfg;
+  nocal_cfg.calibrate = false;
+  PcstallConfig pc_cfg;
+  pc_cfg.loss_preset = preset;
+  FlemmaConfig fl_cfg;
+  fl_cfg.loss_preset = preset;
+
+  const PcstallFactory f_pc(vf, pc_cfg);
+  const FlemmaFactory f_fl(vf, fl_cfg);
+  const SsmGovernorFactory f_nocal(sys.uncompressed, nocal_cfg);
+  const SsmGovernorFactory f_ssm(sys.uncompressed, ssm_cfg);
+  const SsmGovernorFactory f_comp(sys.compressed, ssm_cfg);
+  const std::vector<const GovernorFactory*> factories = {
+      &f_pc, &f_fl, &f_nocal, &f_ssm, &f_comp};
+
+  std::vector<Fig4Row> rows;
+  for (const auto& kernel : evaluationWorkloads()) {
+    Gpu gpu_inst(gpu, vf, kernel, seed, ChipPowerModel(gpu.num_clusters));
+    const RunResult base = runBaseline(gpu_inst);
+
+    Fig4Row row;
+    row.workload = kernel.name;
+    row.base_edp = base.edp;
+    row.base_time_us =
+        static_cast<double>(base.exec_time_ns) / kNsPerUs;
+    for (std::size_t m = 0; m < factories.size(); ++m) {
+      const RunResult r =
+          runWithGovernor(gpu_inst, *factories[m], mechanismNames()[m]);
+      row.edp.push_back(r.edp / base.edp);
+      row.lat.push_back(static_cast<double>(r.exec_time_ns) /
+                        static_cast<double>(base.exec_time_ns));
+    }
+
+    const OracleResult oracle =
+        findBestStaticLevel(gpu_inst, OracleObjective::kMinEdp);
+    row.edp.push_back(oracle.run.edp / base.edp);
+    row.lat.push_back(static_cast<double>(oracle.run.exec_time_ns) /
+                      static_cast<double>(base.exec_time_ns));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Fig4Row meanRow(const std::vector<Fig4Row>& rows) {
+  SSM_CHECK(!rows.empty(), "no rows to average");
+  Fig4Row mean;
+  mean.workload = "MEAN";
+  const std::size_t m = rows.front().edp.size();
+  mean.edp.assign(m, 0.0);
+  mean.lat.assign(m, 0.0);
+  for (const auto& r : rows) {
+    mean.base_edp += r.base_edp;
+    mean.base_time_us += r.base_time_us;
+    for (std::size_t i = 0; i < m; ++i) {
+      mean.edp[i] += r.edp[i];
+      mean.lat[i] += r.lat[i];
+    }
+  }
+  const auto n = static_cast<double>(rows.size());
+  mean.base_edp /= n;
+  mean.base_time_us /= n;
+  for (std::size_t i = 0; i < m; ++i) {
+    mean.edp[i] /= n;
+    mean.lat[i] /= n;
+  }
+  return mean;
+}
+
+}  // namespace ssm::bench

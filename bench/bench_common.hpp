@@ -1,0 +1,44 @@
+// Shared infrastructure for the experiment harnesses (bench/ binaries).
+//
+// Every §V experiment consumes the same artifacts: the generated training
+// corpus (cached as CSV) and the trained uncompressed/compressed models
+// (cached as text dumps). buildSharedSystem() materialises them once in
+// ./ssm_artifacts; whichever bench runs first pays the build cost.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "baselines/flemma.hpp"
+#include "baselines/pcstall.hpp"
+#include "compress/pipeline.hpp"
+#include "core/ssm_governor.hpp"
+#include "gpusim/runner.hpp"
+
+namespace ssm::bench {
+
+/// Loads (or generates + trains) the shared full system.
+[[nodiscard]] FullSystem buildSharedSystem();
+
+/// The §V.C mechanism line-up, in presentation order.
+[[nodiscard]] const std::vector<std::string>& mechanismNames();
+
+/// One evaluation row of Fig. 4: EDP and latency normalized to the
+/// default-V/f baseline, per mechanism (order = mechanismNames()).
+struct Fig4Row {
+  std::string workload;
+  double base_edp = 0.0;        ///< joule-seconds, absolute
+  double base_time_us = 0.0;
+  std::vector<double> edp;      ///< normalized
+  std::vector<double> lat;      ///< normalized
+};
+
+/// Runs the full §V.C comparison on the evaluation split at one preset.
+[[nodiscard]] std::vector<Fig4Row> runFig4(const FullSystem& sys,
+                                           double preset,
+                                           std::uint64_t seed = 777);
+
+/// Column-wise arithmetic mean over rows.
+[[nodiscard]] Fig4Row meanRow(const std::vector<Fig4Row>& rows);
+
+}  // namespace ssm::bench

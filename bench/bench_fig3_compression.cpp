@@ -1,0 +1,86 @@
+// Experiment E2 — Fig. 3: FLOPs vs accuracy and MAPE for layer-wise
+// compression and pruning.
+//
+// Two series, as in the paper:
+//  * layer-wise: shrink layer counts / hidden widths and retrain;
+//  * pruning: fix the compressed architecture and sweep (x1, x2);
+// both show accuracy collapsing below a FLOPs knee, with the pruning curve
+// dominating the layer-wise one (finer-grained compression).
+#include <fstream>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "compress/arch_search.hpp"
+#include "compress/pruning.hpp"
+#include "datagen/cache.hpp"
+
+using namespace ssm;
+using namespace ssm::bench;
+
+int main() {
+  std::cout << "=== E2: Fig. 3 — FLOPs vs accuracy/MAPE ===\n\n";
+  const FullSystem sys = buildSharedSystem();
+
+  SsmModelConfig base;
+  base.train.epochs = 400;  // compromise: small nets need budget, harness must stay fast
+
+  // --- layer-wise series ----------------------------------------------------
+  const auto arch_points =
+      layerwiseSweep(sys.train, sys.holdout, defaultLayerwiseSweep(), base);
+  Table lw("Fig. 3 series 1 — layer-wise compression");
+  lw.header({"decision hidden", "calibrator hidden", "FLOPs", "accuracy",
+             "MAPE"});
+  const auto dims_str = [](const std::vector<int>& v) {
+    std::string s;
+    for (std::size_t i = 0; i < v.size(); ++i)
+      s += (i ? "x" : "") + std::to_string(v[i]);
+    return s.empty() ? "-" : s;
+  };
+  for (const auto& p : arch_points)
+    lw.addRow({dims_str(p.arch.decision_hidden),
+               dims_str(p.arch.calibrator_hidden), std::to_string(p.flops),
+               Table::pct(p.accuracy), Table::num(p.mape) + "%"});
+  lw.print(std::cout);
+  {
+    std::ofstream os(artifactDir() + "/fig3_layerwise.csv");
+    lw.printCsv(os);
+  }
+  std::cout << '\n';
+
+  const ArchPoint& pick = pickCompressedArch(arch_points, /*max_acc_drop=*/0.08);
+  std::cout << "layer-wise pick (fewest FLOPs within 8% of best accuracy): "
+            << dims_str(pick.arch.decision_hidden) << " / "
+            << dims_str(pick.arch.calibrator_hidden) << " at " << pick.flops
+            << " FLOPs (paper picks 2x12 / 1x12, ~912 FLOPs)\n\n";
+
+  // --- pruning series ---------------------------------------------------------
+  Table pr("Fig. 3 series 2 — two-stage pruning on the compressed arch");
+  pr.header({"x1", "x2", "FLOPs", "accuracy", "MAPE", "neurons removed"});
+  const SsmModelConfig arch = SsmModelConfig::compressedArch();
+  for (const auto& [x1, x2] : std::vector<std::pair<double, double>>{
+           {0.2, 0.95}, {0.4, 0.95}, {0.6, 0.9}, {0.7, 0.9}, {0.9, 0.8}}) {
+    SsmModelConfig cfg = base;
+    cfg.decision_hidden = arch.decision_hidden;
+    cfg.calibrator_hidden = arch.calibrator_hidden;
+    SsmModel model(cfg);
+    model.train(sys.train, sys.holdout);
+    const PruneParams params{.x1 = x1, .x2 = x2};
+    const auto rep =
+        pruneAndFinetune(model, sys.train, sys.holdout, params, 800);
+    pr.addRow({Table::num(x1, 1), Table::num(x2, 2),
+               std::to_string(rep.after_finetune.flops),
+               Table::pct(rep.after_finetune.decision_accuracy),
+               Table::num(rep.after_finetune.calibrator_mape) + "%",
+               std::to_string(rep.decision.neurons_removed +
+                              rep.calibrator.neurons_removed)});
+  }
+  pr.print(std::cout);
+  {
+    std::ofstream os(artifactDir() + "/fig3_pruning.csv");
+    pr.printCsv(os);
+  }
+  std::cout << "\npaper's chosen pruning point: (x1, x2) = (0.6, 0.9), "
+               "366 FLOPs after pruning\n";
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Experiment E4/E5/E7 — Fig. 4 and the §V.C headline numbers.
+//
+// Regenerates the paper's main result: normalized EDP and latency for the
+// evaluation benchmarks under per-cluster 10 µs DVFS, for PCSTALL, F-LEMMA,
+// SSMDVFS without the Calibrator, SSMDVFS, and fully-compressed SSMDVFS, at
+// performance-loss presets of 10 % and 20 % (the four panels of Fig. 4).
+//
+// Paper reference points (compressed SSMDVFS, averaged over presets):
+//   EDP reduction vs baseline  ~11.09 %
+//   EDP reduction vs PCSTALL   ~13.17 %
+//   EDP reduction vs F-LEMMA   ~36.80 %
+// Shape targets: SSMDVFS/PCSTALL keep latency near the preset; F-LEMMA
+// violates it on short programs and carries the worst EDP.
+#include <fstream>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/ascii_chart.hpp"
+#include "common/table.hpp"
+#include "datagen/cache.hpp"
+
+using namespace ssm;
+using namespace ssm::bench;
+
+namespace {
+
+void printPanel(const FullSystem& sys, double preset,
+                std::vector<bench::Fig4Row>* means_out) {
+  const auto rows = runFig4(sys, preset);
+  const auto mean = meanRow(rows);
+
+  for (const bool latency_panel : {false, true}) {
+    Table t(std::string("Fig.4 — normalized ") +
+            (latency_panel ? "latency" : "EDP") + " @ preset " +
+            Table::pct(preset, 0));
+    std::vector<std::string> header = {"workload"};
+    for (const auto& m : mechanismNames()) header.push_back(m);
+    t.header(header);
+    const auto add = [&](const bench::Fig4Row& r) {
+      std::vector<std::string> cells = {r.workload};
+      const auto& vals = latency_panel ? r.lat : r.edp;
+      for (double v : vals) cells.push_back(Table::num(v, 3));
+      t.addRow(cells);
+    };
+    for (const auto& r : rows) add(r);
+    add(mean);
+    t.print(std::cout);
+    std::cout << '\n';
+
+    // Plot-ready series alongside the console table.
+    const std::string csv = artifactDir() + "/fig4_" +
+                            (latency_panel ? "latency" : "edp") + "_p" +
+                            Table::num(preset * 100, 0) + ".csv";
+    std::ofstream os(csv);
+    t.printCsv(os);
+  }
+
+  // The figure itself, as bars: per-workload normalized EDP for the two
+  // headline mechanisms, with the baseline at 1.0.
+  {
+    std::vector<std::string> labels;
+    std::vector<double> comp;
+    std::vector<double> pc;
+    const auto& names = mechanismNames();
+    const auto idx = [&](const std::string& n) {
+      for (std::size_t i = 0; i < names.size(); ++i)
+        if (names[i] == n) return i;
+      return names.size();
+    };
+    for (const auto& r : rows) {
+      labels.push_back(r.workload);
+      comp.push_back(r.edp[idx("ssmdvfs-comp")]);
+      pc.push_back(r.edp[idx("pcstall")]);
+    }
+    BarChartOptions opts;
+    opts.reference = 1.0;
+    renderGroupedBarChart(
+        std::cout,
+        "normalized EDP @ preset " + Table::pct(preset, 0) +
+            " (baseline = 1.0)",
+        labels, {"ssmdvfs-comp", "pcstall"}, {comp, pc}, opts);
+    std::cout << '\n';
+  }
+  means_out->push_back(mean);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== E4/E5/E7: Fig. 4 — EDP & latency under microsecond DVFS "
+               "===\n\n";
+  const FullSystem sys = buildSharedSystem();
+  std::cout << "models: uncompressed acc="
+            << Table::pct(sys.uncompressed_summary.decision_accuracy)
+            << " mape=" << Table::num(sys.uncompressed_summary.calibrator_mape)
+            << "%  | compressed+pruned acc="
+            << Table::pct(sys.prune_report.after_finetune.decision_accuracy)
+            << " mape="
+            << Table::num(sys.prune_report.after_finetune.calibrator_mape)
+            << "% flops=" << sys.prune_report.after_finetune.flops << "\n\n";
+
+  std::vector<bench::Fig4Row> means;
+  printPanel(sys, 0.10, &means);
+  printPanel(sys, 0.20, &means);
+
+  // §V.C headline: averages over both presets for compressed SSMDVFS.
+  const auto idx_of = [](const std::string& name) {
+    const auto& names = mechanismNames();
+    for (std::size_t i = 0; i < names.size(); ++i)
+      if (names[i] == name) return i;
+    return names.size();
+  };
+  const std::size_t i_comp = idx_of("ssmdvfs-comp");
+  const std::size_t i_ssm = idx_of("ssmdvfs");
+  const std::size_t i_pc = idx_of("pcstall");
+  const std::size_t i_fl = idx_of("flemma");
+
+  const auto avg = [&](std::size_t mech) {
+    double s = 0.0;
+    for (const auto& m : means) s += m.edp[mech];
+    return s / static_cast<double>(means.size());
+  };
+  const double comp = avg(i_comp);
+  const double ssm = avg(i_ssm);
+  const double pc = avg(i_pc);
+  const double fl = avg(i_fl);
+
+  Table t("E5 headline — EDP reductions (mean of 10% and 20% presets)");
+  t.header({"comparison", "paper", "measured"});
+  t.addRow({"SSMDVFS vs baseline", "7.85%", Table::pct(1.0 - ssm)});
+  t.addRow({"compressed SSMDVFS vs baseline", "11.09%", Table::pct(1.0 - comp)});
+  t.addRow({"compressed SSMDVFS vs PCSTALL", "13.17%",
+            Table::pct(1.0 - comp / pc)});
+  t.addRow({"compressed SSMDVFS vs F-LEMMA", "36.80%",
+            Table::pct(1.0 - comp / fl)});
+  t.print(std::cout);
+  return 0;
+}

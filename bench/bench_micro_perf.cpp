@@ -1,0 +1,87 @@
+// Micro-benchmarks (google-benchmark): simulator throughput, model
+// inference latency and governor decision cost. These back the §V.D claim
+// that one SSMDVFS decision is cheap relative to a 10 µs epoch, and
+// document the simulator's own performance envelope.
+#include <benchmark/benchmark.h>
+
+#include "compress/pruning.hpp"
+#include "core/ssm_governor.hpp"
+#include "datagen/generator.hpp"
+#include "gpusim/gpu.hpp"
+#include "workloads/kernel_profile.hpp"
+
+namespace ssm {
+namespace {
+
+void BM_SimulatorEpoch(benchmark::State& state,
+                       const std::string& workload) {
+  GpuConfig cfg;
+  Gpu gpu(cfg, VfTable::titanX(), workloadByName(workload), 1,
+          ChipPowerModel(cfg.num_clusters));
+  Gpu fresh = gpu;
+  for (auto _ : state) {
+    if (fresh.allDone()) {
+      state.PauseTiming();
+      fresh = gpu;
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(fresh.runEpochUniform(5));
+  }
+  state.SetItemsProcessed(state.iterations() * cfg.num_clusters);
+}
+BENCHMARK_CAPTURE(BM_SimulatorEpoch, sgemm, std::string("sgemm"));
+BENCHMARK_CAPTURE(BM_SimulatorEpoch, spmv, std::string("spmv"));
+BENCHMARK_CAPTURE(BM_SimulatorEpoch, hotspot, std::string("hotspot"));
+
+void BM_GpuSnapshot(benchmark::State& state) {
+  GpuConfig cfg;
+  Gpu gpu(cfg, VfTable::titanX(), workloadByName("hotspot"), 1,
+          ChipPowerModel(cfg.num_clusters));
+  gpu.runEpochUniform(5);
+  for (auto _ : state) {
+    Gpu copy = gpu;  // the snapshot operation used by data generation
+    benchmark::DoNotOptimize(copy.nowNs());
+  }
+}
+BENCHMARK(BM_GpuSnapshot);
+
+Mlp makeNet(bool compressed, bool pruned) {
+  const auto dims = compressed ? std::vector<int>{6, 12, 12, 6}
+                               : std::vector<int>{6, 20, 20, 20, 20, 20, 6};
+  Mlp net(dims, Head::kSoftmaxClassifier, Rng(1));
+  if (pruned) {
+    magnitudePruneTo(net, 0.6);
+    neuronPrune(net, 0.9);
+  }
+  return net;
+}
+
+void BM_ModelInference(benchmark::State& state, bool compressed,
+                       bool pruned) {
+  const Mlp net = makeNet(compressed, pruned);
+  const std::vector<double> input{1.2, 0.4, -0.3, 0.9, 0.1, 0.1};
+  for (auto _ : state) benchmark::DoNotOptimize(net.forward(input));
+  state.counters["flops"] = static_cast<double>(net.flops());
+}
+BENCHMARK_CAPTURE(BM_ModelInference, uncompressed, false, false);
+BENCHMARK_CAPTURE(BM_ModelInference, compressed, true, false);
+BENCHMARK_CAPTURE(BM_ModelInference, compressed_pruned, true, true);
+
+void BM_DatagenBreakpoint(benchmark::State& state) {
+  GpuConfig cfg;
+  cfg.num_clusters = 4;
+  GenConfig gen;
+  gen.runs_per_workload = 1;
+  gen.clusters_sampled = 4;
+  const DataGenerator dg(cfg, VfTable::titanX(), gen);
+  std::uint64_t seed = 1;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        dg.generateForWorkload(workloadByName("stencil"), seed++));
+}
+BENCHMARK(BM_DatagenBreakpoint)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ssm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// Experiment E3 — Table II: final model information before and after
+// compression (layer-wise 9x20 -> 5x12, then (0.6, 0.9) pruning).
+//
+// Paper values: FLOPs 6960 -> 366 (-94.74 %), accuracy 69.82 % -> 67.42 %,
+// MAPE 3.43 % -> 4.61 %.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+
+using namespace ssm;
+using namespace ssm::bench;
+
+namespace {
+
+std::string archString(const SsmModel& m) {
+  const auto dims = [](const Mlp& net) {
+    std::string s;
+    for (std::size_t i = 0; i < net.dims().size(); ++i)
+      s += (i ? "-" : "") + std::to_string(net.dims()[i]);
+    return s;
+  };
+  return "dec " + dims(m.decisionNet()) + " | cal " + dims(m.calibratorNet());
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== E3: Table II — final model information ===\n\n";
+  const FullSystem sys = buildSharedSystem();
+
+  const auto& before = sys.uncompressed_summary;
+  const auto& after = sys.prune_report.after_finetune;
+
+  Table t("Table II — before vs after compression");
+  t.header({"model information", "before compression", "after compression"});
+  t.addRow({"structure", archString(*sys.uncompressed),
+            archString(*sys.compressed) + " (masked)"});
+  t.addRow({"weight sparsity", "0%",
+            Table::pct((sys.prune_report.decision.weight_sparsity +
+                        sys.prune_report.calibrator.weight_sparsity) /
+                       2.0)});
+  t.addRow({"neurons removed", "0",
+            std::to_string(sys.prune_report.decision.neurons_removed +
+                           sys.prune_report.calibrator.neurons_removed)});
+  t.addRow({"FLOPs", std::to_string(before.flops),
+            std::to_string(after.flops)});
+  t.addRow({"accuracy", Table::pct(before.decision_accuracy),
+            Table::pct(after.decision_accuracy)});
+  t.addRow({"MAPE", Table::num(before.calibrator_mape) + "%",
+            Table::num(after.calibrator_mape) + "%"});
+  t.print(std::cout);
+  std::cout << '\n';
+
+  const double flop_reduction =
+      1.0 - static_cast<double>(after.flops) /
+                static_cast<double>(before.flops);
+  Table c("Comparison with the paper");
+  c.header({"metric", "paper", "measured"});
+  c.addRow({"FLOPs before", "6960", std::to_string(before.flops)});
+  c.addRow({"FLOPs after", "366", std::to_string(after.flops)});
+  c.addRow({"FLOPs reduction", "94.74%", Table::pct(flop_reduction)});
+  c.addRow({"accuracy before", "69.82%",
+            Table::pct(before.decision_accuracy)});
+  c.addRow({"accuracy after", "67.42%", Table::pct(after.decision_accuracy)});
+  c.addRow({"MAPE before", "3.43%",
+            Table::num(before.calibrator_mape) + "%"});
+  c.addRow({"MAPE after", "4.61%",
+            Table::num(after.calibrator_mape) + "%"});
+  c.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Scenario: sizing the on-die inference engine.
+//
+// A power-management architect must fit the SSMDVFS model into an ASIC
+// budget (area, energy, decision latency). This example sweeps the pruning
+// aggressiveness on the compressed architecture and prints the resulting
+// model quality *and* silicon cost from the §V.D cost model, exposing the
+// quality/area/latency frontier.
+#include <cstdio>
+#include <vector>
+
+#include "compress/pipeline.hpp"
+#include "compress/pruning.hpp"
+#include "hw/asic_model.hpp"
+
+int main() {
+  using namespace ssm;
+
+  std::puts("building (or loading) the trained SSMDVFS system...");
+  const PipelineConfig pcfg = defaultPipelineConfig();
+  const FullSystem sys = buildFullSystem(pcfg);
+
+  std::printf("\n%-10s %8s %10s %8s %10s %12s %10s\n", "x1 prune", "FLOPs",
+              "accuracy", "MAPE", "cycles", "area mm^2", "power W");
+
+  for (const double x1 : {0.0, 0.3, 0.5, 0.6, 0.75, 0.9}) {
+    // Fresh compressed model per point, fine-tuned after pruning.
+    SsmModelConfig cfg;
+    const SsmModelConfig arch = SsmModelConfig::compressedArch();
+    cfg.decision_hidden = arch.decision_hidden;
+    cfg.calibrator_hidden = arch.calibrator_hidden;
+    cfg.train.epochs = 400;
+    SsmModel model(cfg);
+    model.train(sys.train, sys.holdout);
+
+    SsmTrainSummary metrics;
+    if (x1 > 0.0) {
+      const PruneParams params{.x1 = x1, .x2 = 0.9};
+      metrics = pruneAndFinetune(model, sys.train, sys.holdout, params, 1200)
+                    .after_finetune;
+    } else {
+      metrics.decision_accuracy = model.decisionAccuracy(sys.holdout);
+      metrics.calibrator_mape = model.calibratorMape(sys.holdout);
+      metrics.flops = model.flops();
+    }
+
+    const AsicReport hw =
+        estimateAsic(model.decisionNet(), model.calibratorNet());
+    std::printf("%-10.2f %8lld %9.1f%% %7.2f%% %10lld %12.4f %10.4f\n", x1,
+                static_cast<long long>(metrics.flops),
+                100.0 * metrics.decision_accuracy, metrics.calibrator_mape,
+                static_cast<long long>(hw.cycles_per_inference),
+                hw.area_mm2_28, hw.power_w_28);
+  }
+
+  std::puts(
+      "\nreading the frontier: the paper picks x1 = 0.6 (with x2 = 0.9) —\n"
+      "past that point accuracy falls off while silicon savings flatten;\n"
+      "every row's decision latency stays well under the 10 us epoch.");
+  return 0;
+}

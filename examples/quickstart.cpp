@@ -1,0 +1,81 @@
+// Quickstart: the smallest end-to-end SSMDVFS session.
+//
+// Builds a small training corpus with the §III.A protocol, trains the
+// combined Decision-maker/Calibrator model, then governs a GPU program at a
+// 10 % performance-loss preset and compares energy/EDP against the
+// fixed-default-frequency baseline.
+//
+// Scaled down (8 clusters, 4 training workloads, 1 run each) so it finishes
+// in about a minute; see the bench/ harnesses for the full §V setup.
+#include <cstdio>
+
+#include "core/ssm_governor.hpp"
+#include "datagen/generator.hpp"
+#include "gpusim/runner.hpp"
+#include "workloads/kernel_profile.hpp"
+
+int main() {
+  using namespace ssm;
+
+  // --- 1. configure a small GPU ------------------------------------------
+  GpuConfig gpu;
+  gpu.num_clusters = 8;
+  const VfTable vf = VfTable::titanX();
+
+  // --- 2. generate training data (§III.A) --------------------------------
+  std::puts("[1/3] generating training data (breakpoint replay protocol)...");
+  GenConfig gen;
+  gen.runs_per_workload = 2;
+  gen.clusters_sampled = 8;
+  gen.epochs_per_breakpoint = 6;
+  const DataGenerator generator(gpu, vf, gen);
+  Dataset corpus;
+  int phase = 0;
+  for (const char* name : {"sgemm", "spmv", "hotspot", "kmeans"}) {
+    corpus.append(generator.generateForWorkload(workloadByName(name),
+                                                42 + phase, phase));
+    ++phase;
+  }
+  std::printf("      %zu data points\n", corpus.size());
+
+  // --- 3. train the combined model (§III.C-D) ----------------------------
+  std::puts("[2/3] training Decision-maker + Calibrator...");
+  auto [train, holdout] = corpus.split(0.8, 7);
+  auto model = std::make_shared<SsmModel>();
+  const SsmTrainSummary summary = model->train(train, holdout);
+  std::printf("      accuracy %.1f%%, MAPE %.2f%%, %lld FLOPs/inference\n",
+              100.0 * summary.decision_accuracy, summary.calibrator_mape,
+              static_cast<long long>(summary.flops));
+
+  // --- 4. govern a program at a 10%% loss preset (§II) --------------------
+  std::puts("[3/3] running 'stencil' under SSMDVFS vs fixed default V/f...");
+  Gpu machine(gpu, vf, workloadByName("stencil"), /*seed=*/99,
+              ChipPowerModel(gpu.num_clusters));
+  const RunResult baseline = runBaseline(machine);
+
+  SsmGovernorConfig gcfg;
+  gcfg.loss_preset = 0.10;
+  const SsmGovernorFactory factory(model, gcfg);
+  const RunResult governed = runWithGovernor(machine, factory, "ssmdvfs");
+
+  std::printf("\n%-12s %12s %12s %12s\n", "", "time (us)", "energy (mJ)",
+              "EDP (uJ*s)");
+  const auto show = [](const char* name, const RunResult& r) {
+    std::printf("%-12s %12.1f %12.3f %12.4f\n", name,
+                static_cast<double>(r.exec_time_ns) / 1e3, r.energy_j * 1e3,
+                r.edp * 1e6);
+  };
+  show("baseline", baseline);
+  show("ssmdvfs", governed);
+  std::printf("\nEDP change: %+.2f%%  latency change: %+.2f%%\n",
+              100.0 * (governed.edp / baseline.edp - 1.0),
+              100.0 * (static_cast<double>(governed.exec_time_ns) /
+                           static_cast<double>(baseline.exec_time_ns) -
+                       1.0));
+  std::puts("\nlevel residency (fraction of cluster-epochs):");
+  for (std::size_t l = 0; l < governed.level_histogram.size(); ++l)
+    std::printf("  level %zu (%4.0f MHz): %5.1f%%\n", l,
+                vf.at(static_cast<VfLevel>(l)).freq_mhz,
+                100.0 * governed.level_histogram[l]);
+  return 0;
+}

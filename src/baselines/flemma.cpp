@@ -1,0 +1,143 @@
+#include "baselines/flemma.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "nn/mlp.hpp"  // softmaxInPlace
+
+namespace ssm {
+
+FlemmaGovernor::FlemmaGovernor(VfTable vf, FlemmaConfig cfg, Rng rng)
+    : vf_(std::move(vf)),
+      cfg_(cfg),
+      rng_(rng),
+      num_actions_(static_cast<int>(vf_.size())),
+      actor_w_(static_cast<std::size_t>(num_actions_),
+               std::vector<double>(kStateDim, 0.0)),
+      critic_w_(kStateDim, 0.0),
+      epsilon_(cfg.epsilon0) {
+  SSM_CHECK(cfg_.update_period >= 1, "update period must be positive");
+}
+
+void FlemmaGovernor::reset() {
+  // Learned weights survive across programs (the hierarchical design keeps
+  // the coarse policy); episodic state does not.
+  buffer_.clear();
+  last_state_.clear();
+  last_action_ = -1;
+  has_last_ = false;
+  insts_ref_ = 0.0;
+  power_ref_ = 0.0;
+  epoch_count_ = 0;
+  epsilon_ = cfg_.epsilon0;
+}
+
+std::vector<double> FlemmaGovernor::makeState(
+    const EpochObservation& obs) const {
+  // Normalised Table-I-style features; ad-hoc scales keep values O(1)
+  // without requiring a training corpus (F-LEMMA learns online).
+  const auto& c = obs.counters;
+  const double cycles = std::max(1.0, c.get(CounterId::kCyclesElapsed));
+  std::vector<double> s(kStateDim, 0.0);
+  s[0] = c.get(CounterId::kIpc) / 2.0;
+  s[1] = c.get(CounterId::kPowerClusterW) / 8.0;
+  s[2] = std::min(1.0, c.get(CounterId::kStallMemFrac));
+  s[3] = std::min(1.0, c.get(CounterId::kStallNoReadyCycles) / cycles);
+  s[4] = static_cast<double>(obs.level) /
+         static_cast<double>(num_actions_ - 1);
+  s[5] = 1.0;  // bias
+  return s;
+}
+
+std::vector<double> FlemmaGovernor::policyProbs(
+    const std::vector<double>& s) const {
+  std::vector<double> logits(static_cast<std::size_t>(num_actions_), 0.0);
+  for (int a = 0; a < num_actions_; ++a) {
+    double acc = 0.0;
+    for (int i = 0; i < kStateDim; ++i)
+      acc += actor_w_[static_cast<std::size_t>(a)][static_cast<std::size_t>(i)] *
+             s[static_cast<std::size_t>(i)];
+    logits[static_cast<std::size_t>(a)] = acc;
+  }
+  softmaxInPlace(logits);
+  return logits;
+}
+
+double FlemmaGovernor::valueOf(const std::vector<double>& s) const {
+  double acc = 0.0;
+  for (int i = 0; i < kStateDim; ++i)
+    acc += critic_w_[static_cast<std::size_t>(i)] *
+           s[static_cast<std::size_t>(i)];
+  return acc;
+}
+
+void FlemmaGovernor::coarseUpdate() {
+  for (const Transition& t : buffer_) {
+    const double target = t.reward + cfg_.discount * valueOf(t.next_state);
+    const double delta = target - valueOf(t.state);
+    for (int i = 0; i < kStateDim; ++i)
+      critic_w_[static_cast<std::size_t>(i)] +=
+          cfg_.critic_lr * delta * t.state[static_cast<std::size_t>(i)];
+    const auto probs = policyProbs(t.state);
+    for (int a = 0; a < num_actions_; ++a) {
+      const double indicator = (a == t.action) ? 1.0 : 0.0;
+      const double coeff = cfg_.actor_lr * delta *
+                           (indicator - probs[static_cast<std::size_t>(a)]);
+      for (int i = 0; i < kStateDim; ++i)
+        actor_w_[static_cast<std::size_t>(a)][static_cast<std::size_t>(i)] +=
+            coeff * t.state[static_cast<std::size_t>(i)];
+    }
+  }
+  buffer_.clear();
+  epsilon_ *= cfg_.epsilon_decay;
+  ++updates_;
+}
+
+VfLevel FlemmaGovernor::decide(const EpochObservation& obs) {
+  if (obs.cluster_done) return 0;
+  ++epoch_count_;
+
+  const std::vector<double> state = makeState(obs);
+  const double insts = static_cast<double>(obs.instructions);
+
+  // Running references for reward normalisation. The throughput reference
+  // tracks the fastest rate seen so far (a proxy for default-speed work),
+  // reduced by the preset per the §V.B reward modification.
+  insts_ref_ = std::max(insts_ref_ * cfg_.ref_decay, insts);
+  power_ref_ = std::max(power_ref_, obs.power_w);
+
+  // Reward for the transition that *led to* this observation.
+  if (has_last_) {
+    const double power_term =
+        power_ref_ > 0.0 ? 1.0 - obs.power_w / power_ref_ : 0.0;
+    const double target_insts = (1.0 - cfg_.loss_preset) * insts_ref_;
+    const double shortfall =
+        target_insts > 0.0
+            ? std::max(0.0, (target_insts - insts) / target_insts)
+            : 0.0;
+    const double reward = cfg_.w_power * power_term - cfg_.w_perf * shortfall;
+    buffer_.push_back({last_state_, last_action_, reward, state});
+  }
+
+  if (epoch_count_ % cfg_.update_period == 0 && !buffer_.empty())
+    coarseUpdate();
+
+  // Fine-grained decision: epsilon-greedy over the linear softmax policy.
+  int action = 0;
+  if (rng_.nextBernoulli(epsilon_)) {
+    action = static_cast<int>(
+        rng_.nextBelow(static_cast<std::uint64_t>(num_actions_)));
+  } else {
+    const auto probs = policyProbs(state);
+    action = static_cast<int>(
+        std::max_element(probs.begin(), probs.end()) - probs.begin());
+  }
+
+  last_state_ = state;
+  last_action_ = action;
+  has_last_ = true;
+  return action;
+}
+
+}  // namespace ssm

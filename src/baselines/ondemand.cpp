@@ -1,0 +1,46 @@
+#include "baselines/ondemand.hpp"
+
+#include "common/check.hpp"
+
+namespace ssm {
+
+OndemandGovernor::OndemandGovernor(VfTable vf, OndemandConfig cfg)
+    : vf_(std::move(vf)), cfg_(cfg) {
+  SSM_CHECK(cfg_.up_threshold > cfg_.down_threshold,
+            "thresholds must leave a dead band");
+  SSM_CHECK(cfg_.hold_epochs >= 1, "hold_epochs must be >= 1");
+}
+
+void OndemandGovernor::reset() {
+  up_streak_ = 0;
+  down_streak_ = 0;
+}
+
+VfLevel OndemandGovernor::decide(const EpochObservation& obs) {
+  if (obs.cluster_done) return 0;
+
+  const double util = obs.counters.get(CounterId::kIssueUtil);
+  VfLevel level = obs.level;
+
+  if (util >= cfg_.up_threshold) {
+    ++up_streak_;
+    down_streak_ = 0;
+    if (up_streak_ >= cfg_.hold_epochs) {
+      level = cfg_.jump_to_max ? vf_.defaultLevel() : vf_.clamp(level + 1);
+      up_streak_ = 0;
+    }
+  } else if (util <= cfg_.down_threshold) {
+    ++down_streak_;
+    up_streak_ = 0;
+    if (down_streak_ >= cfg_.hold_epochs) {
+      level = vf_.clamp(level - 1);
+      down_streak_ = 0;
+    }
+  } else {
+    up_streak_ = 0;
+    down_streak_ = 0;
+  }
+  return level;
+}
+
+}  // namespace ssm

@@ -1,0 +1,55 @@
+// Ondemand-style utilization governor (Linux cpufreq analog).
+//
+// Not part of the paper's comparison, but the governor every practitioner
+// reaches for first: raise frequency when issue utilisation is high, lower
+// it when low. It has no notion of a performance-loss preset and no
+// prediction — a useful foil for both SSMDVFS and PCSTALL in the examples
+// and the extended comparisons.
+#pragma once
+
+#include <memory>
+
+#include "gpusim/governor.hpp"
+
+namespace ssm {
+
+struct OndemandConfig {
+  /// Raise the level when issue utilisation exceeds this bound.
+  double up_threshold = 0.80;
+  /// Lower the level when issue utilisation falls below this bound.
+  double down_threshold = 0.45;
+  /// Epochs of consistent signal required before moving (hysteresis).
+  int hold_epochs = 2;
+  /// Jump straight to the top on a high signal (classic ondemand) instead
+  /// of stepping one level at a time.
+  bool jump_to_max = true;
+};
+
+class OndemandGovernor final : public DvfsGovernor {
+ public:
+  OndemandGovernor(VfTable vf, OndemandConfig cfg = {});
+
+  VfLevel decide(const EpochObservation& obs) override;
+  void reset() override;
+
+ private:
+  VfTable vf_;
+  OndemandConfig cfg_;
+  int up_streak_ = 0;
+  int down_streak_ = 0;
+};
+
+class OndemandFactory final : public GovernorFactory {
+ public:
+  explicit OndemandFactory(VfTable vf, OndemandConfig cfg = {})
+      : vf_(std::move(vf)), cfg_(cfg) {}
+  std::unique_ptr<DvfsGovernor> create(int) const override {
+    return std::make_unique<OndemandGovernor>(vf_, cfg_);
+  }
+
+ private:
+  VfTable vf_;
+  OndemandConfig cfg_;
+};
+
+}  // namespace ssm

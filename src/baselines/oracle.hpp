@@ -1,0 +1,33 @@
+// Oracle static-frequency search.
+//
+// Runs a program once per V/f level and returns the best static choice for
+// a given objective. Not realisable online (it needs the whole program),
+// but it bounds what any *static* policy can achieve — the gap between the
+// oracle and SSMDVFS measures the value of per-epoch adaptation, and the
+// gap between the oracle and the baseline measures how much static
+// headroom a workload has at all.
+#pragma once
+
+#include <string>
+
+#include "gpusim/runner.hpp"
+
+namespace ssm {
+
+enum class OracleObjective { kMinEdp, kMinEnergy, kMinEnergyUnderLatency };
+
+struct OracleResult {
+  VfLevel best_level = 0;
+  RunResult run;                ///< the winning static run
+  std::vector<RunResult> all;  ///< one entry per level, ascending
+};
+
+/// Evaluates every static level on a copy of `gpu`.
+/// For kMinEnergyUnderLatency, `latency_bound` is the allowed slowdown
+/// versus the default level (e.g. 1.10); infeasible levels are skipped and
+/// the default level wins if nothing fits.
+[[nodiscard]] OracleResult findBestStaticLevel(
+    const Gpu& gpu, OracleObjective objective,
+    double latency_bound = 1.10, TimeNs max_time_ns = 5 * kNsPerMs);
+
+}  // namespace ssm

@@ -1,0 +1,90 @@
+#include "baselines/pcstall.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace ssm {
+
+PcstallGovernor::PcstallGovernor(VfTable vf, PcstallConfig cfg)
+    : vf_(std::move(vf)), cfg_(cfg) {
+  SSM_CHECK(cfg_.loss_preset >= 0.0, "preset must be non-negative");
+  SSM_CHECK(cfg_.probe_period >= 2, "probe period must be >= 2 epochs");
+  SSM_CHECK(cfg_.ewma_alpha > 0.0 && cfg_.ewma_alpha <= 1.0,
+            "ewma_alpha must be in (0,1]");
+}
+
+void PcstallGovernor::reset() {
+  m_hat_ = 0.0;
+  prev_rate_ = -1.0;
+  prev_freq_ = -1.0;
+  epochs_since_measure_ = 0;
+  probe_pending_ = false;
+}
+
+double PcstallGovernor::inferMemFraction(double rate_ratio, double f_prev,
+                                         double f_cur) const noexcept {
+  const double f0 = vf_.at(vf_.defaultLevel()).freq_mhz;
+  const double a_p = f0 / f_prev;
+  const double a_c = f0 / f_cur;
+  const double denom = a_p - 1.0 + rate_ratio * (1.0 - a_c);
+  if (std::abs(denom) < 1e-9) return -1.0;
+  const double m = (a_p - rate_ratio * a_c) / denom;
+  // Phase changes can push the solution outside [0,1]; clamping keeps the
+  // (realistically noisy) evidence usable.
+  return std::clamp(m, 0.0, cfg_.mem_frac_cap);
+}
+
+double PcstallGovernor::relTimeAt(double f_mhz) const noexcept {
+  const double f0 = vf_.at(vf_.defaultLevel()).freq_mhz;
+  return (1.0 - m_hat_) * (f0 / f_mhz) + m_hat_;
+}
+
+VfLevel PcstallGovernor::decide(const EpochObservation& obs) {
+  if (obs.cluster_done) return 0;
+
+  const double rate_cur = static_cast<double>(obs.instructions);
+  const double f_cur = obs.counters.get(CounterId::kFreqMhz);
+  SSM_CHECK(f_cur > 0.0, "observation lacks a frequency counter");
+
+  // --- update the sensitivity estimate from observed deltas ----------------
+  if (prev_rate_ > 0.0 && rate_cur > 0.0 &&
+      std::abs(f_cur - prev_freq_) > 1.0) {
+    const double m = inferMemFraction(rate_cur / prev_rate_, prev_freq_,
+                                      f_cur);
+    if (m >= 0.0) {
+      m_hat_ = cfg_.ewma_alpha * m + (1.0 - cfg_.ewma_alpha) * m_hat_;
+      epochs_since_measure_ = 0;
+      probe_pending_ = false;
+    }
+  } else {
+    m_hat_ *= cfg_.stale_decay;  // stale evidence: drift conservative
+    ++epochs_since_measure_;
+  }
+  prev_rate_ = rate_cur;
+  prev_freq_ = f_cur;
+
+  // --- minimal level whose predicted loss fits the preset -------------------
+  VfLevel chosen = vf_.defaultLevel();
+  const double effective_preset = cfg_.loss_preset * (1.0 - cfg_.guard_band);
+  for (VfLevel level = 0; level < static_cast<VfLevel>(vf_.size()); ++level) {
+    const double loss = relTimeAt(vf_.at(level).freq_mhz) - 1.0;
+    if (loss <= effective_preset) {
+      chosen = level;
+      break;  // ascending frequencies: first fit is minimal
+    }
+  }
+
+  // --- iterative characterisation: probe one level down when evidence is
+  // stale and the choice would not change the frequency anyway. ------------
+  const double chosen_freq = vf_.at(chosen).freq_mhz;
+  if (epochs_since_measure_ >= cfg_.probe_period &&
+      std::abs(chosen_freq - f_cur) < 1.0 && !probe_pending_) {
+    probe_pending_ = true;
+    return vf_.clamp(chosen - 1);
+  }
+  return chosen;
+}
+
+}  // namespace ssm

@@ -1,0 +1,98 @@
+#include "common/ascii_chart.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace ssm {
+
+namespace {
+
+constexpr const char* kSeriesFills = "#=o*+x";
+
+std::size_t maxLabelWidth(const std::vector<std::string>& labels) {
+  std::size_t w = 0;
+  for (const auto& l : labels) w = std::max(w, l.size());
+  return w;
+}
+
+void renderBar(std::ostream& os, const std::string& label,
+               std::size_t label_w, double value, double scale, char fill,
+               const BarChartOptions& opts) {
+  SSM_CHECK(value >= 0.0, "bar values must be non-negative");
+  const int len = scale > 0.0
+                      ? static_cast<int>(value / scale * opts.width + 0.5)
+                      : 0;
+  const int ref_col =
+      opts.reference > 0.0 && scale > 0.0
+          ? static_cast<int>(opts.reference / scale * opts.width + 0.5)
+          : -1;
+  os << "  " << std::left << std::setw(static_cast<int>(label_w)) << label
+     << " ";
+  for (int c = 0; c < opts.width + 1; ++c) {
+    if (c == ref_col && c >= len)
+      os << '|';
+    else if (c < len)
+      os << fill;
+    else
+      os << ' ';
+  }
+  os << ' ' << std::fixed << std::setprecision(opts.value_digits) << value
+     << '\n';
+}
+
+}  // namespace
+
+void renderBarChart(std::ostream& os, const std::string& title,
+                    const std::vector<std::string>& labels,
+                    const std::vector<double>& values,
+                    const BarChartOptions& opts) {
+  SSM_CHECK(labels.size() == values.size(), "labels/values mismatch");
+  SSM_CHECK(opts.width > 0, "chart width must be positive");
+  double scale = opts.reference;
+  for (double v : values) scale = std::max(scale, v);
+  if (!title.empty()) os << title << '\n';
+  const std::size_t label_w = maxLabelWidth(labels);
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    renderBar(os, labels[i], label_w, values[i], scale, opts.fill, opts);
+  if (opts.reference > 0.0)
+    os << "  ('|' marks " << std::fixed
+       << std::setprecision(opts.value_digits) << opts.reference << ")\n";
+}
+
+void renderGroupedBarChart(std::ostream& os, const std::string& title,
+                           const std::vector<std::string>& labels,
+                           const std::vector<std::string>& series_names,
+                           const std::vector<std::vector<double>>& series,
+                           const BarChartOptions& opts) {
+  SSM_CHECK(series_names.size() == series.size(),
+            "series names/data mismatch");
+  SSM_CHECK(!series.empty(), "need at least one series");
+  for (const auto& s : series)
+    SSM_CHECK(s.size() == labels.size(), "series length mismatch");
+
+  double scale = opts.reference;
+  for (const auto& s : series)
+    for (double v : s) scale = std::max(scale, v);
+
+  if (!title.empty()) os << title << '\n';
+  os << "  legend:";
+  for (std::size_t s = 0; s < series_names.size(); ++s)
+    os << "  " << kSeriesFills[s % 6] << " = " << series_names[s];
+  os << '\n';
+
+  const std::size_t label_w = maxLabelWidth(labels);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    for (std::size_t s = 0; s < series.size(); ++s)
+      renderBar(os, s == 0 ? labels[i] : std::string(), label_w,
+                series[s][i], scale, kSeriesFills[s % 6], opts);
+  }
+  if (opts.reference > 0.0)
+    os << "  ('|' marks " << std::fixed
+       << std::setprecision(opts.value_digits) << opts.reference << ")\n";
+}
+
+}  // namespace ssm

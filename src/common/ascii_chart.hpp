@@ -1,0 +1,36 @@
+// Terminal bar charts for the experiment harnesses.
+//
+// The paper's figures are bar plots; the bench binaries render the same
+// series as ASCII bars next to the numeric tables so the *shape* (who
+// wins, where the knee is) is visible without leaving the terminal.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ssm {
+
+struct BarChartOptions {
+  int width = 48;             ///< bar field width in characters
+  double reference = 0.0;     ///< draw a '|' marker at this value (0 = off)
+  int value_digits = 3;       ///< numeric annotation precision
+  char fill = '#';
+};
+
+/// Renders one horizontal bar per (label, value). Values must be
+/// non-negative; the scale is max(values, reference).
+void renderBarChart(std::ostream& os, const std::string& title,
+                    const std::vector<std::string>& labels,
+                    const std::vector<double>& values,
+                    const BarChartOptions& opts = {});
+
+/// Renders grouped bars: for each label, one bar per series (series names
+/// shown in a legend). Useful for per-workload mechanism comparisons.
+void renderGroupedBarChart(std::ostream& os, const std::string& title,
+                           const std::vector<std::string>& labels,
+                           const std::vector<std::string>& series_names,
+                           const std::vector<std::vector<double>>& series,
+                           const BarChartOptions& opts = {});
+
+}  // namespace ssm

@@ -1,0 +1,16 @@
+#include "common/check.hpp"
+
+#include <sstream>
+
+namespace ssm::detail {
+
+void throwContract(const char* expr, const std::string& msg,
+                   const std::source_location& loc) {
+  std::ostringstream os;
+  os << "contract violation: (" << expr << ") at " << loc.file_name() << ':'
+     << loc.line() << " in " << loc.function_name();
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractError(os.str());
+}
+
+}  // namespace ssm::detail

@@ -1,0 +1,44 @@
+// Lightweight runtime checking utilities used across the SSMDVFS codebase.
+//
+// The library never aborts: contract violations throw ssm::ContractError so
+// that tests can assert on misuse and embedding applications can recover.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace ssm {
+
+/// Thrown when a documented precondition or invariant of a public API is
+/// violated by the caller (programming error, not data error).
+class ContractError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when input data (a dataset file, a config value, a model blob)
+/// is malformed or out of the supported range.
+class DataError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] void throwContract(const char* expr, const std::string& msg,
+                                const std::source_location& loc);
+}  // namespace detail
+
+/// Checks a precondition/invariant; throws ContractError with location info
+/// on failure. `msg` may add context beyond the stringified expression.
+inline void checkThat(bool ok, const char* expr, const std::string& msg = {},
+                      const std::source_location loc =
+                          std::source_location::current()) {
+  if (!ok) detail::throwContract(expr, msg, loc);
+}
+
+}  // namespace ssm
+
+/// Preferred spelling at call sites: SSM_CHECK(x > 0, "x must be positive").
+#define SSM_CHECK(expr, ...) \
+  ::ssm::checkThat(static_cast<bool>(expr), #expr __VA_OPT__(, ) __VA_ARGS__)

@@ -1,0 +1,89 @@
+// Deterministic random number generation for every stochastic component of
+// the reproduction (trace synthesis, NN initialisation, RL exploration).
+//
+// We deliberately avoid std::mt19937 + std::*_distribution because their
+// output is not guaranteed identical across standard library versions; all
+// experiments here must be bit-reproducible. SplitMix64 seeds Xoshiro256**,
+// and all distributions are implemented on top of a fixed u64 stream.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ssm {
+
+/// SplitMix64: tiny seeding PRNG (Steele, Lea, Flood 2014 public-domain
+/// construction). Used to expand a single user seed into stream seeds.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256** 1.0 (Blackman & Vigna, public domain): the workhorse
+/// generator. Value-semantic so simulator snapshots copy the RNG state too.
+class Rng {
+ public:
+  /// Seeds the four state words from SplitMix64(seed).
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) noexcept;
+
+  /// Derives an independent child stream; `salt` distinguishes siblings.
+  [[nodiscard]] Rng fork(std::uint64_t salt) const noexcept;
+
+  std::uint64_t nextU64() noexcept;
+
+  /// Uniform in [0, 1) with 53 bits of precision.
+  double nextDouble() noexcept;
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift rejection.
+  std::uint64_t nextBelow(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t nextInRange(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// true with probability p (clamped to [0,1]).
+  bool nextBernoulli(double p) noexcept;
+
+  /// Standard normal via Box–Muller (deterministic, caches the spare value).
+  double nextGaussian() noexcept;
+
+  /// Gaussian with given mean and standard deviation.
+  double nextGaussian(double mean, double stddev) noexcept;
+
+  /// Exponential with the given rate (lambda > 0).
+  double nextExponential(double rate) noexcept;
+
+  /// Samples an index from unnormalised non-negative weights.
+  /// Returns weights.size()-1 if rounding pushes past the end.
+  std::size_t nextCategorical(std::span<const double> weights) noexcept;
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(nextBelow(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  friend bool operator==(const Rng&, const Rng&) = default;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  double spare_gauss_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace ssm

@@ -1,0 +1,130 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace ssm {
+
+void RunningStat::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStat::merge(const RunningStat& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double nt = na + nb;
+  m2_ += other.m2_ + delta * delta * na * nb / nt;
+  mean_ += delta * nb / nt;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStat::variance() const noexcept {
+  return n_ >= 2 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStat::stddev() const noexcept { return std::sqrt(variance()); }
+
+double mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double geomean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  constexpr double kEps = 1e-12;
+  double logsum = 0.0;
+  for (double x : xs) logsum += std::log(std::max(x, kEps));
+  return std::exp(logsum / static_cast<double>(xs.size()));
+}
+
+double percentile(std::vector<double> xs, double p) noexcept {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double mapePercent(std::span<const double> actual,
+                   std::span<const double> predicted, double floor) {
+  SSM_CHECK(actual.size() == predicted.size(),
+            "actual/predicted length mismatch");
+  if (actual.empty()) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const double denom = std::max(std::abs(actual[i]), floor);
+    total += std::abs(predicted[i] - actual[i]) / denom;
+  }
+  return 100.0 * total / static_cast<double>(actual.size());
+}
+
+double pearson(std::span<const double> xs,
+               std::span<const double> ys) noexcept {
+  if (xs.size() != ys.size() || xs.size() < 2) return 0.0;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+Standardizer Standardizer::fit(std::span<const double> rows,
+                               std::size_t dim) {
+  SSM_CHECK(dim > 0, "feature dimension must be positive");
+  SSM_CHECK(rows.size() % dim == 0, "rows not a multiple of dim");
+  const std::size_t n = rows.size() / dim;
+  std::vector<RunningStat> per(dim);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < dim; ++c) per[c].add(rows[r * dim + c]);
+
+  Standardizer s;
+  s.mean.resize(dim);
+  s.inv_std.resize(dim);
+  for (std::size_t c = 0; c < dim; ++c) {
+    s.mean[c] = per[c].mean();
+    const double sd = per[c].stddev();
+    s.inv_std[c] = sd > 1e-12 ? 1.0 / sd : 1.0;
+  }
+  return s;
+}
+
+void Standardizer::apply(std::span<double> row) const {
+  SSM_CHECK(row.size() == mean.size(), "row width != standardizer width");
+  for (std::size_t c = 0; c < row.size(); ++c)
+    row[c] = (row[c] - mean[c]) * inv_std[c];
+}
+
+}  // namespace ssm

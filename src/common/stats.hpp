@@ -1,0 +1,66 @@
+// Small statistics toolkit shared by the data-generation pipeline, the
+// model-evaluation code and the experiment harnesses.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ssm {
+
+/// Streaming mean/variance (Welford). Value-semantic and mergeable.
+class RunningStat {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStat& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Population variance; 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean; 0 for an empty span.
+[[nodiscard]] double mean(std::span<const double> xs) noexcept;
+
+/// Geometric mean of strictly positive values; non-positive entries are
+/// clamped to a tiny epsilon so a single zero does not zero the summary.
+[[nodiscard]] double geomean(std::span<const double> xs) noexcept;
+
+/// Linear-interpolated percentile, p in [0, 100].
+[[nodiscard]] double percentile(std::vector<double> xs, double p) noexcept;
+
+/// Mean absolute percentage error in percent: 100 * mean(|pred-act|/|act|).
+/// Entries with |actual| < floor are measured against the floor instead so a
+/// zero actual cannot blow up the summary.
+[[nodiscard]] double mapePercent(std::span<const double> actual,
+                                 std::span<const double> predicted,
+                                 double floor = 1e-9);
+
+/// Pearson correlation coefficient; 0 if either side is constant.
+[[nodiscard]] double pearson(std::span<const double> xs,
+                             std::span<const double> ys) noexcept;
+
+/// Per-feature standardisation parameters (z-score), fit on training data
+/// and applied to both training and inference inputs.
+struct Standardizer {
+  std::vector<double> mean;
+  std::vector<double> inv_std;  ///< 1/stddev, 1.0 where stddev was ~0
+
+  /// Fits on rows of width `dim` (row-major, rows.size() % dim == 0).
+  static Standardizer fit(std::span<const double> rows, std::size_t dim);
+
+  void apply(std::span<double> row) const;
+};
+
+}  // namespace ssm

@@ -1,0 +1,40 @@
+// Strongly-suggestive unit aliases and conversion helpers.
+//
+// Convention used across the codebase:
+//   * wall-clock time is int64_t nanoseconds (TimeNs)
+//   * frequency is double megahertz (FreqMhz)
+//   * voltage is double volts, power double watts, energy double joules
+// Memory latencies are wall-clock (they do not scale with core frequency);
+// core work is counted in cycles and converted through the cluster clock.
+#pragma once
+
+#include <cstdint>
+
+namespace ssm {
+
+using TimeNs = std::int64_t;
+using Cycles = std::int64_t;
+using FreqMhz = double;
+
+inline constexpr TimeNs kNsPerUs = 1'000;
+inline constexpr TimeNs kNsPerMs = 1'000'000;
+
+/// Duration of one cycle at `mhz`, in (fractional) nanoseconds.
+constexpr double nsPerCycle(FreqMhz mhz) noexcept { return 1e3 / mhz; }
+
+/// Cycles elapsed in `ns` at `mhz`, rounded down.
+constexpr Cycles cyclesIn(TimeNs ns, FreqMhz mhz) noexcept {
+  return static_cast<Cycles>(static_cast<double>(ns) * mhz / 1e3);
+}
+
+/// Wall-clock nanoseconds spanned by `cycles` at `mhz`, rounded to nearest.
+constexpr TimeNs nsOf(Cycles cycles, FreqMhz mhz) noexcept {
+  return static_cast<TimeNs>(static_cast<double>(cycles) * 1e3 / mhz + 0.5);
+}
+
+/// Converts nanoseconds to seconds.
+constexpr double secondsOf(TimeNs ns) noexcept {
+  return static_cast<double>(ns) * 1e-9;
+}
+
+}  // namespace ssm

@@ -1,0 +1,58 @@
+#include "compress/arch_search.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace ssm {
+
+std::vector<ArchCandidate> defaultLayerwiseSweep() {
+  return {
+      // The original §III.D architecture: 5 + 4 hidden layers of 20.
+      {{20, 20, 20, 20, 20}, {20, 20, 20, 20}},
+      {{20, 20, 20}, {20, 20}},
+      {{12, 12, 12}, {12, 12}},
+      // The paper's compressed pick: 3 FC layers (2 hidden) + 2 FC layers
+      // (1 hidden), 12 neurons each.
+      {{12, 12}, {12}},
+      {{8, 8}, {8}},
+      {{6, 6}, {6}},
+      {{4, 4}, {4}},
+      {{4}, {4}},
+      {{2}, {2}},
+  };
+}
+
+std::vector<ArchPoint> layerwiseSweep(const Dataset& train,
+                                      const Dataset& holdout,
+                                      const std::vector<ArchCandidate>& candidates,
+                                      const SsmModelConfig& base_cfg) {
+  SSM_CHECK(!candidates.empty(), "no candidates to sweep");
+  std::vector<ArchPoint> points;
+  points.reserve(candidates.size());
+  for (const auto& cand : candidates) {
+    SsmModelConfig cfg = base_cfg;
+    cfg.decision_hidden = cand.decision_hidden;
+    cfg.calibrator_hidden = cand.calibrator_hidden;
+    SsmModel model(cfg);
+    const SsmTrainSummary s = model.train(train, holdout);
+    points.push_back({cand, s.flops, s.decision_accuracy, s.calibrator_mape});
+  }
+  return points;
+}
+
+const ArchPoint& pickCompressedArch(const std::vector<ArchPoint>& points,
+                                    double max_acc_drop) {
+  SSM_CHECK(!points.empty(), "empty sweep");
+  double best_acc = 0.0;
+  for (const auto& p : points) best_acc = std::max(best_acc, p.accuracy);
+  const ArchPoint* pick = nullptr;
+  for (const auto& p : points) {
+    if (p.accuracy + max_acc_drop < best_acc) continue;
+    if (pick == nullptr || p.flops < pick->flops) pick = &p;
+  }
+  SSM_CHECK(pick != nullptr, "no candidate within the accuracy budget");
+  return *pick;
+}
+
+}  // namespace ssm

@@ -1,0 +1,42 @@
+// Layer-wise compression (§IV.B): sweep layer counts and hidden widths,
+// recording FLOPs vs Decision-maker accuracy and Calibrator MAPE (the
+// layer-wise curve of Fig. 3).
+#pragma once
+
+#include <vector>
+
+#include "core/ssm_model.hpp"
+#include "datagen/dataset.hpp"
+
+namespace ssm {
+
+/// One candidate architecture: hidden-layer widths for the two heads.
+struct ArchCandidate {
+  std::vector<int> decision_hidden;
+  std::vector<int> calibrator_hidden;
+};
+
+struct ArchPoint {
+  ArchCandidate arch;
+  std::int64_t flops = 0;
+  double accuracy = 0.0;  ///< holdout, [0,1]
+  double mape = 0.0;      ///< holdout, percent
+};
+
+/// The sweep used in the paper's Fig. 3: from the original 9x20 network
+/// down to architectures well past the accuracy knee.
+[[nodiscard]] std::vector<ArchCandidate> defaultLayerwiseSweep();
+
+/// Trains every candidate and reports its (FLOPs, accuracy, MAPE) point.
+[[nodiscard]] std::vector<ArchPoint> layerwiseSweep(
+    const Dataset& train, const Dataset& holdout,
+    const std::vector<ArchCandidate>& candidates,
+    const SsmModelConfig& base_cfg);
+
+/// Picks the candidate with the fewest FLOPs whose accuracy is within
+/// `max_acc_drop` (absolute) of the best observed accuracy — the paper's
+/// "fewest layers that did not massively sacrifice accuracy" rule.
+[[nodiscard]] const ArchPoint& pickCompressedArch(
+    const std::vector<ArchPoint>& points, double max_acc_drop = 0.03);
+
+}  // namespace ssm

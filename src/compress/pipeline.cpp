@@ -1,0 +1,154 @@
+#include "compress/pipeline.hpp"
+
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "core/ssm_io.hpp"
+#include "datagen/cache.hpp"
+#include "workloads/kernel_profile.hpp"
+
+namespace ssm {
+
+PipelineConfig defaultPipelineConfig() {
+  PipelineConfig cfg;
+  cfg.gen.epochs_per_breakpoint = 6;  // denser breakpoints on short programs
+  cfg.dataset_cache_path = artifactDir() + "/train_dataset.csv";
+  cfg.model_cache_dir = artifactDir();
+  return cfg;
+}
+
+namespace {
+
+/// Counts hidden neurons whose incoming weights are fully masked (the
+/// outcome of §IV.C neuron-level pruning), for reconstructing a prune
+/// report from a cached model.
+int deadHiddenNeurons(const Mlp& net) {
+  int dead = 0;
+  for (std::size_t l = 0; l + 1 < net.layerCount(); ++l) {
+    const DenseLayer& layer = net.layer(l);
+    for (int j = 0; j < layer.outDim(); ++j) {
+      bool any = false;
+      for (int i = 0; i < layer.inDim() && !any; ++i)
+        any = layer.mask()(static_cast<std::size_t>(j),
+                           static_cast<std::size_t>(i)) != 0.0;
+      dead += !any;
+    }
+  }
+  return dead;
+}
+
+/// A cheap corpus fingerprint: invalidates cached models whenever the
+/// dataset they were trained on changes.
+std::string corpusFingerprint(const Dataset& ds) {
+  double loss_sum = 0.0;
+  double insts_sum = 0.0;
+  for (const auto& p : ds.points()) {
+    loss_sum += p.perf_loss;
+    insts_sum += p.insts_k;
+  }
+  std::ostringstream os;
+  os.precision(12);
+  os << ds.size() << ' ' << loss_sum << ' ' << insts_sum;
+  return os.str();
+}
+
+}  // namespace
+
+FullSystem buildFullSystem(const PipelineConfig& cfg) {
+  FullSystem sys;
+
+  const DataGenerator gen(cfg.gpu, VfTable::titanX(), cfg.gen);
+  const auto make = [&] {
+    return gen.generate(cfg.workloads.empty() ? trainingWorkloads()
+                                              : cfg.workloads);
+  };
+  Dataset all = cfg.dataset_cache_path.empty()
+                    ? make()
+                    : getOrGenerateDataset(cfg.dataset_cache_path, make);
+  SSM_CHECK(all.size() > 100, "training corpus is implausibly small");
+
+  auto [train, holdout] = all.split(1.0 - cfg.holdout_frac, cfg.split_seed);
+  sys.train = std::move(train);
+  sys.holdout = std::move(holdout);
+
+  // --- model cache fast path ------------------------------------------------
+  const std::string unc_path =
+      cfg.model_cache_dir.empty() ? ""
+                                  : cfg.model_cache_dir +
+                                        "/model_uncompressed.txt";
+  const std::string cmp_path =
+      cfg.model_cache_dir.empty() ? ""
+                                  : cfg.model_cache_dir +
+                                        "/model_compressed.txt";
+  const std::string fp_path =
+      cfg.model_cache_dir.empty() ? ""
+                                  : cfg.model_cache_dir +
+                                        "/model_corpus_fingerprint.txt";
+  const std::string fingerprint = corpusFingerprint(all);
+  const auto fingerprint_matches = [&] {
+    std::ifstream is(fp_path);
+    std::string stored;
+    return is && std::getline(is, stored) && stored == fingerprint;
+  };
+
+  if (!unc_path.empty() && std::filesystem::exists(unc_path) &&
+      std::filesystem::exists(cmp_path) && fingerprint_matches()) {
+    try {
+      sys.uncompressed = std::make_shared<SsmModel>(loadModel(unc_path));
+      sys.compressed = std::make_shared<SsmModel>(loadModel(cmp_path));
+      sys.uncompressed_summary.decision_accuracy =
+          sys.uncompressed->decisionAccuracy(sys.holdout);
+      sys.uncompressed_summary.calibrator_mape =
+          sys.uncompressed->calibratorMape(sys.holdout);
+      sys.uncompressed_summary.flops = sys.uncompressed->flops();
+      sys.prune_report.after_finetune.decision_accuracy =
+          sys.compressed->decisionAccuracy(sys.holdout);
+      sys.prune_report.after_finetune.calibrator_mape =
+          sys.compressed->calibratorMape(sys.holdout);
+      sys.prune_report.after_finetune.flops = sys.compressed->flops();
+      sys.prune_report.decision.flops_after =
+          sys.compressed->decisionNet().flops();
+      sys.prune_report.decision.weight_sparsity =
+          sys.compressed->decisionNet().sparsity();
+      sys.prune_report.decision.neurons_removed =
+          deadHiddenNeurons(sys.compressed->decisionNet());
+      sys.prune_report.calibrator.flops_after =
+          sys.compressed->calibratorNet().flops();
+      sys.prune_report.calibrator.weight_sparsity =
+          sys.compressed->calibratorNet().sparsity();
+      sys.prune_report.calibrator.neurons_removed =
+          deadHiddenNeurons(sys.compressed->calibratorNet());
+      return sys;
+    } catch (const std::exception&) {
+      // Corrupt cache: fall through and retrain.
+    }
+  }
+
+  // --- train from scratch ---------------------------------------------------
+  // Uncompressed §III.D model.
+  sys.uncompressed = std::make_shared<SsmModel>(cfg.model);
+  sys.uncompressed_summary = sys.uncompressed->train(sys.train, sys.holdout);
+
+  // Layer-wise-compressed architecture (§IV.B) + pruning (§IV.C).
+  SsmModelConfig ccfg = cfg.model;
+  const SsmModelConfig arch = SsmModelConfig::compressedArch();
+  ccfg.decision_hidden = arch.decision_hidden;
+  ccfg.calibrator_hidden = arch.calibrator_hidden;
+  sys.compressed = std::make_shared<SsmModel>(ccfg);
+  sys.compressed->train(sys.train, sys.holdout);
+  sys.prune_report =
+      pruneAndFinetune(*sys.compressed, sys.train, sys.holdout, cfg.prune);
+
+  if (!unc_path.empty()) {
+    saveModel(*sys.uncompressed, unc_path);
+    saveModel(*sys.compressed, cmp_path);
+    std::ofstream os(fp_path);
+    os << fingerprint << '\n';
+  }
+  return sys;
+}
+
+}  // namespace ssm

@@ -1,0 +1,49 @@
+// End-to-end SSMDVFS build-up (Fig. 2): data generation → training →
+// layer-wise compression → pruning. Shared by the experiment harnesses and
+// the examples so every artifact derives from the same corpus.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "compress/pruning.hpp"
+#include "core/ssm_model.hpp"
+#include "datagen/generator.hpp"
+#include "workloads/kernel_profile.hpp"
+
+namespace ssm {
+
+struct PipelineConfig {
+  GpuConfig gpu;
+  GenConfig gen;
+  SsmModelConfig model;            ///< uncompressed (§III.D) architecture
+  PruneParams prune;               ///< the paper's (0.6, 0.9)
+  /// Corpus workloads; empty = trainingWorkloads() (the §V.A training set).
+  std::vector<KernelProfile> workloads;
+  double holdout_frac = 0.25;
+  std::uint64_t split_seed = 0x5117ULL;
+  /// When non-empty, the generated dataset is cached at this CSV path.
+  std::string dataset_cache_path;
+  /// When non-empty, trained models are cached in this directory
+  /// (model_uncompressed.txt / model_compressed.txt) so that every bench
+  /// binary shares one training run.
+  std::string model_cache_dir;
+};
+
+struct FullSystem {
+  Dataset train;
+  Dataset holdout;
+  std::shared_ptr<SsmModel> uncompressed;
+  SsmTrainSummary uncompressed_summary;
+  std::shared_ptr<SsmModel> compressed;  ///< 5x12 arch + (0.6,0.9) pruning
+  ModelPruneReport prune_report;
+};
+
+/// Builds the complete system from the training workloads (or a caller-
+/// supplied corpus). Deterministic for a fixed config.
+[[nodiscard]] FullSystem buildFullSystem(const PipelineConfig& cfg);
+
+/// Default pipeline configuration used by all §V experiments.
+[[nodiscard]] PipelineConfig defaultPipelineConfig();
+
+}  // namespace ssm

@@ -1,0 +1,151 @@
+#include "compress/pruning.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace ssm {
+
+void magnitudePruneTo(Mlp& net, double target_sparsity) {
+  SSM_CHECK(target_sparsity >= 0.0 && target_sparsity <= 1.0,
+            "sparsity must be in [0,1]");
+  // Collect live magnitudes and total weight count.
+  std::vector<double> magnitudes;
+  std::size_t total = 0;
+  for (std::size_t l = 0; l < net.layerCount(); ++l) {
+    const auto w = net.layer(l).weights().flat();
+    const auto m = net.layer(l).mask().flat();
+    total += w.size();
+    for (std::size_t i = 0; i < w.size(); ++i)
+      if (m[i] != 0.0) magnitudes.push_back(std::abs(w[i]));
+  }
+  if (total == 0) return;
+  const auto target_zeros =
+      static_cast<std::size_t>(target_sparsity * static_cast<double>(total));
+  const std::size_t current_zeros = total - magnitudes.size();
+  if (target_zeros <= current_zeros || magnitudes.empty()) return;
+  const std::size_t k = target_zeros - current_zeros;  // live weights to cut
+
+  std::nth_element(magnitudes.begin(),
+                   magnitudes.begin() + static_cast<std::ptrdiff_t>(
+                                            std::min(k, magnitudes.size()) - 1),
+                   magnitudes.end());
+  const double threshold =
+      magnitudes[std::min(k, magnitudes.size()) - 1];
+  for (std::size_t l = 0; l < net.layerCount(); ++l) {
+    auto w = net.layer(l).weights().flat();
+    auto m = net.layer(l).mask().flat();
+    for (std::size_t i = 0; i < w.size(); ++i)
+      if (m[i] != 0.0 && std::abs(w[i]) <= threshold) m[i] = 0.0;
+  }
+  net.applyMasks();
+}
+
+int neuronPrune(Mlp& net, double x2) {
+  SSM_CHECK(x2 >= 0.0 && x2 <= 1.0, "x2 must be in [0,1]");
+  int removed = 0;
+  // Hidden neuron j of layer l is removed if >= x2 of its incoming weights
+  // are zero: mask incoming row j (layer l) and outgoing column j (l+1).
+  for (std::size_t l = 0; l + 1 < net.layerCount(); ++l) {
+    DenseLayer& layer = net.layer(l);
+    DenseLayer& next = net.layer(l + 1);
+    Matrix& mask = layer.mask();
+    Matrix& next_mask = next.mask();
+    for (int j = 0; j < layer.outDim(); ++j) {
+      int zeros = 0;
+      for (int i = 0; i < layer.inDim(); ++i)
+        zeros += mask(static_cast<std::size_t>(j),
+                      static_cast<std::size_t>(i)) == 0.0;
+      const double zero_frac =
+          static_cast<double>(zeros) / static_cast<double>(layer.inDim());
+      if (zero_frac >= x2) {
+        ++removed;
+        for (int i = 0; i < layer.inDim(); ++i)
+          mask(static_cast<std::size_t>(j), static_cast<std::size_t>(i)) = 0.0;
+        for (int o = 0; o < next.outDim(); ++o)
+          next_mask(static_cast<std::size_t>(o),
+                    static_cast<std::size_t>(j)) = 0.0;
+      }
+    }
+  }
+  net.applyMasks();
+  return removed;
+}
+
+PruneOutcome pruneNetwork(Mlp& net, const PruneParams& params) {
+  SSM_CHECK(params.x1 >= 0.0 && params.x1 <= 1.0, "x1 must be in [0,1]");
+  PruneOutcome out;
+  out.flops_before = net.flops();
+  magnitudePruneTo(net, params.x1);
+  out.neurons_removed = neuronPrune(net, params.x2);
+  out.flops_after = net.flops();
+  out.weight_sparsity = net.sparsity();
+  return out;
+}
+
+namespace {
+
+/// Fine-tunes both heads with the masks frozen.
+void finetune(SsmModel& model, const Dataset& train, int epochs) {
+  if (epochs <= 0) return;
+  TrainConfig ft = model.config().train;
+  ft.epochs = epochs;
+
+  const auto& feats = model.config().features;
+  Matrix dec_in = train.decisionInputs(feats);
+  model.standardizeDecision(dec_in);
+  AdamTrainer dec_tr(ft);
+  dec_tr.fitClassifier(model.decisionNet(), dec_in, train.decisionLabels());
+
+  const Matrix cal_in = model.calibratorTrainingMatrix(train);
+  const std::vector<double> targets = train.calibratorTargets();
+  AdamTrainer cal_tr(ft);
+  cal_tr.fitRegression(model.calibratorNet(), cal_in, targets);
+}
+
+}  // namespace
+
+ModelPruneReport pruneAndFinetune(SsmModel& model, const Dataset& train,
+                                  const Dataset& holdout,
+                                  const PruneParams& params,
+                                  int finetune_epochs) {
+  SSM_CHECK(model.trained(), "prune after training, not before");
+  SSM_CHECK(finetune_epochs >= 0, "finetune_epochs must be >= 0");
+  SSM_CHECK(params.steps >= 1, "need at least one pruning step");
+
+  ModelPruneReport report;
+  report.decision.flops_before = model.decisionNet().flops();
+  report.calibrator.flops_before = model.calibratorNet().flops();
+
+  // Iterative magnitude pruning: ramp the sparsity target and fine-tune
+  // between steps so surviving weights absorb the pruned ones' function.
+  const int per_step_epochs = finetune_epochs / params.steps;
+  for (int step = 1; step <= params.steps; ++step) {
+    const double target = params.x1 * static_cast<double>(step) /
+                          static_cast<double>(params.steps);
+    magnitudePruneTo(model.decisionNet(), target);
+    magnitudePruneTo(model.calibratorNet(), target);
+    finetune(model, train, per_step_epochs);
+  }
+
+  // Neuron-level stage at the final sparsity, then a last fine-tune.
+  report.decision.neurons_removed =
+      neuronPrune(model.decisionNet(), params.x2);
+  report.calibrator.neurons_removed =
+      neuronPrune(model.calibratorNet(), params.x2);
+  finetune(model, train, per_step_epochs);
+
+  report.decision.flops_after = model.decisionNet().flops();
+  report.decision.weight_sparsity = model.decisionNet().sparsity();
+  report.calibrator.flops_after = model.calibratorNet().flops();
+  report.calibrator.weight_sparsity = model.calibratorNet().sparsity();
+
+  report.after_finetune.decision_accuracy = model.decisionAccuracy(holdout);
+  report.after_finetune.calibrator_mape = model.calibratorMape(holdout);
+  report.after_finetune.flops = model.flops();
+  return report;
+}
+
+}  // namespace ssm

@@ -1,0 +1,58 @@
+// Two-stage pruning (§IV.C):
+//   stage 1 — fine-grained pruning: zero the fraction x1 of smallest-
+//             magnitude weights (per network);
+//   stage 2 — neuron-level pruning: a hidden neuron whose incoming weight
+//             vector is >= x2 zeros after stage 1 is removed entirely
+//             (incoming row and outgoing column masked).
+// The masks are persistent: fine-tuning afterwards never resurrects a
+// pruned weight. The paper's chosen point is (x1, x2) = (0.6, 0.9).
+#pragma once
+
+#include <vector>
+
+#include "core/ssm_model.hpp"
+#include "nn/mlp.hpp"
+
+namespace ssm {
+
+struct PruneParams {
+  double x1 = 0.6;  ///< fraction of smallest weights zeroed, in [0,1]
+  double x2 = 0.9;  ///< zero-fraction above which a neuron is removed
+  /// Magnitude pruning is applied gradually over this many steps with
+  /// fine-tuning in between (iterative pruning); 1 = single-shot.
+  int steps = 4;
+};
+
+struct PruneOutcome {
+  std::int64_t flops_before = 0;
+  std::int64_t flops_after = 0;
+  int neurons_removed = 0;
+  double weight_sparsity = 0.0;  ///< fraction of masked weights after both stages
+};
+
+/// Applies both pruning stages to one network in place (single shot:
+/// magnitude-prunes so the network reaches `x1` total weight sparsity,
+/// then removes neurons at the `x2` threshold).
+PruneOutcome pruneNetwork(Mlp& net, const PruneParams& params);
+
+/// Stage 1 only: magnitude-prunes until the network's total weight
+/// sparsity reaches `target_sparsity` (no-op if already sparser).
+void magnitudePruneTo(Mlp& net, double target_sparsity);
+
+/// Stage 2 only: removes hidden neurons whose incoming weight vectors are
+/// >= x2 zeros. Returns the number of neurons removed.
+int neuronPrune(Mlp& net, double x2);
+
+/// Prunes both heads of an SsmModel, then fine-tunes with the masks frozen
+/// and returns the post-fine-tune holdout metrics.
+struct ModelPruneReport {
+  PruneOutcome decision;
+  PruneOutcome calibrator;
+  SsmTrainSummary after_finetune;
+};
+ModelPruneReport pruneAndFinetune(SsmModel& model, const Dataset& train,
+                                  const Dataset& holdout,
+                                  const PruneParams& params,
+                                  int finetune_epochs = 2400);
+
+}  // namespace ssm

@@ -1,0 +1,147 @@
+#include "compress/rfe.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace ssm {
+
+namespace {
+
+/// Shuffles one column of a matrix (deterministically).
+void shuffleColumn(Matrix& m, std::size_t col, Rng& rng) {
+  for (std::size_t r = m.rows(); r > 1; --r) {
+    const auto j = static_cast<std::size_t>(rng.nextBelow(r));
+    std::swap(m(r - 1, col), m(j, col));
+  }
+}
+
+struct HoldoutViews {
+  Matrix dec_in;
+  std::vector<int> dec_labels;
+  Matrix cal_in;
+  std::vector<double> cal_targets;
+};
+
+HoldoutViews makeViews(const SsmModel& model, const Dataset& holdout) {
+  HoldoutViews v;
+  const auto& feats = model.config().features;
+  v.dec_in = holdout.decisionInputs(feats);
+  model.standardizeDecision(v.dec_in);
+  v.dec_labels = holdout.decisionLabels();
+  v.cal_in = holdout.calibratorInputs(feats, model.config().num_levels);
+  model.standardizeCalibrator(v.cal_in);
+  v.cal_targets = holdout.calibratorTargets();
+  return v;
+}
+
+}  // namespace
+
+SsmTrainSummary evaluateFeatureSet(const Dataset& train,
+                                   const Dataset& holdout,
+                                   const std::vector<CounterId>& features,
+                                   const SsmModelConfig& base_cfg) {
+  SsmModelConfig cfg = base_cfg;
+  cfg.features = features;
+  SsmModel model(cfg);
+  return model.train(train, holdout);
+}
+
+RfeResult runRfe(const Dataset& train, const Dataset& holdout,
+                 const RfeConfig& cfg) {
+  SSM_CHECK(cfg.target_features >= 1, "must keep at least one feature");
+  SSM_CHECK(!train.empty() && !holdout.empty(), "need train and holdout");
+
+  // Start from all 47 counters.
+  std::vector<CounterId> current;
+  current.reserve(kNumCounters);
+  for (int i = 0; i < kNumCounters; ++i)
+    current.push_back(static_cast<CounterId>(i));
+
+  const auto isProtected = [&](CounterId id) {
+    return std::find(cfg.always_keep.begin(), cfg.always_keep.end(), id) !=
+           cfg.always_keep.end();
+  };
+
+  RfeResult result;
+  Rng rng(cfg.seed);
+
+  SsmModelConfig model_cfg = cfg.model;
+  model_cfg.train = cfg.train;
+  model_cfg.features = current;
+  SsmModel model(model_cfg);
+  SsmTrainSummary summary = model.train(train, holdout);
+  result.full_accuracy = summary.decision_accuracy;
+  result.full_mape = summary.calibrator_mape;
+
+  // Elimination proceeds checkpoint to checkpoint: rank by permutation
+  // importance against the current model, drop down to the next checkpoint
+  // size, retrain, repeat. The final checkpoint is the target size.
+  std::vector<int> checkpoints = cfg.retrain_checkpoints;
+  checkpoints.push_back(cfg.target_features);
+  std::sort(checkpoints.begin(), checkpoints.end(), std::greater<>());
+  std::erase_if(checkpoints, [&](int c) {
+    return c >= kNumCounters || c < cfg.target_features;
+  });
+  checkpoints.erase(std::unique(checkpoints.begin(), checkpoints.end()),
+                    checkpoints.end());
+
+  for (int checkpoint : checkpoints) {
+    if (static_cast<int>(current.size()) <= checkpoint) continue;
+    // Permutation importance for every (unprotected) feature, against the
+    // current model.
+    const HoldoutViews base = makeViews(model, holdout);
+    const double base_acc =
+        classifierAccuracy(model.decisionNet(), base.dec_in, base.dec_labels);
+    const double base_mape = regressionMape(model.calibratorNet(), base.cal_in,
+                                            base.cal_targets);
+
+    std::vector<std::pair<CounterId, double>> scores;
+    scores.reserve(current.size());
+    for (std::size_t f = 0; f < current.size(); ++f) {
+      Matrix dec_perm = base.dec_in;
+      shuffleColumn(dec_perm, f, rng);
+      const double acc = classifierAccuracy(model.decisionNet(), dec_perm,
+                                            base.dec_labels);
+      Matrix cal_perm = base.cal_in;
+      shuffleColumn(cal_perm, f, rng);
+      const double mape = regressionMape(model.calibratorNet(), cal_perm,
+                                         base.cal_targets);
+      const double importance =
+          (base_acc - acc) + cfg.mape_weight * (mape - base_mape);
+      scores.emplace_back(current[f], importance);
+    }
+    result.importance = scores;
+
+    // Drop the least-important unprotected features down to the checkpoint.
+    std::vector<std::size_t> order(scores.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return scores[a].second < scores[b].second;
+    });
+
+    const int drop_count = static_cast<int>(current.size()) - checkpoint;
+    std::vector<CounterId> to_drop;
+    for (std::size_t i : order) {
+      if (static_cast<int>(to_drop.size()) >= drop_count) break;
+      if (!isProtected(scores[i].first)) to_drop.push_back(scores[i].first);
+    }
+    SSM_CHECK(!to_drop.empty(),
+              "all remaining features are protected; lower always_keep");
+    std::erase_if(current, [&](CounterId id) {
+      return std::find(to_drop.begin(), to_drop.end(), id) != to_drop.end();
+    });
+
+    model_cfg.features = current;
+    model = SsmModel(model_cfg);
+    summary = model.train(train, holdout);
+  }
+
+  result.selected = current;
+  result.selected_accuracy = summary.decision_accuracy;
+  result.selected_mape = summary.calibrator_mape;
+  return result;
+}
+
+}  // namespace ssm

@@ -1,0 +1,54 @@
+// Recursive Feature Elimination (§IV.A) over the 47 performance counters.
+//
+// Importance is measured by permutation: shuffle one feature column of the
+// holdout set and record the drop in Decision-maker accuracy (plus a small
+// weight on the Calibrator MAPE increase) — the paper's stated criterion.
+// Elimination proceeds in rounds; the model is retrained at configurable
+// feature-count checkpoints so rankings stay honest as the set shrinks.
+// Power (PPC) is a *direct* feature (§III.B) and is always retained.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "core/ssm_model.hpp"
+#include "counters/counters.hpp"
+#include "datagen/dataset.hpp"
+
+namespace ssm {
+
+struct RfeConfig {
+  int target_features = 5;
+  /// Feature counts at which the model is retrained from scratch.
+  std::vector<int> retrain_checkpoints{24, 12, 8, 5};
+  /// Features never eliminated (the paper's direct feature: PPC).
+  std::vector<CounterId> always_keep{CounterId::kPowerClusterW};
+  /// Relative weight of the MAPE increase in the importance score.
+  double mape_weight = 0.002;
+  std::uint64_t seed = 0xfe1ec7ULL;
+  TrainConfig train;
+  SsmModelConfig model;  ///< architecture used during selection
+};
+
+struct RfeResult {
+  std::vector<CounterId> selected;
+  /// Metrics of the all-47-feature reference model.
+  double full_accuracy = 0.0;
+  double full_mape = 0.0;
+  /// Metrics of the final model on the selected subset.
+  double selected_accuracy = 0.0;
+  double selected_mape = 0.0;
+  /// Final-round permutation importance of the surviving features.
+  std::vector<std::pair<CounterId, double>> importance;
+};
+
+[[nodiscard]] RfeResult runRfe(const Dataset& train, const Dataset& holdout,
+                               const RfeConfig& cfg);
+
+/// Trains a model on the given feature subset and reports holdout metrics
+/// (helper shared by RFE and the Table I bench).
+[[nodiscard]] SsmTrainSummary evaluateFeatureSet(
+    const Dataset& train, const Dataset& holdout,
+    const std::vector<CounterId>& features, const SsmModelConfig& base_cfg);
+
+}  // namespace ssm

@@ -1,0 +1,110 @@
+#include "core/ssm_governor.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace ssm {
+
+SsmdvfsGovernor::SsmdvfsGovernor(std::shared_ptr<const SsmModel> model,
+                                 SsmGovernorConfig cfg)
+    : model_(std::move(model)), cfg_(cfg), working_preset_(cfg.loss_preset) {
+  SSM_CHECK(model_ != nullptr, "governor needs a model");
+  SSM_CHECK(model_->trained(), "governor needs a *trained* model");
+  SSM_CHECK(cfg_.loss_preset >= 0.0, "preset must be non-negative");
+  SSM_CHECK(cfg_.preset_ceil_frac >= cfg_.preset_floor_frac,
+            "preset bounds inverted");
+}
+
+void SsmdvfsGovernor::setLossPreset(double preset) {
+  SSM_CHECK(preset >= 0.0, "preset must be non-negative");
+  // Preserve the calibration state proportionally where possible.
+  const double old = cfg_.loss_preset;
+  if (old > 1e-12) working_preset_ *= preset / old;
+  cfg_.loss_preset = preset;
+  working_preset_ = std::clamp(working_preset_,
+                               cfg_.preset_floor_frac * preset,
+                               cfg_.preset_ceil_frac * preset);
+}
+
+void SsmdvfsGovernor::reset() {
+  working_preset_ = cfg_.loss_preset;
+  predicted_insts_k_ = 0.0;
+  have_prediction_ = false;
+  ewma_loss_.clear();
+}
+
+VfLevel SsmdvfsGovernor::decide(const EpochObservation& obs) {
+  if (obs.cluster_done) return 0;  // idle cluster: park at the lowest point
+
+  // --- self-calibration against the previous prediction -------------------
+  if (cfg_.calibrate && have_prediction_ && predicted_insts_k_ > 1e-9) {
+    const double actual_k = static_cast<double>(obs.instructions) / 1000.0;
+    const double shortfall =
+        (predicted_insts_k_ - actual_k) / predicted_insts_k_;
+    if (shortfall > cfg_.pred_tolerance) {
+      // Slower than the model promised: tighten the working preset so the
+      // Decision-maker aims for a faster operating point.
+      working_preset_ -= cfg_.calib_gain * shortfall * cfg_.loss_preset;
+    } else {
+      // On track: drift back toward the user's original preset.
+      working_preset_ +=
+          cfg_.recover_rate * (cfg_.loss_preset - working_preset_);
+    }
+    working_preset_ = std::clamp(
+        working_preset_, cfg_.preset_floor_frac * cfg_.loss_preset,
+        cfg_.preset_ceil_frac * cfg_.loss_preset);
+  }
+
+  // --- decision for the next epoch ----------------------------------------
+  const double preset =
+      cfg_.calibrate ? working_preset_ : cfg_.loss_preset;
+  int level = model_->decideLevel(obs.counters, preset);
+
+  // --- calibrator assessment of the chosen level (§II) ---------------------
+  // Estimated next-epoch loss at level k: how much longer the same work
+  // takes than at the default point, from the Calibrator's instruction
+  // predictions. Estimates are EWMA-smoothed across epochs (regression
+  // noise is per-query independent) and the level is raised until the
+  // smoothed estimate fits the preset.
+  if (cfg_.calibrate && cfg_.calibrator_veto) {
+    const int default_level = model_->config().num_levels - 1;
+    const double i_ref =
+        model_->predictInstsK(obs.counters, cfg_.loss_preset, default_level);
+    ewma_loss_.resize(static_cast<std::size_t>(default_level) + 1, -1.0);
+    for (int k = 0; k < default_level; ++k) {
+      const double i_k =
+          model_->predictInstsK(obs.counters, cfg_.loss_preset, k);
+      const double fresh =
+          i_k > 1e-6 ? std::max(0.0, i_ref / i_k - 1.0) : 1.0;
+      double& slot = ewma_loss_[static_cast<std::size_t>(k)];
+      slot = slot < 0.0 ? fresh
+                        : cfg_.veto_ewma_alpha * fresh +
+                              (1.0 - cfg_.veto_ewma_alpha) * slot;
+    }
+    ewma_loss_[static_cast<std::size_t>(default_level)] = 0.0;
+    const double bound = preset + cfg_.veto_slack_frac * cfg_.loss_preset;
+    while (level < default_level &&
+           ewma_loss_[static_cast<std::size_t>(level)] > bound)
+      ++level;
+  }
+
+  // --- calibrator prediction for the next epoch (original preset, §III.C) -
+  predicted_insts_k_ =
+      model_->predictInstsK(obs.counters, cfg_.loss_preset, level);
+  have_prediction_ = true;
+  return level;
+}
+
+SsmGovernorFactory::SsmGovernorFactory(std::shared_ptr<const SsmModel> model,
+                                       SsmGovernorConfig cfg)
+    : model_(std::move(model)), cfg_(cfg) {
+  SSM_CHECK(model_ != nullptr && model_->trained(),
+            "factory needs a trained model");
+}
+
+std::unique_ptr<DvfsGovernor> SsmGovernorFactory::create(int) const {
+  return std::make_unique<SsmdvfsGovernor>(model_, cfg_);
+}
+
+}  // namespace ssm

@@ -1,0 +1,89 @@
+// The SSMDVFS runtime (§II, Fig. 1): per-cluster, every 10 µs epoch —
+//   1. compare the Calibrator's instruction prediction for the epoch that
+//      just finished against the actual count; tighten the working preset
+//      when the cluster ran slower than predicted, relax it back toward the
+//      original preset otherwise (self-calibration);
+//   2. feed the fresh counters + working preset to the Decision-maker to
+//      pick the next epoch's V/f level;
+//   3. ask the Calibrator (with the *original* preset, per §III.C) for the
+//      expected instruction count of the next epoch at that level.
+#pragma once
+
+#include <memory>
+
+#include "core/ssm_model.hpp"
+#include "gpusim/governor.hpp"
+
+namespace ssm {
+
+struct SsmGovernorConfig {
+  double loss_preset = 0.10;   ///< the user-facing performance-loss preset
+  bool calibrate = true;       ///< enable the §II self-calibration loop
+  /// Working-preset decrement per unit of relative under-prediction.
+  double calib_gain = 0.5;
+  /// Per-epoch recovery of the working preset toward the original.
+  double recover_rate = 0.25;
+  /// Relative slack on (predicted - actual)/predicted before tightening.
+  double pred_tolerance = 0.05;
+  /// Working preset bounds as fractions of the original preset.
+  double preset_floor_frac = 0.0;
+  double preset_ceil_frac = 1.5;
+  /// §II: the Calibrator "assesses whether the chosen frequency meets the
+  /// performance loss preset". The governor estimates the chosen level's
+  /// loss as I_ref/I_k - 1 from two Calibrator queries (I_ref at the
+  /// default level) and raises the level until the estimate fits the
+  /// working preset. Disabled together with `calibrate` in the ablation.
+  bool calibrator_veto = true;
+  /// Veto slack as a fraction of the original preset: the estimate carries
+  /// two regression errors, so only clear violations are overridden.
+  double veto_slack_frac = 0.25;
+  /// EWMA weight on fresh per-level loss estimates — single-epoch
+  /// regression noise otherwise lets an under-clocked level slip through
+  /// every few epochs.
+  double veto_ewma_alpha = 0.35;
+};
+
+class SsmdvfsGovernor final : public DvfsGovernor {
+ public:
+  SsmdvfsGovernor(std::shared_ptr<const SsmModel> model,
+                  SsmGovernorConfig cfg);
+
+  VfLevel decide(const EpochObservation& obs) override;
+  void reset() override;
+
+  [[nodiscard]] double workingPreset() const noexcept {
+    return working_preset_;
+  }
+
+  /// Re-targets the governor to a new user preset at runtime (used by the
+  /// power-cap scheduler). The self-calibrated working preset is clamped
+  /// into the new preset's bounds but otherwise preserved.
+  void setLossPreset(double preset);
+
+  [[nodiscard]] double lossPreset() const noexcept {
+    return cfg_.loss_preset;
+  }
+
+ private:
+  std::shared_ptr<const SsmModel> model_;
+  SsmGovernorConfig cfg_;
+  double working_preset_;
+  double predicted_insts_k_ = 0.0;
+  bool have_prediction_ = false;
+  /// Smoothed per-level loss estimates for the calibrator veto.
+  std::vector<double> ewma_loss_;
+};
+
+/// Creates one SsmdvfsGovernor per cluster, all sharing one trained model.
+class SsmGovernorFactory final : public GovernorFactory {
+ public:
+  SsmGovernorFactory(std::shared_ptr<const SsmModel> model,
+                     SsmGovernorConfig cfg);
+  std::unique_ptr<DvfsGovernor> create(int cluster_id) const override;
+
+ private:
+  std::shared_ptr<const SsmModel> model_;
+  SsmGovernorConfig cfg_;
+};
+
+}  // namespace ssm

@@ -1,0 +1,172 @@
+#include "core/ssm_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace ssm {
+
+namespace {
+
+constexpr const char* kMagic = "ssmdvfs-model-v1";
+
+void writeVec(std::ostream& os, std::span<const double> v) {
+  os << v.size();
+  for (double x : v) os << ' ' << x;
+  os << '\n';
+}
+
+std::vector<double> readVec(std::istream& is) {
+  std::size_t n = 0;
+  if (!(is >> n)) throw DataError("model stream: expected vector length");
+  std::vector<double> v(n);
+  for (auto& x : v)
+    if (!(is >> x)) throw DataError("model stream: truncated vector");
+  return v;
+}
+
+void writeNet(std::ostream& os, const Mlp& net) {
+  os << net.layerCount() << '\n';
+  for (std::size_t l = 0; l < net.layerCount(); ++l) {
+    const DenseLayer& layer = net.layer(l);
+    os << layer.inDim() << ' ' << layer.outDim() << '\n';
+    writeVec(os, layer.weights().flat());
+    writeVec(os, layer.bias());
+    writeVec(os, layer.mask().flat());
+  }
+}
+
+void readNetInto(std::istream& is, Mlp& net) {
+  std::size_t layers = 0;
+  if (!(is >> layers) || layers != net.layerCount())
+    throw DataError("model stream: layer count mismatch");
+  for (std::size_t l = 0; l < layers; ++l) {
+    int in = 0;
+    int out = 0;
+    if (!(is >> in >> out) || in != net.layer(l).inDim() ||
+        out != net.layer(l).outDim())
+      throw DataError("model stream: layer shape mismatch");
+    const auto w = readVec(is);
+    const auto b = readVec(is);
+    const auto m = readVec(is);
+    DenseLayer& layer = net.layer(l);
+    if (w.size() != layer.weights().size() || b.size() != layer.bias().size() ||
+        m.size() != layer.mask().size())
+      throw DataError("model stream: parameter size mismatch");
+    std::copy(w.begin(), w.end(), layer.weights().flat().begin());
+    std::copy(b.begin(), b.end(), layer.bias().begin());
+    std::copy(m.begin(), m.end(), layer.mask().flat().begin());
+  }
+  net.applyMasks();
+}
+
+}  // namespace
+
+void serializeModel(const SsmModel& model, std::ostream& os) {
+  SSM_CHECK(model.trained(), "refusing to serialize an untrained model");
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << kMagic << '\n';
+
+  const SsmModelConfig& cfg = model.cfg_;
+  os << "features " << cfg.features.size();
+  for (CounterId id : cfg.features) os << ' ' << static_cast<int>(id);
+  os << '\n';
+  os << "levels " << cfg.num_levels << '\n';
+  os << "decode_theta " << cfg.decode_theta << '\n';
+  os << "corrupt " << cfg.calibrator_loss_corrupt_prob << ' '
+     << cfg.corrupt_loss_max << '\n';
+  os << "init_seed " << cfg.init_seed << '\n';
+  os << "train " << cfg.train.epochs << ' ' << cfg.train.learning_rate
+     << '\n';
+  os << "decision_hidden " << cfg.decision_hidden.size();
+  for (int h : cfg.decision_hidden) os << ' ' << h;
+  os << '\n';
+  os << "calibrator_hidden " << cfg.calibrator_hidden.size();
+  for (int h : cfg.calibrator_hidden) os << ' ' << h;
+  os << '\n';
+
+  os << "standardizer ";
+  writeVec(os, model.standardizer_.mean);
+  writeVec(os, model.standardizer_.inv_std);
+  os << "decision\n";
+  writeNet(os, model.decision_);
+  os << "calibrator\n";
+  writeNet(os, model.calibrator_);
+}
+
+SsmModel deserializeModel(std::istream& is) {
+  std::string token;
+  if (!(is >> token) || token != kMagic)
+    throw DataError("not an ssmdvfs model stream");
+
+  SsmModelConfig cfg;
+  const auto expect = [&](const char* name) {
+    if (!(is >> token) || token != name)
+      throw DataError(std::string("model stream: expected '") + name + "'");
+  };
+
+  expect("features");
+  std::size_t nf = 0;
+  is >> nf;
+  cfg.features.clear();
+  for (std::size_t i = 0; i < nf; ++i) {
+    int id = 0;
+    if (!(is >> id) || id < 0 || id >= kNumCounters)
+      throw DataError("model stream: bad feature id");
+    cfg.features.push_back(static_cast<CounterId>(id));
+  }
+  expect("levels");
+  is >> cfg.num_levels;
+  expect("decode_theta");
+  is >> cfg.decode_theta;
+  expect("corrupt");
+  is >> cfg.calibrator_loss_corrupt_prob >> cfg.corrupt_loss_max;
+  expect("init_seed");
+  is >> cfg.init_seed;
+  expect("train");
+  is >> cfg.train.epochs >> cfg.train.learning_rate;
+  expect("decision_hidden");
+  std::size_t nd = 0;
+  is >> nd;
+  cfg.decision_hidden.assign(nd, 0);
+  for (auto& h : cfg.decision_hidden) is >> h;
+  expect("calibrator_hidden");
+  std::size_t nc = 0;
+  is >> nc;
+  cfg.calibrator_hidden.assign(nc, 0);
+  for (auto& h : cfg.calibrator_hidden) is >> h;
+  if (!is) throw DataError("model stream: malformed header");
+
+  SsmModel model(cfg);
+  expect("standardizer");
+  model.standardizer_.mean = readVec(is);
+  model.standardizer_.inv_std = readVec(is);
+  if (model.standardizer_.mean.size() != cfg.features.size() + 1)
+    throw DataError("model stream: standardizer width mismatch");
+  expect("decision");
+  readNetInto(is, model.decision_);
+  expect("calibrator");
+  readNetInto(is, model.calibrator_);
+  model.trained_ = true;
+  return model;
+}
+
+void saveModel(const SsmModel& model, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw DataError("cannot open for writing: " + path);
+  serializeModel(model, os);
+  if (!os) throw DataError("write failed: " + path);
+}
+
+SsmModel loadModel(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw DataError("cannot open for reading: " + path);
+  return deserializeModel(is);
+}
+
+}  // namespace ssm

@@ -1,0 +1,22 @@
+// Text serialization of trained SSMDVFS models.
+//
+// The experiment harnesses cache trained models in the artifact directory
+// so that every bench binary can share one training run. The format is a
+// line-oriented, versioned text dump (exact decimal round trip via
+// max_digits10 precision).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/ssm_model.hpp"
+
+namespace ssm {
+
+void serializeModel(const SsmModel& model, std::ostream& os);
+[[nodiscard]] SsmModel deserializeModel(std::istream& is);
+
+void saveModel(const SsmModel& model, const std::string& path);
+[[nodiscard]] SsmModel loadModel(const std::string& path);
+
+}  // namespace ssm

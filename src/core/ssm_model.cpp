@@ -1,0 +1,161 @@
+#include "core/ssm_model.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace ssm {
+
+namespace {
+
+std::vector<int> buildDims(int input, const std::vector<int>& hidden,
+                           int output) {
+  std::vector<int> dims;
+  dims.reserve(hidden.size() + 2);
+  dims.push_back(input);
+  for (int h : hidden) dims.push_back(h);
+  dims.push_back(output);
+  return dims;
+}
+
+}  // namespace
+
+SsmModelConfig SsmModelConfig::compressedArch() {
+  SsmModelConfig cfg;
+  // §IV.B: "three fully connected layers for Decision-maker and two layers
+  // for Calibrator … each with 12 hidden neurons". Counting the output
+  // layer as an FC layer, that is two hidden layers + output for the
+  // Decision-maker and one hidden layer + output for the Calibrator.
+  cfg.decision_hidden = {12, 12};
+  cfg.calibrator_hidden = {12};
+  return cfg;
+}
+
+SsmModel::SsmModel(SsmModelConfig cfg)
+    : cfg_(std::move(cfg)),
+      decision_(buildDims(static_cast<int>(cfg_.features.size()) + 1,
+                          cfg_.decision_hidden, cfg_.num_levels),
+                Head::kSoftmaxClassifier, Rng(cfg_.init_seed)),
+      calibrator_(buildDims(static_cast<int>(cfg_.features.size()) + 1 +
+                                cfg_.num_levels,
+                            cfg_.calibrator_hidden, 1),
+                  Head::kRegression, Rng(cfg_.init_seed ^ 0x9e3779b9ULL)) {
+  SSM_CHECK(!cfg_.features.empty(), "at least one feature is required");
+  SSM_CHECK(cfg_.num_levels >= 2, "need at least two V/f levels");
+  SSM_CHECK(cfg_.decode_theta > 0.0 && cfg_.decode_theta <= 1.0,
+            "decode_theta must be in (0,1]");
+}
+
+void SsmModel::standardizeDecision(Matrix& m) const {
+  for (std::size_t r = 0; r < m.rows(); ++r) standardizer_.apply(m.row(r));
+}
+
+void SsmModel::standardizeCalibrator(Matrix& m) const {
+  const std::size_t width = standardizer_.mean.size();
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    standardizer_.apply(m.row(r).subspan(0, width));
+}
+
+Matrix SsmModel::calibratorTrainingMatrix(const Dataset& ds) const {
+  Matrix cal_in = ds.calibratorInputs(cfg_.features, cfg_.num_levels);
+  // Corrupt the loss column (pre-standardization) so the Calibrator stays
+  // accurate for preset values outside the realized-loss manifold.
+  if (cfg_.calibrator_loss_corrupt_prob > 0.0) {
+    Rng corrupt(cfg_.init_seed ^ 0xc022u);
+    const std::size_t loss_col = cfg_.features.size();
+    for (std::size_t r = 0; r < cal_in.rows(); ++r)
+      if (corrupt.nextBernoulli(cfg_.calibrator_loss_corrupt_prob))
+        cal_in(r, loss_col) = corrupt.nextDouble() * cfg_.corrupt_loss_max;
+  }
+  standardizeCalibrator(cal_in);
+  return cal_in;
+}
+
+SsmTrainSummary SsmModel::train(const Dataset& train_set,
+                                const Dataset& holdout) {
+  SSM_CHECK(!train_set.empty(), "empty training set");
+  Matrix dec_in = train_set.decisionInputs(cfg_.features);
+  standardizer_ = Standardizer::fit(dec_in.flat(), dec_in.cols());
+  standardizeDecision(dec_in);
+  const std::vector<int> labels = train_set.decisionLabels();
+
+  const Matrix cal_in = calibratorTrainingMatrix(train_set);
+  const std::vector<double> targets = train_set.calibratorTargets();
+
+  AdamTrainer dec_trainer(cfg_.train);
+  dec_trainer.fitClassifier(decision_, dec_in, labels);
+  AdamTrainer cal_trainer(cfg_.train);
+  cal_trainer.fitRegression(calibrator_, cal_in, targets);
+  trained_ = true;
+
+  SsmTrainSummary summary;
+  const Dataset& eval = holdout.empty() ? train_set : holdout;
+  summary.decision_accuracy = decisionAccuracy(eval);
+  summary.calibrator_mape = calibratorMape(eval);
+  summary.flops = flops();
+  return summary;
+}
+
+std::vector<double> SsmModel::decisionRow(const CounterBlock& counters,
+                                          double loss) const {
+  std::vector<double> row;
+  row.reserve(cfg_.features.size() + 1);
+  for (CounterId id : cfg_.features) row.push_back(counters.get(id));
+  row.push_back(loss);
+  if (trained_) standardizer_.apply(row);
+  return row;
+}
+
+std::vector<double> SsmModel::calibratorRow(const CounterBlock& counters,
+                                            double loss, int level) const {
+  SSM_CHECK(level >= 0 && level < cfg_.num_levels, "level out of range");
+  std::vector<double> row = decisionRow(counters, loss);
+  row.resize(cfg_.features.size() + 1 +
+                 static_cast<std::size_t>(cfg_.num_levels),
+             0.0);
+  row[cfg_.features.size() + 1 + static_cast<std::size_t>(level)] = 1.0;
+  return row;
+}
+
+std::vector<double> SsmModel::decisionDistribution(
+    const CounterBlock& counters, double loss_preset) const {
+  return decision_.forward(decisionRow(counters, loss_preset));
+}
+
+int SsmModel::decideLevel(const CounterBlock& counters,
+                          double loss_preset) const {
+  const auto probs = decisionDistribution(counters, loss_preset);
+  const double max_p = *std::max_element(probs.begin(), probs.end());
+  // Minimum-frequency decode: the lowest level whose probability is within
+  // decode_theta of the winner. With theta = 1 this is argmax.
+  for (std::size_t l = 0; l < probs.size(); ++l)
+    if (probs[l] >= cfg_.decode_theta * max_p) return static_cast<int>(l);
+  return static_cast<int>(probs.size()) - 1;
+}
+
+double SsmModel::predictInstsK(const CounterBlock& counters,
+                               double loss_preset, int level) const {
+  return calibrator_.predictScalar(calibratorRow(counters, loss_preset,
+                                                 level));
+}
+
+double SsmModel::decisionAccuracy(const Dataset& ds) const {
+  if (ds.empty()) return 0.0;
+  Matrix in = ds.decisionInputs(cfg_.features);
+  standardizeDecision(in);
+  return classifierAccuracy(decision_, in, ds.decisionLabels());
+}
+
+double SsmModel::calibratorMape(const Dataset& ds) const {
+  if (ds.empty()) return 0.0;
+  Matrix in = ds.calibratorInputs(cfg_.features, cfg_.num_levels);
+  standardizeCalibrator(in);
+  const std::vector<double> targets = ds.calibratorTargets();
+  return regressionMape(calibrator_, in, targets);
+}
+
+std::int64_t SsmModel::flops() const noexcept {
+  return decision_.flops() + calibrator_.flops();
+}
+
+}  // namespace ssm

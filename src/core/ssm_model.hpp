@@ -1,0 +1,142 @@
+// The combined SSMDVFS network (§III.C–D): Decision-maker + Calibrator.
+//
+// Decision-maker: classifier mapping (features…, performance-loss input) to
+// the V/f level whose scaling-window excursion produced that loss — at
+// inference time the loss input is the *preset*, so the network returns the
+// level expected to meet it.
+//
+// Calibrator: regressor mapping (features…, original preset, one-hot level)
+// to the instructions (in thousands) the cluster will execute in the next
+// epoch at that level; the runtime compares this against the actual count
+// to self-calibrate the working preset.
+//
+// The paper combines both into one lightweight network; we keep the two
+// heads as two small MLPs sharing the feature pipeline (including one
+// Standardizer fit on the training data), which matches the published
+// layer/FLOP accounting (5 FC layers for the Decision-maker head, 4 for the
+// Calibrator, Table II).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "counters/counters.hpp"
+#include "datagen/dataset.hpp"
+#include "nn/mlp.hpp"
+#include "nn/trainer.hpp"
+
+namespace ssm {
+
+struct SsmModelConfig {
+  /// Counters used as model features (default: the Table I set).
+  std::vector<CounterId> features{kTable1Features.begin(),
+                                  kTable1Features.end()};
+  std::vector<int> decision_hidden{20, 20, 20, 20, 20};  ///< 5 FC layers
+  std::vector<int> calibrator_hidden{20, 20, 20, 20};    ///< 4 FC layers
+  int num_levels = 6;
+  std::uint64_t init_seed = 0x55111ULL;
+  /// Defaults tuned on the generated corpus; small nets need the longer
+  /// budget and the step-decayed 3e-3 Adam rate.
+  TrainConfig train{.epochs = 800, .learning_rate = 3e-3};
+
+  /// Deployment decode (§II "select the minimum frequency that satisfies
+  /// the preset"): among classes with probability >= decode_theta * max
+  /// probability, pick the lowest level. decode_theta = 1 is pure argmax.
+  double decode_theta = 0.5;
+
+  /// Input-corruption regularization on the Calibrator's loss column: with
+  /// this probability a training row's loss input is replaced by a uniform
+  /// draw from [0, corrupt_loss_max]. §III.C feeds the *preset* (not the
+  /// realized loss) at inference, which lands outside the training manifold
+  /// for frequency-insensitive workloads whose realized losses are all ~0;
+  /// the corruption teaches the Calibrator to predict from (features,
+  /// level) regardless of the loss input's value.
+  double calibrator_loss_corrupt_prob = 0.5;
+  double corrupt_loss_max = 0.5;
+
+  /// The paper's compressed architecture (§IV.B): 3 FC layers for the
+  /// Decision-maker and 2 for the Calibrator, 12 hidden neurons each.
+  static SsmModelConfig compressedArch();
+};
+
+/// Training-result summary.
+struct SsmTrainSummary {
+  double decision_accuracy = 0.0;   ///< holdout accuracy, [0,1]
+  double calibrator_mape = 0.0;     ///< holdout MAPE, percent
+  std::int64_t flops = 0;
+};
+
+class SsmModel {
+ public:
+  explicit SsmModel(SsmModelConfig cfg = {});
+
+  /// Fits the standardizer and both heads on `train_set`; computes holdout
+  /// metrics on `holdout` (pass the training set again if no holdout).
+  SsmTrainSummary train(const Dataset& train_set, const Dataset& holdout);
+
+  // -- inference ----------------------------------------------------------
+
+  /// The minimum-frequency decode over the Decision-maker's distribution.
+  [[nodiscard]] int decideLevel(const CounterBlock& counters,
+                                double loss_preset) const;
+
+  /// Full class distribution (for tests/analysis).
+  [[nodiscard]] std::vector<double> decisionDistribution(
+      const CounterBlock& counters, double loss_preset) const;
+
+  /// Calibrator prediction: next-epoch instructions (thousands) at `level`.
+  [[nodiscard]] double predictInstsK(const CounterBlock& counters,
+                                     double loss_preset, int level) const;
+
+  // -- evaluation ---------------------------------------------------------
+
+  [[nodiscard]] double decisionAccuracy(const Dataset& ds) const;
+  [[nodiscard]] double calibratorMape(const Dataset& ds) const;
+
+  // -- introspection ------------------------------------------------------
+
+  [[nodiscard]] std::int64_t flops() const noexcept;
+  [[nodiscard]] const SsmModelConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] Mlp& decisionNet() noexcept { return decision_; }
+  [[nodiscard]] const Mlp& decisionNet() const noexcept { return decision_; }
+  [[nodiscard]] Mlp& calibratorNet() noexcept { return calibrator_; }
+  [[nodiscard]] const Mlp& calibratorNet() const noexcept {
+    return calibrator_;
+  }
+  [[nodiscard]] bool trained() const noexcept { return trained_; }
+
+  /// Builds the standardized decision-input row for raw counters + loss.
+  [[nodiscard]] std::vector<double> decisionRow(const CounterBlock& counters,
+                                                double loss) const;
+  /// Builds the standardized calibrator-input row.
+  [[nodiscard]] std::vector<double> calibratorRow(const CounterBlock& counters,
+                                                  double loss,
+                                                  int level) const;
+
+  /// Standardizes a decision design matrix in place (first F+1 columns of a
+  /// calibrator matrix use the same transform).
+  void standardizeDecision(Matrix& m) const;
+  void standardizeCalibrator(Matrix& m) const;
+
+  /// Builds the Calibrator's *training* design matrix: one-hot levels,
+  /// loss-column corruption, standardization. Used by train() and by the
+  /// pruning fine-tune so both see the same input distribution.
+  [[nodiscard]] Matrix calibratorTrainingMatrix(const Dataset& ds) const;
+
+ private:
+  friend void serializeModel(const SsmModel&, std::ostream&);
+  friend SsmModel deserializeModel(std::istream&);
+
+  SsmModelConfig cfg_;
+  Mlp decision_;
+  Mlp calibrator_;
+  Standardizer standardizer_;  ///< over features + loss (width F+1)
+  bool trained_ = false;
+};
+
+void serializeModel(const SsmModel& model, std::ostream& os);
+[[nodiscard]] SsmModel deserializeModel(std::istream& is);
+
+}  // namespace ssm

@@ -1,0 +1,174 @@
+#include "counters/counters.hpp"
+
+#include <algorithm>
+
+namespace ssm {
+
+namespace {
+
+struct CounterInfo {
+  std::string_view name;
+  CounterCategory category;
+  std::string_view description;
+};
+
+constexpr std::array<CounterInfo, kNumCounters> kInfo = {{
+    {"inst_total", CounterCategory::kInstruction,
+     "warp instructions issued in the epoch"},
+    {"inst_ialu", CounterCategory::kInstruction,
+     "integer ALU instructions issued"},
+    {"inst_falu", CounterCategory::kInstruction,
+     "floating-point ALU instructions issued"},
+    {"inst_sfu", CounterCategory::kInstruction,
+     "special-function-unit instructions issued"},
+    {"inst_load", CounterCategory::kInstruction,
+     "global/local load instructions issued"},
+    {"inst_store", CounterCategory::kInstruction,
+     "store instructions issued"},
+    {"inst_shared", CounterCategory::kInstruction,
+     "shared-memory instructions issued"},
+    {"inst_branch", CounterCategory::kInstruction,
+     "branch instructions issued"},
+    {"ipc", CounterCategory::kInstruction,
+     "instructions per core cycle over the epoch"},
+    {"inst_per_warp", CounterCategory::kInstruction,
+     "mean instructions issued per resident warp"},
+    {"issue_util", CounterCategory::kInstruction,
+     "issued slots / (issue width x cycles)"},
+    {"frac_compute", CounterCategory::kInstruction,
+     "compute (ialu+falu+sfu) share of instructions"},
+    {"frac_mem", CounterCategory::kInstruction,
+     "memory (load+store+shared) share of instructions"},
+    {"frac_branch", CounterCategory::kInstruction,
+     "branch share of instructions"},
+    {"stall_mem_load_cycles", CounterCategory::kStall,
+     "warp-cycles blocked on an outstanding load (MH from loads)"},
+    {"stall_mem_other_cycles", CounterCategory::kStall,
+     "warp-cycles blocked on stores/shared/fences (MH\\L)"},
+    {"stall_mem_total_cycles", CounterCategory::kStall,
+     "all memory-hazard warp-cycles (MH)"},
+    {"stall_control_cycles", CounterCategory::kStall,
+     "warp-cycles lost to divergence/branch resolve"},
+    {"stall_exec_dep_cycles", CounterCategory::kStall,
+     "warp-cycles waiting on an ALU producer"},
+    {"stall_no_ready_cycles", CounterCategory::kStall,
+     "cycles with zero issuable warps (exposed stall)"},
+    {"l1_read_access", CounterCategory::kStall,
+     "L1 data-cache read accesses"},
+    {"l1_read_miss", CounterCategory::kStall,
+     "L1 data-cache read misses (L1CRM)"},
+    {"l1_read_miss_rate", CounterCategory::kStall,
+     "L1 read misses / read accesses"},
+    {"l1_write_access", CounterCategory::kStall,
+     "L1 write accesses"},
+    {"l1_write_miss", CounterCategory::kStall,
+     "L1 write misses"},
+    {"l2_access", CounterCategory::kStall,
+     "L2 accesses (= L1 read misses)"},
+    {"l2_miss", CounterCategory::kStall,
+     "L2 misses (DRAM reads)"},
+    {"l2_miss_rate", CounterCategory::kStall,
+     "L2 misses / accesses"},
+    {"dram_reqs", CounterCategory::kStall,
+     "DRAM transactions issued"},
+    {"dram_bytes", CounterCategory::kStall,
+     "DRAM bytes moved"},
+    {"dram_util", CounterCategory::kStall,
+     "chip DRAM bandwidth utilisation [0,1]"},
+    {"mshr_full_events", CounterCategory::kStall,
+     "stalls because every MSHR was occupied"},
+    {"store_buf_full_events", CounterCategory::kStall,
+     "stalls on store-buffer back-pressure"},
+    {"avg_mem_latency_ns", CounterCategory::kStall,
+     "mean L2/DRAM latency observed (wall-clock ns)"},
+    {"stall_mem_frac", CounterCategory::kStall,
+     "memory-hazard warp-cycles / (cycles x warps)"},
+    {"stall_control_frac", CounterCategory::kStall,
+     "control-hazard warp-cycles / (cycles x warps)"},
+    {"stall_exec_frac", CounterCategory::kStall,
+     "exec-dependency warp-cycles / (cycles x warps)"},
+    {"power_cluster_w", CounterCategory::kPower,
+     "cluster power this epoch, watts (PPC)"},
+    {"power_dynamic_w", CounterCategory::kPower,
+     "dynamic component of cluster power, watts"},
+    {"power_leakage_w", CounterCategory::kPower,
+     "leakage component of cluster power, watts"},
+    {"energy_epoch_mj", CounterCategory::kPower,
+     "cluster energy this epoch, millijoules"},
+    {"avg_voltage", CounterCategory::kPower,
+     "cluster supply voltage, volts"},
+    {"freq_mhz", CounterCategory::kClock,
+     "cluster clock frequency, MHz"},
+    {"cycles_elapsed", CounterCategory::kClock,
+     "core cycles in the epoch"},
+    {"active_cycles", CounterCategory::kClock,
+     "cycles before the cluster retired its last warp"},
+    {"occupancy", CounterCategory::kClock,
+     "resident warps / warp slots"},
+    {"warps_done", CounterCategory::kClock,
+     "warps retired so far on this cluster"},
+}};
+
+}  // namespace
+
+std::string_view counterName(CounterId id) noexcept {
+  return kInfo[static_cast<std::size_t>(id)].name;
+}
+
+CounterCategory counterCategory(CounterId id) noexcept {
+  return kInfo[static_cast<std::size_t>(id)].category;
+}
+
+std::string_view counterDescription(CounterId id) noexcept {
+  return kInfo[static_cast<std::size_t>(id)].description;
+}
+
+void CounterBlock::finalizeDerived(Cycles cycles_in_epoch, int max_warps,
+                                   int issue_width) noexcept {
+  const double cycles =
+      std::max<double>(1.0, static_cast<double>(cycles_in_epoch));
+  const double inst = get(CounterId::kInstTotal);
+
+  set(CounterId::kIpc, inst / cycles);
+  set(CounterId::kInstPerWarp, inst / std::max(1, max_warps));
+  set(CounterId::kIssueUtil, inst / (cycles * std::max(1, issue_width)));
+
+  const double compute = get(CounterId::kInstIalu) +
+                         get(CounterId::kInstFalu) +
+                         get(CounterId::kInstSfu);
+  const double memish = get(CounterId::kInstLoad) +
+                        get(CounterId::kInstStore) +
+                        get(CounterId::kInstShared);
+  const double denom = std::max(1.0, inst);
+  set(CounterId::kFracCompute, compute / denom);
+  set(CounterId::kFracMem, memish / denom);
+  set(CounterId::kFracBranch, get(CounterId::kInstBranch) / denom);
+
+  set(CounterId::kStallMemTotalCycles,
+      get(CounterId::kStallMemLoadCycles) +
+          get(CounterId::kStallMemOtherCycles));
+
+  const double l1r = get(CounterId::kL1ReadAccess);
+  set(CounterId::kL1ReadMissRate,
+      l1r > 0.0 ? get(CounterId::kL1ReadMiss) / l1r : 0.0);
+  const double l2 = get(CounterId::kL2Access);
+  set(CounterId::kL2MissRate, l2 > 0.0 ? get(CounterId::kL2Miss) / l2 : 0.0);
+
+  set(CounterId::kStallMemFrac,
+      get(CounterId::kStallMemTotalCycles) / (cycles * max_warps));
+  set(CounterId::kStallControlFrac,
+      get(CounterId::kStallControlCycles) / (cycles * max_warps));
+  set(CounterId::kStallExecFrac,
+      get(CounterId::kStallExecDepCycles) / (cycles * max_warps));
+
+  set(CounterId::kCyclesElapsed, cycles);
+}
+
+std::array<double, 5> extractTable1Features(const CounterBlock& c) noexcept {
+  std::array<double, 5> out{};
+  for (std::size_t i = 0; i < kTable1Features.size(); ++i)
+    out[i] = c.get(kTable1Features[i]);
+  return out;
+}
+
+}  // namespace ssm

@@ -1,0 +1,101 @@
+#include "datagen/augment.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace ssm {
+
+Dataset filterByWorkload(const Dataset& ds,
+                         const std::vector<std::string>& names, bool keep) {
+  Dataset out;
+  for (const auto& p : ds.points()) {
+    const bool in_set =
+        std::find(names.begin(), names.end(), p.workload) != names.end();
+    if (in_set == keep) out.add(p);
+  }
+  return out;
+}
+
+namespace {
+std::uint64_t nameHash(const std::string& s) {
+  // FNV-1a: stable across platforms (std::hash is not).
+  std::uint64_t h = 14695981039346656037ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+}  // namespace
+
+std::pair<Dataset, Dataset> leaveWorkloadFoldOut(const Dataset& ds, int fold,
+                                                 int num_folds) {
+  SSM_CHECK(num_folds >= 2, "need at least two folds");
+  SSM_CHECK(fold >= 0 && fold < num_folds, "fold out of range");
+  Dataset train;
+  Dataset held;
+  for (const auto& p : ds.points()) {
+    const bool held_out =
+        nameHash(p.workload) % static_cast<std::uint64_t>(num_folds) ==
+        static_cast<std::uint64_t>(fold);
+    (held_out ? held : train).add(p);
+  }
+  return {std::move(train), std::move(held)};
+}
+
+Dataset balanceLabels(const Dataset& ds, std::uint64_t seed) {
+  if (ds.empty()) return {};
+  int max_level = 0;
+  for (const auto& p : ds.points()) max_level = std::max(max_level, p.level);
+  const auto counts = labelCounts(ds, max_level + 1);
+  int floor_count = -1;
+  for (int c : counts)
+    if (c > 0 && (floor_count < 0 || c < floor_count)) floor_count = c;
+  if (floor_count <= 0) return ds;
+
+  // Deterministic shuffle per label, then take the first floor_count.
+  std::vector<std::vector<std::size_t>> by_label(
+      static_cast<std::size_t>(max_level + 1));
+  for (std::size_t i = 0; i < ds.size(); ++i)
+    by_label[static_cast<std::size_t>(ds.points()[i].level)].push_back(i);
+  Rng rng(seed);
+  std::vector<std::size_t> chosen;
+  for (auto& bucket : by_label) {
+    rng.shuffle(bucket);
+    for (std::size_t i = 0;
+         i < std::min<std::size_t>(bucket.size(),
+                                   static_cast<std::size_t>(floor_count));
+         ++i)
+      chosen.push_back(bucket[i]);
+  }
+  std::sort(chosen.begin(), chosen.end());  // keep original order
+  Dataset out;
+  for (std::size_t i : chosen) out.add(ds.points()[i]);
+  return out;
+}
+
+Dataset injectCounterNoise(const Dataset& ds, double sigma,
+                           std::uint64_t seed) {
+  SSM_CHECK(sigma >= 0.0, "sigma must be non-negative");
+  Rng rng(seed);
+  Dataset out;
+  for (const auto& p : ds.points()) {
+    DataPoint q = p;
+    for (auto& v : q.counters) v *= 1.0 + rng.nextGaussian(0.0, sigma);
+    out.add(std::move(q));
+  }
+  return out;
+}
+
+std::vector<int> labelCounts(const Dataset& ds, int num_levels) {
+  SSM_CHECK(num_levels >= 1, "num_levels must be positive");
+  std::vector<int> counts(static_cast<std::size_t>(num_levels), 0);
+  for (const auto& p : ds.points()) {
+    SSM_CHECK(p.level >= 0 && p.level < num_levels, "label out of range");
+    ++counts[static_cast<std::size_t>(p.level)];
+  }
+  return counts;
+}
+
+}  // namespace ssm

@@ -1,0 +1,41 @@
+// Dataset manipulation utilities: balancing, filtering, noise injection.
+//
+// Practical helpers around the §III.A corpus. Balancing matters when
+// custom breakpoint schedules skew the label distribution; counter-noise
+// injection is the standard robustness check for a model that will consume
+// real (noisy) hardware counters; filtering supports leave-one-workload-out
+// experiments.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "datagen/dataset.hpp"
+
+namespace ssm {
+
+/// Keeps only points whose workload is (or is not) in `names`.
+[[nodiscard]] Dataset filterByWorkload(const Dataset& ds,
+                                       const std::vector<std::string>& names,
+                                       bool keep = true);
+
+/// Splits into (fold != k, fold == k) by workload name hash — a
+/// deterministic leave-group-out partition with `num_folds` folds.
+[[nodiscard]] std::pair<Dataset, Dataset> leaveWorkloadFoldOut(
+    const Dataset& ds, int fold, int num_folds);
+
+/// Downsamples so every level has at most as many points as the rarest
+/// level (deterministic given seed). Returns a label-balanced corpus.
+[[nodiscard]] Dataset balanceLabels(const Dataset& ds, std::uint64_t seed);
+
+/// Adds multiplicative Gaussian noise (sigma relative) to every counter of
+/// every point — emulates real counter jitter. Losses/labels untouched.
+[[nodiscard]] Dataset injectCounterNoise(const Dataset& ds, double sigma,
+                                         std::uint64_t seed);
+
+/// Per-label counts (size num_levels).
+[[nodiscard]] std::vector<int> labelCounts(const Dataset& ds,
+                                           int num_levels = 6);
+
+}  // namespace ssm

@@ -1,0 +1,30 @@
+#include "datagen/cache.hpp"
+
+#include <exception>
+#include <filesystem>
+
+namespace ssm {
+
+std::string artifactDir() {
+  const std::filesystem::path dir = "ssm_artifacts";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir.string();
+}
+
+Dataset getOrGenerateDataset(const std::string& path,
+                             const std::function<Dataset()>& make) {
+  if (std::filesystem::exists(path)) {
+    try {
+      Dataset ds = Dataset::loadCsv(path);
+      if (!ds.empty()) return ds;
+    } catch (const std::exception&) {
+      // fall through and regenerate
+    }
+  }
+  Dataset ds = make();
+  ds.saveCsv(path);
+  return ds;
+}
+
+}  // namespace ssm

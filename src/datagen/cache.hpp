@@ -1,0 +1,24 @@
+// File-backed dataset cache shared by the experiment harnesses.
+//
+// Data generation simulates hundreds of replayed execution windows, so the
+// bench binaries cache the generated dataset (and benefit from a consistent
+// dataset across experiments, as the paper's single generated corpus does).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "datagen/dataset.hpp"
+
+namespace ssm {
+
+/// Returns the dataset stored at `path`, or produces it with `make`, saves
+/// it, and returns it. A corrupt/unreadable file is regenerated.
+[[nodiscard]] Dataset getOrGenerateDataset(
+    const std::string& path, const std::function<Dataset()>& make);
+
+/// Default artifact directory for cached datasets/results ("ssm_artifacts",
+/// created on demand in the current working directory).
+[[nodiscard]] std::string artifactDir();
+
+}  // namespace ssm

@@ -1,0 +1,101 @@
+#include "datagen/corpus_stats.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/check.hpp"
+#include "common/table.hpp"
+
+namespace ssm {
+
+bool CorpusStats::laddersMonotonic(double tolerance) const {
+  for (const auto& w : per_workload) {
+    for (std::size_t l = 0; l + 1 < w.per_level.size(); ++l) {
+      const auto& lo = w.per_level[l];
+      const auto& hi = w.per_level[l + 1];
+      if (lo.count == 0 || hi.count == 0) continue;
+      if (lo.mean_loss + tolerance < hi.mean_loss) return false;
+    }
+  }
+  return true;
+}
+
+CorpusStats computeCorpusStats(const Dataset& ds, int num_levels) {
+  SSM_CHECK(num_levels >= 2, "need at least two levels");
+  CorpusStats stats;
+  stats.num_levels = num_levels;
+  stats.total_samples = static_cast<int>(ds.size());
+  stats.label_fractions.assign(static_cast<std::size_t>(num_levels), 0.0);
+
+  std::map<std::string, WorkloadCorpusStats> by_workload;
+  for (const auto& p : ds.points()) {
+    SSM_CHECK(p.level >= 0 && p.level < num_levels,
+              "label outside num_levels");
+    auto& w = by_workload[p.workload];
+    if (w.per_level.empty()) {
+      w.workload = p.workload;
+      w.per_level.resize(static_cast<std::size_t>(num_levels));
+    }
+    auto& lvl = w.per_level[static_cast<std::size_t>(p.level)];
+    if (lvl.count == 0) {
+      lvl.min_loss = p.perf_loss;
+      lvl.max_loss = p.perf_loss;
+    } else {
+      lvl.min_loss = std::min(lvl.min_loss, p.perf_loss);
+      lvl.max_loss = std::max(lvl.max_loss, p.perf_loss);
+    }
+    ++lvl.count;
+    lvl.mean_loss += p.perf_loss;
+    lvl.mean_insts_k += p.insts_k;
+    ++w.samples;
+    stats.label_fractions[static_cast<std::size_t>(p.level)] += 1.0;
+    stats.max_loss = std::max(stats.max_loss, p.perf_loss);
+  }
+
+  for (auto& [name, w] : by_workload) {
+    for (auto& lvl : w.per_level) {
+      if (lvl.count == 0) continue;
+      lvl.mean_loss /= lvl.count;
+      lvl.mean_insts_k /= lvl.count;
+    }
+    w.sensitivity = w.per_level.front().count > 0
+                        ? w.per_level.front().mean_loss
+                        : 0.0;
+    stats.per_workload.push_back(w);
+  }
+  std::sort(stats.per_workload.begin(), stats.per_workload.end(),
+            [](const auto& a, const auto& b) {
+              return a.sensitivity > b.sensitivity;
+            });
+
+  if (stats.total_samples > 0)
+    for (double& f : stats.label_fractions) f /= stats.total_samples;
+  return stats;
+}
+
+void printCorpusStats(const CorpusStats& stats, std::ostream& os) {
+  os << "corpus: " << stats.total_samples << " samples, "
+     << stats.per_workload.size() << " workloads, max loss "
+     << Table::pct(stats.max_loss) << "\n";
+  os << "label balance:";
+  for (std::size_t l = 0; l < stats.label_fractions.size(); ++l)
+    os << "  L" << l << ' ' << Table::pct(stats.label_fractions[l], 1);
+  os << "\nloss ladders "
+     << (stats.laddersMonotonic() ? "monotonic" : "NOT monotonic (check!)")
+     << "\n\n";
+
+  Table t("per-workload loss ladder (mean loss per level, L0 = slowest)");
+  std::vector<std::string> header = {"workload", "samples"};
+  for (int l = 0; l < stats.num_levels; ++l)
+    header.push_back("L" + std::to_string(l));
+  t.header(header);
+  for (const auto& w : stats.per_workload) {
+    std::vector<std::string> row = {w.workload, std::to_string(w.samples)};
+    for (const auto& lvl : w.per_level)
+      row.push_back(lvl.count > 0 ? Table::pct(lvl.mean_loss, 1) : "-");
+    t.addRow(row);
+  }
+  t.print(os);
+}
+
+}  // namespace ssm

@@ -1,0 +1,57 @@
+// Corpus diagnostics: the sanity report a practitioner wants before
+// spending training time on a generated dataset.
+//
+// Summarises the §III.A corpus per workload and per level — sample counts,
+// the loss ladder (mean loss per V/f level, which should fall monotonically
+// toward the default level for frequency-sensitive programs), label
+// balance, and instruction-target ranges. Used by the `ssmdvfs
+// corpus-stats` CLI command and by the data-generation tests.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "datagen/dataset.hpp"
+
+namespace ssm {
+
+struct LevelStats {
+  int count = 0;
+  double mean_loss = 0.0;
+  double min_loss = 0.0;
+  double max_loss = 0.0;
+  double mean_insts_k = 0.0;
+};
+
+struct WorkloadCorpusStats {
+  std::string workload;
+  int samples = 0;
+  std::vector<LevelStats> per_level;  ///< indexed by V/f level
+  /// Mean loss at the lowest level — the workload's frequency sensitivity.
+  double sensitivity = 0.0;
+};
+
+struct CorpusStats {
+  int total_samples = 0;
+  int num_levels = 0;
+  std::vector<WorkloadCorpusStats> per_workload;  ///< sorted by name
+  /// Label histogram over the whole corpus (should be near-balanced: the
+  /// protocol emits one sample per level per breakpoint).
+  std::vector<double> label_fractions;
+  double max_loss = 0.0;
+
+  /// True when every workload's loss ladder is non-increasing in level
+  /// (within `tolerance`) — the physical invariant of the protocol.
+  [[nodiscard]] bool laddersMonotonic(double tolerance = 0.03) const;
+};
+
+/// Computes the full report. `num_levels` must cover every label present.
+[[nodiscard]] CorpusStats computeCorpusStats(const Dataset& ds,
+                                             int num_levels = 6);
+
+/// Pretty-prints the report (one block per workload plus global summary).
+void printCorpusStats(const CorpusStats& stats, std::ostream& os);
+
+}  // namespace ssm

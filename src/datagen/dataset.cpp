@@ -1,0 +1,121 @@
+#include "datagen/dataset.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace ssm {
+
+void Dataset::append(const Dataset& other) {
+  points_.insert(points_.end(), other.points_.begin(), other.points_.end());
+}
+
+Matrix Dataset::decisionInputs(std::span<const CounterId> feature_ids) const {
+  const std::size_t width = feature_ids.size() + 1;
+  Matrix m(points_.size(), width);
+  for (std::size_t r = 0; r < points_.size(); ++r) {
+    const DataPoint& p = points_[r];
+    for (std::size_t c = 0; c < feature_ids.size(); ++c)
+      m(r, c) = p.counters[static_cast<std::size_t>(feature_ids[c])];
+    m(r, feature_ids.size()) = p.perf_loss;
+  }
+  return m;
+}
+
+std::vector<int> Dataset::decisionLabels() const {
+  std::vector<int> labels(points_.size());
+  for (std::size_t r = 0; r < points_.size(); ++r) labels[r] = points_[r].level;
+  return labels;
+}
+
+Matrix Dataset::calibratorInputs(std::span<const CounterId> feature_ids,
+                                 int num_levels) const {
+  SSM_CHECK(num_levels > 0, "num_levels must be positive");
+  const std::size_t width =
+      feature_ids.size() + 1 + static_cast<std::size_t>(num_levels);
+  Matrix m(points_.size(), width);
+  for (std::size_t r = 0; r < points_.size(); ++r) {
+    const DataPoint& p = points_[r];
+    for (std::size_t c = 0; c < feature_ids.size(); ++c)
+      m(r, c) = p.counters[static_cast<std::size_t>(feature_ids[c])];
+    m(r, feature_ids.size()) = p.perf_loss;
+    SSM_CHECK(p.level >= 0 && p.level < num_levels, "level out of range");
+    m(r, feature_ids.size() + 1 + static_cast<std::size_t>(p.level)) = 1.0;
+  }
+  return m;
+}
+
+std::vector<double> Dataset::calibratorTargets() const {
+  std::vector<double> t(points_.size());
+  for (std::size_t r = 0; r < points_.size(); ++r) t[r] = points_[r].insts_k;
+  return t;
+}
+
+std::pair<Dataset, Dataset> Dataset::split(double train_frac,
+                                           std::uint64_t seed) const {
+  SSM_CHECK(train_frac > 0.0 && train_frac < 1.0,
+            "train_frac must be in (0,1)");
+  std::vector<std::size_t> order(points_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  Rng rng(seed);
+  rng.shuffle(order);
+  const auto cut =
+      static_cast<std::size_t>(train_frac * static_cast<double>(order.size()));
+  Dataset train;
+  Dataset hold;
+  for (std::size_t i = 0; i < order.size(); ++i)
+    (i < cut ? train : hold).add(points_[order[i]]);
+  return {std::move(train), std::move(hold)};
+}
+
+void Dataset::saveCsv(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw DataError("cannot open for writing: " + path);
+  os << "workload,level,perf_loss,insts_k";
+  for (int c = 0; c < kNumCounters; ++c)
+    os << ',' << counterName(static_cast<CounterId>(c));
+  os << '\n';
+  os.precision(17);
+  for (const DataPoint& p : points_) {
+    os << p.workload << ',' << p.level << ',' << p.perf_loss << ','
+       << p.insts_k;
+    for (double v : p.counters) os << ',' << v;
+    os << '\n';
+  }
+  if (!os) throw DataError("write failed: " + path);
+}
+
+Dataset Dataset::loadCsv(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw DataError("cannot open for reading: " + path);
+  std::string line;
+  if (!std::getline(is, line)) throw DataError("empty dataset file: " + path);
+
+  Dataset ds;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    DataPoint p;
+    std::string cell;
+    const auto next = [&]() -> std::string {
+      if (!std::getline(ss, cell, ','))
+        throw DataError(path + ": truncated row at line " +
+                        std::to_string(line_no));
+      return cell;
+    };
+    p.workload = next();
+    p.level = std::stoi(next());
+    p.perf_loss = std::stod(next());
+    p.insts_k = std::stod(next());
+    for (int c = 0; c < kNumCounters; ++c)
+      p.counters[static_cast<std::size_t>(c)] = std::stod(next());
+    ds.add(std::move(p));
+  }
+  return ds;
+}
+
+}  // namespace ssm

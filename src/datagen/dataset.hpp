@@ -1,0 +1,76 @@
+// Supervised dataset produced by the §III.A data-generation protocol.
+//
+// One DataPoint corresponds to (breakpoint, cluster, V/f level): the 47 raw
+// counters a cluster reported in the 10 µs feature-collection window, the
+// performance loss measured when the following 10 µs frequency-scaling
+// window ran at `level`, and the instructions that cluster executed during
+// that scaling window (the Calibrator's regression target).
+//
+// Performance loss is normalised to the scaling window:
+//     loss = (T_f - T_0) / 10 µs
+// where T_f / T_0 are times to complete the fixed work of the ~100 µs
+// collection horizon with / without the frequency excursion. The paper
+// leaves the normalisation implicit; window-relative loss is the scale on
+// which a per-epoch preset composes into an end-to-end program slowdown
+// (every epoch ≤ p% slower ⇒ program ≤ p% slower), which is how §V.C uses
+// the preset. See DESIGN.md.
+#pragma once
+
+#include <array>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "counters/counters.hpp"
+#include "nn/matrix.hpp"
+
+namespace ssm {
+
+struct DataPoint {
+  std::array<double, kNumCounters> counters{};  ///< feature-window counters
+  double perf_loss = 0.0;   ///< window-relative loss for `level`
+  int level = 0;            ///< V/f level applied in the scaling window
+  double insts_k = 0.0;     ///< scaling-window instructions, in thousands
+  std::string workload;
+};
+
+class Dataset {
+ public:
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
+  [[nodiscard]] const std::vector<DataPoint>& points() const noexcept {
+    return points_;
+  }
+  void add(DataPoint p) { points_.push_back(std::move(p)); }
+  void append(const Dataset& other);
+
+  /// Decision-maker design matrix: selected counters + perf loss.
+  /// Row width = feature_ids.size() + 1.
+  [[nodiscard]] Matrix decisionInputs(
+      std::span<const CounterId> feature_ids) const;
+
+  /// Decision-maker labels: the applied V/f level.
+  [[nodiscard]] std::vector<int> decisionLabels() const;
+
+  /// Calibrator design matrix: selected counters + perf loss + one-hot
+  /// level. Row width = feature_ids.size() + 1 + num_levels.
+  [[nodiscard]] Matrix calibratorInputs(std::span<const CounterId> feature_ids,
+                                        int num_levels) const;
+
+  /// Calibrator targets: scaling-window instructions in thousands.
+  [[nodiscard]] std::vector<double> calibratorTargets() const;
+
+  /// Deterministic shuffled split into (train, holdout).
+  [[nodiscard]] std::pair<Dataset, Dataset> split(double train_frac,
+                                                  std::uint64_t seed) const;
+
+  /// CSV round trip (workload,level,loss,insts_k,c0..c46).
+  void saveCsv(const std::string& path) const;
+  [[nodiscard]] static Dataset loadCsv(const std::string& path);
+
+ private:
+  std::vector<DataPoint> points_;
+};
+
+}  // namespace ssm

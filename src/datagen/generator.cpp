@@ -1,0 +1,180 @@
+#include "datagen/generator.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace ssm {
+
+DataGenerator::DataGenerator(GpuConfig gpu_cfg, VfTable vf, GenConfig gen_cfg)
+    : gpu_cfg_(gpu_cfg), vf_(std::move(vf)), gen_(gen_cfg) {
+  SSM_CHECK(gen_.epochs_per_breakpoint >= 1);
+  SSM_CHECK(gen_.horizon_epochs >= 2,
+            "horizon must cover feature + scaling windows");
+  SSM_CHECK(gen_.clusters_sampled >= 1);
+  SSM_CHECK(gen_.runs_per_workload >= 1);
+}
+
+namespace {
+
+/// Replays the collection horizon from `snapshot` with the scaling window
+/// at `level`; returns the time to complete `target_insts` of work (relative
+/// to the snapshot) and the per-cluster scaling-window observations.
+struct ReplayOutcome {
+  double t_f_ns = 0.0;
+  bool valid = false;
+  GpuEpochReport feature_report;
+  GpuEpochReport scaling_report;
+};
+
+ReplayOutcome replayHorizon(const Gpu& snapshot, VfLevel feature_level,
+                            VfLevel scaling_level, VfLevel default_level,
+                            std::int64_t target_insts, int horizon_epochs,
+                            int max_extra_epochs) {
+  ReplayOutcome out;
+  Gpu rep = snapshot;
+  const TimeNs t_b = rep.nowNs();
+  const TimeNs epoch_ns = rep.config().epoch_ns;
+
+  out.feature_report = rep.runEpochUniform(feature_level);
+  out.scaling_report = rep.runEpochUniform(scaling_level);
+
+  std::int64_t insts = rep.totalInstructions();
+  TimeNs t_end = rep.nowNs();
+  if (insts >= target_insts) {
+    // The excursion was at (or effectively at) full speed: the work landed
+    // inside the scaling window. Interpolate within it.
+    const std::int64_t at_start =
+        insts - rep.lastEpochInstructions();
+    const double frac =
+        rep.lastEpochInstructions() > 0
+            ? static_cast<double>(target_insts - at_start) /
+                  static_cast<double>(rep.lastEpochInstructions())
+            : 1.0;
+    out.t_f_ns = static_cast<double>(t_end - epoch_ns - t_b) +
+                 frac * static_cast<double>(epoch_ns);
+    out.valid = true;
+    return out;
+  }
+
+  const int budget = horizon_epochs + max_extra_epochs;
+  for (int e = 2; e < budget; ++e) {
+    const std::int64_t before = insts;
+    rep.runEpochUniform(default_level);
+    insts = rep.totalInstructions();
+    t_end = rep.nowNs();
+    if (insts >= target_insts) {
+      const std::int64_t gained = insts - before;
+      const double frac =
+          gained > 0
+              ? static_cast<double>(target_insts - before) /
+                    static_cast<double>(gained)
+              : 1.0;
+      out.t_f_ns = static_cast<double>(t_end - epoch_ns - t_b) +
+                   frac * static_cast<double>(epoch_ns);
+      out.valid = true;
+      return out;
+    }
+    if (rep.allDone()) break;  // retired without reaching the target work
+  }
+  return out;  // invalid: work could not be matched within the budget
+}
+
+}  // namespace
+
+Dataset DataGenerator::generateForWorkload(const KernelProfile& kernel,
+                                           std::uint64_t seed,
+                                           int feature_phase) const {
+  Dataset out;
+  const VfLevel default_level = vf_.defaultLevel();
+  const int num_levels = static_cast<int>(vf_.size());
+  const TimeNs epoch_ns = gpu_cfg_.epoch_ns;
+
+  // Feature-window level schedule: alternate ends of the table first
+  // (default, min, next-to-default, …) so even a program with two or three
+  // breakpoints yields feature rows at the levels the runtime visits most.
+  std::vector<VfLevel> level_order;
+  level_order.reserve(static_cast<std::size_t>(num_levels));
+  for (int i = 0; i < num_levels; ++i)
+    level_order.push_back(i % 2 == 0 ? num_levels - 1 - i / 2 : i / 2);
+
+  Gpu cursor(gpu_cfg_, vf_, kernel, seed,
+             ChipPowerModel(gpu_cfg_.num_clusters));
+
+  const int stride = std::max(
+      1, gpu_cfg_.num_clusters / std::max(1, gen_.clusters_sampled));
+
+  int breakpoint_index = 0;
+  while (!cursor.allDone() && cursor.nowNs() < gen_.max_program_ns) {
+    // Feature-window level for this breakpoint (default, or cycling through
+    // the table so training covers the runtime counter distribution).
+    const VfLevel feature_level =
+        gen_.vary_feature_level
+            ? level_order[static_cast<std::size_t>(
+                  (breakpoint_index + feature_phase) % num_levels)]
+            : default_level;
+    ++breakpoint_index;
+
+    // --- Reference pass: feature window at feature_level, then the rest of
+    // the horizon at the default point (scaling window = default). --------
+    Gpu ref = cursor;
+    ref.runEpochUniform(feature_level);
+    for (int e = 1; e < gen_.horizon_epochs; ++e)
+      ref.runEpochUniform(default_level);
+    if (ref.allDone()) break;  // not enough work left for a clean horizon
+    const std::int64_t target_insts = ref.totalInstructions();
+    const double t0_ns =
+        static_cast<double>(gen_.horizon_epochs) *
+        static_cast<double>(epoch_ns);
+
+    // --- One replay per operating point. ---------------------------------
+    for (int level = 0; level < num_levels; ++level) {
+      const ReplayOutcome rep =
+          replayHorizon(cursor, feature_level, level, default_level,
+                        target_insts, gen_.horizon_epochs,
+                        gen_.max_extra_epochs);
+      if (!rep.valid) continue;
+      // Work-matching interpolation can report a marginally negative loss
+      // on frequency-insensitive windows; physically T_f >= T_0, so clamp.
+      const double loss = std::max(
+          0.0, (rep.t_f_ns - t0_ns) / static_cast<double>(epoch_ns));
+
+      for (int c = 0; c < gpu_cfg_.num_clusters; c += stride) {
+        const auto& feat =
+            rep.feature_report.clusters[static_cast<std::size_t>(c)];
+        const auto& scal =
+            rep.scaling_report.clusters[static_cast<std::size_t>(c)];
+        if (feat.cluster_done) continue;  // no live work: nothing to learn
+        DataPoint p;
+        const auto raw = feat.counters.raw();
+        std::copy(raw.begin(), raw.end(), p.counters.begin());
+        p.perf_loss = loss;
+        p.level = level;
+        p.insts_k = static_cast<double>(scal.instructions) / 1000.0;
+        p.workload = kernel.name;
+        out.add(std::move(p));
+      }
+    }
+
+    // --- Advance the cursor to the next breakpoint. ----------------------
+    for (int e = 0; e < gen_.epochs_per_breakpoint && !cursor.allDone(); ++e)
+      cursor.runEpochUniform(default_level);
+  }
+  return out;
+}
+
+Dataset DataGenerator::generate(
+    const std::vector<KernelProfile>& workloads) const {
+  Dataset all;
+  Rng seeder(gen_.seed);
+  for (const auto& kernel : workloads) {
+    for (int run = 0; run < gen_.runs_per_workload; ++run) {
+      const std::uint64_t seed = seeder.nextU64();
+      all.append(generateForWorkload(kernel, seed, run));
+    }
+  }
+  SSM_CHECK(!all.empty(), "data generation produced no samples");
+  return all;
+}
+
+}  // namespace ssm

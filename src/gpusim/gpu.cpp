@@ -1,0 +1,152 @@
+#include "gpusim/gpu.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace ssm {
+
+Gpu::Gpu(const GpuConfig& cfg, VfTable vf, const KernelProfile& kernel,
+         std::uint64_t seed, ChipPowerModel power_model)
+    : cfg_(std::make_shared<const GpuConfig>(cfg)),
+      vf_(std::move(vf)),
+      power_(std::move(power_model)) {
+  kernel.validate();
+  SSM_CHECK(cfg_->num_clusters > 0);
+  SSM_CHECK(power_.numClusters() == cfg_->num_clusters,
+            "power model cluster count must match the GPU config");
+  auto kernel_ptr = std::make_shared<const KernelProfile>(kernel);
+  Rng root(seed);
+  clusters_.reserve(static_cast<std::size_t>(cfg_->num_clusters));
+  for (int i = 0; i < cfg_->num_clusters; ++i)
+    clusters_.emplace_back(cfg_, kernel_ptr,
+                           root.fork(static_cast<std::uint64_t>(i)), i);
+  prev_levels_.assign(static_cast<std::size_t>(cfg_->num_clusters),
+                      vf_.defaultLevel());
+  mem_env_.store_stall_prob = cfg_->store_stall_base;
+}
+
+GpuEpochReport Gpu::runEpoch(std::span<const VfLevel> levels) {
+  SSM_CHECK(static_cast<int>(levels.size()) == numClusters(),
+            "one level per cluster required");
+  GpuEpochReport report;
+  report.epoch_start_ns = now_ns_;
+  report.epoch_len_ns = cfg_->epoch_ns;
+  report.clusters.reserve(clusters_.size());
+
+  double total_bytes = 0.0;
+  double cluster_power_sum = 0.0;
+  std::int64_t epoch_insts = 0;
+
+  for (std::size_t i = 0; i < clusters_.size(); ++i) {
+    const VfLevel level = vf_.clamp(levels[i]);
+    const VfPoint& vfp = vf_.at(level);
+    const bool transitioned = level != prev_levels_[i];
+
+    ClusterEpochResult r = clusters_[i].runEpoch(
+        now_ns_, cfg_->epoch_ns, vfp.freq_mhz, transitioned, mem_env_);
+
+    const ClusterActivity act{.issue = r.issue_act,
+                              .alu = r.alu_act,
+                              .mem = r.mem_act,
+                              .active = r.active_frac};
+    const double p_dyn = power_.cluster().dynamicPowerW(vfp, act);
+    const double p_leak = power_.cluster().leakagePowerW(vfp);
+    const double p_total = p_dyn + p_leak;
+    cluster_power_sum += p_total;
+
+    r.counters.set(CounterId::kPowerClusterW, p_total);
+    r.counters.set(CounterId::kPowerDynamicW, p_dyn);
+    r.counters.set(CounterId::kPowerLeakageW, p_leak);
+    r.counters.set(CounterId::kEnergyEpochMj,
+                   p_total * secondsOf(cfg_->epoch_ns) * 1e3);
+    r.counters.set(CounterId::kAvgVoltage, vfp.voltage_v);
+
+    total_bytes += r.counters.get(CounterId::kDramBytes);
+    epoch_insts += r.instructions;
+
+    EpochObservation obs;
+    obs.counters = r.counters;
+    obs.level = level;
+    obs.power_w = p_total;
+    obs.instructions = r.instructions;
+    obs.epoch_start_ns = now_ns_;
+    obs.epoch_len_ns = cfg_->epoch_ns;
+    obs.cluster_id = static_cast<int>(i);
+    obs.cluster_done = r.all_done;
+    report.clusters.push_back(std::move(obs));
+
+    prev_levels_[i] = level;
+  }
+
+  // DRAM bandwidth utilisation this epoch (GB/s == bytes/ns).
+  const double capacity_bytes =
+      cfg_->dram_bw_gbps * static_cast<double>(cfg_->epoch_ns);
+  report.dram_util =
+      capacity_bytes > 0.0 ? std::min(1.0, total_bytes / capacity_bytes) : 0.0;
+  for (auto& obs : report.clusters)
+    obs.counters.set(CounterId::kDramUtil, report.dram_util);
+
+  // Queueing model for the next epoch: latencies inflate and the store
+  // buffer backs up once utilisation crosses the knee.
+  mem_env_.latency_mult =
+      std::min(2.5, 1.0 + 1.5 * std::max(0.0, report.dram_util - 0.75));
+  mem_env_.store_stall_prob =
+      cfg_->store_stall_base + 0.3 * std::max(0.0, report.dram_util - 0.8);
+
+  report.chip_power_w = cluster_power_sum + power_.uncorePowerW(report.dram_util);
+  report.all_done = allDone();
+
+  // Energy: integrate up to the retire point in the final epoch, full epoch
+  // otherwise.
+  TimeNs priced = cfg_->epoch_ns;
+  if (report.all_done) {
+    const TimeNs finish = finishTimeNs();
+    if (finish >= now_ns_ && finish < now_ns_ + cfg_->epoch_ns)
+      priced = std::max<TimeNs>(1, finish - now_ns_);
+  }
+  energy_.add(report.chip_power_w, priced);
+
+  now_ns_ += cfg_->epoch_ns;
+  last_epoch_insts_ = epoch_insts;
+  return report;
+}
+
+GpuEpochReport Gpu::runEpochUniform(VfLevel level) {
+  std::vector<VfLevel> levels(static_cast<std::size_t>(numClusters()), level);
+  return runEpoch(levels);
+}
+
+int Gpu::runUntil(TimeNs deadline_ns, VfLevel level) {
+  int epochs = 0;
+  while (!allDone() && now_ns_ < deadline_ns) {
+    runEpochUniform(level);
+    ++epochs;
+  }
+  return epochs;
+}
+
+bool Gpu::allDone() const noexcept {
+  return std::all_of(clusters_.begin(), clusters_.end(),
+                     [](const SmCluster& c) { return c.done(); });
+}
+
+TimeNs Gpu::finishTimeNs() const noexcept {
+  if (!allDone()) return -1;
+  TimeNs t = 0;
+  for (const auto& c : clusters_) t = std::max(t, c.finishNs());
+  return t;
+}
+
+double Gpu::edp() const noexcept {
+  const TimeNs t = allDone() ? finishTimeNs() : now_ns_;
+  return totalEnergyJ() * secondsOf(std::max<TimeNs>(t, 1));
+}
+
+std::int64_t Gpu::totalInstructions() const noexcept {
+  std::int64_t total = 0;
+  for (const auto& c : clusters_) total += c.totalInstructions();
+  return total;
+}
+
+}  // namespace ssm

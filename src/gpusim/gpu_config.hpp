@@ -1,0 +1,48 @@
+// Static configuration of the simulated GPU.
+//
+// Defaults model an Nvidia GeForce GTX Titan X class device as configured in
+// the paper (§V.A): 24 SM clusters, per-cluster DVFS over the six-point V/f
+// table, 10 µs DVFS epochs. Latency/bandwidth values follow the usual
+// GPGPU-Sim Maxwell-era configs; memory latencies are wall-clock because the
+// L2/DRAM domain does not scale with the cluster clock — that invariance is
+// the physical mechanism every DVFS policy here exploits.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace ssm {
+
+struct GpuConfig {
+  int num_clusters = 24;
+  int max_warps_per_cluster = 32;
+  int issue_width = 2;             ///< warp instructions issued per cycle
+
+  // Execution latencies in core cycles (scale with the cluster clock).
+  Cycles ialu_latency = 4;
+  Cycles falu_latency = 6;
+  Cycles sfu_latency = 16;
+  Cycles shared_latency = 24;      ///< shared-memory dependent-use latency
+  Cycles branch_resolve_latency = 12;
+  Cycles l1_hit_latency = 28;      ///< L1 dependent-use latency
+
+  // Memory-system latencies in wall-clock nanoseconds (do NOT scale with
+  // the cluster clock).
+  TimeNs l2_hit_latency_ns = 170;
+  TimeNs dram_latency_ns = 400;
+
+  int mshr_per_cluster = 24;       ///< outstanding L1 misses per cluster
+  double dram_bw_gbps = 336.0;     ///< GTX Titan X aggregate bandwidth
+  int bytes_per_miss = 128;        ///< coalesced transaction size
+
+  // DVFS timing.
+  TimeNs epoch_ns = 10 * kNsPerUs;         ///< 10 µs decision epoch
+  TimeNs dvfs_transition_ns = 500;         ///< IVR settle on a V/f switch
+
+  // Store buffer: probability a store stalls grows with DRAM pressure.
+  double store_stall_base = 0.02;
+  Cycles store_stall_cycles = 20;
+  double shared_conflict_prob = 0.10;
+  Cycles shared_conflict_cycles = 4;
+};
+
+}  // namespace ssm

@@ -1,0 +1,44 @@
+#include "gpusim/hysteresis.hpp"
+
+#include "common/check.hpp"
+
+namespace ssm {
+
+HysteresisGovernor::HysteresisGovernor(std::unique_ptr<DvfsGovernor> inner,
+                                       HysteresisConfig cfg)
+    : inner_(std::move(inner)), cfg_(cfg) {
+  SSM_CHECK(inner_ != nullptr, "decorator needs an inner governor");
+  SSM_CHECK(cfg_.min_dwell_epochs >= 1, "dwell must be at least one epoch");
+}
+
+void HysteresisGovernor::reset() {
+  inner_->reset();
+  committed_ = -1;
+  dwell_ = 0;
+  pending_ = -1;
+}
+
+VfLevel HysteresisGovernor::decide(const EpochObservation& obs) {
+  const VfLevel wanted = inner_->decide(obs);
+  if (committed_ < 0) {
+    committed_ = obs.level;  // adopt the level the cluster actually ran at
+    dwell_ = 1;
+  }
+  ++dwell_;
+
+  if (wanted == committed_) {
+    pending_ = -1;
+    return committed_;
+  }
+  if (dwell_ <= cfg_.min_dwell_epochs) return committed_;
+  if (cfg_.confirm_switch && wanted != pending_) {
+    pending_ = wanted;  // first request: remember, don't act yet
+    return committed_;
+  }
+  committed_ = wanted;
+  pending_ = -1;
+  dwell_ = 0;
+  return committed_;
+}
+
+}  // namespace ssm

@@ -1,0 +1,54 @@
+// Hysteresis decorator: rate-limits any governor's level switches.
+//
+// V/f transitions cost an IVR settle stall; a policy that flaps between
+// adjacent levels pays it every epoch. The decorator wraps any
+// DvfsGovernor and (a) enforces a minimum dwell time at a level and
+// (b) optionally requires the inner governor to ask for the same change
+// twice before it is applied. Purely additive — wrap any factory.
+#pragma once
+
+#include <memory>
+
+#include "gpusim/governor.hpp"
+
+namespace ssm {
+
+struct HysteresisConfig {
+  /// Minimum epochs to stay at a level before another switch is allowed.
+  int min_dwell_epochs = 2;
+  /// Require the same new level to be requested on consecutive epochs.
+  bool confirm_switch = false;
+};
+
+class HysteresisGovernor final : public DvfsGovernor {
+ public:
+  HysteresisGovernor(std::unique_ptr<DvfsGovernor> inner,
+                     HysteresisConfig cfg);
+
+  VfLevel decide(const EpochObservation& obs) override;
+  void reset() override;
+
+ private:
+  std::unique_ptr<DvfsGovernor> inner_;
+  HysteresisConfig cfg_;
+  VfLevel committed_ = -1;   ///< level currently held (-1: none yet)
+  int dwell_ = 0;            ///< epochs spent at committed_
+  VfLevel pending_ = -1;     ///< candidate awaiting confirmation
+};
+
+/// Wraps another factory so every cluster's governor gets the decorator.
+class HysteresisFactory final : public GovernorFactory {
+ public:
+  HysteresisFactory(const GovernorFactory& inner, HysteresisConfig cfg)
+      : inner_(inner), cfg_(cfg) {}
+  std::unique_ptr<DvfsGovernor> create(int cluster_id) const override {
+    return std::make_unique<HysteresisGovernor>(inner_.create(cluster_id),
+                                                cfg_);
+  }
+
+ private:
+  const GovernorFactory& inner_;  ///< must outlive this factory
+  HysteresisConfig cfg_;
+};
+
+}  // namespace ssm

@@ -1,0 +1,202 @@
+#include "gpusim/runner.hpp"
+
+#include <memory>
+
+#include "common/check.hpp"
+#include "gpusim/trace.hpp"
+
+namespace ssm {
+
+RunResult runWithGovernor(Gpu gpu, const GovernorFactory& factory,
+                          std::string mechanism_name, TimeNs max_time_ns,
+                          EpochTraceRecorder* trace) {
+  const int n = gpu.numClusters();
+  std::vector<std::unique_ptr<DvfsGovernor>> governors;
+  governors.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) governors.push_back(factory.create(i));
+
+  std::vector<VfLevel> levels(static_cast<std::size_t>(n),
+                              gpu.vfTable().defaultLevel());
+  std::vector<double> level_epochs(gpu.vfTable().size(), 0.0);
+
+  RunResult result;
+  result.mechanism = std::move(mechanism_name);
+  double power_time_sum = 0.0;
+
+  while (!gpu.allDone() && gpu.nowNs() < max_time_ns) {
+    const GpuEpochReport report = gpu.runEpoch(levels);
+    if (trace != nullptr) trace->record(report);
+    ++result.epochs;
+    power_time_sum += report.chip_power_w;
+    for (int i = 0; i < n; ++i) {
+      const auto& obs = report.clusters[static_cast<std::size_t>(i)];
+      level_epochs[static_cast<std::size_t>(obs.level)] += 1.0;
+      levels[static_cast<std::size_t>(i)] =
+          gpu.vfTable().clamp(governors[static_cast<std::size_t>(i)]->decide(obs));
+    }
+    if (report.all_done) break;
+  }
+
+  SSM_CHECK(gpu.allDone(),
+            "program did not retire before max_time_ns; raise the limit");
+
+  result.exec_time_ns = gpu.finishTimeNs();
+  result.energy_j = gpu.totalEnergyJ();
+  result.edp = gpu.edp();
+  result.instructions = gpu.totalInstructions();
+  result.mean_power_w =
+      result.epochs > 0 ? power_time_sum / result.epochs : 0.0;
+
+  const double total_cluster_epochs =
+      static_cast<double>(result.epochs) * static_cast<double>(n);
+  result.level_histogram.resize(level_epochs.size());
+  for (std::size_t l = 0; l < level_epochs.size(); ++l)
+    result.level_histogram[l] =
+        total_cluster_epochs > 0 ? level_epochs[l] / total_cluster_epochs : 0.0;
+  return result;
+}
+
+RunResult runWithChipGovernor(Gpu gpu, const GovernorFactory& factory,
+                              std::string mechanism_name, TimeNs max_time_ns,
+                              EpochTraceRecorder* trace) {
+  const int n = gpu.numClusters();
+  const std::unique_ptr<DvfsGovernor> governor = factory.create(0);
+
+  std::vector<VfLevel> levels(static_cast<std::size_t>(n),
+                              gpu.vfTable().defaultLevel());
+  std::vector<double> level_epochs(gpu.vfTable().size(), 0.0);
+
+  RunResult result;
+  result.mechanism = std::move(mechanism_name);
+  double power_sum = 0.0;
+
+  while (!gpu.allDone() && gpu.nowNs() < max_time_ns) {
+    const GpuEpochReport report = gpu.runEpoch(levels);
+    if (trace != nullptr) trace->record(report);
+    ++result.epochs;
+    power_sum += report.chip_power_w;
+
+    // Cluster-averaged observation over live clusters.
+    EpochObservation agg;
+    agg.epoch_start_ns = report.epoch_start_ns;
+    agg.epoch_len_ns = report.epoch_len_ns;
+    int live = 0;
+    for (const auto& obs : report.clusters) {
+      level_epochs[static_cast<std::size_t>(obs.level)] += 1.0;
+      if (obs.cluster_done) continue;
+      ++live;
+      agg.instructions += obs.instructions;
+      agg.power_w += obs.power_w;
+      for (int c = 0; c < kNumCounters; ++c) {
+        const auto id = static_cast<CounterId>(c);
+        agg.counters.add(id, obs.counters.get(id));
+      }
+      agg.level = obs.level;
+    }
+    if (live > 0) {
+      const double inv = 1.0 / static_cast<double>(live);
+      agg.instructions =
+          static_cast<std::int64_t>(static_cast<double>(agg.instructions) * inv);
+      agg.power_w *= inv;
+      for (int c = 0; c < kNumCounters; ++c) {
+        const auto id = static_cast<CounterId>(c);
+        agg.counters.set(id, agg.counters.get(id) * inv);
+      }
+    } else {
+      agg.cluster_done = true;
+    }
+    const VfLevel next = gpu.vfTable().clamp(governor->decide(agg));
+    levels.assign(static_cast<std::size_t>(n), next);
+    if (report.all_done) break;
+  }
+
+  SSM_CHECK(gpu.allDone(),
+            "program did not retire before max_time_ns; raise the limit");
+  result.exec_time_ns = gpu.finishTimeNs();
+  result.energy_j = gpu.totalEnergyJ();
+  result.edp = gpu.edp();
+  result.instructions = gpu.totalInstructions();
+  result.mean_power_w = result.epochs > 0 ? power_sum / result.epochs : 0.0;
+  const double total = static_cast<double>(result.epochs) * n;
+  result.level_histogram.resize(level_epochs.size());
+  for (std::size_t l = 0; l < level_epochs.size(); ++l)
+    result.level_histogram[l] = total > 0 ? level_epochs[l] / total : 0.0;
+  return result;
+}
+
+namespace {
+class StaticFactory final : public GovernorFactory {
+ public:
+  explicit StaticFactory(VfLevel level) : level_(level) {}
+  std::unique_ptr<DvfsGovernor> create(int) const override {
+    return std::make_unique<StaticGovernor>(level_);
+  }
+
+ private:
+  VfLevel level_;
+};
+}  // namespace
+
+RunResult runBaseline(Gpu gpu, TimeNs max_time_ns) {
+  const StaticFactory factory(gpu.vfTable().defaultLevel());
+  return runWithGovernor(std::move(gpu), factory, "baseline", max_time_ns);
+}
+
+std::vector<RunResult> runSequence(const std::vector<KernelProfile>& programs,
+                                   const GovernorFactory& factory,
+                                   std::string mechanism_name,
+                                   const SequenceConfig& cfg) {
+  SSM_CHECK(!programs.empty(), "empty program sequence");
+
+  std::vector<std::unique_ptr<DvfsGovernor>> governors;
+  governors.reserve(static_cast<std::size_t>(cfg.gpu.num_clusters));
+  for (int i = 0; i < cfg.gpu.num_clusters; ++i)
+    governors.push_back(factory.create(i));
+
+  std::vector<RunResult> results;
+  results.reserve(programs.size());
+  for (std::size_t p = 0; p < programs.size(); ++p) {
+    Gpu gpu(cfg.gpu, cfg.vf, programs[p], cfg.seed + p,
+            ChipPowerModel(cfg.gpu.num_clusters));
+    for (auto& gov : governors) gov->reset();
+
+    std::vector<VfLevel> levels(
+        static_cast<std::size_t>(cfg.gpu.num_clusters),
+        gpu.vfTable().defaultLevel());
+    std::vector<double> level_epochs(gpu.vfTable().size(), 0.0);
+
+    RunResult result;
+    result.workload = programs[p].name;
+    result.mechanism = mechanism_name;
+    double power_sum = 0.0;
+    while (!gpu.allDone() && gpu.nowNs() < cfg.max_time_ns_per_program) {
+      const GpuEpochReport report = gpu.runEpoch(levels);
+      ++result.epochs;
+      power_sum += report.chip_power_w;
+      for (int i = 0; i < cfg.gpu.num_clusters; ++i) {
+        const auto& obs = report.clusters[static_cast<std::size_t>(i)];
+        level_epochs[static_cast<std::size_t>(obs.level)] += 1.0;
+        levels[static_cast<std::size_t>(i)] = gpu.vfTable().clamp(
+            governors[static_cast<std::size_t>(i)]->decide(obs));
+      }
+      if (report.all_done) break;
+    }
+    SSM_CHECK(gpu.allDone(), "sequence program did not retire in time");
+
+    result.exec_time_ns = gpu.finishTimeNs();
+    result.energy_j = gpu.totalEnergyJ();
+    result.edp = gpu.edp();
+    result.instructions = gpu.totalInstructions();
+    result.mean_power_w =
+        result.epochs > 0 ? power_sum / result.epochs : 0.0;
+    const double total =
+        static_cast<double>(result.epochs) * cfg.gpu.num_clusters;
+    result.level_histogram.resize(level_epochs.size());
+    for (std::size_t l = 0; l < level_epochs.size(); ++l)
+      result.level_histogram[l] = total > 0 ? level_epochs[l] / total : 0.0;
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+}  // namespace ssm

@@ -1,0 +1,68 @@
+// Full-program simulation driver: one governor per cluster, run to retire.
+//
+// This is the harness behind every §V experiment: construct a Gpu for a
+// workload, attach a governor family, and measure execution time, energy
+// and EDP under per-cluster microsecond-scale DVFS.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gpusim/gpu.hpp"
+
+namespace ssm {
+
+/// Outcome of one full-program run under one DVFS mechanism.
+struct RunResult {
+  std::string workload;
+  std::string mechanism;
+  TimeNs exec_time_ns = 0;
+  double energy_j = 0.0;
+  double edp = 0.0;               ///< joule-seconds
+  std::int64_t instructions = 0;
+  int epochs = 0;
+  double mean_power_w = 0.0;
+  /// Fraction of cluster-epochs spent at each V/f level.
+  std::vector<double> level_histogram;
+};
+
+class EpochTraceRecorder;
+
+/// Runs `gpu` to completion (or `max_time_ns`) with one governor per
+/// cluster created from `factory`. When `trace` is non-null every epoch
+/// report is streamed into it.
+[[nodiscard]] RunResult runWithGovernor(Gpu gpu, const GovernorFactory& factory,
+                                        std::string mechanism_name,
+                                        TimeNs max_time_ns = 5 * kNsPerMs,
+                                        EpochTraceRecorder* trace = nullptr);
+
+/// Convenience: runs the given workload at the fixed default level — the
+/// paper's baseline configuration.
+[[nodiscard]] RunResult runBaseline(Gpu gpu, TimeNs max_time_ns = 5 * kNsPerMs);
+
+/// Chip-wide DVFS variant: ONE governor sees the cluster-averaged
+/// observation and its decision is applied to every cluster. Quantifies
+/// what the paper's per-cluster application (§V.A) buys over a single
+/// chip-level domain.
+[[nodiscard]] RunResult runWithChipGovernor(Gpu gpu,
+                                            const GovernorFactory& factory,
+                                            std::string mechanism_name,
+                                            TimeNs max_time_ns = 5 * kNsPerMs,
+                                            EpochTraceRecorder* trace = nullptr);
+
+/// Runs a sequence of programs back to back on fresh GPUs while KEEPING the
+/// same governor instances across programs (reset() is called between
+/// programs: episodic state clears, learned state persists — the F-LEMMA
+/// hierarchical design). Returns one RunResult per program, in order.
+/// `seed` seeds program i with seed + i.
+struct SequenceConfig {
+  GpuConfig gpu;
+  VfTable vf = VfTable::titanX();
+  std::uint64_t seed = 777;
+  TimeNs max_time_ns_per_program = 5 * kNsPerMs;
+};
+[[nodiscard]] std::vector<RunResult> runSequence(
+    const std::vector<KernelProfile>& programs, const GovernorFactory& factory,
+    std::string mechanism_name, const SequenceConfig& cfg = {});
+
+}  // namespace ssm

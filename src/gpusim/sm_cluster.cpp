@@ -1,0 +1,322 @@
+#include "gpusim/sm_cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "common/check.hpp"
+
+namespace ssm {
+
+SmCluster::SmCluster(std::shared_ptr<const GpuConfig> cfg,
+                     std::shared_ptr<const KernelProfile> kernel, Rng rng,
+                     int cluster_id)
+    : cfg_(std::move(cfg)), kernel_(std::move(kernel)),
+      cluster_id_(cluster_id) {
+  SSM_CHECK(cfg_ != nullptr && kernel_ != nullptr);
+  const int warps =
+      std::min(kernel_->warps_per_cluster, cfg_->max_warps_per_cluster);
+  warps_.reserve(static_cast<std::size_t>(warps));
+  for (int w = 0; w < warps; ++w) {
+    WarpState ws;
+    ws.rng = rng.fork(static_cast<std::uint64_t>(w) * 7919u + 13u);
+    ws.loops_left = kernel_->phase_loops;
+    ws.insts_left = kernel_->phases.front().insts_per_warp;
+    warps_.push_back(ws);
+    // All warps start ready at time 0; stagger by a cycle-ish amount so the
+    // initial issue pattern is not perfectly lockstep.
+    wait_.emplace(static_cast<TimeNs>(w % 4), w);
+  }
+}
+
+SmCluster::InstClass SmCluster::sampleClass(const InstructionMix& mix,
+                                            double u) const noexcept {
+  double acc = mix.ialu;
+  if (u < acc) return InstClass::kIalu;
+  acc += mix.falu;
+  if (u < acc) return InstClass::kFalu;
+  acc += mix.sfu;
+  if (u < acc) return InstClass::kSfu;
+  acc += mix.load;
+  if (u < acc) return InstClass::kLoad;
+  acc += mix.store;
+  if (u < acc) return InstClass::kStore;
+  acc += mix.shared;
+  if (u < acc) return InstClass::kShared;
+  return InstClass::kBranch;
+}
+
+void SmCluster::advanceWarpProgram(WarpState& warp, TimeNs now) {
+  --warp.insts_left;
+  if (warp.insts_left > 0) return;
+  // Move to the next phase (or loop / retire).
+  ++warp.phase;
+  if (warp.phase >= static_cast<int>(kernel_->phases.size())) {
+    warp.phase = 0;
+    --warp.loops_left;
+    if (warp.loops_left <= 0) {
+      warp.done = true;
+      ++warps_done_;
+      finish_ns_ = std::max(finish_ns_, now);
+      return;
+    }
+  }
+  warp.insts_left =
+      kernel_->phases[static_cast<std::size_t>(warp.phase)].insts_per_warp;
+}
+
+void SmCluster::drainExpiredMisses(TimeNs now) {
+  while (!misses_.empty() && misses_.top() <= now) misses_.pop();
+}
+
+TimeNs SmCluster::issueOne(int w, TimeNs now, EpochCtx& ctx) {
+  WarpState& warp = warps_[static_cast<std::size_t>(w)];
+  const PhaseProfile& ph =
+      kernel_->phases[static_cast<std::size_t>(warp.phase)];
+  CounterBlock& c = *ctx.counters;
+  const double nspc = ctx.ns_per_cycle;
+  const auto cyclesToNs = [&](Cycles cyc) {
+    return static_cast<TimeNs>(static_cast<double>(cyc) * nspc + 0.5);
+  };
+  const auto nsToCycles = [&](TimeNs ns) {
+    return static_cast<double>(ns) / nspc;
+  };
+
+  const InstClass cls = sampleClass(ph.mix, warp.rng.nextDouble());
+
+  ++ctx.issued;
+  ++total_insts_;
+  c.add(CounterId::kInstTotal, 1);
+
+  // Default: the warp can issue again next cycle.
+  TimeNs ready_at = now + cyclesToNs(1);
+
+  switch (cls) {
+    case InstClass::kIalu:
+    case InstClass::kFalu:
+    case InstClass::kSfu: {
+      ++ctx.alu_issued;
+      Cycles lat = cfg_->ialu_latency;
+      if (cls == InstClass::kFalu) {
+        lat = cfg_->falu_latency;
+        c.add(CounterId::kInstFalu, 1);
+      } else if (cls == InstClass::kSfu) {
+        lat = cfg_->sfu_latency;
+        c.add(CounterId::kInstSfu, 1);
+      } else {
+        c.add(CounterId::kInstIalu, 1);
+      }
+      if (warp.rng.nextBernoulli(ph.dep_prob)) {
+        // The consumer is adjacent: the warp waits for the result.
+        ready_at = now + cyclesToNs(lat);
+        c.add(CounterId::kStallExecDepCycles, static_cast<double>(lat - 1));
+      }
+      break;
+    }
+    case InstClass::kLoad: {
+      ++ctx.mem_issued;
+      c.add(CounterId::kInstLoad, 1);
+      c.add(CounterId::kL1ReadAccess, 1);
+      if (warp.rng.nextBernoulli(ph.l1_hit_rate)) {
+        // L1 hit: the dependent-use latency is in core cycles, so this
+        // hazard *does* scale with frequency (a key analytical-model trap).
+        if (warp.rng.nextBernoulli(ph.dep_prob)) {
+          ready_at = now + cyclesToNs(cfg_->l1_hit_latency);
+          c.add(CounterId::kStallMemLoadCycles,
+                static_cast<double>(cfg_->l1_hit_latency - 1));
+        }
+      } else {
+        c.add(CounterId::kL1ReadMiss, 1);
+        c.add(CounterId::kL2Access, 1);
+        TimeNs lat_ns = cfg_->l2_hit_latency_ns;
+        if (!warp.rng.nextBernoulli(ph.l2_hit_rate)) {
+          c.add(CounterId::kL2Miss, 1);
+          c.add(CounterId::kDramReqs, 1);
+          c.add(CounterId::kDramBytes, cfg_->bytes_per_miss);
+          lat_ns = cfg_->dram_latency_ns;
+        }
+        lat_ns = static_cast<TimeNs>(static_cast<double>(lat_ns) *
+                                     ctx.env->latency_mult);
+
+        drainExpiredMisses(now);
+        TimeNs start = now;
+        if (static_cast<int>(misses_.size()) >= cfg_->mshr_per_cluster) {
+          // MSHRs full: the request waits for the oldest miss to retire.
+          const TimeNs free_at = misses_.top();
+          c.add(CounterId::kMshrFullEvents, 1);
+          c.add(CounterId::kStallMemLoadCycles, nsToCycles(free_at - now));
+          start = free_at;
+        }
+        const TimeNs done_at = start + lat_ns;
+        misses_.push(done_at);
+        c.add(CounterId::kAvgMemLatencyNs, static_cast<double>(lat_ns));
+
+        if (warp.miss_done_at > now) {
+          // A second overlapping miss: wait for the first, then overlap.
+          c.add(CounterId::kStallMemLoadCycles,
+                nsToCycles(warp.miss_done_at - now));
+          ready_at = std::max(ready_at, warp.miss_done_at);
+        }
+        warp.miss_done_at = done_at;
+        warp.grace_left = ph.ilp;
+      }
+      break;
+    }
+    case InstClass::kStore: {
+      ++ctx.mem_issued;
+      c.add(CounterId::kInstStore, 1);
+      c.add(CounterId::kL1WriteAccess, 1);
+      if (!warp.rng.nextBernoulli(ph.l1_hit_rate)) {
+        c.add(CounterId::kL1WriteMiss, 1);
+        c.add(CounterId::kDramReqs, 1);
+        c.add(CounterId::kDramBytes, cfg_->bytes_per_miss);
+      }
+      if (warp.rng.nextBernoulli(ctx.env->store_stall_prob)) {
+        // Store buffer back-pressure: a memory hazard not caused by a load.
+        ready_at = now + cyclesToNs(cfg_->store_stall_cycles);
+        c.add(CounterId::kStallMemOtherCycles,
+              static_cast<double>(cfg_->store_stall_cycles - 1));
+        c.add(CounterId::kStoreBufFullEvents, 1);
+      }
+      break;
+    }
+    case InstClass::kShared: {
+      ++ctx.mem_issued;
+      c.add(CounterId::kInstShared, 1);
+      if (warp.rng.nextBernoulli(cfg_->shared_conflict_prob)) {
+        ready_at = now + cyclesToNs(cfg_->shared_conflict_cycles);
+        c.add(CounterId::kStallMemOtherCycles,
+              static_cast<double>(cfg_->shared_conflict_cycles - 1));
+      } else if (warp.rng.nextBernoulli(ph.dep_prob)) {
+        ready_at = now + cyclesToNs(cfg_->shared_latency);
+        c.add(CounterId::kStallMemOtherCycles,
+              static_cast<double>(cfg_->shared_latency - 1));
+      }
+      break;
+    }
+    case InstClass::kBranch: {
+      c.add(CounterId::kInstBranch, 1);
+      if (warp.rng.nextBernoulli(ph.divergence)) {
+        ready_at = now + cyclesToNs(cfg_->branch_resolve_latency);
+        c.add(CounterId::kStallControlCycles,
+              static_cast<double>(cfg_->branch_resolve_latency - 1));
+      }
+      break;
+    }
+  }
+
+  // Memory-level-parallelism bookkeeping: with an open miss the warp may
+  // issue `ilp` further instructions, then blocks on the consumer.
+  if (warp.miss_done_at > now && cls != InstClass::kLoad) {
+    if (warp.grace_left > 0) {
+      --warp.grace_left;
+    } else if (warp.miss_done_at > ready_at) {
+      c.add(CounterId::kStallMemLoadCycles,
+            nsToCycles(warp.miss_done_at - ready_at));
+      ready_at = warp.miss_done_at;
+    }
+  }
+
+  advanceWarpProgram(warp, now);
+  return ready_at;
+}
+
+ClusterEpochResult SmCluster::runEpoch(TimeNs start_ns, TimeNs len_ns,
+                                       FreqMhz freq, bool transitioned,
+                                       const MemEnv& env) {
+  SSM_CHECK(len_ns > 0 && freq > 0.0);
+  ClusterEpochResult res;
+  if (done()) {
+    res.all_done = true;
+    res.cycles = cyclesIn(len_ns, freq);
+    return res;
+  }
+
+  const TimeNs usable_start =
+      start_ns + (transitioned ? cfg_->dvfs_transition_ns : 0);
+  const TimeNs end_ns = start_ns + len_ns;
+  const double nspc = nsPerCycle(freq);
+  const Cycles total_cycles = cyclesIn(end_ns - usable_start, freq);
+
+  EpochCtx ctx{.counters = &res.counters,
+               .env = &env,
+               .ns_per_cycle = nspc,
+               .freq = freq};
+
+  std::deque<int> ready;
+  Cycles cyc = 0;
+  Cycles last_live_cycle = 0;
+
+  while (cyc < total_cycles) {
+    const TimeNs now =
+        usable_start + static_cast<TimeNs>(static_cast<double>(cyc) * nspc);
+
+    while (!wait_.empty() && wait_.top().first <= now) {
+      ready.push_back(wait_.top().second);
+      wait_.pop();
+    }
+
+    if (ready.empty()) {
+      if (wait_.empty()) break;  // every warp retired
+      // Skip ahead to the next wake-up in one step.
+      const TimeNs next = wait_.top().first;
+      const auto target = static_cast<Cycles>(
+          std::ceil(static_cast<double>(next - usable_start) / nspc));
+      const Cycles skip = std::max<Cycles>(1, target - cyc);
+      res.counters.add(CounterId::kStallNoReadyCycles,
+                       static_cast<double>(std::min(skip, total_cycles - cyc)));
+      cyc += skip;
+      last_live_cycle = std::min(cyc, total_cycles);
+      continue;
+    }
+
+    for (int slot = 0; slot < cfg_->issue_width && !ready.empty(); ++slot) {
+      const int w = ready.front();
+      ready.pop_front();
+      const TimeNs ready_at = issueOne(w, now, ctx);
+      if (!warps_[static_cast<std::size_t>(w)].done)
+        wait_.emplace(ready_at, w);
+    }
+    ++cyc;
+    last_live_cycle = cyc;
+  }
+
+  // Park any still-ready warps back in the wake heap for the next epoch.
+  const TimeNs epoch_close = usable_start + static_cast<TimeNs>(
+                                 static_cast<double>(cyc) * nspc);
+  for (int w : ready) wait_.emplace(std::min(epoch_close, end_ns), w);
+
+  res.instructions = ctx.issued;
+  res.cycles = total_cycles;
+  res.all_done = done();
+  res.dram_reqs =
+      static_cast<std::int64_t>(res.counters.get(CounterId::kDramReqs));
+
+  const double cyc_d = std::max(1.0, static_cast<double>(total_cycles));
+  const double slots = cyc_d * cfg_->issue_width;
+  res.issue_act = std::min(1.0, static_cast<double>(ctx.issued) / slots);
+  res.alu_act = std::min(1.0, static_cast<double>(ctx.alu_issued) / cyc_d);
+  res.mem_act = std::min(1.0, static_cast<double>(ctx.mem_issued) / cyc_d);
+  res.active_frac =
+      res.all_done ? static_cast<double>(last_live_cycle) / cyc_d : 1.0;
+
+  // Finalize the mean memory latency (accumulated as a sum above).
+  const double miss_cnt = res.counters.get(CounterId::kL2Access);
+  if (miss_cnt > 0)
+    res.counters.set(CounterId::kAvgMemLatencyNs,
+                     res.counters.get(CounterId::kAvgMemLatencyNs) / miss_cnt);
+
+  res.counters.set(CounterId::kFreqMhz, freq);
+  res.counters.set(CounterId::kActiveCycles,
+                   res.active_frac * static_cast<double>(total_cycles));
+  res.counters.set(CounterId::kOccupancy,
+                   static_cast<double>(warps_.size()) /
+                       static_cast<double>(cfg_->max_warps_per_cluster));
+  res.counters.set(CounterId::kWarpsDone, static_cast<double>(warps_done_));
+  res.counters.finalizeDerived(total_cycles,
+                               static_cast<int>(warps_.size()),
+                               cfg_->issue_width);
+  return res;
+}
+
+}  // namespace ssm

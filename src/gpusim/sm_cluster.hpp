@@ -1,0 +1,120 @@
+// One streaming-multiprocessor cluster with its own clock domain.
+//
+// The cluster executes the workload's per-warp instruction streams with an
+// event-accelerated cycle loop: per cycle it issues up to `issue_width`
+// instructions from ready warps; blocked warps sit in a wake heap keyed by
+// wall-clock readiness time, and fully-stalled stretches are skipped in one
+// step. Core-side latencies are counted in cycles (they scale with the
+// cluster frequency); L2/DRAM latencies are wall-clock nanoseconds (they do
+// not) — the asymmetry that gives every workload its frequency sensitivity.
+//
+// The cluster is value-semantic: copying a cluster (as part of a Gpu copy)
+// snapshots the full microarchitectural state, which the data-generation
+// pipeline uses to replay the same execution at different V/f points.
+#pragma once
+
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "counters/counters.hpp"
+#include "gpusim/gpu_config.hpp"
+#include "workloads/kernel_profile.hpp"
+
+namespace ssm {
+
+/// Shared-memory-system environment for an epoch, computed by the Gpu from
+/// the previous epoch's aggregate traffic (bandwidth queueing model).
+struct MemEnv {
+  double latency_mult = 1.0;      ///< multiplies L2/DRAM latencies
+  double store_stall_prob = 0.02; ///< store-buffer backpressure probability
+};
+
+/// What one cluster produced in one epoch.
+struct ClusterEpochResult {
+  CounterBlock counters;          ///< power counters filled in by the Gpu
+  std::int64_t instructions = 0;
+  std::int64_t dram_reqs = 0;
+  Cycles cycles = 0;              ///< usable cycles in the epoch
+  double active_frac = 0.0;       ///< fraction of the epoch with live warps
+  double issue_act = 0.0;         ///< issue-slot utilisation in [0,1]
+  double alu_act = 0.0;
+  double mem_act = 0.0;
+  bool all_done = false;          ///< cluster retired its last warp
+};
+
+class SmCluster {
+ public:
+  SmCluster(std::shared_ptr<const GpuConfig> cfg,
+            std::shared_ptr<const KernelProfile> kernel, Rng rng,
+            int cluster_id);
+
+  /// Simulates [start_ns, start_ns + len_ns) at `freq`. If `transitioned`,
+  /// the first dvfs_transition_ns are lost to the IVR settling.
+  ClusterEpochResult runEpoch(TimeNs start_ns, TimeNs len_ns, FreqMhz freq,
+                              bool transitioned, const MemEnv& env);
+
+  [[nodiscard]] bool done() const noexcept {
+    return warps_done_ == static_cast<int>(warps_.size());
+  }
+  /// Wall-clock time the last warp retired; -1 while running.
+  [[nodiscard]] TimeNs finishNs() const noexcept { return finish_ns_; }
+  [[nodiscard]] std::int64_t totalInstructions() const noexcept {
+    return total_insts_;
+  }
+  [[nodiscard]] int clusterId() const noexcept { return cluster_id_; }
+  [[nodiscard]] int warpCount() const noexcept {
+    return static_cast<int>(warps_.size());
+  }
+
+ private:
+  enum class InstClass { kIalu, kFalu, kSfu, kLoad, kStore, kShared, kBranch };
+
+  struct WarpState {
+    Rng rng;
+    int phase = 0;
+    int loops_left = 0;
+    std::int64_t insts_left = 0;   ///< remaining in the current phase
+    TimeNs miss_done_at = -1;      ///< outstanding L1-miss completion
+    int grace_left = 0;            ///< insts issuable past an open miss
+    bool done = false;
+  };
+
+  struct EpochCtx {
+    CounterBlock* counters;
+    const MemEnv* env;
+    double ns_per_cycle;
+    FreqMhz freq;
+    std::int64_t issued = 0;
+    std::int64_t alu_issued = 0;
+    std::int64_t mem_issued = 0;
+  };
+
+  /// Issues one instruction from warp `w` at wall-clock `now`; returns the
+  /// time at which the warp may issue again.
+  TimeNs issueOne(int w, TimeNs now, EpochCtx& ctx);
+
+  InstClass sampleClass(const InstructionMix& mix, double u) const noexcept;
+  void advanceWarpProgram(WarpState& warp, TimeNs now);
+  void drainExpiredMisses(TimeNs now);
+
+  std::shared_ptr<const GpuConfig> cfg_;
+  std::shared_ptr<const KernelProfile> kernel_;
+  int cluster_id_;
+
+  std::vector<WarpState> warps_;
+  /// (ready_at_ns, warp): min-heap of warps waiting to become issuable.
+  std::priority_queue<std::pair<TimeNs, int>,
+                      std::vector<std::pair<TimeNs, int>>,
+                      std::greater<>>
+      wait_;
+  /// Completion times of in-flight L1 misses (MSHR occupancy).
+  std::priority_queue<TimeNs, std::vector<TimeNs>, std::greater<>> misses_;
+
+  int warps_done_ = 0;
+  std::int64_t total_insts_ = 0;
+  TimeNs finish_ns_ = -1;
+};
+
+}  // namespace ssm

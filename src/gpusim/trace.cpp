@@ -1,0 +1,124 @@
+#include "gpusim/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace ssm {
+
+void EpochTraceRecorder::record(const GpuEpochReport& report) {
+  std::vector<VfLevel> levels;
+  std::vector<std::int64_t> insts;
+  std::vector<double> power;
+  levels.reserve(report.clusters.size());
+  insts.reserve(report.clusters.size());
+  power.reserve(report.clusters.size());
+  for (const auto& obs : report.clusters) {
+    levels.push_back(obs.level);
+    insts.push_back(obs.instructions);
+    power.push_back(obs.power_w);
+  }
+  SSM_CHECK(levels_.empty() || levels.size() == levels_.front().size(),
+            "cluster count changed mid-trace");
+  levels_.push_back(std::move(levels));
+  insts_.push_back(std::move(insts));
+  cluster_power_w_.push_back(std::move(power));
+  chip_power_w_.push_back(report.chip_power_w);
+}
+
+VfLevel EpochTraceRecorder::levelAt(int epoch, int cluster) const {
+  SSM_CHECK(epoch >= 0 && epoch < epochCount(), "epoch out of range");
+  SSM_CHECK(cluster >= 0 && cluster < clusterCount(), "cluster out of range");
+  return levels_[static_cast<std::size_t>(epoch)]
+                [static_cast<std::size_t>(cluster)];
+}
+
+double EpochTraceRecorder::chipPowerAt(int epoch) const {
+  SSM_CHECK(epoch >= 0 && epoch < epochCount(), "epoch out of range");
+  return chip_power_w_[static_cast<std::size_t>(epoch)];
+}
+
+std::int64_t EpochTraceRecorder::instructionsAt(int epoch, int cluster) const {
+  SSM_CHECK(epoch >= 0 && epoch < epochCount(), "epoch out of range");
+  SSM_CHECK(cluster >= 0 && cluster < clusterCount(), "cluster out of range");
+  return insts_[static_cast<std::size_t>(epoch)]
+               [static_cast<std::size_t>(cluster)];
+}
+
+double EpochTraceRecorder::clusterPowerAt(int epoch, int cluster) const {
+  SSM_CHECK(epoch >= 0 && epoch < epochCount(), "epoch out of range");
+  SSM_CHECK(cluster >= 0 && cluster < clusterCount(), "cluster out of range");
+  return cluster_power_w_[static_cast<std::size_t>(epoch)]
+                         [static_cast<std::size_t>(cluster)];
+}
+
+double EpochTraceRecorder::meanChipPowerW() const noexcept {
+  if (chip_power_w_.empty()) return 0.0;
+  double s = 0.0;
+  for (double p : chip_power_w_) s += p;
+  return s / static_cast<double>(chip_power_w_.size());
+}
+
+std::vector<double> EpochTraceRecorder::levelHistogram(int num_levels) const {
+  std::vector<double> hist(static_cast<std::size_t>(num_levels), 0.0);
+  double total = 0.0;
+  for (const auto& epoch : levels_)
+    for (VfLevel l : epoch) {
+      if (l >= 0 && l < num_levels) hist[static_cast<std::size_t>(l)] += 1.0;
+      total += 1.0;
+    }
+  if (total > 0)
+    for (double& h : hist) h /= total;
+  return hist;
+}
+
+int EpochTraceRecorder::totalTransitions() const noexcept {
+  int transitions = 0;
+  for (std::size_t e = 1; e < levels_.size(); ++e)
+    for (std::size_t c = 0; c < levels_[e].size(); ++c)
+      transitions += levels_[e][c] != levels_[e - 1][c];
+  return transitions;
+}
+
+void EpochTraceRecorder::saveCsv(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw DataError("cannot open for writing: " + path);
+  os << "epoch,cluster,level,instructions,cluster_power_w,chip_power_w\n";
+  for (int e = 0; e < epochCount(); ++e)
+    for (int c = 0; c < clusterCount(); ++c)
+      os << e << ',' << c << ',' << levelAt(e, c) << ','
+         << instructionsAt(e, c) << ',' << clusterPowerAt(e, c) << ','
+         << chipPowerAt(e) << '\n';
+  if (!os) throw DataError("write failed: " + path);
+}
+
+void EpochTraceRecorder::renderTimeline(std::ostream& os,
+                                        int max_epochs) const {
+  if (epochCount() == 0) {
+    os << "(empty trace)\n";
+    return;
+  }
+  const int stride = std::max(1, (epochCount() + max_epochs - 1) / max_epochs);
+  os << "V/f level per cluster (rows) and epoch (cols";
+  if (stride > 1) os << ", every " << stride << "th";
+  os << "):\n";
+  for (int c = 0; c < clusterCount(); ++c) {
+    os << "c" << (c < 10 ? "0" : "") << c << " ";
+    for (int e = 0; e < epochCount(); e += stride) {
+      const VfLevel l = levelAt(e, c);
+      os << static_cast<char>(l <= 9 ? '0' + l : 'a' + (l - 10));
+    }
+    os << '\n';
+  }
+}
+
+void EpochTraceRecorder::clear() {
+  levels_.clear();
+  insts_.clear();
+  cluster_power_w_.clear();
+  chip_power_w_.clear();
+}
+
+}  // namespace ssm

@@ -1,0 +1,60 @@
+// Epoch-level telemetry: time series of levels, power and throughput.
+//
+// The runner can stream every GpuEpochReport into an EpochTraceRecorder;
+// the recorder exports CSV for offline analysis and renders a compact
+// ASCII timeline (one row per cluster, one column per epoch, digits are
+// V/f levels) — the fastest way to *see* what a governor is doing.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "gpusim/gpu.hpp"
+
+namespace ssm {
+
+class EpochTraceRecorder {
+ public:
+  /// Appends one epoch's observations.
+  void record(const GpuEpochReport& report);
+
+  [[nodiscard]] int epochCount() const noexcept {
+    return static_cast<int>(chip_power_w_.size());
+  }
+  [[nodiscard]] int clusterCount() const noexcept {
+    return levels_.empty() ? 0 : static_cast<int>(levels_.front().size());
+  }
+
+  /// Level of `cluster` during epoch `epoch`.
+  [[nodiscard]] VfLevel levelAt(int epoch, int cluster) const;
+  [[nodiscard]] double chipPowerAt(int epoch) const;
+  [[nodiscard]] std::int64_t instructionsAt(int epoch, int cluster) const;
+  [[nodiscard]] double clusterPowerAt(int epoch, int cluster) const;
+
+  /// Mean chip power over the recorded window.
+  [[nodiscard]] double meanChipPowerW() const noexcept;
+
+  /// Fraction of cluster-epochs per level (like RunResult's histogram).
+  [[nodiscard]] std::vector<double> levelHistogram(int num_levels) const;
+
+  /// Number of level switches summed over clusters.
+  [[nodiscard]] int totalTransitions() const noexcept;
+
+  /// CSV: epoch,cluster,level,instructions,cluster_power_w,chip_power_w.
+  void saveCsv(const std::string& path) const;
+
+  /// ASCII timeline: one row per cluster, digits are levels. `max_epochs`
+  /// columns are shown (subsampled if the trace is longer).
+  void renderTimeline(std::ostream& os, int max_epochs = 100) const;
+
+  void clear();
+
+ private:
+  std::vector<std::vector<VfLevel>> levels_;          ///< [epoch][cluster]
+  std::vector<std::vector<std::int64_t>> insts_;      ///< [epoch][cluster]
+  std::vector<std::vector<double>> cluster_power_w_;  ///< [epoch][cluster]
+  std::vector<double> chip_power_w_;                  ///< [epoch]
+};
+
+}  // namespace ssm

@@ -1,0 +1,87 @@
+#include "hw/asic_model.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace ssm {
+
+namespace {
+
+struct NetCost {
+  std::int64_t macs = 0;
+  std::int64_t words = 0;   ///< live weights + live biases
+  std::int64_t layers = 0;
+};
+
+NetCost costOf(const Mlp& net) {
+  NetCost c;
+  c.layers = static_cast<std::int64_t>(net.layerCount());
+  for (std::size_t l = 0; l < net.layerCount(); ++l) {
+    const DenseLayer& layer = net.layer(l);
+    const std::int64_t nz = layer.nonzeroWeights();
+    c.macs += nz;
+    c.words += nz;
+    // Live output neurons keep their bias word.
+    const Matrix& m = layer.mask();
+    for (int o = 0; o < layer.outDim(); ++o) {
+      for (int i = 0; i < layer.inDim(); ++i) {
+        if (m(static_cast<std::size_t>(o), static_cast<std::size_t>(i)) !=
+            0.0) {
+          ++c.words;
+          break;
+        }
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+AsicReport estimateAsic(const Mlp& decision, const Mlp& calibrator,
+                        const AsicConfig& cfg) {
+  SSM_CHECK(cfg.mac_units >= 1, "need at least one MAC lane");
+  SSM_CHECK(cfg.clock_mhz > 0.0, "clock must be positive");
+
+  const NetCost dec = costOf(decision);
+  const NetCost cal = costOf(calibrator);
+
+  AsicReport r;
+  r.macs = dec.macs + cal.macs;
+  r.weight_words = dec.words + cal.words;
+
+  const std::int64_t mac_cycles =
+      (r.macs + cfg.mac_units - 1) / cfg.mac_units;
+  r.cycles_per_inference =
+      mac_cycles + (dec.layers + cal.layers) * cfg.layer_overhead_cycles +
+      cfg.io_overhead_cycles;
+  r.time_us = static_cast<double>(r.cycles_per_inference) / cfg.clock_mhz;
+  r.dvfs_period_fraction = r.time_us / 10.0;
+
+  // Area at 65 nm, then scaled.
+  const double sram_bytes =
+      static_cast<double>(r.weight_words * cfg.bytes_per_word);
+  const double area_um2_65 =
+      cfg.mac_units * cfg.mac_area_um2_65 +
+      sram_bytes * cfg.sram_area_um2_per_byte_65 + cfg.ctrl_area_um2_65;
+  r.area_mm2_28 = area_um2_65 * cfg.area_scale_65_to_28 * 1e-6;
+
+  // Energy per inference at 65 nm, then scaled. Every MAC reads one weight
+  // word from the local SRAM.
+  const double energy_pj_65 =
+      static_cast<double>(r.macs) * cfg.mac_energy_pj_65 +
+      static_cast<double>(r.macs * cfg.bytes_per_word) *
+          cfg.sram_energy_pj_per_byte_65 +
+      static_cast<double>(r.cycles_per_inference) *
+          cfg.ctrl_energy_pj_per_cycle_65;
+  r.energy_per_inference_nj_28 =
+      energy_pj_65 * cfg.energy_scale_65_to_28 * 1e-3;
+  r.power_w_28 = r.time_us > 0.0
+                     ? r.energy_per_inference_nj_28 * 1e-9 /
+                           (r.time_us * 1e-6)
+                     : 0.0;
+  return r;
+}
+
+}  // namespace ssm

@@ -1,0 +1,58 @@
+// Analytic ASIC cost model for the SSMDVFS inference module (§V.D).
+//
+// The paper synthesises a Verilog FP32 implementation with a 65 nm TSMC
+// library and scales the result to 28 nm with DeepScaleTool, reporting:
+// 192 cycles/inference (0.16 µs @ 1165 MHz), 0.0080 mm^2 and 0.0025 W.
+// We reproduce those four scalars from the compressed network's shape with
+// a parameterised MAC-array model: cycles from a serial MAC schedule plus
+// per-layer pipeline flush and I/O overheads; area/energy from published
+// 65 nm FP32 constants and DeepScale-style 65→28 nm scaling factors.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/mlp.hpp"
+
+namespace ssm {
+
+struct AsicConfig {
+  int mac_units = 1;             ///< parallel FP32 MAC lanes
+  double clock_mhz = 1165.0;     ///< default GPU clock (§V.D)
+  int layer_overhead_cycles = 2; ///< pipeline fill/flush per FC layer
+  int io_overhead_cycles = 6;    ///< counter ingest + level output
+
+  // 65 nm FP32 reference constants.
+  double mac_energy_pj_65 = 9.5;
+  double mac_area_um2_65 = 11500.0;    ///< pipelined FP32 MAC + registers
+  double sram_area_um2_per_byte_65 = 4.2;
+  double sram_energy_pj_per_byte_65 = 0.85;
+  double ctrl_area_um2_65 = 24000.0;   ///< FSM, counters, I/O registers
+  double ctrl_energy_pj_per_cycle_65 = 0.35;
+
+  // DeepScaleTool-style scaling factors 65 nm -> 28 nm.
+  double area_scale_65_to_28 = 0.186;
+  double energy_scale_65_to_28 = 0.25;
+
+  int bytes_per_word = 4;  ///< FP32
+};
+
+struct AsicReport {
+  std::int64_t macs = 0;               ///< live multiply-accumulates
+  std::int64_t weight_words = 0;       ///< stored weights + biases
+  std::int64_t cycles_per_inference = 0;
+  double time_us = 0.0;
+  double area_mm2_28 = 0.0;
+  double energy_per_inference_nj_28 = 0.0;
+  double power_w_28 = 0.0;             ///< energy / inference time
+  /// Fraction of one 10 µs DVFS period consumed by an inference.
+  double dvfs_period_fraction = 0.0;
+};
+
+/// Estimates the inference engine running the full combined model
+/// (Decision-maker followed by Calibrator, as one back-to-back inference
+/// per DVFS epoch).
+[[nodiscard]] AsicReport estimateAsic(const Mlp& decision,
+                                      const Mlp& calibrator,
+                                      const AsicConfig& cfg = {});
+
+}  // namespace ssm

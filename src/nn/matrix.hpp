@@ -1,0 +1,65 @@
+// Minimal dense row-major matrix used by the MLP implementation.
+//
+// The networks here are tiny (tens of neurons), so clarity beats BLAS.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace ssm {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) {
+    SSM_CHECK(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    SSM_CHECK(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+
+  /// Unchecked fast path for inner loops.
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<double> row(std::size_t r) {
+    SSM_CHECK(r < rows_, "row out of range");
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const {
+    SSM_CHECK(r < rows_, "row out of range");
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  [[nodiscard]] std::span<double> flat() noexcept { return data_; }
+  [[nodiscard]] std::span<const double> flat() const noexcept { return data_; }
+
+  void fill(double v) noexcept {
+    for (auto& x : data_) x = v;
+  }
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace ssm

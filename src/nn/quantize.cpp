@@ -1,0 +1,159 @@
+#include "nn/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+
+namespace ssm {
+
+namespace {
+
+double quantClamp(double q, double qmax) {
+  return std::clamp(std::nearbyint(q), -qmax, qmax);
+}
+
+}  // namespace
+
+QuantizedMlp::QuantizedMlp(const Mlp& net, const QuantConfig& cfg,
+                           const Matrix& calibration_inputs)
+    : cfg_(cfg), head_(net.head()), input_dim_(net.inputDim()) {
+  const double qmax =
+      cfg_.weight_bits == QuantBits::kInt8 ? 127.0 : 32767.0;
+
+  // Per-layer symmetric weight quantization on the live weights.
+  layers_.reserve(net.layerCount());
+  for (std::size_t l = 0; l < net.layerCount(); ++l) {
+    const DenseLayer& src = net.layer(l);
+    QuantLayer q;
+    q.in_dim = src.inDim();
+    q.out_dim = src.outDim();
+    q.bias = src.bias();
+    double maxabs = 0.0;
+    for (double w : src.weights().flat()) maxabs = std::max(maxabs, std::abs(w));
+    q.weight_scale = maxabs > 0.0 ? maxabs / qmax : 1.0;
+    q.weights.reserve(src.weights().size());
+    for (double w : src.weights().flat())
+      q.weights.push_back(static_cast<std::int32_t>(
+          quantClamp(w / q.weight_scale, qmax)));
+    layers_.push_back(std::move(q));
+  }
+
+  // Activation scale calibration: run the float network over the sample and
+  // record each layer's max |activation|.
+  activations_quantized_ =
+      cfg_.quantize_activations && calibration_inputs.rows() > 0;
+  if (activations_quantized_) {
+    SSM_CHECK(static_cast<int>(calibration_inputs.cols()) == input_dim_,
+              "calibration width mismatch");
+    std::vector<double> maxact(net.layerCount(), 1e-12);
+    for (std::size_t r = 0; r < calibration_inputs.rows(); ++r) {
+      std::vector<double> act(calibration_inputs.row(r).begin(),
+                              calibration_inputs.row(r).end());
+      for (std::size_t l = 0; l < net.layerCount(); ++l) {
+        const DenseLayer& layer = net.layer(l);
+        std::vector<double> out(static_cast<std::size_t>(layer.outDim()));
+        for (int o = 0; o < layer.outDim(); ++o) {
+          double acc = layer.bias()[static_cast<std::size_t>(o)];
+          for (int i = 0; i < layer.inDim(); ++i)
+            acc += layer.weights()(static_cast<std::size_t>(o),
+                                   static_cast<std::size_t>(i)) *
+                   act[static_cast<std::size_t>(i)];
+          out[static_cast<std::size_t>(o)] = acc;
+        }
+        if (l + 1 < net.layerCount())
+          for (double& v : out) v = std::max(0.0, v);
+        for (double v : out) maxact[l] = std::max(maxact[l], std::abs(v));
+        act.swap(out);
+      }
+    }
+    const double act_qmax =
+        cfg_.weight_bits == QuantBits::kInt8 ? 127.0 : 32767.0;
+    for (std::size_t l = 0; l < layers_.size(); ++l)
+      layers_[l].act_scale = maxact[l] / act_qmax;
+  }
+}
+
+std::vector<double> QuantizedMlp::forward(
+    std::span<const double> input) const {
+  SSM_CHECK(static_cast<int>(input.size()) == input_dim_,
+            "input width mismatch");
+  const double act_qmax =
+      cfg_.weight_bits == QuantBits::kInt8 ? 127.0 : 32767.0;
+  std::vector<double> act(input.begin(), input.end());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const QuantLayer& layer = layers_[l];
+    std::vector<double> out(static_cast<std::size_t>(layer.out_dim));
+    for (int o = 0; o < layer.out_dim; ++o) {
+      double acc = layer.bias[static_cast<std::size_t>(o)];
+      const std::size_t base =
+          static_cast<std::size_t>(o) * static_cast<std::size_t>(layer.in_dim);
+      for (int i = 0; i < layer.in_dim; ++i)
+        acc += static_cast<double>(layer.weights[base +
+                                                 static_cast<std::size_t>(i)]) *
+               layer.weight_scale * act[static_cast<std::size_t>(i)];
+      out[static_cast<std::size_t>(o)] = acc;
+    }
+    if (l + 1 < layers_.size())
+      for (double& v : out) v = std::max(0.0, v);
+    if (activations_quantized_) {
+      // Emulate the fixed-point requantization between layers.
+      for (double& v : out)
+        v = quantClamp(v / layer.act_scale, act_qmax) * layer.act_scale;
+    }
+    act.swap(out);
+  }
+  if (head_ == Head::kSoftmaxClassifier) softmaxInPlace(act);
+  return act;
+}
+
+int QuantizedMlp::predictClass(std::span<const double> input) const {
+  SSM_CHECK(head_ == Head::kSoftmaxClassifier,
+            "predictClass requires a classifier head");
+  const auto probs = forward(input);
+  return static_cast<int>(std::max_element(probs.begin(), probs.end()) -
+                          probs.begin());
+}
+
+double QuantizedMlp::predictScalar(std::span<const double> input) const {
+  SSM_CHECK(head_ == Head::kRegression,
+            "predictScalar requires a regression head");
+  return forward(input)[0];
+}
+
+std::int64_t QuantizedMlp::modelBytes() const noexcept {
+  const std::int64_t wbytes =
+      cfg_.weight_bits == QuantBits::kInt8 ? 1 : 2;
+  std::int64_t total = 0;
+  for (const auto& layer : layers_) {
+    std::int64_t nz = 0;
+    for (std::int32_t w : layer.weights) nz += (w != 0);
+    total += nz * wbytes;
+    total += static_cast<std::int64_t>(layer.bias.size()) * 4;  // FP32 bias
+  }
+  return total;
+}
+
+double quantizationDrift(const Mlp& net, const QuantizedMlp& q,
+                         const Matrix& probe_inputs) {
+  SSM_CHECK(probe_inputs.rows() > 0, "need probe inputs");
+  SSM_CHECK(net.head() == q.head(), "head mismatch");
+  if (net.head() == Head::kSoftmaxClassifier) {
+    std::size_t changed = 0;
+    for (std::size_t r = 0; r < probe_inputs.rows(); ++r)
+      changed += net.predictClass(probe_inputs.row(r)) !=
+                 q.predictClass(probe_inputs.row(r));
+    return static_cast<double>(changed) /
+           static_cast<double>(probe_inputs.rows());
+  }
+  std::vector<double> ref(probe_inputs.rows());
+  std::vector<double> quant(probe_inputs.rows());
+  for (std::size_t r = 0; r < probe_inputs.rows(); ++r) {
+    ref[r] = net.predictScalar(probe_inputs.row(r));
+    quant[r] = q.predictScalar(probe_inputs.row(r));
+  }
+  return mapePercent(ref, quant, /*floor=*/1e-3) / 100.0;
+}
+
+}  // namespace ssm

@@ -1,0 +1,78 @@
+// Post-training quantization analysis for the inference engine.
+//
+// §V.D implements the SSMDVFS module in FP32. A natural hardware extension
+// is fixed-point inference: this module quantizes a trained Mlp's weights
+// (and optionally activations) to symmetric int8/int16 with per-layer
+// scales, producing (a) a quantized *simulation* model whose accuracy can
+// be compared against FP32, and (b) the bit-width parameters the ASIC cost
+// model needs to price the cheaper MACs. The original network is not
+// modified.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/mlp.hpp"
+
+namespace ssm {
+
+enum class QuantBits { kInt8 = 8, kInt16 = 16 };
+
+struct QuantConfig {
+  QuantBits weight_bits = QuantBits::kInt8;
+  /// Also quantize activations between layers (symmetric, per layer, with
+  /// scales calibrated on a sample of inputs).
+  bool quantize_activations = true;
+};
+
+/// A quantized snapshot of one dense layer.
+struct QuantLayer {
+  std::vector<std::int32_t> weights;  ///< quantized, row-major like Mlp
+  std::vector<double> bias;           ///< kept in float (negligible cost)
+  double weight_scale = 1.0;          ///< w_fp ~= w_q * weight_scale
+  double act_scale = 1.0;             ///< output activation scale
+  int in_dim = 0;
+  int out_dim = 0;
+};
+
+/// Quantized inference model (forward pass emulates fixed-point rounding).
+class QuantizedMlp {
+ public:
+  /// Quantizes `net`. Activation scales are calibrated over
+  /// `calibration_inputs` (row-major, width = net.inputDim()); pass an
+  /// empty matrix to skip activation quantization regardless of config.
+  QuantizedMlp(const Mlp& net, const QuantConfig& cfg,
+               const Matrix& calibration_inputs);
+
+  [[nodiscard]] std::vector<double> forward(
+      std::span<const double> input) const;
+  [[nodiscard]] int predictClass(std::span<const double> input) const;
+  [[nodiscard]] double predictScalar(std::span<const double> input) const;
+
+  [[nodiscard]] Head head() const noexcept { return head_; }
+  [[nodiscard]] int inputDim() const noexcept { return input_dim_; }
+  [[nodiscard]] const std::vector<QuantLayer>& layers() const noexcept {
+    return layers_;
+  }
+  [[nodiscard]] QuantBits weightBits() const noexcept {
+    return cfg_.weight_bits;
+  }
+
+  /// Storage for quantized weights + float biases, in bytes.
+  [[nodiscard]] std::int64_t modelBytes() const noexcept;
+
+ private:
+  QuantConfig cfg_;
+  Head head_;
+  int input_dim_ = 0;
+  bool activations_quantized_ = false;
+  std::vector<QuantLayer> layers_;
+};
+
+/// Worst-case relative error of the quantized forward pass against the
+/// float network over the given probe inputs (classifier: fraction of
+/// changed argmax decisions; regression: MAPE between the two outputs).
+[[nodiscard]] double quantizationDrift(const Mlp& net, const QuantizedMlp& q,
+                                       const Matrix& probe_inputs);
+
+}  // namespace ssm

@@ -1,0 +1,242 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/stats.hpp"
+
+namespace ssm {
+
+AdamTrainer::AdamTrainer(TrainConfig cfg)
+    : cfg_(cfg), current_lr_(cfg.learning_rate) {
+  SSM_CHECK(cfg_.epochs > 0 && cfg_.batch_size > 0,
+            "epochs and batch size must be positive");
+  SSM_CHECK(cfg_.learning_rate > 0.0, "learning rate must be positive");
+}
+
+double AdamTrainer::lrForEpoch(int epoch) const noexcept {
+  const double frac =
+      static_cast<double>(epoch) / static_cast<double>(cfg_.epochs);
+  double lr = cfg_.learning_rate;
+  if (frac >= cfg_.lr_step1_frac) lr *= cfg_.lr_decay;
+  if (frac >= cfg_.lr_step2_frac) lr *= cfg_.lr_decay;
+  return lr;
+}
+
+void AdamTrainer::zeroGrads(const Mlp& net) {
+  grad_w_.resize(net.layerCount());
+  grad_b_.resize(net.layerCount());
+  for (std::size_t l = 0; l < net.layerCount(); ++l) {
+    grad_w_[l].assign(net.layer(l).weights().size(), 0.0);
+    grad_b_[l].assign(net.layer(l).bias().size(), 0.0);
+  }
+  batch_count_ = 0;
+}
+
+void AdamTrainer::backwardAccumulate(
+    Mlp& net, const std::vector<std::vector<double>>& acts,
+    std::span<const double> grad_out) {
+  // acts[l] is the activation entering layer l (acts[0] = input);
+  // acts[L] is the network output before the head transform.
+  std::vector<double> grad(grad_out.begin(), grad_out.end());
+  for (std::size_t li = net.layerCount(); li-- > 0;) {
+    DenseLayer& layer = net.layer(li);
+    const std::vector<double>& in = acts[li];
+    std::vector<double> grad_in(in.size(), 0.0);
+    const Matrix& w = layer.weights();
+    const Matrix& m = layer.mask();
+    auto& gw = grad_w_[li];
+    auto& gb = grad_b_[li];
+    const std::size_t in_dim = in.size();
+    for (std::size_t o = 0; o < grad.size(); ++o) {
+      const double g = grad[o];
+      gb[o] += g;
+      const std::size_t base = o * in_dim;
+      for (std::size_t i = 0; i < in_dim; ++i) {
+        gw[base + i] += g * in[i];
+        grad_in[i] += g * w(o, i) * m(o, i);
+      }
+    }
+    if (li > 0) {
+      // Backprop through the ReLU that produced acts[li].
+      for (std::size_t i = 0; i < grad_in.size(); ++i)
+        if (acts[li][i] <= 0.0) grad_in[i] = 0.0;
+    }
+    grad.swap(grad_in);
+  }
+}
+
+void AdamTrainer::adamStep(Mlp& net, int t) {
+  if (batch_count_ == 0) return;
+  const double inv_batch = 1.0 / static_cast<double>(batch_count_);
+  const double bc1 = 1.0 - std::pow(cfg_.beta1, t);
+  const double bc2 = 1.0 - std::pow(cfg_.beta2, t);
+
+  adam_.resize(net.layerCount());
+  for (std::size_t l = 0; l < net.layerCount(); ++l) {
+    DenseLayer& layer = net.layer(l);
+    AdamState& st = adam_[l];
+    if (st.m_w.size() != layer.weights().size()) {
+      st.m_w.assign(layer.weights().size(), 0.0);
+      st.v_w.assign(layer.weights().size(), 0.0);
+      st.m_b.assign(layer.bias().size(), 0.0);
+      st.v_b.assign(layer.bias().size(), 0.0);
+    }
+    auto w = layer.weights().flat();
+    auto mask = layer.mask().flat();
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      if (mask[i] == 0.0) continue;  // pruned weights are frozen at zero
+      double g = grad_w_[l][i] * inv_batch + cfg_.l2 * w[i];
+      st.m_w[i] = cfg_.beta1 * st.m_w[i] + (1.0 - cfg_.beta1) * g;
+      st.v_w[i] = cfg_.beta2 * st.v_w[i] + (1.0 - cfg_.beta2) * g * g;
+      const double mhat = st.m_w[i] / bc1;
+      const double vhat = st.v_w[i] / bc2;
+      w[i] -= current_lr_ * mhat / (std::sqrt(vhat) + cfg_.adam_eps);
+    }
+    auto& b = layer.bias();
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      const double g = grad_b_[l][i] * inv_batch;
+      st.m_b[i] = cfg_.beta1 * st.m_b[i] + (1.0 - cfg_.beta1) * g;
+      st.v_b[i] = cfg_.beta2 * st.v_b[i] + (1.0 - cfg_.beta2) * g * g;
+      const double mhat = st.m_b[i] / bc1;
+      const double vhat = st.v_b[i] / bc2;
+      b[i] -= current_lr_ * mhat / (std::sqrt(vhat) + cfg_.adam_eps);
+    }
+  }
+  net.applyMasks();
+}
+
+namespace {
+
+/// Forward pass that records every layer's input activation plus the raw
+/// output (before softmax). Mirrors Mlp::forward.
+std::vector<std::vector<double>> forwardTrace(const Mlp& net,
+                                              std::span<const double> input) {
+  std::vector<std::vector<double>> acts;
+  acts.reserve(net.layerCount() + 1);
+  acts.emplace_back(input.begin(), input.end());
+  for (std::size_t l = 0; l < net.layerCount(); ++l) {
+    const DenseLayer& layer = net.layer(l);
+    std::vector<double> out(static_cast<std::size_t>(layer.outDim()), 0.0);
+    const Matrix& w = layer.weights();
+    const auto& in = acts.back();
+    for (std::size_t o = 0; o < out.size(); ++o) {
+      double acc = layer.bias()[o];
+      for (std::size_t i = 0; i < in.size(); ++i) acc += w(o, i) * in[i];
+      out[o] = acc;
+    }
+    if (l + 1 < net.layerCount())
+      for (double& v : out) v = std::max(0.0, v);
+    acts.push_back(std::move(out));
+  }
+  return acts;
+}
+
+}  // namespace
+
+std::vector<TrainLogEntry> AdamTrainer::fitClassifier(
+    Mlp& net, const Matrix& inputs, std::span<const int> labels) {
+  SSM_CHECK(net.head() == Head::kSoftmaxClassifier,
+            "fitClassifier needs a classifier net");
+  SSM_CHECK(inputs.rows() == labels.size(), "inputs/labels size mismatch");
+  SSM_CHECK(static_cast<int>(inputs.cols()) == net.inputDim(),
+            "input width mismatch");
+  for (int y : labels)
+    SSM_CHECK(y >= 0 && y < net.outputDim(), "label out of range");
+
+  Rng rng(cfg_.shuffle_seed);
+  std::vector<std::size_t> order(inputs.rows());
+  std::iota(order.begin(), order.end(), 0u);
+
+  std::vector<TrainLogEntry> log;
+  adam_.clear();
+  int t = 0;
+  for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    current_lr_ = lrForEpoch(epoch);
+    rng.shuffle(order);
+    double loss_sum = 0.0;
+    std::size_t idx = 0;
+    while (idx < order.size()) {
+      zeroGrads(net);
+      const std::size_t stop =
+          std::min(order.size(), idx + static_cast<std::size_t>(cfg_.batch_size));
+      for (; idx < stop; ++idx) {
+        const std::size_t r = order[idx];
+        auto acts = forwardTrace(net, inputs.row(r));
+        std::vector<double> probs = acts.back();
+        softmaxInPlace(probs);
+        const int y = labels[r];
+        loss_sum += -std::log(std::max(probs[static_cast<std::size_t>(y)],
+                                       1e-12));
+        probs[static_cast<std::size_t>(y)] -= 1.0;  // dCE/dlogits
+        ++batch_count_;
+        backwardAccumulate(net, acts, probs);
+      }
+      adamStep(net, ++t);
+    }
+    log.push_back({epoch, loss_sum / static_cast<double>(inputs.rows())});
+  }
+  return log;
+}
+
+std::vector<TrainLogEntry> AdamTrainer::fitRegression(
+    Mlp& net, const Matrix& inputs, std::span<const double> targets) {
+  SSM_CHECK(net.head() == Head::kRegression,
+            "fitRegression needs a regression net");
+  SSM_CHECK(inputs.rows() == targets.size(), "inputs/targets size mismatch");
+  SSM_CHECK(net.outputDim() == 1, "scalar regression expected");
+
+  Rng rng(cfg_.shuffle_seed + 1);
+  std::vector<std::size_t> order(inputs.rows());
+  std::iota(order.begin(), order.end(), 0u);
+
+  std::vector<TrainLogEntry> log;
+  adam_.clear();
+  int t = 0;
+  for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    current_lr_ = lrForEpoch(epoch);
+    rng.shuffle(order);
+    double loss_sum = 0.0;
+    std::size_t idx = 0;
+    while (idx < order.size()) {
+      zeroGrads(net);
+      const std::size_t stop =
+          std::min(order.size(), idx + static_cast<std::size_t>(cfg_.batch_size));
+      for (; idx < stop; ++idx) {
+        const std::size_t r = order[idx];
+        auto acts = forwardTrace(net, inputs.row(r));
+        const double pred = acts.back()[0];
+        const double err = pred - targets[r];
+        loss_sum += err * err;
+        const std::vector<double> grad{2.0 * err};
+        ++batch_count_;
+        backwardAccumulate(net, acts, grad);
+      }
+      adamStep(net, ++t);
+    }
+    log.push_back({epoch, loss_sum / static_cast<double>(inputs.rows())});
+  }
+  return log;
+}
+
+double classifierAccuracy(const Mlp& net, const Matrix& inputs,
+                          std::span<const int> labels) {
+  SSM_CHECK(inputs.rows() == labels.size(), "inputs/labels size mismatch");
+  if (inputs.rows() == 0) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t r = 0; r < inputs.rows(); ++r)
+    hits += net.predictClass(inputs.row(r)) == labels[r];
+  return static_cast<double>(hits) / static_cast<double>(inputs.rows());
+}
+
+double regressionMape(const Mlp& net, const Matrix& inputs,
+                      std::span<const double> targets) {
+  SSM_CHECK(inputs.rows() == targets.size(), "inputs/targets size mismatch");
+  std::vector<double> preds(inputs.rows());
+  for (std::size_t r = 0; r < inputs.rows(); ++r)
+    preds[r] = net.predictScalar(inputs.row(r));
+  return mapePercent(targets, preds, /*floor=*/1e-3);
+}
+
+}  // namespace ssm

@@ -1,0 +1,87 @@
+// Mini-batch Adam trainer for the Mlp, plus evaluation helpers.
+//
+// Training is fully deterministic: shuffling uses a seeded Rng and there is
+// no parallelism. Pruned weights (mask == 0) receive no updates, so the
+// §IV.C pruning masks survive fine-tuning.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/matrix.hpp"
+#include "nn/mlp.hpp"
+
+namespace ssm {
+
+struct TrainConfig {
+  int epochs = 60;
+  int batch_size = 32;
+  double learning_rate = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double adam_eps = 1e-8;
+  double l2 = 1e-5;              ///< weight decay (helps pruning later)
+  /// Step decay: the learning rate is multiplied by lr_decay at these
+  /// fractions of the epoch budget (small nets need the annealing).
+  double lr_decay = 0.3;
+  double lr_step1_frac = 0.6;
+  double lr_step2_frac = 0.85;
+  std::uint64_t shuffle_seed = 0x7121aULL;
+};
+
+/// Per-epoch progress record.
+struct TrainLogEntry {
+  int epoch = 0;
+  double loss = 0.0;
+};
+
+class AdamTrainer {
+ public:
+  explicit AdamTrainer(TrainConfig cfg = {});
+
+  /// Trains a classifier head on (inputs, class labels in [0, out_dim)).
+  /// Returns the per-epoch mean loss trace.
+  std::vector<TrainLogEntry> fitClassifier(Mlp& net, const Matrix& inputs,
+                                           std::span<const int> labels);
+
+  /// Trains a regression head on (inputs, scalar targets).
+  std::vector<TrainLogEntry> fitRegression(Mlp& net, const Matrix& inputs,
+                                           std::span<const double> targets);
+
+ private:
+  struct AdamState {
+    std::vector<double> m_w, v_w, m_b, v_b;
+  };
+
+  /// Runs one backward pass for a single sample and accumulates gradients.
+  /// `grad_out` is dLoss/d(pre-head output).
+  void backwardAccumulate(Mlp& net,
+                          const std::vector<std::vector<double>>& acts,
+                          std::span<const double> grad_out);
+
+  void adamStep(Mlp& net, int t);
+  void zeroGrads(const Mlp& net);
+
+  /// Learning rate for the given epoch under the step-decay schedule.
+  [[nodiscard]] double lrForEpoch(int epoch) const noexcept;
+
+  TrainConfig cfg_;
+  double current_lr_ = 0.0;
+  // Gradient accumulators, one per layer (flattened like the weights).
+  std::vector<std::vector<double>> grad_w_;
+  std::vector<std::vector<double>> grad_b_;
+  std::vector<AdamState> adam_;
+  int batch_count_ = 0;
+};
+
+/// Fraction of samples whose argmax class matches the label.
+[[nodiscard]] double classifierAccuracy(const Mlp& net, const Matrix& inputs,
+                                        std::span<const int> labels);
+
+/// MAPE (%) of the regression head against targets.
+[[nodiscard]] double regressionMape(const Mlp& net, const Matrix& inputs,
+                                    std::span<const double> targets);
+
+}  // namespace ssm

@@ -1,0 +1,66 @@
+#include "power/power_model.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace ssm {
+
+ClusterPowerModel::ClusterPowerModel(ClusterPowerParams params)
+    : params_(params) {
+  SSM_CHECK(params_.c_eff > 0.0, "c_eff must be positive");
+  SSM_CHECK(params_.act_base >= 0.0 && params_.act_base <= 1.0,
+            "act_base must be in [0,1]");
+}
+
+double ClusterPowerModel::dynamicPowerW(
+    const VfPoint& vf, const ClusterActivity& a) const noexcept {
+  const double raw = params_.act_base + params_.w_issue * a.issue +
+                     params_.w_alu * a.alu + params_.w_mem * a.mem;
+  const double activity = std::clamp(raw, params_.act_base, 1.0);
+  // Idle (gated) fraction of the epoch contributes only base toggling.
+  const double act_scaled =
+      a.active * activity + (1.0 - a.active) * params_.act_base * 0.5;
+  return params_.c_eff * vf.voltage_v * vf.voltage_v * vf.freq_mhz *
+         act_scaled;
+}
+
+double ClusterPowerModel::leakagePowerW(const VfPoint& vf) const noexcept {
+  const double v = vf.voltage_v;
+  return params_.leak_lin * v + params_.leak_cub * v * v * v;
+}
+
+double ClusterPowerModel::totalPowerW(const VfPoint& vf,
+                                      const ClusterActivity& a) const noexcept {
+  return dynamicPowerW(vf, a) + leakagePowerW(vf);
+}
+
+ChipPowerModel::ChipPowerModel(int num_clusters,
+                               ClusterPowerParams cluster_params,
+                               UncorePowerParams uncore_params)
+    : num_clusters_(num_clusters),
+      cluster_model_(cluster_params),
+      uncore_(uncore_params) {
+  SSM_CHECK(num_clusters_ > 0, "chip needs at least one cluster");
+}
+
+double ChipPowerModel::uncorePowerW(double dram_util) const noexcept {
+  const double util = std::clamp(dram_util, 0.0, 1.0);
+  return uncore_.base_w + uncore_.dram_max_w * util;
+}
+
+double ChipPowerModel::uniformChipPowerW(const VfPoint& vf,
+                                         const ClusterActivity& a,
+                                         double dram_util) const noexcept {
+  return static_cast<double>(num_clusters_) *
+             cluster_model_.totalPowerW(vf, a) +
+         uncorePowerW(dram_util);
+}
+
+void EnergyAccountant::add(double power_w, TimeNs duration_ns) noexcept {
+  if (duration_ns <= 0) return;
+  energy_j_ += power_w * secondsOf(duration_ns);
+  elapsed_ns_ += duration_ns;
+}
+
+}  // namespace ssm

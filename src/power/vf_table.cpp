@@ -1,0 +1,51 @@
+#include "power/vf_table.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace ssm {
+
+VfTable::VfTable(std::vector<VfPoint> points) : points_(std::move(points)) {
+  SSM_CHECK(points_.size() >= 2, "a V/f table needs at least two points");
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    SSM_CHECK(points_[i].voltage_v > 0.0 && points_[i].freq_mhz > 0.0,
+              "operating point must have positive voltage and frequency");
+    if (i > 0) {
+      SSM_CHECK(points_[i].freq_mhz > points_[i - 1].freq_mhz,
+                "frequencies must be strictly ascending");
+      SSM_CHECK(points_[i].voltage_v >= points_[i - 1].voltage_v,
+                "voltage must be non-decreasing with frequency");
+    }
+  }
+}
+
+VfTable VfTable::titanX() {
+  return VfTable({{1.000, 683.0},
+                  {1.000, 780.0},
+                  {1.000, 878.0},
+                  {1.000, 975.0},
+                  {1.100, 1100.0},
+                  {1.155, 1165.0}});
+}
+
+VfTable VfTable::titanXSparse() {
+  return VfTable({{1.000, 683.0}, {1.000, 878.0}, {1.155, 1165.0}});
+}
+
+const VfPoint& VfTable::at(VfLevel level) const {
+  SSM_CHECK(isValid(level), "V/f level out of range");
+  return points_[static_cast<std::size_t>(level)];
+}
+
+VfLevel VfTable::clamp(VfLevel level) const noexcept {
+  return std::clamp(level, 0, static_cast<VfLevel>(points_.size()) - 1);
+}
+
+VfLevel VfTable::levelForMinFreq(FreqMhz freq_mhz) const noexcept {
+  for (std::size_t i = 0; i < points_.size(); ++i)
+    if (points_[i].freq_mhz >= freq_mhz) return static_cast<VfLevel>(i);
+  return defaultLevel();
+}
+
+}  // namespace ssm

@@ -1,0 +1,65 @@
+// Voltage/frequency operating-point table.
+//
+// The paper's setup (§V.A) uses six per-cluster operating points for the
+// Nvidia GeForce GTX Titan X, taken from Guerreiro et al., HPCA'18:
+//   (1.0 V, 683 MHz) ... (1.155 V, 1165 MHz)
+// Level 0 is the slowest point, the highest level is the default.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace ssm {
+
+/// One voltage/frequency operating point.
+struct VfPoint {
+  double voltage_v = 0.0;
+  FreqMhz freq_mhz = 0.0;
+
+  friend bool operator==(const VfPoint&, const VfPoint&) = default;
+};
+
+/// Index into a VfTable; 0 = slowest operating point.
+using VfLevel = int;
+
+/// Ordered set of operating points (ascending frequency). Immutable after
+/// construction; validates monotonicity of both voltage and frequency.
+class VfTable {
+ public:
+  explicit VfTable(std::vector<VfPoint> points);
+
+  /// The six-point GTX Titan X table used throughout the paper.
+  static VfTable titanX();
+
+  /// A sparse 3-point variant (endpoints + midpoint) for the A2 ablation.
+  static VfTable titanXSparse();
+
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+  [[nodiscard]] const VfPoint& at(VfLevel level) const;
+  [[nodiscard]] std::span<const VfPoint> points() const noexcept {
+    return points_;
+  }
+
+  /// The default operating point: the highest level (max frequency).
+  [[nodiscard]] VfLevel defaultLevel() const noexcept {
+    return static_cast<VfLevel>(points_.size()) - 1;
+  }
+
+  [[nodiscard]] bool isValid(VfLevel level) const noexcept {
+    return level >= 0 && static_cast<std::size_t>(level) < points_.size();
+  }
+
+  /// Clamps an arbitrary integer to a valid level.
+  [[nodiscard]] VfLevel clamp(VfLevel level) const noexcept;
+
+  /// Lowest level whose frequency is >= freq_mhz (default level if none).
+  [[nodiscard]] VfLevel levelForMinFreq(FreqMhz freq_mhz) const noexcept;
+
+ private:
+  std::vector<VfPoint> points_;
+};
+
+}  // namespace ssm

@@ -1,0 +1,84 @@
+// Synthetic GPGPU workload profiles.
+//
+// The paper runs >20 CUDA benchmarks from Rodinia, Parboil and PolyBench on
+// GPGPU-Sim. We cannot ship those binaries, so each benchmark is replaced by
+// a *kernel profile*: a phase program that drives the trace generator inside
+// the simulator. A phase fixes the statistical behaviour a 10 µs DVFS window
+// actually observes — instruction mix, cache locality, memory-level
+// parallelism, divergence — and the phase sequencing recreates the suites'
+// characteristic time-varying compute/memory intensity. See DESIGN.md §2 for
+// why this substitution preserves the frequency-sensitivity structure DVFS
+// exploits.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace ssm {
+
+/// Fractions of dynamic instructions by class; must sum to ~1.
+struct InstructionMix {
+  double ialu = 0.0;
+  double falu = 0.0;
+  double sfu = 0.0;
+  double load = 0.0;
+  double store = 0.0;
+  double shared = 0.0;  ///< shared-memory access (no DRAM traffic)
+  double branch = 0.0;
+
+  [[nodiscard]] double sum() const noexcept {
+    return ialu + falu + sfu + load + store + shared + branch;
+  }
+};
+
+/// One statistically-stationary program phase.
+struct PhaseProfile {
+  InstructionMix mix;
+  double l1_hit_rate = 0.8;   ///< P(load hits in L1)
+  double l2_hit_rate = 0.5;   ///< P(L1 miss hits in L2)
+  /// Independent instructions a warp can still issue after a pending L1
+  /// miss before the consumer blocks it (memory-level parallelism proxy).
+  int ilp = 4;
+  /// Probability that a branch diverges and costs a control-hazard stall.
+  double divergence = 0.1;
+  /// Probability that a non-memory instruction's consumer is adjacent,
+  /// stalling the warp for the producer's execution latency.
+  double dep_prob = 0.25;
+  /// Dynamic instructions per warp in this phase.
+  std::int64_t insts_per_warp = 2000;
+};
+
+/// A named benchmark profile.
+struct KernelProfile {
+  std::string name;
+  std::string suite;               ///< "rodinia" | "parboil" | "polybench"
+  std::vector<PhaseProfile> phases;
+  int warps_per_cluster = 24;      ///< resident warp contexts per cluster
+  int phase_loops = 1;             ///< times the phase list repeats
+
+  /// Total dynamic instructions one warp executes.
+  [[nodiscard]] std::int64_t totalInstsPerWarp() const noexcept {
+    std::int64_t total = 0;
+    for (const auto& p : phases) total += p.insts_per_warp;
+    return total * phase_loops;
+  }
+
+  /// Validates mix sums and parameter ranges; throws DataError on problems.
+  void validate() const;
+};
+
+/// All profiles in the registry (28 benchmarks across the three suites).
+[[nodiscard]] const std::vector<KernelProfile>& allWorkloads();
+
+/// Finds a profile by name; throws DataError if absent.
+[[nodiscard]] const KernelProfile& workloadByName(const std::string& name);
+
+/// The training split used for data generation (§III.A).
+[[nodiscard]] std::vector<KernelProfile> trainingWorkloads();
+
+/// The evaluation split (§V.A: >50 % of evaluated programs are unseen).
+[[nodiscard]] std::vector<KernelProfile> evaluationWorkloads();
+
+}  // namespace ssm

@@ -1,0 +1,144 @@
+#include "workloads/profile_io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace ssm {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& msg) {
+  throw DataError("profile line " + std::to_string(line_no) + ": " + msg);
+}
+
+/// Parses "key=value key=value ..." into a map; throws on duplicates.
+std::map<std::string, double> parsePairs(const std::string& rest,
+                                         std::size_t line_no) {
+  std::map<std::string, double> out;
+  std::istringstream ss(rest);
+  std::string token;
+  while (ss >> token) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= token.size())
+      fail(line_no, "expected key=value, got '" + token + "'");
+    const std::string key = token.substr(0, eq);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str() + eq + 1, &end);
+    if (end == nullptr || *end != '\0')
+      fail(line_no, "bad numeric value in '" + token + "'");
+    if (!out.emplace(key, value).second)
+      fail(line_no, "duplicate key '" + key + "'");
+  }
+  return out;
+}
+
+double require(const std::map<std::string, double>& kv, const char* key,
+               std::size_t line_no) {
+  const auto it = kv.find(key);
+  if (it == kv.end()) fail(line_no, std::string("missing key '") + key + "'");
+  return it->second;
+}
+
+}  // namespace
+
+std::vector<KernelProfile> parseProfiles(std::istream& is) {
+  std::vector<KernelProfile> kernels;
+  KernelProfile current;
+  bool in_kernel = false;
+  std::string line;
+  std::size_t line_no = 0;
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    // Strip comments and whitespace-only lines.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ss(line);
+    std::string keyword;
+    if (!(ss >> keyword)) continue;
+
+    if (keyword == "kernel") {
+      if (in_kernel) fail(line_no, "previous kernel not closed with 'end'");
+      current = KernelProfile{};
+      if (!(ss >> current.name)) fail(line_no, "kernel needs a name");
+      if (!(ss >> current.suite)) current.suite = "custom";
+      in_kernel = true;
+    } else if (!in_kernel) {
+      fail(line_no, "'" + keyword + "' outside a kernel block");
+    } else if (keyword == "warps_per_cluster") {
+      if (!(ss >> current.warps_per_cluster))
+        fail(line_no, "warps_per_cluster needs an integer");
+    } else if (keyword == "phase_loops") {
+      if (!(ss >> current.phase_loops))
+        fail(line_no, "phase_loops needs an integer");
+    } else if (keyword == "phase") {
+      std::string rest;
+      std::getline(ss, rest);
+      const auto kv = parsePairs(rest, line_no);
+      PhaseProfile p;
+      p.mix.ialu = require(kv, "ialu", line_no);
+      p.mix.falu = require(kv, "falu", line_no);
+      p.mix.sfu = require(kv, "sfu", line_no);
+      p.mix.load = require(kv, "load", line_no);
+      p.mix.store = require(kv, "store", line_no);
+      p.mix.shared = require(kv, "shared", line_no);
+      p.mix.branch = require(kv, "branch", line_no);
+      p.l1_hit_rate = require(kv, "l1", line_no);
+      p.l2_hit_rate = require(kv, "l2", line_no);
+      p.ilp = static_cast<int>(require(kv, "ilp", line_no));
+      p.divergence = require(kv, "div", line_no);
+      p.dep_prob = require(kv, "dep", line_no);
+      p.insts_per_warp =
+          static_cast<std::int64_t>(require(kv, "insts", line_no));
+      current.phases.push_back(p);
+    } else if (keyword == "end") {
+      current.validate();  // throws DataError with the kernel's name
+      kernels.push_back(current);
+      in_kernel = false;
+    } else {
+      fail(line_no, "unknown keyword '" + keyword + "'");
+    }
+  }
+  if (in_kernel) throw DataError("profile ends inside a kernel block");
+  return kernels;
+}
+
+void writeProfiles(const std::vector<KernelProfile>& kernels,
+                   std::ostream& os) {
+  os.precision(std::numeric_limits<double>::max_digits10);
+  for (const auto& k : kernels) {
+    os << "kernel " << k.name << ' ' << k.suite << '\n';
+    os << "warps_per_cluster " << k.warps_per_cluster << '\n';
+    os << "phase_loops " << k.phase_loops << '\n';
+    for (const auto& p : k.phases) {
+      os << "phase ialu=" << p.mix.ialu << " falu=" << p.mix.falu
+         << " sfu=" << p.mix.sfu << " load=" << p.mix.load
+         << " store=" << p.mix.store << " shared=" << p.mix.shared
+         << " branch=" << p.mix.branch << " l1=" << p.l1_hit_rate
+         << " l2=" << p.l2_hit_rate << " ilp=" << p.ilp
+         << " div=" << p.divergence << " dep=" << p.dep_prob
+         << " insts=" << p.insts_per_warp << '\n';
+    }
+    os << "end\n";
+  }
+}
+
+std::vector<KernelProfile> loadProfilesFromFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw DataError("cannot open profile file: " + path);
+  return parseProfiles(is);
+}
+
+void saveProfilesToFile(const std::vector<KernelProfile>& kernels,
+                        const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw DataError("cannot open for writing: " + path);
+  writeProfiles(kernels, os);
+  if (!os) throw DataError("write failed: " + path);
+}
+
+}  // namespace ssm

@@ -1,0 +1,40 @@
+// Text format for kernel profiles.
+//
+// Lets users define custom workloads without recompiling (consumed by the
+// ssmdvfs CLI and the library). One file holds any number of kernels:
+//
+//   # comment
+//   kernel my_kernel custom
+//   warps_per_cluster 24
+//   phase_loops 5
+//   phase ialu=0.30 falu=0.30 sfu=0.00 load=0.20 store=0.05 shared=0.10 \
+//         branch=0.05 l1=0.80 l2=0.50 ilp=4 div=0.10 dep=0.25 insts=2000
+//   phase ...
+//   end
+//
+// (The `phase` line is a single line; shown wrapped here for readability.)
+// Every parsed profile is validated via KernelProfile::validate().
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workloads/kernel_profile.hpp"
+
+namespace ssm {
+
+/// Parses all kernels from a stream; throws DataError with a line number
+/// on malformed input.
+[[nodiscard]] std::vector<KernelProfile> parseProfiles(std::istream& is);
+
+/// Serialises kernels in the same format (round-trips with parse).
+void writeProfiles(const std::vector<KernelProfile>& kernels,
+                   std::ostream& os);
+
+[[nodiscard]] std::vector<KernelProfile> loadProfilesFromFile(
+    const std::string& path);
+void saveProfilesToFile(const std::vector<KernelProfile>& kernels,
+                        const std::string& path);
+
+}  // namespace ssm

@@ -1,0 +1,220 @@
+// Integration tests for the ssmdvfs CLI (spawned as a subprocess).
+//
+// The binary path is injected by CMake as SSM_CLI_PATH. Tests exercise the
+// cheap subcommands end-to-end: listing, single-workload data generation,
+// training on a small corpus, evaluation, hardware costing and a governed
+// run, chained through temporary files exactly as a user would chain them.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace ssm {
+namespace {
+
+#ifndef SSM_CLI_PATH
+#error "SSM_CLI_PATH must be defined by the build system"
+#endif
+
+/// Runs the CLI with `args`, captures stdout(+stderr), returns exit code.
+int runCli(const std::string& args, std::string* output) {
+  const std::string cmd = std::string(SSM_CLI_PATH) + " " + args + " 2>&1";
+  std::FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return -1;
+  std::array<char, 4096> buf{};
+  output->clear();
+  while (std::fgets(buf.data(), buf.size(), pipe) != nullptr)
+    *output += buf.data();
+  return pclose(pipe);
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = "ssm_test_cli";
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string dir_;
+};
+
+TEST_F(CliTest, NoArgsPrintsUsageAndFails) {
+  std::string out;
+  EXPECT_NE(runCli("", &out), 0);
+  EXPECT_NE(out.find("usage"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownCommandFails) {
+  std::string out;
+  EXPECT_NE(runCli("frobnicate", &out), 0);
+}
+
+TEST_F(CliTest, ListWorkloadsShowsRegistry) {
+  std::string out;
+  ASSERT_EQ(runCli("list-workloads", &out), 0);
+  EXPECT_NE(out.find("sgemm"), std::string::npos);
+  EXPECT_NE(out.find("polybench"), std::string::npos);
+}
+
+TEST_F(CliTest, MissingRequiredArgFails) {
+  std::string out;
+  EXPECT_NE(runCli("datagen", &out), 0);
+  EXPECT_NE(out.find("--out"), std::string::npos);
+}
+
+TEST_F(CliTest, FullPipelineChain) {
+  std::string out;
+  const std::string corpus = dir_ + "/c.csv";
+  const std::string model = dir_ + "/m.txt";
+
+  // datagen for one workload.
+  ASSERT_EQ(runCli("datagen --out " + corpus + " --workload spmv --seed 3",
+                   &out),
+            0)
+      << out;
+  EXPECT_TRUE(std::filesystem::exists(corpus));
+
+  // train a compressed model quickly.
+  ASSERT_EQ(runCli("train --data " + corpus + " --out " + model +
+                       " --compressed --epochs 120",
+                   &out),
+            0)
+      << out;
+  EXPECT_TRUE(std::filesystem::exists(model));
+  EXPECT_NE(out.find("accuracy"), std::string::npos);
+
+  // eval round trip.
+  ASSERT_EQ(runCli("eval --model " + model + " --data " + corpus, &out), 0)
+      << out;
+  EXPECT_NE(out.find("MAPE"), std::string::npos);
+
+  // hardware costing.
+  ASSERT_EQ(runCli("hw-cost --model " + model, &out), 0) << out;
+  EXPECT_NE(out.find("cycles/inference"), std::string::npos);
+
+  // a governed run with a trace.
+  const std::string trace = dir_ + "/t.csv";
+  ASSERT_EQ(runCli("run --workload spmv --mechanism ssmdvfs --model " +
+                       model + " --preset 0.10 --trace " + trace,
+                   &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("EDP"), std::string::npos);
+  EXPECT_TRUE(std::filesystem::exists(trace));
+}
+
+TEST_F(CliTest, RunBaselineAndStatic) {
+  std::string out;
+  ASSERT_EQ(runCli("run --workload bfs --mechanism baseline", &out), 0)
+      << out;
+  ASSERT_EQ(runCli("run --workload bfs --mechanism static-2", &out), 0)
+      << out;
+  EXPECT_NE(out.find("static-2"), std::string::npos);
+  EXPECT_NE(runCli("run --workload bfs --mechanism warp-drive", &out), 0);
+}
+
+TEST_F(CliTest, QuantizeReportsDrift) {
+  std::string out;
+  const std::string corpus = dir_ + "/c.csv";
+  const std::string model = dir_ + "/m.txt";
+  ASSERT_EQ(runCli("datagen --out " + corpus + " --workload bfs --seed 9",
+                   &out),
+            0)
+      << out;
+  ASSERT_EQ(runCli("train --data " + corpus + " --out " + model +
+                       " --compressed --epochs 100",
+                   &out),
+            0)
+      << out;
+  ASSERT_EQ(runCli("quantize --model " + model + " --data " + corpus, &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("int8"), std::string::npos);
+  EXPECT_NE(out.find("int16"), std::string::npos);
+  EXPECT_NE(out.find("drift"), std::string::npos);
+}
+
+TEST_F(CliTest, ProfileFileWorkloadRuns) {
+  std::string out;
+  const std::string prof = dir_ + "/custom.prof";
+  {
+    std::FILE* f = std::fopen(prof.c_str(), "w");
+    std::fputs(
+        "kernel mykernel demo\n"
+        "warps_per_cluster 12\n"
+        "phase_loops 2\n"
+        "phase ialu=0.3 falu=0.3 sfu=0.0 load=0.2 store=0.05 shared=0.1 "
+        "branch=0.05 l1=0.8 l2=0.5 ilp=4 div=0.1 dep=0.25 insts=2000\n"
+        "end\n",
+        f);
+    std::fclose(f);
+  }
+  ASSERT_EQ(runCli("run --workload mykernel --profile-file " + prof +
+                       " --mechanism pcstall --preset 0.10",
+                   &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("pcstall"), std::string::npos);
+  // Unknown name inside the file must fail cleanly.
+  EXPECT_NE(runCli("run --workload nope --profile-file " + prof +
+                       " --mechanism baseline",
+                   &out),
+            0);
+}
+
+TEST_F(CliTest, ExplainShowsDecisionBreakdown) {
+  std::string out;
+  const std::string corpus = dir_ + "/c2.csv";
+  const std::string model = dir_ + "/m2.txt";
+  ASSERT_EQ(runCli("datagen --out " + corpus + " --workload hotspot --seed 4",
+                   &out),
+            0)
+      << out;
+  ASSERT_EQ(runCli("train --data " + corpus + " --out " + model +
+                       " --compressed --epochs 80",
+                   &out),
+            0)
+      << out;
+  ASSERT_EQ(runCli("explain --model " + model + " --data " + corpus +
+                       " --row 3 --preset 0.15",
+                   &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("min-frequency decode"), std::string::npos);
+  EXPECT_NE(out.find("P(level)"), std::string::npos);
+  EXPECT_NE(out.find("est. loss"), std::string::npos);
+  // Out-of-range row fails cleanly.
+  EXPECT_NE(runCli("explain --model " + model + " --data " + corpus +
+                       " --row 999999",
+                   &out),
+            0);
+}
+
+TEST_F(CliTest, RunJsonExport) {
+  std::string out;
+  const std::string json = dir_ + "/r.json";
+  ASSERT_EQ(runCli("run --workload bfs --mechanism pcstall --json " + json,
+                   &out),
+            0)
+      << out;
+  ASSERT_TRUE(std::filesystem::exists(json));
+  std::ifstream is(json);
+  std::string content((std::istreambuf_iterator<char>(is)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("\"mechanism\":\"pcstall\""), std::string::npos);
+  EXPECT_NE(content.find("\"baseline\""), std::string::npos);
+  EXPECT_NE(content.find("\"level_histogram\""), std::string::npos);
+}
+
+TEST_F(CliTest, OracleEnumeratesLevels) {
+  std::string out;
+  ASSERT_EQ(runCli("oracle --workload spmv", &out), 0) << out;
+  EXPECT_NE(out.find("best EDP"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ssm

@@ -1,0 +1,241 @@
+// Tests for §IV machinery: RFE feature selection, layer-wise architecture
+// sweep, and two-stage pruning.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "compress/arch_search.hpp"
+#include "compress/pruning.hpp"
+#include "compress/rfe.hpp"
+#include "datagen/generator.hpp"
+#include "workloads/kernel_profile.hpp"
+
+namespace ssm {
+namespace {
+
+class CompressFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    GpuConfig gpu;
+    gpu.num_clusters = 4;
+    GenConfig gen;
+    gen.runs_per_workload = 1;
+    gen.clusters_sampled = 4;
+    gen.epochs_per_breakpoint = 6;
+    const DataGenerator dg(gpu, VfTable::titanX(), gen);
+    Dataset all;
+    int phase = 0;
+    for (const char* wl : {"sgemm", "spmv", "hotspot", "kmeans"}) {
+      all.append(dg.generateForWorkload(workloadByName(wl), 21, phase++));
+    }
+    auto [tr, ho] = all.split(0.8, 6);
+    train_ = new Dataset(std::move(tr));
+    holdout_ = new Dataset(std::move(ho));
+  }
+
+  static void TearDownTestSuite() {
+    delete train_;
+    delete holdout_;
+    train_ = nullptr;
+    holdout_ = nullptr;
+  }
+
+  static SsmModelConfig quickCfg() {
+    SsmModelConfig cfg;
+    cfg.train.epochs = 120;
+    return cfg;
+  }
+
+  static Dataset* train_;
+  static Dataset* holdout_;
+};
+
+Dataset* CompressFixture::train_ = nullptr;
+Dataset* CompressFixture::holdout_ = nullptr;
+
+// ---- Pruning (network-level, no corpus needed) ----------------------------
+
+TEST(Pruning, MagnitudePruneHitsSparsityTarget) {
+  Mlp net({6, 12, 12, 6}, Head::kSoftmaxClassifier, Rng(1));
+  magnitudePruneTo(net, 0.6);
+  EXPECT_NEAR(net.sparsity(), 0.6, 0.02);
+  // Idempotent at the same target.
+  magnitudePruneTo(net, 0.6);
+  EXPECT_NEAR(net.sparsity(), 0.6, 0.02);
+  // No-op below the current sparsity.
+  magnitudePruneTo(net, 0.3);
+  EXPECT_NEAR(net.sparsity(), 0.6, 0.02);
+}
+
+TEST(Pruning, MagnitudePruneRemovesSmallestWeights) {
+  Mlp net({4, 6, 2}, Head::kRegression, Rng(2));
+  // Record magnitude order, prune 50%, verify all survivors dominate all
+  // pruned weights.
+  std::vector<double> before(net.layer(0).weights().flat().begin(),
+                             net.layer(0).weights().flat().end());
+  magnitudePruneTo(net, 0.5);
+  double max_pruned = 0.0;
+  double min_kept = 1e9;
+  for (std::size_t l = 0; l < net.layerCount(); ++l) {
+    const auto w = net.layer(l).weights().flat();
+    const auto m = net.layer(l).mask().flat();
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      if (m[i] == 0.0) continue;
+      min_kept = std::min(min_kept, std::abs(w[i]));
+    }
+  }
+  (void)before;
+  // All masked weights were zeroed; the smallest survivor must be at least
+  // as large as the pruning threshold (which all pruned weights were <=).
+  EXPECT_GE(min_kept, max_pruned);
+}
+
+TEST(Pruning, NeuronPruneRemovesStarvedNeurons) {
+  Mlp net({4, 6, 2}, Head::kRegression, Rng(3));
+  // Manually starve hidden neuron 2: zero all its incoming weights.
+  for (int i = 0; i < 4; ++i) net.layer(0).mask()(2, static_cast<std::size_t>(i)) = 0.0;
+  const int removed = neuronPrune(net, 0.9);
+  EXPECT_EQ(removed, 1);
+  // Its outgoing column in layer 1 must be masked too.
+  for (int o = 0; o < 2; ++o)
+    EXPECT_DOUBLE_EQ(net.layer(1).mask()(static_cast<std::size_t>(o), 2), 0.0);
+}
+
+TEST(Pruning, NeuronPruneThresholdRespected) {
+  Mlp net({4, 6, 2}, Head::kRegression, Rng(4));
+  // 2 of 4 incoming weights zeroed: 50% < 90% threshold -> kept.
+  net.layer(0).mask()(1, 0) = 0.0;
+  net.layer(0).mask()(1, 1) = 0.0;
+  EXPECT_EQ(neuronPrune(net, 0.9), 0);
+  // At a 0.5 threshold it is removed.
+  EXPECT_EQ(neuronPrune(net, 0.5), 1);
+}
+
+TEST(Pruning, PruneNetworkReportsFlopsDrop) {
+  Mlp net({6, 12, 12, 6}, Head::kSoftmaxClassifier, Rng(5));
+  const PruneParams params{.x1 = 0.6, .x2 = 0.9};
+  const PruneOutcome out = pruneNetwork(net, params);
+  EXPECT_GT(out.flops_before, out.flops_after);
+  EXPECT_NEAR(out.weight_sparsity, 0.6, 0.1);
+  EXPECT_EQ(net.flops(), out.flops_after);
+}
+
+TEST(Pruning, RejectsBadParams) {
+  Mlp net({2, 4, 2}, Head::kRegression, Rng(6));
+  EXPECT_THROW(magnitudePruneTo(net, 1.5), ContractError);
+  EXPECT_THROW(neuronPrune(net, -0.1), ContractError);
+}
+
+// ---- Arch search ----------------------------------------------------------
+
+TEST(ArchSearch, DefaultSweepSpansPaperEndpoints) {
+  const auto sweep = defaultLayerwiseSweep();
+  ASSERT_GE(sweep.size(), 8u);
+  // First candidate is the §III.D original; the paper's compressed pick
+  // must be present.
+  EXPECT_EQ(sweep.front().decision_hidden,
+            (std::vector<int>{20, 20, 20, 20, 20}));
+  const bool has_paper_pick =
+      std::any_of(sweep.begin(), sweep.end(), [](const ArchCandidate& c) {
+        return c.decision_hidden == std::vector<int>{12, 12} &&
+               c.calibrator_hidden == std::vector<int>{12};
+      });
+  EXPECT_TRUE(has_paper_pick);
+}
+
+TEST(ArchSearch, PickCompressedArchPrefersFewestFlopsWithinBudget) {
+  std::vector<ArchPoint> points;
+  points.push_back({{{20}, {20}}, 5000, 0.70, 3.0});
+  points.push_back({{{12}, {12}}, 900, 0.69, 4.0});
+  points.push_back({{{4}, {4}}, 300, 0.50, 9.0});  // past the knee
+  const ArchPoint& pick = pickCompressedArch(points, 0.03);
+  EXPECT_EQ(pick.flops, 900);
+  EXPECT_THROW(static_cast<void>(pickCompressedArch({}, 0.03)),
+               ContractError);
+}
+
+TEST_F(CompressFixture, LayerwiseSweepAccuracyDegradesGracefully) {
+  const std::vector<ArchCandidate> candidates = {
+      {{20, 20, 20}, {20, 20}},
+      {{12, 12}, {12}},
+      {{2}, {2}},
+  };
+  const auto points =
+      layerwiseSweep(*train_, *holdout_, candidates, quickCfg());
+  ASSERT_EQ(points.size(), 3u);
+  // FLOPs strictly decreasing across this candidate list.
+  EXPECT_GT(points[0].flops, points[1].flops);
+  EXPECT_GT(points[1].flops, points[2].flops);
+  // The tiny 2-neuron net must be clearly worse than the big one (the
+  // "sharp drop below a threshold" behaviour of Fig. 3).
+  EXPECT_GT(points[0].accuracy, points[2].accuracy);
+}
+
+// ---- RFE -------------------------------------------------------------------
+
+TEST_F(CompressFixture, RfeSelectsTargetCountAndKeepsProtected) {
+  RfeConfig cfg;
+  cfg.target_features = 5;
+  cfg.retrain_checkpoints = {12};
+  cfg.train.epochs = 80;
+  cfg.model.train.epochs = 80;
+  const RfeResult res = runRfe(*train_, *holdout_, cfg);
+  EXPECT_EQ(res.selected.size(), 5u);
+  // PPC is a protected direct feature (§III.B).
+  EXPECT_NE(std::find(res.selected.begin(), res.selected.end(),
+                      CounterId::kPowerClusterW),
+            res.selected.end());
+  EXPECT_GT(res.full_accuracy, 0.2);
+  EXPECT_GT(res.selected_accuracy, 0.2);
+  EXPECT_FALSE(res.importance.empty());
+}
+
+TEST_F(CompressFixture, EvaluateFeatureSetMatchesTable1Features) {
+  const std::vector<CounterId> table1{kTable1Features.begin(),
+                                      kTable1Features.end()};
+  const SsmTrainSummary s =
+      evaluateFeatureSet(*train_, *holdout_, table1, quickCfg());
+  EXPECT_GT(s.decision_accuracy, 0.3);
+  EXPECT_LT(s.calibrator_mape, 25.0);
+}
+
+TEST(Rfe, RejectsBadConfig) {
+  RfeConfig cfg;
+  cfg.target_features = 0;
+  const Dataset empty;
+  EXPECT_THROW(static_cast<void>(runRfe(empty, empty, cfg)), ContractError);
+}
+
+// ---- Prune + finetune on the real model -----------------------------------
+
+TEST_F(CompressFixture, PruneAndFinetuneKeepsMetricsUsable) {
+  SsmModelConfig cfg;
+  const auto arch = SsmModelConfig::compressedArch();
+  cfg.decision_hidden = arch.decision_hidden;
+  cfg.calibrator_hidden = arch.calibrator_hidden;
+  cfg.train.epochs = 300;
+  SsmModel model(cfg);
+  const auto before = model.train(*train_, *holdout_);
+  const auto report = pruneAndFinetune(model, *train_, *holdout_,
+                                       PruneParams{}, /*finetune=*/400);
+  // ~60% of weights pruned.
+  EXPECT_GT(report.decision.weight_sparsity, 0.5);
+  EXPECT_GT(report.calibrator.weight_sparsity, 0.5);
+  // FLOPs shrink accordingly.
+  EXPECT_LT(report.after_finetune.flops, before.flops / 2);
+  // Metrics degrade but stay usable (paper: -2.4% accuracy).
+  EXPECT_GT(report.after_finetune.decision_accuracy,
+            before.decision_accuracy - 0.25);
+}
+
+TEST(PruneAndFinetune, RequiresTrainedModel) {
+  SsmModel model;
+  const Dataset empty;
+  EXPECT_THROW(static_cast<void>(pruneAndFinetune(model, empty, empty,
+                                                  PruneParams{}, 10)),
+               ContractError);
+}
+
+}  // namespace
+}  // namespace ssm

@@ -1,0 +1,383 @@
+// Tests for the SSMDVFS core: model construction, training, inference
+// semantics, and the self-calibrating governor.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <sstream>
+
+#include "core/ssm_governor.hpp"
+#include "core/ssm_io.hpp"
+#include "core/ssm_model.hpp"
+#include "datagen/generator.hpp"
+#include "gpusim/runner.hpp"
+#include "workloads/kernel_profile.hpp"
+
+namespace ssm {
+namespace {
+
+/// Shared small corpus + trained model, built once per test binary.
+class CoreFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    GpuConfig gpu;
+    gpu.num_clusters = 4;
+    GenConfig gen;
+    gen.runs_per_workload = 1;
+    gen.clusters_sampled = 4;
+    gen.epochs_per_breakpoint = 6;
+    const DataGenerator dg(gpu, VfTable::titanX(), gen);
+    auto all = std::make_unique<Dataset>();
+    int phase = 0;
+    for (const char* wl : {"sgemm", "spmv", "hotspot", "kmeans"}) {
+      all->append(dg.generateForWorkload(workloadByName(wl), 11, phase));
+      all->append(
+          dg.generateForWorkload(workloadByName(wl), 12, phase + 1));
+      ++phase;
+    }
+    auto [tr, ho] = all->split(0.8, 5);
+    train_ = new Dataset(std::move(tr));
+    holdout_ = new Dataset(std::move(ho));
+
+    SsmModelConfig cfg;
+    cfg.train.epochs = 250;  // keep the fixture quick
+    model_ = new std::shared_ptr<SsmModel>(std::make_shared<SsmModel>(cfg));
+    summary_ = (*model_)->train(*train_, *holdout_);
+  }
+
+  static void TearDownTestSuite() {
+    delete train_;
+    delete holdout_;
+    delete model_;
+    train_ = nullptr;
+    holdout_ = nullptr;
+    model_ = nullptr;
+  }
+
+  static Dataset* train_;
+  static Dataset* holdout_;
+  static std::shared_ptr<SsmModel>* model_;
+  static SsmTrainSummary summary_;
+};
+
+Dataset* CoreFixture::train_ = nullptr;
+Dataset* CoreFixture::holdout_ = nullptr;
+std::shared_ptr<SsmModel>* CoreFixture::model_ = nullptr;
+SsmTrainSummary CoreFixture::summary_;
+
+TEST_F(CoreFixture, TrainingProducesUsableMetrics) {
+  // Six-way classification with inherent ambiguity: well above chance.
+  EXPECT_GT(summary_.decision_accuracy, 0.35);
+  EXPECT_LT(summary_.calibrator_mape, 20.0);
+  EXPECT_EQ(summary_.flops, (*model_)->flops());
+}
+
+TEST_F(CoreFixture, PaperArchitectureFlops) {
+  // 5-feature + preset input, 5x20 + 4x20 heads: ~6960 FLOPs (§IV.B).
+  EXPECT_NEAR(static_cast<double>((*model_)->flops()), 6960.0, 30.0);
+}
+
+TEST_F(CoreFixture, DecideLevelWithinRange) {
+  for (const auto& p : holdout_->points()) {
+    CounterBlock cb;
+    for (int c = 0; c < kNumCounters; ++c)
+      cb.set(static_cast<CounterId>(c),
+             p.counters[static_cast<std::size_t>(c)]);
+    const int lvl = (*model_)->decideLevel(cb, 0.10);
+    EXPECT_GE(lvl, 0);
+    EXPECT_LT(lvl, 6);
+  }
+}
+
+TEST_F(CoreFixture, DistributionSumsToOne) {
+  const auto& p = holdout_->points().front();
+  CounterBlock cb;
+  for (int c = 0; c < kNumCounters; ++c)
+    cb.set(static_cast<CounterId>(c), p.counters[static_cast<std::size_t>(c)]);
+  const auto dist = (*model_)->decisionDistribution(cb, 0.10);
+  ASSERT_EQ(dist.size(), 6u);
+  double sum = 0.0;
+  for (double d : dist) sum += d;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST_F(CoreFixture, MinFreqDecodePicksLowestNearTie) {
+  // With decode_theta = 1.0 the decode is argmax; with a small theta it
+  // must never pick a *higher* level than argmax does.
+  SsmModelConfig argmax_cfg;
+  argmax_cfg.decode_theta = 1.0;
+  for (const auto& p : holdout_->points()) {
+    CounterBlock cb;
+    for (int c = 0; c < kNumCounters; ++c)
+      cb.set(static_cast<CounterId>(c),
+             p.counters[static_cast<std::size_t>(c)]);
+    const auto dist = (*model_)->decisionDistribution(cb, 0.15);
+    int argmax = 0;
+    for (int i = 1; i < 6; ++i)
+      if (dist[static_cast<std::size_t>(i)] >
+          dist[static_cast<std::size_t>(argmax)])
+        argmax = i;
+    EXPECT_LE((*model_)->decideLevel(cb, 0.15), argmax);
+  }
+}
+
+TEST_F(CoreFixture, CalibratorPredictsPositiveInstructions) {
+  int positive = 0;
+  int total = 0;
+  for (const auto& p : holdout_->points()) {
+    CounterBlock cb;
+    for (int c = 0; c < kNumCounters; ++c)
+      cb.set(static_cast<CounterId>(c),
+             p.counters[static_cast<std::size_t>(c)]);
+    for (int lvl = 0; lvl < 6; ++lvl) {
+      positive += (*model_)->predictInstsK(cb, 0.10, lvl) > 0.0;
+      ++total;
+    }
+    if (total > 200) break;
+  }
+  EXPECT_GT(static_cast<double>(positive) / total, 0.95);
+}
+
+TEST(SsmModel, ConfigValidation) {
+  SsmModelConfig cfg;
+  cfg.features.clear();
+  EXPECT_THROW(SsmModel{cfg}, ContractError);
+  cfg = SsmModelConfig{};
+  cfg.num_levels = 1;
+  EXPECT_THROW(SsmModel{cfg}, ContractError);
+  cfg = SsmModelConfig{};
+  cfg.decode_theta = 0.0;
+  EXPECT_THROW(SsmModel{cfg}, ContractError);
+}
+
+TEST(SsmModel, CompressedArchMatchesPaper) {
+  const auto arch = SsmModelConfig::compressedArch();
+  // 3 FC layers for Decision-maker (2 hidden), 2 for Calibrator (1 hidden),
+  // 12 neurons each (§IV.B).
+  EXPECT_EQ(arch.decision_hidden, (std::vector<int>{12, 12}));
+  EXPECT_EQ(arch.calibrator_hidden, (std::vector<int>{12}));
+  SsmModelConfig cfg;
+  cfg.decision_hidden = arch.decision_hidden;
+  cfg.calibrator_hidden = arch.calibrator_hidden;
+  const SsmModel model(cfg);
+  // Pre-pruning layer-wise-compressed FLOPs, ~912 in the paper.
+  EXPECT_NEAR(static_cast<double>(model.flops()), 912.0, 80.0);
+}
+
+TEST(SsmModel, TrainOnEmptyThrows) {
+  SsmModel model;
+  const Dataset empty;
+  EXPECT_THROW(model.train(empty, empty), ContractError);
+}
+
+TEST(SsmModel, LevelOutOfRangeThrows) {
+  const SsmModel model;
+  CounterBlock cb;
+  EXPECT_THROW(static_cast<void>(model.predictInstsK(cb, 0.1, 6)),
+               ContractError);
+  EXPECT_THROW(static_cast<void>(model.predictInstsK(cb, 0.1, -1)),
+               ContractError);
+}
+
+// ---- Governor ------------------------------------------------------------
+
+TEST_F(CoreFixture, GovernorRequiresTrainedModel) {
+  auto untrained = std::make_shared<SsmModel>();
+  EXPECT_THROW(SsmdvfsGovernor(untrained, SsmGovernorConfig{}),
+               ContractError);
+  EXPECT_THROW(SsmdvfsGovernor(nullptr, SsmGovernorConfig{}), ContractError);
+}
+
+EpochObservation obsFromPoint(const DataPoint& p, int level = 5) {
+  EpochObservation obs;
+  for (int c = 0; c < kNumCounters; ++c)
+    obs.counters.set(static_cast<CounterId>(c),
+                     p.counters[static_cast<std::size_t>(c)]);
+  obs.level = level;
+  obs.instructions = static_cast<std::int64_t>(p.insts_k * 1000.0);
+  obs.power_w = p.counters[static_cast<std::size_t>(CounterId::kPowerClusterW)];
+  return obs;
+}
+
+TEST_F(CoreFixture, GovernorReturnsValidLevels) {
+  SsmGovernorConfig cfg;
+  cfg.loss_preset = 0.10;
+  SsmdvfsGovernor gov(*model_, cfg);
+  for (const auto& p : holdout_->points()) {
+    const int lvl = gov.decide(obsFromPoint(p));
+    EXPECT_GE(lvl, 0);
+    EXPECT_LT(lvl, 6);
+  }
+}
+
+TEST_F(CoreFixture, GovernorParksDoneClustersAtMinLevel) {
+  SsmdvfsGovernor gov(*model_, SsmGovernorConfig{});
+  EpochObservation obs = obsFromPoint(holdout_->points().front());
+  obs.cluster_done = true;
+  EXPECT_EQ(gov.decide(obs), 0);
+}
+
+TEST_F(CoreFixture, CalibrationTightensOnShortfall) {
+  SsmGovernorConfig cfg;
+  cfg.loss_preset = 0.10;
+  SsmdvfsGovernor gov(*model_, cfg);
+  EpochObservation obs = obsFromPoint(holdout_->points().front());
+  gov.decide(obs);  // primes the prediction
+  const double preset_before = gov.workingPreset();
+  // Report an epoch that executed almost nothing: a massive shortfall.
+  EpochObservation starved = obs;
+  starved.instructions = 1;
+  gov.decide(starved);
+  EXPECT_LT(gov.workingPreset(), preset_before);
+}
+
+TEST_F(CoreFixture, WorkingPresetStaysWithinBounds) {
+  SsmGovernorConfig cfg;
+  cfg.loss_preset = 0.10;
+  SsmdvfsGovernor gov(*model_, cfg);
+  EpochObservation obs = obsFromPoint(holdout_->points().front());
+  gov.decide(obs);
+  for (int i = 0; i < 50; ++i) {
+    EpochObservation starved = obs;
+    starved.instructions = 1;
+    gov.decide(starved);
+    EXPECT_GE(gov.workingPreset(),
+              cfg.preset_floor_frac * cfg.loss_preset - 1e-12);
+    EXPECT_LE(gov.workingPreset(),
+              cfg.preset_ceil_frac * cfg.loss_preset + 1e-12);
+  }
+}
+
+TEST_F(CoreFixture, PresetRecoversWhenOnTrack) {
+  SsmGovernorConfig cfg;
+  cfg.loss_preset = 0.10;
+  SsmdvfsGovernor gov(*model_, cfg);
+  EpochObservation obs = obsFromPoint(holdout_->points().front());
+  gov.decide(obs);
+  EpochObservation starved = obs;
+  starved.instructions = 1;
+  for (int i = 0; i < 5; ++i) gov.decide(starved);
+  const double tightened = gov.workingPreset();
+  // Now deliver epochs that beat the prediction: preset must drift back up.
+  EpochObservation rich = obs;
+  rich.instructions = 1'000'000;
+  for (int i = 0; i < 20; ++i) gov.decide(rich);
+  EXPECT_GT(gov.workingPreset(), tightened);
+  EXPECT_LE(gov.workingPreset(), cfg.loss_preset + 1e-9);
+}
+
+TEST_F(CoreFixture, ResetClearsEpisodicState) {
+  SsmGovernorConfig cfg;
+  cfg.loss_preset = 0.10;
+  SsmdvfsGovernor gov(*model_, cfg);
+  EpochObservation obs = obsFromPoint(holdout_->points().front());
+  gov.decide(obs);
+  EpochObservation starved = obs;
+  starved.instructions = 1;
+  gov.decide(starved);
+  ASSERT_LT(gov.workingPreset(), cfg.loss_preset);
+  gov.reset();
+  EXPECT_DOUBLE_EQ(gov.workingPreset(), cfg.loss_preset);
+}
+
+TEST_F(CoreFixture, CalibrationOffKeepsPresetFixed) {
+  SsmGovernorConfig cfg;
+  cfg.loss_preset = 0.10;
+  cfg.calibrate = false;
+  SsmdvfsGovernor gov(*model_, cfg);
+  EpochObservation obs = obsFromPoint(holdout_->points().front());
+  gov.decide(obs);
+  EpochObservation starved = obs;
+  starved.instructions = 1;
+  for (int i = 0; i < 5; ++i) gov.decide(starved);
+  EXPECT_DOUBLE_EQ(gov.workingPreset(), cfg.loss_preset);
+}
+
+TEST_F(CoreFixture, FactoryCreatesIndependentGovernors) {
+  SsmGovernorConfig cfg;
+  cfg.loss_preset = 0.10;
+  const SsmGovernorFactory factory(*model_, cfg);
+  auto g0 = factory.create(0);
+  auto g1 = factory.create(1);
+  ASSERT_NE(g0, nullptr);
+  ASSERT_NE(g1, nullptr);
+  // Tighten g0 only; g1 must be unaffected.
+  EpochObservation obs = obsFromPoint(holdout_->points().front());
+  g0->decide(obs);
+  EpochObservation starved = obs;
+  starved.instructions = 1;
+  g0->decide(starved);
+  const int lvl1 = g1->decide(obs);
+  EXPECT_GE(lvl1, 0);
+}
+
+// ---- serialization ---------------------------------------------------------
+
+TEST_F(CoreFixture, SerializationRoundTripsExactly) {
+  std::stringstream ss;
+  serializeModel(**model_, ss);
+  const SsmModel back = deserializeModel(ss);
+  ASSERT_TRUE(back.trained());
+  EXPECT_EQ(back.flops(), (*model_)->flops());
+  // Inference must agree bit-for-bit on holdout rows.
+  for (const auto& p : holdout_->points()) {
+    CounterBlock cb;
+    for (int c = 0; c < kNumCounters; ++c)
+      cb.set(static_cast<CounterId>(c),
+             p.counters[static_cast<std::size_t>(c)]);
+    EXPECT_EQ(back.decideLevel(cb, 0.10), (*model_)->decideLevel(cb, 0.10));
+    EXPECT_DOUBLE_EQ(back.predictInstsK(cb, 0.10, 2),
+                     (*model_)->predictInstsK(cb, 0.10, 2));
+  }
+}
+
+TEST_F(CoreFixture, SaveLoadFileRoundTrip) {
+  const std::string path = "ssm_test_model.txt";
+  saveModel(**model_, path);
+  const SsmModel back = loadModel(path);
+  std::filesystem::remove(path);
+  EXPECT_EQ(back.flops(), (*model_)->flops());
+  EXPECT_EQ(back.config().features.size(),
+            (*model_)->config().features.size());
+}
+
+TEST(SsmIo, RejectsGarbageAndUntrained) {
+  std::stringstream ss("not a model at all");
+  EXPECT_THROW(static_cast<void>(deserializeModel(ss)), DataError);
+  const SsmModel untrained;
+  std::stringstream out;
+  EXPECT_THROW(serializeModel(untrained, out), ContractError);
+  EXPECT_THROW(static_cast<void>(loadModel("no/such/model.txt")), DataError);
+}
+
+TEST_F(CoreFixture, SerializationPreservesMasks) {
+  SsmModel copy = **model_;
+  copy.decisionNet().layer(0).mask().fill(0.0);
+  copy.decisionNet().applyMasks();
+  std::stringstream ss;
+  serializeModel(copy, ss);
+  const SsmModel back = deserializeModel(ss);
+  EXPECT_EQ(back.decisionNet().layer(0).nonzeroWeights(), 0);
+  EXPECT_EQ(back.flops(), copy.flops());
+}
+
+TEST_F(CoreFixture, FullRunKeepsLatencyReasonable) {
+  // End-to-end smoke: on a small GPU, the governed run must retire and not
+  // blow past twice the preset on latency for a memory-bound workload.
+  GpuConfig gpu;
+  gpu.num_clusters = 4;
+  Gpu g(gpu, VfTable::titanX(), workloadByName("spmv"), 3,
+        ChipPowerModel(4));
+  const RunResult base = runBaseline(g);
+  SsmGovernorConfig cfg;
+  cfg.loss_preset = 0.10;
+  const SsmGovernorFactory factory(*model_, cfg);
+  const RunResult run = runWithGovernor(g, factory, "ssmdvfs");
+  const double latency =
+      static_cast<double>(run.exec_time_ns) / base.exec_time_ns;
+  EXPECT_LT(latency, 1.25);
+  EXPECT_GT(run.energy_j, 0.0);
+}
+
+}  // namespace
+}  // namespace ssm

@@ -1,0 +1,136 @@
+// Unit tests for src/counters: the 47-counter block, derived metrics and
+// the Table I feature extraction.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "counters/counters.hpp"
+
+namespace ssm {
+namespace {
+
+TEST(Counters, ExactlyFortySeven) {
+  EXPECT_EQ(kNumCounters, 47);
+}
+
+TEST(Counters, NamesAreUniqueAndNonEmpty) {
+  std::set<std::string_view> names;
+  for (int i = 0; i < kNumCounters; ++i) {
+    const auto name = counterName(static_cast<CounterId>(i));
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(names.insert(name).second) << name;
+  }
+}
+
+TEST(Counters, CategoriesCoverAllThreePaperGroups) {
+  int inst = 0;
+  int stall = 0;
+  int power = 0;
+  for (int i = 0; i < kNumCounters; ++i) {
+    switch (counterCategory(static_cast<CounterId>(i))) {
+      case CounterCategory::kInstruction: ++inst; break;
+      case CounterCategory::kStall: ++stall; break;
+      case CounterCategory::kPower: ++power; break;
+      case CounterCategory::kClock: break;
+    }
+  }
+  EXPECT_GT(inst, 5);
+  EXPECT_GT(stall, 10);
+  EXPECT_GE(power, 3);
+}
+
+TEST(CounterBlock, StartsZeroedAndSetsGet) {
+  CounterBlock c;
+  for (int i = 0; i < kNumCounters; ++i)
+    EXPECT_DOUBLE_EQ(c.get(static_cast<CounterId>(i)), 0.0);
+  c.set(CounterId::kInstTotal, 5.0);
+  c.add(CounterId::kInstTotal, 2.0);
+  EXPECT_DOUBLE_EQ(c.get(CounterId::kInstTotal), 7.0);
+  c.clear();
+  EXPECT_DOUBLE_EQ(c.get(CounterId::kInstTotal), 0.0);
+}
+
+TEST(CounterBlock, FinalizeDerivedComputesRates) {
+  CounterBlock c;
+  c.set(CounterId::kInstTotal, 2000.0);
+  c.set(CounterId::kInstIalu, 600.0);
+  c.set(CounterId::kInstFalu, 700.0);
+  c.set(CounterId::kInstSfu, 100.0);
+  c.set(CounterId::kInstLoad, 300.0);
+  c.set(CounterId::kInstStore, 100.0);
+  c.set(CounterId::kInstShared, 100.0);
+  c.set(CounterId::kInstBranch, 100.0);
+  c.set(CounterId::kL1ReadAccess, 300.0);
+  c.set(CounterId::kL1ReadMiss, 60.0);
+  c.set(CounterId::kL2Access, 60.0);
+  c.set(CounterId::kL2Miss, 30.0);
+  c.set(CounterId::kStallMemLoadCycles, 400.0);
+  c.set(CounterId::kStallMemOtherCycles, 100.0);
+
+  c.finalizeDerived(/*cycles=*/1000, /*max_warps=*/20, /*issue_width=*/2);
+
+  EXPECT_DOUBLE_EQ(c.get(CounterId::kIpc), 2.0);
+  EXPECT_DOUBLE_EQ(c.get(CounterId::kInstPerWarp), 100.0);
+  EXPECT_DOUBLE_EQ(c.get(CounterId::kIssueUtil), 1.0);
+  EXPECT_DOUBLE_EQ(c.get(CounterId::kFracCompute), 0.7);
+  EXPECT_DOUBLE_EQ(c.get(CounterId::kFracMem), 0.25);
+  EXPECT_DOUBLE_EQ(c.get(CounterId::kFracBranch), 0.05);
+  EXPECT_DOUBLE_EQ(c.get(CounterId::kStallMemTotalCycles), 500.0);
+  EXPECT_DOUBLE_EQ(c.get(CounterId::kL1ReadMissRate), 0.2);
+  EXPECT_DOUBLE_EQ(c.get(CounterId::kL2MissRate), 0.5);
+  EXPECT_DOUBLE_EQ(c.get(CounterId::kStallMemFrac), 500.0 / 20000.0);
+  EXPECT_DOUBLE_EQ(c.get(CounterId::kCyclesElapsed), 1000.0);
+}
+
+TEST(CounterBlock, FinalizeDerivedSafeOnZeroes) {
+  CounterBlock c;
+  c.finalizeDerived(0, 0, 0);
+  EXPECT_DOUBLE_EQ(c.get(CounterId::kIpc), 0.0);
+  EXPECT_DOUBLE_EQ(c.get(CounterId::kL1ReadMissRate), 0.0);
+  EXPECT_DOUBLE_EQ(c.get(CounterId::kL2MissRate), 0.0);
+}
+
+TEST(Counters, Table1FeatureSubsetMatchesPaper) {
+  // Table I: IPC, PPC, MH, MH\L, L1CRM.
+  ASSERT_EQ(kTable1Features.size(), 5u);
+  EXPECT_EQ(counterName(kTable1Features[0]), "ipc");
+  EXPECT_EQ(counterName(kTable1Features[1]), "power_cluster_w");
+  EXPECT_EQ(counterName(kTable1Features[2]), "stall_mem_total_cycles");
+  EXPECT_EQ(counterName(kTable1Features[3]), "stall_mem_other_cycles");
+  EXPECT_EQ(counterName(kTable1Features[4]), "l1_read_miss");
+}
+
+TEST(Counters, ExtractTable1Features) {
+  CounterBlock c;
+  c.set(CounterId::kIpc, 1.5);
+  c.set(CounterId::kPowerClusterW, 6.2);
+  c.set(CounterId::kStallMemTotalCycles, 1234.0);
+  c.set(CounterId::kStallMemOtherCycles, 56.0);
+  c.set(CounterId::kL1ReadMiss, 78.0);
+  const auto f = extractTable1Features(c);
+  EXPECT_DOUBLE_EQ(f[0], 1.5);
+  EXPECT_DOUBLE_EQ(f[1], 6.2);
+  EXPECT_DOUBLE_EQ(f[2], 1234.0);
+  EXPECT_DOUBLE_EQ(f[3], 56.0);
+  EXPECT_DOUBLE_EQ(f[4], 78.0);
+}
+
+TEST(Counters, EveryCounterHasADescription) {
+  for (int i = 0; i < kNumCounters; ++i) {
+    const auto id = static_cast<CounterId>(i);
+    EXPECT_FALSE(counterDescription(id).empty()) << counterName(id);
+    // Descriptions are one-liners, not essays.
+    EXPECT_LT(counterDescription(id).size(), 90u) << counterName(id);
+  }
+}
+
+TEST(Counters, RawSpanIsWholeBlock) {
+  CounterBlock c;
+  c.set(CounterId::kInstTotal, 3.0);
+  const auto raw = c.raw();
+  ASSERT_EQ(raw.size(), static_cast<std::size_t>(kNumCounters));
+  EXPECT_DOUBLE_EQ(raw[0], 3.0);
+}
+
+}  // namespace
+}  // namespace ssm

@@ -1,0 +1,299 @@
+// Tests for the extension modules: post-training quantization, the kernel
+// profile text format and the hysteresis governor decorator.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "gpusim/hysteresis.hpp"
+#include "gpusim/runner.hpp"
+#include "gpusim/trace.hpp"
+#include "nn/quantize.hpp"
+#include "nn/trainer.hpp"
+#include "workloads/profile_io.hpp"
+
+namespace ssm {
+namespace {
+
+// ---- quantization -----------------------------------------------------------
+
+Matrix randomInputs(std::size_t n, int dim, Rng& rng) {
+  Matrix m(n, static_cast<std::size_t>(dim));
+  for (double& v : m.flat()) v = rng.nextGaussian();
+  return m;
+}
+
+/// A trained classifier fixture (blobs), reused across quantization tests.
+struct TrainedNet {
+  Mlp net{std::vector<int>{4, 12, 3}, Head::kSoftmaxClassifier, Rng(1)};
+  Matrix inputs{0, 0};
+  std::vector<int> labels;
+
+  TrainedNet() {
+    Rng rng(2);
+    const int n = 300;
+    inputs = Matrix(n, 4);
+    labels.resize(n);
+    for (int i = 0; i < n; ++i) {
+      const int cls = i % 3;
+      for (int c = 0; c < 4; ++c)
+        inputs(static_cast<std::size_t>(i), static_cast<std::size_t>(c)) =
+            rng.nextGaussian(1.5 * cls - 1.5, 0.6);
+      labels[static_cast<std::size_t>(i)] = cls;
+    }
+    TrainConfig cfg;
+    cfg.epochs = 60;
+    AdamTrainer tr(cfg);
+    tr.fitClassifier(net, inputs, labels);
+  }
+};
+
+TEST(Quantize, Int8KeepsDecisionsClose) {
+  const TrainedNet t;
+  const QuantizedMlp q(t.net, QuantConfig{}, t.inputs);
+  const double drift = quantizationDrift(t.net, q, t.inputs);
+  EXPECT_LT(drift, 0.05);  // <5% of argmax decisions change at int8
+}
+
+TEST(Quantize, Int16IsTighterThanInt8) {
+  const TrainedNet t;
+  QuantConfig c8;
+  QuantConfig c16;
+  c16.weight_bits = QuantBits::kInt16;
+  const QuantizedMlp q8(t.net, c8, t.inputs);
+  const QuantizedMlp q16(t.net, c16, t.inputs);
+  EXPECT_LE(quantizationDrift(t.net, q16, t.inputs),
+            quantizationDrift(t.net, q8, t.inputs) + 1e-12);
+}
+
+TEST(Quantize, RegressionDriftSmall) {
+  Rng rng(3);
+  Mlp net({3, 10, 1}, Head::kRegression, Rng(4));
+  Matrix x = randomInputs(200, 3, rng);
+  std::vector<double> y(200);
+  for (std::size_t i = 0; i < 200; ++i)
+    y[i] = 5.0 + x(i, 0) - 0.5 * x(i, 1) + 0.25 * x(i, 2);
+  TrainConfig cfg;
+  cfg.epochs = 120;
+  AdamTrainer tr(cfg);
+  tr.fitRegression(net, x, y);
+  QuantConfig qc;
+  qc.weight_bits = QuantBits::kInt16;
+  const QuantizedMlp q(net, qc, x);
+  EXPECT_LT(quantizationDrift(net, q, x), 0.02);  // MAPE fraction
+}
+
+TEST(Quantize, WeightsWithinRange) {
+  const TrainedNet t;
+  const QuantizedMlp q(t.net, QuantConfig{}, t.inputs);
+  for (const auto& layer : q.layers())
+    for (std::int32_t w : layer.weights) {
+      EXPECT_GE(w, -127);
+      EXPECT_LE(w, 127);
+    }
+}
+
+TEST(Quantize, ModelBytesShrinkWithBitsAndSparsity) {
+  const TrainedNet t;
+  QuantConfig c8;
+  QuantConfig c16;
+  c16.weight_bits = QuantBits::kInt16;
+  const QuantizedMlp q8(t.net, c8, t.inputs);
+  const QuantizedMlp q16(t.net, c16, t.inputs);
+  EXPECT_LT(q8.modelBytes(), q16.modelBytes());
+
+  Mlp pruned = t.net;
+  pruned.layer(0).mask().fill(0.0);
+  pruned.applyMasks();
+  const QuantizedMlp qp(pruned, c8, t.inputs);
+  EXPECT_LT(qp.modelBytes(), q8.modelBytes());
+}
+
+TEST(Quantize, EmptyCalibrationSkipsActivationQuant) {
+  const TrainedNet t;
+  const QuantizedMlp q(t.net, QuantConfig{}, Matrix(0, 0));
+  // Still usable; decisions close to float.
+  EXPECT_LT(quantizationDrift(t.net, q, t.inputs), 0.05);
+}
+
+// ---- profile text format ------------------------------------------------------
+
+constexpr const char* kGoodProfile = R"(# demo file
+kernel demo custom
+warps_per_cluster 16
+phase_loops 3
+phase ialu=0.30 falu=0.30 sfu=0.00 load=0.20 store=0.05 shared=0.10 branch=0.05 l1=0.80 l2=0.50 ilp=4 div=0.10 dep=0.25 insts=2000
+end
+)";
+
+TEST(ProfileIo, ParsesValidKernel) {
+  std::istringstream is(kGoodProfile);
+  const auto kernels = parseProfiles(is);
+  ASSERT_EQ(kernels.size(), 1u);
+  const auto& k = kernels.front();
+  EXPECT_EQ(k.name, "demo");
+  EXPECT_EQ(k.suite, "custom");
+  EXPECT_EQ(k.warps_per_cluster, 16);
+  EXPECT_EQ(k.phase_loops, 3);
+  ASSERT_EQ(k.phases.size(), 1u);
+  EXPECT_DOUBLE_EQ(k.phases[0].mix.load, 0.20);
+  EXPECT_EQ(k.phases[0].insts_per_warp, 2000);
+}
+
+TEST(ProfileIo, RoundTripsRegistry) {
+  std::ostringstream os;
+  writeProfiles(allWorkloads(), os);
+  std::istringstream is(os.str());
+  const auto back = parseProfiles(is);
+  ASSERT_EQ(back.size(), allWorkloads().size());
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_EQ(back[i].name, allWorkloads()[i].name);
+    EXPECT_EQ(back[i].phases.size(), allWorkloads()[i].phases.size());
+    EXPECT_DOUBLE_EQ(back[i].phases[0].l1_hit_rate,
+                     allWorkloads()[i].phases[0].l1_hit_rate);
+    EXPECT_EQ(back[i].totalInstsPerWarp(),
+              allWorkloads()[i].totalInstsPerWarp());
+  }
+}
+
+TEST(ProfileIo, FileRoundTrip) {
+  const std::string path = "ssm_test_profiles.txt";
+  saveProfilesToFile({workloadByName("sgemm")}, path);
+  const auto back = loadProfilesFromFile(path);
+  std::filesystem::remove(path);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back.front().name, "sgemm");
+  EXPECT_THROW(static_cast<void>(loadProfilesFromFile("no/such.prof")),
+               DataError);
+}
+
+TEST(ProfileIo, RejectsMalformedInput) {
+  const auto expect_fail = [](const std::string& text) {
+    std::istringstream is(text);
+    EXPECT_THROW(static_cast<void>(parseProfiles(is)), DataError) << text;
+  };
+  expect_fail("warps_per_cluster 4\n");              // outside kernel
+  expect_fail("kernel a\nkernel b\nend\n");          // unclosed kernel
+  expect_fail("kernel a\nphase ialu=1\nend\n");      // missing keys
+  expect_fail("kernel a\nbogus 3\nend\n");           // unknown keyword
+  expect_fail("kernel a\nphase ialu=x\nend\n");      // bad number
+  expect_fail("kernel a\n");                          // EOF inside kernel
+  // Valid syntax but invalid semantics (mix does not sum to 1).
+  expect_fail(
+      "kernel a custom\n"
+      "phase ialu=0.9 falu=0.9 sfu=0 load=0 store=0 shared=0 branch=0 "
+      "l1=0.5 l2=0.5 ilp=2 div=0.1 dep=0.2 insts=100\nend\n");
+}
+
+// ---- hysteresis decorator -----------------------------------------------------
+
+/// Inner governor that flaps between two levels every epoch.
+class FlappingGovernor final : public DvfsGovernor {
+ public:
+  VfLevel decide(const EpochObservation&) override {
+    flip_ = !flip_;
+    return flip_ ? 1 : 5;
+  }
+
+ private:
+  bool flip_ = false;
+};
+
+EpochObservation levelObs(int level) {
+  EpochObservation obs;
+  obs.level = level;
+  return obs;
+}
+
+TEST(Hysteresis, ValidatesConfig) {
+  HysteresisConfig bad;
+  bad.min_dwell_epochs = 0;
+  EXPECT_THROW(HysteresisGovernor(std::make_unique<FlappingGovernor>(), bad),
+               ContractError);
+  EXPECT_THROW(HysteresisGovernor(nullptr, HysteresisConfig{}),
+               ContractError);
+}
+
+TEST(Hysteresis, EnforcesMinimumDwell) {
+  HysteresisConfig cfg;
+  cfg.min_dwell_epochs = 3;
+  HysteresisGovernor gov(std::make_unique<FlappingGovernor>(), cfg);
+  int switches = 0;
+  int prev = 5;
+  for (int e = 0; e < 30; ++e) {
+    const int level = gov.decide(levelObs(prev));
+    switches += level != prev;
+    prev = level;
+  }
+  // The flapping inner governor would switch ~30 times; dwell 3 caps it.
+  EXPECT_LE(switches, 11);
+  EXPECT_GT(switches, 0);
+}
+
+TEST(Hysteresis, PassesThroughStableDecisions) {
+  class ConstantGovernor final : public DvfsGovernor {
+   public:
+    VfLevel decide(const EpochObservation&) override { return 2; }
+  };
+  HysteresisGovernor gov(std::make_unique<ConstantGovernor>(),
+                         HysteresisConfig{});
+  int level = 5;
+  for (int e = 0; e < 10; ++e) level = gov.decide(levelObs(level));
+  EXPECT_EQ(level, 2);
+}
+
+TEST(Hysteresis, ConfirmSwitchNeedsTwoRequests) {
+  // Inner asks 5,2,2,...: with confirm_switch the first '2' is ignored.
+  class OneShotGovernor final : public DvfsGovernor {
+   public:
+    VfLevel decide(const EpochObservation&) override {
+      return ++calls_ >= 2 ? 2 : 5;
+    }
+
+   private:
+    int calls_ = 0;
+  };
+  HysteresisConfig cfg;
+  cfg.min_dwell_epochs = 1;
+  cfg.confirm_switch = true;
+  HysteresisGovernor gov(std::make_unique<OneShotGovernor>(), cfg);
+  EXPECT_EQ(gov.decide(levelObs(5)), 5);  // inner says 5
+  EXPECT_EQ(gov.decide(levelObs(5)), 5);  // inner says 2: pending
+  EXPECT_EQ(gov.decide(levelObs(5)), 2);  // confirmed
+}
+
+TEST(Hysteresis, FullRunReducesTransitions) {
+  GpuConfig gpu;
+  gpu.num_clusters = 2;
+  Gpu g(gpu, VfTable::titanX(), workloadByName("hotspot"), 9,
+        ChipPowerModel(2));
+
+  // An intentionally twitchy inner policy: ondemand-like thresholds that
+  // react to epoch noise.
+  class TwitchyFactory final : public GovernorFactory {
+   public:
+    std::unique_ptr<DvfsGovernor> create(int) const override {
+      class Twitchy final : public DvfsGovernor {
+       public:
+        VfLevel decide(const EpochObservation& obs) override {
+          const double ipc = obs.counters.get(CounterId::kIpc);
+          return ipc > 1.4 ? 5 : (ipc > 0.9 ? 3 : 1);
+        }
+      };
+      return std::make_unique<Twitchy>();
+    }
+  };
+  const TwitchyFactory raw;
+  HysteresisConfig hcfg;
+  hcfg.min_dwell_epochs = 4;
+  const HysteresisFactory damped(raw, hcfg);
+
+  EpochTraceRecorder t_raw;
+  EpochTraceRecorder t_damped;
+  (void)runWithGovernor(g, raw, "raw", 5 * kNsPerMs, &t_raw);
+  (void)runWithGovernor(g, damped, "damped", 5 * kNsPerMs, &t_damped);
+  EXPECT_LT(t_damped.totalTransitions(), t_raw.totalTransitions());
+}
+
+}  // namespace
+}  // namespace ssm

@@ -1,0 +1,400 @@
+// Tests for the GPU simulator: determinism, frequency sensitivity,
+// snapshot/replay, counter plausibility and the governor runner.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "gpusim/gpu.hpp"
+#include "gpusim/runner.hpp"
+#include "gpusim/trace.hpp"
+#include "power/vf_table.hpp"
+#include "workloads/kernel_profile.hpp"
+
+namespace ssm {
+namespace {
+
+GpuConfig smallConfig() {
+  GpuConfig cfg;
+  cfg.num_clusters = 4;  // keep unit tests fast
+  return cfg;
+}
+
+Gpu makeGpu(const std::string& workload, std::uint64_t seed = 1,
+            GpuConfig cfg = smallConfig()) {
+  return Gpu(cfg, VfTable::titanX(), workloadByName(workload), seed,
+             ChipPowerModel(cfg.num_clusters));
+}
+
+TEST(Gpu, ConstructionChecksClusterCount) {
+  GpuConfig cfg = smallConfig();
+  EXPECT_THROW(Gpu(cfg, VfTable::titanX(), workloadByName("sgemm"), 1,
+                   ChipPowerModel(8)),
+               ContractError);
+  cfg.num_clusters = 0;
+  EXPECT_THROW(Gpu(cfg, VfTable::titanX(), workloadByName("sgemm"), 1,
+                   ChipPowerModel(1)),
+               ContractError);
+}
+
+TEST(Gpu, EpochAdvancesTimeAndProducesObservations) {
+  Gpu gpu = makeGpu("sgemm");
+  const auto report = gpu.runEpochUniform(gpu.vfTable().defaultLevel());
+  EXPECT_EQ(report.clusters.size(), 4u);
+  EXPECT_EQ(report.epoch_len_ns, 10'000);
+  EXPECT_EQ(gpu.nowNs(), 10'000);
+  for (const auto& obs : report.clusters) {
+    EXPECT_GT(obs.instructions, 0);
+    EXPECT_GT(obs.power_w, 0.0);
+    EXPECT_EQ(obs.level, 5);
+    EXPECT_GT(obs.counters.get(CounterId::kIpc), 0.0);
+  }
+  EXPECT_GT(report.chip_power_w, 0.0);
+}
+
+TEST(Gpu, DeterministicAcrossIdenticalRuns) {
+  Gpu a = makeGpu("hotspot", 7);
+  Gpu b = makeGpu("hotspot", 7);
+  for (int e = 0; e < 5; ++e) {
+    const auto ra = a.runEpochUniform(3);
+    const auto rb = b.runEpochUniform(3);
+    for (std::size_t i = 0; i < ra.clusters.size(); ++i) {
+      EXPECT_EQ(ra.clusters[i].instructions, rb.clusters[i].instructions);
+      EXPECT_DOUBLE_EQ(ra.clusters[i].power_w, rb.clusters[i].power_w);
+    }
+  }
+}
+
+TEST(Gpu, DifferentSeedsProduceDifferentExecutions) {
+  Gpu a = makeGpu("hotspot", 7);
+  Gpu b = makeGpu("hotspot", 8);
+  const auto ra = a.runEpochUniform(5);
+  const auto rb = b.runEpochUniform(5);
+  // Total issue counts can saturate identically at full throughput, but the
+  // sampled instruction mixes must differ between seeds.
+  bool any_diff = false;
+  for (std::size_t i = 0; i < ra.clusters.size(); ++i) {
+    any_diff |= ra.clusters[i].counters.get(CounterId::kInstFalu) !=
+                rb.clusters[i].counters.get(CounterId::kInstFalu);
+    any_diff |= ra.clusters[i].counters.get(CounterId::kStallMemLoadCycles) !=
+                rb.clusters[i].counters.get(CounterId::kStallMemLoadCycles);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Gpu, SnapshotReplayIsBitIdentical) {
+  Gpu gpu = makeGpu("kmeans", 3);
+  gpu.runEpochUniform(5);
+  gpu.runEpochUniform(5);
+
+  Gpu snap = gpu;  // snapshot mid-execution
+  const auto r1 = gpu.runEpochUniform(2);
+  const auto r2 = snap.runEpochUniform(2);
+  for (std::size_t i = 0; i < r1.clusters.size(); ++i) {
+    EXPECT_EQ(r1.clusters[i].instructions, r2.clusters[i].instructions);
+    for (int c = 0; c < kNumCounters; ++c) {
+      const auto id = static_cast<CounterId>(c);
+      EXPECT_DOUBLE_EQ(r1.clusters[i].counters.get(id),
+                       r2.clusters[i].counters.get(id))
+          << counterName(id);
+    }
+  }
+}
+
+TEST(Gpu, LowerFrequencyIssuesFewerInstructionsPerEpoch) {
+  Gpu hi = makeGpu("sgemm", 5);
+  Gpu lo = makeGpu("sgemm", 5);
+  std::int64_t hi_insts = 0;
+  std::int64_t lo_insts = 0;
+  for (int e = 0; e < 5; ++e) {
+    hi.runEpochUniform(5);
+    lo.runEpochUniform(0);
+    hi_insts += hi.lastEpochInstructions();
+    lo_insts += lo.lastEpochInstructions();
+  }
+  EXPECT_GT(hi_insts, lo_insts);
+  // Compute-bound work scales nearly linearly with frequency: the ratio
+  // should be close to 683/1165 ~ 0.586.
+  const double ratio = static_cast<double>(lo_insts) / hi_insts;
+  EXPECT_GT(ratio, 0.50);
+  EXPECT_LT(ratio, 0.75);
+}
+
+TEST(Gpu, MemoryBoundWorkloadIsFrequencyInsensitive) {
+  // Compare per-epoch instruction throughput ratios at min/max frequency
+  // for a memory-bound vs a compute-bound kernel.
+  const auto ratio_for = [](const std::string& name) {
+    Gpu hi = makeGpu(name, 11);
+    Gpu lo = makeGpu(name, 11);
+    std::int64_t hi_i = 0;
+    std::int64_t lo_i = 0;
+    for (int e = 0; e < 8; ++e) {
+      hi.runEpochUniform(5);
+      lo.runEpochUniform(0);
+      hi_i += hi.lastEpochInstructions();
+      lo_i += lo.lastEpochInstructions();
+    }
+    return static_cast<double>(lo_i) / static_cast<double>(hi_i);
+  };
+  const double spmv_ratio = ratio_for("spmv");    // memory bound
+  const double sgemm_ratio = ratio_for("sgemm");  // compute bound
+  EXPECT_GT(spmv_ratio, sgemm_ratio + 0.05);
+}
+
+TEST(Gpu, RunsToCompletionAndReportsFinishTime) {
+  Gpu gpu = makeGpu("bfs", 2);
+  gpu.runUntil(5 * kNsPerMs, gpu.vfTable().defaultLevel());
+  ASSERT_TRUE(gpu.allDone());
+  EXPECT_GT(gpu.finishTimeNs(), 0);
+  EXPECT_LE(gpu.finishTimeNs(), gpu.nowNs());
+  EXPECT_GT(gpu.totalEnergyJ(), 0.0);
+  EXPECT_GT(gpu.edp(), 0.0);
+  EXPECT_GT(gpu.totalInstructions(), 0);
+}
+
+TEST(Gpu, FinishTimeIsMinusOneWhileRunning) {
+  Gpu gpu = makeGpu("sgemm", 2);
+  gpu.runEpochUniform(5);
+  EXPECT_FALSE(gpu.allDone());
+  EXPECT_EQ(gpu.finishTimeNs(), -1);
+}
+
+TEST(Gpu, LowFrequencyStretchesExecutionTime) {
+  Gpu hi = makeGpu("sgemm", 4);
+  Gpu lo = makeGpu("sgemm", 4);
+  hi.runUntil(10 * kNsPerMs, 5);
+  lo.runUntil(10 * kNsPerMs, 0);
+  ASSERT_TRUE(hi.allDone());
+  ASSERT_TRUE(lo.allDone());
+  EXPECT_GT(lo.finishTimeNs(), hi.finishTimeNs());
+  // Compute-bound: slowdown should approach the frequency ratio 1.71.
+  const double slowdown = static_cast<double>(lo.finishTimeNs()) /
+                          static_cast<double>(hi.finishTimeNs());
+  EXPECT_GT(slowdown, 1.3);
+  EXPECT_LT(slowdown, 1.9);
+}
+
+TEST(Gpu, LowFrequencyReducesPower) {
+  Gpu hi = makeGpu("sgemm", 4);
+  Gpu lo = makeGpu("sgemm", 4);
+  const auto rh = hi.runEpochUniform(5);
+  const auto rl = lo.runEpochUniform(0);
+  EXPECT_LT(rl.chip_power_w, rh.chip_power_w);
+}
+
+TEST(Gpu, ProgramDurationInPaperRange) {
+  // §V.A limits program execution to ~0.0003 s so short tasks benefit from
+  // microsecond-scale DVFS. Our profiles should retire within 60–1200 µs
+  // at the default operating point (full 24-cluster configuration).
+  for (const auto& k : {"sgemm", "spmv", "hotspot", "bfs"}) {
+    GpuConfig cfg;  // full 24 clusters
+    Gpu gpu(cfg, VfTable::titanX(), workloadByName(k), 1,
+            ChipPowerModel(cfg.num_clusters));
+    gpu.runUntil(5 * kNsPerMs, gpu.vfTable().defaultLevel());
+    ASSERT_TRUE(gpu.allDone()) << k;
+    EXPECT_GT(gpu.finishTimeNs(), 60 * kNsPerUs) << k;
+    EXPECT_LT(gpu.finishTimeNs(), 1200 * kNsPerUs) << k;
+  }
+}
+
+TEST(Gpu, CountersAreInternallyConsistent) {
+  Gpu gpu = makeGpu("stencil", 6);
+  const auto report = gpu.runEpochUniform(5);
+  for (const auto& obs : report.clusters) {
+    const auto& c = obs.counters;
+    const double total = c.get(CounterId::kInstTotal);
+    const double by_class =
+        c.get(CounterId::kInstIalu) + c.get(CounterId::kInstFalu) +
+        c.get(CounterId::kInstSfu) + c.get(CounterId::kInstLoad) +
+        c.get(CounterId::kInstStore) + c.get(CounterId::kInstShared) +
+        c.get(CounterId::kInstBranch);
+    EXPECT_DOUBLE_EQ(total, by_class);
+    EXPECT_LE(c.get(CounterId::kL1ReadMiss), c.get(CounterId::kL1ReadAccess));
+    EXPECT_LE(c.get(CounterId::kL2Miss), c.get(CounterId::kL2Access));
+    EXPECT_DOUBLE_EQ(c.get(CounterId::kL2Access),
+                     c.get(CounterId::kL1ReadMiss));
+    EXPECT_EQ(static_cast<std::int64_t>(total), obs.instructions);
+    EXPECT_GE(c.get(CounterId::kStallMemTotalCycles),
+              c.get(CounterId::kStallMemLoadCycles));
+    EXPECT_DOUBLE_EQ(c.get(CounterId::kFreqMhz), 1165.0);
+  }
+}
+
+TEST(Gpu, TransitionStallCostsThroughput) {
+  // Switching levels every epoch pays the IVR transition penalty; holding
+  // a level does not. Same total work, so the switcher retires later.
+  GpuConfig cfg = smallConfig();
+  cfg.dvfs_transition_ns = 2000;  // exaggerate for test sensitivity
+  Gpu steady(cfg, VfTable::titanX(), workloadByName("sgemm"), 9,
+             ChipPowerModel(cfg.num_clusters));
+  Gpu toggling(cfg, VfTable::titanX(), workloadByName("sgemm"), 9,
+               ChipPowerModel(cfg.num_clusters));
+  bool flip = false;
+  while (!steady.allDone()) steady.runEpochUniform(5);
+  while (!toggling.allDone()) {
+    toggling.runEpochUniform(flip ? 4 : 5);
+    flip = !flip;
+  }
+  EXPECT_GT(toggling.finishTimeNs(), steady.finishTimeNs());
+}
+
+TEST(Runner, BaselineRunsAtDefaultLevelOnly) {
+  const RunResult r = runBaseline(makeGpu("hotspot", 1));
+  EXPECT_EQ(r.mechanism, "baseline");
+  EXPECT_GT(r.exec_time_ns, 0);
+  EXPECT_GT(r.energy_j, 0.0);
+  ASSERT_EQ(r.level_histogram.size(), 6u);
+  EXPECT_NEAR(r.level_histogram[5], 1.0, 1e-12);
+  for (int l = 0; l < 5; ++l) EXPECT_DOUBLE_EQ(r.level_histogram[l], 0.0);
+}
+
+class FixedLevelFactory final : public GovernorFactory {
+ public:
+  explicit FixedLevelFactory(VfLevel level) : level_(level) {}
+  std::unique_ptr<DvfsGovernor> create(int) const override {
+    return std::make_unique<StaticGovernor>(level_);
+  }
+
+ private:
+  VfLevel level_;
+};
+
+TEST(Runner, GovernorLevelsAreApplied) {
+  const FixedLevelFactory factory(0);
+  const RunResult r =
+      runWithGovernor(makeGpu("hotspot", 1), factory, "fixed-0");
+  ASSERT_EQ(r.level_histogram.size(), 6u);
+  // The first epoch runs at the default level before the governor acts.
+  EXPECT_GT(r.level_histogram[0], 0.8);
+  EXPECT_GT(r.level_histogram[5], 0.0);
+}
+
+TEST(Runner, MinLevelSavesEnergyOnMemoryBoundWorkload) {
+  // Needs the full 24-cluster configuration: with few clusters the fixed
+  // uncore power dominates and stretching execution wastes energy. On a
+  // memory-bound kernel at scale, dropping V/f is a clear energy win.
+  GpuConfig cfg;  // full chip
+  Gpu mk(cfg, VfTable::titanX(), workloadByName("spmv"), 2,
+         ChipPowerModel(cfg.num_clusters));
+  const RunResult base = runBaseline(mk);
+  const FixedLevelFactory factory(0);
+  const RunResult slow = runWithGovernor(mk, factory, "fixed-0");
+  EXPECT_LT(slow.energy_j, base.energy_j);
+  EXPECT_GT(slow.exec_time_ns, base.exec_time_ns);
+}
+
+TEST(Trace, RecordsEpochsAndHistogram) {
+  Gpu gpu = makeGpu("hotspot", 1);
+  EpochTraceRecorder trace;
+  for (int e = 0; e < 4; ++e) trace.record(gpu.runEpochUniform(e % 2 ? 2 : 5));
+  EXPECT_EQ(trace.epochCount(), 4);
+  EXPECT_EQ(trace.clusterCount(), 4);
+  EXPECT_EQ(trace.levelAt(0, 0), 5);
+  EXPECT_EQ(trace.levelAt(1, 0), 2);
+  EXPECT_GT(trace.chipPowerAt(0), trace.chipPowerAt(1));  // 1165 vs 878 MHz
+  const auto hist = trace.levelHistogram(6);
+  EXPECT_DOUBLE_EQ(hist[5], 0.5);
+  EXPECT_DOUBLE_EQ(hist[2], 0.5);
+  // Every cluster switches at epochs 1, 2 and 3.
+  EXPECT_EQ(trace.totalTransitions(), 3 * 4);
+  EXPECT_GT(trace.meanChipPowerW(), 0.0);
+}
+
+TEST(Trace, BoundsAreChecked) {
+  EpochTraceRecorder trace;
+  EXPECT_THROW(static_cast<void>(trace.levelAt(0, 0)), ContractError);
+  Gpu gpu = makeGpu("hotspot", 1);
+  trace.record(gpu.runEpochUniform(5));
+  EXPECT_THROW(static_cast<void>(trace.levelAt(1, 0)), ContractError);
+  EXPECT_THROW(static_cast<void>(trace.levelAt(0, 9)), ContractError);
+}
+
+TEST(Trace, CsvAndTimelineRender) {
+  Gpu gpu = makeGpu("hotspot", 1);
+  EpochTraceRecorder trace;
+  trace.record(gpu.runEpochUniform(5));
+  trace.record(gpu.runEpochUniform(0));
+  const std::string path = "ssm_test_trace.csv";
+  trace.saveCsv(path);
+  std::ifstream is(path);
+  std::string header;
+  std::getline(is, header);
+  EXPECT_EQ(header,
+            "epoch,cluster,level,instructions,cluster_power_w,chip_power_w");
+  int lines = 0;
+  for (std::string l; std::getline(is, l);) ++lines;
+  EXPECT_EQ(lines, 2 * 4);
+  is.close();
+  std::filesystem::remove(path);
+
+  std::ostringstream os;
+  trace.renderTimeline(os);
+  EXPECT_NE(os.str().find("c00 50"), std::string::npos);
+}
+
+TEST(Trace, RunnerStreamsIntoRecorder) {
+  EpochTraceRecorder trace;
+  const FixedLevelFactory factory(1);
+  const RunResult r = runWithGovernor(makeGpu("hotspot", 1), factory,
+                                      "fixed-1", 5 * kNsPerMs, &trace);
+  EXPECT_EQ(trace.epochCount(), r.epochs);
+  const auto hist = trace.levelHistogram(6);
+  for (int l = 0; l < 6; ++l)
+    EXPECT_NEAR(hist[static_cast<std::size_t>(l)],
+                r.level_histogram[static_cast<std::size_t>(l)], 1e-12);
+}
+
+TEST(Runner, SequenceKeepsGovernorsAcrossPrograms) {
+  // A counting factory proves governors are created once for the whole
+  // sequence, and results come back one per program in order.
+  class CountingFactory final : public GovernorFactory {
+   public:
+    std::unique_ptr<DvfsGovernor> create(int) const override {
+      ++creations;
+      return std::make_unique<StaticGovernor>(3);
+    }
+    mutable int creations = 0;
+  };
+  const CountingFactory factory;
+  SequenceConfig cfg;
+  cfg.gpu.num_clusters = 2;
+  const std::vector<KernelProfile> programs = {workloadByName("spmv"),
+                                               workloadByName("bfs"),
+                                               workloadByName("spmv")};
+  const auto results = runSequence(programs, factory, "fixed-3", cfg);
+  EXPECT_EQ(factory.creations, 2);  // one per cluster, NOT per program
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].workload, "spmv");
+  EXPECT_EQ(results[1].workload, "bfs");
+  for (const auto& r : results) {
+    EXPECT_GT(r.exec_time_ns, 0);
+    EXPECT_GT(r.energy_j, 0.0);
+    EXPECT_EQ(r.mechanism, "fixed-3");
+  }
+  EXPECT_THROW(static_cast<void>(runSequence({}, factory, "x", cfg)),
+               ContractError);
+}
+
+TEST(Runner, ChipGovernorAppliesOneLevelEverywhere) {
+  GpuConfig cfg = smallConfig();
+  Gpu g(cfg, VfTable::titanX(), workloadByName("hotspot"), 3,
+        ChipPowerModel(cfg.num_clusters));
+  const FixedLevelFactory factory(2);
+  EpochTraceRecorder trace;
+  const RunResult r =
+      runWithChipGovernor(g, factory, "chip-fixed-2", 5 * kNsPerMs, &trace);
+  EXPECT_GT(r.epochs, 1);
+  // From epoch 1 on, every cluster holds level 2 simultaneously.
+  for (int e = 1; e < trace.epochCount(); ++e)
+    for (int c = 0; c < trace.clusterCount(); ++c)
+      EXPECT_EQ(trace.levelAt(e, c), 2) << "epoch " << e;
+}
+
+TEST(Runner, ThrowsIfDeadlineTooShort) {
+  EXPECT_THROW(runBaseline(makeGpu("sgemm", 2), /*max_time_ns=*/20'000),
+               ContractError);
+}
+
+}  // namespace
+}  // namespace ssm

@@ -1,0 +1,115 @@
+// Tests for the §V.D ASIC cost model.
+#include <gtest/gtest.h>
+
+#include "compress/pruning.hpp"
+#include "hw/asic_model.hpp"
+#include "nn/mlp.hpp"
+
+namespace ssm {
+namespace {
+
+Mlp paperCompressedDecision() {
+  return Mlp({6, 12, 12, 6}, Head::kSoftmaxClassifier, Rng(1));
+}
+Mlp paperCompressedCalibrator() {
+  return Mlp({12, 12, 1}, Head::kRegression, Rng(2));
+}
+
+TEST(Asic, ValidatesConfig) {
+  AsicConfig bad;
+  bad.mac_units = 0;
+  EXPECT_THROW(static_cast<void>(estimateAsic(paperCompressedDecision(),
+                                              paperCompressedCalibrator(),
+                                              bad)),
+               ContractError);
+  bad = AsicConfig{};
+  bad.clock_mhz = 0.0;
+  EXPECT_THROW(static_cast<void>(estimateAsic(paperCompressedDecision(),
+                                              paperCompressedCalibrator(),
+                                              bad)),
+               ContractError);
+}
+
+TEST(Asic, CycleCountScalesWithMacLanes) {
+  const Mlp dec = paperCompressedDecision();
+  const Mlp cal = paperCompressedCalibrator();
+  AsicConfig one;
+  one.mac_units = 1;
+  AsicConfig four;
+  four.mac_units = 4;
+  const auto r1 = estimateAsic(dec, cal, one);
+  const auto r4 = estimateAsic(dec, cal, four);
+  EXPECT_GT(r1.cycles_per_inference, r4.cycles_per_inference);
+  EXPECT_EQ(r1.macs, r4.macs);
+}
+
+TEST(Asic, PruningReducesEveryCost) {
+  Mlp dec = paperCompressedDecision();
+  Mlp cal = paperCompressedCalibrator();
+  const auto before = estimateAsic(dec, cal);
+  magnitudePruneTo(dec, 0.6);
+  magnitudePruneTo(cal, 0.6);
+  const auto after = estimateAsic(dec, cal);
+  EXPECT_LT(after.macs, before.macs);
+  EXPECT_LT(after.cycles_per_inference, before.cycles_per_inference);
+  EXPECT_LT(after.area_mm2_28, before.area_mm2_28);
+  EXPECT_LT(after.energy_per_inference_nj_28,
+            before.energy_per_inference_nj_28);
+}
+
+TEST(Asic, PrunedModelLandsNearPaperScalars) {
+  // §V.D: 192 cycles (0.16 µs @ 1165 MHz), 0.0080 mm^2, 0.0025 W at 28 nm.
+  // Our cost model should land in the same decade on the compressed+pruned
+  // architecture (exactness depends on the pruned MAC count).
+  Mlp dec = paperCompressedDecision();
+  Mlp cal = paperCompressedCalibrator();
+  magnitudePruneTo(dec, 0.6);
+  magnitudePruneTo(cal, 0.6);
+  neuronPrune(dec, 0.9);
+  neuronPrune(cal, 0.9);
+  const auto r = estimateAsic(dec, cal);
+  EXPECT_GT(r.cycles_per_inference, 100);
+  EXPECT_LT(r.cycles_per_inference, 320);
+  EXPECT_GT(r.time_us, 0.08);
+  EXPECT_LT(r.time_us, 0.30);
+  EXPECT_GT(r.area_mm2_28, 0.003);
+  EXPECT_LT(r.area_mm2_28, 0.02);
+  EXPECT_GT(r.power_w_28, 0.0005);
+  EXPECT_LT(r.power_w_28, 0.01);
+  // The inference must consume only a small share of a 10 µs epoch.
+  EXPECT_LT(r.dvfs_period_fraction, 0.05);
+}
+
+TEST(Asic, TimeMatchesCyclesAndClock) {
+  const auto r = estimateAsic(paperCompressedDecision(),
+                              paperCompressedCalibrator());
+  EXPECT_NEAR(r.time_us,
+              static_cast<double>(r.cycles_per_inference) / 1165.0, 1e-12);
+  EXPECT_NEAR(r.dvfs_period_fraction, r.time_us / 10.0, 1e-12);
+}
+
+TEST(Asic, PowerIsEnergyOverTime) {
+  const auto r = estimateAsic(paperCompressedDecision(),
+                              paperCompressedCalibrator());
+  EXPECT_NEAR(r.power_w_28,
+              r.energy_per_inference_nj_28 * 1e-9 / (r.time_us * 1e-6),
+              1e-12);
+}
+
+TEST(Asic, DeadNeuronsStoreNoBias) {
+  Mlp dec({4, 4, 2}, Head::kSoftmaxClassifier, Rng(3));
+  Mlp cal({4, 4, 1}, Head::kRegression, Rng(4));
+  const auto before = estimateAsic(dec, cal);
+  // Kill one hidden neuron of dec entirely.
+  for (int i = 0; i < 4; ++i) dec.layer(0).mask()(0, static_cast<std::size_t>(i)) = 0.0;
+  for (int o = 0; o < 2; ++o) dec.layer(1).mask()(static_cast<std::size_t>(o), 0) = 0.0;
+  dec.applyMasks();
+  const auto after = estimateAsic(dec, cal);
+  // 4 incoming + 2 outgoing MACs gone, plus the neuron's weight words and
+  // its bias word.
+  EXPECT_EQ(before.macs - after.macs, 6);
+  EXPECT_EQ(before.weight_words - after.weight_words, 7);
+}
+
+}  // namespace
+}  // namespace ssm

@@ -1,0 +1,161 @@
+// Unit tests for src/power: the V/f table and the analytic power model.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "power/power_model.hpp"
+#include "power/vf_table.hpp"
+
+namespace ssm {
+namespace {
+
+TEST(VfTable, TitanXMatchesPaperOperatingPoints) {
+  const VfTable t = VfTable::titanX();
+  ASSERT_EQ(t.size(), 6u);
+  EXPECT_DOUBLE_EQ(t.at(0).voltage_v, 1.0);
+  EXPECT_DOUBLE_EQ(t.at(0).freq_mhz, 683.0);
+  EXPECT_DOUBLE_EQ(t.at(5).voltage_v, 1.155);
+  EXPECT_DOUBLE_EQ(t.at(5).freq_mhz, 1165.0);
+  EXPECT_EQ(t.defaultLevel(), 5);
+}
+
+TEST(VfTable, SparseVariantKeepsEndpoints) {
+  const VfTable t = VfTable::titanXSparse();
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_DOUBLE_EQ(t.at(0).freq_mhz, 683.0);
+  EXPECT_DOUBLE_EQ(t.at(2).freq_mhz, 1165.0);
+}
+
+TEST(VfTable, RejectsNonMonotonic) {
+  EXPECT_THROW(VfTable({{1.0, 1000.0}, {1.0, 900.0}}), ContractError);
+  EXPECT_THROW(VfTable({{1.1, 900.0}, {1.0, 1000.0}}), ContractError);
+  EXPECT_THROW(VfTable({{1.0, 900.0}}), ContractError);
+  EXPECT_THROW(VfTable({{0.0, 900.0}, {1.0, 1000.0}}), ContractError);
+}
+
+TEST(VfTable, ClampAndValidity) {
+  const VfTable t = VfTable::titanX();
+  EXPECT_TRUE(t.isValid(0));
+  EXPECT_TRUE(t.isValid(5));
+  EXPECT_FALSE(t.isValid(-1));
+  EXPECT_FALSE(t.isValid(6));
+  EXPECT_EQ(t.clamp(-3), 0);
+  EXPECT_EQ(t.clamp(99), 5);
+  EXPECT_EQ(t.clamp(2), 2);
+}
+
+TEST(VfTable, AtOutOfRangeThrows) {
+  const VfTable t = VfTable::titanX();
+  EXPECT_THROW(t.at(-1), ContractError);
+  EXPECT_THROW(t.at(6), ContractError);
+}
+
+TEST(VfTable, LevelForMinFreq) {
+  const VfTable t = VfTable::titanX();
+  EXPECT_EQ(t.levelForMinFreq(0.0), 0);
+  EXPECT_EQ(t.levelForMinFreq(700.0), 1);
+  EXPECT_EQ(t.levelForMinFreq(878.0), 2);
+  EXPECT_EQ(t.levelForMinFreq(2000.0), 5);  // falls back to default
+}
+
+TEST(ClusterPower, DynamicPowerScalesWithV2F) {
+  const ClusterPowerModel m;
+  const ClusterActivity full{.issue = 1.0, .alu = 1.0, .mem = 1.0,
+                             .active = 1.0};
+  const VfPoint lo{1.0, 683.0};
+  const VfPoint hi{1.155, 1165.0};
+  const double p_lo = m.dynamicPowerW(lo, full);
+  const double p_hi = m.dynamicPowerW(hi, full);
+  const double expected_ratio =
+      (1.155 * 1.155 * 1165.0) / (1.0 * 1.0 * 683.0);
+  EXPECT_NEAR(p_hi / p_lo, expected_ratio, 1e-9);
+}
+
+TEST(ClusterPower, ActivityIncreasesPower) {
+  const ClusterPowerModel m;
+  const VfPoint vf{1.155, 1165.0};
+  const ClusterActivity idle{.issue = 0.0, .alu = 0.0, .mem = 0.0,
+                             .active = 1.0};
+  const ClusterActivity busy{.issue = 1.0, .alu = 0.8, .mem = 0.5,
+                             .active = 1.0};
+  EXPECT_GT(m.dynamicPowerW(vf, busy), m.dynamicPowerW(vf, idle));
+}
+
+TEST(ClusterPower, ActivityIsClampedToOne) {
+  ClusterPowerParams p;
+  p.w_issue = 2.0;  // force saturation
+  const ClusterPowerModel m(p);
+  const VfPoint vf{1.0, 1000.0};
+  const ClusterActivity a{.issue = 1.0, .alu = 1.0, .mem = 1.0, .active = 1.0};
+  EXPECT_NEAR(m.dynamicPowerW(vf, a), p.c_eff * 1.0 * 1000.0, 1e-9);
+}
+
+TEST(ClusterPower, LeakageGrowsSuperlinearlyWithVoltage) {
+  const ClusterPowerModel m;
+  const double l10 = m.leakagePowerW({1.0, 683.0});
+  const double l1155 = m.leakagePowerW({1.155, 1165.0});
+  EXPECT_GT(l1155 / l10, 1.155);  // more than linear in V
+}
+
+TEST(ClusterPower, InvalidParamsThrow) {
+  ClusterPowerParams p;
+  p.c_eff = 0.0;
+  EXPECT_THROW(ClusterPowerModel{p}, ContractError);
+  ClusterPowerParams q;
+  q.act_base = 1.5;
+  EXPECT_THROW(ClusterPowerModel{q}, ContractError);
+}
+
+TEST(ChipPower, TitanXCalibrationNearTdpClass) {
+  // A fully-active 24-cluster chip at the default operating point should
+  // land in the 250 W TDP class of the GTX Titan X (within ~20 %).
+  const ChipPowerModel chip(24);
+  const ClusterActivity full{.issue = 1.0, .alu = 0.9, .mem = 0.6,
+                             .active = 1.0};
+  const double p = chip.uniformChipPowerW({1.155, 1165.0}, full, 0.9);
+  EXPECT_GT(p, 200.0);
+  EXPECT_LT(p, 300.0);
+}
+
+TEST(ChipPower, MinOperatingPointSavesSubstantialPower) {
+  const ChipPowerModel chip(24);
+  const ClusterActivity full{.issue = 1.0, .alu = 0.9, .mem = 0.6,
+                             .active = 1.0};
+  const double p_hi = chip.uniformChipPowerW({1.155, 1165.0}, full, 0.9);
+  const double p_lo = chip.uniformChipPowerW({1.0, 683.0}, full, 0.9);
+  // (V^2 f) ratio is ~0.44 on the core; whole chip should save >25 %.
+  EXPECT_LT(p_lo / p_hi, 0.75);
+}
+
+TEST(ChipPower, UncoreUtilisationClamped) {
+  const ChipPowerModel chip(24);
+  EXPECT_DOUBLE_EQ(chip.uncorePowerW(-1.0), chip.uncorePowerW(0.0));
+  EXPECT_DOUBLE_EQ(chip.uncorePowerW(2.0), chip.uncorePowerW(1.0));
+  EXPECT_GT(chip.uncorePowerW(1.0), chip.uncorePowerW(0.0));
+}
+
+TEST(ChipPower, RejectsNonPositiveClusterCount) {
+  EXPECT_THROW(ChipPowerModel(0), ContractError);
+}
+
+TEST(EnergyAccountant, IntegratesAndDerivesEdp) {
+  EnergyAccountant acc;
+  acc.add(100.0, 1'000'000);  // 100 W for 1 ms = 0.1 J
+  EXPECT_NEAR(acc.energyJ(), 0.1, 1e-12);
+  EXPECT_EQ(acc.elapsedNs(), 1'000'000);
+  EXPECT_NEAR(acc.edp(), 0.1 * 1e-3, 1e-15);
+  acc.add(50.0, 1'000'000);
+  EXPECT_NEAR(acc.energyJ(), 0.15, 1e-12);
+  acc.reset();
+  EXPECT_DOUBLE_EQ(acc.energyJ(), 0.0);
+  EXPECT_EQ(acc.elapsedNs(), 0);
+}
+
+TEST(EnergyAccountant, IgnoresNonPositiveDuration) {
+  EnergyAccountant acc;
+  acc.add(100.0, 0);
+  acc.add(100.0, -5);
+  EXPECT_DOUBLE_EQ(acc.energyJ(), 0.0);
+}
+
+}  // namespace
+}  // namespace ssm

@@ -1,0 +1,176 @@
+// Property-based suites (parameterized gtest): invariants that must hold
+// for EVERY workload profile and every operating point, not just the few
+// hand-picked cases in the unit suites.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "datagen/generator.hpp"
+#include "gpusim/gpu.hpp"
+#include "gpusim/runner.hpp"
+#include "power/power_model.hpp"
+#include "workloads/kernel_profile.hpp"
+
+namespace ssm {
+namespace {
+
+GpuConfig tinyGpu() {
+  GpuConfig cfg;
+  cfg.num_clusters = 2;  // keep the sweep over 28 workloads affordable
+  return cfg;
+}
+
+std::vector<std::string> allWorkloadNames() {
+  std::vector<std::string> names;
+  for (const auto& k : allWorkloads()) names.push_back(k.name);
+  return names;
+}
+
+// ---- per-workload simulator invariants -------------------------------------
+
+class WorkloadProperty : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadProperty, EpochCountersAreConsistent) {
+  Gpu gpu(tinyGpu(), VfTable::titanX(), workloadByName(GetParam()), 17,
+          ChipPowerModel(2));
+  for (int e = 0; e < 3 && !gpu.allDone(); ++e) {
+    const auto rep = gpu.runEpochUniform(e % 2 == 0 ? 5 : 1);
+    for (const auto& obs : rep.clusters) {
+      const auto& c = obs.counters;
+      const double total = c.get(CounterId::kInstTotal);
+      const double by_class =
+          c.get(CounterId::kInstIalu) + c.get(CounterId::kInstFalu) +
+          c.get(CounterId::kInstSfu) + c.get(CounterId::kInstLoad) +
+          c.get(CounterId::kInstStore) + c.get(CounterId::kInstShared) +
+          c.get(CounterId::kInstBranch);
+      EXPECT_DOUBLE_EQ(total, by_class);
+      EXPECT_LE(c.get(CounterId::kL1ReadMiss),
+                c.get(CounterId::kL1ReadAccess));
+      EXPECT_LE(c.get(CounterId::kL2Miss), c.get(CounterId::kL2Access));
+      EXPECT_GE(c.get(CounterId::kIpc), 0.0);
+      EXPECT_LE(c.get(CounterId::kIpc),
+                static_cast<double>(tinyGpu().issue_width));
+      EXPECT_GE(obs.power_w, 0.0);
+      EXPECT_GE(c.get(CounterId::kL1ReadAccess), c.get(CounterId::kL2Access));
+      EXPECT_GE(c.get(CounterId::kStallMemTotalCycles),
+                c.get(CounterId::kStallMemOtherCycles));
+    }
+  }
+}
+
+TEST_P(WorkloadProperty, RetiresAndIsDeterministic) {
+  Gpu a(tinyGpu(), VfTable::titanX(), workloadByName(GetParam()), 23,
+        ChipPowerModel(2));
+  Gpu b = a;
+  a.runUntil(20 * kNsPerMs, 4);
+  b.runUntil(20 * kNsPerMs, 4);
+  ASSERT_TRUE(a.allDone()) << GetParam();
+  EXPECT_EQ(a.finishTimeNs(), b.finishTimeNs());
+  EXPECT_EQ(a.totalInstructions(), b.totalInstructions());
+  EXPECT_DOUBLE_EQ(a.totalEnergyJ(), b.totalEnergyJ());
+  EXPECT_GT(a.totalInstructions(), 0);
+}
+
+TEST_P(WorkloadProperty, LowerFrequencyNeverFinishesEarlier) {
+  Gpu hi(tinyGpu(), VfTable::titanX(), workloadByName(GetParam()), 29,
+         ChipPowerModel(2));
+  Gpu lo = hi;
+  hi.runUntil(20 * kNsPerMs, 5);
+  lo.runUntil(20 * kNsPerMs, 0);
+  ASSERT_TRUE(hi.allDone());
+  ASSERT_TRUE(lo.allDone());
+  // Identical instruction streams, slower clock: retire time must not
+  // shrink, and the slowdown is bounded by the frequency ratio plus noise.
+  EXPECT_GE(lo.finishTimeNs(), hi.finishTimeNs());
+  const double slowdown = static_cast<double>(lo.finishTimeNs()) /
+                          static_cast<double>(hi.finishTimeNs());
+  EXPECT_LE(slowdown, 1165.0 / 683.0 + 0.12) << GetParam();
+  EXPECT_EQ(lo.totalInstructions(), hi.totalInstructions());
+}
+
+TEST_P(WorkloadProperty, ChipPowerWithinPhysicalEnvelope) {
+  Gpu gpu(GpuConfig{}, VfTable::titanX(), workloadByName(GetParam()), 31,
+          ChipPowerModel(24));
+  const auto rep = gpu.runEpochUniform(5);
+  // Full 24-cluster chip at the default point: between deep idle and TDP+.
+  EXPECT_GT(rep.chip_power_w, 40.0) << GetParam();
+  EXPECT_LT(rep.chip_power_w, 300.0) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadProperty,
+                         ::testing::ValuesIn(allWorkloadNames()),
+                         [](const auto& info) { return info.param; });
+
+// ---- per-level properties ---------------------------------------------------
+
+class LevelProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LevelProperty, UniformRunRespectsClockScaling) {
+  const int level = GetParam();
+  const VfTable vf = VfTable::titanX();
+  Gpu gpu(tinyGpu(), vf, workloadByName("sgemm"), 41, ChipPowerModel(2));
+  // First epoch at the level pays the IVR transition stall; measure the
+  // steady-state second epoch.
+  gpu.runEpochUniform(level);
+  const auto rep = gpu.runEpochUniform(level);
+  for (const auto& obs : rep.clusters) {
+    EXPECT_EQ(obs.level, level);
+    EXPECT_DOUBLE_EQ(obs.counters.get(CounterId::kFreqMhz),
+                     vf.at(level).freq_mhz);
+    EXPECT_DOUBLE_EQ(obs.counters.get(CounterId::kAvgVoltage),
+                     vf.at(level).voltage_v);
+    // Cycles in a 10 µs epoch follow the clock.
+    EXPECT_NEAR(obs.counters.get(CounterId::kCyclesElapsed),
+                vf.at(level).freq_mhz * 10.0, 2.0);
+  }
+}
+
+TEST_P(LevelProperty, EpochInstructionsMonotoneInFrequencyForCompute) {
+  const int level = GetParam();
+  if (level == 0) GTEST_SKIP() << "needs a lower neighbour";
+  Gpu lo(tinyGpu(), VfTable::titanX(), workloadByName("gemm"), 43,
+         ChipPowerModel(2));
+  Gpu hi = lo;
+  std::int64_t lo_insts = 0;
+  std::int64_t hi_insts = 0;
+  for (int e = 0; e < 4; ++e) {
+    lo.runEpochUniform(level - 1);
+    hi.runEpochUniform(level);
+    lo_insts += lo.lastEpochInstructions();
+    hi_insts += hi.lastEpochInstructions();
+  }
+  EXPECT_GE(hi_insts, lo_insts);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLevels, LevelProperty, ::testing::Range(0, 6));
+
+// ---- datagen invariants over a workload sample ------------------------------
+
+class DatagenProperty : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DatagenProperty, ProtocolInvariants) {
+  GenConfig gen;
+  gen.runs_per_workload = 1;
+  gen.clusters_sampled = 2;
+  gen.epochs_per_breakpoint = 8;
+  const DataGenerator dg(tinyGpu(), VfTable::titanX(), gen);
+  const Dataset ds = dg.generateForWorkload(workloadByName(GetParam()), 51);
+  for (const auto& p : ds.points()) {
+    EXPECT_GE(p.level, 0);
+    EXPECT_LT(p.level, 6);
+    EXPECT_GE(p.perf_loss, 0.0);
+    EXPECT_LE(p.perf_loss, 1.2);
+    EXPECT_GT(p.insts_k, 0.0);
+    EXPECT_EQ(p.workload, GetParam());
+    if (p.level == 5) EXPECT_NEAR(p.perf_loss, 0.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SampleWorkloads, DatagenProperty,
+                         ::testing::Values("sgemm", "spmv", "hotspot",
+                                           "lavamd", "bfs", "histo",
+                                           "correlation", "nw"),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace ssm

@@ -1,0 +1,140 @@
+// Unit tests for src/workloads: registry integrity, profile validation and
+// the train/eval split properties claimed in §V.A.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/kernel_profile.hpp"
+
+namespace ssm {
+namespace {
+
+TEST(Workloads, RegistryHasAtLeastTwentyBenchmarks) {
+  // §III.A: "over 20 benchmarks from Rodinia, Parboil and PolyBench".
+  EXPECT_GE(allWorkloads().size(), 20u);
+}
+
+TEST(Workloads, AllThreeSuitesPresent) {
+  std::set<std::string> suites;
+  for (const auto& k : allWorkloads()) suites.insert(k.suite);
+  EXPECT_TRUE(suites.count("rodinia"));
+  EXPECT_TRUE(suites.count("parboil"));
+  EXPECT_TRUE(suites.count("polybench"));
+}
+
+TEST(Workloads, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto& k : allWorkloads()) {
+    EXPECT_TRUE(names.insert(k.name).second) << "duplicate: " << k.name;
+  }
+}
+
+TEST(Workloads, AllProfilesValidate) {
+  for (const auto& k : allWorkloads()) EXPECT_NO_THROW(k.validate());
+}
+
+TEST(Workloads, MixesSumToOne) {
+  for (const auto& k : allWorkloads())
+    for (const auto& p : k.phases)
+      EXPECT_NEAR(p.mix.sum(), 1.0, 1e-6) << k.name;
+}
+
+TEST(Workloads, LookupByName) {
+  const auto& k = workloadByName("sgemm");
+  EXPECT_EQ(k.name, "sgemm");
+  EXPECT_EQ(k.suite, "parboil");
+  EXPECT_THROW(static_cast<void>(workloadByName("no-such-kernel")),
+               DataError);
+}
+
+TEST(Workloads, TotalInstsPerWarpAccountsForLoops) {
+  KernelProfile k = workloadByName("sgemm");
+  std::int64_t per_loop = 0;
+  for (const auto& p : k.phases) per_loop += p.insts_per_warp;
+  EXPECT_EQ(k.totalInstsPerWarp(), per_loop * k.phase_loops);
+}
+
+TEST(Workloads, EvalSplitIsMajorityUnseen) {
+  // §V.A: more than 50 % of evaluated programs are not in the training set.
+  const auto train = trainingWorkloads();
+  const auto eval = evaluationWorkloads();
+  ASSERT_FALSE(train.empty());
+  ASSERT_FALSE(eval.empty());
+  std::set<std::string> train_names;
+  for (const auto& k : train) train_names.insert(k.name);
+  int unseen = 0;
+  for (const auto& k : eval) unseen += !train_names.count(k.name);
+  EXPECT_GT(unseen * 2, static_cast<int>(eval.size()));
+}
+
+TEST(Workloads, SplitsDrawFromRegistry) {
+  for (const auto& k : trainingWorkloads())
+    EXPECT_NO_THROW(static_cast<void>(workloadByName(k.name)));
+  for (const auto& k : evaluationWorkloads())
+    EXPECT_NO_THROW(static_cast<void>(workloadByName(k.name)));
+}
+
+TEST(Workloads, DiverseMemoryIntensity) {
+  // The registry must span memory-bound and compute-bound behaviour, or
+  // DVFS has nothing to exploit. Use the first phase's load fraction and
+  // L1 hit rate as a proxy.
+  bool has_memory_bound = false;
+  bool has_compute_bound = false;
+  for (const auto& k : allWorkloads()) {
+    const auto& p = k.phases.front();
+    const double mem_frac = p.mix.load + p.mix.store;
+    if (mem_frac > 0.35 && p.l1_hit_rate < 0.5) has_memory_bound = true;
+    if (mem_frac < 0.15 && p.l1_hit_rate > 0.85) has_compute_bound = true;
+  }
+  EXPECT_TRUE(has_memory_bound);
+  EXPECT_TRUE(has_compute_bound);
+}
+
+TEST(Workloads, MicrobenchFamilyPresentButExcludedFromSplits) {
+  // The synthetic corner cases exist in the registry...
+  for (const char* name : {"micro_compute", "micro_memory", "micro_sawtooth",
+                           "micro_branchy"}) {
+    EXPECT_EQ(workloadByName(name).suite, "micro");
+  }
+  // ...but never leak into the paper's training or evaluation splits.
+  for (const auto& k : trainingWorkloads()) EXPECT_NE(k.suite, "micro");
+  for (const auto& k : evaluationWorkloads()) EXPECT_NE(k.suite, "micro");
+}
+
+TEST(KernelProfileValidate, RejectsBadProfiles) {
+  KernelProfile k = workloadByName("sgemm");  // copy a valid one
+  KernelProfile bad = k;
+  bad.name.clear();
+  EXPECT_THROW(bad.validate(), DataError);
+
+  bad = k;
+  bad.phases.clear();
+  EXPECT_THROW(bad.validate(), DataError);
+
+  bad = k;
+  bad.warps_per_cluster = 0;
+  EXPECT_THROW(bad.validate(), DataError);
+
+  bad = k;
+  bad.phase_loops = 0;
+  EXPECT_THROW(bad.validate(), DataError);
+
+  bad = k;
+  bad.phases[0].mix.ialu += 0.5;  // mix no longer sums to 1
+  EXPECT_THROW(bad.validate(), DataError);
+
+  bad = k;
+  bad.phases[0].l1_hit_rate = 1.5;
+  EXPECT_THROW(bad.validate(), DataError);
+
+  bad = k;
+  bad.phases[0].ilp = -1;
+  EXPECT_THROW(bad.validate(), DataError);
+
+  bad = k;
+  bad.phases[0].insts_per_warp = 0;
+  EXPECT_THROW(bad.validate(), DataError);
+}
+
+}  // namespace
+}  // namespace ssm

@@ -1,0 +1,446 @@
+// ssmdvfs — command-line driver for the library.
+//
+// Subcommands compose the same way the paper's Fig. 2 pipeline does:
+//
+//   ssmdvfs list-workloads
+//   ssmdvfs datagen   --out corpus.csv [--workload NAME] [--runs N] [--seed S]
+//   ssmdvfs train     --data corpus.csv --out model.txt [--compressed]
+//                     [--epochs N] [--prune]
+//   ssmdvfs eval      --model model.txt --data corpus.csv
+//   ssmdvfs run       --workload NAME --mechanism M [--preset P]
+//                     [--model model.txt] [--trace trace.csv] [--seed S]
+//                     [--json out.json]
+//       M in {baseline, static-<L>, ssmdvfs, ssmdvfs-nocal, pcstall,
+//             flemma, ondemand}
+//   ssmdvfs oracle    --workload NAME [--seed S]
+//   ssmdvfs hw-cost   --model model.txt
+//   ssmdvfs quantize  --model model.txt --data corpus.csv
+//   ssmdvfs list-counters
+//   ssmdvfs corpus-stats --data corpus.csv
+//   ssmdvfs explain   --model model.txt --data corpus.csv --row N --preset P
+//
+// `datagen`, `run` and `oracle` accept --profile-file FILE to resolve the
+// workload from a kernel-profile text file (see src/workloads/profile_io.hpp)
+// instead of the built-in registry.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/flemma.hpp"
+#include "baselines/ondemand.hpp"
+#include "baselines/oracle.hpp"
+#include "baselines/pcstall.hpp"
+#include "compress/pruning.hpp"
+#include "core/ssm_governor.hpp"
+#include "common/json_writer.hpp"
+#include "core/ssm_io.hpp"
+#include "datagen/corpus_stats.hpp"
+#include "datagen/generator.hpp"
+#include "gpusim/runner.hpp"
+#include "gpusim/trace.hpp"
+#include "hw/asic_model.hpp"
+#include "nn/quantize.hpp"
+#include "workloads/kernel_profile.hpp"
+#include "workloads/profile_io.hpp"
+
+namespace {
+
+using namespace ssm;
+
+/// Minimal --key value argument map.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", key.c_str());
+        std::exit(2);
+      }
+      key = key.substr(2);
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";  // flag
+      }
+    }
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return values_.count(key) != 0;
+  }
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback = "") const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  [[nodiscard]] std::string require(const std::string& key) const {
+    if (!has(key)) {
+      std::fprintf(stderr, "missing required --%s\n", key.c_str());
+      std::exit(2);
+    }
+    return values_.at(key);
+  }
+  [[nodiscard]] double getDouble(const std::string& key,
+                                 double fallback) const {
+    return has(key) ? std::atof(values_.at(key).c_str()) : fallback;
+  }
+  [[nodiscard]] long getInt(const std::string& key, long fallback) const {
+    return has(key) ? std::atol(values_.at(key).c_str()) : fallback;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// Resolves --workload (+ optional --profile-file) to a kernel profile.
+KernelProfile resolveWorkload(const Args& args) {
+  const std::string name = args.require("workload");
+  if (!args.has("profile-file")) return workloadByName(name);
+  const auto profiles = loadProfilesFromFile(args.get("profile-file"));
+  for (const auto& k : profiles)
+    if (k.name == name) return k;
+  throw DataError("workload '" + name + "' not found in " +
+                  args.get("profile-file"));
+}
+
+int cmdListWorkloads() {
+  std::printf("%-14s %-10s %7s %6s %6s\n", "name", "suite", "phases",
+              "warps", "loops");
+  for (const auto& k : allWorkloads())
+    std::printf("%-14s %-10s %7zu %6d %6d\n", k.name.c_str(),
+                k.suite.c_str(), k.phases.size(), k.warps_per_cluster,
+                k.phase_loops);
+  return 0;
+}
+
+int cmdDatagen(const Args& args) {
+  const std::string out = args.require("out");
+  GenConfig gen;
+  gen.runs_per_workload = static_cast<int>(args.getInt("runs", 3));
+  gen.epochs_per_breakpoint =
+      static_cast<int>(args.getInt("breakpoint-epochs", 6));
+  gen.seed = static_cast<std::uint64_t>(args.getInt("seed", 0xda7a));
+  const DataGenerator dg(GpuConfig{}, VfTable::titanX(), gen);
+
+  Dataset ds;
+  if (args.has("workload")) {
+    ds = dg.generateForWorkload(resolveWorkload(args), gen.seed);
+  } else {
+    std::puts("generating the full training corpus (this takes minutes)...");
+    ds = dg.generate(trainingWorkloads());
+  }
+  ds.saveCsv(out);
+  std::printf("wrote %zu data points to %s\n", ds.size(), out.c_str());
+  return 0;
+}
+
+int cmdTrain(const Args& args) {
+  const Dataset all = Dataset::loadCsv(args.require("data"));
+  auto [train, holdout] = all.split(0.75, 0x5117);
+  SsmModelConfig cfg;
+  if (args.has("compressed")) {
+    const auto arch = SsmModelConfig::compressedArch();
+    cfg.decision_hidden = arch.decision_hidden;
+    cfg.calibrator_hidden = arch.calibrator_hidden;
+  }
+  cfg.train.epochs = static_cast<int>(args.getInt("epochs", 800));
+  SsmModel model(cfg);
+  std::printf("training on %zu points (%d epochs)...\n", train.size(),
+              cfg.train.epochs);
+  SsmTrainSummary s = model.train(train, holdout);
+  if (args.has("prune")) {
+    std::puts("pruning (x1=0.6, x2=0.9) + fine-tuning...");
+    s = pruneAndFinetune(model, train, holdout, PruneParams{}).after_finetune;
+  }
+  saveModel(model, args.require("out"));
+  std::printf("accuracy %.2f%%  MAPE %.2f%%  FLOPs %lld  -> %s\n",
+              100.0 * s.decision_accuracy, s.calibrator_mape,
+              static_cast<long long>(s.flops), args.get("out").c_str());
+  return 0;
+}
+
+int cmdEval(const Args& args) {
+  const SsmModel model = loadModel(args.require("model"));
+  const Dataset ds = Dataset::loadCsv(args.require("data"));
+  std::printf("points: %zu\naccuracy: %.2f%%\nMAPE: %.2f%%\nFLOPs: %lld\n",
+              ds.size(), 100.0 * model.decisionAccuracy(ds),
+              model.calibratorMape(ds),
+              static_cast<long long>(model.flops()));
+  return 0;
+}
+
+int cmdRun(const Args& args) {
+  const std::string mech = args.get("mechanism", "baseline");
+  const double preset = args.getDouble("preset", 0.10);
+  const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 777));
+  const GpuConfig gpu;
+  const VfTable vf = VfTable::titanX();
+  Gpu machine(gpu, vf, resolveWorkload(args), seed,
+              ChipPowerModel(gpu.num_clusters));
+  const RunResult base = runBaseline(machine);
+
+  std::unique_ptr<GovernorFactory> factory;
+  std::shared_ptr<SsmModel> model;
+  if (mech == "ssmdvfs" || mech == "ssmdvfs-nocal") {
+    model = std::make_shared<SsmModel>(loadModel(args.require("model")));
+    SsmGovernorConfig cfg;
+    cfg.loss_preset = preset;
+    cfg.calibrate = mech == "ssmdvfs";
+    factory = std::make_unique<SsmGovernorFactory>(model, cfg);
+  } else if (mech == "pcstall") {
+    PcstallConfig cfg;
+    cfg.loss_preset = preset;
+    factory = std::make_unique<PcstallFactory>(vf, cfg);
+  } else if (mech == "flemma") {
+    FlemmaConfig cfg;
+    cfg.loss_preset = preset;
+    factory = std::make_unique<FlemmaFactory>(vf, cfg);
+  } else if (mech == "ondemand") {
+    factory = std::make_unique<OndemandFactory>(vf);
+  } else if (mech.rfind("static-", 0) == 0) {
+    const int level = std::atoi(mech.c_str() + 7);
+    class StaticFactory final : public GovernorFactory {
+     public:
+      explicit StaticFactory(VfLevel l) : l_(l) {}
+      std::unique_ptr<DvfsGovernor> create(int) const override {
+        return std::make_unique<StaticGovernor>(l_);
+      }
+
+     private:
+      VfLevel l_;
+    };
+    factory = std::make_unique<StaticFactory>(vf.clamp(level));
+  } else if (mech != "baseline") {
+    std::fprintf(stderr, "unknown mechanism: %s\n", mech.c_str());
+    return 2;
+  }
+
+  EpochTraceRecorder trace;
+  RunResult run = base;
+  if (factory) {
+    run = runWithGovernor(machine, *factory, mech, 5 * kNsPerMs,
+                          args.has("trace") ? &trace : nullptr);
+  }
+
+  std::printf("%-14s time %.1f us  energy %.3f mJ  EDP %.4f uJ*s\n",
+              "baseline", static_cast<double>(base.exec_time_ns) / 1e3,
+              base.energy_j * 1e3, base.edp * 1e6);
+  std::printf("%-14s time %.1f us  energy %.3f mJ  EDP %.4f uJ*s "
+              "(EDP %+.2f%%, latency %+.2f%%)\n",
+              mech.c_str(), static_cast<double>(run.exec_time_ns) / 1e3,
+              run.energy_j * 1e3, run.edp * 1e6,
+              100.0 * (run.edp / base.edp - 1.0),
+              100.0 * (static_cast<double>(run.exec_time_ns) /
+                           static_cast<double>(base.exec_time_ns) -
+                       1.0));
+  if (args.has("trace") && factory) {
+    trace.saveCsv(args.get("trace"));
+    std::printf("trace written to %s (%d epochs, %d transitions)\n",
+                args.get("trace").c_str(), trace.epochCount(),
+                trace.totalTransitions());
+  }
+  if (args.has("json")) {
+    std::ofstream os(args.get("json"));
+    JsonWriter w(os);
+    const auto emit = [&](const char* name, const RunResult& r) {
+      w.beginObject(name)
+          .value("exec_time_us", static_cast<double>(r.exec_time_ns) / 1e3)
+          .value("energy_mj", r.energy_j * 1e3)
+          .value("edp_uj_s", r.edp * 1e6)
+          .value("instructions", static_cast<std::int64_t>(r.instructions))
+          .value("epochs", r.epochs)
+          .beginArray("level_histogram");
+      for (double h : r.level_histogram) w.value(h);
+      w.endArray().endObject();
+    };
+    w.beginObject()
+        .value("workload", args.get("workload"))
+        .value("mechanism", mech)
+        .value("preset", preset);
+    emit("baseline", base);
+    emit("governed", run);
+    w.endObject();
+    std::printf("json written to %s\n", args.get("json").c_str());
+  }
+  return 0;
+}
+
+int cmdOracle(const Args& args) {
+  const GpuConfig gpu;
+  Gpu machine(gpu, VfTable::titanX(), resolveWorkload(args),
+              static_cast<std::uint64_t>(args.getInt("seed", 777)),
+              ChipPowerModel(gpu.num_clusters));
+  const OracleResult res =
+      findBestStaticLevel(machine, OracleObjective::kMinEdp);
+  std::printf("%-8s %12s %12s %12s\n", "level", "time (us)", "energy (mJ)",
+              "EDP (uJ*s)");
+  for (std::size_t l = 0; l < res.all.size(); ++l)
+    std::printf("%-8zu %12.1f %12.3f %12.4f%s\n", l,
+                static_cast<double>(res.all[l].exec_time_ns) / 1e3,
+                res.all[l].energy_j * 1e3, res.all[l].edp * 1e6,
+                static_cast<int>(l) == res.best_level ? "   <- best EDP"
+                                                      : "");
+  return 0;
+}
+
+int cmdHwCost(const Args& args) {
+  const SsmModel model = loadModel(args.require("model"));
+  const AsicReport r =
+      estimateAsic(model.decisionNet(), model.calibratorNet());
+  std::printf("MACs %lld, stored words %lld\n",
+              static_cast<long long>(r.macs),
+              static_cast<long long>(r.weight_words));
+  std::printf("cycles/inference %lld (%.3f us @1165 MHz, %.2f%% of a 10 us "
+              "epoch)\n",
+              static_cast<long long>(r.cycles_per_inference), r.time_us,
+              100.0 * r.dvfs_period_fraction);
+  std::printf("area %.4f mm^2 @28 nm, power %.4f W, energy %.3f nJ/inf\n",
+              r.area_mm2_28, r.power_w_28, r.energy_per_inference_nj_28);
+  return 0;
+}
+
+/// Explains one decision: class distribution, per-level Calibrator loss
+/// estimates, the min-frequency decode and the veto outcome.
+int cmdExplain(const Args& args) {
+  const SsmModel model = loadModel(args.require("model"));
+  const Dataset ds = Dataset::loadCsv(args.require("data"));
+  const auto row = static_cast<std::size_t>(args.getInt("row", 0));
+  const double preset = args.getDouble("preset", 0.10);
+  if (row >= ds.size()) {
+    std::fprintf(stderr, "row %zu out of range (%zu rows)\n", row, ds.size());
+    return 2;
+  }
+  const DataPoint& p = ds.points()[row];
+  CounterBlock cb;
+  for (int c = 0; c < kNumCounters; ++c)
+    cb.set(static_cast<CounterId>(c), p.counters[static_cast<std::size_t>(c)]);
+
+  std::printf("row %zu: workload=%s recorded level=%d recorded loss=%.3f\n",
+              row, p.workload.c_str(), p.level, p.perf_loss);
+  std::printf("features:");
+  for (CounterId id : model.config().features)
+    std::printf("  %s=%.3g", std::string(counterName(id)).c_str(),
+                cb.get(id));
+  std::printf("\npreset fed to Decision-maker: %.3f\n\n", preset);
+
+  const auto dist = model.decisionDistribution(cb, preset);
+  const int default_level = model.config().num_levels - 1;
+  const double i_ref = model.predictInstsK(cb, preset, default_level);
+  std::printf("%-6s %12s %18s %14s\n", "level", "P(level)",
+              "calibrator insts_k", "est. loss");
+  for (int k = 0; k < model.config().num_levels; ++k) {
+    const double i_k = model.predictInstsK(cb, preset, k);
+    const double est = i_k > 1e-9 ? i_ref / i_k - 1.0 : 1.0;
+    std::printf("%-6d %11.1f%% %18.2f %13.1f%%\n", k,
+                100.0 * dist[static_cast<std::size_t>(k)], i_k,
+                100.0 * std::max(0.0, est));
+  }
+  std::printf("\nmin-frequency decode -> level %d\n",
+              model.decideLevel(cb, preset));
+  return 0;
+}
+
+int cmdListCounters() {
+  std::printf("%-24s %-16s %s\n", "counter", "category", "description");
+  const auto cat_name = [](CounterCategory c) {
+    switch (c) {
+      case CounterCategory::kInstruction: return "instruction";
+      case CounterCategory::kStall: return "execution stall";
+      case CounterCategory::kPower: return "power";
+      case CounterCategory::kClock: return "clock";
+    }
+    return "?";
+  };
+  for (int i = 0; i < kNumCounters; ++i) {
+    const auto id = static_cast<CounterId>(i);
+    std::printf("%-24s %-16s %s\n",
+                std::string(counterName(id)).c_str(),
+                cat_name(counterCategory(id)),
+                std::string(counterDescription(id)).c_str());
+  }
+  return 0;
+}
+
+int cmdCorpusStats(const Args& args) {
+  const Dataset ds = Dataset::loadCsv(args.require("data"));
+  const CorpusStats stats = computeCorpusStats(ds);
+  printCorpusStats(stats, std::cout);
+  return 0;
+}
+
+int cmdQuantize(const Args& args) {
+  const SsmModel model = loadModel(args.require("model"));
+  const Dataset ds = Dataset::loadCsv(args.require("data"));
+
+  // Calibration/probe matrices in the models' standardized input spaces.
+  Matrix dec = ds.decisionInputs(model.config().features);
+  model.standardizeDecision(dec);
+  Matrix cal =
+      ds.calibratorInputs(model.config().features, model.config().num_levels);
+  model.standardizeCalibrator(cal);
+
+  std::printf("%-6s %-10s %10s %12s\n", "bits", "net", "drift",
+              "model bytes");
+  for (const QuantBits bits : {QuantBits::kInt8, QuantBits::kInt16}) {
+    QuantConfig qc;
+    qc.weight_bits = bits;
+    const QuantizedMlp qdec(model.decisionNet(), qc, dec);
+    const QuantizedMlp qcal(model.calibratorNet(), qc, cal);
+    std::printf("int%-3d %-10s %9.2f%% %12lld\n", static_cast<int>(bits),
+                "decision",
+                100.0 * quantizationDrift(model.decisionNet(), qdec, dec),
+                static_cast<long long>(qdec.modelBytes()));
+    std::printf("int%-3d %-10s %9.2f%% %12lld\n", static_cast<int>(bits),
+                "calibrator",
+                100.0 * quantizationDrift(model.calibratorNet(), qcal, cal),
+                static_cast<long long>(qcal.modelBytes()));
+  }
+  std::puts("drift: changed argmax decisions (decision net) / output MAPE"
+            " (calibrator)");
+  return 0;
+}
+
+void usage() {
+  std::puts(
+      "usage: ssmdvfs <command> [--key value ...]\n"
+      "commands: list-workloads | datagen | train | eval | run | oracle |\n"
+      "          hw-cost | quantize | list-counters | corpus-stats | explain\n"
+      "see the header of tools/ssmdvfs_cli.cpp for per-command options");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const Args args(argc, argv, 2);
+  try {
+    if (cmd == "list-workloads") return cmdListWorkloads();
+    if (cmd == "datagen") return cmdDatagen(args);
+    if (cmd == "train") return cmdTrain(args);
+    if (cmd == "eval") return cmdEval(args);
+    if (cmd == "run") return cmdRun(args);
+    if (cmd == "oracle") return cmdOracle(args);
+    if (cmd == "hw-cost") return cmdHwCost(args);
+    if (cmd == "quantize") return cmdQuantize(args);
+    if (cmd == "list-counters") return cmdListCounters();
+    if (cmd == "explain") return cmdExplain(args);
+    if (cmd == "corpus-stats") return cmdCorpusStats(args);
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
