@@ -33,8 +33,10 @@ int main() {
              "MAPE"});
   const auto dims_str = [](const std::vector<int>& v) {
     std::string s;
-    for (std::size_t i = 0; i < v.size(); ++i)
-      s += (i ? "x" : "") + std::to_string(v[i]);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (i) s += 'x';
+      s += std::to_string(v[i]);
+    }
     return s.empty() ? "-" : s;
   };
   for (const auto& p : arch_points)

@@ -16,8 +16,10 @@ namespace {
 std::string archString(const SsmModel& m) {
   const auto dims = [](const Mlp& net) {
     std::string s;
-    for (std::size_t i = 0; i < net.dims().size(); ++i)
-      s += (i ? "-" : "") + std::to_string(net.dims()[i]);
+    for (std::size_t i = 0; i < net.dims().size(); ++i) {
+      if (i) s += '-';
+      s += std::to_string(net.dims()[i]);
+    }
     return s;
   };
   return "dec " + dims(m.decisionNet()) + " | cal " + dims(m.calibratorNet());

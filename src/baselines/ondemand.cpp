@@ -40,6 +40,8 @@ VfLevel OndemandGovernor::decide(const EpochObservation& obs) {
     up_streak_ = 0;
     down_streak_ = 0;
   }
+  SSM_AUDIT_CHECK(vf_.isValid(level),
+                  "governor must emit a level inside the V/f table");
   return level;
 }
 

@@ -42,3 +42,31 @@ inline void checkThat(bool ok, const char* expr, const std::string& msg = {},
 /// Preferred spelling at call sites: SSM_CHECK(x > 0, "x must be positive").
 #define SSM_CHECK(expr, ...) \
   ::ssm::checkThat(static_cast<bool>(expr), #expr __VA_OPT__(, ) __VA_ARGS__)
+
+/// Deep invariant audit, compiled in only when the build defines
+/// SSMDVFS_AUDIT (cmake -DSSMDVFS_AUDIT=ON; the asan-ubsan preset enables
+/// it). Use for O(n) or per-epoch invariants that are too expensive for
+/// release builds: monotonic simulator counters, sorted V/f tables, finite
+/// power/probabilities. Violations throw ContractError like SSM_CHECK; from
+/// a noexcept function that means std::terminate with the contract message,
+/// which is the desired loud stop in an audit build.
+///
+/// When audits are compiled out the expression is parsed but not evaluated
+/// (unevaluated sizeof), so audit-only helpers stay name-checked and cannot
+/// rot.
+#if defined(SSMDVFS_AUDIT)
+#define SSM_AUDIT_CHECK(expr, ...) \
+  ::ssm::checkThat(static_cast<bool>(expr), #expr __VA_OPT__(, ) __VA_ARGS__)
+#else
+#define SSM_AUDIT_CHECK(expr, ...) \
+  static_cast<void>(sizeof(static_cast<bool>(expr)))
+#endif
+
+/// True when SSM_AUDIT_CHECK is live; lets tests assert on audit behavior.
+namespace ssm {
+#if defined(SSMDVFS_AUDIT)
+inline constexpr bool kAuditChecksEnabled = true;
+#else
+inline constexpr bool kAuditChecksEnabled = false;
+#endif
+}  // namespace ssm

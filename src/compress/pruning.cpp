@@ -41,6 +41,12 @@ void magnitudePruneTo(Mlp& net, double target_sparsity) {
       if (m[i] != 0.0 && std::abs(w[i]) <= threshold) m[i] = 0.0;
   }
   net.applyMasks();
+  SSM_AUDIT_CHECK(net.sparsity() >= 0.0 && net.sparsity() <= 1.0,
+                  "pruning must leave sparsity in [0, 1]");
+  SSM_AUDIT_CHECK(net.sparsity() + 1e-12 >=
+                      static_cast<double>(current_zeros) /
+                          static_cast<double>(total),
+                  "pruning must never resurrect masked weights");
 }
 
 int neuronPrune(Mlp& net, double x2) {

@@ -1,6 +1,7 @@
 #include "core/ssm_model.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.hpp"
 
@@ -119,7 +120,11 @@ std::vector<double> SsmModel::calibratorRow(const CounterBlock& counters,
 
 std::vector<double> SsmModel::decisionDistribution(
     const CounterBlock& counters, double loss_preset) const {
-  return decision_.forward(decisionRow(counters, loss_preset));
+  std::vector<double> probs =
+      decision_.forward(decisionRow(counters, loss_preset));
+  SSM_AUDIT_CHECK(static_cast<int>(probs.size()) == cfg_.num_levels,
+                  "Decision-maker must emit one probability per V/f level");
+  return probs;
 }
 
 int SsmModel::decideLevel(const CounterBlock& counters,
@@ -135,8 +140,11 @@ int SsmModel::decideLevel(const CounterBlock& counters,
 
 double SsmModel::predictInstsK(const CounterBlock& counters,
                                double loss_preset, int level) const {
-  return calibrator_.predictScalar(calibratorRow(counters, loss_preset,
-                                                 level));
+  const double insts_k = calibrator_.predictScalar(
+      calibratorRow(counters, loss_preset, level));
+  SSM_AUDIT_CHECK(std::isfinite(insts_k),
+                  "Calibrator must predict a finite instruction count");
+  return insts_k;
 }
 
 double SsmModel::decisionAccuracy(const Dataset& ds) const {

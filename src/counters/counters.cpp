@@ -1,6 +1,9 @@
 #include "counters/counters.hpp"
 
 #include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
 
 namespace ssm {
 
@@ -154,14 +157,29 @@ void CounterBlock::finalizeDerived(Cycles cycles_in_epoch, int max_warps,
   const double l2 = get(CounterId::kL2Access);
   set(CounterId::kL2MissRate, l2 > 0.0 ? get(CounterId::kL2Miss) / l2 : 0.0);
 
+  const double warp_cycles = cycles * std::max(1, max_warps);
   set(CounterId::kStallMemFrac,
-      get(CounterId::kStallMemTotalCycles) / (cycles * max_warps));
+      get(CounterId::kStallMemTotalCycles) / warp_cycles);
   set(CounterId::kStallControlFrac,
-      get(CounterId::kStallControlCycles) / (cycles * max_warps));
+      get(CounterId::kStallControlCycles) / warp_cycles);
   set(CounterId::kStallExecFrac,
-      get(CounterId::kStallExecDepCycles) / (cycles * max_warps));
+      get(CounterId::kStallExecDepCycles) / warp_cycles);
 
   set(CounterId::kCyclesElapsed, cycles);
+
+  // Audit: every derived feature the NN consumes must come out finite, and
+  // the rate/fraction counters must stay in [0, 1].
+  SSM_AUDIT_CHECK(std::isfinite(get(CounterId::kIpc)) &&
+                      std::isfinite(get(CounterId::kInstPerWarp)) &&
+                      std::isfinite(get(CounterId::kStallMemFrac)),
+                  "derived counters must be finite");
+  SSM_AUDIT_CHECK(get(CounterId::kL1ReadMissRate) >= 0.0 &&
+                      get(CounterId::kL1ReadMissRate) <= 1.0 &&
+                      get(CounterId::kL2MissRate) >= 0.0 &&
+                      get(CounterId::kL2MissRate) <= 1.0 &&
+                      get(CounterId::kFracCompute) >= 0.0 &&
+                      get(CounterId::kFracCompute) <= 1.0,
+                  "rate counters must lie in [0, 1]");
 }
 
 std::array<double, 5> extractTable1Features(const CounterBlock& c) noexcept {

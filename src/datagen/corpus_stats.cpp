@@ -86,8 +86,13 @@ void printCorpusStats(const CorpusStats& stats, std::ostream& os) {
 
   Table t("per-workload loss ladder (mean loss per level, L0 = slowest)");
   std::vector<std::string> header = {"workload", "samples"};
-  for (int l = 0; l < stats.num_levels; ++l)
-    header.push_back("L" + std::to_string(l));
+  // Built in steps to dodge GCC 12's -Wrestrict false positive (PR105651)
+  // on `const char* + std::string&&`.
+  for (int l = 0; l < stats.num_levels; ++l) {
+    std::string label("L");
+    label += std::to_string(l);
+    header.push_back(std::move(label));
+  }
   t.header(header);
   for (const auto& w : stats.per_workload) {
     std::vector<std::string> row = {w.workload, std::to_string(w.samples)};

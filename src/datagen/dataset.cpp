@@ -1,5 +1,6 @@
 #include "datagen/dataset.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -7,6 +8,25 @@
 #include "common/rng.hpp"
 
 namespace ssm {
+
+namespace {
+
+[[maybe_unused]] bool rowIsSane(const DataPoint& p) noexcept {
+  if (!std::isfinite(p.perf_loss) || !std::isfinite(p.insts_k) || p.level < 0)
+    return false;
+  for (double c : p.counters)
+    if (!std::isfinite(c)) return false;
+  return true;
+}
+
+}  // namespace
+
+void Dataset::add(DataPoint p) {
+  SSM_AUDIT_CHECK(rowIsSane(p),
+                  "data point must have finite counters/loss/target and a "
+                  "non-negative level");
+  points_.push_back(std::move(p));
+}
 
 void Dataset::append(const Dataset& other) {
   points_.insert(points_.end(), other.points_.begin(), other.points_.end());
@@ -21,6 +41,8 @@ Matrix Dataset::decisionInputs(std::span<const CounterId> feature_ids) const {
       m(r, c) = p.counters[static_cast<std::size_t>(feature_ids[c])];
     m(r, feature_ids.size()) = p.perf_loss;
   }
+  SSM_AUDIT_CHECK(m.rows() == points_.size() && m.cols() == width,
+                  "decision design matrix width drifted from its contract");
   return m;
 }
 
@@ -44,6 +66,8 @@ Matrix Dataset::calibratorInputs(std::span<const CounterId> feature_ids,
     SSM_CHECK(p.level >= 0 && p.level < num_levels, "level out of range");
     m(r, feature_ids.size() + 1 + static_cast<std::size_t>(p.level)) = 1.0;
   }
+  SSM_AUDIT_CHECK(m.rows() == points_.size() && m.cols() == width,
+                  "calibrator design matrix width drifted from its contract");
   return m;
 }
 
@@ -113,6 +137,11 @@ Dataset Dataset::loadCsv(const std::string& path) {
     p.insts_k = std::stod(next());
     for (int c = 0; c < kNumCounters; ++c)
       p.counters[static_cast<std::size_t>(c)] = std::stod(next());
+    // Row-width consistency: a row with extra cells is malformed input, not
+    // something to silently truncate.
+    if (std::getline(ss, cell, ','))
+      throw DataError(path + ": too many columns at line " +
+                      std::to_string(line_no));
     ds.add(std::move(p));
   }
   return ds;

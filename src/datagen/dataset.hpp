@@ -42,7 +42,9 @@ class Dataset {
   [[nodiscard]] const std::vector<DataPoint>& points() const noexcept {
     return points_;
   }
-  void add(DataPoint p) { points_.push_back(std::move(p)); }
+  /// Appends one point. In audit builds, validates that the row is sane
+  /// (finite loss/target, non-negative level) before it can poison training.
+  void add(DataPoint p);
   void append(const Dataset& other);
 
   /// Decision-maker design matrix: selected counters + perf loss.

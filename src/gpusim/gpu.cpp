@@ -1,6 +1,7 @@
 #include "gpusim/gpu.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.hpp"
 
@@ -29,6 +30,9 @@ Gpu::Gpu(const GpuConfig& cfg, VfTable vf, const KernelProfile& kernel,
 GpuEpochReport Gpu::runEpoch(std::span<const VfLevel> levels) {
   SSM_CHECK(static_cast<int>(levels.size()) == numClusters(),
             "one level per cluster required");
+  [[maybe_unused]] const TimeNs now_before = now_ns_;
+  [[maybe_unused]] const std::int64_t insts_before = totalInstructions();
+  [[maybe_unused]] const double energy_before = energy_.energyJ();
   GpuEpochReport report;
   report.epoch_start_ns = now_ns_;
   report.epoch_len_ns = cfg_->epoch_ns;
@@ -109,6 +113,21 @@ GpuEpochReport Gpu::runEpoch(std::span<const VfLevel> levels) {
 
   now_ns_ += cfg_->epoch_ns;
   last_epoch_insts_ = epoch_insts;
+
+  // Deep invariants at the epoch boundary (audit builds only): simulated
+  // time and the chip-wide counters advance monotonically, and the power
+  // pipeline produced physical values.
+  SSM_AUDIT_CHECK(now_ns_ == now_before + cfg_->epoch_ns,
+                  "simulated time must advance by exactly one epoch");
+  SSM_AUDIT_CHECK(totalInstructions() >= insts_before,
+                  "chip instruction count must be monotonic");
+  SSM_AUDIT_CHECK(energy_.energyJ() >= energy_before,
+                  "accumulated energy must be monotonic");
+  SSM_AUDIT_CHECK(std::isfinite(report.chip_power_w) &&
+                      report.chip_power_w >= 0.0,
+                  "chip power must be finite and non-negative");
+  SSM_AUDIT_CHECK(report.dram_util >= 0.0 && report.dram_util <= 1.0,
+                  "DRAM utilisation must lie in [0, 1]");
   return report;
 }
 

@@ -225,6 +225,9 @@ ClusterEpochResult SmCluster::runEpoch(TimeNs start_ns, TimeNs len_ns,
                                        FreqMhz freq, bool transitioned,
                                        const MemEnv& env) {
   SSM_CHECK(len_ns > 0 && freq > 0.0);
+  // Audit baselines: counters this epoch may only move forward from here.
+  [[maybe_unused]] const std::int64_t insts_before = total_insts_;
+  [[maybe_unused]] const int done_before = warps_done_;
   ClusterEpochResult res;
   if (done()) {
     res.all_done = true;
@@ -316,6 +319,29 @@ ClusterEpochResult SmCluster::runEpoch(TimeNs start_ns, TimeNs len_ns,
   res.counters.finalizeDerived(total_cycles,
                                static_cast<int>(warps_.size()),
                                cfg_->issue_width);
+
+  // Deep invariants at the module seam (audit builds only): the cluster's
+  // lifetime counters are monotonic, per-epoch aggregates stay in range,
+  // and retirement bookkeeping is consistent.
+  SSM_AUDIT_CHECK(total_insts_ >= insts_before &&
+                      total_insts_ - insts_before == ctx.issued,
+                  "instruction count must advance by exactly what this "
+                  "epoch issued");
+  SSM_AUDIT_CHECK(warps_done_ >= done_before &&
+                      warps_done_ <= static_cast<int>(warps_.size()),
+                  "retired-warp count must be monotonic and bounded");
+  SSM_AUDIT_CHECK(res.cycles >= 0 && res.instructions >= 0 &&
+                      res.dram_reqs >= 0,
+                  "epoch aggregates must be non-negative");
+  SSM_AUDIT_CHECK(res.issue_act >= 0.0 && res.issue_act <= 1.0 &&
+                      res.alu_act >= 0.0 && res.alu_act <= 1.0 &&
+                      res.mem_act >= 0.0 && res.mem_act <= 1.0 &&
+                      res.active_frac >= 0.0 && res.active_frac <= 1.0,
+                  "activity fractions must lie in [0, 1]");
+  // finish_ns_ is stamped as each warp retires, so it can be set before the
+  // whole cluster is done — but a fully retired cluster must have it.
+  SSM_AUDIT_CHECK(!done() || finish_ns_ >= 0,
+                  "a retired cluster must carry a finish timestamp");
   return res;
 }
 

@@ -1,6 +1,7 @@
 #include "hw/asic_model.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.hpp"
 
@@ -81,6 +82,14 @@ AsicReport estimateAsic(const Mlp& decision, const Mlp& calibrator,
                      ? r.energy_per_inference_nj_28 * 1e-9 /
                            (r.time_us * 1e-6)
                      : 0.0;
+  SSM_AUDIT_CHECK(r.macs >= 0 && r.weight_words >= 0 &&
+                      r.cycles_per_inference >= 0,
+                  "ASIC cost counts must be non-negative");
+  SSM_AUDIT_CHECK(std::isfinite(r.time_us) && r.time_us >= 0.0 &&
+                      std::isfinite(r.area_mm2_28) && r.area_mm2_28 >= 0.0 &&
+                      std::isfinite(r.energy_per_inference_nj_28) &&
+                      r.energy_per_inference_nj_28 >= 0.0,
+                  "ASIC estimates must be finite and non-negative");
   return r;
 }
 

@@ -5,6 +5,29 @@
 
 namespace ssm {
 
+namespace {
+
+/// Audit-mode helpers: cheap enough per inference, but O(n) per call and
+/// therefore compiled out of release builds.
+[[maybe_unused]] bool allFinite(std::span<const double> v) noexcept {
+  for (double x : v)
+    if (!std::isfinite(x)) return false;
+  return true;
+}
+
+[[maybe_unused]] bool isProbabilityVector(std::span<const double> v) noexcept {
+  double sum = 0.0;
+  for (double x : v) {
+    if (!(x >= 0.0 && x <= 1.0)) return false;
+    sum += x;
+  }
+  // softmaxInPlace leaves the vector untouched when the exp-sum underflows
+  // to zero, so an all-(near-)zero vector is also acceptable.
+  return std::abs(sum - 1.0) <= 1e-9 || sum <= 1e-12;
+}
+
+}  // namespace
+
 DenseLayer::DenseLayer(int in_dim, int out_dim, Rng& rng)
     : in_dim_(in_dim),
       out_dim_(out_dim),
@@ -69,7 +92,16 @@ std::vector<double> Mlp::forward(std::span<const double> input) const {
       for (double& v : next) v = std::max(0.0, v);
     act.swap(next);
   }
-  if (head_ == Head::kSoftmaxClassifier) softmaxInPlace(act);
+  if (head_ == Head::kSoftmaxClassifier) {
+    softmaxInPlace(act);
+    SSM_AUDIT_CHECK(isProbabilityVector(act),
+                    "softmax head must emit probabilities in [0,1] summing "
+                    "to 1");
+  } else {
+    SSM_AUDIT_CHECK(allFinite(act),
+                    "forward pass produced a non-finite activation "
+                    "(non-finite weight or input?)");
+  }
   return act;
 }
 

@@ -1,6 +1,7 @@
 #include "power/power_model.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.hpp"
 
@@ -21,13 +22,19 @@ double ClusterPowerModel::dynamicPowerW(
   // Idle (gated) fraction of the epoch contributes only base toggling.
   const double act_scaled =
       a.active * activity + (1.0 - a.active) * params_.act_base * 0.5;
-  return params_.c_eff * vf.voltage_v * vf.voltage_v * vf.freq_mhz *
-         act_scaled;
+  const double p = params_.c_eff * vf.voltage_v * vf.voltage_v * vf.freq_mhz *
+                   act_scaled;
+  SSM_AUDIT_CHECK(std::isfinite(p) && p >= 0.0,
+                  "dynamic power must be finite and non-negative");
+  return p;
 }
 
 double ClusterPowerModel::leakagePowerW(const VfPoint& vf) const noexcept {
   const double v = vf.voltage_v;
-  return params_.leak_lin * v + params_.leak_cub * v * v * v;
+  const double p = params_.leak_lin * v + params_.leak_cub * v * v * v;
+  SSM_AUDIT_CHECK(std::isfinite(p) && p >= 0.0,
+                  "leakage power must be finite and non-negative");
+  return p;
 }
 
 double ClusterPowerModel::totalPowerW(const VfPoint& vf,
@@ -45,6 +52,8 @@ ChipPowerModel::ChipPowerModel(int num_clusters,
 }
 
 double ChipPowerModel::uncorePowerW(double dram_util) const noexcept {
+  SSM_AUDIT_CHECK(std::isfinite(dram_util),
+                  "DRAM utilisation must be finite");
   const double util = std::clamp(dram_util, 0.0, 1.0);
   return uncore_.base_w + uncore_.dram_max_w * util;
 }
@@ -59,8 +68,12 @@ double ChipPowerModel::uniformChipPowerW(const VfPoint& vf,
 
 void EnergyAccountant::add(double power_w, TimeNs duration_ns) noexcept {
   if (duration_ns <= 0) return;
+  SSM_AUDIT_CHECK(std::isfinite(power_w) && power_w >= 0.0,
+                  "accounted power must be finite and non-negative");
   energy_j_ += power_w * secondsOf(duration_ns);
   elapsed_ns_ += duration_ns;
+  SSM_AUDIT_CHECK(std::isfinite(energy_j_) && energy_j_ >= 0.0,
+                  "accumulated energy must stay finite and non-negative");
 }
 
 }  // namespace ssm

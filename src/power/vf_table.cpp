@@ -33,8 +33,21 @@ VfTable VfTable::titanXSparse() {
   return VfTable({{1.000, 683.0}, {1.000, 878.0}, {1.155, 1165.0}});
 }
 
+bool VfTable::pointsSortedAndPositive() const noexcept {
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (points_[i].voltage_v <= 0.0 || points_[i].freq_mhz <= 0.0)
+      return false;
+    if (i > 0 && (points_[i].freq_mhz <= points_[i - 1].freq_mhz ||
+                  points_[i].voltage_v < points_[i - 1].voltage_v))
+      return false;
+  }
+  return points_.size() >= 2;
+}
+
 const VfPoint& VfTable::at(VfLevel level) const {
   SSM_CHECK(isValid(level), "V/f level out of range");
+  SSM_AUDIT_CHECK(pointsSortedAndPositive(),
+                  "V/f table lost its sorted-and-positive invariant");
   return points_[static_cast<std::size_t>(level)];
 }
 
@@ -43,6 +56,8 @@ VfLevel VfTable::clamp(VfLevel level) const noexcept {
 }
 
 VfLevel VfTable::levelForMinFreq(FreqMhz freq_mhz) const noexcept {
+  SSM_AUDIT_CHECK(pointsSortedAndPositive(),
+                  "V/f table lost its sorted-and-positive invariant");
   for (std::size_t i = 0; i < points_.size(); ++i)
     if (points_[i].freq_mhz >= freq_mhz) return static_cast<VfLevel>(i);
   return defaultLevel();

@@ -59,6 +59,10 @@ class VfTable {
   [[nodiscard]] VfLevel levelForMinFreq(FreqMhz freq_mhz) const noexcept;
 
  private:
+  /// Audit-mode helper: the constructor's invariant, re-checkable later to
+  /// catch memory corruption of an (otherwise immutable) table.
+  [[nodiscard]] bool pointsSortedAndPositive() const noexcept;
+
   std::vector<VfPoint> points_;
 };
 

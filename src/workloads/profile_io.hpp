@@ -7,7 +7,7 @@
 //   kernel my_kernel custom
 //   warps_per_cluster 24
 //   phase_loops 5
-//   phase ialu=0.30 falu=0.30 sfu=0.00 load=0.20 store=0.05 shared=0.10 \
+//   phase ialu=0.30 falu=0.30 sfu=0.00 load=0.20 store=0.05 shared=0.10
 //         branch=0.05 l1=0.80 l2=0.50 ilp=4 div=0.10 dep=0.25 insts=2000
 //   phase ...
 //   end

@@ -1,0 +1,119 @@
+// Error-path tests for the contract layer (src/common/check.hpp) and for
+// DataError propagation through the two stream parsers (profile_io, ssm_io).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "common/check.hpp"
+#include "core/ssm_io.hpp"
+#include "workloads/profile_io.hpp"
+
+namespace ssm {
+namespace {
+
+TEST(ContractError, MessageCarriesFileLineAndExpression) {
+  try {
+    SSM_CHECK(1 + 1 == 3, "arithmetic is broken");
+    FAIL() << "SSM_CHECK did not throw";
+  } catch (const ContractError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 + 1 == 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_check.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("arithmetic is broken"), std::string::npos) << what;
+    // A line number follows the file name as ":<digits>".
+    const auto pos = what.find("test_check.cpp:");
+    ASSERT_NE(pos, std::string::npos) << what;
+    EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(
+        what[pos + std::string("test_check.cpp:").size()])))
+        << what;
+  }
+}
+
+TEST(ContractError, MessageWithoutContextStillNamesExpression) {
+  try {
+    SSM_CHECK(false);
+    FAIL() << "SSM_CHECK did not throw";
+  } catch (const ContractError& e) {
+    EXPECT_NE(std::string(e.what()).find("false"), std::string::npos);
+  }
+}
+
+TEST(ContractError, PassingCheckDoesNotThrow) {
+  EXPECT_NO_THROW(SSM_CHECK(2 > 1, "never fires"));
+}
+
+TEST(ContractError, IsALogicErrorAndDataErrorIsARuntimeError) {
+  // Callers catch std::logic_error for misuse and std::runtime_error for
+  // bad input; the hierarchy is part of the API.
+  EXPECT_THROW(SSM_CHECK(false), std::logic_error);
+  EXPECT_THROW(throw DataError("bad input"), std::runtime_error);
+}
+
+TEST(AuditCheck, CompiledFormMatchesBuildFlag) {
+#if defined(SSMDVFS_AUDIT)
+  EXPECT_TRUE(kAuditChecksEnabled);
+  EXPECT_THROW(SSM_AUDIT_CHECK(false, "live audit"), ContractError);
+#else
+  EXPECT_FALSE(kAuditChecksEnabled);
+  // Compiled out: expression must not be evaluated.
+  bool evaluated = false;
+  SSM_AUDIT_CHECK((evaluated = true));
+  EXPECT_FALSE(evaluated);
+#endif
+}
+
+TEST(DataErrorPropagation, ProfileParserRejectsMalformedKernelHeader) {
+  std::istringstream is("kernel\n");
+  EXPECT_THROW(static_cast<void>(parseProfiles(is)), DataError);
+}
+
+TEST(DataErrorPropagation, ProfileParserRejectsGarbageDirective) {
+  std::istringstream is(
+      "kernel k custom\n"
+      "warps_per_cluster 8\n"
+      "no_such_directive 1\n"
+      "end\n");
+  try {
+    static_cast<void>(parseProfiles(is));
+    FAIL() << "parseProfiles accepted an unknown directive";
+  } catch (const DataError& e) {
+    // The parser reports a line number so users can fix their file.
+    EXPECT_NE(std::string(e.what()).find("line"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(DataErrorPropagation, ModelDeserializeRejectsBadMagic) {
+  std::istringstream is("definitely-not-a-model\n");
+  EXPECT_THROW(static_cast<void>(deserializeModel(is)), DataError);
+}
+
+TEST(DataErrorPropagation, ModelDeserializeRejectsTruncatedStream) {
+  // A valid magic line with nothing after it must fail cleanly, not crash.
+  std::istringstream is("ssmdvfs-model-v1\n");
+  EXPECT_THROW(static_cast<void>(deserializeModel(is)), DataError);
+}
+
+TEST(DataErrorPropagation, ProfileRoundTripSurvivesWrite) {
+  // Sanity: the happy path still works after all the error-path hardening.
+  std::istringstream is(
+      "kernel k custom\n"
+      "warps_per_cluster 8\n"
+      "phase_loops 2\n"
+      "phase ialu=0.40 falu=0.20 sfu=0.00 load=0.20 store=0.05 shared=0.05 "
+      "branch=0.10 l1=0.80 l2=0.50 ilp=4 div=0.10 dep=0.25 insts=1000\n"
+      "end\n");
+  const auto kernels = parseProfiles(is);
+  ASSERT_EQ(kernels.size(), 1u);
+  std::ostringstream os;
+  writeProfiles(kernels, os);
+  std::istringstream back(os.str());
+  const auto again = parseProfiles(back);
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_EQ(again[0].name, kernels[0].name);
+}
+
+}  // namespace
+}  // namespace ssm

@@ -201,7 +201,7 @@ TEST(Stats, MapePercent) {
 TEST(Stats, MapeLengthMismatchThrows) {
   const std::vector<double> a{1.0};
   const std::vector<double> p{1.0, 2.0};
-  EXPECT_THROW(mapePercent(a, p), ContractError);
+  EXPECT_THROW(static_cast<void>(mapePercent(a, p)), ContractError);
 }
 
 TEST(Stats, PearsonPerfectCorrelation) {

@@ -170,7 +170,9 @@ TEST(Generator, DefaultLevelHasZeroLoss) {
   const DataGenerator dg(tinyGpu(), VfTable::titanX(), tinyGen());
   const Dataset ds = dg.generateForWorkload(workloadByName("sgemm"), 2);
   for (const auto& p : ds.points())
-    if (p.level == 5) EXPECT_NEAR(p.perf_loss, 0.0, 1e-9);
+    if (p.level == 5) {
+      EXPECT_NEAR(p.perf_loss, 0.0, 1e-9);
+    }
 }
 
 TEST(Generator, LossesAreNonNegativeAndBounded) {

@@ -1,0 +1,220 @@
+// Unit tests for the ssm_lint engine (tools/ssm_lint): one positive and one
+// negative case per rule, suppression-comment handling, and allowlist
+// parsing/matching.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "ssm_lint/lint.hpp"
+
+namespace ssm::lint {
+namespace {
+
+bool hasRule(const std::vector<Finding>& fs, std::string_view rule) {
+  return std::any_of(fs.begin(), fs.end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+TEST(LintCatalog, AllSixRulesRegistered) {
+  const auto rules = ruleCatalog();
+  ASSERT_EQ(rules.size(), 6u);
+  for (const char* id :
+       {"pragma-once", "using-namespace-header", "raw-assert",
+        "nondeterminism", "hot-path-io", "c-style-float-cast"}) {
+    EXPECT_TRUE(isKnownRule(id)) << id;
+  }
+  EXPECT_TRUE(isKnownRule("*"));
+  EXPECT_FALSE(isKnownRule("no-such-rule"));
+}
+
+// --- pragma-once -----------------------------------------------------------
+
+TEST(LintPragmaOnce, FlagsHeaderWithoutGuard) {
+  const auto fs = lintSource("src/foo/bar.hpp", "int f();\n");
+  EXPECT_TRUE(hasRule(fs, "pragma-once"));
+}
+
+TEST(LintPragmaOnce, AcceptsGuardedHeaderAndIgnoresCppFiles) {
+  EXPECT_FALSE(hasRule(
+      lintSource("src/foo/bar.hpp", "// doc\n#pragma once\nint f();\n"),
+      "pragma-once"));
+  EXPECT_FALSE(hasRule(lintSource("src/foo/bar.cpp", "int f() { return 1; }\n"),
+                       "pragma-once"));
+}
+
+// --- using-namespace-header ------------------------------------------------
+
+TEST(LintUsingNamespace, FlagsUsingNamespaceInHeader) {
+  const auto fs = lintSource("src/foo/bar.hpp",
+                             "#pragma once\nusing namespace std;\n");
+  ASSERT_TRUE(hasRule(fs, "using-namespace-header"));
+  EXPECT_EQ(fs.front().line, 2u);
+}
+
+TEST(LintUsingNamespace, AllowsUsingNamespaceInCppFiles) {
+  EXPECT_FALSE(hasRule(lintSource("bench/b.cpp", "using namespace ssm;\n"),
+                       "using-namespace-header"));
+}
+
+// --- raw-assert ------------------------------------------------------------
+
+TEST(LintRawAssert, FlagsAssertAndAbortInSrc) {
+  EXPECT_TRUE(hasRule(
+      lintSource("src/core/x.cpp", "void f(int v) { assert(v > 0); }\n"),
+      "raw-assert"));
+  EXPECT_TRUE(hasRule(lintSource("src/core/x.cpp", "void g() { abort(); }\n"),
+                      "raw-assert"));
+}
+
+TEST(LintRawAssert, AllowsAssertOutsideSrcAndSimilarNames) {
+  EXPECT_FALSE(hasRule(
+      lintSource("tests/t.cpp", "void f(int v) { assert(v > 0); }\n"),
+      "raw-assert"));
+  // static_assert and my_assert are different identifiers.
+  EXPECT_FALSE(hasRule(
+      lintSource("src/core/x.cpp", "static_assert(sizeof(int) == 4);\n"),
+      "raw-assert"));
+}
+
+// --- nondeterminism --------------------------------------------------------
+
+TEST(LintNondeterminism, FlagsEachEntropySource) {
+  for (const char* bad :
+       {"int x = rand();", "srand(42);", "auto t = time(nullptr);",
+        "std::random_device rd;",
+        "auto n = std::chrono::steady_clock::now();"}) {
+    const auto fs =
+        lintSource("src/core/x.cpp", std::string(bad) + "\n");
+    EXPECT_TRUE(hasRule(fs, "nondeterminism")) << bad;
+  }
+}
+
+TEST(LintNondeterminism, AllowsSanctionedRngViaAllowlist) {
+  const auto allow = parseAllowlist("nondeterminism src/common/rng.\n");
+  EXPECT_FALSE(hasRule(
+      lintSource("src/common/rng.cpp", "std::random_device rd;\n", allow),
+      "nondeterminism"));
+  // Same content elsewhere still flags.
+  EXPECT_TRUE(hasRule(
+      lintSource("src/core/x.cpp", "std::random_device rd;\n", allow),
+      "nondeterminism"));
+}
+
+// --- hot-path-io -----------------------------------------------------------
+
+TEST(LintHotPathIo, FlagsIostreamInHotPathDirs) {
+  EXPECT_TRUE(hasRule(
+      lintSource("src/core/x.cpp", "#include <iostream>\n"), "hot-path-io"));
+  EXPECT_TRUE(hasRule(
+      lintSource("src/gpusim/y.cpp", "void f() { printf(\"hi\"); }\n"),
+      "hot-path-io"));
+}
+
+TEST(LintHotPathIo, AllowsIoOffTheHotPath) {
+  EXPECT_FALSE(hasRule(
+      lintSource("src/datagen/x.cpp", "#include <iostream>\n"),
+      "hot-path-io"));
+}
+
+// --- c-style-float-cast ----------------------------------------------------
+
+TEST(LintFloatCast, FlagsCStyleCasts) {
+  EXPECT_TRUE(hasRule(
+      lintSource("src/core/x.cpp", "float f(int v) { return (float)v; }\n"),
+      "c-style-float-cast"));
+  EXPECT_TRUE(hasRule(
+      lintSource("src/core/x.cpp", "double g(long n) { return (double)n; }\n"),
+      "c-style-float-cast"));
+}
+
+TEST(LintFloatCast, AllowsDeclarationsAndStaticCast) {
+  EXPECT_FALSE(hasRule(
+      lintSource("src/core/x.cpp",
+                 "double g(long n) { return static_cast<double>(n); }\n"),
+      "c-style-float-cast"));
+  // `(double)` followed by nothing castable — e.g. a parameter list — is
+  // not a cast.
+  EXPECT_FALSE(hasRule(
+      lintSource("src/core/x.cpp", "void h(double);\n"), "c-style-float-cast"));
+}
+
+// --- suppression comments --------------------------------------------------
+
+TEST(LintSuppression, SameLineCommentSuppresses) {
+  const auto fs = lintSource(
+      "src/core/x.cpp",
+      "void f() { abort(); }  // ssm-lint: allow(raw-assert)\n");
+  EXPECT_FALSE(hasRule(fs, "raw-assert"));
+}
+
+TEST(LintSuppression, PrecedingLineCommentSuppresses) {
+  const auto fs = lintSource("src/core/x.cpp",
+                             "// ssm-lint: allow(raw-assert)\n"
+                             "void f() { abort(); }\n");
+  EXPECT_FALSE(hasRule(fs, "raw-assert"));
+}
+
+TEST(LintSuppression, SuppressionIsRuleSpecific) {
+  // Allowing one rule must not hide a different rule on the same line.
+  const auto fs = lintSource(
+      "src/core/x.cpp",
+      "void f() { abort(); }  // ssm-lint: allow(nondeterminism)\n");
+  EXPECT_TRUE(hasRule(fs, "raw-assert"));
+}
+
+// --- allowlist parsing -----------------------------------------------------
+
+TEST(LintAllowlist, ParsesEntriesAndSkipsComments) {
+  const auto allow = parseAllowlist(
+      "# comment\n"
+      "\n"
+      "hot-path-io src/core/ssm_io.\n"
+      "* tools/vendored/\n");
+  ASSERT_EQ(allow.size(), 2u);
+  EXPECT_EQ(allow[0].rule, "hot-path-io");
+  EXPECT_EQ(allow[0].path_prefix, "src/core/ssm_io.");
+  EXPECT_EQ(allow[1].rule, "*");
+}
+
+TEST(LintAllowlist, RejectsUnknownRulesAndMalformedLines) {
+  EXPECT_THROW(static_cast<void>(parseAllowlist("no-such-rule src/\n")),
+               AllowlistError);
+  EXPECT_THROW(static_cast<void>(parseAllowlist("just-one-token\n")),
+               AllowlistError);
+}
+
+TEST(LintAllowlist, WildcardRuleWaivesEverythingUnderPrefix) {
+  const auto allow = parseAllowlist("* src/vendored/\n");
+  const auto fs = lintSource("src/vendored/x.cpp",
+                             "void f() { abort(); rand(); }\n", allow);
+  EXPECT_TRUE(fs.empty());
+}
+
+// --- output format ---------------------------------------------------------
+
+TEST(LintFormat, GccStyleDiagnostic) {
+  const Finding f{"src/core/x.cpp", 12, "raw-assert", "use SSM_CHECK"};
+  const auto s = formatFinding(f);
+  EXPECT_EQ(s.substr(0, std::string("src/core/x.cpp:12: warning:").size()),
+            "src/core/x.cpp:12: warning:");
+  EXPECT_NE(s.find("[raw-assert]"), std::string::npos);
+}
+
+TEST(LintEngine, LineNumbersSurviveCommentsAndStrings) {
+  // The stripper must keep offsets: the violation sits on line 4, after a
+  // block comment containing decoys and a string containing "rand()".
+  const auto fs = lintSource("src/core/x.cpp",
+                             "/* rand()\n"
+                             "   abort() */\n"
+                             "const char* s = \"time(nullptr)\";\n"
+                             "int x = rand();\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "nondeterminism");
+  EXPECT_EQ(fs[0].line, 4u);
+}
+
+}  // namespace
+}  // namespace ssm::lint

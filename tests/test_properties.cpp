@@ -162,7 +162,9 @@ TEST_P(DatagenProperty, ProtocolInvariants) {
     EXPECT_LE(p.perf_loss, 1.2);
     EXPECT_GT(p.insts_k, 0.0);
     EXPECT_EQ(p.workload, GetParam());
-    if (p.level == 5) EXPECT_NEAR(p.perf_loss, 0.0, 1e-9);
+    if (p.level == 5) {
+      EXPECT_NEAR(p.perf_loss, 0.0, 1e-9);
+    }
   }
 }
 

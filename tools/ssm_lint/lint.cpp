@@ -1,0 +1,480 @@
+#include "ssm_lint/lint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace ssm::lint {
+
+namespace {
+
+constexpr std::array<RuleInfo, 6> kRules = {{
+    {"pragma-once", "every header starts its include guard with #pragma once"},
+    {"using-namespace-header",
+     "no `using namespace` in headers (leaks into every includer)"},
+    {"raw-assert",
+     "src/ reports contract violations via SSM_CHECK/ContractError, never "
+     "assert()/abort()"},
+    {"nondeterminism",
+     "no libc entropy or wall-clock reads (rand, srand, time(nullptr), "
+     "std::random_device, *_clock::now) outside src/common/rng.* — "
+     "simulations must be bit-reproducible"},
+    {"hot-path-io",
+     "no iostream/stdio in the epoch hot paths src/core/ and src/gpusim/"},
+    {"c-style-float-cast",
+     "float/double narrowing must be spelled static_cast, not a C-style "
+     "cast"},
+}};
+
+bool isIdentChar(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool isIdentStart(char c) noexcept {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool isSpace(char c) noexcept {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+
+/// Replaces comments, string literals, and char literals with spaces while
+/// preserving every byte offset and newline, so line numbers computed on the
+/// stripped text match the original file exactly. Handles raw strings.
+std::string stripCommentsAndStrings(std::string_view in) {
+  std::string out(in);
+  enum class State { kCode, kLine, kBlock, kStr, kChar, kRaw };
+  State st = State::kCode;
+  std::string raw_close;  // ")delim\"" terminating the active raw string
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    const char next = i + 1 < in.size() ? in[i + 1] : '\0';
+    switch (st) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          st = State::kLine;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          st = State::kBlock;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || !isIdentChar(in[i - 1]))) {
+          // Raw string: R"delim( ... )delim"
+          std::size_t p = i + 2;
+          std::string delim;
+          while (p < in.size() && in[p] != '(') delim += in[p++];
+          raw_close.assign(1, ')');
+          raw_close += delim;
+          raw_close += '"';
+          for (std::size_t k = i; k < std::min(p + 1, in.size()); ++k)
+            out[k] = ' ';
+          i = p;  // now inside the raw string body
+          st = State::kRaw;
+        } else if (c == '"') {
+          st = State::kStr;
+          out[i] = ' ';
+        } else if (c == '\'' && !(i > 0 && isIdentChar(in[i - 1]))) {
+          // Skip digit separators like 1'000 (previous char is a digit).
+          st = State::kChar;
+          out[i] = ' ';
+        }
+        break;
+      case State::kLine:
+        if (c == '\n')
+          st = State::kCode;
+        else
+          out[i] = ' ';
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          out[i] = out[i + 1] = ' ';
+          ++i;
+          st = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kStr:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          out[i] = ' ';
+          st = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          out[i] = ' ';
+          st = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kRaw:
+        if (in.compare(i, raw_close.size(), raw_close) == 0) {
+          for (std::size_t k = i; k < i + raw_close.size(); ++k) out[k] = ' ';
+          i += raw_close.size() - 1;
+          st = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+/// 1-based line number of byte offset `pos`.
+class LineIndex {
+ public:
+  explicit LineIndex(std::string_view text) {
+    starts_.push_back(0);
+    for (std::size_t i = 0; i < text.size(); ++i)
+      if (text[i] == '\n') starts_.push_back(i + 1);
+  }
+  [[nodiscard]] std::size_t lineOf(std::size_t pos) const {
+    const auto it = std::upper_bound(starts_.begin(), starts_.end(), pos);
+    return static_cast<std::size_t>(it - starts_.begin());
+  }
+  [[nodiscard]] std::size_t lineCount() const noexcept {
+    return starts_.size();
+  }
+
+ private:
+  std::vector<std::size_t> starts_;
+};
+
+std::size_t skipWs(std::string_view s, std::size_t i) {
+  while (i < s.size() && isSpace(s[i])) ++i;
+  return i;
+}
+
+/// Single-allocation concatenation. Also sidesteps GCC 12's -Wrestrict
+/// false positive (PR105651) on `const char* + std::string&&` chains.
+std::string cat(std::initializer_list<std::string_view> parts) {
+  std::size_t len = 0;
+  for (std::string_view p : parts) len += p.size();
+  std::string out;
+  out.reserve(len);
+  for (std::string_view p : parts) out += p;
+  return out;
+}
+
+/// Inline suppressions: which rules are waived on which lines.
+/// "// ssm-lint: allow(rule-a, rule-b)" waives those rules on its own line
+/// and on the following line (so the comment can sit above the statement).
+class Suppressions {
+ public:
+  Suppressions(std::string_view raw, const LineIndex& lines) {
+    static constexpr std::string_view kTag = "ssm-lint: allow(";
+    std::size_t pos = 0;
+    while ((pos = raw.find(kTag, pos)) != std::string_view::npos) {
+      const std::size_t open = pos + kTag.size();
+      const std::size_t close = raw.find(')', open);
+      if (close == std::string_view::npos) break;
+      const std::size_t line = lines.lineOf(pos);
+      std::string_view args = raw.substr(open, close - open);
+      std::size_t start = 0;
+      while (start <= args.size()) {
+        std::size_t comma = args.find(',', start);
+        if (comma == std::string_view::npos) comma = args.size();
+        std::string rule(args.substr(start, comma - start));
+        rule.erase(std::remove_if(rule.begin(), rule.end(), isSpace),
+                   rule.end());
+        if (!rule.empty()) entries_.push_back({line, rule});
+        start = comma + 1;
+      }
+      pos = close;
+    }
+  }
+
+  [[nodiscard]] bool covers(std::size_t line, std::string_view rule) const {
+    return std::any_of(
+        entries_.begin(), entries_.end(), [&](const Entry& e) {
+          return (e.line == line || e.line + 1 == line) &&
+                 (e.rule == "*" || e.rule == rule);
+        });
+  }
+
+ private:
+  struct Entry {
+    std::size_t line;
+    std::string rule;
+  };
+  std::vector<Entry> entries_;
+};
+
+bool allowlisted(const std::vector<AllowEntry>& allow, std::string_view path,
+                 std::string_view rule) {
+  return std::any_of(allow.begin(), allow.end(), [&](const AllowEntry& e) {
+    return (e.rule == "*" || e.rule == rule) && path.starts_with(e.path_prefix);
+  });
+}
+
+/// Per-file rule applicability derived from the repo-relative path.
+struct PathClass {
+  bool header = false;    // *.hpp
+  bool in_src = false;    // src/**
+  bool hot_path = false;  // src/core/** or src/gpusim/**
+};
+
+PathClass classify(std::string_view path) {
+  PathClass pc;
+  pc.header = path.ends_with(".hpp");
+  pc.in_src = path.starts_with("src/");
+  pc.hot_path =
+      path.starts_with("src/core/") || path.starts_with("src/gpusim/");
+  return pc;
+}
+
+class FileLinter {
+ public:
+  FileLinter(std::string_view path, std::string_view content,
+             const std::vector<AllowEntry>& allow)
+      : path_(path),
+        stripped_(stripCommentsAndStrings(content)),
+        lines_(content),
+        suppress_(content, lines_),
+        allow_(allow),
+        pc_(classify(path)) {}
+
+  std::vector<Finding> run() {
+    if (pc_.header) checkPragmaOnce();
+    scanLines();
+    scanTokens();
+    std::sort(findings_.begin(), findings_.end(),
+              [](const Finding& a, const Finding& b) {
+                return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+              });
+    return std::move(findings_);
+  }
+
+ private:
+  void report(std::size_t pos, std::string_view rule, std::string message) {
+    const std::size_t line = lines_.lineOf(pos);
+    if (suppress_.covers(line, rule)) return;
+    if (allowlisted(allow_, path_, rule)) return;
+    findings_.push_back(
+        {std::string(path_), line, std::string(rule), std::move(message)});
+  }
+
+  void checkPragmaOnce() {
+    std::string_view s = stripped_;
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+      std::size_t eol = s.find('\n', pos);
+      if (eol == std::string_view::npos) eol = s.size();
+      std::size_t i = skipWs(s, pos);
+      if (i < eol && s[i] == '#') {
+        i = skipWs(s, i + 1);
+        if (s.compare(i, 6, "pragma") == 0) {
+          i = skipWs(s, i + 6);
+          if (s.compare(i, 4, "once") == 0) return;  // found
+        }
+      }
+      pos = eol + 1;
+    }
+    report(0, "pragma-once", "header is missing '#pragma once'");
+  }
+
+  void scanLines() {
+    if (!pc_.hot_path) return;
+    std::string_view s = stripped_;
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+      std::size_t eol = s.find('\n', pos);
+      if (eol == std::string_view::npos) eol = s.size();
+      const std::string_view line = s.substr(pos, eol - pos);
+      for (std::string_view hdr :
+           {std::string_view("<iostream>"), std::string_view("<cstdio>"),
+            std::string_view("<stdio.h>"), std::string_view("<ostream>"),
+            std::string_view("<istream>")}) {
+        const std::size_t at = line.find(hdr);
+        if (at != std::string_view::npos &&
+            line.find('#') != std::string_view::npos)
+          report(pos + at, "hot-path-io",
+                 cat({"stream/stdio header ", hdr,
+                      " included in an epoch hot path; do I/O outside "
+                      "src/core/ and src/gpusim/"}));
+      }
+      pos = eol + 1;
+    }
+  }
+
+  /// One left-to-right identifier scan drives every token-level rule.
+  void scanTokens() {
+    std::string_view s = stripped_;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (!isIdentStart(s[i]) || (i > 0 && isIdentChar(s[i - 1]))) continue;
+      std::size_t j = i;
+      while (j < s.size() && isIdentChar(s[j])) ++j;
+      const std::string_view word = s.substr(i, j - i);
+      const std::size_t after = skipWs(s, j);
+      const bool call = after < s.size() && s[after] == '(';
+
+      if (word == "using" && pc_.header) checkUsingNamespace(s, i, after);
+
+      if (pc_.in_src && call && (word == "assert" || word == "abort"))
+        report(i, "raw-assert",
+               cat({"'", word,
+                    "(' aborts the process; throw via SSM_CHECK/ContractError "
+                    "instead (src/common/check.hpp)"}));
+
+      if (call && (word == "rand" || word == "srand"))
+        reportNondet(i, cat({word, "()"}));
+      if (word == "time" && call) checkTimeNull(s, i, after);
+      if (word == "random_device") reportNondet(i, "std::random_device");
+      if (word.ends_with("_clock")) checkClockNow(s, i, j, word);
+
+      if (pc_.hot_path && (word == "cout" || word == "cerr" ||
+                           word == "clog" ||
+                           (call && (word == "printf" || word == "fprintf" ||
+                                     word == "puts"))))
+        report(i, "hot-path-io",
+               cat({"'", word,
+                    "' in an epoch hot path; do I/O outside src/core/ and "
+                    "src/gpusim/"}));
+
+      if (word == "float" || word == "double") checkCStyleCast(s, i, j, word);
+
+      i = j - 1;
+    }
+  }
+
+  void checkUsingNamespace(std::string_view s, std::size_t i,
+                           std::size_t after) {
+    if (s.compare(after, 9, "namespace") == 0 &&
+        (after + 9 >= s.size() || !isIdentChar(s[after + 9])))
+      report(i, "using-namespace-header",
+             "'using namespace' in a header injects names into every "
+             "includer; qualify names instead");
+  }
+
+  void checkTimeNull(std::string_view s, std::size_t i, std::size_t open) {
+    std::size_t p = skipWs(s, open + 1);
+    for (std::string_view arg :
+         {std::string_view("nullptr"), std::string_view("NULL"),
+          std::string_view("0")}) {
+      if (s.compare(p, arg.size(), arg) == 0 &&
+          !isIdentChar(p + arg.size() < s.size() ? s[p + arg.size()] : ' ')) {
+        const std::size_t close = skipWs(s, p + arg.size());
+        if (close < s.size() && s[close] == ')')
+          reportNondet(i, cat({"time(", arg, ")"}));
+        return;
+      }
+    }
+  }
+
+  void checkClockNow(std::string_view s, std::size_t i, std::size_t j,
+                     std::string_view word) {
+    std::size_t p = skipWs(s, j);
+    if (s.compare(p, 2, "::") != 0) return;
+    p = skipWs(s, p + 2);
+    if (s.compare(p, 3, "now") == 0 &&
+        !isIdentChar(p + 3 < s.size() ? s[p + 3] : ' '))
+      reportNondet(i, cat({word, "::now()"}));
+  }
+
+  void reportNondet(std::size_t pos, std::string what) {
+    report(pos, "nondeterminism",
+           cat({"nondeterministic source '", what,
+                "' breaks bit-reproducible simulation; draw from ssm::Rng "
+                "(src/common/rng.hpp) or allowlist this file"}));
+  }
+
+  void checkCStyleCast(std::string_view s, std::size_t i, std::size_t j,
+                       std::string_view word) {
+    // Match "(float)" / "(double)" followed by an expression start — a
+    // C-style cast. Prototypes like "f(double);" fail the follow-set test.
+    std::size_t before = i;
+    while (before > 0 && isSpace(s[before - 1])) --before;
+    if (before == 0 || s[before - 1] != '(') return;
+    const std::size_t close = skipWs(s, j);
+    if (close >= s.size() || s[close] != ')') return;
+    const std::size_t follow = skipWs(s, close + 1);
+    if (follow >= s.size()) return;
+    const char f = s[follow];
+    if (isIdentChar(f) || f == '(' || f == '.' || f == '-' || f == '+')
+      report(before - 1, "c-style-float-cast",
+             cat({"C-style cast to '", word, "' hides narrowing; write "
+                  "static_cast<", word, ">(...)"}));
+  }
+
+  std::string_view path_;
+  std::string stripped_;
+  LineIndex lines_;
+  Suppressions suppress_;
+  const std::vector<AllowEntry>& allow_;
+  PathClass pc_;
+  std::vector<Finding> findings_;
+};
+
+}  // namespace
+
+std::vector<RuleInfo> ruleCatalog() {
+  return std::vector<RuleInfo>(kRules.begin(), kRules.end());
+}
+
+bool isKnownRule(std::string_view rule) {
+  if (rule == "*") return true;
+  return std::any_of(kRules.begin(), kRules.end(),
+                     [&](const RuleInfo& r) { return r.id == rule; });
+}
+
+std::vector<AllowEntry> parseAllowlist(std::string_view text) {
+  std::vector<AllowEntry> out;
+  std::size_t pos = 0;
+  std::size_t line_no = 0;
+  while (pos <= text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    ++line_no;
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    std::size_t a = skipWs(line, 0);
+    if (a >= line.size()) continue;
+    std::size_t b = a;
+    while (b < line.size() && !isSpace(line[b])) ++b;
+    std::string rule(line.substr(a, b - a));
+    std::size_t c = skipWs(line, b);
+    if (c >= line.size())
+      throw AllowlistError(cat({"allowlist line ", std::to_string(line_no),
+                                ": expected '<rule|*> <path-prefix>'"}));
+    std::size_t d = c;
+    while (d < line.size() && !isSpace(line[d])) ++d;
+    std::string path(line.substr(c, d - c));
+    if (skipWs(line, d) < line.size())
+      throw AllowlistError(cat({"allowlist line ", std::to_string(line_no),
+                                ": trailing tokens after path prefix"}));
+    if (!isKnownRule(rule))
+      throw AllowlistError(cat({"allowlist line ", std::to_string(line_no),
+                                ": unknown rule '", rule, "'"}));
+    if (path.starts_with("./")) path.erase(0, 2);
+    out.push_back({std::move(rule), std::move(path)});
+  }
+  return out;
+}
+
+std::vector<Finding> lintSource(std::string_view path, std::string_view content,
+                                const std::vector<AllowEntry>& allow) {
+  return FileLinter(path, content, allow).run();
+}
+
+std::string formatFinding(const Finding& f) {
+  return cat({f.path, ":", std::to_string(f.line), ": warning: ", f.message,
+              " [", f.rule, "]"});
+}
+
+}  // namespace ssm::lint

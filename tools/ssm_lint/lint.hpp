@@ -1,0 +1,75 @@
+// ssm_lint — dependency-free, token/line-level linter for repo invariants.
+//
+// The rules encode conventions that keep the SSMDVFS simulation
+// bit-reproducible and its contract layer honest (see docs/static_analysis.md):
+// deterministic RNG only, SSM_CHECK instead of assert/abort, no stream I/O on
+// the epoch-loop hot paths, and explicit casts where counters narrow.
+//
+// The engine is deliberately not a C++ parser: it strips comments and string
+// literals (preserving byte offsets, so line numbers stay exact) and then
+// matches identifiers and small token sequences. That is enough for every
+// rule here and keeps the tool free of libclang, so it builds anywhere the
+// repo builds and runs in milliseconds as a CTest test (ssm_lint_repo).
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ssm::lint {
+
+/// One rule violation at a specific source line.
+struct Finding {
+  std::string path;     ///< repo-relative path, forward slashes
+  std::size_t line = 0; ///< 1-based line number
+  std::string rule;     ///< rule id, e.g. "nondeterminism"
+  std::string message;  ///< human-readable explanation
+
+  friend bool operator==(const Finding&, const Finding&) = default;
+};
+
+/// Static description of a registered rule.
+struct RuleInfo {
+  std::string_view id;
+  std::string_view summary;
+};
+
+/// Every rule the engine knows, in reporting order.
+[[nodiscard]] std::vector<RuleInfo> ruleCatalog();
+
+/// True if `rule` names a registered rule (or is the wildcard "*").
+[[nodiscard]] bool isKnownRule(std::string_view rule);
+
+/// One checked-in exemption: `rule` (or "*") is waived for every file whose
+/// repo-relative path starts with `path_prefix`.
+struct AllowEntry {
+  std::string rule;
+  std::string path_prefix;
+};
+
+/// Parses allowlist text: one "<rule-id|*> <path-prefix>" pair per line,
+/// '#' starts a comment. Throws ssm::lint::AllowlistError on malformed lines
+/// or unknown rule ids (a stale allowlist should fail loudly, not silently
+/// stop filtering).
+class AllowlistError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+[[nodiscard]] std::vector<AllowEntry> parseAllowlist(std::string_view text);
+
+/// Lints one file. `path` must be the repo-relative path: it decides which
+/// rules apply (header rules, src/-only rules, hot-path dirs) and is what
+/// allowlist prefixes match against. Findings suppressed by an inline
+/// "// ssm-lint: allow(<rule>)" on the same or preceding line, or by an
+/// allowlist entry, are dropped.
+[[nodiscard]] std::vector<Finding> lintSource(
+    std::string_view path, std::string_view content,
+    const std::vector<AllowEntry>& allow = {});
+
+/// "path:line: warning: message [rule]" — GCC diagnostic format so editors
+/// and CI annotations pick the findings up for free.
+[[nodiscard]] std::string formatFinding(const Finding& f);
+
+}  // namespace ssm::lint

@@ -1,0 +1,125 @@
+// ssm_lint CLI: walks the repo's source trees and reports rule violations in
+// GCC diagnostic format. Exit status 0 = clean, 1 = findings, 2 = usage or
+// I/O error. Registered as the `ssm_lint_repo` CTest test so the tier-1
+// suite enforces the invariants on every run.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ssm_lint/lint.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// The trees the lint contract covers, relative to the repo root.
+constexpr const char* kScanDirs[] = {"src", "tools", "bench", "tests"};
+
+constexpr const char* kDefaultAllowlist = "tools/ssm_lint/allowlist.txt";
+
+int usage(std::ostream& os, int code) {
+  os << "usage: ssm_lint [--root <repo-root>] [--allowlist <file>]\n"
+        "                [--list-rules] [files...]\n"
+        "\n"
+        "Lints src/, tools/, bench/, tests/ under the repo root (default:\n"
+        "the current directory). Explicit file arguments are linted instead\n"
+        "of walking; they are interpreted relative to the root.\n";
+  return code;
+}
+
+std::string readFile(const fs::path& p) {
+  std::ifstream is(p, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot read " + p.string());
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+bool lintableExtension(const fs::path& p) {
+  const auto ext = p.extension();
+  return ext == ".hpp" || ext == ".cpp";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  fs::path allowlist_path;
+  bool allowlist_explicit = false;
+  std::vector<std::string> explicit_files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--allowlist" && i + 1 < argc) {
+      allowlist_path = argv[++i];
+      allowlist_explicit = true;
+    } else if (arg == "--list-rules") {
+      for (const auto& r : ssm::lint::ruleCatalog())
+        std::cout << r.id << ": " << r.summary << "\n";
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(std::cout, 0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "ssm_lint: unknown option '" << arg << "'\n";
+      return usage(std::cerr, 2);
+    } else {
+      explicit_files.push_back(arg);
+    }
+  }
+
+  try {
+    std::vector<ssm::lint::AllowEntry> allow;
+    if (!allowlist_explicit) allowlist_path = root / kDefaultAllowlist;
+    if (fs::exists(allowlist_path)) {
+      allow = ssm::lint::parseAllowlist(readFile(allowlist_path));
+    } else if (allowlist_explicit) {
+      std::cerr << "ssm_lint: allowlist not found: " << allowlist_path
+                << "\n";
+      return 2;
+    }
+
+    // Collect repo-relative paths, sorted so output and exit status are
+    // deterministic regardless of directory iteration order.
+    std::vector<std::string> files;
+    if (!explicit_files.empty()) {
+      files = explicit_files;
+    } else {
+      for (const char* dir : kScanDirs) {
+        const fs::path base = root / dir;
+        if (!fs::exists(base)) continue;
+        for (const auto& entry : fs::recursive_directory_iterator(base)) {
+          if (!entry.is_regular_file() || !lintableExtension(entry.path()))
+            continue;
+          files.push_back(
+              fs::relative(entry.path(), root).generic_string());
+        }
+      }
+      std::sort(files.begin(), files.end());
+    }
+
+    std::size_t total = 0;
+    for (const std::string& rel : files) {
+      const std::string content = readFile(root / rel);
+      for (const auto& f : ssm::lint::lintSource(rel, content, allow)) {
+        std::cout << ssm::lint::formatFinding(f) << "\n";
+        ++total;
+      }
+    }
+    if (total > 0) {
+      std::cerr << "ssm_lint: " << total << " finding(s) in " << files.size()
+                << " file(s)\n";
+      return 1;
+    }
+    std::cerr << "ssm_lint: " << files.size() << " file(s) clean\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "ssm_lint: " << e.what() << "\n";
+    return 2;
+  }
+}
