@@ -4,6 +4,7 @@
 
 #include "baselines/oracle.hpp"
 #include "common/check.hpp"
+#include "sched/thread_pool.hpp"
 
 namespace ssm::bench {
 
@@ -20,8 +21,13 @@ const std::vector<std::string>& mechanismNames() {
   return names;
 }
 
-std::vector<Fig4Row> runFig4(const FullSystem& sys, double preset,
-                             std::uint64_t seed) {
+namespace {
+
+/// Computes one workload's Fig. 4 row. Self-contained so rows can run as
+/// independent pool jobs: the factories are built per call (they are
+/// cheap, stateless descriptors) and the models are shared read-only.
+Fig4Row runFig4Row(const FullSystem& sys, const KernelProfile& kernel,
+                   double preset, std::uint64_t seed) {
   const GpuConfig gpu;
   const VfTable vf = VfTable::titanX();
 
@@ -42,30 +48,44 @@ std::vector<Fig4Row> runFig4(const FullSystem& sys, double preset,
   const std::vector<const GovernorFactory*> factories = {
       &f_pc, &f_fl, &f_nocal, &f_ssm, &f_comp};
 
-  std::vector<Fig4Row> rows;
-  for (const auto& kernel : evaluationWorkloads()) {
-    Gpu gpu_inst(gpu, vf, kernel, seed, ChipPowerModel(gpu.num_clusters));
-    const RunResult base = runBaseline(gpu_inst);
+  Gpu gpu_inst(gpu, vf, kernel, seed, ChipPowerModel(gpu.num_clusters));
+  const RunResult base = runBaseline(gpu_inst);
 
-    Fig4Row row;
-    row.workload = kernel.name;
-    row.base_edp = base.edp;
-    row.base_time_us =
-        static_cast<double>(base.exec_time_ns) / kNsPerUs;
-    for (std::size_t m = 0; m < factories.size(); ++m) {
-      const RunResult r =
-          runWithGovernor(gpu_inst, *factories[m], mechanismNames()[m]);
-      row.edp.push_back(r.edp / base.edp);
-      row.lat.push_back(static_cast<double>(r.exec_time_ns) /
-                        static_cast<double>(base.exec_time_ns));
-    }
-
-    const OracleResult oracle =
-        findBestStaticLevel(gpu_inst, OracleObjective::kMinEdp);
-    row.edp.push_back(oracle.run.edp / base.edp);
-    row.lat.push_back(static_cast<double>(oracle.run.exec_time_ns) /
+  Fig4Row row;
+  row.workload = kernel.name;
+  row.base_edp = base.edp;
+  row.base_time_us = static_cast<double>(base.exec_time_ns) / kNsPerUs;
+  for (std::size_t m = 0; m < factories.size(); ++m) {
+    const RunResult r =
+        runWithGovernor(gpu_inst, *factories[m], mechanismNames()[m]);
+    row.edp.push_back(r.edp / base.edp);
+    row.lat.push_back(static_cast<double>(r.exec_time_ns) /
                       static_cast<double>(base.exec_time_ns));
-    rows.push_back(std::move(row));
+  }
+
+  const OracleResult oracle =
+      findBestStaticLevel(gpu_inst, OracleObjective::kMinEdp);
+  row.edp.push_back(oracle.run.edp / base.edp);
+  row.lat.push_back(static_cast<double>(oracle.run.exec_time_ns) /
+                    static_cast<double>(base.exec_time_ns));
+  return row;
+}
+
+}  // namespace
+
+std::vector<Fig4Row> runFig4(const FullSystem& sys, double preset,
+                             std::uint64_t seed, ThreadPool* pool) {
+  const std::vector<KernelProfile> kernels = evaluationWorkloads();
+  std::vector<Fig4Row> rows(kernels.size());
+  const auto one = [&](std::size_t i) {
+    rows[i] = runFig4Row(sys, kernels[i], preset, seed);
+  };
+  if (pool != nullptr) {
+    // Rows land in workload order regardless of completion order, so the
+    // parallel sweep renders the exact serial tables.
+    pool->parallelFor(kernels.size(), one);
+  } else {
+    for (std::size_t i = 0; i < kernels.size(); ++i) one(i);
   }
   return rows;
 }

@@ -15,6 +15,10 @@
 #include "core/ssm_governor.hpp"
 #include "gpusim/runner.hpp"
 
+namespace ssm {
+class ThreadPool;
+}
+
 namespace ssm::bench {
 
 /// Loads (or generates + trains) the shared full system.
@@ -34,9 +38,12 @@ struct Fig4Row {
 };
 
 /// Runs the full §V.C comparison on the evaluation split at one preset.
+/// With a pool, each workload row runs as an independent job; rows are
+/// collected in workload order, so the output is identical to serial.
 [[nodiscard]] std::vector<Fig4Row> runFig4(const FullSystem& sys,
                                            double preset,
-                                           std::uint64_t seed = 777);
+                                           std::uint64_t seed = 777,
+                                           ThreadPool* pool = nullptr);
 
 /// Column-wise arithmetic mean over rows.
 [[nodiscard]] Fig4Row meanRow(const std::vector<Fig4Row>& rows);

@@ -18,6 +18,7 @@
 #include "common/ascii_chart.hpp"
 #include "common/table.hpp"
 #include "datagen/cache.hpp"
+#include "sched/thread_pool.hpp"
 
 using namespace ssm;
 using namespace ssm::bench;
@@ -25,8 +26,8 @@ using namespace ssm::bench;
 namespace {
 
 void printPanel(const FullSystem& sys, double preset,
-                std::vector<bench::Fig4Row>* means_out) {
-  const auto rows = runFig4(sys, preset);
+                ThreadPool* pool, std::vector<bench::Fig4Row>* means_out) {
+  const auto rows = runFig4(sys, preset, 777, pool);
   const auto mean = meanRow(rows);
 
   for (const bool latency_panel : {false, true}) {
@@ -99,9 +100,12 @@ int main() {
             << Table::num(sys.prune_report.after_finetune.calibrator_mape)
             << "% flops=" << sys.prune_report.after_finetune.flops << "\n\n";
 
+  // Per-workload rows run as pool jobs (SSMDVFS_JOBS overrides the lane
+  // count); collection order is fixed, so the tables match a serial run.
+  ThreadPool pool(ThreadPool::defaultJobs());
   std::vector<bench::Fig4Row> means;
-  printPanel(sys, 0.10, &means);
-  printPanel(sys, 0.20, &means);
+  printPanel(sys, 0.10, &pool, &means);
+  printPanel(sys, 0.20, &pool, &means);
 
   // §V.C headline: averages over both presets for compressed SSMDVFS.
   const auto idx_of = [](const std::string& name) {

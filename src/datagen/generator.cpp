@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "sched/thread_pool.hpp"
 
 namespace ssm {
 
@@ -84,7 +85,8 @@ ReplayOutcome replayHorizon(const Gpu& snapshot, VfLevel feature_level,
 
 Dataset DataGenerator::generateForWorkload(const KernelProfile& kernel,
                                            std::uint64_t seed,
-                                           int feature_phase) const {
+                                           int feature_phase,
+                                           ThreadPool* pool) const {
   Dataset out;
   const VfLevel default_level = vf_.defaultLevel();
   const int num_levels = static_cast<int>(vf_.size());
@@ -127,12 +129,26 @@ Dataset DataGenerator::generateForWorkload(const KernelProfile& kernel,
         static_cast<double>(gen_.horizon_epochs) *
         static_cast<double>(epoch_ns);
 
-    // --- One replay per operating point. ---------------------------------
-    for (int level = 0; level < num_levels; ++level) {
-      const ReplayOutcome rep =
-          replayHorizon(cursor, feature_level, level, default_level,
-                        target_insts, gen_.horizon_epochs,
+    // --- One replay per operating point: each is an independent job (the
+    // snapshot is copied per replay), run on the pool when one is given.
+    // Rows are emitted below in level order either way, so parallel and
+    // serial datasets are identical.
+    std::vector<ReplayOutcome> replays(static_cast<std::size_t>(num_levels));
+    const auto replay_one = [&](std::size_t level) {
+      replays[level] =
+          replayHorizon(cursor, feature_level, static_cast<VfLevel>(level),
+                        default_level, target_insts, gen_.horizon_epochs,
                         gen_.max_extra_epochs);
+    };
+    if (pool != nullptr) {
+      pool->parallelFor(static_cast<std::size_t>(num_levels), replay_one);
+    } else {
+      for (int level = 0; level < num_levels; ++level)
+        replay_one(static_cast<std::size_t>(level));
+    }
+
+    for (int level = 0; level < num_levels; ++level) {
+      const ReplayOutcome& rep = replays[static_cast<std::size_t>(level)];
       if (!rep.valid) continue;
       // Work-matching interpolation can report a marginally negative loss
       // on frequency-insensitive windows; physically T_f >= T_0, so clamp.
@@ -163,16 +179,39 @@ Dataset DataGenerator::generateForWorkload(const KernelProfile& kernel,
   return out;
 }
 
-Dataset DataGenerator::generate(
-    const std::vector<KernelProfile>& workloads) const {
-  Dataset all;
+Dataset DataGenerator::generate(const std::vector<KernelProfile>& workloads,
+                                ThreadPool* pool) const {
+  // Seeds are drawn serially up front in the exact order the serial loop
+  // would draw them; shard results are appended in that same order. The
+  // corpus is therefore independent of scheduling.
+  struct Shard {
+    const KernelProfile* kernel = nullptr;
+    std::uint64_t seed = 0;
+    int run = 0;
+  };
+  std::vector<Shard> shards;
+  shards.reserve(workloads.size() *
+                 static_cast<std::size_t>(gen_.runs_per_workload));
   Rng seeder(gen_.seed);
-  for (const auto& kernel : workloads) {
-    for (int run = 0; run < gen_.runs_per_workload; ++run) {
-      const std::uint64_t seed = seeder.nextU64();
-      all.append(generateForWorkload(kernel, seed, run));
-    }
+  for (const auto& kernel : workloads)
+    for (int run = 0; run < gen_.runs_per_workload; ++run)
+      shards.push_back({&kernel, seeder.nextU64(), run});
+
+  std::vector<Dataset> parts(shards.size());
+  const auto run_shard = [&](std::size_t i) {
+    // Shard-level parallelism already saturates the pool; the per-level
+    // replays inside each shard stay serial (pass no pool down).
+    parts[i] = generateForWorkload(*shards[i].kernel, shards[i].seed,
+                                   shards[i].run);
+  };
+  if (pool != nullptr) {
+    pool->parallelFor(shards.size(), run_shard);
+  } else {
+    for (std::size_t i = 0; i < shards.size(); ++i) run_shard(i);
   }
+
+  Dataset all;
+  for (const auto& part : parts) all.append(part);
   SSM_CHECK(!all.empty(), "data generation produced no samples");
   return all;
 }

@@ -22,6 +22,8 @@
 
 namespace ssm {
 
+class ThreadPool;
+
 struct GenConfig {
   /// Distance between breakpoints, in epochs (10 epochs = 100 µs).
   int epochs_per_breakpoint = 10;
@@ -53,14 +55,20 @@ class DataGenerator {
   /// Runs the protocol for one workload (one execution at the given seed).
   /// `feature_phase` rotates the feature-window level schedule so repeated
   /// runs of a short program still cover every level (short programs have
-  /// few breakpoints).
+  /// few breakpoints). With a pool, each breakpoint's per-V/f replays run
+  /// as independent jobs; rows are still emitted in level order, so the
+  /// dataset is byte-identical to the serial result.
   [[nodiscard]] Dataset generateForWorkload(const KernelProfile& kernel,
                                             std::uint64_t seed,
-                                            int feature_phase = 0) const;
+                                            int feature_phase = 0,
+                                            ThreadPool* pool = nullptr) const;
 
   /// Runs the protocol over a workload list, runs_per_workload seeds each.
-  [[nodiscard]] Dataset generate(
-      const std::vector<KernelProfile>& workloads) const;
+  /// With a pool, each (workload, run) pair is one job; run seeds are
+  /// pre-drawn in serial order and shards are appended in job order, so
+  /// the corpus matches the serial corpus exactly.
+  [[nodiscard]] Dataset generate(const std::vector<KernelProfile>& workloads,
+                                 ThreadPool* pool = nullptr) const;
 
   [[nodiscard]] const VfTable& vfTable() const noexcept { return vf_; }
   [[nodiscard]] const GenConfig& config() const noexcept { return gen_; }

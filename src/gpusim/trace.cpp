@@ -9,6 +9,19 @@
 namespace ssm {
 
 void EpochTraceRecorder::record(const GpuEpochReport& report) {
+  // Single-writer tripwire (see header): the RAII scope keeps the counter
+  // balanced even when the cluster-count check below throws, so one contract
+  // violation does not poison later, well-behaved calls.
+  struct WriterScope {
+    std::atomic<int>& writers;
+    ~WriterScope() { writers.fetch_sub(1, std::memory_order_release); }
+  };
+  const int already_inside = writers_.fetch_add(1, std::memory_order_acq_rel);
+  WriterScope scope{writers_};
+  SSM_AUDIT_CHECK(already_inside == 0,
+                  "EpochTraceRecorder::record is single-writer: give each "
+                  "concurrent job its own recorder");
+
   std::vector<VfLevel> levels;
   std::vector<std::int64_t> insts;
   std::vector<double> power;

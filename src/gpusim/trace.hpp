@@ -4,8 +4,18 @@
 // the recorder exports CSV for offline analysis and renders a compact
 // ASCII timeline (one row per cluster, one column per epoch, digits are
 // V/f levels) — the fastest way to *see* what a governor is doing.
+//
+// Thread-safety contract: a recorder is SINGLE-WRITER. record() mutates the
+// row vectors without locking, so exactly one simulation run may feed a given
+// recorder at a time; parallel code (FleetRunner, parallel datagen, bench
+// sweeps) must give every concurrent job its own recorder and merge/export
+// afterwards. Concurrent record() calls on one instance are a contract
+// violation — audit builds (SSMDVFS_AUDIT) trip an SSM_AUDIT_CHECK on entry
+// instead of silently interleaving rows. The const accessors are safe to
+// call from any thread once recording has finished.
 #pragma once
 
+#include <atomic>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -16,7 +26,9 @@ namespace ssm {
 
 class EpochTraceRecorder {
  public:
-  /// Appends one epoch's observations.
+  /// Appends one epoch's observations. Single-writer: must not be called
+  /// concurrently on the same instance (see file comment); audit builds
+  /// throw ContractError when two threads are caught inside at once.
   void record(const GpuEpochReport& report);
 
   [[nodiscard]] int epochCount() const noexcept {
@@ -55,6 +67,10 @@ class EpochTraceRecorder {
   std::vector<std::vector<std::int64_t>> insts_;      ///< [epoch][cluster]
   std::vector<std::vector<double>> cluster_power_w_;  ///< [epoch][cluster]
   std::vector<double> chip_power_w_;                  ///< [epoch]
+  /// Writers currently inside record(); > 1 means the single-writer
+  /// contract is broken. Makes the class non-copyable, which is fine: a
+  /// recorder is an append-only sink owned by exactly one run.
+  std::atomic<int> writers_{0};
 };
 
 }  // namespace ssm

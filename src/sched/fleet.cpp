@@ -1,0 +1,227 @@
+#include "sched/fleet.hpp"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "baselines/flemma.hpp"
+#include "baselines/ondemand.hpp"
+#include "baselines/pcstall.hpp"
+#include "common/check.hpp"
+#include "common/json_writer.hpp"
+#include "common/rng.hpp"
+#include "core/ssm_governor.hpp"
+
+namespace ssm::fleet {
+
+namespace {
+
+class StaticFactory final : public GovernorFactory {
+ public:
+  explicit StaticFactory(VfLevel level) : level_(level) {}
+  std::unique_ptr<DvfsGovernor> create(int) const override {
+    return std::make_unique<StaticGovernor>(level_);
+  }
+
+ private:
+  VfLevel level_;
+};
+
+}  // namespace
+
+std::unique_ptr<GovernorFactory> makeGovernorFactory(
+    const std::string& mechanism, const VfTable& vf, double preset,
+    const std::shared_ptr<const SsmModel>& model) {
+  if (mechanism == "baseline") return nullptr;
+  if (mechanism == "ssmdvfs" || mechanism == "ssmdvfs-nocal") {
+    if (!model)
+      throw DataError("mechanism '" + mechanism + "' needs a trained model");
+    SsmGovernorConfig cfg;
+    cfg.loss_preset = preset;
+    cfg.calibrate = mechanism == "ssmdvfs";
+    return std::make_unique<SsmGovernorFactory>(model, cfg);
+  }
+  if (mechanism == "pcstall") {
+    PcstallConfig cfg;
+    cfg.loss_preset = preset;
+    return std::make_unique<PcstallFactory>(vf, cfg);
+  }
+  if (mechanism == "flemma") {
+    FlemmaConfig cfg;
+    cfg.loss_preset = preset;
+    return std::make_unique<FlemmaFactory>(vf, cfg);
+  }
+  if (mechanism == "ondemand") return std::make_unique<OndemandFactory>(vf);
+  if (mechanism.rfind("static-", 0) == 0) {
+    const int level = std::atoi(mechanism.c_str() + 7);
+    return std::make_unique<StaticFactory>(vf.clamp(level));
+  }
+  throw DataError("unknown mechanism: " + mechanism);
+}
+
+std::vector<SweepJob> expandJobs(const SweepSpec& spec) {
+  SSM_CHECK(!spec.workloads.empty(), "sweep needs at least one workload");
+  SSM_CHECK(!spec.mechanisms.empty(), "sweep needs at least one mechanism");
+  SSM_CHECK(!spec.presets.empty(), "sweep needs at least one preset");
+  SSM_CHECK(!spec.seeds.empty(), "sweep needs at least one seed");
+
+  std::vector<SweepJob> jobs;
+  jobs.reserve(spec.workloads.size() * spec.mechanisms.size() *
+               spec.presets.size() * spec.seeds.size());
+  for (std::size_t w = 0; w < spec.workloads.size(); ++w) {
+    for (std::size_t m = 0; m < spec.mechanisms.size(); ++m) {
+      for (std::size_t p = 0; p < spec.presets.size(); ++p) {
+        for (std::size_t s = 0; s < spec.seeds.size(); ++s) {
+          SweepJob job;
+          job.index = jobs.size();
+          job.workload = w;
+          job.mechanism = m;
+          job.preset = p;
+          job.seed = s;
+          // Independent stream per (seed, workload); mechanism and preset
+          // deliberately do NOT enter, so their baselines coincide.
+          job.sim_seed = Rng(spec.seeds[s]).fork(w).nextU64();
+          jobs.push_back(job);
+        }
+      }
+    }
+  }
+  return jobs;
+}
+
+FleetRunner::FleetRunner(const SweepSpec& spec, ThreadPool& pool)
+    : spec_(spec), pool_(pool), jobs_(expandJobs(spec)) {
+  // Fail fast on an unsatisfiable spec (unknown mechanism, missing model)
+  // before any simulation time is spent.
+  for (const auto& mech : spec_.mechanisms)
+    static_cast<void>(makeGovernorFactory(mech, spec_.vf, 0.10, spec_.model));
+}
+
+SweepResult FleetRunner::runJob(const SweepJob& job) const {
+  const KernelProfile& kernel = spec_.workloads[job.workload];
+  const std::string& mech = spec_.mechanisms[job.mechanism];
+  const double preset = spec_.presets[job.preset];
+
+  const Gpu machine(spec_.gpu, spec_.vf, kernel, job.sim_seed,
+                    ChipPowerModel(spec_.gpu.num_clusters));
+
+  SweepResult out;
+  out.job = job;
+  out.baseline = runBaseline(machine, spec_.max_time_ns);
+  out.baseline.workload = kernel.name;
+
+  const auto factory =
+      makeGovernorFactory(mech, spec_.vf, preset, spec_.model);
+  out.governed = factory ? runWithGovernor(machine, *factory, mech,
+                                           spec_.max_time_ns)
+                         : out.baseline;
+  out.governed.workload = kernel.name;
+  out.governed.mechanism = mech;
+  return out;
+}
+
+std::vector<SweepResult> FleetRunner::run(const ProgressFn& progress) const {
+  std::vector<SweepResult> results(jobs_.size());
+  std::mutex mu;
+  std::size_t done = 0;
+  pool_.parallelFor(jobs_.size(), [&](std::size_t i) {
+    SweepResult r = runJob(jobs_[i]);
+    std::lock_guard<std::mutex> lk(mu);
+    results[i] = std::move(r);
+    ++done;
+    if (progress) progress(done, jobs_.size());
+  });
+  return results;
+}
+
+std::size_t FleetRunner::runJsonl(std::ostream& os,
+                                  const ProgressFn& progress) const {
+  // Ordered streaming collector: lines buffer until their prefix is
+  // complete, then flush. Single writer (this mutex) touches `os`.
+  std::mutex mu;
+  std::map<std::size_t, std::string> ready;
+  std::size_t next = 0;
+  std::size_t done = 0;
+  pool_.parallelFor(jobs_.size(), [&](std::size_t i) {
+    std::string line = toJsonLine(spec_, runJob(jobs_[i]));
+    std::lock_guard<std::mutex> lk(mu);
+    ready.emplace(i, std::move(line));
+    while (!ready.empty() && ready.begin()->first == next) {
+      os << ready.begin()->second << '\n';
+      ready.erase(ready.begin());
+      ++next;
+    }
+    ++done;
+    if (progress) progress(done, jobs_.size());
+  });
+  SSM_CHECK(next == jobs_.size(), "JSONL collector lost lines");
+  return next;
+}
+
+namespace {
+
+void emitRun(JsonWriter& w, const char* name, const RunResult& r) {
+  w.beginObject(name)
+      .value("exec_time_us", static_cast<double>(r.exec_time_ns) / 1e3)
+      .value("energy_mj", r.energy_j * 1e3)
+      .value("edp_uj_s", r.edp * 1e6)
+      .value("instructions", static_cast<std::int64_t>(r.instructions))
+      .value("epochs", r.epochs)
+      .value("mean_power_w", r.mean_power_w)
+      .beginArray("level_histogram");
+  for (double h : r.level_histogram) w.value(h);
+  w.endArray().endObject();
+}
+
+}  // namespace
+
+std::string toJsonLine(const SweepSpec& spec, const SweepResult& r) {
+  std::ostringstream ss;
+  JsonWriter w(ss);
+  w.beginObject()
+      .value("workload", spec.workloads[r.job.workload].name)
+      .value("mechanism", spec.mechanisms[r.job.mechanism])
+      .value("preset", spec.presets[r.job.preset])
+      .value("seed", static_cast<std::int64_t>(spec.seeds[r.job.seed]))
+      .value("edp_ratio", r.baseline.edp > 0.0
+                              ? r.governed.edp / r.baseline.edp
+                              : 1.0)
+      .value("latency_ratio",
+             r.baseline.exec_time_ns > 0
+                 ? static_cast<double>(r.governed.exec_time_ns) /
+                       static_cast<double>(r.baseline.exec_time_ns)
+                 : 1.0);
+  emitRun(w, "baseline", r.baseline);
+  emitRun(w, "governed", r.governed);
+  w.endObject();
+  return std::move(ss).str();
+}
+
+void writeCsv(const SweepSpec& spec, const std::vector<SweepResult>& results,
+              std::ostream& os) {
+  os << "workload,mechanism,preset,seed,exec_time_us,energy_mj,edp_uj_s,"
+        "epochs,edp_ratio,latency_ratio\n";
+  std::ostringstream num;
+  num.precision(17);
+  for (const auto& r : results) {
+    num.str({});
+    num << spec.presets[r.job.preset] << ','
+        << spec.seeds[r.job.seed] << ','
+        << static_cast<double>(r.governed.exec_time_ns) / 1e3 << ','
+        << r.governed.energy_j * 1e3 << ',' << r.governed.edp * 1e6 << ','
+        << r.governed.epochs << ','
+        << (r.baseline.edp > 0.0 ? r.governed.edp / r.baseline.edp : 1.0)
+        << ','
+        << (r.baseline.exec_time_ns > 0
+                ? static_cast<double>(r.governed.exec_time_ns) /
+                      static_cast<double>(r.baseline.exec_time_ns)
+                : 1.0);
+    os << spec.workloads[r.job.workload].name << ','
+       << spec.mechanisms[r.job.mechanism] << ',' << num.str() << '\n';
+  }
+}
+
+}  // namespace ssm::fleet

@@ -1,0 +1,113 @@
+// Fleet execution: sharded simulation sweeps on the work-stealing pool.
+//
+// A sweep is the cartesian product workload × mechanism × preset × seed —
+// the shape of every §V experiment and of the ROADMAP's production sweeps.
+// Each cell is one self-contained job: it builds its own Gpu, its own
+// governor factory and (when tracing) its own recorder, shares only
+// immutable inputs (VfTable, GpuConfig, a trained const SsmModel), and
+// derives its simulation seed from a deterministic Rng fork keyed on the
+// sweep coordinates — never on thread identity or completion order.
+// Results are therefore byte-identical for any --jobs value; only the
+// wall clock changes.
+//
+// Output is ordered: the JSONL stream emits line j only after lines
+// 0..j-1, no matter which worker finished first.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ssm_model.hpp"
+#include "gpusim/runner.hpp"
+#include "sched/thread_pool.hpp"
+#include "workloads/kernel_profile.hpp"
+
+namespace ssm::fleet {
+
+/// The cartesian sweep specification. Workloads are resolved profiles so
+/// callers control registry vs profile-file lookup.
+struct SweepSpec {
+  std::vector<KernelProfile> workloads;
+  std::vector<std::string> mechanisms;
+  std::vector<double> presets = {0.10};
+  std::vector<std::uint64_t> seeds = {777};
+  GpuConfig gpu;
+  VfTable vf = VfTable::titanX();
+  TimeNs max_time_ns = 5 * kNsPerMs;
+  /// Required when any mechanism is ssmdvfs / ssmdvfs-nocal.
+  std::shared_ptr<const SsmModel> model;
+};
+
+/// One cell of the sweep, in expansion order.
+struct SweepJob {
+  std::size_t index = 0;  ///< position in the expanded job list
+  std::size_t workload = 0;
+  std::size_t mechanism = 0;
+  std::size_t preset = 0;
+  std::size_t seed = 0;
+  /// Simulator seed: forked from the sweep seed by workload coordinate,
+  /// so one (workload, seed) pair simulates identically under every
+  /// mechanism and preset (baselines line up across the sweep).
+  std::uint64_t sim_seed = 0;
+};
+
+struct SweepResult {
+  SweepJob job;
+  RunResult baseline;
+  RunResult governed;
+};
+
+/// Expands the cartesian product in deterministic order: workload-major,
+/// then mechanism, preset, seed. Throws ContractError on an empty axis.
+[[nodiscard]] std::vector<SweepJob> expandJobs(const SweepSpec& spec);
+
+/// Builds the governor factory for a mechanism name (the `run`/`sweep`
+/// vocabulary: baseline, static-<L>, ssmdvfs, ssmdvfs-nocal, pcstall,
+/// flemma, ondemand). Returns nullptr for "baseline" (no governor);
+/// throws DataError for unknown names or a missing model.
+[[nodiscard]] std::unique_ptr<GovernorFactory> makeGovernorFactory(
+    const std::string& mechanism, const VfTable& vf, double preset,
+    const std::shared_ptr<const SsmModel>& model);
+
+/// Called under the collector lock as jobs complete, in completion order.
+using ProgressFn = std::function<void(std::size_t done, std::size_t total)>;
+
+class FleetRunner {
+ public:
+  /// `spec` must outlive the runner. Jobs execute on `pool`.
+  FleetRunner(const SweepSpec& spec, ThreadPool& pool);
+
+  /// Runs every job; returns results in job-index order.
+  [[nodiscard]] std::vector<SweepResult> run(
+      const ProgressFn& progress = {}) const;
+
+  /// Runs every job, streaming one JSON object per line into `os` in
+  /// job-index order as soon as the completed prefix allows. Returns the
+  /// number of lines written.
+  std::size_t runJsonl(std::ostream& os, const ProgressFn& progress = {}) const;
+
+  [[nodiscard]] const std::vector<SweepJob>& jobs() const noexcept {
+    return jobs_;
+  }
+
+ private:
+  [[nodiscard]] SweepResult runJob(const SweepJob& job) const;
+
+  const SweepSpec& spec_;
+  ThreadPool& pool_;
+  std::vector<SweepJob> jobs_;
+};
+
+/// One compact JSON object (single line, no trailing newline) per result.
+[[nodiscard]] std::string toJsonLine(const SweepSpec& spec,
+                                     const SweepResult& r);
+
+/// CSV export: header + one row per result, in the given order.
+void writeCsv(const SweepSpec& spec, const std::vector<SweepResult>& results,
+              std::ostream& os);
+
+}  // namespace ssm::fleet

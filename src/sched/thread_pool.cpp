@@ -1,0 +1,224 @@
+#include "sched/thread_pool.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace ssm {
+
+namespace {
+
+constexpr std::size_t kNoWorker = static_cast<std::size_t>(-1);
+
+/// Which pool (if any) the current thread belongs to, and its lane index.
+struct WorkerTls {
+  const void* pool = nullptr;
+  std::size_t index = kNoWorker;
+};
+thread_local WorkerTls t_worker;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int jobs) : jobs_(jobs) {
+  SSM_CHECK(jobs >= 1, "ThreadPool needs at least one job lane");
+  if (jobs_ == 1) return;  // inline mode: no threads, no queues
+  workers_.reserve(static_cast<std::size_t>(jobs_));
+  for (int i = 0; i < jobs_; ++i) workers_.push_back(std::make_unique<Worker>());
+  threads_.reserve(static_cast<std::size_t>(jobs_ - 1));
+  // Lane 0 is the caller (it helps inside waitAll/parallelFor); lanes
+  // 1..jobs-1 are dedicated workers.
+  for (int i = 1; i < jobs_; ++i)
+    threads_.emplace_back(
+        [this, i] { workerLoop(static_cast<std::size_t>(i)); });
+}
+
+ThreadPool::~ThreadPool() {
+  if (jobs_ == 1) return;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+int ThreadPool::defaultJobs() {
+  if (const char* env = std::getenv("SSMDVFS_JOBS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+void ThreadPool::recordException() {
+  std::lock_guard<std::mutex> lk(err_mu_);
+  if (!first_error_) first_error_ = std::current_exception();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (jobs_ == 1) {
+    try {
+      task();
+    } catch (...) {
+      recordException();
+    }
+    return;
+  }
+  // pending_ goes up BEFORE the task becomes stealable: a thief completing
+  // the task must never decrement past a not-yet-counted submission.
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++pending_;
+  }
+  const std::size_t self =
+      t_worker.pool == this ? t_worker.index : kNoWorker;
+  if (self != kNoWorker) {
+    // A task spawning subtasks keeps them local: the owner pops the back
+    // (depth-first, cache-warm), thieves steal the front.
+    std::lock_guard<std::mutex> lk(workers_[self]->mu);
+    workers_[self]->deque.push_back(std::move(task));
+  } else {
+    std::lock_guard<std::mutex> lk(mu_);
+    injector_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+bool ThreadPool::popTask(std::size_t self, std::function<void()>* out) {
+  if (self != kNoWorker) {
+    std::lock_guard<std::mutex> lk(workers_[self]->mu);
+    if (!workers_[self]->deque.empty()) {
+      *out = std::move(workers_[self]->deque.back());
+      workers_[self]->deque.pop_back();
+      return true;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!injector_.empty()) {
+      *out = std::move(injector_.front());
+      injector_.pop_front();
+      return true;
+    }
+  }
+  const std::size_t n = workers_.size();
+  const std::size_t start = self != kNoWorker ? self + 1 : 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t victim = (start + k) % n;
+    if (victim == self) continue;
+    std::lock_guard<std::mutex> lk(workers_[victim]->mu);
+    if (!workers_[victim]->deque.empty()) {
+      *out = std::move(workers_[victim]->deque.front());
+      workers_[victim]->deque.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ThreadPool::tryRunOne(std::size_t self) {
+  std::function<void()> task;
+  if (!popTask(self, &task)) return false;
+  try {
+    task();
+  } catch (...) {
+    recordException();
+  }
+  bool idle = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    --pending_;
+    idle = pending_ == 0;
+  }
+  if (idle) idle_cv_.notify_all();
+  return true;
+}
+
+void ThreadPool::workerLoop(std::size_t self) {
+  t_worker.pool = this;
+  t_worker.index = self;
+  for (;;) {
+    if (tryRunOne(self)) continue;
+    std::unique_lock<std::mutex> lk(mu_);
+    if (stop_) return;
+    // Queues looked empty just now; sleep until a submit arrives. The
+    // timeout re-scans sibling deques, which this cv cannot observe.
+    work_cv_.wait_for(lk, std::chrono::milliseconds(1));
+  }
+}
+
+void ThreadPool::waitAll() {
+  if (jobs_ > 1) {
+    const std::size_t self =
+        t_worker.pool == this ? t_worker.index : kNoWorker;
+    for (;;) {
+      if (tryRunOne(self)) continue;
+      std::unique_lock<std::mutex> lk(mu_);
+      if (pending_ == 0) break;
+      idle_cv_.wait_for(lk, std::chrono::milliseconds(1));
+      if (pending_ == 0) break;
+    }
+  }
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lk(err_mu_);
+    err = std::exchange(first_error_, nullptr);
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+void ThreadPool::parallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (jobs_ == 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  struct Batch {
+    std::mutex mu;
+    std::condition_variable done_cv;
+    std::size_t remaining;
+    std::exception_ptr error;
+  };
+  auto batch = std::make_shared<Batch>();
+  batch->remaining = n;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    submit([batch, &body, i] {
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(batch->mu);
+        if (!batch->error) batch->error = std::current_exception();
+      }
+      bool done = false;
+      {
+        std::lock_guard<std::mutex> lk(batch->mu);
+        done = --batch->remaining == 0;
+      }
+      if (done) batch->done_cv.notify_all();
+    });
+  }
+
+  // Help until this batch drains. tryRunOne may execute tasks from other
+  // batches too — they are pool work all the same.
+  const std::size_t self =
+      t_worker.pool == this ? t_worker.index : kNoWorker;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lk(batch->mu);
+      if (batch->remaining == 0) break;
+    }
+    if (tryRunOne(self)) continue;
+    std::unique_lock<std::mutex> lk(batch->mu);
+    if (batch->remaining == 0) break;
+    batch->done_cv.wait_for(lk, std::chrono::milliseconds(1));
+  }
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+}  // namespace ssm

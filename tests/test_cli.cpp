@@ -6,6 +6,7 @@
 // run, chained through temporary files exactly as a user would chain them.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <cstdio>
 #include <filesystem>
@@ -34,7 +35,10 @@ int runCli(const std::string& args, std::string* output) {
 class CliTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = "ssm_test_cli";
+    // Per-test directory: ctest -j runs CliTest cases concurrently, and a
+    // shared dir would let one test's SetUp delete another's files mid-run.
+    dir_ = std::string("ssm_test_cli_") +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
     std::filesystem::remove_all(dir_);
     std::filesystem::create_directories(dir_);
   }
@@ -214,6 +218,73 @@ TEST_F(CliTest, OracleEnumeratesLevels) {
   std::string out;
   ASSERT_EQ(runCli("oracle --workload spmv", &out), 0) << out;
   EXPECT_NE(out.find("best EDP"), std::string::npos);
+}
+
+/// Reads a whole file; empty string when the file is missing.
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(is), std::istreambuf_iterator<char>()};
+}
+
+TEST_F(CliTest, SweepJsonlIsByteIdenticalAcrossJobCounts) {
+  std::string out;
+  const std::string serial = dir_ + "/serial.jsonl";
+  const std::string parallel = dir_ + "/parallel.jsonl";
+  const std::string common =
+      "sweep --workloads spmv,bfs --mechanisms baseline,static-2,ondemand "
+      "--seeds 777,1234 --max-ms 1 --quiet --out ";
+  ASSERT_EQ(runCli(common + serial + " --jobs 1", &out), 0) << out;
+  ASSERT_EQ(runCli(common + parallel + " --jobs 8", &out), 0) << out;
+  const std::string a = slurp(serial);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, slurp(parallel));
+  // 2 workloads × 3 mechanisms × 2 seeds = 12 JSONL lines.
+  EXPECT_EQ(static_cast<int>(std::count(a.begin(), a.end(), '\n')), 12);
+  EXPECT_NE(a.find("\"edp_ratio\""), std::string::npos);
+}
+
+TEST_F(CliTest, SweepCsvExportAndBadInputsFail) {
+  std::string out;
+  const std::string jsonl = dir_ + "/s.jsonl";
+  const std::string csv = dir_ + "/s.csv";
+  ASSERT_EQ(runCli("sweep --workloads spmv --mechanisms baseline,pcstall "
+                   "--max-ms 1 --quiet --out " +
+                       jsonl + " --csv " + csv,
+                   &out),
+            0)
+      << out;
+  const std::string body = slurp(csv);
+  EXPECT_EQ(body.substr(0, body.find(',')), "workload");
+  EXPECT_NE(body.find("pcstall"), std::string::npos);
+  // Unknown mechanism and unknown workload must fail fast.
+  EXPECT_NE(runCli("sweep --workloads spmv --mechanisms warp-drive --out " +
+                       jsonl,
+                   &out),
+            0);
+  EXPECT_NE(runCli("sweep --workloads no-such --mechanisms baseline --out " +
+                       jsonl,
+                   &out),
+            0);
+  // --out is required.
+  EXPECT_NE(runCli("sweep --workloads spmv --mechanisms baseline", &out), 0);
+}
+
+TEST_F(CliTest, DatagenJobsMatchesSerialCorpus) {
+  std::string out;
+  const std::string serial = dir_ + "/serial.csv";
+  const std::string parallel = dir_ + "/parallel.csv";
+  ASSERT_EQ(runCli("datagen --out " + serial + " --workload spmv --seed 3",
+                   &out),
+            0)
+      << out;
+  ASSERT_EQ(runCli("datagen --out " + parallel +
+                       " --workload spmv --seed 3 --jobs 4",
+                   &out),
+            0)
+      << out;
+  const std::string a = slurp(serial);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, slurp(parallel));
 }
 
 }  // namespace

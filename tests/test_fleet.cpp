@@ -1,0 +1,197 @@
+// Determinism tests for the fleet-execution subsystem (src/sched/fleet) and
+// the parallel datagen path: results and serialized output must be
+// byte-identical for any --jobs value, and job expansion must follow the
+// documented workload-major order with coordinate-keyed seeds.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "datagen/generator.hpp"
+#include "sched/fleet.hpp"
+#include "sched/thread_pool.hpp"
+#include "workloads/kernel_profile.hpp"
+
+namespace ssm {
+namespace {
+
+/// A cheap sweep: two real workloads, three mechanisms, short horizon.
+fleet::SweepSpec smallSpec() {
+  fleet::SweepSpec spec;
+  spec.workloads = {workloadByName("spmv"), workloadByName("bfs")};
+  spec.mechanisms = {"baseline", "static-2", "ondemand"};
+  spec.presets = {0.10};
+  spec.seeds = {777, 1234};
+  spec.max_time_ns = kNsPerMs;  // 100 epochs per job
+  return spec;
+}
+
+TEST(FleetExpand, WorkloadMajorOrderAndCoordinateKeyedSeeds) {
+  const auto spec = smallSpec();
+  const auto jobs = fleet::expandJobs(spec);
+  ASSERT_EQ(jobs.size(), 2u * 3u * 1u * 2u);
+  // Expansion is workload-major, then mechanism, preset, seed.
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    EXPECT_EQ(jobs[j].index, j);
+    const std::size_t expect_w = j / 6;  // 3 mech × 1 preset × 2 seeds
+    EXPECT_EQ(jobs[j].workload, expect_w);
+  }
+  // sim_seed depends only on (workload, sweep seed): every mechanism and
+  // preset sees the identical simulation, so baselines line up.
+  for (const auto& a : jobs) {
+    for (const auto& b : jobs) {
+      if (a.workload == b.workload && a.seed == b.seed) {
+        EXPECT_EQ(a.sim_seed, b.sim_seed);
+      }
+    }
+  }
+  // ...and distinct coordinates get distinct streams.
+  EXPECT_NE(jobs[0].sim_seed, jobs[6].sim_seed);   // other workload
+  EXPECT_NE(jobs[0].sim_seed, jobs[1].sim_seed);   // other sweep seed
+}
+
+TEST(FleetExpand, EmptyAxisIsAContractViolation) {
+  auto spec = smallSpec();
+  spec.mechanisms.clear();
+  EXPECT_THROW(static_cast<void>(fleet::expandJobs(spec)), ContractError);
+}
+
+TEST(FleetFactory, MechanismVocabulary) {
+  const VfTable vf = VfTable::titanX();
+  EXPECT_EQ(fleet::makeGovernorFactory("baseline", vf, 0.1, nullptr), nullptr);
+  EXPECT_NE(fleet::makeGovernorFactory("static-2", vf, 0.1, nullptr), nullptr);
+  EXPECT_NE(fleet::makeGovernorFactory("pcstall", vf, 0.1, nullptr), nullptr);
+  EXPECT_NE(fleet::makeGovernorFactory("flemma", vf, 0.1, nullptr), nullptr);
+  EXPECT_NE(fleet::makeGovernorFactory("ondemand", vf, 0.1, nullptr), nullptr);
+  EXPECT_THROW(static_cast<void>(
+                   fleet::makeGovernorFactory("warp-drive", vf, 0.1, nullptr)),
+               DataError);
+  // The ML mechanisms need a model.
+  EXPECT_THROW(static_cast<void>(
+                   fleet::makeGovernorFactory("ssmdvfs", vf, 0.1, nullptr)),
+               DataError);
+}
+
+TEST(FleetRunner, JsonlByteIdenticalAcrossJobCounts) {
+  const auto spec = smallSpec();
+  std::string serial, parallel;
+  {
+    ThreadPool pool(1);
+    std::ostringstream os;
+    const std::size_t n = fleet::FleetRunner(spec, pool).runJsonl(os);
+    EXPECT_EQ(n, 12u);
+    serial = os.str();
+  }
+  {
+    ThreadPool pool(8);
+    std::ostringstream os;
+    const std::size_t n = fleet::FleetRunner(spec, pool).runJsonl(os);
+    EXPECT_EQ(n, 12u);
+    parallel = os.str();
+  }
+  EXPECT_EQ(serial, parallel);
+  // Sanity: the stream really is one JSON object per job line.
+  EXPECT_NE(serial.find("\"mechanism\":\"ondemand\""), std::string::npos);
+}
+
+TEST(FleetRunner, RunMatchesJsonlAndReportsProgress) {
+  const auto spec = smallSpec();
+  ThreadPool pool(4);
+  const fleet::FleetRunner runner(spec, pool);
+  std::size_t calls = 0, last_done = 0;
+  const auto results = runner.run([&](std::size_t done, std::size_t total) {
+    ++calls;
+    EXPECT_EQ(total, 12u);
+    EXPECT_GT(done, last_done);  // done is monotonic under the collector lock
+    last_done = done;
+  });
+  ASSERT_EQ(results.size(), 12u);
+  EXPECT_EQ(calls, 12u);
+  for (std::size_t j = 0; j < results.size(); ++j)
+    EXPECT_EQ(results[j].job.index, j);  // returned in job-index order
+  // run() and runJsonl() serialize identically.
+  std::ostringstream direct;
+  for (const auto& r : results) direct << fleet::toJsonLine(spec, r) << '\n';
+  std::ostringstream streamed;
+  static_cast<void>(runner.runJsonl(streamed));
+  EXPECT_EQ(direct.str(), streamed.str());
+}
+
+TEST(FleetRunner, UnknownMechanismFailsFastAtConstruction) {
+  auto spec = smallSpec();
+  spec.mechanisms = {"baseline", "warp-drive"};
+  ThreadPool pool(2);
+  EXPECT_THROW(fleet::FleetRunner(spec, pool), DataError);
+}
+
+TEST(FleetCsv, HeaderAndRowCount) {
+  const auto spec = smallSpec();
+  ThreadPool pool(4);
+  const auto results = fleet::FleetRunner(spec, pool).run();
+  std::ostringstream os;
+  fleet::writeCsv(spec, results, os);
+  const std::string csv = os.str();
+  EXPECT_EQ(csv.substr(0, csv.find('\n')),
+            "workload,mechanism,preset,seed,exec_time_us,energy_mj,edp_uj_s,"
+            "epochs,edp_ratio,latency_ratio");
+  std::size_t lines = 0;
+  for (char c : csv)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, 1u + results.size());
+}
+
+/// The §III.A corpus must not depend on how many lanes generated it.
+TEST(DatagenParallel, CorpusMatchesSerialExactly) {
+  GenConfig cfg;
+  cfg.runs_per_workload = 2;
+  cfg.max_program_ns = kNsPerMs;  // keep the protocol short
+  const DataGenerator gen(GpuConfig{}, VfTable::titanX(), cfg);
+  const std::vector<KernelProfile> workloads = {workloadByName("spmv"),
+                                                workloadByName("bfs")};
+
+  const Dataset serial = gen.generate(workloads, nullptr);
+  ThreadPool pool(8);
+  const Dataset parallel = gen.generate(workloads, &pool);
+
+  ASSERT_GT(serial.size(), 0u);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    const DataPoint& a = serial.points()[i];
+    const DataPoint& b = parallel.points()[i];
+    EXPECT_EQ(a.workload, b.workload) << i;
+    EXPECT_EQ(a.level, b.level) << i;
+    EXPECT_EQ(a.perf_loss, b.perf_loss) << i;    // bitwise, not approximate
+    EXPECT_EQ(a.insts_k, b.insts_k) << i;
+    EXPECT_EQ(a.counters, b.counters) << i;
+  }
+}
+
+/// Single-workload path: per-breakpoint replay parallelism is also exact.
+TEST(DatagenParallel, SingleWorkloadReplaysMatchSerial) {
+  GenConfig cfg;
+  cfg.max_program_ns = kNsPerMs;
+  const DataGenerator gen(GpuConfig{}, VfTable::titanX(), cfg);
+  const KernelProfile& kernel = workloadByName("hotspot");
+
+  const Dataset serial = gen.generateForWorkload(kernel, 42, 0, nullptr);
+  ThreadPool pool(8);
+  const Dataset parallel = gen.generateForWorkload(kernel, 42, 0, &pool);
+
+  ASSERT_GT(serial.size(), 0u);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    const DataPoint& a = serial.points()[i];
+    const DataPoint& b = parallel.points()[i];
+    EXPECT_EQ(a.level, b.level) << i;
+    EXPECT_EQ(a.perf_loss, b.perf_loss) << i;
+    EXPECT_EQ(a.insts_k, b.insts_k) << i;
+    EXPECT_EQ(a.counters, b.counters) << i;
+  }
+}
+
+}  // namespace
+}  // namespace ssm

@@ -18,16 +18,46 @@ bool hasRule(const std::vector<Finding>& fs, std::string_view rule) {
                      [&](const Finding& f) { return f.rule == rule; });
 }
 
-TEST(LintCatalog, AllSixRulesRegistered) {
+TEST(LintCatalog, AllSevenRulesRegistered) {
   const auto rules = ruleCatalog();
-  ASSERT_EQ(rules.size(), 6u);
+  ASSERT_EQ(rules.size(), 7u);
   for (const char* id :
        {"pragma-once", "using-namespace-header", "raw-assert",
-        "nondeterminism", "hot-path-io", "c-style-float-cast"}) {
+        "nondeterminism", "hot-path-io", "c-style-float-cast",
+        "raw-thread"}) {
     EXPECT_TRUE(isKnownRule(id)) << id;
   }
   EXPECT_TRUE(isKnownRule("*"));
   EXPECT_FALSE(isKnownRule("no-such-rule"));
+}
+
+// --- raw-thread ------------------------------------------------------------
+
+TEST(LintRawThread, FlagsStdThreadJthreadAsyncAndThreadHeader) {
+  EXPECT_TRUE(hasRule(
+      lintSource("src/core/x.cpp", "std::thread t([]{});\n"), "raw-thread"));
+  EXPECT_TRUE(hasRule(
+      lintSource("bench/b.cpp", "auto f = std::async(g);\n"), "raw-thread"));
+  EXPECT_TRUE(hasRule(
+      lintSource("tests/t.cpp", "std :: jthread t;\n"), "raw-thread"));
+  EXPECT_TRUE(hasRule(
+      lintSource("tools/t.cpp", "#include <thread>\n"), "raw-thread"));
+}
+
+TEST(LintRawThread, AllowsPoolInternalsViaAllowlistAndSimilarNames) {
+  const std::vector<AllowEntry> allow = {{"raw-thread", "src/sched/"}};
+  EXPECT_FALSE(hasRule(
+      lintSource("src/sched/thread_pool.cpp",
+                 "#include <thread>\nstd::thread t([]{});\n", allow),
+      "raw-thread"));
+  // Unqualified or differently-qualified identifiers are not the rule's
+  // target; neither is this_thread (full identifier differs).
+  EXPECT_FALSE(hasRule(
+      lintSource("src/core/x.cpp", "my::thread t; int async = 0;\n"),
+      "raw-thread"));
+  EXPECT_FALSE(hasRule(
+      lintSource("src/core/x.cpp", "std::this_thread_tag y;\n"),
+      "raw-thread"));
 }
 
 // --- pragma-once -----------------------------------------------------------

@@ -8,7 +8,7 @@ namespace ssm::lint {
 
 namespace {
 
-constexpr std::array<RuleInfo, 6> kRules = {{
+constexpr std::array<RuleInfo, 7> kRules = {{
     {"pragma-once", "every header starts its include guard with #pragma once"},
     {"using-namespace-header",
      "no `using namespace` in headers (leaks into every includer)"},
@@ -24,6 +24,9 @@ constexpr std::array<RuleInfo, 6> kRules = {{
     {"c-style-float-cast",
      "float/double narrowing must be spelled static_cast, not a C-style "
      "cast"},
+    {"raw-thread",
+     "no raw std::thread/std::jthread/std::async (or #include <thread>) "
+     "outside src/sched/ — all concurrency goes through ssm::ThreadPool"},
 }};
 
 bool isIdentChar(char c) noexcept {
@@ -288,24 +291,32 @@ class FileLinter {
   }
 
   void scanLines() {
-    if (!pc_.hot_path) return;
     std::string_view s = stripped_;
     std::size_t pos = 0;
     while (pos < s.size()) {
       std::size_t eol = s.find('\n', pos);
       if (eol == std::string_view::npos) eol = s.size();
       const std::string_view line = s.substr(pos, eol - pos);
-      for (std::string_view hdr :
-           {std::string_view("<iostream>"), std::string_view("<cstdio>"),
-            std::string_view("<stdio.h>"), std::string_view("<ostream>"),
-            std::string_view("<istream>")}) {
-        const std::size_t at = line.find(hdr);
-        if (at != std::string_view::npos &&
-            line.find('#') != std::string_view::npos)
-          report(pos + at, "hot-path-io",
-                 cat({"stream/stdio header ", hdr,
-                      " included in an epoch hot path; do I/O outside "
-                      "src/core/ and src/gpusim/"}));
+      const bool directive = line.find('#') != std::string_view::npos;
+      if (pc_.hot_path && directive) {
+        for (std::string_view hdr :
+             {std::string_view("<iostream>"), std::string_view("<cstdio>"),
+              std::string_view("<stdio.h>"), std::string_view("<ostream>"),
+              std::string_view("<istream>")}) {
+          const std::size_t at = line.find(hdr);
+          if (at != std::string_view::npos)
+            report(pos + at, "hot-path-io",
+                   cat({"stream/stdio header ", hdr,
+                        " included in an epoch hot path; do I/O outside "
+                        "src/core/ and src/gpusim/"}));
+        }
+      }
+      if (directive) {
+        const std::size_t at = line.find("<thread>");
+        if (at != std::string_view::npos)
+          report(pos + at, "raw-thread",
+                 "#include <thread> outside src/sched/; parallelise through "
+                 "ssm::ThreadPool (src/sched/thread_pool.hpp)");
       }
       pos = eol + 1;
     }
@@ -347,8 +358,27 @@ class FileLinter {
 
       if (word == "float" || word == "double") checkCStyleCast(s, i, j, word);
 
+      if ((word == "thread" || word == "jthread" || word == "async") &&
+          precededByStd(s, i))
+        report(i, "raw-thread",
+               cat({"raw 'std::", word,
+                    "' outside src/sched/; all concurrency goes through "
+                    "ssm::ThreadPool (src/sched/thread_pool.hpp)"}));
+
       i = j - 1;
     }
+  }
+
+  /// True when the identifier starting at `i` is qualified as `std::`.
+  [[nodiscard]] static bool precededByStd(std::string_view s, std::size_t i) {
+    std::size_t p = i;
+    while (p > 0 && isSpace(s[p - 1])) --p;
+    if (p < 2 || s[p - 1] != ':' || s[p - 2] != ':') return false;
+    p -= 2;
+    while (p > 0 && isSpace(s[p - 1])) --p;
+    std::size_t b = p;
+    while (b > 0 && isIdentChar(s[b - 1])) --b;
+    return s.substr(b, p - b) == "std";
   }
 
   void checkUsingNamespace(std::string_view s, std::size_t i,

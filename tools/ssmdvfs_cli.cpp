@@ -18,10 +18,17 @@
 //   ssmdvfs list-counters
 //   ssmdvfs corpus-stats --data corpus.csv
 //   ssmdvfs explain   --model model.txt --data corpus.csv --row N --preset P
+//   ssmdvfs sweep     --workloads A,B|train|eval|all --mechanisms M1,M2
+//                     --out sweep.jsonl [--csv sweep.csv] [--jobs N]
+//                     [--presets 0.10,0.20] [--seeds 777,778]
+//                     [--model model.txt] [--max-ms 5] [--quiet]
 //
 // `datagen`, `run` and `oracle` accept --profile-file FILE to resolve the
 // workload from a kernel-profile text file (see src/workloads/profile_io.hpp)
 // instead of the built-in registry.
+//
+// `datagen` and `sweep` accept --jobs N to run on the work-stealing pool
+// (src/sched); output is byte-identical for every N.
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -33,10 +40,7 @@
 #include <string>
 #include <vector>
 
-#include "baselines/flemma.hpp"
-#include "baselines/ondemand.hpp"
 #include "baselines/oracle.hpp"
-#include "baselines/pcstall.hpp"
 #include "compress/pruning.hpp"
 #include "core/ssm_governor.hpp"
 #include "common/json_writer.hpp"
@@ -47,6 +51,8 @@
 #include "gpusim/trace.hpp"
 #include "hw/asic_model.hpp"
 #include "nn/quantize.hpp"
+#include "sched/fleet.hpp"
+#include "sched/thread_pool.hpp"
 #include "workloads/kernel_profile.hpp"
 #include "workloads/profile_io.hpp"
 
@@ -130,12 +136,19 @@ int cmdDatagen(const Args& args) {
   gen.seed = static_cast<std::uint64_t>(args.getInt("seed", 0xda7a));
   const DataGenerator dg(GpuConfig{}, VfTable::titanX(), gen);
 
+  const int jobs = static_cast<int>(args.getInt("jobs", 1));
+  SSM_CHECK(jobs >= 1, "--jobs must be >= 1");
+  ThreadPool pool(jobs);
+  ThreadPool* pool_ptr = jobs > 1 ? &pool : nullptr;
+
   Dataset ds;
   if (args.has("workload")) {
-    ds = dg.generateForWorkload(resolveWorkload(args), gen.seed);
+    // Single workload: the per-V/f replays inside each breakpoint are the
+    // parallel jobs.
+    ds = dg.generateForWorkload(resolveWorkload(args), gen.seed, 0, pool_ptr);
   } else {
     std::puts("generating the full training corpus (this takes minutes)...");
-    ds = dg.generate(trainingWorkloads());
+    ds = dg.generate(trainingWorkloads(), pool_ptr);
   }
   ds.saveCsv(out);
   std::printf("wrote %zu data points to %s\n", ds.size(), out.c_str());
@@ -187,41 +200,11 @@ int cmdRun(const Args& args) {
               ChipPowerModel(gpu.num_clusters));
   const RunResult base = runBaseline(machine);
 
-  std::unique_ptr<GovernorFactory> factory;
-  std::shared_ptr<SsmModel> model;
-  if (mech == "ssmdvfs" || mech == "ssmdvfs-nocal") {
-    model = std::make_shared<SsmModel>(loadModel(args.require("model")));
-    SsmGovernorConfig cfg;
-    cfg.loss_preset = preset;
-    cfg.calibrate = mech == "ssmdvfs";
-    factory = std::make_unique<SsmGovernorFactory>(model, cfg);
-  } else if (mech == "pcstall") {
-    PcstallConfig cfg;
-    cfg.loss_preset = preset;
-    factory = std::make_unique<PcstallFactory>(vf, cfg);
-  } else if (mech == "flemma") {
-    FlemmaConfig cfg;
-    cfg.loss_preset = preset;
-    factory = std::make_unique<FlemmaFactory>(vf, cfg);
-  } else if (mech == "ondemand") {
-    factory = std::make_unique<OndemandFactory>(vf);
-  } else if (mech.rfind("static-", 0) == 0) {
-    const int level = std::atoi(mech.c_str() + 7);
-    class StaticFactory final : public GovernorFactory {
-     public:
-      explicit StaticFactory(VfLevel l) : l_(l) {}
-      std::unique_ptr<DvfsGovernor> create(int) const override {
-        return std::make_unique<StaticGovernor>(l_);
-      }
-
-     private:
-      VfLevel l_;
-    };
-    factory = std::make_unique<StaticFactory>(vf.clamp(level));
-  } else if (mech != "baseline") {
-    std::fprintf(stderr, "unknown mechanism: %s\n", mech.c_str());
-    return 2;
-  }
+  std::shared_ptr<const SsmModel> model;
+  if (mech == "ssmdvfs" || mech == "ssmdvfs-nocal")
+    model = std::make_shared<const SsmModel>(loadModel(args.require("model")));
+  const std::unique_ptr<GovernorFactory> factory =
+      fleet::makeGovernorFactory(mech, vf, preset, model);
 
   EpochTraceRecorder trace;
   RunResult run = base;
@@ -408,11 +391,95 @@ int cmdQuantize(const Args& args) {
   return 0;
 }
 
+/// Splits "a,b,c" into tokens; empty tokens are dropped.
+std::vector<std::string> splitList(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    std::size_t comma = s.find(',', start);
+    if (comma == std::string::npos) comma = s.size();
+    if (comma > start) out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// Resolves --workloads: a comma list of registry names, or one of the
+/// group aliases train / eval / all.
+std::vector<KernelProfile> resolveSweepWorkloads(const std::string& spec) {
+  if (spec == "train") return trainingWorkloads();
+  if (spec == "eval") return evaluationWorkloads();
+  if (spec == "all") return allWorkloads();
+  std::vector<KernelProfile> out;
+  for (const auto& name : splitList(spec)) out.push_back(workloadByName(name));
+  if (out.empty()) throw DataError("--workloads resolved to an empty list");
+  return out;
+}
+
+int cmdSweep(const Args& args) {
+  fleet::SweepSpec spec;
+  spec.workloads = resolveSweepWorkloads(args.require("workloads"));
+  spec.mechanisms = splitList(args.require("mechanisms"));
+  if (args.has("presets")) {
+    spec.presets.clear();
+    for (const auto& p : splitList(args.get("presets")))
+      spec.presets.push_back(std::atof(p.c_str()));
+  }
+  if (args.has("seeds")) {
+    spec.seeds.clear();
+    for (const auto& s : splitList(args.get("seeds")))
+      spec.seeds.push_back(
+          static_cast<std::uint64_t>(std::atoll(s.c_str())));
+  }
+  spec.max_time_ns = args.getInt("max-ms", 5) * kNsPerMs;
+  bool needs_model = false;
+  for (const auto& m : spec.mechanisms)
+    if (m.rfind("ssmdvfs", 0) == 0) needs_model = true;
+  if (needs_model)
+    spec.model =
+        std::make_shared<const SsmModel>(loadModel(args.require("model")));
+
+  const int jobs = static_cast<int>(args.getInt("jobs", 1));
+  SSM_CHECK(jobs >= 1, "--jobs must be >= 1");
+  ThreadPool pool(jobs);
+  const fleet::FleetRunner runner(spec, pool);
+
+  const bool quiet = args.has("quiet");
+  const fleet::ProgressFn progress = [&](std::size_t done,
+                                         std::size_t total) {
+    if (quiet) return;
+    std::fprintf(stderr, "\rsweep [%zu/%zu]", done, total);
+    if (done == total) std::fputc('\n', stderr);
+    std::fflush(stderr);
+  };
+
+  const std::string out = args.require("out");
+  std::size_t lines = 0;
+  if (args.has("csv")) {
+    // CSV wants the full result set; write both files from it (the JSONL
+    // bytes match the streaming path — same jobs, same order).
+    const auto results = runner.run(progress);
+    std::ofstream os(out);
+    for (const auto& r : results) os << fleet::toJsonLine(spec, r) << '\n';
+    std::ofstream cs(args.get("csv"));
+    fleet::writeCsv(spec, results, cs);
+    lines = results.size();
+    std::printf("wrote %zu results to %s and %s\n", lines, out.c_str(),
+                args.get("csv").c_str());
+  } else {
+    std::ofstream os(out);
+    lines = runner.runJsonl(os, progress);
+    std::printf("wrote %zu results to %s\n", lines, out.c_str());
+  }
+  return lines > 0 ? 0 : 1;
+}
+
 void usage() {
   std::puts(
       "usage: ssmdvfs <command> [--key value ...]\n"
       "commands: list-workloads | datagen | train | eval | run | oracle |\n"
-      "          hw-cost | quantize | list-counters | corpus-stats | explain\n"
+      "          hw-cost | quantize | list-counters | corpus-stats |\n"
+      "          explain | sweep\n"
       "see the header of tools/ssmdvfs_cli.cpp for per-command options");
 }
 
@@ -437,6 +504,7 @@ int main(int argc, char** argv) {
     if (cmd == "list-counters") return cmdListCounters();
     if (cmd == "explain") return cmdExplain(args);
     if (cmd == "corpus-stats") return cmdCorpusStats(args);
+    if (cmd == "sweep") return cmdSweep(args);
     usage();
     return 2;
   } catch (const std::exception& e) {
