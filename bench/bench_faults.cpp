@@ -1,0 +1,147 @@
+// Experiment E11 — resilience under injected faults (degraded-mode study).
+//
+// The paper evaluates SSMDVFS on clean telemetry; production silicon is not
+// that polite. This harness replays a matrix of fault scenarios — counter
+// noise, dropout bursts, delayed telemetry, flaky V/f actuation — against
+// SSMDVFS (plain and hardened), PCSTALL and F-LEMMA, and reports how far
+// each mechanism's latency overshoots the preset and how much EDP degrades
+// relative to its own clean run. The baseline run is always clean: faults
+// perturb the governor's world, not the reference.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/hardened_governor.hpp"
+#include "datagen/cache.hpp"
+#include "faults/fault_injector.hpp"
+#include "sched/fleet.hpp"
+
+using namespace ssm;
+using namespace ssm::bench;
+
+namespace {
+
+struct Scenario {
+  const char* name;
+  const char* spec;
+};
+
+// The matrix: one clean reference plus the fault classes the subsystem
+// models, at rates high enough to separate the mechanisms.
+constexpr Scenario kScenarios[] = {
+    {"clean", ""},
+    {"noise", "noise:p=0.5,sigma=0.3,bias=0.05"},
+    {"dropout-burst", "dropout:p=0.8,mode=stale;window:start=20,end=60"},
+    {"delayed", "delay:p=0.6,k=3;jitter:p=0.3,frac=0.15"},
+    {"flaky-vf", "fail:p=0.3;stuck:p=0.05,epochs=6"},
+};
+
+struct CellStats {
+  double mean_lat = 0.0;   ///< latency vs clean baseline
+  double max_lat = 0.0;
+  double mean_edp = 0.0;   ///< EDP vs clean baseline
+  int fallbacks = 0;
+  int recoveries = 0;
+};
+
+}  // namespace
+
+int main() {
+  std::cout << "=== E11: resilience under injected faults ===\n\n";
+  const FullSystem sys = buildSharedSystem();
+  const GpuConfig gpu;
+  const VfTable vf = VfTable::titanX();
+  constexpr double kPreset = 0.10;
+  constexpr std::uint64_t kSeed = 777;
+  constexpr TimeNs kHorizon = 2 * kNsPerMs;
+
+  // A small fixed evaluation subset keeps the matrix affordable.
+  std::vector<KernelProfile> kernels;
+  for (const auto& name : {"spmv", "bfs", "hotspot"})
+    kernels.push_back(workloadByName(name));
+
+  const std::vector<std::string> mechanisms = {"ssmdvfs", "ssmdvfs+harden",
+                                               "pcstall", "flemma"};
+
+  // stats[mechanism][scenario]
+  std::vector<std::vector<CellStats>> stats(
+      mechanisms.size(), std::vector<CellStats>(std::size(kScenarios)));
+
+  for (std::size_t mi = 0; mi < mechanisms.size(); ++mi) {
+    const bool harden = mechanisms[mi] == "ssmdvfs+harden";
+    const std::string base_mech = harden ? "ssmdvfs" : mechanisms[mi];
+    const auto factory =
+        fleet::makeGovernorFactory(base_mech, vf, kPreset, sys.uncompressed);
+
+    for (std::size_t si = 0; si < std::size(kScenarios); ++si) {
+      const faults::FaultSpec spec =
+          faults::FaultSpec::parse(kScenarios[si].spec);
+      CellStats& cell = stats[mi][si];
+      for (const auto& kernel : kernels) {
+        const std::uint64_t sim_seed = Rng(kSeed).fork(0).nextU64();
+        const Gpu machine(gpu, vf, kernel, sim_seed,
+                          ChipPowerModel(gpu.num_clusters));
+        const RunResult base = runBaseline(machine, kHorizon);
+
+        std::unique_ptr<faults::FaultInjector> injector;
+        if (spec.active())
+          injector = std::make_unique<faults::FaultInjector>(
+              spec, Rng(sim_seed).fork(0xFA17).fork(si).nextU64());
+
+        GovernorModeLog log;
+        RunResult run;
+        if (harden) {
+          const HardenedGovernorFactory hardened(*factory, vf,
+                                                 HardenedConfig{}, &log);
+          run = runWithGovernor(machine, hardened, base_mech, kHorizon,
+                                nullptr, injector.get());
+        } else {
+          run = runWithGovernor(machine, *factory, base_mech, kHorizon,
+                                nullptr, injector.get());
+        }
+        const double lat = static_cast<double>(run.exec_time_ns) /
+                           static_cast<double>(base.exec_time_ns);
+        cell.mean_lat += lat;
+        cell.max_lat = std::max(cell.max_lat, lat);
+        cell.mean_edp += base.edp > 0.0 ? run.edp / base.edp : 1.0;
+        cell.fallbacks += log.fallbacks();
+        cell.recoveries += log.recoveries();
+      }
+      cell.mean_lat /= static_cast<double>(kernels.size());
+      cell.mean_edp /= static_cast<double>(kernels.size());
+    }
+  }
+
+  Table t("Fault resilience at preset 10% (3 workloads, deltas vs own clean "
+          "run)");
+  t.header({"mechanism", "scenario", "mean lat", "overshoot", "mean EDP",
+            "EDP delta", "fallbacks", "recoveries"});
+  for (std::size_t mi = 0; mi < mechanisms.size(); ++mi) {
+    const CellStats& clean = stats[mi][0];
+    for (std::size_t si = 0; si < std::size(kScenarios); ++si) {
+      const CellStats& c = stats[mi][si];
+      // Overshoot: how far the worst workload's latency exceeds the preset
+      // budget (positive = the scenario broke the latency promise).
+      const double overshoot = c.max_lat - (1.0 + kPreset);
+      t.addRow({mechanisms[mi], kScenarios[si].name, Table::num(c.mean_lat, 3),
+                Table::num(overshoot, 3), Table::num(c.mean_edp, 3),
+                Table::num(c.mean_edp - clean.mean_edp, 3),
+                std::to_string(c.fallbacks), std::to_string(c.recoveries)});
+    }
+  }
+  t.print(std::cout);
+
+  const std::string csv = artifactDir() + "/fault_resilience_p10.csv";
+  std::ofstream os(csv);
+  t.printCsv(os);
+  std::cout << "\nwrote " << csv
+            << "\npaper shape: faulted telemetry costs every mechanism EDP; "
+               "the hardened governor bounds the latency overshoot by "
+               "falling back to the safe policy and recovering after the "
+               "burst.\n";
+  return 0;
+}

@@ -1,0 +1,122 @@
+#include "core/hardened_governor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace ssm {
+
+std::string_view governorModeName(GovernorMode mode) noexcept {
+  return mode == GovernorMode::kMl ? "ml" : "safe";
+}
+
+HardenedGovernor::HardenedGovernor(std::unique_ptr<DvfsGovernor> inner,
+                                   VfTable vf, HardenedConfig cfg,
+                                   int cluster_id, GovernorModeLog* log)
+    : inner_(std::move(inner)),
+      vf_(std::move(vf)),
+      cfg_(cfg),
+      cluster_id_(cluster_id),
+      log_(log) {}
+
+std::string_view HardenedGovernor::checkPlausibility(
+    const EpochObservation& obs) const {
+  // A live cluster always burns cycles; a zeroed block means the counter
+  // readout was lost this epoch.
+  if (obs.counters.get(CounterId::kCyclesElapsed) <= 0.0) return "zero-block";
+  const double ipc = obs.counters.get(CounterId::kIpc);
+  if (ipc < 0.0 || ipc > cfg_.max_ipc) return "ipc-garbage";
+  // The reported clock must match the level the cluster actually ran at;
+  // jitter, stale and delayed blocks all show up here.
+  const double expected_mhz = vf_.at(obs.level).freq_mhz;
+  if (std::abs(obs.counters.get(CounterId::kFreqMhz) - expected_mhz) >
+      cfg_.freq_tol_mhz)
+    return "freq-mismatch";
+  if (obs.power_w < 0.0) return "negative-power";
+  return {};
+}
+
+void HardenedGovernor::switchMode(GovernorMode to, std::string_view reason) {
+  mode_ = to;
+  strikes_ = 0;
+  blowouts_ = 0;
+  clean_streak_ = 0;
+  if (to == GovernorMode::kSafe) safe_since_ = epoch_;
+  if (log_ != nullptr)
+    log_->record({epoch_, cluster_id_, to, std::string(reason)});
+}
+
+VfLevel HardenedGovernor::safeDecision(const EpochObservation& obs,
+                                       bool plausible) const {
+  // Ondemand-style: chase utilisation with single-level steps. Without a
+  // trustworthy observation the only safe point is the default (fastest)
+  // level — never risk starving the program on garbage data.
+  if (!plausible) return vf_.defaultLevel();
+  const double util = obs.counters.get(CounterId::kIssueUtil);
+  if (util > cfg_.util_hi) return vf_.clamp(obs.level + 1);
+  if (util < cfg_.util_lo) return vf_.clamp(obs.level - 1);
+  return obs.level;
+}
+
+VfLevel HardenedGovernor::decide(const EpochObservation& obs) {
+  ++epoch_;
+  const std::string_view fault = checkPlausibility(obs);
+  const bool plausible = fault.empty();
+
+  // IPC watchdog: repeated large deviations from the smoothed reference
+  // mean the telemetry (or the model's world) has gone off the rails.
+  bool blowout = false;
+  const double ipc = obs.counters.get(CounterId::kIpc);
+  if (plausible) {
+    if (have_ewma_) {
+      const double ref = std::max(ipc_ewma_, 1e-9);
+      blowout = std::abs(ipc - ipc_ewma_) / ref > cfg_.blowout_ratio;
+      ipc_ewma_ += cfg_.ipm_alpha * (ipc - ipc_ewma_);
+    } else {
+      ipc_ewma_ = ipc;
+      have_ewma_ = true;
+    }
+  }
+  const bool warmed_up = epoch_ > cfg_.warmup_epochs;
+
+  if (mode_ == GovernorMode::kMl) {
+    strikes_ = plausible ? 0 : strikes_ + 1;
+    blowouts_ = blowout ? blowouts_ + 1 : 0;
+    if (warmed_up && strikes_ >= cfg_.strike_trips) {
+      switchMode(GovernorMode::kSafe, "telemetry");
+    } else if (warmed_up && blowouts_ >= cfg_.blowout_trips) {
+      switchMode(GovernorMode::kSafe, "blowout");
+    } else {
+      // Implausible epochs are withheld from the ML governor so faulted
+      // counters cannot poison its self-calibration state; hold the level.
+      return plausible ? inner_->decide(obs) : obs.level;
+    }
+    return safeDecision(obs, plausible);
+  }
+
+  // Safe mode: count clean epochs, hand back once the input has settled.
+  clean_streak_ = (plausible && !blowout) ? clean_streak_ + 1 : 0;
+  if (clean_streak_ >= cfg_.recover_after_clean &&
+      epoch_ - safe_since_ >= cfg_.min_hold_epochs) {
+    // The ML governor's episodic state was calibrated against faulted
+    // inputs; restart it clean rather than resume mid-drift.
+    inner_->reset();
+    switchMode(GovernorMode::kMl, "recovered");
+    return inner_->decide(obs);
+  }
+  return safeDecision(obs, plausible);
+}
+
+void HardenedGovernor::reset() {
+  inner_->reset();
+  mode_ = GovernorMode::kMl;
+  epoch_ = 0;
+  ipc_ewma_ = 0.0;
+  have_ewma_ = false;
+  strikes_ = 0;
+  blowouts_ = 0;
+  clean_streak_ = 0;
+  safe_since_ = 0;
+}
+
+}  // namespace ssm

@@ -1,0 +1,162 @@
+#include "faults/fault_injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ssm::faults {
+
+namespace {
+
+// Each fault class draws from its own stream so enabling one class never
+// perturbs another's draws (the header's independence guarantee).
+constexpr std::uint64_t kStreamDropout = 0;
+constexpr std::uint64_t kStreamDelay = 1;
+constexpr std::uint64_t kStreamNoise = 2;
+constexpr std::uint64_t kStreamJitter = 3;
+constexpr std::uint64_t kStreamStuck = 4;
+constexpr std::uint64_t kStreamFail = 5;
+
+/// The telemetry payload a fault may replace: the counters plus the derived
+/// per-cluster scalars. Identity fields (level, timing, cluster_id, done)
+/// always reflect reality.
+void copyPayload(EpochObservation& dst, const EpochObservation& src) {
+  dst.counters = src.counters;
+  dst.power_w = src.power_w;
+  dst.instructions = src.instructions;
+}
+
+void zeroPayload(EpochObservation& obs) {
+  obs.counters.clear();
+  obs.power_w = 0.0;
+  obs.instructions = 0;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultSpec spec, std::uint64_t seed)
+    : spec_(spec), root_(seed) {
+  if (spec_.delay.p > 0.0) history_depth_ = static_cast<std::size_t>(spec_.delay.k);
+  if (spec_.dropout.p > 0.0 && spec_.dropout.stale)
+    history_depth_ = std::max<std::size_t>(history_depth_, 1);
+}
+
+Rng FaultInjector::cellRng(std::uint64_t stream, std::int64_t epoch,
+                           int cluster) const noexcept {
+  return root_.fork(stream)
+      .fork(static_cast<std::uint64_t>(epoch))
+      .fork(static_cast<std::uint64_t>(cluster));
+}
+
+void FaultInjector::onTelemetry(GpuEpochReport& report) {
+  ++epoch_;
+  const std::size_t n = report.clusters.size();
+  const std::size_t cap = history_depth_ + 1;
+  if (history_depth_ > 0 && history_.size() < n)
+    history_.resize(n, std::vector<EpochObservation>(cap));
+
+  // Record the pristine view first: stale/delayed telemetry must replay what
+  // the hardware really did k epochs ago, not an already-faulted block.
+  if (history_depth_ > 0) {
+    const std::size_t slot = static_cast<std::size_t>(epoch_) % cap;
+    for (std::size_t c = 0; c < n; ++c)
+      history_[c][slot] = report.clusters[c];
+  }
+
+  if (!spec_.window.contains(epoch_)) return;
+
+  for (std::size_t c = 0; c < n; ++c) {
+    EpochObservation& obs = report.clusters[c];
+    if (obs.cluster_done) continue;
+    corruptCluster(obs, static_cast<int>(c));
+  }
+}
+
+void FaultInjector::corruptCluster(EpochObservation& obs, int cluster) {
+  // Replacement faults first (dropout, then delay), perturbations after
+  // (noise, then jitter); all triggers are drawn from independent streams.
+  if (spec_.dropout.p > 0.0 &&
+      cellRng(kStreamDropout, epoch_, cluster).nextBernoulli(spec_.dropout.p)) {
+    ++counts_.dropout;
+    if (spec_.dropout.stale && epoch_ >= 1) {
+      const std::size_t cap = history_depth_ + 1;
+      copyPayload(obs, history_[static_cast<std::size_t>(cluster)]
+                           [static_cast<std::size_t>(epoch_ - 1) % cap]);
+    } else {
+      zeroPayload(obs);
+    }
+  }
+
+  if (spec_.delay.p > 0.0 && epoch_ >= spec_.delay.k &&
+      cellRng(kStreamDelay, epoch_, cluster).nextBernoulli(spec_.delay.p)) {
+    ++counts_.delay;
+    const std::size_t cap = history_depth_ + 1;
+    copyPayload(obs, history_[static_cast<std::size_t>(cluster)]
+                         [static_cast<std::size_t>(epoch_ - spec_.delay.k) %
+                          cap]);
+  }
+
+  if (spec_.noise.p > 0.0) {
+    Rng rng = cellRng(kStreamNoise, epoch_, cluster);
+    if (rng.nextBernoulli(spec_.noise.p)) {
+      ++counts_.noise;
+      for (int i = 0; i < kNumCounters; ++i) {
+        const auto id = static_cast<CounterId>(i);
+        const double factor =
+            1.0 + spec_.noise.bias + spec_.noise.sigma * rng.nextGaussian();
+        obs.counters.set(id, std::max(0.0, obs.counters.get(id) * factor));
+      }
+      const double pf =
+          1.0 + spec_.noise.bias + spec_.noise.sigma * rng.nextGaussian();
+      obs.power_w = std::max(0.0, obs.power_w * pf);
+      const double inf =
+          1.0 + spec_.noise.bias + spec_.noise.sigma * rng.nextGaussian();
+      obs.instructions = std::max<std::int64_t>(
+          0, static_cast<std::int64_t>(std::llround(
+                 static_cast<double>(obs.instructions) * inf)));
+    }
+  }
+
+  if (spec_.jitter.p > 0.0) {
+    Rng rng = cellRng(kStreamJitter, epoch_, cluster);
+    if (rng.nextBernoulli(spec_.jitter.p)) {
+      ++counts_.jitter;
+      const double delta = spec_.jitter.frac * (2.0 * rng.nextDouble() - 1.0);
+      for (const CounterId id : {CounterId::kFreqMhz, CounterId::kCyclesElapsed,
+                                 CounterId::kActiveCycles}) {
+        obs.counters.set(id,
+                         std::max(0.0, obs.counters.get(id) * (1.0 + delta)));
+      }
+    }
+  }
+}
+
+VfLevel FaultInjector::onActuate(int cluster_id, VfLevel requested,
+                                 VfLevel current) {
+  const std::int64_t epoch = std::max<std::int64_t>(epoch_, 0);
+  if (stuck_until_.size() <= static_cast<std::size_t>(cluster_id))
+    stuck_until_.resize(static_cast<std::size_t>(cluster_id) + 1, 0);
+  std::int64_t& until = stuck_until_[static_cast<std::size_t>(cluster_id)];
+
+  // A freeze that started inside the window keeps holding past its end —
+  // the window gates triggers, not physical consequences.
+  if (epoch < until) {
+    ++counts_.stuck;
+    return current;
+  }
+  if (requested == current || !spec_.window.contains(epoch)) return requested;
+
+  if (spec_.stuck.p > 0.0 &&
+      cellRng(kStreamStuck, epoch, cluster_id).nextBernoulli(spec_.stuck.p)) {
+    until = epoch + spec_.stuck.epochs;
+    ++counts_.stuck;
+    return current;
+  }
+  if (spec_.fail.p > 0.0 &&
+      cellRng(kStreamFail, epoch, cluster_id).nextBernoulli(spec_.fail.p)) {
+    ++counts_.failed;
+    return current;
+  }
+  return requested;
+}
+
+}  // namespace ssm::faults

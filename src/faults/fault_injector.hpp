@@ -1,0 +1,75 @@
+// Seeded realisation of a FaultSpec over one simulation run.
+//
+// Determinism contract (the fleet contract, see docs/fleet.md): every draw
+// comes from an Rng forked off (seed, stream, epoch, cluster) coordinates —
+// never from call order, thread identity, or how many draws another cell
+// made. The same FaultSpec + seed therefore replays byte-identically at any
+// --jobs value, and adding a fault class to the spec never perturbs the
+// draws of the others.
+//
+// One injector serves ONE simulation run (single-writer, like
+// EpochTraceRecorder); parallel sweeps construct one per job.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "faults/fault_spec.hpp"
+#include "gpusim/fault_hook.hpp"
+#include "gpusim/gpu.hpp"
+
+namespace ssm::faults {
+
+/// How many cluster-epoch events each fault class actually injected.
+struct FaultCounts {
+  std::int64_t noise = 0;
+  std::int64_t dropout = 0;
+  std::int64_t delay = 0;
+  std::int64_t failed = 0;
+  std::int64_t stuck = 0;
+  std::int64_t jitter = 0;
+
+  [[nodiscard]] std::int64_t total() const noexcept {
+    return noise + dropout + delay + failed + stuck + jitter;
+  }
+  friend bool operator==(const FaultCounts&, const FaultCounts&) = default;
+};
+
+class FaultInjector final : public EpochFaultHook {
+ public:
+  /// `seed` should itself be coordinate-derived (e.g. forked from the
+  /// sweep cell's sim_seed) so fleet replays stay deterministic.
+  FaultInjector(FaultSpec spec, std::uint64_t seed);
+
+  void onTelemetry(GpuEpochReport& report) override;
+  VfLevel onActuate(int cluster_id, VfLevel requested,
+                    VfLevel current) override;
+
+  [[nodiscard]] const FaultCounts& counts() const noexcept { return counts_; }
+  [[nodiscard]] const FaultSpec& spec() const noexcept { return spec_; }
+
+  /// Epochs observed so far (== the epoch index the NEXT onTelemetry gets).
+  [[nodiscard]] std::int64_t epochsSeen() const noexcept { return epoch_ + 1; }
+
+ private:
+  /// Independent stream per (purpose, epoch, cluster).
+  [[nodiscard]] Rng cellRng(std::uint64_t stream, std::int64_t epoch,
+                            int cluster) const noexcept;
+
+  void corruptCluster(EpochObservation& obs, int cluster);
+
+  FaultSpec spec_;
+  Rng root_;
+  FaultCounts counts_;
+  std::int64_t epoch_ = -1;  ///< index of the epoch last seen by onTelemetry
+
+  /// Pristine telemetry history per cluster (ring, newest last) feeding the
+  /// stale-dropout and delayed-telemetry classes.
+  std::vector<std::vector<EpochObservation>> history_;
+  std::size_t history_depth_ = 0;
+  /// First epoch index at which each cluster's stuck level unfreezes.
+  std::vector<std::int64_t> stuck_until_;
+};
+
+}  // namespace ssm::faults

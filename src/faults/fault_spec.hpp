@@ -1,0 +1,120 @@
+// Scenario description for deterministic fault injection.
+//
+// A FaultSpec names WHICH failure classes are active and how intense they
+// are; it carries no randomness itself. The textual form is the CLI and
+// sweep vocabulary (`--faults`), designed to round-trip exactly:
+//
+//   noise:p=0.3,sigma=0.25,bias=0.05;dropout:p=0.1,mode=zero;delay:p=0.2,k=3
+//
+// Clauses are ';'-separated, keys ','-separated. Clauses (all optional):
+//   noise   p, sigma, bias   multiplicative Gaussian noise + relative bias
+//                            on every counter the governor observes
+//   dropout p, mode          counter block lost for an epoch; mode=zero
+//                            delivers a zeroed block, mode=stale repeats
+//                            the previous epoch's block
+//   delay   p, k             telemetry arrives k epochs late (stale view)
+//   fail    p                a commanded V/f transition silently fails to
+//                            land for one epoch
+//   stuck   p, epochs        a commanded transition freezes the clock at
+//                            the current level for `epochs` epochs
+//   jitter  p, frac          transient clock jitter: the reported clock
+//                            counters (freq, cycles) read up to ±frac off
+//   window  start, end       restricts all clauses to epochs [start, end)
+//                            — transient bursts instead of run-long faults
+//
+// Probabilities are per cluster-epoch (per transition for fail/stuck).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ssm::faults {
+
+struct CounterNoiseFault {
+  double p = 0.0;      ///< per cluster-epoch trigger probability
+  double sigma = 0.0;  ///< relative Gaussian sigma per counter
+  double bias = 0.0;   ///< relative additive bias when triggered
+
+  friend bool operator==(const CounterNoiseFault&,
+                         const CounterNoiseFault&) = default;
+};
+
+struct CounterDropoutFault {
+  double p = 0.0;
+  bool stale = false;  ///< mode=stale repeats the last block; else zeroed
+
+  friend bool operator==(const CounterDropoutFault&,
+                         const CounterDropoutFault&) = default;
+};
+
+struct TelemetryDelayFault {
+  double p = 0.0;
+  int k = 1;  ///< how many epochs late the observation arrives
+
+  friend bool operator==(const TelemetryDelayFault&,
+                         const TelemetryDelayFault&) = default;
+};
+
+struct FailedTransitionFault {
+  double p = 0.0;  ///< per commanded transition
+
+  friend bool operator==(const FailedTransitionFault&,
+                         const FailedTransitionFault&) = default;
+};
+
+struct StuckLevelFault {
+  double p = 0.0;  ///< per commanded transition
+  int epochs = 4;  ///< how long the level stays frozen
+
+  friend bool operator==(const StuckLevelFault&,
+                         const StuckLevelFault&) = default;
+};
+
+struct ClockJitterFault {
+  double p = 0.0;
+  double frac = 0.0;  ///< relative perturbation of the clock counters
+
+  friend bool operator==(const ClockJitterFault&,
+                         const ClockJitterFault&) = default;
+};
+
+/// Epoch range [start, end) the faults are confined to. The default covers
+/// the whole run.
+struct FaultWindow {
+  std::int64_t start = 0;
+  std::int64_t end = kNoEnd;
+  static constexpr std::int64_t kNoEnd = -1;  ///< open-ended
+
+  [[nodiscard]] bool contains(std::int64_t epoch) const noexcept {
+    return epoch >= start && (end == kNoEnd || epoch < end);
+  }
+  friend bool operator==(const FaultWindow&, const FaultWindow&) = default;
+};
+
+struct FaultSpec {
+  CounterNoiseFault noise;
+  CounterDropoutFault dropout;
+  TelemetryDelayFault delay;
+  FailedTransitionFault fail;
+  StuckLevelFault stuck;
+  ClockJitterFault jitter;
+  FaultWindow window;
+
+  /// True when any clause can fire. A spec that is all-defaults (or only a
+  /// window) injects nothing and must never cost RNG draws.
+  [[nodiscard]] bool active() const noexcept;
+
+  /// Canonical textual form; parse(print()) == *this. Inactive specs print
+  /// as the empty string.
+  [[nodiscard]] std::string print() const;
+
+  /// Parses the `--faults` grammar above. The empty string and the literal
+  /// "none" yield an inactive spec. Throws ssm::DataError on unknown
+  /// clauses or keys, out-of-range values, and malformed syntax.
+  [[nodiscard]] static FaultSpec parse(std::string_view text);
+
+  friend bool operator==(const FaultSpec&, const FaultSpec&) = default;
+};
+
+}  // namespace ssm::faults

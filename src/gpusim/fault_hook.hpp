@@ -1,0 +1,43 @@
+// Fault-injection seam for the full-program runners.
+//
+// The simulation loop is fault-agnostic: it only knows an optional hook
+// that may (a) corrupt the telemetry the governors are about to observe and
+// (b) decide whether a commanded V/f transition actually lands. The
+// concrete implementation (seeded, scenario-driven) lives in src/faults;
+// keeping the interface here avoids a gpusim -> faults dependency cycle.
+//
+// Zero-cost contract: when no hook is installed the runner performs ONE
+// pointer comparison per call site and nothing else — no virtual calls, no
+// RNG draws, no allocation — so a fault-free run is byte-identical to a
+// build that predates this seam. ssm_lint rule `fault-hook-guard` enforces
+// the null-check-at-call-site idiom in the hot-path directories.
+#pragma once
+
+#include "power/vf_table.hpp"
+
+namespace ssm {
+
+struct GpuEpochReport;
+
+/// Per-run fault hook. Single-run, single-writer: one simulation loop feeds
+/// a given hook; parallel sweeps give every job its own instance (exactly
+/// like EpochTraceRecorder). Implementations must be deterministic given
+/// their construction arguments.
+class EpochFaultHook {
+ public:
+  virtual ~EpochFaultHook() = default;
+
+  /// Called once per epoch, before the governors observe the report. May
+  /// mutate the per-cluster observations in place (the governors and the
+  /// trace recorder then see the faulted view; the Gpu's internal state and
+  /// energy accounting are untouched).
+  virtual void onTelemetry(GpuEpochReport& report) = 0;
+
+  /// Called once per cluster per epoch with the level the governor
+  /// requested for the next epoch and the level currently applied. Returns
+  /// the level that actually lands (== `requested` when actuation works).
+  virtual VfLevel onActuate(int cluster_id, VfLevel requested,
+                            VfLevel current) = 0;
+};
+
+}  // namespace ssm

@@ -3,13 +3,14 @@
 #include <memory>
 
 #include "common/check.hpp"
+#include "gpusim/fault_hook.hpp"
 #include "gpusim/trace.hpp"
 
 namespace ssm {
 
 RunResult runWithGovernor(Gpu gpu, const GovernorFactory& factory,
                           std::string mechanism_name, TimeNs max_time_ns,
-                          EpochTraceRecorder* trace) {
+                          EpochTraceRecorder* trace, EpochFaultHook* faults) {
   const int n = gpu.numClusters();
   std::vector<std::unique_ptr<DvfsGovernor>> governors;
   governors.reserve(static_cast<std::size_t>(n));
@@ -24,15 +25,21 @@ RunResult runWithGovernor(Gpu gpu, const GovernorFactory& factory,
   double power_time_sum = 0.0;
 
   while (!gpu.allDone() && gpu.nowNs() < max_time_ns) {
-    const GpuEpochReport report = gpu.runEpoch(levels);
+    GpuEpochReport report = gpu.runEpoch(levels);
+    // Faulted telemetry is what both the governors and the trace observe;
+    // the Gpu's internal state and energy accounting stay truthful.
+    if (faults != nullptr) faults->onTelemetry(report);
     if (trace != nullptr) trace->record(report);
     ++result.epochs;
     power_time_sum += report.chip_power_w;
     for (int i = 0; i < n; ++i) {
       const auto& obs = report.clusters[static_cast<std::size_t>(i)];
       level_epochs[static_cast<std::size_t>(obs.level)] += 1.0;
-      levels[static_cast<std::size_t>(i)] =
+      const VfLevel requested =
           gpu.vfTable().clamp(governors[static_cast<std::size_t>(i)]->decide(obs));
+      levels[static_cast<std::size_t>(i)] =
+          faults != nullptr ? faults->onActuate(i, requested, obs.level)
+                            : requested;
     }
     if (report.all_done) break;
   }

@@ -27,14 +27,19 @@ struct RunResult {
 };
 
 class EpochTraceRecorder;
+class EpochFaultHook;
 
 /// Runs `gpu` to completion (or `max_time_ns`) with one governor per
 /// cluster created from `factory`. When `trace` is non-null every epoch
-/// report is streamed into it.
+/// report is streamed into it. When `faults` is non-null it corrupts the
+/// telemetry the governors (and the trace) observe and arbitrates every
+/// commanded V/f transition; when null the run is byte-identical to a build
+/// without the seam (one pointer comparison per call site, nothing else).
 [[nodiscard]] RunResult runWithGovernor(Gpu gpu, const GovernorFactory& factory,
                                         std::string mechanism_name,
                                         TimeNs max_time_ns = 5 * kNsPerMs,
-                                        EpochTraceRecorder* trace = nullptr);
+                                        EpochTraceRecorder* trace = nullptr,
+                                        EpochFaultHook* faults = nullptr);
 
 /// Convenience: runs the given workload at the fixed default level — the
 /// paper's baseline configuration.

@@ -13,9 +13,27 @@
 #include "common/check.hpp"
 #include "common/json_writer.hpp"
 #include "common/rng.hpp"
+#include "core/hardened_governor.hpp"
 #include "core/ssm_governor.hpp"
 
 namespace ssm::fleet {
+
+namespace {
+
+/// Salt separating fault-injection streams from every other consumer of the
+/// job's sim_seed.
+constexpr std::uint64_t kFaultSeedSalt = 0xFA17;
+
+/// True when the sweep's fault axis carries any active scenario — the
+/// trigger for the extra JSONL/CSV fields (kept out of clean sweeps so
+/// pre-fault output stays byte-identical).
+bool faultAxisActive(const SweepSpec& spec) {
+  for (const auto& f : spec.faults)
+    if (f.active()) return true;
+  return false;
+}
+
+}  // namespace
 
 namespace {
 
@@ -67,24 +85,29 @@ std::vector<SweepJob> expandJobs(const SweepSpec& spec) {
   SSM_CHECK(!spec.mechanisms.empty(), "sweep needs at least one mechanism");
   SSM_CHECK(!spec.presets.empty(), "sweep needs at least one preset");
   SSM_CHECK(!spec.seeds.empty(), "sweep needs at least one seed");
+  SSM_CHECK(!spec.faults.empty(), "sweep needs at least one fault cell");
 
   std::vector<SweepJob> jobs;
   jobs.reserve(spec.workloads.size() * spec.mechanisms.size() *
-               spec.presets.size() * spec.seeds.size());
+               spec.presets.size() * spec.seeds.size() * spec.faults.size());
   for (std::size_t w = 0; w < spec.workloads.size(); ++w) {
     for (std::size_t m = 0; m < spec.mechanisms.size(); ++m) {
       for (std::size_t p = 0; p < spec.presets.size(); ++p) {
         for (std::size_t s = 0; s < spec.seeds.size(); ++s) {
-          SweepJob job;
-          job.index = jobs.size();
-          job.workload = w;
-          job.mechanism = m;
-          job.preset = p;
-          job.seed = s;
-          // Independent stream per (seed, workload); mechanism and preset
-          // deliberately do NOT enter, so their baselines coincide.
-          job.sim_seed = Rng(spec.seeds[s]).fork(w).nextU64();
-          jobs.push_back(job);
+          for (std::size_t f = 0; f < spec.faults.size(); ++f) {
+            SweepJob job;
+            job.index = jobs.size();
+            job.workload = w;
+            job.mechanism = m;
+            job.preset = p;
+            job.seed = s;
+            job.fault = f;
+            // Independent stream per (seed, workload); mechanism, preset
+            // and fault deliberately do NOT enter, so a faulted cell runs
+            // the very same program as its clean/baseline siblings.
+            job.sim_seed = Rng(spec.seeds[s]).fork(w).nextU64();
+            jobs.push_back(job);
+          }
         }
       }
     }
@@ -113,13 +136,36 @@ SweepResult FleetRunner::runJob(const SweepJob& job) const {
   out.baseline = runBaseline(machine, spec_.max_time_ns);
   out.baseline.workload = kernel.name;
 
+  // Only the governed run sees faults: the baseline stays the clean
+  // reference that overshoot/EDP deltas are measured against. The injector
+  // seed is forked off the job's coordinates (never thread identity), so
+  // any --jobs value replays the same fault pattern.
+  const faults::FaultSpec& fault_spec = spec_.faults[job.fault];
+  std::unique_ptr<faults::FaultInjector> injector;
+  if (fault_spec.active())
+    injector = std::make_unique<faults::FaultInjector>(
+        fault_spec,
+        Rng(job.sim_seed).fork(kFaultSeedSalt).fork(job.fault).nextU64());
+
   const auto factory =
       makeGovernorFactory(mech, spec_.vf, preset, spec_.model);
-  out.governed = factory ? runWithGovernor(machine, *factory, mech,
-                                           spec_.max_time_ns)
-                         : out.baseline;
+  GovernorModeLog mode_log;
+  if (factory != nullptr && spec_.harden) {
+    const HardenedGovernorFactory hardened(*factory, spec_.vf,
+                                           HardenedConfig{}, &mode_log);
+    out.governed = runWithGovernor(machine, hardened, mech, spec_.max_time_ns,
+                                   nullptr, injector.get());
+  } else {
+    out.governed = factory ? runWithGovernor(machine, *factory, mech,
+                                             spec_.max_time_ns, nullptr,
+                                             injector.get())
+                           : out.baseline;
+  }
   out.governed.workload = kernel.name;
   out.governed.mechanism = mech;
+  if (injector != nullptr) out.fault_counts = injector->counts();
+  out.fallbacks = mode_log.fallbacks();
+  out.recoveries = mode_log.recoveries();
   return out;
 }
 
@@ -185,8 +231,25 @@ std::string toJsonLine(const SweepSpec& spec, const SweepResult& r) {
       .value("workload", spec.workloads[r.job.workload].name)
       .value("mechanism", spec.mechanisms[r.job.mechanism])
       .value("preset", spec.presets[r.job.preset])
-      .value("seed", static_cast<std::int64_t>(spec.seeds[r.job.seed]))
-      .value("edp_ratio", r.baseline.edp > 0.0
+      .value("seed", static_cast<std::int64_t>(spec.seeds[r.job.seed]));
+  // Fault/hardening fields appear only when the sweep opts in, keeping
+  // clean-sweep JSONL byte-identical to the pre-fault schema.
+  if (faultAxisActive(spec)) {
+    const faults::FaultSpec& fs = spec.faults[r.job.fault];
+    w.value("faults", fs.print());
+    w.beginObject("fault_counts")
+        .value("noise", r.fault_counts.noise)
+        .value("dropout", r.fault_counts.dropout)
+        .value("delay", r.fault_counts.delay)
+        .value("failed", r.fault_counts.failed)
+        .value("stuck", r.fault_counts.stuck)
+        .value("jitter", r.fault_counts.jitter)
+        .value("total", r.fault_counts.total())
+        .endObject();
+  }
+  if (spec.harden)
+    w.value("fallbacks", r.fallbacks).value("recoveries", r.recoveries);
+  w.value("edp_ratio", r.baseline.edp > 0.0
                               ? r.governed.edp / r.baseline.edp
                               : 1.0)
       .value("latency_ratio",
@@ -202,8 +265,14 @@ std::string toJsonLine(const SweepSpec& spec, const SweepResult& r) {
 
 void writeCsv(const SweepSpec& spec, const std::vector<SweepResult>& results,
               std::ostream& os) {
+  // Conditional columns mirror the JSONL rule: clean, unhardened sweeps
+  // keep the exact pre-fault schema.
+  const bool with_faults = faultAxisActive(spec);
   os << "workload,mechanism,preset,seed,exec_time_us,energy_mj,edp_uj_s,"
-        "epochs,edp_ratio,latency_ratio\n";
+        "epochs,edp_ratio,latency_ratio";
+  if (with_faults) os << ",faults,injected_faults";
+  if (spec.harden) os << ",fallbacks,recoveries";
+  os << '\n';
   std::ostringstream num;
   num.precision(17);
   for (const auto& r : results) {
@@ -219,6 +288,13 @@ void writeCsv(const SweepSpec& spec, const std::vector<SweepResult>& results,
                 ? static_cast<double>(r.governed.exec_time_ns) /
                       static_cast<double>(r.baseline.exec_time_ns)
                 : 1.0);
+    if (with_faults) {
+      // The spec's canonical form contains ','; quote it per CSV rules
+      // (print() never emits a quote character).
+      num << ",\"" << spec.faults[r.job.fault].print() << "\","
+          << r.fault_counts.total();
+    }
+    if (spec.harden) num << ',' << r.fallbacks << ',' << r.recoveries;
     os << spec.workloads[r.job.workload].name << ','
        << spec.mechanisms[r.job.mechanism] << ',' << num.str() << '\n';
   }

@@ -1,7 +1,8 @@
 // Fleet execution: sharded simulation sweeps on the work-stealing pool.
 //
-// A sweep is the cartesian product workload × mechanism × preset × seed —
-// the shape of every §V experiment and of the ROADMAP's production sweeps.
+// A sweep is the cartesian product workload × mechanism × preset × seed ×
+// fault scenario — the shape of every §V experiment and of the ROADMAP's
+// production sweeps, plus the robustness matrix of bench_faults.
 // Each cell is one self-contained job: it builds its own Gpu, its own
 // governor factory and (when tracing) its own recorder, shares only
 // immutable inputs (VfTable, GpuConfig, a trained const SsmModel), and
@@ -22,6 +23,8 @@
 #include <vector>
 
 #include "core/ssm_model.hpp"
+#include "faults/fault_injector.hpp"
+#include "faults/fault_spec.hpp"
 #include "gpusim/runner.hpp"
 #include "sched/thread_pool.hpp"
 #include "workloads/kernel_profile.hpp"
@@ -35,6 +38,12 @@ struct SweepSpec {
   std::vector<std::string> mechanisms;
   std::vector<double> presets = {0.10};
   std::vector<std::uint64_t> seeds = {777};
+  /// Fault axis: one cell per scenario. The default single inactive spec
+  /// reproduces the pre-fault sweep byte-for-byte.
+  std::vector<faults::FaultSpec> faults = {{}};
+  /// Wrap every governed run in the HardenedGovernor decorator and report
+  /// its fallback/recovery counts.
+  bool harden = false;
   GpuConfig gpu;
   VfTable vf = VfTable::titanX();
   TimeNs max_time_ns = 5 * kNsPerMs;
@@ -49,16 +58,23 @@ struct SweepJob {
   std::size_t mechanism = 0;
   std::size_t preset = 0;
   std::size_t seed = 0;
+  std::size_t fault = 0;
   /// Simulator seed: forked from the sweep seed by workload coordinate,
   /// so one (workload, seed) pair simulates identically under every
-  /// mechanism and preset (baselines line up across the sweep).
+  /// mechanism, preset and fault scenario (baselines line up across the
+  /// sweep and a faulted cell is comparable to its clean sibling).
   std::uint64_t sim_seed = 0;
 };
 
 struct SweepResult {
   SweepJob job;
-  RunResult baseline;
+  RunResult baseline;  ///< always fault-free: the clean reference
   RunResult governed;
+  /// Injected-fault tally of the governed run (all zero for clean cells).
+  faults::FaultCounts fault_counts;
+  /// Hardened-governor mode transitions (0 unless SweepSpec::harden).
+  int fallbacks = 0;
+  int recoveries = 0;
 };
 
 /// Expands the cartesian product in deterministic order: workload-major,

@@ -269,6 +269,52 @@ TEST_F(CliTest, SweepCsvExportAndBadInputsFail) {
   EXPECT_NE(runCli("sweep --workloads spmv --mechanisms baseline", &out), 0);
 }
 
+// Failure paths must exit non-zero with a diagnostic on stderr (runCli
+// merges the streams) — never crash, never silently succeed.
+TEST_F(CliTest, BadInputsFailWithDiagnostics) {
+  std::string out;
+  // Unknown mechanism.
+  EXPECT_NE(runCli("run --workload bfs --mechanism warp-drive", &out), 0);
+  EXPECT_NE(out.find("error"), std::string::npos) << out;
+  EXPECT_NE(out.find("warp-drive"), std::string::npos) << out;
+
+  // Empty preset list: the axis parses to zero cells and the sweep must
+  // refuse, not run nothing.
+  EXPECT_NE(runCli("sweep --workloads spmv --mechanisms baseline "
+                   "--presets \"\" --out " +
+                       dir_ + "/x.jsonl",
+                   &out),
+            0);
+  EXPECT_NE(out.find("error"), std::string::npos) << out;
+  EXPECT_NE(out.find("preset"), std::string::npos) << out;
+
+  // Nonsense --faults specs: unknown clause, out-of-range probability,
+  // missing key=value shape.
+  for (const std::string bad : {"gremlins:p=1", "noise:p=2", "noise:p"}) {
+    EXPECT_NE(runCli("run --workload bfs --mechanism static-2 --faults \"" +
+                         bad + "\"",
+                     &out),
+              0)
+        << bad;
+    EXPECT_NE(out.find("error"), std::string::npos) << out;
+    EXPECT_NE(out.find("bad --faults spec"), std::string::npos) << out;
+  }
+}
+
+// A valid scenario reaches the simulator: the run reports injection counts
+// and, with --harden, the governor's fallback/recovery tally.
+TEST_F(CliTest, RunWithFaultsReportsCounts) {
+  std::string out;
+  ASSERT_EQ(
+      runCli("run --workload bfs --mechanism static-2 --harden --faults "
+             "\"dropout:p=1,mode=zero;window:start=12,end=20\"",
+             &out),
+      0)
+      << out;
+  EXPECT_NE(out.find("injected"), std::string::npos) << out;
+  EXPECT_NE(out.find("fallbacks"), std::string::npos) << out;
+}
+
 TEST_F(CliTest, DatagenJobsMatchesSerialCorpus) {
   std::string out;
   const std::string serial = dir_ + "/serial.csv";

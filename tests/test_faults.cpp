@@ -1,0 +1,489 @@
+// Fault-injection subsystem tests: FaultSpec grammar round-trips, the
+// injector's per-class semantics and coordinate-keyed determinism, the
+// fleet fault axis (byte-identical JSONL at any --jobs), and the hardened
+// governor's fallback/recovery watchdog asserted through the mode log and
+// the epoch trace.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "core/hardened_governor.hpp"
+#include "faults/fault_injector.hpp"
+#include "faults/fault_spec.hpp"
+#include "gpusim/runner.hpp"
+#include "gpusim/trace.hpp"
+#include "sched/fleet.hpp"
+#include "sched/thread_pool.hpp"
+#include "workloads/kernel_profile.hpp"
+
+namespace ssm {
+namespace {
+
+using faults::FaultInjector;
+using faults::FaultSpec;
+using faults::FaultWindow;
+
+// --- FaultSpec grammar ------------------------------------------------------
+
+TEST(FaultSpecText, EmptyAndNoneAreInactive) {
+  EXPECT_FALSE(FaultSpec::parse("").active());
+  EXPECT_FALSE(FaultSpec::parse("none").active());
+  EXPECT_FALSE(FaultSpec{}.active());
+  EXPECT_EQ(FaultSpec{}.print(), "");
+  EXPECT_EQ(FaultSpec::parse("  none  "), FaultSpec{});
+}
+
+TEST(FaultSpecText, ParsePrintRoundTrip) {
+  for (const char* text : {
+           "noise:p=0.3,sigma=0.25,bias=0.05",
+           "dropout:p=0.1,mode=zero",
+           "dropout:p=0.5,mode=stale",
+           "delay:p=0.2,k=3",
+           "fail:p=0.15",
+           "stuck:p=0.02,epochs=7",
+           "jitter:p=0.4,frac=0.1",
+           "noise:p=0.3,sigma=0.25,bias=0.05;dropout:p=0.1,mode=zero;"
+           "delay:p=0.2,k=3;fail:p=0.15;stuck:p=0.02,epochs=7;"
+           "jitter:p=0.4,frac=0.1;window:start=10,end=40",
+           "dropout:p=1,mode=zero;window:start=12,end=20",
+       }) {
+    const FaultSpec spec = FaultSpec::parse(text);
+    EXPECT_TRUE(spec.active()) << text;
+    EXPECT_EQ(FaultSpec::parse(spec.print()), spec) << text;
+  }
+}
+
+TEST(FaultSpecText, ParsedValuesLandInTheRightFields) {
+  const FaultSpec s = FaultSpec::parse(
+      "noise:p=0.3,sigma=0.25,bias=-0.05;delay:p=0.2,k=3;"
+      "dropout:p=0.1,mode=stale;window:start=5,end=9");
+  EXPECT_DOUBLE_EQ(s.noise.p, 0.3);
+  EXPECT_DOUBLE_EQ(s.noise.sigma, 0.25);
+  EXPECT_DOUBLE_EQ(s.noise.bias, -0.05);
+  EXPECT_DOUBLE_EQ(s.delay.p, 0.2);
+  EXPECT_EQ(s.delay.k, 3);
+  EXPECT_TRUE(s.dropout.stale);
+  EXPECT_EQ(s.window.start, 5);
+  EXPECT_EQ(s.window.end, 9);
+  EXPECT_TRUE(s.window.contains(5));
+  EXPECT_TRUE(s.window.contains(8));
+  EXPECT_FALSE(s.window.contains(9));
+  EXPECT_FALSE(s.window.contains(4));
+}
+
+TEST(FaultSpecText, MalformedSpecsThrowDataError) {
+  for (const char* bad : {
+           "warp:p=0.5",                  // unknown clause
+           "noise:q=0.5",                 // unknown key
+           "noise:p=1.5",                 // probability out of range
+           "noise:p=abc",                 // not a number
+           "noise:p",                     // not key=value
+           "delay:p=0.1,k=0",             // k out of range
+           "delay:p=0.1,k=100",           // k out of range
+           "stuck:p=0.1,epochs=0",        // epochs out of range
+           "dropout:p=0.1,mode=purple",   // bad mode
+           "window:start=9,end=3",        // empty window
+           "fail:p=0.1;fail:p=0.2",       // duplicate clause
+       }) {
+    EXPECT_THROW(static_cast<void>(FaultSpec::parse(bad)), DataError) << bad;
+  }
+}
+
+// --- FaultInjector semantics ------------------------------------------------
+
+/// A plausible two-cluster report with distinctive per-cluster values.
+GpuEpochReport syntheticReport(int epoch) {
+  GpuEpochReport report;
+  report.epoch_start_ns = epoch * 10'000;
+  report.epoch_len_ns = 10'000;
+  for (int c = 0; c < 2; ++c) {
+    EpochObservation obs;
+    obs.cluster_id = c;
+    obs.level = 2;
+    obs.power_w = 10.0 + c + 0.01 * epoch;
+    obs.instructions = 1000 * (c + 1) + epoch;
+    obs.counters.set(CounterId::kCyclesElapsed, 10000.0);
+    obs.counters.set(CounterId::kIpc, 1.5);
+    obs.counters.set(CounterId::kFreqMhz, 911.0);
+    obs.counters.set(CounterId::kInstTotal,
+                     static_cast<double>(obs.instructions));
+    report.clusters.push_back(obs);
+  }
+  return report;
+}
+
+TEST(FaultInjectorTest, ZeroDropoutZeroesTheTelemetryPayload) {
+  FaultInjector inj(FaultSpec::parse("dropout:p=1,mode=zero"), 42);
+  GpuEpochReport r = syntheticReport(0);
+  inj.onTelemetry(r);
+  for (const auto& obs : r.clusters) {
+    EXPECT_EQ(obs.counters.get(CounterId::kCyclesElapsed), 0.0);
+    EXPECT_EQ(obs.instructions, 0);
+    EXPECT_EQ(obs.power_w, 0.0);
+    // Identity fields survive: the cluster really ran at this level.
+    EXPECT_EQ(obs.level, 2);
+  }
+  EXPECT_EQ(inj.counts().dropout, 2);
+  EXPECT_EQ(inj.counts().total(), 2);
+}
+
+TEST(FaultInjectorTest, StaleDropoutRepeatsThePristinePreviousEpoch) {
+  FaultInjector inj(FaultSpec::parse("dropout:p=1,mode=stale"), 42);
+  GpuEpochReport r0 = syntheticReport(0);
+  const GpuEpochReport pristine0 = r0;
+  inj.onTelemetry(r0);  // no history yet: falls back to a zeroed block
+  EXPECT_EQ(r0.clusters[0].instructions, 0);
+
+  GpuEpochReport r1 = syntheticReport(1);
+  inj.onTelemetry(r1);
+  // Epoch 1 sees epoch 0's PRISTINE payload, not the zeroed one.
+  EXPECT_EQ(r1.clusters[0].instructions, pristine0.clusters[0].instructions);
+  EXPECT_EQ(r1.clusters[1].power_w, pristine0.clusters[1].power_w);
+}
+
+TEST(FaultInjectorTest, DelayDeliversTheEpochKBack) {
+  FaultInjector inj(FaultSpec::parse("delay:p=1,k=2"), 7);
+  std::vector<GpuEpochReport> pristine;
+  for (int e = 0; e < 4; ++e) {
+    GpuEpochReport r = syntheticReport(e);
+    pristine.push_back(r);
+    inj.onTelemetry(r);
+    if (e < 2) {
+      // Not enough history: telemetry passes through untouched.
+      EXPECT_EQ(r.clusters[0].instructions,
+                pristine[static_cast<std::size_t>(e)].clusters[0].instructions);
+    } else {
+      EXPECT_EQ(r.clusters[0].instructions,
+                pristine[static_cast<std::size_t>(e - 2)]
+                    .clusters[0]
+                    .instructions)
+          << e;
+    }
+  }
+  EXPECT_EQ(inj.counts().delay, 2 * 2);  // 2 clusters x epochs {2,3}
+}
+
+TEST(FaultInjectorTest, WindowGatesInjection) {
+  FaultInjector inj(
+      FaultSpec::parse("dropout:p=1,mode=zero;window:start=2,end=3"), 1);
+  for (int e = 0; e < 4; ++e) {
+    GpuEpochReport r = syntheticReport(e);
+    inj.onTelemetry(r);
+    const bool in_window = e == 2;
+    EXPECT_EQ(r.clusters[0].instructions == 0, in_window) << e;
+  }
+  EXPECT_EQ(inj.counts().dropout, 2);  // 2 clusters, epoch 2 only
+}
+
+TEST(FaultInjectorTest, DoneClustersAreLeftAlone) {
+  FaultInjector inj(FaultSpec::parse("dropout:p=1,mode=zero"), 3);
+  GpuEpochReport r = syntheticReport(0);
+  r.clusters[1].cluster_done = true;
+  const auto insts = r.clusters[1].instructions;
+  inj.onTelemetry(r);
+  EXPECT_EQ(r.clusters[0].instructions, 0);
+  EXPECT_EQ(r.clusters[1].instructions, insts);
+  EXPECT_EQ(inj.counts().dropout, 1);
+}
+
+TEST(FaultInjectorTest, NoiseIsDeterministicPerSeed) {
+  const FaultSpec spec = FaultSpec::parse("noise:p=0.5,sigma=0.2,bias=0.01");
+  FaultInjector a(spec, 99), b(spec, 99), c(spec, 100);
+  bool seed_changed_something = false;
+  for (int e = 0; e < 20; ++e) {
+    GpuEpochReport ra = syntheticReport(e), rb = syntheticReport(e),
+                   rc = syntheticReport(e);
+    a.onTelemetry(ra);
+    b.onTelemetry(rb);
+    c.onTelemetry(rc);
+    for (std::size_t k = 0; k < ra.clusters.size(); ++k) {
+      EXPECT_EQ(ra.clusters[k].counters.raw()[8],
+                rb.clusters[k].counters.raw()[8]);  // bitwise equal draws
+      if (ra.clusters[k].counters.get(CounterId::kIpc) !=
+          rc.clusters[k].counters.get(CounterId::kIpc))
+        seed_changed_something = true;
+    }
+  }
+  EXPECT_EQ(a.counts(), b.counts());
+  EXPECT_TRUE(seed_changed_something);
+}
+
+TEST(FaultInjectorTest, ActuationFailAndStuck) {
+  FaultInjector fail_inj(FaultSpec::parse("fail:p=1"), 5);
+  GpuEpochReport r = syntheticReport(0);
+  fail_inj.onTelemetry(r);
+  // No transition commanded: nothing to fail.
+  EXPECT_EQ(fail_inj.onActuate(0, 2, 2), 2);
+  EXPECT_EQ(fail_inj.counts().failed, 0);
+  // A commanded transition silently does not land.
+  EXPECT_EQ(fail_inj.onActuate(0, 4, 2), 2);
+  EXPECT_EQ(fail_inj.counts().failed, 1);
+
+  FaultInjector stuck_inj(FaultSpec::parse("stuck:p=1,epochs=3"), 5);
+  GpuEpochReport s0 = syntheticReport(0);
+  stuck_inj.onTelemetry(s0);
+  EXPECT_EQ(stuck_inj.onActuate(0, 4, 2), 2);  // freeze triggered at epoch 0
+  for (int e = 1; e < 3; ++e) {
+    GpuEpochReport se = syntheticReport(e);
+    stuck_inj.onTelemetry(se);
+    EXPECT_EQ(stuck_inj.onActuate(0, 4, 2), 2) << "frozen at epoch " << e;
+  }
+  GpuEpochReport s3 = syntheticReport(3);
+  stuck_inj.onTelemetry(s3);
+  // Epoch 3 is past the freeze; p=1 immediately re-triggers a new freeze,
+  // which still counts and still holds the current level.
+  EXPECT_EQ(stuck_inj.onActuate(0, 4, 2), 2);
+  EXPECT_GE(stuck_inj.counts().stuck, 4);
+}
+
+// --- fleet fault axis -------------------------------------------------------
+
+/// Cheap sweep with an active fault axis and hardening, model-free.
+fleet::SweepSpec faultedSpec() {
+  fleet::SweepSpec spec;
+  spec.workloads = {workloadByName("spmv"), workloadByName("bfs")};
+  spec.mechanisms = {"static-2", "ondemand"};
+  spec.presets = {0.10};
+  spec.seeds = {777};
+  spec.faults = {FaultSpec::parse("none"),
+                 FaultSpec::parse("noise:p=0.4,sigma=0.3;dropout:p=0.1,"
+                                  "mode=stale;fail:p=0.2"),
+                 FaultSpec::parse("delay:p=0.5,k=2;jitter:p=0.3,frac=0.2")};
+  spec.harden = true;
+  spec.max_time_ns = kNsPerMs;
+  return spec;
+}
+
+TEST(FleetFaults, JsonlByteIdenticalAcrossJobCounts) {
+  const auto spec = faultedSpec();
+  std::string serial, parallel;
+  {
+    ThreadPool pool(1);
+    std::ostringstream os;
+    const std::size_t n = fleet::FleetRunner(spec, pool).runJsonl(os);
+    EXPECT_EQ(n, 2u * 2u * 3u);
+    serial = os.str();
+  }
+  {
+    ThreadPool pool(8);
+    std::ostringstream os;
+    const std::size_t n = fleet::FleetRunner(spec, pool).runJsonl(os);
+    EXPECT_EQ(n, 2u * 2u * 3u);
+    parallel = os.str();
+  }
+  EXPECT_EQ(serial, parallel);
+  EXPECT_NE(serial.find("\"fault_counts\""), std::string::npos);
+  EXPECT_NE(serial.find("\"fallbacks\""), std::string::npos);
+}
+
+TEST(FleetFaults, CleanSweepKeepsThePreFaultSchema) {
+  fleet::SweepSpec spec;
+  spec.workloads = {workloadByName("spmv")};
+  spec.mechanisms = {"static-2"};
+  spec.max_time_ns = kNsPerMs;
+
+  // An explicitly parsed "none" is the same sweep as the default axis —
+  // and neither emits any fault/hardening fields.
+  auto explicit_none = spec;
+  explicit_none.faults = {FaultSpec::parse("none")};
+  ThreadPool pool(2);
+  std::ostringstream a, b;
+  static_cast<void>(fleet::FleetRunner(spec, pool).runJsonl(a));
+  static_cast<void>(fleet::FleetRunner(explicit_none, pool).runJsonl(b));
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_EQ(a.str().find("\"faults\""), std::string::npos);
+  EXPECT_EQ(a.str().find("\"fallbacks\""), std::string::npos);
+
+  std::ostringstream csv;
+  fleet::writeCsv(spec, fleet::FleetRunner(spec, pool).run(), csv);
+  EXPECT_EQ(csv.str().substr(0, csv.str().find('\n')),
+            "workload,mechanism,preset,seed,exec_time_us,energy_mj,edp_uj_s,"
+            "epochs,edp_ratio,latency_ratio");
+}
+
+TEST(FleetFaults, FaultCellsShareTheCleanCellsSimulation) {
+  const auto spec = faultedSpec();
+  const auto jobs = fleet::expandJobs(spec);
+  ASSERT_EQ(jobs.size(), 12u);
+  for (const auto& a : jobs) {
+    for (const auto& b : jobs) {
+      if (a.workload == b.workload && a.seed == b.seed) {
+        EXPECT_EQ(a.sim_seed, b.sim_seed);
+      }
+    }
+  }
+  // Fault axis is the innermost coordinate.
+  EXPECT_EQ(jobs[0].fault, 0u);
+  EXPECT_EQ(jobs[1].fault, 1u);
+  EXPECT_EQ(jobs[2].fault, 2u);
+  EXPECT_EQ(jobs[3].mechanism, 1u);
+}
+
+TEST(FleetFaults, FaultedCsvCarriesScenarioColumns) {
+  const auto spec = faultedSpec();
+  ThreadPool pool(4);
+  const auto results = fleet::FleetRunner(spec, pool).run();
+  std::ostringstream os;
+  fleet::writeCsv(spec, results, os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find(",faults,injected_faults,fallbacks,recoveries"),
+            std::string::npos);
+  // The active scenario string is quoted (it contains commas).
+  EXPECT_NE(csv.find("\"noise:p="), std::string::npos);
+  // Clean cells carry an empty scenario and zero injected faults.
+  EXPECT_NE(csv.find(",\"\",0"), std::string::npos);
+}
+
+// --- hardened governor ------------------------------------------------------
+
+/// A plausible observation for a cluster running at `level`.
+EpochObservation plausibleObs(const VfTable& vf, VfLevel level) {
+  EpochObservation obs;
+  obs.level = level;
+  obs.power_w = 12.0;
+  obs.instructions = 5000;
+  obs.counters.set(CounterId::kCyclesElapsed, 8000.0);
+  obs.counters.set(CounterId::kIpc, 1.2);
+  obs.counters.set(CounterId::kIssueUtil, 0.6);
+  obs.counters.set(CounterId::kFreqMhz, vf.at(level).freq_mhz);
+  return obs;
+}
+
+TEST(HardenedGovernorTest, FallsBackOnZeroBlocksAndRecovers) {
+  const VfTable vf = VfTable::titanX();
+  GovernorModeLog log;
+  HardenedConfig cfg;  // defaults: 3 strikes, hold 8, recover after 6 clean
+  HardenedGovernor gov(std::make_unique<StaticGovernor>(1), vf, cfg, 0, &log);
+
+  // Clean warm-up: ML mode, inner static policy decides.
+  for (int e = 0; e < 10; ++e)
+    EXPECT_EQ(gov.decide(plausibleObs(vf, 1)), 1);
+  EXPECT_EQ(gov.mode(), GovernorMode::kMl);
+
+  // Telemetry loss: strikes 1 and 2 hold the current level, the third trips
+  // the watchdog into safe mode at the default (fastest) level.
+  EpochObservation dead;  // all-zero counters
+  dead.level = 1;
+  EXPECT_EQ(gov.decide(dead), 1);
+  EXPECT_EQ(gov.decide(dead), 1);
+  EXPECT_EQ(gov.decide(dead), vf.defaultLevel());
+  EXPECT_EQ(gov.mode(), GovernorMode::kSafe);
+  ASSERT_EQ(log.fallbacks(), 1);
+  EXPECT_EQ(log.events()[0].reason, "telemetry");
+  EXPECT_EQ(log.events()[0].cluster, 0);
+
+  // Clean input again: safe mode rides ondemand until the hold expires and
+  // the clean streak is long enough, then hands back to ML control.
+  int safe_epochs = 0;
+  while (gov.mode() == GovernorMode::kSafe && safe_epochs < 50) {
+    static_cast<void>(gov.decide(plausibleObs(vf, 2)));
+    ++safe_epochs;
+  }
+  EXPECT_EQ(gov.mode(), GovernorMode::kMl);
+  EXPECT_GE(safe_epochs, cfg.recover_after_clean);
+  ASSERT_EQ(log.recoveries(), 1);
+  EXPECT_EQ(log.events()[1].reason, "recovered");
+  // Back under ML control.
+  EXPECT_EQ(gov.decide(plausibleObs(vf, 1)), 1);
+}
+
+TEST(HardenedGovernorTest, SafePolicyChasesUtilisation) {
+  const VfTable vf = VfTable::titanX();
+  HardenedConfig cfg;
+  cfg.strike_trips = 1;
+  cfg.warmup_epochs = 0;
+  HardenedGovernor gov(std::make_unique<StaticGovernor>(1), vf, cfg, 3,
+                       nullptr);
+  EpochObservation dead;
+  dead.level = 2;
+  static_cast<void>(gov.decide(dead));  // trip straight into safe mode
+  ASSERT_EQ(gov.mode(), GovernorMode::kSafe);
+
+  auto busy = plausibleObs(vf, 2);
+  busy.counters.set(CounterId::kIssueUtil, 0.95);
+  EXPECT_EQ(gov.decide(busy), 3);  // high utilisation -> step up
+
+  auto idle = plausibleObs(vf, 2);
+  idle.counters.set(CounterId::kIssueUtil, 0.10);
+  EXPECT_EQ(gov.decide(idle), 1);  // low utilisation -> step down
+}
+
+TEST(HardenedGovernorTest, IpcBlowoutsTripTheWatchdog) {
+  const VfTable vf = VfTable::titanX();
+  GovernorModeLog log;
+  HardenedConfig cfg;
+  HardenedGovernor gov(std::make_unique<StaticGovernor>(1), vf, cfg, 0, &log);
+  for (int e = 0; e < 8; ++e)
+    static_cast<void>(gov.decide(plausibleObs(vf, 1)));
+  // Plausible but wildly off-reference IPC (e.g. multiplicative counter
+  // noise): blows past blowout_ratio for blowout_trips epochs in a row.
+  for (int e = 0; e < cfg.blowout_trips; ++e) {
+    auto noisy = plausibleObs(vf, 1);
+    noisy.counters.set(CounterId::kIpc, 9.0);
+    static_cast<void>(gov.decide(noisy));
+  }
+  EXPECT_EQ(gov.mode(), GovernorMode::kSafe);
+  ASSERT_EQ(log.fallbacks(), 1);
+  EXPECT_EQ(log.events()[0].reason, "blowout");
+}
+
+// Full-stack: a transient dropout burst makes every cluster's hardened
+// governor fall back mid-run and recover after the burst — visible both in
+// the mode log and in the epoch trace (safe mode pins the default level).
+TEST(HardenedGovernorTest, FallbackAndRecoveryVisibleInEpochTrace) {
+  const GpuConfig gpu_cfg;
+  const VfTable vf = VfTable::titanX();
+  Gpu machine(gpu_cfg, vf, workloadByName("spmv"), 777,
+              ChipPowerModel(gpu_cfg.num_clusters));
+
+  const auto inner = fleet::makeGovernorFactory("static-1", vf, 0.10, nullptr);
+  GovernorModeLog log;
+  HardenedConfig cfg;
+  // Isolate the telemetry watchdog: the level excursions this test forces
+  // shift the IPC enough that the blowout watchdog would add its own
+  // (legitimate) fallbacks and blur the epoch assertions below.
+  cfg.blowout_trips = 1 << 20;
+  const HardenedGovernorFactory factory(*inner, vf, cfg, &log);
+
+  FaultInjector injector(
+      FaultSpec::parse("dropout:p=1,mode=zero;window:start=12,end=20"),
+      Rng(777).fork(0xFA17).nextU64());
+  EpochTraceRecorder trace;
+  const RunResult run = runWithGovernor(machine, factory, "hardened-static",
+                                        5 * kNsPerMs, &trace, &injector);
+
+  ASSERT_GT(trace.epochCount(), 35);
+  EXPECT_GT(injector.counts().dropout, 0);
+  EXPECT_GT(log.fallbacks(), 0);
+  EXPECT_GT(log.recoveries(), 0);
+
+  // Every fallback lands inside/just after the burst; recoveries follow it
+  // (min_hold_epochs + recover_after_clean both reach past the window end).
+  for (const auto& e : log.events()) {
+    if (e.to == GovernorMode::kSafe) {
+      EXPECT_EQ(e.reason, "telemetry");
+      EXPECT_GE(e.epoch, 12);
+      EXPECT_LE(e.epoch, 21);
+    } else {
+      EXPECT_EQ(e.reason, "recovered");
+      EXPECT_GT(e.epoch, 20);
+    }
+  }
+
+  // The trace shows the degraded mode: during the burst the safe policy
+  // pins the default (fastest) level, and from the recovery epoch on the
+  // inner static policy is back in charge at level 1.
+  EXPECT_EQ(trace.levelAt(18, 0), vf.defaultLevel());
+  EXPECT_NE(trace.levelAt(18, 0), 1);
+  EXPECT_EQ(trace.levelAt(trace.epochCount() - 1, 0), 1);
+  static_cast<void>(run);
+}
+
+}  // namespace
+}  // namespace ssm

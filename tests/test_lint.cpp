@@ -18,13 +18,13 @@ bool hasRule(const std::vector<Finding>& fs, std::string_view rule) {
                      [&](const Finding& f) { return f.rule == rule; });
 }
 
-TEST(LintCatalog, AllSevenRulesRegistered) {
+TEST(LintCatalog, AllEightRulesRegistered) {
   const auto rules = ruleCatalog();
-  ASSERT_EQ(rules.size(), 7u);
+  ASSERT_EQ(rules.size(), 8u);
   for (const char* id :
        {"pragma-once", "using-namespace-header", "raw-assert",
         "nondeterminism", "hot-path-io", "c-style-float-cast",
-        "raw-thread"}) {
+        "raw-thread", "fault-hook-guard"}) {
     EXPECT_TRUE(isKnownRule(id)) << id;
   }
   EXPECT_TRUE(isKnownRule("*"));
@@ -147,6 +147,49 @@ TEST(LintHotPathIo, AllowsIoOffTheHotPath) {
   EXPECT_FALSE(hasRule(
       lintSource("src/datagen/x.cpp", "#include <iostream>\n"),
       "hot-path-io"));
+}
+
+// --- fault-hook-guard ------------------------------------------------------
+
+TEST(LintFaultHookGuard, FlagsUnguardedHookDerefInHotPath) {
+  EXPECT_TRUE(hasRule(
+      lintSource("src/gpusim/x.cpp", "void f() { faults->onTelemetry(r); }\n"),
+      "fault-hook-guard"));
+  // Case-insensitive over the identifier, and a guard two lines up is too
+  // far away to audit at a glance.
+  EXPECT_TRUE(hasRule(
+      lintSource("src/core/x.cpp",
+                 "if (myFaultHook != nullptr) {\n"
+                 "  prepare();\n"
+                 "  myFaultHook->onActuate(c, req, cur);\n"
+                 "}\n"),
+      "fault-hook-guard"));
+}
+
+TEST(LintFaultHookGuard, AcceptsGuardedIdiomsAndColdPaths) {
+  EXPECT_FALSE(hasRule(
+      lintSource("src/gpusim/x.cpp",
+                 "if (faults != nullptr) faults->onTelemetry(r);\n"),
+      "fault-hook-guard"));
+  EXPECT_FALSE(hasRule(
+      lintSource("src/gpusim/x.cpp",
+                 "l = faults != nullptr ? faults->onActuate(i, q, c)\n"
+                 "                      : q;\n"),
+      "fault-hook-guard"));
+  // Preceding-line guard.
+  EXPECT_FALSE(hasRule(
+      lintSource("src/core/x.cpp",
+                 "if (fault_hook != nullptr)\n"
+                 "  fault_hook->onTelemetry(r);\n"),
+      "fault-hook-guard"));
+  // Outside the hot-path dirs the injector may be dereferenced freely.
+  EXPECT_FALSE(hasRule(
+      lintSource("src/sched/fleet.cpp", "injector_faults->onTelemetry(r);\n"),
+      "fault-hook-guard"));
+  // Member access on a value (no '->') is not a hook dereference.
+  EXPECT_FALSE(hasRule(
+      lintSource("src/core/x.cpp", "if (fault.empty()) return;\n"),
+      "fault-hook-guard"));
 }
 
 // --- c-style-float-cast ----------------------------------------------------

@@ -3,8 +3,13 @@
 // hand-picked cases in the unit suites.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <sstream>
 #include <string>
 
+#include "common/rng.hpp"
+#include "core/ssm_governor.hpp"
+#include "core/ssm_io.hpp"
 #include "datagen/generator.hpp"
 #include "gpusim/gpu.hpp"
 #include "gpusim/runner.hpp"
@@ -173,6 +178,79 @@ INSTANTIATE_TEST_SUITE_P(SampleWorkloads, DatagenProperty,
                                            "lavamd", "bfs", "histo",
                                            "correlation", "nw"),
                          [](const auto& info) { return info.param; });
+
+// ---- self-calibration working-preset bounds --------------------------------
+
+/// A hand-crafted model (same scheme as test_governor_math): bias-only
+/// Decision-maker, one-hot Calibrator predicting c_k thousand instructions
+/// at level k, identity standardizer on one feature (IPC, counter 8).
+std::shared_ptr<SsmModel> handModel() {
+  std::ostringstream os;
+  os << "ssmdvfs-model-v1\n";
+  os << "features 1 8\n";
+  os << "levels 6\n";
+  os << "decode_theta 0.5\n";
+  os << "corrupt 0.5 0.5\n";
+  os << "init_seed 1\n";
+  os << "train 10 0.001\n";
+  os << "decision_hidden 0\n";
+  os << "calibrator_hidden 0\n";
+  os << "standardizer 2 0 0\n";
+  os << "2 1 1\n";
+  os << "decision\n1\n2 6\n";
+  os << "12";
+  for (int i = 0; i < 12; ++i) os << " 0";
+  os << "\n6 0 0 0 0 0 0\n12";
+  for (int i = 0; i < 12; ++i) os << " 1";
+  os << "\ncalibrator\n1\n8 1\n";
+  os << "8 0 0 6 7 8 9 10 10\n";
+  os << "1 0\n";
+  os << "8 1 1 1 1 1 1 1 1\n";
+  std::istringstream is(os.str());
+  return std::make_shared<SsmModel>(deserializeModel(is));
+}
+
+// No matter what the counter stream looks like — garbage IPC, instruction
+// counts that wildly under- or over-shoot the Calibrator's prediction,
+// random level churn — the self-calibrated working preset must stay inside
+// the configured [floor_frac, ceil_frac] x loss_preset band, and must track
+// a runtime re-target of the preset into the NEW band.
+class PresetBoundsProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PresetBoundsProperty, WorkingPresetStaysInsideTheConfiguredBand) {
+  SsmGovernorConfig cfg;
+  cfg.loss_preset = 0.10;
+  cfg.preset_floor_frac = 0.20;
+  cfg.preset_ceil_frac = 1.50;
+  SsmdvfsGovernor gov(handModel(), cfg);
+
+  Rng rng(GetParam());
+  double preset = cfg.loss_preset;
+  for (int e = 0; e < 400; ++e) {
+    if (e == 200) {
+      preset = 0.25;  // runtime re-target (power-cap scheduler path)
+      gov.setLossPreset(preset);
+    }
+    EpochObservation obs;
+    obs.level = static_cast<int>(rng.nextU64() % 6);
+    obs.cluster_id = 0;
+    // Instruction counts that randomly under- and over-shoot every
+    // Calibrator prediction (6k..10k), plus occasional zero epochs.
+    obs.instructions =
+        rng.nextBernoulli(0.05)
+            ? 0
+            : static_cast<std::int64_t>(rng.nextU64() % 30'000);
+    obs.counters.set(CounterId::kIpc, 8.0 * rng.nextDouble());
+    obs.counters.set(CounterId::kCyclesElapsed, 1.0 + 1e4 * rng.nextDouble());
+    static_cast<void>(gov.decide(obs));
+    const double wp = gov.workingPreset();
+    EXPECT_GE(wp, cfg.preset_floor_frac * preset - 1e-12) << "epoch " << e;
+    EXPECT_LE(wp, cfg.preset_ceil_frac * preset + 1e-12) << "epoch " << e;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PresetBoundsProperty,
+                         ::testing::Values(1u, 17u, 99u, 1234u, 424242u));
 
 }  // namespace
 }  // namespace ssm

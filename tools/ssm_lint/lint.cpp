@@ -8,7 +8,7 @@ namespace ssm::lint {
 
 namespace {
 
-constexpr std::array<RuleInfo, 7> kRules = {{
+constexpr std::array<RuleInfo, 8> kRules = {{
     {"pragma-once", "every header starts its include guard with #pragma once"},
     {"using-namespace-header",
      "no `using namespace` in headers (leaks into every includer)"},
@@ -27,6 +27,11 @@ constexpr std::array<RuleInfo, 7> kRules = {{
     {"raw-thread",
      "no raw std::thread/std::jthread/std::async (or #include <thread>) "
      "outside src/sched/ — all concurrency goes through ssm::ThreadPool"},
+    {"fault-hook-guard",
+     "fault-hook dereferences in the epoch hot paths src/core/ and "
+     "src/gpusim/ must sit behind a `!= nullptr` guard on the same or the "
+     "preceding line, so a run without a FaultSpec costs one pointer "
+     "comparison and zero RNG draws"},
 }};
 
 bool isIdentChar(char c) noexcept {
@@ -365,8 +370,47 @@ class FileLinter {
                     "' outside src/sched/; all concurrency goes through "
                     "ssm::ThreadPool (src/sched/thread_pool.hpp)"}));
 
+      if (pc_.hot_path && after + 1 < s.size() && s[after] == '-' &&
+          s[after + 1] == '>' && namesFaultHook(word))
+        checkFaultHookGuard(s, i, word);
+
       i = j - 1;
     }
+  }
+
+  /// Identifiers that look like fault-hook pointers ("faults", "fault_hook",
+  /// "myFaultHook", ...), case-insensitive.
+  [[nodiscard]] static bool namesFaultHook(std::string_view word) {
+    std::string lower(word);
+    std::transform(lower.begin(), lower.end(), lower.begin(), [](char c) {
+      return static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c)));
+    });
+    return lower.find("fault") != std::string::npos;
+  }
+
+  /// The zero-cost contract of gpusim/fault_hook.hpp: every `faults->...`
+  /// in a hot path must be dominated by a `!= nullptr` test close enough to
+  /// audit at a glance — we require the guard on the same or the preceding
+  /// line (`if (faults != nullptr) faults->...` or the ternary idiom).
+  void checkFaultHookGuard(std::string_view s, std::size_t i,
+                           std::string_view word) {
+    std::size_t line_start = s.rfind('\n', i);
+    line_start = line_start == std::string_view::npos ? 0 : line_start + 1;
+    std::size_t prev_start = 0;
+    if (line_start >= 2) {
+      const std::size_t p = s.rfind('\n', line_start - 2);
+      prev_start = p == std::string_view::npos ? 0 : p + 1;
+    }
+    std::size_t line_end = s.find('\n', i);
+    if (line_end == std::string_view::npos) line_end = s.size();
+    const std::string_view window = s.substr(prev_start, line_end - prev_start);
+    if (window.find("nullptr") == std::string_view::npos)
+      report(i, "fault-hook-guard",
+             cat({"'", word,
+                  "->' in an epoch hot path without a visible '!= nullptr' "
+                  "guard; fault hooks must compile out to one pointer "
+                  "comparison when no FaultSpec is active"}));
   }
 
   /// True when the identifier starting at `i` is qualified as `std::`.

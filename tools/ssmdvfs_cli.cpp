@@ -9,9 +9,12 @@
 //   ssmdvfs eval      --model model.txt --data corpus.csv
 //   ssmdvfs run       --workload NAME --mechanism M [--preset P]
 //                     [--model model.txt] [--trace trace.csv] [--seed S]
-//                     [--json out.json]
+//                     [--json out.json] [--faults SPEC] [--harden]
 //       M in {baseline, static-<L>, ssmdvfs, ssmdvfs-nocal, pcstall,
 //             flemma, ondemand}
+//       SPEC is the fault grammar of docs/faults.md, e.g.
+//       "noise:p=0.3,sigma=0.25;dropout:p=0.1,mode=zero"; --harden wraps
+//       the governor in the degraded-mode watchdog (src/core)
 //   ssmdvfs oracle    --workload NAME [--seed S]
 //   ssmdvfs hw-cost   --model model.txt
 //   ssmdvfs quantize  --model model.txt --data corpus.csv
@@ -22,6 +25,10 @@
 //                     --out sweep.jsonl [--csv sweep.csv] [--jobs N]
 //                     [--presets 0.10,0.20] [--seeds 777,778]
 //                     [--model model.txt] [--max-ms 5] [--quiet]
+//                     [--faults "SPEC1|SPEC2"] [--harden]
+//       --faults adds a fault-scenario axis ('|'-separated SPECs; the
+//       literal "none" is the clean cell); rows then carry injected-fault
+//       counts, and --harden adds fallback/recovery counts
 //
 // `datagen`, `run` and `oracle` accept --profile-file FILE to resolve the
 // workload from a kernel-profile text file (see src/workloads/profile_io.hpp)
@@ -42,9 +49,12 @@
 
 #include "baselines/oracle.hpp"
 #include "compress/pruning.hpp"
+#include "common/rng.hpp"
+#include "core/hardened_governor.hpp"
 #include "core/ssm_governor.hpp"
 #include "common/json_writer.hpp"
 #include "core/ssm_io.hpp"
+#include "faults/fault_injector.hpp"
 #include "datagen/corpus_stats.hpp"
 #include "datagen/generator.hpp"
 #include "gpusim/runner.hpp"
@@ -206,11 +216,30 @@ int cmdRun(const Args& args) {
   const std::unique_ptr<GovernorFactory> factory =
       fleet::makeGovernorFactory(mech, vf, preset, model);
 
+  // Same salt as fleet::FleetRunner, so `run --faults` reproduces the
+  // corresponding sweep cell. An absent/empty spec makes no RNG draws and
+  // leaves the output byte-identical to a fault-free build.
+  const faults::FaultSpec fault_spec =
+      faults::FaultSpec::parse(args.get("faults"));
+  std::unique_ptr<faults::FaultInjector> injector;
+  if (fault_spec.active())
+    injector = std::make_unique<faults::FaultInjector>(
+        fault_spec, Rng(seed).fork(0xFA17).fork(0).nextU64());
+
   EpochTraceRecorder trace;
+  GovernorModeLog mode_log;
   RunResult run = base;
   if (factory) {
-    run = runWithGovernor(machine, *factory, mech, 5 * kNsPerMs,
-                          args.has("trace") ? &trace : nullptr);
+    EpochTraceRecorder* rec = args.has("trace") ? &trace : nullptr;
+    if (args.has("harden")) {
+      const HardenedGovernorFactory hardened(*factory, vf, HardenedConfig{},
+                                             &mode_log);
+      run = runWithGovernor(machine, hardened, mech, 5 * kNsPerMs, rec,
+                            injector.get());
+    } else {
+      run = runWithGovernor(machine, *factory, mech, 5 * kNsPerMs, rec,
+                            injector.get());
+    }
   }
 
   std::printf("%-14s time %.1f us  energy %.3f mJ  EDP %.4f uJ*s\n",
@@ -224,6 +253,32 @@ int cmdRun(const Args& args) {
               100.0 * (static_cast<double>(run.exec_time_ns) /
                            static_cast<double>(base.exec_time_ns) -
                        1.0));
+  if (injector != nullptr) {
+    const auto& c = injector->counts();
+    std::printf("faults '%s': injected %lld (noise %lld, dropout %lld, "
+                "delay %lld, failed %lld, stuck %lld, jitter %lld)\n",
+                fault_spec.print().c_str(),
+                static_cast<long long>(c.total()),
+                static_cast<long long>(c.noise),
+                static_cast<long long>(c.dropout),
+                static_cast<long long>(c.delay),
+                static_cast<long long>(c.failed),
+                static_cast<long long>(c.stuck),
+                static_cast<long long>(c.jitter));
+  }
+  if (args.has("harden") && factory) {
+    std::printf("hardened governor: %d fallbacks, %d recoveries\n",
+                mode_log.fallbacks(), mode_log.recoveries());
+    const auto& events = mode_log.events();
+    const std::size_t shown = std::min<std::size_t>(events.size(), 20);
+    for (std::size_t i = 0; i < shown; ++i)
+      std::printf("  epoch %lld cluster %d -> %s (%s)\n",
+                  static_cast<long long>(events[i].epoch), events[i].cluster,
+                  std::string(governorModeName(events[i].to)).c_str(),
+                  events[i].reason.c_str());
+    if (events.size() > shown)
+      std::printf("  ... %zu more transitions\n", events.size() - shown);
+  }
   if (args.has("trace") && factory) {
     trace.saveCsv(args.get("trace"));
     std::printf("trace written to %s (%d epochs, %d transitions)\n",
@@ -248,6 +303,22 @@ int cmdRun(const Args& args) {
         .value("workload", args.get("workload"))
         .value("mechanism", mech)
         .value("preset", preset);
+    if (injector != nullptr) {
+      const auto& c = injector->counts();
+      w.value("faults", fault_spec.print());
+      w.beginObject("fault_counts")
+          .value("noise", c.noise)
+          .value("dropout", c.dropout)
+          .value("delay", c.delay)
+          .value("failed", c.failed)
+          .value("stuck", c.stuck)
+          .value("jitter", c.jitter)
+          .value("total", c.total())
+          .endObject();
+    }
+    if (args.has("harden"))
+      w.value("fallbacks", mode_log.fallbacks())
+          .value("recoveries", mode_log.recoveries());
     emit("baseline", base);
     emit("governed", run);
     w.endObject();
@@ -431,6 +502,22 @@ int cmdSweep(const Args& args) {
       spec.seeds.push_back(
           static_cast<std::uint64_t>(std::atoll(s.c_str())));
   }
+  if (args.has("faults")) {
+    // '|' separates scenarios because the spec grammar itself uses ',' and
+    // ';'. "none" (or an empty segment-free string) is the clean cell.
+    std::vector<faults::FaultSpec> cells;
+    const std::string list = args.get("faults");
+    std::size_t start = 0;
+    while (start <= list.size()) {
+      std::size_t bar = list.find('|', start);
+      if (bar == std::string::npos) bar = list.size();
+      if (bar > start)
+        cells.push_back(faults::FaultSpec::parse(list.substr(start, bar - start)));
+      start = bar + 1;
+    }
+    if (!cells.empty()) spec.faults = std::move(cells);
+  }
+  spec.harden = args.has("harden");
   spec.max_time_ns = args.getInt("max-ms", 5) * kNsPerMs;
   bool needs_model = false;
   for (const auto& m : spec.mechanisms)
