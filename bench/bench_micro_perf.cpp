@@ -2,12 +2,31 @@
 // inference latency and governor decision cost. These back the §V.D claim
 // that one SSMDVFS decision is cheap relative to a 10 µs epoch, and
 // document the simulator's own performance envelope.
+//
+// Beyond the interactive google-benchmark output, the binary always ends by
+// measuring the packed-vs-reference inference contrast directly and writing
+// the machine-readable BENCH_inference.json (override the path with
+// SSM_BENCH_INFERENCE_OUT). tools/bench_check compares that file against
+// the committed baseline in bench/baselines/. Pass
+// --benchmark_filter=__none__ to skip the interactive suite and emit only
+// the JSON report.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <vector>
+
+#include "bench_common.hpp"
 #include "compress/pruning.hpp"
 #include "core/ssm_governor.hpp"
 #include "datagen/generator.hpp"
 #include "gpusim/gpu.hpp"
+#include "gpusim/runner.hpp"
+#include "nn/packed_mlp.hpp"
 #include "workloads/kernel_profile.hpp"
 
 namespace ssm {
@@ -56,16 +75,113 @@ Mlp makeNet(bool compressed, bool pruned) {
   return net;
 }
 
+const std::vector<double>& probeInput() {
+  static const std::vector<double> input{1.2, 0.4, -0.3, 0.9, 0.1, 0.1};
+  return input;
+}
+
 void BM_ModelInference(benchmark::State& state, bool compressed,
                        bool pruned) {
   const Mlp net = makeNet(compressed, pruned);
-  const std::vector<double> input{1.2, 0.4, -0.3, 0.9, 0.1, 0.1};
+  const std::vector<double>& input = probeInput();
   for (auto _ : state) benchmark::DoNotOptimize(net.forward(input));
   state.counters["flops"] = static_cast<double>(net.flops());
+  state.counters["flops_dense"] = static_cast<double>(net.denseFlops());
 }
 BENCHMARK_CAPTURE(BM_ModelInference, uncompressed, false, false);
 BENCHMARK_CAPTURE(BM_ModelInference, compressed, true, false);
 BENCHMARK_CAPTURE(BM_ModelInference, compressed_pruned, true, true);
+
+void BM_PackedInference(benchmark::State& state, bool compressed,
+                        bool pruned) {
+  const Mlp net = makeNet(compressed, pruned);
+  const PackedMlp packed(net);
+  PackedMlp::Scratch scratch = packed.makeScratch();
+  std::vector<double> out(static_cast<std::size_t>(packed.outputDim()));
+  const std::vector<double>& input = probeInput();
+  for (auto _ : state) {
+    packed.forward(input, scratch, out);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.counters["flops_executed"] =
+      static_cast<double>(packed.flopsExecuted());
+  state.counters["sparse_layers"] =
+      static_cast<double>(packed.sparseLayerCount());
+}
+BENCHMARK_CAPTURE(BM_PackedInference, uncompressed, false, false);
+BENCHMARK_CAPTURE(BM_PackedInference, compressed, true, false);
+BENCHMARK_CAPTURE(BM_PackedInference, compressed_pruned, true, true);
+
+/// Fills an R x 6 feature batch with deterministic per-row perturbations of
+/// the probe input (one row per cluster in the batched-decision use case).
+Matrix makeBatch(std::size_t rows) {
+  Matrix batch(rows, probeInput().size());
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < batch.cols(); ++c)
+      batch(r, c) = probeInput()[c] + 0.01 * static_cast<double>(r);
+  return batch;
+}
+
+void BM_PackedInferenceBatch(benchmark::State& state) {
+  const Mlp net = makeNet(true, true);
+  const PackedMlp packed(net);
+  const GpuConfig cfg;  // one row per cluster, the Decision-maker batch
+  const auto rows = static_cast<std::size_t>(cfg.num_clusters);
+  const Matrix batch = makeBatch(rows);
+  Matrix out(rows, static_cast<std::size_t>(packed.outputDim()));
+  PackedMlp::Scratch scratch = packed.makeScratch();
+  packed.reserveBatchScratch(scratch, rows);
+  for (auto _ : state) {
+    packed.forwardBatch(batch, scratch, out);
+    benchmark::DoNotOptimize(out(0, 0));
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(rows));
+}
+BENCHMARK(BM_PackedInferenceBatch);
+
+const FullSystem& sharedSystem() {
+  static const FullSystem sys = bench::buildSharedSystem();
+  return sys;
+}
+
+/// One representative mid-run cluster observation for the decision path.
+EpochObservation sampleObservation() {
+  GpuConfig cfg;
+  Gpu gpu(cfg, VfTable::titanX(), workloadByName("sgemm"), 1,
+          ChipPowerModel(cfg.num_clusters));
+  GpuEpochReport report = gpu.runEpochUniform(5);
+  for (int e = 0; e < 4; ++e) report = gpu.runEpochUniform(5);
+  return report.clusters.front();
+}
+
+void BM_GovernorDecide(benchmark::State& state, bool compressed) {
+  const FullSystem& sys = sharedSystem();
+  SsmdvfsGovernor gov(compressed ? sys.compressed : sys.uncompressed,
+                      SsmGovernorConfig{});
+  const EpochObservation obs = sampleObservation();
+  for (auto _ : state) benchmark::DoNotOptimize(gov.decide(obs));
+}
+BENCHMARK_CAPTURE(BM_GovernorDecide, uncompressed, false);
+BENCHMARK_CAPTURE(BM_GovernorDecide, compressed, true);
+
+void BM_SweepThroughput(benchmark::State& state) {
+  const FullSystem& sys = sharedSystem();
+  const SsmGovernorFactory factory(sys.compressed, SsmGovernorConfig{});
+  const std::vector<KernelProfile> programs = {workloadByName("sgemm")};
+  const SequenceConfig seq;
+  std::int64_t epochs = 0;
+  for (auto _ : state) {
+    const std::vector<RunResult> results =
+        runSequence(programs, factory, "ssmdvfs-comp", seq);
+    epochs += results.front().epochs;
+    benchmark::DoNotOptimize(results.front().edp);
+  }
+  state.SetItemsProcessed(epochs);  // items/s == governed epochs per second
+}
+BENCHMARK(BM_SweepThroughput)->Unit(benchmark::kMillisecond);
 
 void BM_DatagenBreakpoint(benchmark::State& state) {
   GpuConfig cfg;
@@ -81,7 +197,151 @@ void BM_DatagenBreakpoint(benchmark::State& state) {
 }
 BENCHMARK(BM_DatagenBreakpoint)->Unit(benchmark::kMillisecond);
 
+// --- machine-readable packed-inference report (BENCH_inference.json) ------
+
+/// Best (minimum) of `repeats` timing samples of `ops` calls each, in
+/// ns/op. On a shared core the minimum is the robust latency estimate —
+/// preemption only ever inflates a sample — which keeps the committed
+/// baseline comparable across runs for tools/bench_check.
+template <typename F>
+double bestNsPerOp(F&& fn, int ops, int repeats) {
+  for (int i = 0; i < ops / 4; ++i) fn();  // warm caches and branch state
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < repeats; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < ops; ++i) fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(
+        best,
+        std::chrono::duration<double, std::nano>(t1 - t0).count() / ops);
+  }
+  return best;
+}
+
 }  // namespace
+
+/// Times the deployment configuration (the (0.6, 0.9)-pruned 6-12-12-6
+/// Decision-maker) through both engines plus the surrounding decision
+/// machinery and writes one flat JSON object. Keys are stable: bench_check
+/// and CI parse them.
+void writeInferenceReport(const std::string& path) {
+  const Mlp dense_net = makeNet(false, false);  // the 9x20-class reference
+  const Mlp net = makeNet(true, true);          // the deployed pruned model
+  const PackedMlp packed(net);
+  PackedMlp::Scratch scratch = packed.makeScratch();
+  std::vector<double> out(static_cast<std::size_t>(packed.outputDim()));
+  const std::vector<double>& input = probeInput();
+
+  constexpr int kOps = 20000;
+  constexpr int kRepeats = 9;
+  // The headline single-decision contrast mirrors the paper's deployment
+  // story (§IV, Table II: ~366 useful FLOPs instead of the dense 6960):
+  // the reference decision runs the uncompressed network through
+  // Mlp::forward — dense matvecs through every stored weight, one heap
+  // allocation per layer, softmax — plus argmax, while the deployed
+  // decision runs the (0.6, 0.9)-pruned model through
+  // PackedMlp::predictClass, which walks only stored non-zeros, never
+  // allocates, and skips the softmax (argmax over logits equals argmax
+  // over probabilities). Same-engine/same-model contrasts are reported
+  // alongside so each factor is visible on its own.
+  const double reference_dense_decide_ns = bestNsPerOp(
+      [&] { benchmark::DoNotOptimize(dense_net.predictClass(input)); }, kOps,
+      kRepeats);
+  const double reference_ns = bestNsPerOp(
+      [&] { benchmark::DoNotOptimize(net.forward(input)); }, kOps, kRepeats);
+  const double packed_ns = bestNsPerOp(
+      [&] {
+        packed.forward(input, scratch, out);
+        benchmark::DoNotOptimize(out.data());
+        benchmark::ClobberMemory();
+      },
+      kOps, kRepeats);
+  const double reference_decide_ns = bestNsPerOp(
+      [&] { benchmark::DoNotOptimize(net.predictClass(input)); }, kOps,
+      kRepeats);
+  const double packed_decide_ns = bestNsPerOp(
+      [&] { benchmark::DoNotOptimize(packed.predictClass(input, scratch)); },
+      kOps, kRepeats);
+
+  const GpuConfig gpu_cfg;
+  const auto rows = static_cast<std::size_t>(gpu_cfg.num_clusters);
+  const Matrix batch = makeBatch(rows);
+  Matrix batch_out(rows, static_cast<std::size_t>(packed.outputDim()));
+  packed.reserveBatchScratch(scratch, rows);
+  const double batch_row_ns =
+      bestNsPerOp(
+          [&] {
+            packed.forwardBatch(batch, scratch, batch_out);
+            benchmark::DoNotOptimize(batch_out(0, 0));
+            benchmark::ClobberMemory();
+          },
+          kOps / static_cast<int>(rows), kRepeats) /
+      static_cast<double>(rows);
+
+  const FullSystem& sys = sharedSystem();
+  SsmdvfsGovernor gov(sys.compressed, SsmGovernorConfig{});
+  const EpochObservation obs = sampleObservation();
+  const double decide_ns = bestNsPerOp(
+      [&] { benchmark::DoNotOptimize(gov.decide(obs)); }, kOps, kRepeats);
+
+  const SsmGovernorFactory factory(sys.compressed, SsmGovernorConfig{});
+  const std::vector<KernelProfile> programs = {workloadByName("sgemm")};
+  const SequenceConfig seq;
+  std::int64_t sweep_epochs = 0;
+  const double sweep_ns_per_run = bestNsPerOp(
+      [&] {
+        const std::vector<RunResult> results =
+            runSequence(programs, factory, "ssmdvfs-comp", seq);
+        sweep_epochs = results.front().epochs;
+        benchmark::DoNotOptimize(results.front().edp);
+      },
+      4, 5);
+  const double sweep_epochs_per_sec =
+      static_cast<double>(sweep_epochs) * 1e9 / sweep_ns_per_run;
+
+  std::ofstream os(path);
+  SSM_CHECK(os.good(), "cannot open BENCH_inference.json output path");
+  os << "{\n"
+     << "  \"model\": \"decision_6-12-12-6_pruned_0.6_0.9\",\n"
+     << "  \"reference_model\": \"decision_6-20x5-6_dense\",\n"
+     << "  \"reference_dense_decide_ns\": " << reference_dense_decide_ns
+     << ",\n"
+     << "  \"packed_decide_ns\": " << packed_decide_ns << ",\n"
+     << "  \"speedup_packed_vs_reference\": "
+     << reference_dense_decide_ns / packed_decide_ns << ",\n"
+     << "  \"reference_forward_ns\": " << reference_ns << ",\n"
+     << "  \"packed_forward_ns\": " << packed_ns << ",\n"
+     << "  \"speedup_same_model_forward\": " << reference_ns / packed_ns
+     << ",\n"
+     << "  \"reference_decide_ns\": " << reference_decide_ns << ",\n"
+     << "  \"speedup_same_model_decide\": "
+     << reference_decide_ns / packed_decide_ns << ",\n"
+     << "  \"packed_batch_row_ns\": " << batch_row_ns << ",\n"
+     << "  \"batch_rows\": " << rows << ",\n"
+     << "  \"governor_decide_ns\": " << decide_ns << ",\n"
+     << "  \"sweep_epochs_per_sec\": " << sweep_epochs_per_sec << ",\n"
+     << "  \"flops_dense_reference\": " << dense_net.denseFlops() << ",\n"
+     << "  \"flops_dense\": " << net.denseFlops() << ",\n"
+     << "  \"flops_masked\": " << net.flops() << ",\n"
+     << "  \"flops_executed\": " << packed.flopsExecuted() << ",\n"
+     << "  \"sparse_layers\": " << packed.sparseLayerCount() << ",\n"
+     << "  \"layers\": " << packed.layerCount() << "\n"
+     << "}\n";
+  std::cout << "wrote " << path << " (single-decision speedup, packed "
+            << "pruned model vs dense reference: "
+            << reference_dense_decide_ns / packed_decide_ns << "x; same "
+            << "model: " << reference_decide_ns / packed_decide_ns
+            << "x)\n";
+}
+
 }  // namespace ssm
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  const char* out = std::getenv("SSM_BENCH_INFERENCE_OUT");
+  ssm::writeInferenceReport(out != nullptr ? out : "BENCH_inference.json");
+  return 0;
+}

@@ -31,7 +31,16 @@ namespace detail {
 
 /// Checks a precondition/invariant; throws ContractError with location info
 /// on failure. `msg` may add context beyond the stringified expression.
-inline void checkThat(bool ok, const char* expr, const std::string& msg = {},
+inline void checkThat(bool ok, const char* expr, const std::string& msg,
+                      const std::source_location loc =
+                          std::source_location::current()) {
+  if (!ok) detail::throwContract(expr, msg, loc);
+}
+
+/// Literal-message overload: defers std::string construction to the throw
+/// path so checks with messages longer than the SSO buffer stay
+/// allocation-free on success (the packed decision path relies on this).
+inline void checkThat(bool ok, const char* expr, const char* msg = "",
                       const std::source_location loc =
                           std::source_location::current()) {
   if (!ok) detail::throwContract(expr, msg, loc);

@@ -142,6 +142,9 @@ ModelPruneReport pruneAndFinetune(SsmModel& model, const Dataset& train,
   report.calibrator.neurons_removed =
       neuronPrune(model.calibratorNet(), params.x2);
   finetune(model, train, per_step_epochs);
+  // The packed engines snapshot weights at compile time; refresh them so
+  // decisions pick up the pruned (and now much sparser) networks.
+  model.recompilePacked();
 
   report.decision.flops_after = model.decisionNet().flops();
   report.decision.weight_sparsity = model.decisionNet().sparsity();

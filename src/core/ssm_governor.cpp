@@ -14,6 +14,12 @@ SsmdvfsGovernor::SsmdvfsGovernor(std::shared_ptr<const SsmModel> model,
   SSM_CHECK(cfg_.loss_preset >= 0.0, "preset must be non-negative");
   SSM_CHECK(cfg_.preset_ceil_frac >= cfg_.preset_floor_frac,
             "preset bounds inverted");
+  // Every per-decide buffer is sized here, once: the decide() hot path
+  // runs through the packed engines without touching the heap.
+  const auto levels = static_cast<std::size_t>(model_->config().num_levels);
+  ewma_loss_.assign(levels, -1.0);  // ssm-lint: allow(hot-path-alloc)
+  insts_k_.assign(levels, 0.0);    // ssm-lint: allow(hot-path-alloc)
+  scratch_ = model_->makeScratch();
 }
 
 void SsmdvfsGovernor::setLossPreset(double preset) {
@@ -31,7 +37,7 @@ void SsmdvfsGovernor::reset() {
   working_preset_ = cfg_.loss_preset;
   predicted_insts_k_ = 0.0;
   have_prediction_ = false;
-  ewma_loss_.clear();
+  std::fill(ewma_loss_.begin(), ewma_loss_.end(), -1.0);
 }
 
 VfLevel SsmdvfsGovernor::decide(const EpochObservation& obs) {
@@ -59,22 +65,23 @@ VfLevel SsmdvfsGovernor::decide(const EpochObservation& obs) {
   // --- decision for the next epoch ----------------------------------------
   const double preset =
       cfg_.calibrate ? working_preset_ : cfg_.loss_preset;
-  int level = model_->decideLevel(obs.counters, preset);
+  int level = model_->decideLevel(obs.counters, preset, scratch_);
 
   // --- calibrator assessment of the chosen level (§II) ---------------------
   // Estimated next-epoch loss at level k: how much longer the same work
   // takes than at the default point, from the Calibrator's instruction
-  // predictions. Estimates are EWMA-smoothed across epochs (regression
-  // noise is per-query independent) and the level is raised until the
-  // smoothed estimate fits the preset.
-  if (cfg_.calibrate && cfg_.calibrator_veto) {
+  // predictions. All levels are queried in one batched pass over the packed
+  // Calibrator's weight stream; estimates are EWMA-smoothed across epochs
+  // (regression noise is per-query independent) and the level is raised
+  // until the smoothed estimate fits the preset.
+  const bool veto = cfg_.calibrate && cfg_.calibrator_veto;
+  if (veto) {
     const int default_level = model_->config().num_levels - 1;
-    const double i_ref =
-        model_->predictInstsK(obs.counters, cfg_.loss_preset, default_level);
-    ewma_loss_.resize(static_cast<std::size_t>(default_level) + 1, -1.0);
+    model_->predictInstsKAllLevels(obs.counters, cfg_.loss_preset, scratch_,
+                                   insts_k_);
+    const double i_ref = insts_k_[static_cast<std::size_t>(default_level)];
     for (int k = 0; k < default_level; ++k) {
-      const double i_k =
-          model_->predictInstsK(obs.counters, cfg_.loss_preset, k);
+      const double i_k = insts_k_[static_cast<std::size_t>(k)];
       const double fresh =
           i_k > 1e-6 ? std::max(0.0, i_ref / i_k - 1.0) : 1.0;
       double& slot = ewma_loss_[static_cast<std::size_t>(k)];
@@ -90,8 +97,12 @@ VfLevel SsmdvfsGovernor::decide(const EpochObservation& obs) {
   }
 
   // --- calibrator prediction for the next epoch (original preset, §III.C) -
+  // The veto pass already evaluated every level at the original preset, so
+  // its batch output is reused verbatim for the chosen level.
   predicted_insts_k_ =
-      model_->predictInstsK(obs.counters, cfg_.loss_preset, level);
+      veto ? insts_k_[static_cast<std::size_t>(level)]
+           : model_->predictInstsK(obs.counters, cfg_.loss_preset, level,
+                                   scratch_);
   have_prediction_ = true;
   return level;
 }
@@ -104,6 +115,8 @@ SsmGovernorFactory::SsmGovernorFactory(std::shared_ptr<const SsmModel> model,
 }
 
 std::unique_ptr<DvfsGovernor> SsmGovernorFactory::create(int) const {
+  // Cold path: one governor per cluster at run setup, not per epoch.
+  // ssm-lint: allow(hot-path-alloc)
   return std::make_unique<SsmdvfsGovernor>(model_, cfg_);
 }
 

@@ -70,8 +70,13 @@ class SsmdvfsGovernor final : public DvfsGovernor {
   double working_preset_;
   double predicted_insts_k_ = 0.0;
   bool have_prediction_ = false;
-  /// Smoothed per-level loss estimates for the calibrator veto.
+  /// Smoothed per-level loss estimates for the calibrator veto; sized at
+  /// construction (one slot per level) so decide() never grows it.
   std::vector<double> ewma_loss_;
+  /// Per-level Calibrator predictions from the batched veto query.
+  std::vector<double> insts_k_;
+  /// Packed-engine buffers: decide() performs zero heap allocations.
+  SsmModel::InferenceScratch scratch_;
 };
 
 /// Creates one SsmdvfsGovernor per cluster, all sharing one trained model.

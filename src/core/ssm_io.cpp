@@ -153,6 +153,7 @@ SsmModel deserializeModel(std::istream& is) {
   expect("calibrator");
   readNetInto(is, model.calibrator_);
   model.trained_ = true;
+  model.recompilePacked();
   return model;
 }
 

@@ -45,6 +45,12 @@ SsmModel::SsmModel(SsmModelConfig cfg)
   SSM_CHECK(cfg_.num_levels >= 2, "need at least two V/f levels");
   SSM_CHECK(cfg_.decode_theta > 0.0 && cfg_.decode_theta <= 1.0,
             "decode_theta must be in (0,1]");
+  recompilePacked();
+}
+
+void SsmModel::recompilePacked() {
+  packed_decision_ = PackedMlp(decision_);
+  packed_calibrator_ = PackedMlp(calibrator_);
 }
 
 void SsmModel::standardizeDecision(Matrix& m) const {
@@ -88,6 +94,7 @@ SsmTrainSummary SsmModel::train(const Dataset& train_set,
   AdamTrainer cal_trainer(cfg_.train);
   cal_trainer.fitRegression(calibrator_, cal_in, targets);
   trained_ = true;
+  recompilePacked();
 
   SsmTrainSummary summary;
   const Dataset& eval = holdout.empty() ? train_set : holdout;
@@ -164,6 +171,95 @@ double SsmModel::calibratorMape(const Dataset& ds) const {
 
 std::int64_t SsmModel::flops() const noexcept {
   return decision_.flops() + calibrator_.flops();
+}
+
+std::int64_t SsmModel::denseFlops() const noexcept {
+  return decision_.denseFlops() + calibrator_.denseFlops();
+}
+
+// -- packed inference -------------------------------------------------------
+
+SsmModel::InferenceScratch SsmModel::makeScratch() const {
+  const std::size_t feat = cfg_.features.size();
+  const std::size_t levels = static_cast<std::size_t>(cfg_.num_levels);
+  InferenceScratch s;
+  s.decision = packed_decision_.makeScratch();
+  s.calibrator = packed_calibrator_.makeScratch();
+  packed_calibrator_.reserveBatchScratch(s.calibrator, levels);
+  s.row.resize(feat + 1);
+  s.probs.resize(levels);
+  s.cal_rows = Matrix(levels, feat + 1 + levels);
+  s.cal_out = Matrix(levels, 1);
+  return s;
+}
+
+void SsmModel::fillDecisionRow(const CounterBlock& counters, double loss,
+                               std::span<double> row) const {
+  for (std::size_t f = 0; f < cfg_.features.size(); ++f)
+    row[f] = counters.get(cfg_.features[f]);
+  row[cfg_.features.size()] = loss;
+  if (trained_) standardizer_.apply(row.subspan(0, cfg_.features.size() + 1));
+}
+
+bool SsmModel::packedMatchesReference(const Mlp& net,
+                                      std::span<const double> row,
+                                      std::span<const double> got) const {
+  const std::vector<double> ref = net.forward(row);
+  return std::equal(ref.begin(), ref.end(), got.begin(), got.end());
+}
+
+int SsmModel::decideLevel(const CounterBlock& counters, double loss_preset,
+                          InferenceScratch& s) const {
+  fillDecisionRow(counters, loss_preset, s.row);
+  packed_decision_.forward(s.row, s.decision, s.probs);
+  SSM_AUDIT_CHECK(packedMatchesReference(decision_, s.row, s.probs),
+                  "packed Decision-maker diverged from the reference net "
+                  "(stale compile? call recompilePacked())");
+  const double max_p = *std::max_element(s.probs.begin(), s.probs.end());
+  for (std::size_t l = 0; l < s.probs.size(); ++l)
+    if (s.probs[l] >= cfg_.decode_theta * max_p) return static_cast<int>(l);
+  return static_cast<int>(s.probs.size()) - 1;
+}
+
+double SsmModel::predictInstsK(const CounterBlock& counters,
+                               double loss_preset, int level,
+                               InferenceScratch& s) const {
+  SSM_CHECK(level >= 0 && level < cfg_.num_levels, "level out of range");
+  const std::size_t feat = cfg_.features.size();
+  auto row = s.cal_rows.row(0);
+  fillDecisionRow(counters, loss_preset, row.subspan(0, feat + 1));
+  std::fill(row.begin() + static_cast<std::ptrdiff_t>(feat) + 1, row.end(),
+            0.0);
+  row[feat + 1 + static_cast<std::size_t>(level)] = 1.0;
+  const double insts_k = packed_calibrator_.predictScalar(row, s.calibrator);
+  SSM_AUDIT_CHECK(insts_k == calibrator_.predictScalar(row),
+                  "packed Calibrator diverged from the reference net "
+                  "(stale compile? call recompilePacked())");
+  return insts_k;
+}
+
+void SsmModel::predictInstsKAllLevels(const CounterBlock& counters,
+                                      double loss_preset, InferenceScratch& s,
+                                      std::span<double> out) const {
+  SSM_CHECK(out.size() == static_cast<std::size_t>(cfg_.num_levels),
+            "out must have one slot per level");
+  const std::size_t feat = cfg_.features.size();
+  const std::size_t levels = static_cast<std::size_t>(cfg_.num_levels);
+  auto first = s.cal_rows.row(0);
+  fillDecisionRow(counters, loss_preset, first.subspan(0, feat + 1));
+  std::fill(first.begin() + static_cast<std::ptrdiff_t>(feat) + 1,
+            first.end(), 0.0);
+  for (std::size_t k = 1; k < levels; ++k)
+    std::copy(first.begin(), first.end(), s.cal_rows.row(k).begin());
+  for (std::size_t k = 0; k < levels; ++k)
+    s.cal_rows.row(k)[feat + 1 + k] = 1.0;
+  packed_calibrator_.forwardBatch(s.cal_rows, s.calibrator, s.cal_out);
+  for (std::size_t k = 0; k < levels; ++k) {
+    out[k] = s.cal_out(k, 0);
+    SSM_AUDIT_CHECK(out[k] == calibrator_.predictScalar(s.cal_rows.row(k)),
+                    "packed batched Calibrator diverged from the reference "
+                    "net (stale compile? call recompilePacked())");
+  }
 }
 
 }  // namespace ssm

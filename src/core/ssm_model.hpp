@@ -25,6 +25,7 @@
 #include "counters/counters.hpp"
 #include "datagen/dataset.hpp"
 #include "nn/mlp.hpp"
+#include "nn/packed_mlp.hpp"
 #include "nn/trainer.hpp"
 
 namespace ssm {
@@ -90,6 +91,56 @@ class SsmModel {
   [[nodiscard]] double predictInstsK(const CounterBlock& counters,
                                      double loss_preset, int level) const;
 
+  // -- packed inference (the 10 µs decision path) --------------------------
+  //
+  // Same results as the reference entry points above, bit for bit, but
+  // evaluated through the compiled PackedMlp engines with caller-owned
+  // scratch: zero heap allocations per call (docs/inference.md).
+
+  /// Reusable buffers for the scratch entry points. One per governor
+  /// instance; create with makeScratch() after the model is trained.
+  struct InferenceScratch {
+    PackedMlp::Scratch decision;
+    PackedMlp::Scratch calibrator;
+    std::vector<double> row;    ///< standardized decision-input row
+    std::vector<double> probs;  ///< Decision-maker distribution
+    Matrix cal_rows;            ///< num_levels calibrator rows (batched)
+    Matrix cal_out;             ///< num_levels x 1 batched output
+  };
+
+  /// Allocates scratch sized for every scratch entry point, including the
+  /// all-levels batched Calibrator query (cold path).
+  [[nodiscard]] InferenceScratch makeScratch() const;
+
+  /// decideLevel through the packed Decision-maker. Allocation-free.
+  [[nodiscard]] int decideLevel(const CounterBlock& counters,
+                                double loss_preset,
+                                InferenceScratch& scratch) const;
+
+  /// predictInstsK through the packed Calibrator. Allocation-free.
+  [[nodiscard]] double predictInstsK(const CounterBlock& counters,
+                                     double loss_preset, int level,
+                                     InferenceScratch& scratch) const;
+
+  /// Batched Calibrator query: `out[k]` = predictInstsK(..., k) for every
+  /// level, one traversal of the weight stream. Allocation-free;
+  /// `out.size()` must equal config().num_levels.
+  void predictInstsKAllLevels(const CounterBlock& counters, double loss_preset,
+                              InferenceScratch& scratch,
+                              std::span<double> out) const;
+
+  /// Recompiles the packed engines from the current reference weights.
+  /// Called automatically by the constructor, train(), deserialization and
+  /// pruneAndFinetune; call manually after editing weights or masks.
+  void recompilePacked();
+
+  [[nodiscard]] const PackedMlp& packedDecision() const noexcept {
+    return packed_decision_;
+  }
+  [[nodiscard]] const PackedMlp& packedCalibrator() const noexcept {
+    return packed_calibrator_;
+  }
+
   // -- evaluation ---------------------------------------------------------
 
   [[nodiscard]] double decisionAccuracy(const Dataset& ds) const;
@@ -98,6 +149,8 @@ class SsmModel {
   // -- introspection ------------------------------------------------------
 
   [[nodiscard]] std::int64_t flops() const noexcept;
+  /// Dense (mask-blind) FLOPs of both heads — what a naive engine executes.
+  [[nodiscard]] std::int64_t denseFlops() const noexcept;
   [[nodiscard]] const SsmModelConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] Mlp& decisionNet() noexcept { return decision_; }
   [[nodiscard]] const Mlp& decisionNet() const noexcept { return decision_; }
@@ -129,9 +182,21 @@ class SsmModel {
   friend void serializeModel(const SsmModel&, std::ostream&);
   friend SsmModel deserializeModel(std::istream&);
 
+  /// Writes the raw (feature…, loss) decision row into `row` (width F+1)
+  /// and standardizes it when the model is trained. Allocation-free.
+  void fillDecisionRow(const CounterBlock& counters, double loss,
+                       std::span<double> row) const;
+
+  /// Audit-build helper: packed output must equal the reference net's.
+  [[nodiscard]] bool packedMatchesReference(const Mlp& net,
+                                            std::span<const double> row,
+                                            std::span<const double> got) const;
+
   SsmModelConfig cfg_;
   Mlp decision_;
   Mlp calibrator_;
+  PackedMlp packed_decision_;
+  PackedMlp packed_calibrator_;
   Standardizer standardizer_;  ///< over features + loss (width F+1)
   bool trained_ = false;
 };

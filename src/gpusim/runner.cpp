@@ -162,15 +162,19 @@ std::vector<RunResult> runSequence(const std::vector<KernelProfile>& programs,
 
   std::vector<RunResult> results;
   results.reserve(programs.size());
+  // Reused across programs; re-assigned (not re-constructed) per iteration
+  // so the sequence loop stops churning the heap once the first program
+  // sized them.
+  std::vector<VfLevel> levels;
+  std::vector<double> level_epochs;
   for (std::size_t p = 0; p < programs.size(); ++p) {
     Gpu gpu(cfg.gpu, cfg.vf, programs[p], cfg.seed + p,
             ChipPowerModel(cfg.gpu.num_clusters));
     for (auto& gov : governors) gov->reset();
 
-    std::vector<VfLevel> levels(
-        static_cast<std::size_t>(cfg.gpu.num_clusters),
-        gpu.vfTable().defaultLevel());
-    std::vector<double> level_epochs(gpu.vfTable().size(), 0.0);
+    levels.assign(static_cast<std::size_t>(cfg.gpu.num_clusters),
+                  gpu.vfTable().defaultLevel());
+    level_epochs.assign(gpu.vfTable().size(), 0.0);
 
     RunResult result;
     result.workload = programs[p].name;

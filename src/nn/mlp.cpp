@@ -140,6 +140,17 @@ std::int64_t Mlp::flops() const noexcept {
   return total;
 }
 
+std::int64_t Mlp::denseFlops() const noexcept {
+  std::int64_t total = 0;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const DenseLayer& layer = layers_[l];
+    total += 2 * static_cast<std::int64_t>(layer.inDim()) * layer.outDim();
+    total += layer.outDim();                              // bias adds
+    if (l + 1 < layers_.size()) total += layer.outDim();  // hidden ReLUs
+  }
+  return total;
+}
+
 std::int64_t Mlp::parameterCount() const noexcept {
   std::int64_t total = 0;
   for (const auto& layer : layers_)

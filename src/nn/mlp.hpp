@@ -83,6 +83,11 @@ class Mlp {
   /// ReLU on a neuron with at least one live incoming weight.
   [[nodiscard]] std::int64_t flops() const noexcept;
 
+  /// FLOPs a dense (mask-blind) forward pass executes: 2 per weight slot +
+  /// 1 per bias + 1 per hidden ReLU, pruned or not. flops() / denseFlops()
+  /// is the compute fraction the packed engine's CSR lowering can recover.
+  [[nodiscard]] std::int64_t denseFlops() const noexcept;
+
   /// Total (unmasked) parameter count.
   [[nodiscard]] std::int64_t parameterCount() const noexcept;
 

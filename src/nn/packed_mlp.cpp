@@ -1,0 +1,186 @@
+// Compile side of the packed inference engine. Everything that allocates
+// lives here: the hot forward loops are inline in packed_mlp.hpp, which is
+// a designated `hot-path-alloc` file for ssm_lint.
+#include "nn/packed_mlp.hpp"
+
+#include "nn/quantize.hpp"
+
+namespace ssm {
+
+void PackedMlp::packLayer(std::span<const double> weights,
+                          std::span<const double> bias, int in_dim,
+                          int out_dim, double density_threshold) {
+  SSM_CHECK(in_dim > 0 && out_dim > 0, "layer dims must be positive");
+  SSM_CHECK(weights.size() == static_cast<std::size_t>(in_dim) *
+                                  static_cast<std::size_t>(out_dim),
+            "weight count mismatch");
+  SSM_CHECK(bias.size() == static_cast<std::size_t>(out_dim),
+            "bias count mismatch");
+
+  // Density over *stored* values: applyMask() forces pruned weights to
+  // exactly 0.0, so exact zeros are precisely the terms a dense matvec
+  // would add as no-ops and CSR may skip without changing the result.
+  std::size_t nnz = 0;
+  for (double w : weights) nnz += (w != 0.0);
+  const double density = static_cast<double>(nnz) /
+                         static_cast<double>(weights.size());
+
+  Layer l;
+  l.in = in_dim;
+  l.out = out_dim;
+  l.sparse = density < density_threshold;
+  l.bias_off = bias_.size();
+  bias_.insert(bias_.end(), bias.begin(), bias.end());
+
+  if (l.sparse) {
+    l.val_off = csr_vals_.size();
+    l.rowptr_off = csr_rowptr_.size();
+    csr_vals_.reserve(csr_vals_.size() + nnz);
+    csr_cols_.reserve(csr_cols_.size() + nnz);
+    csr_rowptr_.reserve(csr_rowptr_.size() +
+                        static_cast<std::size_t>(out_dim) + 1);
+    std::int32_t count = 0;
+    csr_rowptr_.push_back(0);
+    for (int o = 0; o < out_dim; ++o) {
+      const double* row = weights.data() + static_cast<std::size_t>(o) *
+                                               static_cast<std::size_t>(in_dim);
+      for (int i = 0; i < in_dim; ++i) {
+        if (row[i] != 0.0) {
+          csr_vals_.push_back(row[i]);
+          csr_cols_.push_back(i);
+          ++count;
+        }
+      }
+      csr_rowptr_.push_back(count);
+    }
+  } else {
+    l.w_off = dense_w_.size();
+    dense_w_.insert(dense_w_.end(), weights.begin(), weights.end());
+  }
+
+  max_width_ = std::max(max_width_, std::max(in_dim, out_dim));
+  layers_.push_back(l);
+}
+
+PackedMlp::PackedMlp(const Mlp& net, const PackedMlpConfig& cfg)
+    : head_(net.head()),
+      input_dim_(net.inputDim()),
+      output_dim_(net.outputDim()) {
+  SSM_CHECK(net.layerCount() > 0, "cannot pack an empty network");
+  layers_.reserve(net.layerCount());
+  for (std::size_t l = 0; l < net.layerCount(); ++l) {
+    const DenseLayer& src = net.layer(l);
+    packLayer(src.weights().flat(), src.bias(), src.inDim(), src.outDim(),
+              cfg.sparse_density_threshold);
+    layers_.back().relu = l + 1 < net.layerCount();
+  }
+}
+
+PackedMlp::PackedMlp(const QuantizedMlp& net, const PackedMlpConfig& cfg)
+    : head_(net.head()), input_dim_(net.inputDim()) {
+  SSM_CHECK(!net.layers().empty(), "cannot pack an empty network");
+  const double act_qmax =
+      net.weightBits() == QuantBits::kInt8 ? 127.0 : 32767.0;
+  output_dim_ = net.layers().back().out_dim;
+  layers_.reserve(net.layers().size());
+  std::vector<double> dequant;
+  for (std::size_t l = 0; l < net.layers().size(); ++l) {
+    const QuantLayer& src = net.layers()[l];
+    // Pre-dequantize: QuantizedMlp::forward evaluates
+    //   acc += (double(w_q) * weight_scale) * act[i]
+    // left to right, so hoisting (w_q * weight_scale) out of the inner
+    // loop reproduces it exactly.
+    dequant.resize(src.weights.size());
+    for (std::size_t i = 0; i < src.weights.size(); ++i)
+      dequant[i] = static_cast<double>(src.weights[i]) * src.weight_scale;
+    packLayer(dequant, src.bias, src.in_dim, src.out_dim,
+              cfg.sparse_density_threshold);
+    Layer& packed = layers_.back();
+    packed.relu = l + 1 < net.layers().size();
+    packed.requant = net.activationsQuantized();
+    packed.act_scale = src.act_scale;
+    packed.act_qmax = act_qmax;
+  }
+}
+
+std::size_t PackedMlp::sparseLayerCount() const noexcept {
+  std::size_t n = 0;
+  for (const Layer& l : layers_) n += l.sparse;
+  return n;
+}
+
+std::int64_t PackedMlp::flopsExecuted() const noexcept {
+  std::int64_t total = 0;
+  for (const Layer& l : layers_) {
+    std::int64_t macs;
+    if (l.sparse) {
+      macs = csr_rowptr_[l.rowptr_off + static_cast<std::size_t>(l.out)] -
+             csr_rowptr_[l.rowptr_off];
+    } else {
+      macs = static_cast<std::int64_t>(l.in) * l.out;
+    }
+    total += 2 * macs;
+    total += l.out;               // bias adds
+    if (l.relu) total += l.out;   // hidden ReLUs
+  }
+  return total;
+}
+
+PackedMlp::Scratch PackedMlp::makeScratch() const {
+  SSM_CHECK(compiled(), "PackedMlp not compiled");
+  Scratch s;
+  s.ping.resize(static_cast<std::size_t>(max_width_));
+  s.pong.resize(static_cast<std::size_t>(max_width_));
+  s.head.resize(static_cast<std::size_t>(output_dim_));
+  return s;
+}
+
+void PackedMlp::reserveBatchScratch(Scratch& s, std::size_t rows) const {
+  SSM_CHECK(compiled(), "PackedMlp not compiled");
+  const std::size_t need =
+      std::max<std::size_t>(rows, 1) * static_cast<std::size_t>(max_width_);
+  if (s.ping.size() < need) s.ping.resize(need);
+  if (s.pong.size() < need) s.pong.resize(need);
+  if (s.head.size() < static_cast<std::size_t>(output_dim_))
+    s.head.resize(static_cast<std::size_t>(output_dim_));
+}
+
+void PackedMlp::forwardBatch(const Matrix& rows, Scratch& s,
+                             Matrix& out) const {
+  SSM_CHECK(compiled(), "PackedMlp not compiled");
+  SSM_CHECK(static_cast<int>(rows.cols()) == input_dim_,
+            "input width mismatch");
+  SSM_CHECK(out.rows() == rows.rows() &&
+                static_cast<int>(out.cols()) == output_dim_,
+            "output matrix shape mismatch");
+  const std::size_t n = rows.rows();
+  if (n == 0) return;
+  reserveBatchScratch(s, n);
+
+  const std::size_t stride = static_cast<std::size_t>(max_width_);
+  double* a = s.ping.data();
+  double* b = s.pong.data();
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto src = rows.row(r);
+    double* dst = a + r * stride;
+    for (int i = 0; i < input_dim_; ++i)
+      dst[i] = src[static_cast<std::size_t>(i)];
+  }
+  // Layer-outer / row-inner: one traversal of each layer's weight stream
+  // serves the whole batch. Per row this runs the exact same layerForward
+  // as the single-row path, so results match row-by-row bit-for-bit.
+  for (const Layer& l : layers_) {
+    for (std::size_t r = 0; r < n; ++r)
+      layerForward(l, a + r * stride, b + r * stride);
+    std::swap(a, b);
+  }
+  for (std::size_t r = 0; r < n; ++r) {
+    const double* src = a + r * stride;
+    auto dst = out.row(r);
+    for (int o = 0; o < output_dim_; ++o)
+      dst[static_cast<std::size_t>(o)] = src[o];
+    finishHead(dst.data());
+  }
+}
+
+}  // namespace ssm

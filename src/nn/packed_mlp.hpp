@@ -1,0 +1,244 @@
+// Packed inference engine: the §IV.B–C payoff, cashed in.
+//
+// `Mlp::forward` heap-allocates two std::vector<double> per call and
+// multiplies densely through weights the pruning mask already zeroed, so a
+// (0.6, 0.9) two-stage-pruned model still pays for 6960 dense FLOPs. A
+// PackedMlp is a compiled snapshot of a trained network optimised for the
+// 10 µs decision path:
+//
+//   * all layer weights live in one contiguous, layer-fused buffer (dense
+//     rows or CSR triples), biases in another — one cache stream per pass;
+//   * the caller owns the ping-pong activation scratch, so a forward pass
+//     performs zero heap allocations (enforced by the `hot-path-alloc`
+//     ssm_lint rule on this header and asserted by tests/test_packed.cpp);
+//   * a layer whose live-weight density falls below the configured
+//     threshold is lowered to a CSR sparse matvec, so the pruned model
+//     executes ~366 useful FLOPs instead of the dense 6960;
+//   * a batched entry point evaluates many feature rows in one call with
+//     one traversal of the weight stream per layer (Decision-maker over
+//     all clusters, Calibrator over all V/f levels, evaluation loops).
+//
+// Numerical contract: for finite inputs the packed pass reproduces
+// `Mlp::forward` exactly — the CSR path only skips terms whose stored
+// weight is exactly zero, and the surviving terms keep the dense loop's
+// accumulation order — so governors, sweeps and datagen switch engines
+// without changing a single decision (goldens stay byte-identical).
+//
+// Staleness contract: a PackedMlp is a snapshot. After mutating the source
+// network's weights or masks (pruning, fine-tuning), recompile; SsmModel
+// owns that trigger via recompilePacked(), and audit builds cross-check
+// packed output against the reference net on every decision.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+#include "nn/mlp.hpp"
+
+namespace ssm {
+
+class QuantizedMlp;
+
+struct PackedMlpConfig {
+  /// A layer whose live-weight density is strictly below this compiles to
+  /// CSR; denser layers keep the fused dense layout. 0 forces all-dense,
+  /// anything above 1 forces all-CSR. The default is tuned on the deployed
+  /// (0.6, 0.9)-pruned Decision-maker: its first layer lands at ~0.56
+  /// density, where the shorter CSR accumulation chains still beat the
+  /// dense row walk on the decision-latency benchmark.
+  double sparse_density_threshold = 0.6;
+};
+
+class PackedMlp {
+ public:
+  /// Caller-owned activation buffers. Create with makeScratch() (sized for
+  /// one row) and grow with reserveBatchScratch() before batched calls; a
+  /// correctly sized scratch makes every forward entry allocation-free.
+  struct Scratch {
+    std::vector<double> ping;
+    std::vector<double> pong;
+    std::vector<double> head;  ///< output row for predictClass/predictScalar
+  };
+
+  PackedMlp() = default;
+
+  /// Compiles a float network. The source net is not referenced afterwards.
+  explicit PackedMlp(const Mlp& net, const PackedMlpConfig& cfg = {});
+
+  /// Compiles a quantized network: weights are pre-dequantized
+  /// (w_q * weight_scale) and the inter-layer activation requantization is
+  /// replayed as a per-layer post-op, reproducing QuantizedMlp::forward
+  /// exactly.
+  explicit PackedMlp(const QuantizedMlp& net, const PackedMlpConfig& cfg = {});
+
+  [[nodiscard]] bool compiled() const noexcept { return !layers_.empty(); }
+  [[nodiscard]] int inputDim() const noexcept { return input_dim_; }
+  [[nodiscard]] int outputDim() const noexcept { return output_dim_; }
+  [[nodiscard]] Head head() const noexcept { return head_; }
+  [[nodiscard]] std::size_t layerCount() const noexcept {
+    return layers_.size();
+  }
+  /// Number of layers lowered to the CSR sparse matvec.
+  [[nodiscard]] std::size_t sparseLayerCount() const noexcept;
+  /// FLOPs one forward pass actually executes: 2 per stored (non-zero)
+  /// weight + one bias add per output neuron + one ReLU per hidden neuron.
+  [[nodiscard]] std::int64_t flopsExecuted() const noexcept;
+
+  /// Allocates scratch sized for single-row inference (cold path).
+  [[nodiscard]] Scratch makeScratch() const;
+
+  /// Grows `s` so forwardBatch can process up to `rows` rows without
+  /// allocating (cold path; no-op when already large enough).
+  void reserveBatchScratch(Scratch& s, std::size_t rows) const;
+
+  /// Single-row forward. `out.size()` must equal outputDim(); for the
+  /// classifier head `out` receives the softmax probabilities. Performs no
+  /// heap allocation.
+  void forward(std::span<const double> input, Scratch& s,
+               std::span<double> out) const {
+    checkSingle(input, s);
+    SSM_CHECK(static_cast<int>(out.size()) == output_dim_,
+              "output width mismatch");
+    forwardRaw(input.data(), s, out.data());
+    finishHead(out.data());
+  }
+
+  /// Classifier convenience: argmax class. Allocation-free.
+  [[nodiscard]] int predictClass(std::span<const double> input,
+                                 Scratch& s) const {
+    SSM_CHECK(head_ == Head::kSoftmaxClassifier,
+              "predictClass requires a classifier head");
+    checkSingle(input, s);
+    forwardRaw(input.data(), s, s.head.data());
+    // No softmax needed: argmax over logits == argmax over probabilities.
+    const double* h = s.head.data();
+    return static_cast<int>(std::max_element(h, h + output_dim_) - h);
+  }
+
+  /// Regression convenience: first output. Allocation-free.
+  [[nodiscard]] double predictScalar(std::span<const double> input,
+                                     Scratch& s) const {
+    SSM_CHECK(head_ == Head::kRegression,
+              "predictScalar requires a regression head");
+    checkSingle(input, s);
+    forwardRaw(input.data(), s, s.head.data());
+    return s.head[0];
+  }
+
+  /// Batched forward: `rows` is R x inputDim, `out` must be R x outputDim.
+  /// Each layer's weight stream is traversed once for the whole batch;
+  /// per-row results are identical to R single-row forward calls. Grows the
+  /// scratch on first use for a given R (amortised allocation-free).
+  void forwardBatch(const Matrix& rows, Scratch& s, Matrix& out) const;
+
+ private:
+  /// One compiled layer; offsets index the fused pools below.
+  struct Layer {
+    int in = 0;
+    int out = 0;
+    bool sparse = false;   ///< CSR matvec instead of dense rows
+    bool relu = false;     ///< hidden layer: clamp activations at zero
+    bool requant = false;  ///< quantized-activation emulation post-op
+    double act_scale = 1.0;
+    double act_qmax = 0.0;
+    std::size_t w_off = 0;       ///< dense_w_: out*in doubles (dense only)
+    std::size_t val_off = 0;     ///< csr_vals_/csr_cols_ (sparse only)
+    std::size_t rowptr_off = 0;  ///< csr_rowptr_: out+1 entries
+    std::size_t bias_off = 0;    ///< bias_: out doubles
+  };
+
+  /// Shared compile tail: lowers `layer` from a dense row-major weight
+  /// view and appends it to the pools.
+  void packLayer(std::span<const double> weights, std::span<const double> bias,
+                 int in_dim, int out_dim, double density_threshold);
+
+  void checkSingle(std::span<const double> input, const Scratch& s) const {
+    SSM_CHECK(compiled(), "PackedMlp not compiled");
+    SSM_CHECK(static_cast<int>(input.size()) == input_dim_,
+              "input width mismatch");
+    SSM_CHECK(s.ping.size() >= static_cast<std::size_t>(max_width_) &&
+                  s.pong.size() >= static_cast<std::size_t>(max_width_) &&
+                  s.head.size() >= static_cast<std::size_t>(output_dim_),
+              "scratch too small; create it with makeScratch()");
+  }
+
+  /// ReLU / requant post-ops on one accumulated neuron. Fused into the
+  /// matvec row loop so each activation is produced in a single pass; the
+  /// operations themselves are identical to Mlp::forward's separate sweeps.
+  [[nodiscard]] static double finishNeuron(const Layer& l,
+                                           double acc) noexcept {
+    if (l.relu) acc = std::max(0.0, acc);
+    if (l.requant)
+      acc = std::clamp(std::nearbyint(acc / l.act_scale), -l.act_qmax,
+                       l.act_qmax) *
+            l.act_scale;
+    return acc;
+  }
+
+  /// y = mask(W) x + b for one compiled layer, then the ReLU / requant
+  /// post-ops. Accumulation order matches Mlp::forward bit-for-bit.
+  void layerForward(const Layer& l, const double* in,
+                    double* out) const noexcept {
+    const double* bias = bias_.data() + l.bias_off;
+    if (l.sparse) {
+      const double* vals = csr_vals_.data() + l.val_off;
+      const std::int32_t* cols = csr_cols_.data() + l.val_off;
+      const std::int32_t* rowptr = csr_rowptr_.data() + l.rowptr_off;
+      for (int o = 0; o < l.out; ++o) {
+        double acc = bias[o];
+        const std::int32_t end = rowptr[o + 1];
+        for (std::int32_t k = rowptr[o]; k < end; ++k)
+          acc += vals[k] * in[cols[k]];
+        out[o] = finishNeuron(l, acc);
+      }
+    } else {
+      const double* w = dense_w_.data() + l.w_off;
+      for (int o = 0; o < l.out; ++o) {
+        const double* wr = w + static_cast<std::size_t>(o) *
+                                   static_cast<std::size_t>(l.in);
+        double acc = bias[o];
+        for (int i = 0; i < l.in; ++i) acc += wr[i] * in[i];
+        out[o] = finishNeuron(l, acc);
+      }
+    }
+  }
+
+  /// Runs every layer ping-pong and writes the raw head row (pre-softmax)
+  /// into `out` (>= outputDim doubles). The first layer reads the caller's
+  /// input in place, so nothing is copied into the scratch up front.
+  void forwardRaw(const double* input, Scratch& s,
+                  double* out) const noexcept {
+    const double* in = input;
+    double* cur = s.ping.data();
+    double* nxt = s.pong.data();
+    for (const Layer& l : layers_) {
+      layerForward(l, in, cur);
+      in = cur;
+      std::swap(cur, nxt);
+    }
+    for (int o = 0; o < output_dim_; ++o) out[o] = in[o];
+  }
+
+  /// Head post-op on a raw output row (softmax for classifiers).
+  void finishHead(double* out) const noexcept {
+    if (head_ == Head::kSoftmaxClassifier)
+      softmaxInPlace({out, static_cast<std::size_t>(output_dim_)});
+  }
+
+  Head head_ = Head::kRegression;
+  int input_dim_ = 0;
+  int output_dim_ = 0;
+  int max_width_ = 0;  ///< widest activation row across all layers
+  std::vector<Layer> layers_;
+  std::vector<double> dense_w_;        ///< fused dense rows
+  std::vector<double> csr_vals_;       ///< fused CSR values
+  std::vector<std::int32_t> csr_cols_; ///< fused CSR column indices
+  std::vector<std::int32_t> csr_rowptr_;
+  std::vector<double> bias_;           ///< fused biases
+};
+
+}  // namespace ssm

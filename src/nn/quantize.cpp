@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "common/stats.hpp"
+#include "nn/packed_mlp.hpp"
 
 namespace ssm {
 
@@ -139,19 +140,32 @@ double quantizationDrift(const Mlp& net, const QuantizedMlp& q,
                          const Matrix& probe_inputs) {
   SSM_CHECK(probe_inputs.rows() > 0, "need probe inputs");
   SSM_CHECK(net.head() == q.head(), "head mismatch");
+  // Both engines lower to packed form and sweep the probe set in one
+  // batched pass each (bit-identical to the per-row reference forwards).
+  const PackedMlp ref_packed(net);
+  const PackedMlp q_packed(q);
+  auto scratch = ref_packed.makeScratch();
+  const std::size_t n = probe_inputs.rows();
+  const auto width = static_cast<std::size_t>(net.outputDim());
+  Matrix ref_out(n, width);
+  Matrix q_out(n, width);
+  ref_packed.forwardBatch(probe_inputs, scratch, ref_out);
+  q_packed.forwardBatch(probe_inputs, scratch, q_out);
   if (net.head() == Head::kSoftmaxClassifier) {
     std::size_t changed = 0;
-    for (std::size_t r = 0; r < probe_inputs.rows(); ++r)
-      changed += net.predictClass(probe_inputs.row(r)) !=
-                 q.predictClass(probe_inputs.row(r));
-    return static_cast<double>(changed) /
-           static_cast<double>(probe_inputs.rows());
+    for (std::size_t r = 0; r < n; ++r) {
+      const auto a = ref_out.row(r);
+      const auto b = q_out.row(r);
+      changed += (std::max_element(a.begin(), a.end()) - a.begin()) !=
+                 (std::max_element(b.begin(), b.end()) - b.begin());
+    }
+    return static_cast<double>(changed) / static_cast<double>(n);
   }
-  std::vector<double> ref(probe_inputs.rows());
-  std::vector<double> quant(probe_inputs.rows());
-  for (std::size_t r = 0; r < probe_inputs.rows(); ++r) {
-    ref[r] = net.predictScalar(probe_inputs.row(r));
-    quant[r] = q.predictScalar(probe_inputs.row(r));
+  std::vector<double> ref(n);
+  std::vector<double> quant(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    ref[r] = ref_out(r, 0);
+    quant[r] = q_out(r, 0);
   }
   return mapePercent(ref, quant, /*floor=*/1e-3) / 100.0;
 }

@@ -57,6 +57,11 @@ class QuantizedMlp {
   [[nodiscard]] QuantBits weightBits() const noexcept {
     return cfg_.weight_bits;
   }
+  /// Whether the forward pass replays inter-layer activation
+  /// requantization (i.e. scales were calibrated at construction).
+  [[nodiscard]] bool activationsQuantized() const noexcept {
+    return activations_quantized_;
+  }
 
   /// Storage for quantized weights + float biases, in bytes.
   [[nodiscard]] std::int64_t modelBytes() const noexcept;

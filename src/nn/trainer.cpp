@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/stats.hpp"
+#include "nn/packed_mlp.hpp"
 
 namespace ssm {
 
@@ -224,18 +225,31 @@ double classifierAccuracy(const Mlp& net, const Matrix& inputs,
                           std::span<const int> labels) {
   SSM_CHECK(inputs.rows() == labels.size(), "inputs/labels size mismatch");
   if (inputs.rows() == 0) return 0.0;
+  // Evaluation sweeps the whole holdout every call: compile once and run
+  // the batched packed engine (bit-identical to per-row Mlp::forward).
+  const PackedMlp packed(net);
+  auto scratch = packed.makeScratch();
+  Matrix out(inputs.rows(), static_cast<std::size_t>(net.outputDim()));
+  packed.forwardBatch(inputs, scratch, out);
   std::size_t hits = 0;
-  for (std::size_t r = 0; r < inputs.rows(); ++r)
-    hits += net.predictClass(inputs.row(r)) == labels[r];
+  for (std::size_t r = 0; r < inputs.rows(); ++r) {
+    const auto probs = out.row(r);
+    const int pred = static_cast<int>(
+        std::max_element(probs.begin(), probs.end()) - probs.begin());
+    hits += pred == labels[r];
+  }
   return static_cast<double>(hits) / static_cast<double>(inputs.rows());
 }
 
 double regressionMape(const Mlp& net, const Matrix& inputs,
                       std::span<const double> targets) {
   SSM_CHECK(inputs.rows() == targets.size(), "inputs/targets size mismatch");
+  const PackedMlp packed(net);
+  auto scratch = packed.makeScratch();
+  Matrix out(inputs.rows(), static_cast<std::size_t>(net.outputDim()));
+  packed.forwardBatch(inputs, scratch, out);
   std::vector<double> preds(inputs.rows());
-  for (std::size_t r = 0; r < inputs.rows(); ++r)
-    preds[r] = net.predictScalar(inputs.row(r));
+  for (std::size_t r = 0; r < inputs.rows(); ++r) preds[r] = out(r, 0);
   return mapePercent(targets, preds, /*floor=*/1e-3);
 }
 

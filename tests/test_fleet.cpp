@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "compress/pruning.hpp"
 #include "datagen/generator.hpp"
 #include "sched/fleet.hpp"
 #include "sched/thread_pool.hpp"
@@ -96,6 +97,60 @@ TEST(FleetRunner, JsonlByteIdenticalAcrossJobCounts) {
   EXPECT_EQ(serial, parallel);
   // Sanity: the stream really is one JSON object per job line.
   EXPECT_NE(serial.find("\"mechanism\":\"ondemand\""), std::string::npos);
+}
+
+TEST(FleetRunner, PackedSweepByteIdenticalAcrossJobCounts) {
+  // The ML mechanisms decide through the compiled PackedMlp engines
+  // (src/nn/packed_mlp.hpp). Train a quick compressed model, prune it so
+  // the Decision-maker lowers to CSR, and sweep ssmdvfs + ssmdvfs-nocal
+  // with 1 and 8 workers: the JSONL streams must be byte-identical,
+  // proving every per-cluster packed decision is reproducible regardless
+  // of scheduling.
+  GpuConfig gpu;
+  gpu.num_clusters = 4;
+  GenConfig gen;
+  gen.runs_per_workload = 1;
+  gen.clusters_sampled = 4;
+  gen.epochs_per_breakpoint = 6;
+  const DataGenerator dg(gpu, VfTable::titanX(), gen);
+  Dataset corpus = dg.generateForWorkload(workloadByName("sgemm"), 31, 0);
+  corpus.append(dg.generateForWorkload(workloadByName("spmv"), 32, 1));
+
+  SsmModelConfig cfg = SsmModelConfig::compressedArch();
+  cfg.train.epochs = 120;
+  const auto model = std::make_shared<SsmModel>(cfg);
+  static_cast<void>(model->train(corpus, corpus));
+  magnitudePruneTo(model->decisionNet(), 0.6);
+  model->recompilePacked();
+  ASSERT_TRUE(model->packedDecision().compiled());
+  ASSERT_GT(model->packedDecision().sparseLayerCount(), 0u);
+
+  fleet::SweepSpec spec;
+  spec.workloads = {workloadByName("spmv"), workloadByName("bfs")};
+  spec.mechanisms = {"ssmdvfs", "ssmdvfs-nocal"};
+  spec.presets = {0.10};
+  spec.seeds = {777};
+  spec.max_time_ns = kNsPerMs;
+  spec.gpu = gpu;
+  spec.model = model;
+
+  std::string serial, parallel;
+  {
+    ThreadPool pool(1);
+    std::ostringstream os;
+    const std::size_t n = fleet::FleetRunner(spec, pool).runJsonl(os);
+    EXPECT_EQ(n, 4u);
+    serial = os.str();
+  }
+  {
+    ThreadPool pool(8);
+    std::ostringstream os;
+    const std::size_t n = fleet::FleetRunner(spec, pool).runJsonl(os);
+    EXPECT_EQ(n, 4u);
+    parallel = os.str();
+  }
+  EXPECT_EQ(serial, parallel);
+  EXPECT_NE(serial.find("\"mechanism\":\"ssmdvfs\""), std::string::npos);
 }
 
 TEST(FleetRunner, RunMatchesJsonlAndReportsProgress) {

@@ -18,17 +18,77 @@ bool hasRule(const std::vector<Finding>& fs, std::string_view rule) {
                      [&](const Finding& f) { return f.rule == rule; });
 }
 
-TEST(LintCatalog, AllEightRulesRegistered) {
+TEST(LintCatalog, AllNineRulesRegistered) {
   const auto rules = ruleCatalog();
-  ASSERT_EQ(rules.size(), 8u);
+  ASSERT_EQ(rules.size(), 9u);
   for (const char* id :
        {"pragma-once", "using-namespace-header", "raw-assert",
         "nondeterminism", "hot-path-io", "c-style-float-cast",
-        "raw-thread", "fault-hook-guard"}) {
+        "raw-thread", "fault-hook-guard", "hot-path-alloc"}) {
     EXPECT_TRUE(isKnownRule(id)) << id;
   }
   EXPECT_TRUE(isKnownRule("*"));
   EXPECT_FALSE(isKnownRule("no-such-rule"));
+}
+
+// --- hot-path-alloc --------------------------------------------------------
+
+TEST(LintHotPathAlloc, FlagsAllocatingConstructsInDesignatedFiles) {
+  for (const char* path :
+       {"src/nn/packed_mlp.hpp", "src/core/ssm_governor.cpp"}) {
+    EXPECT_TRUE(hasRule(lintSource(path, "auto* p = new double[8];\n"),
+                        "hot-path-alloc"))
+        << path;
+    EXPECT_TRUE(hasRule(
+        lintSource(path, "auto g = std::make_unique<Governor>(m);\n"),
+        "hot-path-alloc"))
+        << path;
+    EXPECT_TRUE(hasRule(lintSource(path, "void* p = malloc(64);\n"),
+                        "hot-path-alloc"))
+        << path;
+    EXPECT_TRUE(
+        hasRule(lintSource(path, "buf_.resize(n);\n"), "hot-path-alloc"))
+        << path;
+    EXPECT_TRUE(hasRule(lintSource(path, "s->push_back(1.0);\n"),
+                        "hot-path-alloc"))
+        << path;
+    EXPECT_TRUE(hasRule(lintSource(path, "ewma_loss_.assign(n, -1.0);\n"),
+                        "hot-path-alloc"))
+        << path;
+  }
+}
+
+TEST(LintHotPathAlloc, IgnoresNonDesignatedFilesAndNonAllocatingTokens) {
+  // The same constructs are fine anywhere else — including the compile-side
+  // packed_mlp.cpp, which is deliberately not designated.
+  for (const char* path :
+       {"src/nn/packed_mlp.cpp", "src/core/ssm_model.cpp", "src/nn/mlp.cpp"}) {
+    EXPECT_FALSE(hasRule(
+        lintSource(path, "buf_.resize(n);\nauto* p = new double[8];\n"),
+        "hot-path-alloc"))
+        << path;
+  }
+  // Free functions named like growth calls, declarations, and non-growth
+  // members are not allocation sites.
+  EXPECT_FALSE(hasRule(
+      lintSource("src/nn/packed_mlp.hpp",
+                 "void reserveBatchScratch(Scratch& s, std::size_t n) "
+                 "const;\nstd::vector<double> ping;\nresize(x);\n"
+                 "s.size();\n"),
+      "hot-path-alloc"));
+}
+
+TEST(LintHotPathAlloc, SuppressionAndAllowlistEscapeHatchesWork) {
+  EXPECT_FALSE(hasRule(
+      lintSource("src/core/ssm_governor.cpp",
+                 "ewma_loss_.assign(n, -1.0);  // ssm-lint: "
+                 "allow(hot-path-alloc)\n"),
+      "hot-path-alloc"));
+  const std::vector<AllowEntry> allow = {
+      {"hot-path-alloc", "src/core/ssm_governor.cpp"}};
+  EXPECT_FALSE(hasRule(lintSource("src/core/ssm_governor.cpp",
+                                  "buf_.resize(n);\n", allow),
+                       "hot-path-alloc"));
 }
 
 // --- raw-thread ------------------------------------------------------------

@@ -1,0 +1,304 @@
+// bench_check — guardrail for the packed-inference benchmark report.
+//
+// bench_micro_perf emits BENCH_inference.json (flat JSON, one object of
+// string/number fields). This tool compares a freshly generated report
+// against the committed baseline in bench/baselines/ and fails when the
+// inference engine regresses:
+//
+//   * structural fields (model names, FLOP counts, layer/batch shape) must
+//     match the baseline exactly — they are machine-independent and any
+//     drift means the compiled network changed;
+//   * timing fields (..._ns, ..._per_sec) must stay within a multiplicative
+//     tolerance band of the baseline (default 4x either way: the baseline
+//     was recorded on a noisy single-core VM and CI boxes differ);
+//   * `speedup_packed_vs_reference` must additionally clear an absolute
+//     floor (default 3.0) — the PR's acceptance criterion, which holds on
+//     any machine because it is a ratio of two timings taken back to back.
+//
+// Usage:
+//   bench_check [--baseline FILE] [--fresh FILE] [--tolerance X]
+//               [--min-speedup X] [--run BENCH_BINARY]
+//
+// Defaults compare ./BENCH_inference.json against
+// bench/baselines/BENCH_inference.json. With --run, the tool first launches
+// the given bench_micro_perf binary (with --benchmark_filter=__none__ so
+// only the report generator executes) to produce the fresh file; that mode
+// is gated on SSM_BENCH_CHECK=1 in the environment and exits 77 (the ctest
+// skip code) when unset, so the default test suite stays fast and
+// deterministic while `SSM_BENCH_CHECK=1 ctest -R bench_inference_check`
+// runs the full tier-2 regression gate.
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+constexpr int kExitSkip = 77;  ///< ctest SKIP_RETURN_CODE
+
+/// One parsed JSON scalar: flat reports only ever hold strings and numbers.
+struct Value {
+  bool is_string = false;
+  std::string str;
+  double num = 0.0;
+};
+
+using Report = std::map<std::string, Value>;
+
+/// Minimal parser for the flat one-object JSON bench_micro_perf writes.
+/// Rejects anything nested; this is a schema check as much as a parser.
+bool parseFlatJson(const std::string& path, Report& out, std::string& err) {
+  std::ifstream in(path);
+  if (!in) {
+    err = "cannot open " + path;
+    return false;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  std::size_t i = 0;
+  auto skipWs = [&] {
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i])) != 0)
+      ++i;
+  };
+  auto parseString = [&](std::string& s) {
+    if (i >= text.size() || text[i] != '"') return false;
+    ++i;
+    s.clear();
+    while (i < text.size() && text[i] != '"') {
+      if (text[i] == '\\') return false;  // report strings are escape-free
+      s.push_back(text[i++]);
+    }
+    if (i >= text.size()) return false;
+    ++i;
+    return true;
+  };
+  skipWs();
+  if (i >= text.size() || text[i] != '{') {
+    err = path + ": expected '{'";
+    return false;
+  }
+  ++i;
+  skipWs();
+  if (i < text.size() && text[i] == '}') return true;  // empty object
+  while (true) {
+    skipWs();
+    std::string key;
+    if (!parseString(key)) {
+      err = path + ": expected quoted key";
+      return false;
+    }
+    skipWs();
+    if (i >= text.size() || text[i] != ':') {
+      err = path + ": expected ':' after \"" + key + "\"";
+      return false;
+    }
+    ++i;
+    skipWs();
+    Value v;
+    if (i < text.size() && text[i] == '"') {
+      v.is_string = true;
+      if (!parseString(v.str)) {
+        err = path + ": bad string value for \"" + key + "\"";
+        return false;
+      }
+    } else {
+      const char* begin = text.c_str() + i;
+      char* end = nullptr;
+      v.num = std::strtod(begin, &end);
+      if (end == begin) {
+        err = path + ": bad numeric value for \"" + key + "\"";
+        return false;
+      }
+      i += static_cast<std::size_t>(end - begin);
+    }
+    out[key] = v;
+    skipWs();
+    if (i < text.size() && text[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (i < text.size() && text[i] == '}') return true;
+    err = path + ": expected ',' or '}' after \"" + key + "\"";
+    return false;
+  }
+}
+
+/// Timing fields ride the tolerance band; everything else is exact.
+bool isTimingKey(const std::string& key) {
+  auto endsWith = [&](const char* suffix) {
+    const std::string s = suffix;
+    return key.size() >= s.size() &&
+           key.compare(key.size() - s.size(), s.size(), s) == 0;
+  };
+  return endsWith("_ns") || endsWith("_per_sec") ||
+         key.rfind("speedup_", 0) == 0;
+}
+
+struct Options {
+  std::string baseline = "bench/baselines/BENCH_inference.json";
+  std::string fresh = "BENCH_inference.json";
+  std::string run_binary;  ///< when set, regenerate `fresh` first
+  double tolerance = 4.0;
+  double min_speedup = 3.0;
+};
+
+bool parseArgs(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string key = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_check: %s needs a value\n", key.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const char* val = nullptr;
+    if (key == "--baseline") {
+      if ((val = next()) == nullptr) return false;
+      opt.baseline = val;
+    } else if (key == "--fresh") {
+      if ((val = next()) == nullptr) return false;
+      opt.fresh = val;
+    } else if (key == "--run") {
+      if ((val = next()) == nullptr) return false;
+      opt.run_binary = val;
+    } else if (key == "--tolerance") {
+      if ((val = next()) == nullptr) return false;
+      opt.tolerance = std::strtod(val, nullptr);
+    } else if (key == "--min-speedup") {
+      if ((val = next()) == nullptr) return false;
+      opt.min_speedup = std::strtod(val, nullptr);
+    } else {
+      std::fprintf(stderr, "bench_check: unknown argument %s\n", key.c_str());
+      return false;
+    }
+  }
+  if (opt.tolerance < 1.0) {
+    std::fprintf(stderr, "bench_check: --tolerance must be >= 1\n");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parseArgs(argc, argv, opt)) return 2;
+
+  if (!opt.run_binary.empty()) {
+    if (std::getenv("SSM_BENCH_CHECK") == nullptr) {
+      std::printf(
+          "bench_check: skipped (set SSM_BENCH_CHECK=1 to run the tier-2 "
+          "inference benchmark gate)\n");
+      return kExitSkip;
+    }
+    ::setenv("SSM_BENCH_INFERENCE_OUT", opt.fresh.c_str(), 1);
+    // __none__ matches no registered benchmark, so only the report
+    // generator in bench_micro_perf's main runs.
+    const std::string cmd = opt.run_binary + " --benchmark_filter=__none__";
+    std::printf("bench_check: running %s\n", cmd.c_str());
+    const int rc = std::system(cmd.c_str());
+    if (rc != 0) {
+      std::fprintf(stderr, "bench_check: bench run failed (exit %d)\n", rc);
+      return 1;
+    }
+  }
+
+  Report base;
+  Report fresh;
+  std::string err;
+  if (!parseFlatJson(opt.baseline, base, err) ||
+      !parseFlatJson(opt.fresh, fresh, err)) {
+    std::fprintf(stderr, "bench_check: %s\n", err.c_str());
+    return 1;
+  }
+
+  int failures = 0;
+  auto fail = [&](const std::string& msg) {
+    std::fprintf(stderr, "FAIL  %s\n", msg.c_str());
+    ++failures;
+  };
+
+  // Schema: the two reports must carry the same field set, so a field
+  // silently dropped from the generator cannot pass unnoticed.
+  for (const auto& [key, v] : base) {
+    (void)v;
+    if (fresh.find(key) == fresh.end())
+      fail(key + ": present in baseline, missing from fresh report");
+  }
+  for (const auto& [key, v] : fresh) {
+    (void)v;
+    if (base.find(key) == base.end())
+      fail(key + ": present in fresh report, missing from baseline");
+  }
+
+  for (const auto& [key, bv] : base) {
+    const auto it = fresh.find(key);
+    if (it == fresh.end()) continue;
+    const Value& fv = it->second;
+    if (bv.is_string != fv.is_string) {
+      fail(key + ": type changed between baseline and fresh report");
+      continue;
+    }
+    if (bv.is_string) {
+      if (bv.str != fv.str)
+        fail(key + ": \"" + fv.str + "\" != baseline \"" + bv.str + "\"");
+      else
+        std::printf("ok    %-32s %s\n", key.c_str(), fv.str.c_str());
+      continue;
+    }
+    if (isTimingKey(key)) {
+      const double ratio = bv.num != 0.0 ? fv.num / bv.num : 0.0;
+      if (!(ratio >= 1.0 / opt.tolerance && ratio <= opt.tolerance)) {
+        std::ostringstream msg;
+        msg << key << ": " << fv.num << " vs baseline " << bv.num << " ("
+            << ratio << "x, tolerance " << opt.tolerance << "x)";
+        fail(msg.str());
+      } else {
+        std::printf("ok    %-32s %g (baseline %g, %0.2fx)\n", key.c_str(),
+                    fv.num, bv.num, ratio);
+      }
+    } else if (fv.num != bv.num) {
+      std::ostringstream msg;
+      msg << key << ": " << fv.num << " != baseline " << bv.num
+          << " (structural field, exact match required)";
+      fail(msg.str());
+    } else {
+      std::printf("ok    %-32s %g\n", key.c_str(), fv.num);
+    }
+  }
+
+  // The acceptance floor is absolute, not relative: packed single-decision
+  // inference must beat the dense reference engine by min_speedup on the
+  // machine running the check.
+  const auto sp = fresh.find("speedup_packed_vs_reference");
+  if (sp == fresh.end() || sp->second.is_string) {
+    fail("speedup_packed_vs_reference: missing from fresh report");
+  } else if (sp->second.num < opt.min_speedup) {
+    std::ostringstream msg;
+    msg << "speedup_packed_vs_reference: " << sp->second.num
+        << " below the acceptance floor " << opt.min_speedup;
+    fail(msg.str());
+  } else {
+    std::printf("ok    %-32s %g >= %g (acceptance floor)\n",
+                "speedup_packed_vs_reference", sp->second.num,
+                opt.min_speedup);
+  }
+
+  if (failures != 0) {
+    std::fprintf(stderr, "bench_check: %d failure(s) comparing %s vs %s\n",
+                 failures, opt.fresh.c_str(), opt.baseline.c_str());
+    return 1;
+  }
+  std::printf("bench_check: %s matches baseline %s\n", opt.fresh.c_str(),
+              opt.baseline.c_str());
+  return 0;
+}

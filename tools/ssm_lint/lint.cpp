@@ -8,7 +8,7 @@ namespace ssm::lint {
 
 namespace {
 
-constexpr std::array<RuleInfo, 8> kRules = {{
+constexpr std::array<RuleInfo, 9> kRules = {{
     {"pragma-once", "every header starts its include guard with #pragma once"},
     {"using-namespace-header",
      "no `using namespace` in headers (leaks into every includer)"},
@@ -32,7 +32,23 @@ constexpr std::array<RuleInfo, 8> kRules = {{
      "src/gpusim/ must sit behind a `!= nullptr` guard on the same or the "
      "preceding line, so a run without a FaultSpec costs one pointer "
      "comparison and zero RNG draws"},
+    {"hot-path-alloc",
+     "no heap allocation in the packed decision path (src/nn/packed_mlp.hpp "
+     "and src/core/ssm_governor.cpp): no new/make_unique/make_shared/malloc "
+     "and no container-growth member calls (resize, reserve, push_back, "
+     "emplace_back, assign, insert, emplace) — preallocate at construction "
+     "or in makeScratch()"},
 }};
+
+/// Files under the zero-allocation contract of docs/inference.md: every
+/// per-decision code path lives here, so any allocating construct is a
+/// regression. Cold compile/scratch code belongs in packed_mlp.cpp (not
+/// listed); justified cold spots inside these files carry an inline
+/// `// ssm-lint: allow(hot-path-alloc)`.
+constexpr std::array<std::string_view, 2> kAllocFreeFiles = {
+    "src/nn/packed_mlp.hpp",
+    "src/core/ssm_governor.cpp",
+};
 
 bool isIdentChar(char c) noexcept {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
@@ -231,9 +247,10 @@ bool allowlisted(const std::vector<AllowEntry>& allow, std::string_view path,
 
 /// Per-file rule applicability derived from the repo-relative path.
 struct PathClass {
-  bool header = false;    // *.hpp
-  bool in_src = false;    // src/**
-  bool hot_path = false;  // src/core/** or src/gpusim/**
+  bool header = false;      // *.hpp
+  bool in_src = false;      // src/**
+  bool hot_path = false;    // src/core/** or src/gpusim/**
+  bool alloc_free = false;  // kAllocFreeFiles (packed decision path)
 };
 
 PathClass classify(std::string_view path) {
@@ -242,6 +259,8 @@ PathClass classify(std::string_view path) {
   pc.in_src = path.starts_with("src/");
   pc.hot_path =
       path.starts_with("src/core/") || path.starts_with("src/gpusim/");
+  pc.alloc_free = std::any_of(kAllocFreeFiles.begin(), kAllocFreeFiles.end(),
+                              [&](std::string_view f) { return path == f; });
   return pc;
 }
 
@@ -374,8 +393,56 @@ class FileLinter {
           s[after + 1] == '>' && namesFaultHook(word))
         checkFaultHookGuard(s, i, word);
 
+      if (pc_.alloc_free) checkHotPathAlloc(s, i, after, word, call);
+
       i = j - 1;
     }
+  }
+
+  /// Heap-allocating constructs banned from the packed decision path: the
+  /// `new` keyword in any form, the allocating factories/libc allocators,
+  /// and container-growth member calls (`.resize(`, `->push_back(`, ...).
+  void checkHotPathAlloc(std::string_view s, std::size_t i, std::size_t after,
+                         std::string_view word, bool call) {
+    static constexpr std::array<std::string_view, 6> kAllocCalls = {
+        "make_unique", "make_shared", "malloc", "calloc", "realloc", "strdup"};
+    static constexpr std::array<std::string_view, 7> kGrowthCalls = {
+        "resize",      "reserve", "push_back", "emplace_back",
+        "assign",      "insert",  "emplace"};
+    if (word == "new") {
+      reportAlloc(i, "'new' expression");
+      return;
+    }
+    // The factories are invoked as make_unique<T>(...), so accept an opening
+    // template-argument list as well as a plain call.
+    const bool callish = call || (after < s.size() && s[after] == '<');
+    if (callish && std::find(kAllocCalls.begin(), kAllocCalls.end(), word) !=
+                       kAllocCalls.end()) {
+      reportAlloc(i, cat({"'", word, "(' call"}));
+      return;
+    }
+    if (call &&
+        std::find(kGrowthCalls.begin(), kGrowthCalls.end(), word) !=
+            kGrowthCalls.end() &&
+        precededByMemberAccess(s, i))
+      reportAlloc(i, cat({"container growth '.", word, "(' call"}));
+  }
+
+  /// True when the identifier starting at `i` follows `.` or `->`.
+  [[nodiscard]] static bool precededByMemberAccess(std::string_view s,
+                                                   std::size_t i) {
+    std::size_t p = i;
+    while (p > 0 && isSpace(s[p - 1])) --p;
+    if (p > 0 && s[p - 1] == '.') return true;
+    return p > 1 && s[p - 1] == '>' && s[p - 2] == '-';
+  }
+
+  void reportAlloc(std::size_t pos, std::string what) {
+    report(pos, "hot-path-alloc",
+           cat({what,
+                " on the packed decision path; preallocate at construction "
+                "or in makeScratch(), or move the code off the hot path "
+                "(docs/inference.md)"}));
   }
 
   /// Identifiers that look like fault-hook pointers ("faults", "fault_hook",
