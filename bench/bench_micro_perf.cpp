@@ -18,14 +18,18 @@
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <utility>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "compress/pruning.hpp"
 #include "core/ssm_governor.hpp"
 #include "datagen/generator.hpp"
+#include "engine/replay_backend.hpp"
+#include "engine/trace_io.hpp"
 #include "gpusim/gpu.hpp"
 #include "gpusim/runner.hpp"
+#include "gpusim/trace.hpp"
 #include "nn/packed_mlp.hpp"
 #include "workloads/kernel_profile.hpp"
 
@@ -183,6 +187,40 @@ void BM_SweepThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_SweepThroughput)->Unit(benchmark::kMillisecond);
 
+/// Records the BM_SweepThroughput configuration (sgemm under the shared
+/// compressed governor, seed 777) into an in-memory trace: the input for
+/// the replay-vs-simulation throughput contrast.
+engine::EpochTrace recordedSgemmTrace() {
+  const FullSystem& sys = sharedSystem();
+  const SsmGovernorFactory factory(sys.compressed, SsmGovernorConfig{});
+  const GpuConfig cfg;
+  const VfTable vf = VfTable::titanX();
+  EpochTraceRecorder rec;
+  rec.enableReplayCapture();
+  Gpu gpu(cfg, vf, workloadByName("sgemm"), 777,
+          ChipPowerModel(cfg.num_clusters));
+  const RunResult recorded =
+      runWithGovernor(std::move(gpu), factory, "ssmdvfs-comp", 5 * kNsPerMs,
+                      &rec);
+  return engine::traceFromRecorder(rec, "sgemm", "ssmdvfs-comp", 777, vf,
+                                   recorded);
+}
+
+void BM_ReplayThroughput(benchmark::State& state) {
+  const FullSystem& sys = sharedSystem();
+  const SsmGovernorFactory factory(sys.compressed, SsmGovernorConfig{});
+  const engine::EpochTrace trace = recordedSgemmTrace();
+  std::int64_t epochs = 0;
+  for (auto _ : state) {
+    const engine::ReplayReport rep =
+        engine::replayTrace(trace, factory, "ssmdvfs-comp");
+    epochs += rep.result.epochs;
+    benchmark::DoNotOptimize(rep.agreement);
+  }
+  state.SetItemsProcessed(epochs);  // items/s == replayed epochs per second
+}
+BENCHMARK(BM_ReplayThroughput)->Unit(benchmark::kMicrosecond);
+
 void BM_DatagenBreakpoint(benchmark::State& state) {
   GpuConfig cfg;
   cfg.num_clusters = 4;
@@ -299,6 +337,27 @@ void writeInferenceReport(const std::string& path) {
   const double sweep_epochs_per_sec =
       static_cast<double>(sweep_epochs) * 1e9 / sweep_ns_per_run;
 
+  // Replay contrast: the same governor streamed open-loop over a recorded
+  // trace of the same run, no cycle-level simulation. The ratio against the
+  // live sweep is the engine layer's >=100x replay acceptance floor
+  // (bench_check --min-replay-speedup). Agreement is exactly 1 because the
+  // deterministic governor sees the very observations it produced when the
+  // trace was recorded.
+  const engine::EpochTrace trace = recordedSgemmTrace();
+  std::int64_t replay_epochs = 0;
+  double replay_agreement = 0.0;
+  const double replay_ns_per_run = bestNsPerOp(
+      [&] {
+        const engine::ReplayReport rep =
+            engine::replayTrace(trace, factory, "ssmdvfs-comp");
+        replay_epochs = rep.result.epochs;
+        replay_agreement = rep.agreement;
+        benchmark::DoNotOptimize(rep.agreement);
+      },
+      50, 7);
+  const double replay_epochs_per_sec =
+      static_cast<double>(replay_epochs) * 1e9 / replay_ns_per_run;
+
   std::ofstream os(path);
   SSM_CHECK(os.good(), "cannot open BENCH_inference.json output path");
   os << "{\n"
@@ -320,6 +379,10 @@ void writeInferenceReport(const std::string& path) {
      << "  \"batch_rows\": " << rows << ",\n"
      << "  \"governor_decide_ns\": " << decide_ns << ",\n"
      << "  \"sweep_epochs_per_sec\": " << sweep_epochs_per_sec << ",\n"
+     << "  \"replay_epochs_per_sec\": " << replay_epochs_per_sec << ",\n"
+     << "  \"speedup_replay_vs_sim\": "
+     << replay_epochs_per_sec / sweep_epochs_per_sec << ",\n"
+     << "  \"replay_agreement\": " << replay_agreement << ",\n"
      << "  \"flops_dense_reference\": " << dense_net.denseFlops() << ",\n"
      << "  \"flops_dense\": " << net.denseFlops() << ",\n"
      << "  \"flops_masked\": " << net.flops() << ",\n"

@@ -1,0 +1,178 @@
+#include "engine/epoch_loop.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+#include "gpusim/fault_hook.hpp"
+#include "gpusim/trace.hpp"
+
+namespace ssm::engine {
+
+std::vector<std::unique_ptr<DvfsGovernor>> makeGovernors(
+    const GovernorFactory& factory, int count) {
+  SSM_CHECK(count > 0, "governor count must be positive");
+  std::vector<std::unique_ptr<DvfsGovernor>> governors;
+  governors.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) governors.push_back(factory.create(i));
+  return governors;
+}
+
+RunResult EpochLoop::run(EpochSource& source, ActuationSink& sink,
+                         const GovernorFactory& factory,
+                         std::string mechanism_name) const {
+  const int count = cfg_.chip_wide ? 1 : source.numClusters();
+  if (cfg_.harden) {
+    const HardenedGovernorFactory hardened(factory, source.vfTable(),
+                                           cfg_.harden_cfg, cfg_.mode_log);
+    const auto governors = makeGovernors(hardened, count);
+    return run(source, sink, governors, std::move(mechanism_name));
+  }
+  const auto governors = makeGovernors(factory, count);
+  return run(source, sink, governors, std::move(mechanism_name));
+}
+
+RunResult EpochLoop::run(
+    EpochSource& source, ActuationSink& sink,
+    std::span<const std::unique_ptr<DvfsGovernor>> governors,
+    std::string mechanism_name) const {
+  if (cfg_.chip_wide) {
+    SSM_CHECK(governors.size() == 1,
+              "chip-wide mode drives exactly one governor");
+    SSM_CHECK(cfg_.faults == nullptr,
+              "fault injection is per-cluster; unsupported in chip-wide mode");
+    return runChipWide(source, sink, *governors.front(),
+                       std::move(mechanism_name));
+  }
+  SSM_CHECK(static_cast<int>(governors.size()) == source.numClusters(),
+            "per-cluster mode needs one governor per cluster");
+  return runPerCluster(source, sink, governors, std::move(mechanism_name));
+}
+
+RunResult EpochLoop::runPerCluster(
+    EpochSource& source, ActuationSink& sink,
+    std::span<const std::unique_ptr<DvfsGovernor>> governors,
+    std::string mechanism_name) const {
+  const int n = source.numClusters();
+  const VfTable& vf = source.vfTable();
+
+  std::vector<VfLevel> levels(static_cast<std::size_t>(n), vf.defaultLevel());
+  std::vector<double> level_epochs(vf.size(), 0.0);
+
+  RunResult result;
+  result.mechanism = std::move(mechanism_name);
+  double power_time_sum = 0.0;
+
+  while (!source.done() && source.nowNs() < cfg_.max_time_ns) {
+    GpuEpochReport report = source.nextEpoch(levels);
+    // Faulted telemetry is what both the governors and the trace observe;
+    // the source's internal state and energy accounting stay truthful.
+    if (cfg_.faults != nullptr) cfg_.faults->onTelemetry(report);
+    if (cfg_.trace != nullptr) cfg_.trace->record(report);
+    ++result.epochs;
+    power_time_sum += report.chip_power_w;
+    for (int i = 0; i < n; ++i) {
+      const auto& obs = report.clusters[static_cast<std::size_t>(i)];
+      level_epochs[static_cast<std::size_t>(obs.level)] += 1.0;
+      const VfLevel requested =
+          vf.clamp(governors[static_cast<std::size_t>(i)]->decide(obs));
+      const VfLevel commanded =
+          cfg_.faults != nullptr
+              ? cfg_.faults->onActuate(i, requested, obs.level)
+              : requested;
+      levels[static_cast<std::size_t>(i)] =
+          sink.actuate(i, commanded, obs.level);
+    }
+    if (report.all_done) break;
+  }
+
+  SSM_CHECK(source.done(), std::string(cfg_.timeout_message));
+
+  const StreamStats stats = source.stats();
+  result.exec_time_ns = stats.exec_time_ns;
+  result.energy_j = stats.energy_j;
+  result.edp = stats.edp;
+  result.instructions = stats.instructions;
+  result.mean_power_w =
+      result.epochs > 0 ? power_time_sum / result.epochs : 0.0;
+
+  const double total_cluster_epochs =
+      static_cast<double>(result.epochs) * static_cast<double>(n);
+  result.level_histogram.resize(level_epochs.size());
+  for (std::size_t l = 0; l < level_epochs.size(); ++l)
+    result.level_histogram[l] =
+        total_cluster_epochs > 0 ? level_epochs[l] / total_cluster_epochs
+                                 : 0.0;
+  return result;
+}
+
+RunResult EpochLoop::runChipWide(EpochSource& source, ActuationSink& sink,
+                                 DvfsGovernor& governor,
+                                 std::string mechanism_name) const {
+  const int n = source.numClusters();
+  const VfTable& vf = source.vfTable();
+
+  std::vector<VfLevel> levels(static_cast<std::size_t>(n), vf.defaultLevel());
+  std::vector<double> level_epochs(vf.size(), 0.0);
+
+  RunResult result;
+  result.mechanism = std::move(mechanism_name);
+  double power_sum = 0.0;
+
+  while (!source.done() && source.nowNs() < cfg_.max_time_ns) {
+    const GpuEpochReport report = source.nextEpoch(levels);
+    if (cfg_.trace != nullptr) cfg_.trace->record(report);
+    ++result.epochs;
+    power_sum += report.chip_power_w;
+
+    // Cluster-averaged observation over live clusters.
+    EpochObservation agg;
+    agg.epoch_start_ns = report.epoch_start_ns;
+    agg.epoch_len_ns = report.epoch_len_ns;
+    int live = 0;
+    for (const auto& obs : report.clusters) {
+      level_epochs[static_cast<std::size_t>(obs.level)] += 1.0;
+      if (obs.cluster_done) continue;
+      ++live;
+      agg.instructions += obs.instructions;
+      agg.power_w += obs.power_w;
+      for (int c = 0; c < kNumCounters; ++c) {
+        const auto id = static_cast<CounterId>(c);
+        agg.counters.add(id, obs.counters.get(id));
+      }
+      agg.level = obs.level;
+    }
+    if (live > 0) {
+      const double inv = 1.0 / static_cast<double>(live);
+      agg.instructions =
+          static_cast<std::int64_t>(static_cast<double>(agg.instructions) * inv);
+      agg.power_w *= inv;
+      for (int c = 0; c < kNumCounters; ++c) {
+        const auto id = static_cast<CounterId>(c);
+        agg.counters.set(id, agg.counters.get(id) * inv);
+      }
+    } else {
+      agg.cluster_done = true;
+    }
+    const VfLevel next = vf.clamp(governor.decide(agg));
+    for (int i = 0; i < n; ++i)
+      levels[static_cast<std::size_t>(i)] = sink.actuate(
+          i, next, report.clusters[static_cast<std::size_t>(i)].level);
+    if (report.all_done) break;
+  }
+
+  SSM_CHECK(source.done(), std::string(cfg_.timeout_message));
+
+  const StreamStats stats = source.stats();
+  result.exec_time_ns = stats.exec_time_ns;
+  result.energy_j = stats.energy_j;
+  result.edp = stats.edp;
+  result.instructions = stats.instructions;
+  result.mean_power_w = result.epochs > 0 ? power_sum / result.epochs : 0.0;
+  const double total = static_cast<double>(result.epochs) * n;
+  result.level_histogram.resize(level_epochs.size());
+  for (std::size_t l = 0; l < level_epochs.size(); ++l)
+    result.level_histogram[l] = total > 0 ? level_epochs[l] / total : 0.0;
+  return result;
+}
+
+}  // namespace ssm::engine

@@ -1,0 +1,95 @@
+// EpochLoop: the one epoch-driving loop behind every full-program run.
+//
+// Before the engine layer this loop existed three times (runWithGovernor,
+// runWithChipGovernor, runSequence) and could only ever drive the live Gpu.
+// It now lives here once, backend-agnostic: telemetry comes from an
+// EpochSource, commanded levels go through an ActuationSink, and the
+// cross-cutting seams — trace recording, fault injection, hardened-governor
+// wrapping — are loop concerns configured once instead of being
+// re-implemented per entry point.
+//
+// Numeric contract: driving a SimBackend, the loop's arithmetic (accumulator
+// order, histogram bookkeeping, aggregation in chip-wide mode) is exactly
+// the pre-engine runner's, so RunResults are byte-identical to the old code
+// paths (pinned by tests/test_engine.cpp).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/hardened_governor.hpp"
+#include "engine/epoch_stream.hpp"
+#include "gpusim/runner.hpp"
+
+namespace ssm {
+class EpochTraceRecorder;
+class EpochFaultHook;
+}  // namespace ssm
+
+namespace ssm::engine {
+
+/// Per-run loop configuration: the cross-cutting seams.
+struct LoopConfig {
+  TimeNs max_time_ns = 5 * kNsPerMs;
+  /// Streams every epoch report (post fault corruption) when non-null.
+  EpochTraceRecorder* trace = nullptr;
+  /// Corrupts telemetry / arbitrates actuation when non-null. Zero-cost
+  /// when null: one pointer comparison per call site, nothing else.
+  EpochFaultHook* faults = nullptr;
+  /// ONE governor sees the cluster-averaged observation and its decision is
+  /// applied chip-wide (the §V.A ablation). Fault injection is per-cluster
+  /// and not supported in this mode.
+  bool chip_wide = false;
+  /// Wrap every governor in the HardenedGovernor decorator (degraded-mode
+  /// watchdog); transitions go to `mode_log` when set.
+  bool harden = false;
+  HardenedConfig harden_cfg{};
+  GovernorModeLog* mode_log = nullptr;
+  /// Message of the ContractError thrown when the stream is not done by
+  /// max_time_ns (kept configurable so the legacy entry points preserve
+  /// their exact diagnostics).
+  std::string_view timeout_message =
+      "program did not retire before max_time_ns; raise the limit";
+};
+
+/// One governor instance per cluster (or a single one in chip-wide mode).
+[[nodiscard]] std::vector<std::unique_ptr<DvfsGovernor>> makeGovernors(
+    const GovernorFactory& factory, int count);
+
+class EpochLoop {
+ public:
+  explicit EpochLoop(LoopConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Creates governors from `factory` (wrapping them per LoopConfig::harden)
+  /// and runs the stream to completion.
+  [[nodiscard]] RunResult run(EpochSource& source, ActuationSink& sink,
+                              const GovernorFactory& factory,
+                              std::string mechanism_name) const;
+
+  /// Runs with externally owned governors — the sequence-execution use case
+  /// where policy state persists across programs. `governors.size()` must be
+  /// numClusters() (or 1 in chip-wide mode). Hardening does not apply here:
+  /// wrap before constructing the governors instead.
+  [[nodiscard]] RunResult run(
+      EpochSource& source, ActuationSink& sink,
+      std::span<const std::unique_ptr<DvfsGovernor>> governors,
+      std::string mechanism_name) const;
+
+  [[nodiscard]] const LoopConfig& config() const noexcept { return cfg_; }
+
+ private:
+  [[nodiscard]] RunResult runPerCluster(
+      EpochSource& source, ActuationSink& sink,
+      std::span<const std::unique_ptr<DvfsGovernor>> governors,
+      std::string mechanism_name) const;
+  [[nodiscard]] RunResult runChipWide(EpochSource& source, ActuationSink& sink,
+                                      DvfsGovernor& governor,
+                                      std::string mechanism_name) const;
+
+  LoopConfig cfg_;
+};
+
+}  // namespace ssm::engine

@@ -1,0 +1,79 @@
+// Backend-agnostic epoch streaming: the EpochSource / ActuationSink pair.
+//
+// Every §V experiment is, at its core, the same loop: pull one epoch's
+// telemetry, let a governor decide the next V/f level per cluster, push the
+// decision back, repeat until the program retires. This header names the two
+// halves of that loop so the loop itself (engine::EpochLoop) can be written
+// once and driven by interchangeable backends:
+//
+//   * SimBackend   — wraps the live cycle-level Gpu (closed loop: decisions
+//                    feed back into timing and energy);
+//   * ReplayBackend — streams a recorded trace at memory-bandwidth speed
+//                    (open loop: decisions are logged and compared against
+//                    the recorded policy, never fed back into timing).
+//
+// Contracts:
+//   * An EpochSource is single-run, single-writer, exactly like
+//     EpochTraceRecorder: one loop drives one source; parallel sweeps give
+//     every job its own source.
+//   * nextEpoch() may only be called while !done() — the loop guarantees
+//     this; sources may SSM_CHECK it.
+//   * stats() is valid once done() (and, for the replay backend, at any
+//     time — the recorded run already finished).
+#pragma once
+
+#include <span>
+
+#include "gpusim/gpu.hpp"
+#include "power/vf_table.hpp"
+
+namespace ssm::engine {
+
+/// Whole-run statistics a source reports once its stream is exhausted.
+/// For the simulation backend these come from the live Gpu's accounting;
+/// for the replay backend they are the recorded run's final numbers.
+struct StreamStats {
+  TimeNs exec_time_ns = 0;
+  double energy_j = 0.0;
+  double edp = 0.0;  ///< joule-seconds
+  std::int64_t instructions = 0;
+};
+
+/// Produces per-cluster EpochObservations, one GpuEpochReport per epoch.
+class EpochSource {
+ public:
+  virtual ~EpochSource() = default;
+
+  [[nodiscard]] virtual const VfTable& vfTable() const noexcept = 0;
+  [[nodiscard]] virtual int numClusters() const noexcept = 0;
+
+  /// True when the stream is exhausted (program retired / trace consumed).
+  [[nodiscard]] virtual bool done() const noexcept = 0;
+
+  /// Wall-clock position of the stream, for the loop's max-time cutoff.
+  [[nodiscard]] virtual TimeNs nowNs() const noexcept = 0;
+
+  /// Advances one epoch with the given per-cluster levels
+  /// (levels.size() == numClusters()) and returns its telemetry. The replay
+  /// backend ignores `levels` — that is the open-loop contract.
+  [[nodiscard]] virtual GpuEpochReport nextEpoch(
+      std::span<const VfLevel> levels) = 0;
+
+  /// Final program-level statistics (see StreamStats).
+  [[nodiscard]] virtual StreamStats stats() const = 0;
+};
+
+/// Receives the commanded V/f levels, one call per cluster per epoch, after
+/// governor clamping and fault arbitration. Returns the level the loop
+/// applies to the next epoch: a closed-loop sink returns `commanded`
+/// unchanged; the open-loop replay sink logs `commanded` for comparison and
+/// returns the recorded level so the loop tracks the trace.
+class ActuationSink {
+ public:
+  virtual ~ActuationSink() = default;
+
+  virtual VfLevel actuate(int cluster_id, VfLevel commanded,
+                          VfLevel current) = 0;
+};
+
+}  // namespace ssm::engine

@@ -1,0 +1,96 @@
+#include "engine/replay_backend.hpp"
+
+#include <limits>
+#include <utility>
+
+#include "common/check.hpp"
+#include "engine/epoch_loop.hpp"
+
+namespace ssm::engine {
+
+ReplayBackend::ReplayBackend(const EpochTrace& trace)
+    : trace_(&trace),
+      commanded_histogram_(trace.vf.size(), 0) {}
+
+const VfTable& ReplayBackend::vfTable() const noexcept { return trace_->vf; }
+
+int ReplayBackend::numClusters() const noexcept {
+  return trace_->numClusters();
+}
+
+bool ReplayBackend::done() const noexcept {
+  return pos_ >= trace_->epochs.size();
+}
+
+TimeNs ReplayBackend::nowNs() const noexcept {
+  if (pos_ < trace_->epochs.size()) return trace_->epochs[pos_].epoch_start_ns;
+  return trace_->recorded.exec_time_ns;
+}
+
+GpuEpochReport ReplayBackend::nextEpoch(std::span<const VfLevel> /*levels*/) {
+  SSM_CHECK(!done(), "nextEpoch() called on an exhausted replay stream");
+  return trace_->epochs[pos_++];
+}
+
+StreamStats ReplayBackend::stats() const {
+  StreamStats st;
+  st.exec_time_ns = trace_->recorded.exec_time_ns;
+  st.energy_j = trace_->recorded.energy_j;
+  st.edp = trace_->recorded.edp;
+  st.instructions = trace_->recorded.instructions;
+  return st;
+}
+
+VfLevel ReplayBackend::actuate(int cluster_id, VfLevel commanded,
+                               VfLevel current) {
+  ++decisions_;
+  if (commanded >= 0 &&
+      static_cast<std::size_t>(commanded) < commanded_histogram_.size())
+    ++commanded_histogram_[static_cast<std::size_t>(commanded)];
+  // pos_ already points one past the epoch whose observation produced this
+  // decision, i.e. at the epoch where the commanded level would first be
+  // observable — exactly what the recorded policy's decision became.
+  if (pos_ < trace_->epochs.size()) {
+    const VfLevel recorded =
+        trace_->epochs[pos_].clusters[static_cast<std::size_t>(cluster_id)]
+            .level;
+    ++compared_;
+    matches_ += commanded == recorded ? 1 : 0;
+    return recorded;
+  }
+  // Decision after the final epoch: no recorded successor to compare with
+  // (the recording run made one too, and it was never applied either).
+  return current;
+}
+
+double ReplayBackend::agreement() const noexcept {
+  return compared_ == 0
+             ? 1.0
+             : static_cast<double>(matches_) / static_cast<double>(compared_);
+}
+
+ReplayReport replayTrace(const EpochTrace& trace, const GovernorFactory& factory,
+                         std::string mechanism_name, const ReplayOptions& opts) {
+  ReplayBackend backend(trace);
+  LoopConfig cfg;
+  // The recorded run already finished; the cutoff must never truncate it.
+  cfg.max_time_ns = std::numeric_limits<TimeNs>::max();
+  cfg.trace = opts.recorder;
+  cfg.harden = opts.harden;
+  cfg.harden_cfg = opts.harden_cfg;
+  cfg.mode_log = opts.mode_log;
+  cfg.timeout_message = "replay stream did not drain; trace is inconsistent";
+
+  ReplayReport report;
+  report.result = EpochLoop(cfg).run(backend, backend, factory,
+                                     std::move(mechanism_name));
+  report.result.workload = trace.workload;
+  report.decisions = backend.decisions();
+  report.compared = backend.compared();
+  report.matches = backend.matches();
+  report.agreement = backend.agreement();
+  report.commanded_histogram = backend.commandedHistogram();
+  return report;
+}
+
+}  // namespace ssm::engine

@@ -1,0 +1,110 @@
+// ReplayBackend: a recorded EpochTrace behind the EpochSource/ActuationSink
+// pair — the open-loop backend.
+//
+// Replay streams the recorded GpuEpochReports through any governor at
+// memory-bandwidth speed: no cycle-level simulation, no power model, just
+// the observations the recording run produced. It is explicitly OPEN LOOP:
+// the governor's decisions are logged and compared against the recorded
+// policy's, but they never feed back into what the governor observes next —
+// the trace is immutable history. Consequences:
+//
+//   * The replay RunResult's numeric fields equal the recorded run's exactly,
+//     for ANY governor: stats() returns the recorded final numbers and the
+//     loop recomputes epochs / mean power / level histogram from the same
+//     report stream the recording loop saw, in the same order.
+//   * A deterministic governor replayed with its recording-time configuration
+//     agrees with the trace on every decision (agreement() == 1.0) — the
+//     observation stream is identical, so the decisions are too. Any drift
+//     below 1.0 measures how a DIFFERENT policy/config diverges from the
+//     recorded one, epoch by epoch (the counterfactual-screening use case).
+//
+// Agreement accounting: epoch e's decision is compared against the level the
+// trace shows the cluster running at in epoch e+1 (that is where a commanded
+// level becomes observable). Decisions made after the final epoch have no
+// recorded successor; they are counted in decisions() but excluded from the
+// agreement denominator.
+//
+// Fault injection is rejected in replay (LoopConfig::faults must stay null):
+// onActuate arbitration would need to feed back into the stream, which the
+// open-loop contract forbids.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/hardened_governor.hpp"
+#include "engine/epoch_stream.hpp"
+#include "engine/trace_io.hpp"
+
+namespace ssm::engine {
+
+class ReplayBackend final : public EpochSource, public ActuationSink {
+ public:
+  /// The trace must outlive the backend (it is borrowed, not copied — traces
+  /// can be large and sweeps replay one trace under many governors).
+  explicit ReplayBackend(const EpochTrace& trace);
+
+  // --- EpochSource -----------------------------------------------------
+  [[nodiscard]] const VfTable& vfTable() const noexcept override;
+  [[nodiscard]] int numClusters() const noexcept override;
+  [[nodiscard]] bool done() const noexcept override;
+  [[nodiscard]] TimeNs nowNs() const noexcept override;
+  /// Returns the next recorded report. `levels` is ignored: open loop.
+  [[nodiscard]] GpuEpochReport nextEpoch(
+      std::span<const VfLevel> levels) override;
+  /// The recorded run's final numbers, valid at any time.
+  [[nodiscard]] StreamStats stats() const override;
+
+  // --- ActuationSink ---------------------------------------------------
+  /// Logs `commanded` (histogram + agreement vs the recorded next level) and
+  /// returns the recorded level so the loop's state tracks the trace.
+  VfLevel actuate(int cluster_id, VfLevel commanded, VfLevel current) override;
+
+  // --- Replay-only accessors -------------------------------------------
+  [[nodiscard]] std::int64_t decisions() const noexcept { return decisions_; }
+  [[nodiscard]] std::int64_t compared() const noexcept { return compared_; }
+  [[nodiscard]] std::int64_t matches() const noexcept { return matches_; }
+  /// matches()/compared(); 1.0 for traces too short to compare anything.
+  [[nodiscard]] double agreement() const noexcept;
+  /// Count of commanded decisions per V/f level (size == vfTable().size()).
+  [[nodiscard]] const std::vector<std::int64_t>& commandedHistogram()
+      const noexcept {
+    return commanded_histogram_;
+  }
+
+ private:
+  const EpochTrace* trace_;
+  std::size_t pos_ = 0;  ///< index of the next epoch to stream
+  std::int64_t decisions_ = 0;
+  std::int64_t compared_ = 0;
+  std::int64_t matches_ = 0;
+  std::vector<std::int64_t> commanded_histogram_;
+};
+
+/// One-call replay: stream `trace` through governors from `factory` and
+/// report the result plus the agreement statistics.
+struct ReplayOptions {
+  /// Wrap the governors in the HardenedGovernor decorator, as a live run
+  /// with --harden would.
+  bool harden = false;
+  HardenedConfig harden_cfg{};
+  GovernorModeLog* mode_log = nullptr;
+  /// Re-record the replayed stream (e.g. to render a timeline of a trace).
+  EpochTraceRecorder* recorder = nullptr;
+};
+
+struct ReplayReport {
+  RunResult result;
+  std::int64_t decisions = 0;
+  std::int64_t compared = 0;
+  std::int64_t matches = 0;
+  double agreement = 1.0;
+  std::vector<std::int64_t> commanded_histogram;
+};
+
+[[nodiscard]] ReplayReport replayTrace(const EpochTrace& trace,
+                                       const GovernorFactory& factory,
+                                       std::string mechanism_name,
+                                       const ReplayOptions& opts = {});
+
+}  // namespace ssm::engine

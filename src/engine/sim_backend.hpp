@@ -1,0 +1,62 @@
+// SimBackend: the live cycle-level Gpu behind the EpochSource/ActuationSink
+// pair — the closed-loop backend.
+//
+// One object implements both halves: the source steps the simulation, the
+// sink passes every commanded level straight through, so the governor's
+// decisions feed back into timing and energy exactly as they did when the
+// loop was hard-wired to the Gpu. EpochLoop driving a SimBackend is
+// byte-identical to the pre-engine runWithGovernor/runWithChipGovernor/
+// runSequence loops (tests/test_engine.cpp pins this against a reference
+// reimplementation).
+#pragma once
+
+#include <utility>
+
+#include "engine/epoch_stream.hpp"
+
+namespace ssm::engine {
+
+class SimBackend final : public EpochSource, public ActuationSink {
+ public:
+  /// Takes the machine by value: the backend owns its simulation state, so
+  /// callers can snapshot a Gpu and hand copies to many backends (the same
+  /// value-semantics datagen relies on).
+  explicit SimBackend(Gpu gpu) : gpu_(std::move(gpu)) {}
+
+  // --- EpochSource -----------------------------------------------------
+  [[nodiscard]] const VfTable& vfTable() const noexcept override {
+    return gpu_.vfTable();
+  }
+  [[nodiscard]] int numClusters() const noexcept override {
+    return gpu_.numClusters();
+  }
+  [[nodiscard]] bool done() const noexcept override { return gpu_.allDone(); }
+  [[nodiscard]] TimeNs nowNs() const noexcept override { return gpu_.nowNs(); }
+  [[nodiscard]] GpuEpochReport nextEpoch(
+      std::span<const VfLevel> levels) override {
+    return gpu_.runEpoch(levels);
+  }
+  [[nodiscard]] StreamStats stats() const override {
+    StreamStats st;
+    st.exec_time_ns = gpu_.finishTimeNs();
+    st.energy_j = gpu_.totalEnergyJ();
+    st.edp = gpu_.edp();
+    st.instructions = gpu_.totalInstructions();
+    return st;
+  }
+
+  // --- ActuationSink ---------------------------------------------------
+  /// Closed loop: what the governor (post fault arbitration) commands is
+  /// what the next epoch runs at.
+  VfLevel actuate(int /*cluster_id*/, VfLevel commanded,
+                  VfLevel /*current*/) override {
+    return commanded;
+  }
+
+  [[nodiscard]] const Gpu& gpu() const noexcept { return gpu_; }
+
+ private:
+  Gpu gpu_;
+};
+
+}  // namespace ssm::engine

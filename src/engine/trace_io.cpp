@@ -1,0 +1,335 @@
+#include "engine/trace_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/check.hpp"
+#include "gpusim/trace.hpp"
+
+namespace ssm::engine {
+namespace {
+
+constexpr std::size_t kHeaderSize = 8 + 4 + 8 + 8;
+
+/// Append-only native-endian byte writer for the payload.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void i32(std::int32_t v) { raw(&v, sizeof v); }
+  void i64(std::int64_t v) { raw(&v, sizeof v); }
+  void f64(double v) { raw(&v, sizeof v); }
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    bytes_.append(s.data(), s.size());
+  }
+  [[nodiscard]] std::string take() { return std::move(bytes_); }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    bytes_.append(static_cast<const char*>(p), n);
+  }
+  std::string bytes_;
+};
+
+/// Bounds-checked reader over the payload; any overrun is a DataError
+/// (a well-formed header can still front a mangled payload).
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() {
+    std::uint8_t v = 0;
+    raw(&v, sizeof v);
+    return v;
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    raw(&v, sizeof v);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    raw(&v, sizeof v);
+    return v;
+  }
+  std::int32_t i32() {
+    std::int32_t v = 0;
+    raw(&v, sizeof v);
+    return v;
+  }
+  std::int64_t i64() {
+    std::int64_t v = 0;
+    raw(&v, sizeof v);
+    return v;
+  }
+  double f64() {
+    double v = 0;
+    raw(&v, sizeof v);
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (bytes_.size() - pos_ < n)
+      throw DataError("SSMTRACE payload truncated inside a string field");
+    std::string s(bytes_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+  [[nodiscard]] bool exhausted() const noexcept {
+    return pos_ == bytes_.size();
+  }
+
+ private:
+  void raw(void* p, std::size_t n) {
+    if (bytes_.size() - pos_ < n)
+      throw DataError("SSMTRACE payload truncated inside a scalar field");
+    std::memcpy(p, bytes_.data() + pos_, n);
+    pos_ += n;
+  }
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+void writeRunResult(ByteWriter& w, const RunResult& r) {
+  w.str(r.workload);
+  w.str(r.mechanism);
+  w.i64(r.exec_time_ns);
+  w.f64(r.energy_j);
+  w.f64(r.edp);
+  w.i64(r.instructions);
+  w.i32(r.epochs);
+  w.f64(r.mean_power_w);
+  w.u32(static_cast<std::uint32_t>(r.level_histogram.size()));
+  for (double h : r.level_histogram) w.f64(h);
+}
+
+RunResult readRunResult(ByteReader& r) {
+  RunResult out;
+  out.workload = r.str();
+  out.mechanism = r.str();
+  out.exec_time_ns = r.i64();
+  out.energy_j = r.f64();
+  out.edp = r.f64();
+  out.instructions = r.i64();
+  out.epochs = r.i32();
+  out.mean_power_w = r.f64();
+  const std::uint32_t hist = r.u32();
+  out.level_histogram.reserve(hist);
+  for (std::uint32_t i = 0; i < hist; ++i)
+    out.level_histogram.push_back(r.f64());
+  return out;
+}
+
+void writeObservation(ByteWriter& w, const EpochObservation& obs) {
+  w.i32(obs.level);
+  w.f64(obs.power_w);
+  w.i64(obs.instructions);
+  w.i64(obs.epoch_start_ns);
+  w.i64(obs.epoch_len_ns);
+  w.i32(obs.cluster_id);
+  w.u8(obs.cluster_done ? 1 : 0);
+  for (double c : obs.counters.raw()) w.f64(c);
+}
+
+EpochObservation readObservation(ByteReader& r) {
+  EpochObservation obs;
+  obs.level = r.i32();
+  obs.power_w = r.f64();
+  obs.instructions = r.i64();
+  obs.epoch_start_ns = r.i64();
+  obs.epoch_len_ns = r.i64();
+  obs.cluster_id = r.i32();
+  obs.cluster_done = r.u8() != 0;
+  for (int c = 0; c < kNumCounters; ++c)
+    obs.counters.set(static_cast<CounterId>(c), r.f64());
+  return obs;
+}
+
+std::string buildPayload(const EpochTrace& trace) {
+  ByteWriter w;
+  w.str(trace.workload);
+  w.str(trace.mechanism);
+  w.u64(trace.seed);
+  w.u32(static_cast<std::uint32_t>(trace.vf.size()));
+  for (const VfPoint& p : trace.vf.points()) {
+    w.f64(p.voltage_v);
+    w.f64(p.freq_mhz);
+  }
+  writeRunResult(w, trace.recorded);
+  w.u32(static_cast<std::uint32_t>(trace.epochs.size()));
+  w.u32(static_cast<std::uint32_t>(trace.numClusters()));
+  for (const GpuEpochReport& rep : trace.epochs) {
+    SSM_CHECK(static_cast<int>(rep.clusters.size()) == trace.numClusters(),
+              "cluster count changed mid-trace; cannot serialize");
+    w.f64(rep.chip_power_w);
+    w.f64(rep.dram_util);
+    w.i64(rep.epoch_start_ns);
+    w.i64(rep.epoch_len_ns);
+    w.u8(rep.all_done ? 1 : 0);
+    for (const EpochObservation& obs : rep.clusters) writeObservation(w, obs);
+  }
+  return w.take();
+}
+
+EpochTrace parsePayload(std::string_view payload) {
+  ByteReader r(payload);
+  EpochTrace trace;
+  trace.workload = r.str();
+  trace.mechanism = r.str();
+  trace.seed = r.u64();
+  const std::uint32_t vf_points = r.u32();
+  if (vf_points == 0)
+    throw DataError("SSMTRACE payload has an empty V/f table");
+  std::vector<VfPoint> points;
+  points.reserve(vf_points);
+  for (std::uint32_t i = 0; i < vf_points; ++i) {
+    VfPoint p;
+    p.voltage_v = r.f64();
+    p.freq_mhz = r.f64();
+    points.push_back(p);
+  }
+  trace.vf = VfTable(std::move(points));
+  trace.recorded = readRunResult(r);
+  const std::uint32_t num_epochs = r.u32();
+  const std::uint32_t num_clusters = r.u32();
+  trace.epochs.reserve(num_epochs);
+  for (std::uint32_t e = 0; e < num_epochs; ++e) {
+    GpuEpochReport rep;
+    rep.chip_power_w = r.f64();
+    rep.dram_util = r.f64();
+    rep.epoch_start_ns = r.i64();
+    rep.epoch_len_ns = r.i64();
+    rep.all_done = r.u8() != 0;
+    rep.clusters.reserve(num_clusters);
+    for (std::uint32_t c = 0; c < num_clusters; ++c)
+      rep.clusters.push_back(readObservation(r));
+    trace.epochs.push_back(std::move(rep));
+  }
+  if (!r.exhausted())
+    throw DataError("SSMTRACE payload has trailing bytes after the last epoch");
+  return trace;
+}
+
+struct Header {
+  std::uint32_t version = 0;
+  std::uint64_t payload_size = 0;
+  std::uint64_t checksum = 0;
+};
+
+Header parseHeader(std::string_view bytes) {
+  if (bytes.size() < kHeaderSize)
+    throw DataError("SSMTRACE file truncated: shorter than the 28-byte header");
+  if (bytes.substr(0, kTraceMagic.size()) != kTraceMagic)
+    throw DataError("not an SSMTRACE file (bad magic)");
+  Header h;
+  std::memcpy(&h.version, bytes.data() + 8, sizeof h.version);
+  std::memcpy(&h.payload_size, bytes.data() + 12, sizeof h.payload_size);
+  std::memcpy(&h.checksum, bytes.data() + 20, sizeof h.checksum);
+  if (h.version != kTraceVersion)
+    throw DataError("unsupported SSMTRACE version " + std::to_string(h.version) +
+                    " (this build reads version " +
+                    std::to_string(kTraceVersion) + ")");
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+EpochTrace traceFromRecorder(const EpochTraceRecorder& recorder,
+                             std::string workload, std::string mechanism,
+                             std::uint64_t seed, VfTable vf,
+                             RunResult recorded) {
+  if (!recorder.replayCaptureEnabled())
+    throw DataError(
+        "recorder ran without enableReplayCapture(): the full 47-counter "
+        "observations were not retained and the trace cannot be built");
+  EpochTrace trace;
+  trace.workload = std::move(workload);
+  trace.mechanism = std::move(mechanism);
+  trace.seed = seed;
+  trace.vf = std::move(vf);
+  trace.recorded = std::move(recorded);
+  trace.epochs = recorder.reports();
+  return trace;
+}
+
+std::string serializeTrace(const EpochTrace& trace) {
+  const std::string payload = buildPayload(trace);
+  const std::uint32_t version = kTraceVersion;
+  const auto payload_size = static_cast<std::uint64_t>(payload.size());
+  const std::uint64_t checksum = fnv1a64(payload);
+
+  std::string out;
+  out.reserve(kHeaderSize + payload.size());
+  out.append(kTraceMagic);
+  out.append(reinterpret_cast<const char*>(&version), sizeof version);
+  out.append(reinterpret_cast<const char*>(&payload_size), sizeof payload_size);
+  out.append(reinterpret_cast<const char*>(&checksum), sizeof checksum);
+  out.append(payload);
+  return out;
+}
+
+EpochTrace deserializeTrace(std::string_view bytes) {
+  const Header h = parseHeader(bytes);
+  const std::string_view payload = bytes.substr(kHeaderSize);
+  if (payload.size() < h.payload_size)
+    throw DataError("SSMTRACE file truncated: header announces " +
+                    std::to_string(h.payload_size) + " payload bytes, found " +
+                    std::to_string(payload.size()));
+  if (payload.size() > h.payload_size)
+    throw DataError("SSMTRACE file has trailing bytes after the payload");
+  const std::uint64_t actual = fnv1a64(payload);
+  if (actual != h.checksum)
+    throw DataError("SSMTRACE payload corrupted: checksum mismatch");
+  return parsePayload(payload);
+}
+
+void saveTrace(const EpochTrace& trace, const std::string& path) {
+  const std::string bytes = serializeTrace(trace);
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw DataError("cannot open for writing: " + path);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!os) throw DataError("write failed: " + path);
+}
+
+EpochTrace loadTrace(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw DataError("cannot open trace file: " + path);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  if (!is && !is.eof()) throw DataError("read failed: " + path);
+  return deserializeTrace(buf.str());
+}
+
+TraceFileInfo traceFileInfo(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw DataError("cannot open trace file: " + path);
+  std::string header(kHeaderSize, '\0');
+  is.read(header.data(), static_cast<std::streamsize>(header.size()));
+  if (is.gcount() != static_cast<std::streamsize>(kHeaderSize))
+    throw DataError("SSMTRACE file truncated: shorter than the 28-byte header");
+  const Header h = parseHeader(header);
+  is.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::uint64_t>(is.tellg());
+  if (file_size != kHeaderSize + h.payload_size)
+    throw DataError("SSMTRACE file length does not match header payload_size");
+  TraceFileInfo info;
+  info.version = h.version;
+  info.payload_size = h.payload_size;
+  info.checksum = h.checksum;
+  return info;
+}
+
+}  // namespace ssm::engine

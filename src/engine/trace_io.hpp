@@ -1,0 +1,100 @@
+// Versioned, checksummed binary epoch-trace format (the .ssmtrace file).
+//
+// An EpochTrace is everything ReplayBackend needs to re-drive a governor
+// without the simulator: the recording run's metadata (workload, mechanism,
+// seed, V/f table), its final RunResult, and every GpuEpochReport — all 47
+// counters for every cluster-epoch. Doubles are serialized as raw bit
+// patterns (memcpy), so a round trip is exact: deserialize(serialize(t))
+// compares equal field-for-field, including NaN payloads.
+//
+// File layout (little-endian on every platform this repo targets; fields
+// are memcpy'd native-endian and the format is not meant for cross-endian
+// archival):
+//
+//   offset  size  field
+//   0       8     magic "SSMTRACE"
+//   8       4     u32 format version (currently 1)
+//   12      8     u64 payload_size — byte length of the payload that follows
+//   20      8     u64 checksum — FNV-1a 64 over the payload bytes
+//   28      ...   payload (payload_size bytes, nothing after it)
+//
+// Integrity rules, enforced by deserializeTrace/loadTrace (all failures
+// throw DataError, never ContractError — a bad file is an input problem):
+//   * magic mismatch            -> "not an SSMTRACE file"
+//   * version != kTraceVersion  -> unsupported version
+//   * fewer payload bytes than payload_size announces -> truncated
+//   * trailing bytes after the payload               -> rejected
+//   * checksum mismatch         -> corrupted
+//
+// Payload encoding: strings are u32 length + bytes; vectors are u32 count +
+// elements; bools are one byte (0/1); integers and doubles are fixed-width
+// memcpy. The full field order is defined by serializeTrace in trace_io.cpp
+// and documented in docs/engine.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gpusim/gpu.hpp"
+#include "gpusim/runner.hpp"
+#include "power/vf_table.hpp"
+
+namespace ssm {
+class EpochTraceRecorder;
+}  // namespace ssm
+
+namespace ssm::engine {
+
+inline constexpr std::string_view kTraceMagic = "SSMTRACE";
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+/// A fully recorded run: metadata + final stats + every epoch report.
+struct EpochTrace {
+  std::string workload;
+  std::string mechanism;  ///< governor that produced the recorded decisions
+  std::uint64_t seed = 0;
+  VfTable vf = VfTable::titanX();
+  /// The recording run's final RunResult. Open-loop replay reproduces this
+  /// exactly for ANY governor (stats are stream-derived; see replay_backend).
+  RunResult recorded;
+  std::vector<GpuEpochReport> epochs;
+
+  [[nodiscard]] int numClusters() const noexcept {
+    return epochs.empty() ? 0
+                          : static_cast<int>(epochs.front().clusters.size());
+  }
+};
+
+/// FNV-1a 64-bit over arbitrary bytes — the trace checksum function.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes) noexcept;
+
+/// Assembles an EpochTrace from a recorder that ran with replay capture
+/// enabled (throws DataError when it was not — the column summaries alone
+/// cannot reconstruct the 47-counter observations).
+[[nodiscard]] EpochTrace traceFromRecorder(const EpochTraceRecorder& recorder,
+                                           std::string workload,
+                                           std::string mechanism,
+                                           std::uint64_t seed, VfTable vf,
+                                           RunResult recorded);
+
+/// Full file image (header + payload) as a byte string.
+[[nodiscard]] std::string serializeTrace(const EpochTrace& trace);
+
+/// Parses a full file image; throws DataError per the integrity rules above.
+[[nodiscard]] EpochTrace deserializeTrace(std::string_view bytes);
+
+void saveTrace(const EpochTrace& trace, const std::string& path);
+[[nodiscard]] EpochTrace loadTrace(const std::string& path);
+
+/// Header fields of a trace file, for display without a full parse. Validates
+/// magic/version and that the payload length on disk matches the header.
+struct TraceFileInfo {
+  std::uint32_t version = 0;
+  std::uint64_t payload_size = 0;
+  std::uint64_t checksum = 0;
+};
+[[nodiscard]] TraceFileInfo traceFileInfo(const std::string& path);
+
+}  // namespace ssm::engine

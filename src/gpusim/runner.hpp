@@ -3,6 +3,12 @@
 // This is the harness behind every §V experiment: construct a Gpu for a
 // workload, attach a governor family, and measure execution time, energy
 // and EDP under per-cluster microsecond-scale DVFS.
+//
+// The declarations live here for include compatibility, but since the
+// engine-layer refactor the implementations are thin adapters over
+// engine::EpochLoop + engine::SimBackend (src/engine/runner_adapter.cpp,
+// linked from ssm_engine). New code should prefer the engine API directly;
+// these entry points are kept because they say exactly what §V runs mean.
 #pragma once
 
 #include <string>

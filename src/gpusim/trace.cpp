@@ -39,6 +39,7 @@ void EpochTraceRecorder::record(const GpuEpochReport& report) {
   insts_.push_back(std::move(insts));
   cluster_power_w_.push_back(std::move(power));
   chip_power_w_.push_back(report.chip_power_w);
+  if (capture_reports_) reports_.push_back(report);
 }
 
 VfLevel EpochTraceRecorder::levelAt(int epoch, int cluster) const {
@@ -132,6 +133,7 @@ void EpochTraceRecorder::clear() {
   insts_.clear();
   cluster_power_w_.clear();
   chip_power_w_.clear();
+  reports_.clear();
 }
 
 }  // namespace ssm

@@ -31,6 +31,19 @@ class EpochTraceRecorder {
   /// throw ContractError when two threads are caught inside at once.
   void record(const GpuEpochReport& report);
 
+  /// Retain every full GpuEpochReport (all 47 counters per cluster)
+  /// alongside the column summaries. Must be enabled before the first
+  /// record() call; this is what the engine's binary trace writer
+  /// (src/engine/trace_io) serializes for replay.
+  void enableReplayCapture() { capture_reports_ = true; }
+  [[nodiscard]] bool replayCaptureEnabled() const noexcept {
+    return capture_reports_;
+  }
+  /// The retained reports (empty unless enableReplayCapture() was called).
+  [[nodiscard]] const std::vector<GpuEpochReport>& reports() const noexcept {
+    return reports_;
+  }
+
   [[nodiscard]] int epochCount() const noexcept {
     return static_cast<int>(chip_power_w_.size());
   }
@@ -67,6 +80,8 @@ class EpochTraceRecorder {
   std::vector<std::vector<std::int64_t>> insts_;      ///< [epoch][cluster]
   std::vector<std::vector<double>> cluster_power_w_;  ///< [epoch][cluster]
   std::vector<double> chip_power_w_;                  ///< [epoch]
+  std::vector<GpuEpochReport> reports_;  ///< full reports (replay capture)
+  bool capture_reports_ = false;
   /// Writers currently inside record(); > 1 means the single-writer
   /// contract is broken. Makes the class non-copyable, which is fine: a
   /// recorder is an append-only sink owned by exactly one run.

@@ -15,6 +15,7 @@
 #include "common/rng.hpp"
 #include "core/hardened_governor.hpp"
 #include "core/ssm_governor.hpp"
+#include "engine/replay_backend.hpp"
 
 namespace ssm::fleet {
 
@@ -31,6 +32,15 @@ bool faultAxisActive(const SweepSpec& spec) {
   for (const auto& f : spec.faults)
     if (f.active()) return true;
   return false;
+}
+
+bool replayMode(const SweepSpec& spec) { return !spec.replay.empty(); }
+
+/// The cell's workload name: profile name in live mode, the trace's
+/// recorded workload in replay mode.
+const std::string& workloadName(const SweepSpec& spec, const SweepJob& job) {
+  return replayMode(spec) ? spec.replay[job.workload]->workload
+                          : spec.workloads[job.workload].name;
 }
 
 }  // namespace
@@ -81,16 +91,28 @@ std::unique_ptr<GovernorFactory> makeGovernorFactory(
 }
 
 std::vector<SweepJob> expandJobs(const SweepSpec& spec) {
-  SSM_CHECK(!spec.workloads.empty(), "sweep needs at least one workload");
+  const bool replay = replayMode(spec);
+  SSM_CHECK(!replay || spec.workloads.empty(),
+            "a sweep is either live (workloads) or replay (traces), not both");
+  SSM_CHECK(replay || !spec.workloads.empty(),
+            "sweep needs at least one workload");
   SSM_CHECK(!spec.mechanisms.empty(), "sweep needs at least one mechanism");
   SSM_CHECK(!spec.presets.empty(), "sweep needs at least one preset");
   SSM_CHECK(!spec.seeds.empty(), "sweep needs at least one seed");
   SSM_CHECK(!spec.faults.empty(), "sweep needs at least one fault cell");
+  if (replay) {
+    for (const auto& trace : spec.replay)
+      SSM_CHECK(trace != nullptr, "replay sweep has a null trace entry");
+    SSM_CHECK(!faultAxisActive(spec),
+              "fault injection is closed-loop; unsupported in replay sweeps");
+  }
 
+  const std::size_t num_workloads =
+      replay ? spec.replay.size() : spec.workloads.size();
   std::vector<SweepJob> jobs;
-  jobs.reserve(spec.workloads.size() * spec.mechanisms.size() *
-               spec.presets.size() * spec.seeds.size() * spec.faults.size());
-  for (std::size_t w = 0; w < spec.workloads.size(); ++w) {
+  jobs.reserve(num_workloads * spec.mechanisms.size() * spec.presets.size() *
+               spec.seeds.size() * spec.faults.size());
+  for (std::size_t w = 0; w < num_workloads; ++w) {
     for (std::size_t m = 0; m < spec.mechanisms.size(); ++m) {
       for (std::size_t p = 0; p < spec.presets.size(); ++p) {
         for (std::size_t s = 0; s < spec.seeds.size(); ++s) {
@@ -123,7 +145,43 @@ FleetRunner::FleetRunner(const SweepSpec& spec, ThreadPool& pool)
     static_cast<void>(makeGovernorFactory(mech, spec_.vf, 0.10, spec_.model));
 }
 
+SweepResult FleetRunner::runReplayJob(const SweepJob& job) const {
+  const engine::EpochTrace& trace = *spec_.replay[job.workload];
+  const std::string& mech = spec_.mechanisms[job.mechanism];
+  const double preset = spec_.presets[job.preset];
+
+  SweepResult out;
+  out.job = job;
+  out.baseline = trace.recorded;
+
+  // "baseline" replays the static-default policy (makeGovernorFactory maps
+  // it to no governor, which has no open-loop meaning): its agreement tells
+  // how often the recorded policy sat at the default level.
+  const auto factory =
+      makeGovernorFactory(mech, trace.vf, preset, spec_.model);
+  const StaticFactory static_default(trace.vf.defaultLevel());
+  const GovernorFactory& chosen =
+      factory != nullptr ? *factory
+                         : static_cast<const GovernorFactory&>(static_default);
+
+  GovernorModeLog mode_log;
+  engine::ReplayOptions opts;
+  opts.harden = spec_.harden;
+  opts.mode_log = spec_.harden ? &mode_log : nullptr;
+  const engine::ReplayReport report =
+      engine::replayTrace(trace, chosen, mech, opts);
+  out.governed = report.result;
+  out.governed.mechanism = mech;
+  out.agreement = report.agreement;
+  out.decisions = report.decisions;
+  out.matches = report.matches;
+  out.fallbacks = mode_log.fallbacks();
+  out.recoveries = mode_log.recoveries();
+  return out;
+}
+
 SweepResult FleetRunner::runJob(const SweepJob& job) const {
+  if (replayMode(spec_)) return runReplayJob(job);
   const KernelProfile& kernel = spec_.workloads[job.workload];
   const std::string& mech = spec_.mechanisms[job.mechanism];
   const double preset = spec_.presets[job.preset];
@@ -228,12 +286,19 @@ std::string toJsonLine(const SweepSpec& spec, const SweepResult& r) {
   std::ostringstream ss;
   JsonWriter w(ss);
   w.beginObject()
-      .value("workload", spec.workloads[r.job.workload].name)
+      .value("workload", workloadName(spec, r.job))
       .value("mechanism", spec.mechanisms[r.job.mechanism])
       .value("preset", spec.presets[r.job.preset])
       .value("seed", static_cast<std::int64_t>(spec.seeds[r.job.seed]));
-  // Fault/hardening fields appear only when the sweep opts in, keeping
-  // clean-sweep JSONL byte-identical to the pre-fault schema.
+  // Replay fields appear only in replay mode; fault/hardening fields only
+  // when the sweep opts in. Clean live sweeps keep the exact pre-fault,
+  // pre-engine JSONL schema, byte for byte.
+  if (replayMode(spec)) {
+    w.value("replay_of", spec.replay[r.job.workload]->mechanism)
+        .value("agreement", r.agreement)
+        .value("decisions", r.decisions)
+        .value("matches", r.matches);
+  }
   if (faultAxisActive(spec)) {
     const faults::FaultSpec& fs = spec.faults[r.job.fault];
     w.value("faults", fs.print());
@@ -268,8 +333,10 @@ void writeCsv(const SweepSpec& spec, const std::vector<SweepResult>& results,
   // Conditional columns mirror the JSONL rule: clean, unhardened sweeps
   // keep the exact pre-fault schema.
   const bool with_faults = faultAxisActive(spec);
+  const bool replay = replayMode(spec);
   os << "workload,mechanism,preset,seed,exec_time_us,energy_mj,edp_uj_s,"
         "epochs,edp_ratio,latency_ratio";
+  if (replay) os << ",replay_of,agreement,decisions,matches";
   if (with_faults) os << ",faults,injected_faults";
   if (spec.harden) os << ",fallbacks,recoveries";
   os << '\n';
@@ -288,6 +355,10 @@ void writeCsv(const SweepSpec& spec, const std::vector<SweepResult>& results,
                 ? static_cast<double>(r.governed.exec_time_ns) /
                       static_cast<double>(r.baseline.exec_time_ns)
                 : 1.0);
+    if (replay) {
+      num << ',' << spec.replay[r.job.workload]->mechanism << ','
+          << r.agreement << ',' << r.decisions << ',' << r.matches;
+    }
     if (with_faults) {
       // The spec's canonical form contains ','; quote it per CSV rules
       // (print() never emits a quote character).
@@ -295,7 +366,7 @@ void writeCsv(const SweepSpec& spec, const std::vector<SweepResult>& results,
           << r.fault_counts.total();
     }
     if (spec.harden) num << ',' << r.fallbacks << ',' << r.recoveries;
-    os << spec.workloads[r.job.workload].name << ','
+    os << workloadName(spec, r.job) << ','
        << spec.mechanisms[r.job.mechanism] << ',' << num.str() << '\n';
   }
 }

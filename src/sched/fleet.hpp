@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/ssm_model.hpp"
+#include "engine/trace_io.hpp"
 #include "faults/fault_injector.hpp"
 #include "faults/fault_spec.hpp"
 #include "gpusim/runner.hpp"
@@ -33,8 +34,20 @@ namespace ssm::fleet {
 
 /// The cartesian sweep specification. Workloads are resolved profiles so
 /// callers control registry vs profile-file lookup.
+///
+/// A sweep runs in exactly one of two modes:
+///   * live   — `workloads` is non-empty: every cell simulates its program
+///     on the cycle-level Gpu (the pre-engine behaviour, byte-identical);
+///   * replay — `replay` is non-empty (and `workloads` empty): every cell
+///     streams one recorded trace through the mechanism's governor open-loop
+///     (engine::replayTrace) at memory-bandwidth speed, reporting how often
+///     its decisions agree with the recorded policy's. Fault injection is
+///     closed-loop and therefore rejected in replay sweeps.
 struct SweepSpec {
   std::vector<KernelProfile> workloads;
+  /// Recorded traces substituting the workload axis (shared, immutable:
+  /// many jobs replay the same trace concurrently). All entries non-null.
+  std::vector<std::shared_ptr<const engine::EpochTrace>> replay;
   std::vector<std::string> mechanisms;
   std::vector<double> presets = {0.10};
   std::vector<std::uint64_t> seeds = {777};
@@ -68,13 +81,19 @@ struct SweepJob {
 
 struct SweepResult {
   SweepJob job;
-  RunResult baseline;  ///< always fault-free: the clean reference
+  /// Live mode: the fault-free static-default run. Replay mode: the
+  /// recorded run's RunResult (the reference the replay is measured against).
+  RunResult baseline;
   RunResult governed;
   /// Injected-fault tally of the governed run (all zero for clean cells).
   faults::FaultCounts fault_counts;
   /// Hardened-governor mode transitions (0 unless SweepSpec::harden).
   int fallbacks = 0;
   int recoveries = 0;
+  /// Replay-mode agreement with the recorded policy (1.0 in live mode).
+  double agreement = 1.0;
+  std::int64_t decisions = 0;
+  std::int64_t matches = 0;
 };
 
 /// Expands the cartesian product in deterministic order: workload-major,
@@ -112,6 +131,7 @@ class FleetRunner {
 
  private:
   [[nodiscard]] SweepResult runJob(const SweepJob& job) const;
+  [[nodiscard]] SweepResult runReplayJob(const SweepJob& job) const;
 
   const SweepSpec& spec_;
   ThreadPool& pool_;

@@ -333,5 +333,100 @@ TEST_F(CliTest, DatagenJobsMatchesSerialCorpus) {
   EXPECT_EQ(a, slurp(parallel));
 }
 
+TEST_F(CliTest, HelpIsGlobalAndPerSubcommand) {
+  std::string out;
+  // `--help` and `help` print the global usage and succeed.
+  ASSERT_EQ(runCli("--help", &out), 0);
+  EXPECT_NE(out.find("usage"), std::string::npos);
+  ASSERT_EQ(runCli("help", &out), 0);
+  EXPECT_NE(out.find("record"), std::string::npos);
+  EXPECT_NE(out.find("replay"), std::string::npos);
+  // Every subcommand answers --help with its own options.
+  for (const std::string cmd :
+       {"run", "sweep", "record", "replay", "datagen", "train", "eval"}) {
+    ASSERT_EQ(runCli(cmd + " --help", &out), 0) << cmd;
+    EXPECT_NE(out.find("ssmdvfs " + cmd), std::string::npos) << cmd << out;
+  }
+  EXPECT_NE(runCli("frobnicate --help", &out), 0);
+}
+
+TEST_F(CliTest, RecordReplayChain) {
+  std::string out;
+  const std::string trace = dir_ + "/run.ssmtrace";
+  ASSERT_EQ(runCli("record --workload spmv --mechanism pcstall --max-ms 1 "
+                   "--clusters 6 --out " +
+                       trace,
+                   &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("trace format v1"), std::string::npos) << out;
+  ASSERT_TRUE(std::filesystem::exists(trace));
+
+  // Same policy, same config: open-loop agreement is exactly 100%.
+  const std::string json = dir_ + "/rep.json";
+  ASSERT_EQ(runCli("replay --trace " + trace + " --json " + json, &out), 0)
+      << out;
+  EXPECT_NE(out.find("agreement 100.00%"), std::string::npos) << out;
+  const std::string body = slurp(json);
+  EXPECT_NE(body.find("\"recorded_mechanism\":\"pcstall\""),
+            std::string::npos);
+  EXPECT_NE(body.find("\"agreement\":1"), std::string::npos);
+
+  // A different policy diverges but still reports cleanly.
+  ASSERT_EQ(runCli("replay --trace " + trace + " --mechanism ondemand", &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("replayed ondemand"), std::string::npos) << out;
+
+  // A corrupted file is rejected with a diagnostic, not a crash.
+  std::string bytes = slurp(trace);
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x01);
+  const std::string bad = dir_ + "/bad.ssmtrace";
+  std::ofstream(bad, std::ios::binary) << bytes;
+  EXPECT_NE(runCli("replay --trace " + bad, &out), 0);
+  EXPECT_NE(out.find("error"), std::string::npos) << out;
+}
+
+TEST_F(CliTest, SweepReplayIsByteIdenticalAcrossJobCounts) {
+  std::string out;
+  // Record two traces into a directory; `sweep --replay DIR` picks up both.
+  for (const std::string w : {"spmv", "bfs"})
+    ASSERT_EQ(runCli("record --workload " + w +
+                         " --mechanism pcstall --max-ms 1 --clusters 6 "
+                         "--out " +
+                         dir_ + "/" + w + ".ssmtrace",
+                     &out),
+              0)
+        << out;
+
+  const std::string serial = dir_ + "/serial.jsonl";
+  const std::string parallel = dir_ + "/parallel.jsonl";
+  const std::string common = "sweep --replay " + dir_ +
+                             " --mechanisms baseline,pcstall,ondemand "
+                             "--quiet --out ";
+  ASSERT_EQ(runCli(common + serial + " --jobs 1", &out), 0) << out;
+  ASSERT_EQ(runCli(common + parallel + " --jobs 8", &out), 0) << out;
+  const std::string a = slurp(serial);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, slurp(parallel));
+  // 2 traces × 3 mechanisms = 6 lines, all carrying replay columns.
+  EXPECT_EQ(static_cast<int>(std::count(a.begin(), a.end(), '\n')), 6);
+  EXPECT_NE(a.find("\"replay_of\":\"pcstall\""), std::string::npos);
+  EXPECT_NE(a.find("\"agreement\""), std::string::npos);
+
+  // Replay and live workloads are mutually exclusive; faults are rejected.
+  EXPECT_NE(runCli("sweep --replay " + dir_ +
+                       " --workloads spmv --mechanisms baseline --out " +
+                       dir_ + "/x.jsonl",
+                   &out),
+            0);
+  EXPECT_NE(runCli("sweep --replay " + dir_ +
+                       " --mechanisms baseline --faults \"noise:p=1\" "
+                       "--out " +
+                       dir_ + "/x.jsonl",
+                   &out),
+            0);
+}
+
 }  // namespace
 }  // namespace ssm

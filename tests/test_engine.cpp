@@ -1,0 +1,520 @@
+// Engine-layer tests: EpochLoop numeric equivalence, the versioned trace
+// format, and open-loop replay.
+//
+// The equivalence tests pin the engine's headline contract: EpochLoop
+// driving a SimBackend produces RunResults EXACTLY equal — every double
+// bitwise — to the pre-engine epoch loops. The three reference functions
+// below are verbatim transcriptions of the original
+// src/gpusim/runner.cpp (runWithGovernor / runWithChipGovernor /
+// runSequence) as they existed before the refactor; any divergence in
+// accumulator order or histogram math in the engine shows up here as a
+// failed exact comparison.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "baselines/ondemand.hpp"
+#include "baselines/pcstall.hpp"
+#include "common/check.hpp"
+#include "engine/epoch_loop.hpp"
+#include "engine/replay_backend.hpp"
+#include "engine/sim_backend.hpp"
+#include "engine/trace_io.hpp"
+#include "faults/fault_injector.hpp"
+#include "gpusim/fault_hook.hpp"
+#include "gpusim/runner.hpp"
+#include "gpusim/trace.hpp"
+#include "workloads/kernel_profile.hpp"
+
+namespace ssm {
+namespace {
+
+// --- reference loops: the pre-engine runner.cpp, transcribed verbatim ----
+
+RunResult refRunWithGovernor(Gpu gpu, const GovernorFactory& factory,
+                             std::string mechanism_name, TimeNs max_time_ns,
+                             EpochTraceRecorder* trace,
+                             EpochFaultHook* faults) {
+  const int n = gpu.numClusters();
+  std::vector<std::unique_ptr<DvfsGovernor>> governors;
+  governors.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) governors.push_back(factory.create(i));
+
+  std::vector<VfLevel> levels(static_cast<std::size_t>(n),
+                              gpu.vfTable().defaultLevel());
+  std::vector<double> level_epochs(gpu.vfTable().size(), 0.0);
+
+  RunResult result;
+  result.mechanism = std::move(mechanism_name);
+  double power_time_sum = 0.0;
+
+  while (!gpu.allDone() && gpu.nowNs() < max_time_ns) {
+    GpuEpochReport report = gpu.runEpoch(levels);
+    if (faults != nullptr) faults->onTelemetry(report);
+    if (trace != nullptr) trace->record(report);
+    ++result.epochs;
+    power_time_sum += report.chip_power_w;
+    for (int i = 0; i < n; ++i) {
+      const auto& obs = report.clusters[static_cast<std::size_t>(i)];
+      level_epochs[static_cast<std::size_t>(obs.level)] += 1.0;
+      const VfLevel requested = gpu.vfTable().clamp(
+          governors[static_cast<std::size_t>(i)]->decide(obs));
+      levels[static_cast<std::size_t>(i)] =
+          faults != nullptr ? faults->onActuate(i, requested, obs.level)
+                            : requested;
+    }
+    if (report.all_done) break;
+  }
+
+  SSM_CHECK(gpu.allDone(),
+            "program did not retire before max_time_ns; raise the limit");
+
+  result.exec_time_ns = gpu.finishTimeNs();
+  result.energy_j = gpu.totalEnergyJ();
+  result.edp = gpu.edp();
+  result.instructions = gpu.totalInstructions();
+  result.mean_power_w =
+      result.epochs > 0 ? power_time_sum / result.epochs : 0.0;
+
+  const double total_cluster_epochs =
+      static_cast<double>(result.epochs) * static_cast<double>(n);
+  result.level_histogram.resize(level_epochs.size());
+  for (std::size_t l = 0; l < level_epochs.size(); ++l)
+    result.level_histogram[l] = total_cluster_epochs > 0
+                                    ? level_epochs[l] / total_cluster_epochs
+                                    : 0.0;
+  return result;
+}
+
+RunResult refRunWithChipGovernor(Gpu gpu, const GovernorFactory& factory,
+                                 std::string mechanism_name,
+                                 TimeNs max_time_ns,
+                                 EpochTraceRecorder* trace) {
+  const int n = gpu.numClusters();
+  const std::unique_ptr<DvfsGovernor> governor = factory.create(0);
+
+  std::vector<VfLevel> levels(static_cast<std::size_t>(n),
+                              gpu.vfTable().defaultLevel());
+  std::vector<double> level_epochs(gpu.vfTable().size(), 0.0);
+
+  RunResult result;
+  result.mechanism = std::move(mechanism_name);
+  double power_sum = 0.0;
+
+  while (!gpu.allDone() && gpu.nowNs() < max_time_ns) {
+    const GpuEpochReport report = gpu.runEpoch(levels);
+    if (trace != nullptr) trace->record(report);
+    ++result.epochs;
+    power_sum += report.chip_power_w;
+
+    EpochObservation agg;
+    agg.epoch_start_ns = report.epoch_start_ns;
+    agg.epoch_len_ns = report.epoch_len_ns;
+    int live = 0;
+    for (const auto& obs : report.clusters) {
+      level_epochs[static_cast<std::size_t>(obs.level)] += 1.0;
+      if (obs.cluster_done) continue;
+      ++live;
+      agg.instructions += obs.instructions;
+      agg.power_w += obs.power_w;
+      for (int c = 0; c < kNumCounters; ++c) {
+        const auto id = static_cast<CounterId>(c);
+        agg.counters.add(id, obs.counters.get(id));
+      }
+      agg.level = obs.level;
+    }
+    if (live > 0) {
+      const double inv = 1.0 / static_cast<double>(live);
+      agg.instructions = static_cast<std::int64_t>(
+          static_cast<double>(agg.instructions) * inv);
+      agg.power_w *= inv;
+      for (int c = 0; c < kNumCounters; ++c) {
+        const auto id = static_cast<CounterId>(c);
+        agg.counters.set(id, agg.counters.get(id) * inv);
+      }
+    } else {
+      agg.cluster_done = true;
+    }
+    const VfLevel next = gpu.vfTable().clamp(governor->decide(agg));
+    levels.assign(static_cast<std::size_t>(n), next);
+    if (report.all_done) break;
+  }
+
+  SSM_CHECK(gpu.allDone(),
+            "program did not retire before max_time_ns; raise the limit");
+  result.exec_time_ns = gpu.finishTimeNs();
+  result.energy_j = gpu.totalEnergyJ();
+  result.edp = gpu.edp();
+  result.instructions = gpu.totalInstructions();
+  result.mean_power_w = result.epochs > 0 ? power_sum / result.epochs : 0.0;
+  const double total = static_cast<double>(result.epochs) * n;
+  result.level_histogram.resize(level_epochs.size());
+  for (std::size_t l = 0; l < level_epochs.size(); ++l)
+    result.level_histogram[l] = total > 0 ? level_epochs[l] / total : 0.0;
+  return result;
+}
+
+std::vector<RunResult> refRunSequence(
+    const std::vector<KernelProfile>& programs, const GovernorFactory& factory,
+    std::string mechanism_name, const SequenceConfig& cfg) {
+  SSM_CHECK(!programs.empty(), "empty program sequence");
+
+  std::vector<std::unique_ptr<DvfsGovernor>> governors;
+  governors.reserve(static_cast<std::size_t>(cfg.gpu.num_clusters));
+  for (int i = 0; i < cfg.gpu.num_clusters; ++i)
+    governors.push_back(factory.create(i));
+
+  std::vector<RunResult> results;
+  results.reserve(programs.size());
+  std::vector<VfLevel> levels;
+  std::vector<double> level_epochs;
+  for (std::size_t p = 0; p < programs.size(); ++p) {
+    Gpu gpu(cfg.gpu, cfg.vf, programs[p], cfg.seed + p,
+            ChipPowerModel(cfg.gpu.num_clusters));
+    for (auto& gov : governors) gov->reset();
+
+    levels.assign(static_cast<std::size_t>(cfg.gpu.num_clusters),
+                  gpu.vfTable().defaultLevel());
+    level_epochs.assign(gpu.vfTable().size(), 0.0);
+
+    RunResult result;
+    result.workload = programs[p].name;
+    result.mechanism = mechanism_name;
+    double power_sum = 0.0;
+    while (!gpu.allDone() && gpu.nowNs() < cfg.max_time_ns_per_program) {
+      const GpuEpochReport report = gpu.runEpoch(levels);
+      ++result.epochs;
+      power_sum += report.chip_power_w;
+      for (int i = 0; i < cfg.gpu.num_clusters; ++i) {
+        const auto& obs = report.clusters[static_cast<std::size_t>(i)];
+        level_epochs[static_cast<std::size_t>(obs.level)] += 1.0;
+        levels[static_cast<std::size_t>(i)] = gpu.vfTable().clamp(
+            governors[static_cast<std::size_t>(i)]->decide(obs));
+      }
+      if (report.all_done) break;
+    }
+    SSM_CHECK(gpu.allDone(), "sequence program did not retire in time");
+
+    result.exec_time_ns = gpu.finishTimeNs();
+    result.energy_j = gpu.totalEnergyJ();
+    result.edp = gpu.edp();
+    result.instructions = gpu.totalInstructions();
+    result.mean_power_w =
+        result.epochs > 0 ? power_sum / result.epochs : 0.0;
+    const double total =
+        static_cast<double>(result.epochs) * cfg.gpu.num_clusters;
+    result.level_histogram.resize(level_epochs.size());
+    for (std::size_t l = 0; l < level_epochs.size(); ++l)
+      result.level_histogram[l] = total > 0 ? level_epochs[l] / total : 0.0;
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+// --- exact-equality helpers ----------------------------------------------
+
+/// Every field, doubles compared exactly: the contract is byte identity,
+/// not tolerance.
+void expectExactlyEqual(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.workload, b.workload);
+  EXPECT_EQ(a.mechanism, b.mechanism);
+  EXPECT_EQ(a.exec_time_ns, b.exec_time_ns);
+  EXPECT_EQ(a.energy_j, b.energy_j);
+  EXPECT_EQ(a.edp, b.edp);
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.epochs, b.epochs);
+  EXPECT_EQ(a.mean_power_w, b.mean_power_w);
+  ASSERT_EQ(a.level_histogram.size(), b.level_histogram.size());
+  for (std::size_t l = 0; l < a.level_histogram.size(); ++l)
+    EXPECT_EQ(a.level_histogram[l], b.level_histogram[l]) << "level " << l;
+}
+
+void expectExactlyEqual(const EpochObservation& a, const EpochObservation& b) {
+  EXPECT_EQ(a.level, b.level);
+  EXPECT_EQ(a.power_w, b.power_w);
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.epoch_start_ns, b.epoch_start_ns);
+  EXPECT_EQ(a.epoch_len_ns, b.epoch_len_ns);
+  EXPECT_EQ(a.cluster_id, b.cluster_id);
+  EXPECT_EQ(a.cluster_done, b.cluster_done);
+  for (int c = 0; c < kNumCounters; ++c) {
+    const auto id = static_cast<CounterId>(c);
+    EXPECT_EQ(a.counters.get(id), b.counters.get(id)) << "counter " << c;
+  }
+}
+
+void expectExactlyEqual(const engine::EpochTrace& a,
+                        const engine::EpochTrace& b) {
+  EXPECT_EQ(a.workload, b.workload);
+  EXPECT_EQ(a.mechanism, b.mechanism);
+  EXPECT_EQ(a.seed, b.seed);
+  ASSERT_EQ(a.vf.size(), b.vf.size());
+  for (VfLevel l = 0; static_cast<std::size_t>(l) < a.vf.size(); ++l)
+    EXPECT_EQ(a.vf.at(l), b.vf.at(l));
+  expectExactlyEqual(a.recorded, b.recorded);
+  ASSERT_EQ(a.epochs.size(), b.epochs.size());
+  for (std::size_t e = 0; e < a.epochs.size(); ++e) {
+    const GpuEpochReport& ra = a.epochs[e];
+    const GpuEpochReport& rb = b.epochs[e];
+    EXPECT_EQ(ra.chip_power_w, rb.chip_power_w);
+    EXPECT_EQ(ra.dram_util, rb.dram_util);
+    EXPECT_EQ(ra.epoch_start_ns, rb.epoch_start_ns);
+    EXPECT_EQ(ra.epoch_len_ns, rb.epoch_len_ns);
+    EXPECT_EQ(ra.all_done, rb.all_done);
+    ASSERT_EQ(ra.clusters.size(), rb.clusters.size());
+    for (std::size_t i = 0; i < ra.clusters.size(); ++i)
+      expectExactlyEqual(ra.clusters[i], rb.clusters[i]);
+  }
+}
+
+Gpu makeGpu(const std::string& workload, std::uint64_t seed = 777) {
+  const GpuConfig cfg;
+  return Gpu(cfg, VfTable::titanX(), workloadByName(workload), seed,
+             ChipPowerModel(cfg.num_clusters));
+}
+
+/// Records `workload` under pcstall with full replay capture: the shared
+/// trace fixture for the round-trip and replay tests.
+engine::EpochTrace recordTrace(const std::string& workload,
+                               std::uint64_t seed = 777) {
+  const VfTable vf = VfTable::titanX();
+  const PcstallFactory factory(vf, PcstallConfig{});
+  EpochTraceRecorder rec;
+  rec.enableReplayCapture();
+  const RunResult recorded = runWithGovernor(makeGpu(workload, seed), factory,
+                                             "pcstall", kNsPerMs, &rec);
+  return engine::traceFromRecorder(rec, workload, "pcstall", seed, vf,
+                                   recorded);
+}
+
+// --- EpochLoop vs the pre-engine reference loops -------------------------
+
+TEST(EngineLoop, PerClusterMatchesPreEngineReference) {
+  const PcstallFactory factory(VfTable::titanX(), PcstallConfig{});
+  const RunResult ref = refRunWithGovernor(makeGpu("spmv"), factory, "pcstall",
+                                           kNsPerMs, nullptr, nullptr);
+  const RunResult now =
+      runWithGovernor(makeGpu("spmv"), factory, "pcstall", kNsPerMs);
+  expectExactlyEqual(ref, now);
+  EXPECT_GT(now.epochs, 0);
+}
+
+TEST(EngineLoop, PerClusterWithTraceAndFaultsMatchesReference) {
+  const OndemandFactory factory(VfTable::titanX());
+  const auto spec = faults::FaultSpec::parse("dropout:p=0.3,mode=zero");
+
+  faults::FaultInjector ref_inj(spec, 42);
+  EpochTraceRecorder ref_rec;
+  const RunResult ref = refRunWithGovernor(makeGpu("bfs"), factory, "ondemand",
+                                           kNsPerMs, &ref_rec, &ref_inj);
+
+  faults::FaultInjector inj(spec, 42);  // identical injector stream
+  EpochTraceRecorder rec;
+  const RunResult now = runWithGovernor(makeGpu("bfs"), factory, "ondemand",
+                                        kNsPerMs, &rec, &inj);
+
+  expectExactlyEqual(ref, now);
+  EXPECT_EQ(ref_inj.counts().dropout, inj.counts().dropout);
+  EXPECT_EQ(ref_rec.epochCount(), rec.epochCount());
+}
+
+TEST(EngineLoop, ChipWideMatchesPreEngineReference) {
+  const OndemandFactory factory(VfTable::titanX());
+  const RunResult ref = refRunWithChipGovernor(makeGpu("bfs"), factory,
+                                               "ondemand", kNsPerMs, nullptr);
+  const RunResult now =
+      runWithChipGovernor(makeGpu("bfs"), factory, "ondemand", kNsPerMs);
+  expectExactlyEqual(ref, now);
+}
+
+TEST(EngineLoop, SequenceMatchesPreEngineReference) {
+  const PcstallFactory factory(VfTable::titanX(), PcstallConfig{});
+  const std::vector<KernelProfile> programs = {workloadByName("spmv"),
+                                               workloadByName("bfs")};
+  SequenceConfig cfg;
+  cfg.max_time_ns_per_program = kNsPerMs;
+  const auto ref = refRunSequence(programs, factory, "pcstall", cfg);
+  const auto now = runSequence(programs, factory, "pcstall", cfg);
+  ASSERT_EQ(ref.size(), now.size());
+  for (std::size_t p = 0; p < ref.size(); ++p)
+    expectExactlyEqual(ref[p], now[p]);
+}
+
+TEST(EngineLoop, SimBackendDrivesTheSameNumbersAsTheAdapter) {
+  const PcstallFactory factory(VfTable::titanX(), PcstallConfig{});
+  engine::SimBackend backend(makeGpu("spmv"));
+  engine::LoopConfig cfg;
+  cfg.max_time_ns = kNsPerMs;
+  const RunResult direct =
+      engine::EpochLoop(cfg).run(backend, backend, factory, "pcstall");
+  const RunResult adapter =
+      runWithGovernor(makeGpu("spmv"), factory, "pcstall", kNsPerMs);
+  expectExactlyEqual(direct, adapter);
+}
+
+TEST(EngineLoop, MakeGovernorsHonorsCount) {
+  const OndemandFactory factory(VfTable::titanX());
+  EXPECT_EQ(engine::makeGovernors(factory, 5).size(), 5u);
+  EXPECT_THROW(static_cast<void>(engine::makeGovernors(factory, 0)),
+               ContractError);
+}
+
+// --- trace format ---------------------------------------------------------
+
+TEST(TraceIo, RoundTripIsExact) {
+  const engine::EpochTrace trace = recordTrace("spmv");
+  ASSERT_GT(trace.epochs.size(), 0u);
+  const engine::EpochTrace back =
+      engine::deserializeTrace(engine::serializeTrace(trace));
+  expectExactlyEqual(trace, back);
+  EXPECT_EQ(back.numClusters(), trace.numClusters());
+}
+
+TEST(TraceIo, FileRoundTripAndHeaderInfo) {
+  const engine::EpochTrace trace = recordTrace("bfs");
+  const std::string path = testing::TempDir() + "test_engine_bfs.ssmtrace";
+  engine::saveTrace(trace, path);
+
+  const engine::TraceFileInfo info = engine::traceFileInfo(path);
+  EXPECT_EQ(info.version, engine::kTraceVersion);
+  const std::string bytes = engine::serializeTrace(trace);
+  EXPECT_EQ(info.payload_size, bytes.size() - 28);  // header is 28 bytes
+  EXPECT_EQ(info.checksum, engine::fnv1a64(std::string_view(bytes).substr(28)));
+
+  expectExactlyEqual(trace, engine::loadTrace(path));
+}
+
+TEST(TraceIo, RejectsTamperedAndMalformedImages) {
+  const engine::EpochTrace trace = recordTrace("spmv");
+  const std::string good = engine::serializeTrace(trace);
+
+  // A single flipped payload byte is caught by the checksum.
+  std::string corrupted = good;
+  corrupted[40] = static_cast<char>(corrupted[40] ^ 0x01);
+  EXPECT_THROW(static_cast<void>(engine::deserializeTrace(corrupted)),
+               DataError);
+
+  // Truncation, trailing bytes, wrong magic, unsupported version.
+  EXPECT_THROW(static_cast<void>(engine::deserializeTrace(
+                   std::string_view(good).substr(0, good.size() - 3))),
+               DataError);
+  EXPECT_THROW(
+      static_cast<void>(engine::deserializeTrace(good + std::string("xx"))),
+      DataError);
+  std::string bad_magic = good;
+  bad_magic[0] = 'X';
+  EXPECT_THROW(static_cast<void>(engine::deserializeTrace(bad_magic)),
+               DataError);
+  std::string bad_version = good;
+  bad_version[8] = static_cast<char>(bad_version[8] + 1);
+  EXPECT_THROW(static_cast<void>(engine::deserializeTrace(bad_version)),
+               DataError);
+  EXPECT_THROW(static_cast<void>(engine::deserializeTrace(std::string_view{})),
+               DataError);
+}
+
+TEST(TraceIo, RecorderWithoutReplayCaptureIsADataError) {
+  const PcstallFactory factory(VfTable::titanX(), PcstallConfig{});
+  EpochTraceRecorder rec;  // capture NOT enabled: summaries only
+  const RunResult recorded = runWithGovernor(makeGpu("spmv"), factory,
+                                             "pcstall", kNsPerMs, &rec);
+  EXPECT_THROW(
+      static_cast<void>(engine::traceFromRecorder(
+          rec, "spmv", "pcstall", 777, VfTable::titanX(), recorded)),
+      DataError);
+}
+
+// --- open-loop replay -----------------------------------------------------
+
+TEST(Replay, SameConfigurationAgreesOnEveryDecision) {
+  const engine::EpochTrace trace = recordTrace("spmv");
+  const PcstallFactory factory(VfTable::titanX(), PcstallConfig{});
+  const engine::ReplayReport rep =
+      engine::replayTrace(trace, factory, "pcstall");
+
+  // Identical deterministic governor, identical observation stream: every
+  // compared decision matches.
+  EXPECT_GT(rep.compared, 0);
+  EXPECT_EQ(rep.matches, rep.compared);
+  EXPECT_EQ(rep.agreement, 1.0);
+  // Decisions are one per cluster per epoch; the final epoch's have no
+  // recorded successor and are excluded from the comparison denominator.
+  const auto n = static_cast<std::int64_t>(trace.numClusters());
+  EXPECT_EQ(rep.decisions, static_cast<std::int64_t>(trace.epochs.size()) * n);
+  EXPECT_EQ(rep.decisions - rep.compared, n);
+  RunResult expected = trace.recorded;
+  expected.workload = trace.workload;  // replay stamps the trace's workload
+  expectExactlyEqual(rep.result, expected);
+}
+
+TEST(Replay, ReproducesRecordedNumbersForAnyGovernor) {
+  const engine::EpochTrace trace = recordTrace("spmv");
+  const OndemandFactory other(VfTable::titanX());
+  const engine::ReplayReport rep =
+      engine::replayTrace(trace, other, "ondemand");
+
+  // Open loop: a different policy cannot move the recorded numbers, only
+  // the agreement statistics.
+  RunResult expected = trace.recorded;
+  expected.workload = trace.workload;
+  expected.mechanism = "ondemand";
+  expectExactlyEqual(rep.result, expected);
+  EXPECT_LT(rep.agreement, 1.0);
+  EXPECT_GT(rep.decisions, 0);
+
+  // The commanded histogram tallies every decision the replayed governor
+  // made, one bucket per V/f level.
+  ASSERT_EQ(rep.commanded_histogram.size(), trace.vf.size());
+  std::int64_t tallied = 0;
+  for (const std::int64_t c : rep.commanded_histogram) tallied += c;
+  EXPECT_EQ(tallied, rep.decisions);
+}
+
+TEST(Replay, HardenedReplayKeepsRecordedNumbers) {
+  const engine::EpochTrace trace = recordTrace("bfs");
+  const OndemandFactory other(VfTable::titanX());
+  GovernorModeLog log;
+  engine::ReplayOptions opts;
+  opts.harden = true;
+  opts.mode_log = &log;
+  const engine::ReplayReport rep =
+      engine::replayTrace(trace, other, "ondemand", opts);
+  RunResult expected = trace.recorded;
+  expected.workload = trace.workload;
+  expected.mechanism = "ondemand";
+  expectExactlyEqual(rep.result, expected);
+}
+
+TEST(Replay, BackendStreamsTheTraceVerbatim) {
+  const engine::EpochTrace trace = recordTrace("spmv");
+  engine::ReplayBackend backend(trace);
+  EXPECT_EQ(backend.numClusters(), trace.numClusters());
+  EXPECT_FALSE(backend.done());
+
+  const std::vector<VfLevel> ignored(
+      static_cast<std::size_t>(backend.numClusters()),
+      trace.vf.defaultLevel());
+  for (std::size_t e = 0; e < trace.epochs.size(); ++e) {
+    const GpuEpochReport report = backend.nextEpoch(ignored);
+    EXPECT_EQ(report.epoch_start_ns, trace.epochs[e].epoch_start_ns);
+    EXPECT_EQ(report.chip_power_w, trace.epochs[e].chip_power_w);
+  }
+  EXPECT_TRUE(backend.done());
+  EXPECT_EQ(backend.nowNs(), trace.recorded.exec_time_ns);
+  // Exhausting the stream again is a contract violation.
+  EXPECT_THROW(static_cast<void>(backend.nextEpoch(ignored)), ContractError);
+
+  const engine::StreamStats st = backend.stats();
+  EXPECT_EQ(st.exec_time_ns, trace.recorded.exec_time_ns);
+  EXPECT_EQ(st.energy_j, trace.recorded.energy_j);
+  EXPECT_EQ(st.edp, trace.recorded.edp);
+  EXPECT_EQ(st.instructions, trace.recorded.instructions);
+}
+
+}  // namespace
+}  // namespace ssm

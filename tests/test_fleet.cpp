@@ -10,9 +10,12 @@
 #include <string>
 #include <vector>
 
+#include "baselines/pcstall.hpp"
 #include "common/check.hpp"
 #include "compress/pruning.hpp"
 #include "datagen/generator.hpp"
+#include "engine/trace_io.hpp"
+#include "gpusim/trace.hpp"
 #include "sched/fleet.hpp"
 #include "sched/thread_pool.hpp"
 #include "workloads/kernel_profile.hpp"
@@ -197,6 +200,63 @@ TEST(FleetCsv, HeaderAndRowCount) {
   for (char c : csv)
     if (c == '\n') ++lines;
   EXPECT_EQ(lines, 1u + results.size());
+}
+
+/// Records one workload under pcstall, full capture, for the replay sweeps.
+std::shared_ptr<const engine::EpochTrace> recordReplayTrace(
+    const std::string& workload) {
+  const GpuConfig cfg;
+  const VfTable vf = VfTable::titanX();
+  const PcstallFactory factory(vf, PcstallConfig{});
+  EpochTraceRecorder rec;
+  rec.enableReplayCapture();
+  Gpu gpu(cfg, vf, workloadByName(workload), 777,
+          ChipPowerModel(cfg.num_clusters));
+  const RunResult recorded =
+      runWithGovernor(std::move(gpu), factory, "pcstall", kNsPerMs, &rec);
+  return std::make_shared<const engine::EpochTrace>(engine::traceFromRecorder(
+      rec, workload, "pcstall", 777, vf, recorded));
+}
+
+TEST(FleetReplay, JsonlByteIdenticalAcrossJobCounts) {
+  fleet::SweepSpec spec;
+  spec.replay = {recordReplayTrace("spmv"), recordReplayTrace("bfs")};
+  spec.mechanisms = {"baseline", "pcstall", "ondemand"};
+  spec.seeds = {777};
+
+  std::string serial, parallel;
+  {
+    ThreadPool pool(1);
+    std::ostringstream os;
+    const std::size_t n = fleet::FleetRunner(spec, pool).runJsonl(os);
+    EXPECT_EQ(n, 6u);
+    serial = os.str();
+  }
+  {
+    ThreadPool pool(8);
+    std::ostringstream os;
+    const std::size_t n = fleet::FleetRunner(spec, pool).runJsonl(os);
+    EXPECT_EQ(n, 6u);
+    parallel = os.str();
+  }
+  EXPECT_EQ(serial, parallel);
+  // Replay rows carry the provenance and agreement columns; the same-policy
+  // cell agrees with its own recording on every decision.
+  EXPECT_NE(serial.find("\"replay_of\":\"pcstall\""), std::string::npos);
+  EXPECT_NE(serial.find("\"agreement\":1"), std::string::npos);
+}
+
+TEST(FleetReplay, WorkloadAndFaultAxesAreRejected) {
+  fleet::SweepSpec spec;
+  spec.replay = {recordReplayTrace("spmv")};
+  spec.mechanisms = {"ondemand"};
+  // Both stream sources at once is a contract violation...
+  spec.workloads = {workloadByName("bfs")};
+  EXPECT_THROW(static_cast<void>(fleet::expandJobs(spec)), ContractError);
+  spec.workloads.clear();
+  // ...and fault injection is closed-loop, so replay refuses it.
+  spec.faults = {faults::FaultSpec::parse("dropout:p=0.5,mode=zero")};
+  EXPECT_THROW(static_cast<void>(fleet::expandJobs(spec)), ContractError);
 }
 
 /// The §III.A corpus must not depend on how many lanes generated it.

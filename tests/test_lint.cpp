@@ -18,17 +18,60 @@ bool hasRule(const std::vector<Finding>& fs, std::string_view rule) {
                      [&](const Finding& f) { return f.rule == rule; });
 }
 
-TEST(LintCatalog, AllNineRulesRegistered) {
+TEST(LintCatalog, AllTenRulesRegistered) {
   const auto rules = ruleCatalog();
-  ASSERT_EQ(rules.size(), 9u);
+  ASSERT_EQ(rules.size(), 10u);
   for (const char* id :
        {"pragma-once", "using-namespace-header", "raw-assert",
         "nondeterminism", "hot-path-io", "c-style-float-cast",
-        "raw-thread", "fault-hook-guard", "hot-path-alloc"}) {
+        "raw-thread", "fault-hook-guard", "hot-path-alloc",
+        "gpu-stepping"}) {
     EXPECT_TRUE(isKnownRule(id)) << id;
   }
   EXPECT_TRUE(isKnownRule("*"));
   EXPECT_FALSE(isKnownRule("no-such-rule"));
+}
+
+// --- gpu-stepping ----------------------------------------------------------
+
+TEST(LintGpuStepping, FlagsDirectSteppingOutsideTheEngineLayer) {
+  for (const char* call : {"runEpoch(levels)", "runEpochUniform(5)",
+                           "runUntil(t)"}) {
+    EXPECT_TRUE(hasRule(lintSource("src/core/x.cpp",
+                                   std::string("auto r = gpu.") + call + ";\n"),
+                        "gpu-stepping"))
+        << call;
+  }
+  EXPECT_TRUE(hasRule(
+      lintSource("src/sched/x.cpp", "auto r = gpu->runEpoch(levels);\n"),
+      "gpu-stepping"));
+}
+
+TEST(LintGpuStepping, AllowsTheEngineLayerTestsAndUnrelatedNames) {
+  // The engine and simulator own the loop; tests/tools/bench are exempt.
+  for (const char* path : {"src/engine/epoch_loop.cpp", "src/gpusim/gpu.cpp",
+                           "tests/t.cpp", "bench/b.cpp", "tools/t.cpp"}) {
+    EXPECT_FALSE(hasRule(
+        lintSource(path, "auto r = gpu.runEpoch(levels);\n"), "gpu-stepping"))
+        << path;
+  }
+  // A free function or an unrelated member does not trip the rule.
+  EXPECT_FALSE(hasRule(lintSource("src/core/x.cpp", "runEpoch(gpu);\n"),
+                       "gpu-stepping"));
+  EXPECT_FALSE(hasRule(
+      lintSource("src/core/x.cpp", "auto r = gpu.runEpochs(levels);\n"),
+      "gpu-stepping"));
+  // The checked-in allowlist sanctions the datagen replay windows.
+  EXPECT_FALSE(hasRule(lintSource("src/datagen/generator.cpp",
+                                  "auto r = gpu.runEpochUniform(l);\n",
+                                  parseAllowlist("gpu-stepping src/datagen/\n")),
+                       "gpu-stepping"));
+  // An inline suppression works like for every other rule.
+  EXPECT_FALSE(
+      hasRule(lintSource(
+                  "src/core/x.cpp",
+                  "auto r = gpu.runEpoch(l);  // ssm-lint: allow(gpu-stepping)\n"),
+              "gpu-stepping"));
 }
 
 // --- hot-path-alloc --------------------------------------------------------

@@ -13,11 +13,16 @@
 //     was recorded on a noisy single-core VM and CI boxes differ);
 //   * `speedup_packed_vs_reference` must additionally clear an absolute
 //     floor (default 3.0) — the PR's acceptance criterion, which holds on
-//     any machine because it is a ratio of two timings taken back to back.
+//     any machine because it is a ratio of two timings taken back to back;
+//   * `speedup_replay_vs_sim` must clear its own absolute floor (default
+//     100.0) — the engine layer's acceptance criterion that open-loop
+//     trace replay streams epochs at least 100x faster than the
+//     cycle-level simulator, again a back-to-back ratio.
 //
 // Usage:
 //   bench_check [--baseline FILE] [--fresh FILE] [--tolerance X]
-//               [--min-speedup X] [--run BENCH_BINARY]
+//               [--min-speedup X] [--min-replay-speedup X]
+//               [--run BENCH_BINARY]
 //
 // Defaults compare ./BENCH_inference.json against
 // bench/baselines/BENCH_inference.json. With --run, the tool first launches
@@ -147,6 +152,7 @@ struct Options {
   std::string run_binary;  ///< when set, regenerate `fresh` first
   double tolerance = 4.0;
   double min_speedup = 3.0;
+  double min_replay_speedup = 100.0;
 };
 
 bool parseArgs(int argc, char** argv, Options& opt) {
@@ -175,6 +181,9 @@ bool parseArgs(int argc, char** argv, Options& opt) {
     } else if (key == "--min-speedup") {
       if ((val = next()) == nullptr) return false;
       opt.min_speedup = std::strtod(val, nullptr);
+    } else if (key == "--min-replay-speedup") {
+      if ((val = next()) == nullptr) return false;
+      opt.min_replay_speedup = std::strtod(val, nullptr);
     } else {
       std::fprintf(stderr, "bench_check: unknown argument %s\n", key.c_str());
       return false;
@@ -276,22 +285,27 @@ int main(int argc, char** argv) {
     }
   }
 
-  // The acceptance floor is absolute, not relative: packed single-decision
-  // inference must beat the dense reference engine by min_speedup on the
-  // machine running the check.
-  const auto sp = fresh.find("speedup_packed_vs_reference");
-  if (sp == fresh.end() || sp->second.is_string) {
-    fail("speedup_packed_vs_reference: missing from fresh report");
-  } else if (sp->second.num < opt.min_speedup) {
-    std::ostringstream msg;
-    msg << "speedup_packed_vs_reference: " << sp->second.num
-        << " below the acceptance floor " << opt.min_speedup;
-    fail(msg.str());
-  } else {
-    std::printf("ok    %-32s %g >= %g (acceptance floor)\n",
-                "speedup_packed_vs_reference", sp->second.num,
-                opt.min_speedup);
-  }
+  // Acceptance floors are absolute, not relative: both speedups are ratios
+  // of two timings taken back to back on the machine running the check, so
+  // the floors hold regardless of how fast that machine is.
+  auto checkFloor = [&](const char* key, double floor) {
+    const auto sp = fresh.find(key);
+    if (sp == fresh.end() || sp->second.is_string) {
+      fail(std::string(key) + ": missing from fresh report");
+    } else if (sp->second.num < floor) {
+      std::ostringstream msg;
+      msg << key << ": " << sp->second.num << " below the acceptance floor "
+          << floor;
+      fail(msg.str());
+    } else {
+      std::printf("ok    %-32s %g >= %g (acceptance floor)\n", key,
+                  sp->second.num, floor);
+    }
+  };
+  // Packed single-decision inference vs the dense reference engine.
+  checkFloor("speedup_packed_vs_reference", opt.min_speedup);
+  // Open-loop trace replay vs the cycle-level simulator.
+  checkFloor("speedup_replay_vs_sim", opt.min_replay_speedup);
 
   if (failures != 0) {
     std::fprintf(stderr, "bench_check: %d failure(s) comparing %s vs %s\n",

@@ -8,7 +8,7 @@ namespace ssm::lint {
 
 namespace {
 
-constexpr std::array<RuleInfo, 9> kRules = {{
+constexpr std::array<RuleInfo, 10> kRules = {{
     {"pragma-once", "every header starts its include guard with #pragma once"},
     {"using-namespace-header",
      "no `using namespace` in headers (leaks into every includer)"},
@@ -20,7 +20,8 @@ constexpr std::array<RuleInfo, 9> kRules = {{
      "std::random_device, *_clock::now) outside src/common/rng.* — "
      "simulations must be bit-reproducible"},
     {"hot-path-io",
-     "no iostream/stdio in the epoch hot paths src/core/ and src/gpusim/"},
+     "no iostream/stdio in the epoch hot paths src/core/, src/gpusim/ and "
+     "src/engine/"},
     {"c-style-float-cast",
      "float/double narrowing must be spelled static_cast, not a C-style "
      "cast"},
@@ -28,9 +29,9 @@ constexpr std::array<RuleInfo, 9> kRules = {{
      "no raw std::thread/std::jthread/std::async (or #include <thread>) "
      "outside src/sched/ — all concurrency goes through ssm::ThreadPool"},
     {"fault-hook-guard",
-     "fault-hook dereferences in the epoch hot paths src/core/ and "
-     "src/gpusim/ must sit behind a `!= nullptr` guard on the same or the "
-     "preceding line, so a run without a FaultSpec costs one pointer "
+     "fault-hook dereferences in the epoch hot paths src/core/, src/gpusim/ "
+     "and src/engine/ must sit behind a `!= nullptr` guard on the same or "
+     "the preceding line, so a run without a FaultSpec costs one pointer "
      "comparison and zero RNG draws"},
     {"hot-path-alloc",
      "no heap allocation in the packed decision path (src/nn/packed_mlp.hpp "
@@ -38,6 +39,11 @@ constexpr std::array<RuleInfo, 9> kRules = {{
      "and no container-growth member calls (resize, reserve, push_back, "
      "emplace_back, assign, insert, emplace) — preallocate at construction "
      "or in makeScratch()"},
+    {"gpu-stepping",
+     "no direct Gpu stepping (.runEpoch/.runEpochUniform/.runUntil calls) in "
+     "src/ outside src/engine/ and src/gpusim/ — drive programs through the "
+     "engine layer (engine::EpochLoop + EpochSource) so trace recording, "
+     "fault hooks and replay stay loop concerns"},
 }};
 
 /// Files under the zero-allocation contract of docs/inference.md: every
@@ -247,20 +253,24 @@ bool allowlisted(const std::vector<AllowEntry>& allow, std::string_view path,
 
 /// Per-file rule applicability derived from the repo-relative path.
 struct PathClass {
-  bool header = false;      // *.hpp
-  bool in_src = false;      // src/**
-  bool hot_path = false;    // src/core/** or src/gpusim/**
-  bool alloc_free = false;  // kAllocFreeFiles (packed decision path)
+  bool header = false;       // *.hpp
+  bool in_src = false;       // src/**
+  bool hot_path = false;     // src/core/**, src/gpusim/** or src/engine/**
+  bool alloc_free = false;   // kAllocFreeFiles (packed decision path)
+  bool gpu_stepper = false;  // src/engine/** or src/gpusim/** (may step a Gpu)
 };
 
 PathClass classify(std::string_view path) {
   PathClass pc;
   pc.header = path.ends_with(".hpp");
   pc.in_src = path.starts_with("src/");
-  pc.hot_path =
-      path.starts_with("src/core/") || path.starts_with("src/gpusim/");
+  pc.hot_path = path.starts_with("src/core/") ||
+                path.starts_with("src/gpusim/") ||
+                path.starts_with("src/engine/");
   pc.alloc_free = std::any_of(kAllocFreeFiles.begin(), kAllocFreeFiles.end(),
                               [&](std::string_view f) { return path == f; });
+  pc.gpu_stepper =
+      path.starts_with("src/engine/") || path.starts_with("src/gpusim/");
   return pc;
 }
 
@@ -392,6 +402,16 @@ class FileLinter {
       if (pc_.hot_path && after + 1 < s.size() && s[after] == '-' &&
           s[after + 1] == '>' && namesFaultHook(word))
         checkFaultHookGuard(s, i, word);
+
+      if (pc_.in_src && !pc_.gpu_stepper && call &&
+          (word == "runEpoch" || word == "runEpochUniform" ||
+           word == "runUntil") &&
+          precededByMemberAccess(s, i))
+        report(i, "gpu-stepping",
+               cat({"direct Gpu stepping '.", word,
+                    "(' outside src/engine/ and src/gpusim/; drive programs "
+                    "through the engine layer (engine::EpochLoop + "
+                    "EpochSource) or allowlist this file"}));
 
       if (pc_.alloc_free) checkHotPathAlloc(s, i, after, word, call);
 

@@ -21,6 +21,17 @@
 //   ssmdvfs list-counters
 //   ssmdvfs corpus-stats --data corpus.csv
 //   ssmdvfs explain   --model model.txt --data corpus.csv --row N --preset P
+//   ssmdvfs record    --workload NAME --mechanism M --out trace.ssmtrace
+//                     [--preset P] [--seed S] [--max-ms N] [--clusters N]
+//                     [--model model.txt] [--profile-file FILE]
+//       simulates one governed run and writes every epoch (all 47 counters
+//       per cluster) into the versioned, checksummed binary trace format of
+//       src/engine/trace_io (docs/engine.md)
+//   ssmdvfs replay    --trace trace.ssmtrace [--mechanism M] [--preset P]
+//                     [--model model.txt] [--harden] [--json out.json]
+//       streams the recorded epochs through a governor OPEN-LOOP (decisions
+//       are compared against the recorded policy, never fed back); with the
+//       recording-time mechanism and config, agreement is exactly 100%
 //   ssmdvfs sweep     --workloads A,B|train|eval|all --mechanisms M1,M2
 //                     --out sweep.jsonl [--csv sweep.csv] [--jobs N]
 //                     [--presets 0.10,0.20] [--seeds 777,778]
@@ -29,15 +40,23 @@
 //       --faults adds a fault-scenario axis ('|'-separated SPECs; the
 //       literal "none" is the clean cell); rows then carry injected-fault
 //       counts, and --harden adds fallback/recovery counts
+//   ssmdvfs sweep     --replay DIR|t1.ssmtrace,t2.ssmtrace --mechanisms ...
+//       replay mode: recorded traces replace the workload axis (a directory
+//       takes every *.ssmtrace inside, sorted by name); rows carry
+//       agreement/decisions/matches instead of fault columns. --faults is
+//       rejected (fault injection is closed-loop).
 //
-// `datagen`, `run` and `oracle` accept --profile-file FILE to resolve the
-// workload from a kernel-profile text file (see src/workloads/profile_io.hpp)
-// instead of the built-in registry.
+// Every command also accepts --help, printing its options and exiting.
+//
+// `datagen`, `run`, `record` and `oracle` accept --profile-file FILE to
+// resolve the workload from a kernel-profile text file (see
+// src/workloads/profile_io.hpp) instead of the built-in registry.
 //
 // `datagen` and `sweep` accept --jobs N to run on the work-stealing pool
 // (src/sched); output is byte-identical for every N.
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <cstdlib>
@@ -57,6 +76,8 @@
 #include "faults/fault_injector.hpp"
 #include "datagen/corpus_stats.hpp"
 #include "datagen/generator.hpp"
+#include "engine/replay_backend.hpp"
+#include "engine/trace_io.hpp"
 #include "gpusim/runner.hpp"
 #include "gpusim/trace.hpp"
 #include "hw/asic_model.hpp"
@@ -327,6 +348,136 @@ int cmdRun(const Args& args) {
   return 0;
 }
 
+/// The governor factory for record/replay: "baseline" means the
+/// static-default policy (fleet::makeGovernorFactory maps it to "no
+/// governor", which a trace cannot express).
+std::unique_ptr<GovernorFactory> recordReplayFactory(
+    const std::string& mech, const VfTable& vf, double preset,
+    const std::shared_ptr<const SsmModel>& model) {
+  auto factory = fleet::makeGovernorFactory(mech, vf, preset, model);
+  if (factory == nullptr)
+    factory = fleet::makeGovernorFactory(
+        "static-" + std::to_string(vf.defaultLevel()), vf, preset, model);
+  return factory;
+}
+
+std::shared_ptr<const SsmModel> modelFor(const Args& args,
+                                         const std::string& mech) {
+  if (mech.rfind("ssmdvfs", 0) != 0) return nullptr;
+  return std::make_shared<const SsmModel>(loadModel(args.require("model")));
+}
+
+int cmdRecord(const Args& args) {
+  const std::string out = args.require("out");
+  const std::string mech = args.get("mechanism", "baseline");
+  const double preset = args.getDouble("preset", 0.10);
+  const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 777));
+  const TimeNs max_time_ns = args.getInt("max-ms", 5) * kNsPerMs;
+
+  GpuConfig gpu;
+  if (args.has("clusters")) {
+    gpu.num_clusters = static_cast<int>(args.getInt("clusters", 0));
+    SSM_CHECK(gpu.num_clusters >= 1, "--clusters must be >= 1");
+  }
+  const VfTable vf = VfTable::titanX();
+  const KernelProfile kernel = resolveWorkload(args);
+  const Gpu machine(gpu, vf, kernel, seed, ChipPowerModel(gpu.num_clusters));
+
+  const auto factory = recordReplayFactory(mech, vf, preset, modelFor(args, mech));
+
+  EpochTraceRecorder recorder;
+  recorder.enableReplayCapture();
+  RunResult run =
+      runWithGovernor(machine, *factory, mech, max_time_ns, &recorder);
+  run.workload = kernel.name;
+
+  const engine::EpochTrace trace = engine::traceFromRecorder(
+      recorder, kernel.name, mech, seed, vf, std::move(run));
+  engine::saveTrace(trace, out);
+
+  const engine::TraceFileInfo info = engine::traceFileInfo(out);
+  std::printf("recorded %s under %s: %d epochs x %d clusters -> %s\n",
+              kernel.name.c_str(), mech.c_str(),
+              static_cast<int>(trace.epochs.size()), trace.numClusters(),
+              out.c_str());
+  std::printf("trace format v%u, payload %llu bytes, checksum %016llx\n",
+              info.version, static_cast<unsigned long long>(info.payload_size),
+              static_cast<unsigned long long>(info.checksum));
+  return 0;
+}
+
+int cmdReplay(const Args& args) {
+  const std::string path = args.require("trace");
+  const engine::EpochTrace trace = engine::loadTrace(path);
+  const engine::TraceFileInfo info = engine::traceFileInfo(path);
+  const std::string mech = args.get("mechanism", trace.mechanism);
+  const double preset = args.getDouble("preset", 0.10);
+
+  const auto factory =
+      recordReplayFactory(mech, trace.vf, preset, modelFor(args, mech));
+
+  GovernorModeLog mode_log;
+  engine::ReplayOptions opts;
+  opts.harden = args.has("harden");
+  opts.mode_log = opts.harden ? &mode_log : nullptr;
+  const engine::ReplayReport rep =
+      engine::replayTrace(trace, *factory, mech, opts);
+
+  std::printf("trace %s: format v%u, payload %llu bytes, checksum %016llx\n",
+              path.c_str(), info.version,
+              static_cast<unsigned long long>(info.payload_size),
+              static_cast<unsigned long long>(info.checksum));
+  std::printf("recorded: %s under %s, seed %llu, %d epochs x %d clusters\n",
+              trace.workload.c_str(), trace.mechanism.c_str(),
+              static_cast<unsigned long long>(trace.seed),
+              static_cast<int>(trace.epochs.size()), trace.numClusters());
+  std::printf("recorded result: time %.1f us  energy %.3f mJ  EDP %.4f uJ*s\n",
+              static_cast<double>(trace.recorded.exec_time_ns) / 1e3,
+              trace.recorded.energy_j * 1e3, trace.recorded.edp * 1e6);
+  std::printf("replayed %s open-loop: agreement %.2f%% "
+              "(%lld of %lld decisions with a recorded successor)\n",
+              mech.c_str(), 100.0 * rep.agreement,
+              static_cast<long long>(rep.matches),
+              static_cast<long long>(rep.compared));
+  std::printf("commanded levels:");
+  for (std::size_t l = 0; l < rep.commanded_histogram.size(); ++l)
+    std::printf(" %zu:%lld", l,
+                static_cast<long long>(rep.commanded_histogram[l]));
+  std::printf("\n");
+  if (opts.harden)
+    std::printf("hardened governor: %d fallbacks, %d recoveries\n",
+                mode_log.fallbacks(), mode_log.recoveries());
+
+  if (args.has("json")) {
+    std::ofstream os(args.get("json"));
+    JsonWriter w(os);
+    char checksum_hex[17];
+    std::snprintf(checksum_hex, sizeof checksum_hex, "%016llx",
+                  static_cast<unsigned long long>(info.checksum));
+    w.beginObject()
+        .value("workload", trace.workload)
+        .value("recorded_mechanism", trace.mechanism)
+        .value("mechanism", mech)
+        .value("preset", preset)
+        .value("epochs", static_cast<std::int64_t>(trace.epochs.size()))
+        .value("clusters", trace.numClusters())
+        .value("checksum", checksum_hex)
+        .value("agreement", rep.agreement)
+        .value("decisions", rep.decisions)
+        .value("compared", rep.compared)
+        .value("matches", rep.matches)
+        .value("exec_time_us",
+               static_cast<double>(rep.result.exec_time_ns) / 1e3)
+        .value("energy_mj", rep.result.energy_j * 1e3)
+        .value("edp_uj_s", rep.result.edp * 1e6)
+        .beginArray("commanded_histogram");
+    for (std::int64_t c : rep.commanded_histogram) w.value(c);
+    w.endArray().endObject();
+    std::printf("json written to %s\n", args.get("json").c_str());
+  }
+  return 0;
+}
+
 int cmdOracle(const Args& args) {
   const GpuConfig gpu;
   Gpu machine(gpu, VfTable::titanX(), resolveWorkload(args),
@@ -487,9 +638,40 @@ std::vector<KernelProfile> resolveSweepWorkloads(const std::string& spec) {
   return out;
 }
 
+/// Resolves --replay: a directory (every *.ssmtrace inside, sorted by name
+/// for determinism) or a comma list of trace files.
+std::vector<std::shared_ptr<const engine::EpochTrace>> resolveReplayTraces(
+    const std::string& spec) {
+  std::vector<std::string> paths;
+  if (std::filesystem::is_directory(spec)) {
+    for (const auto& entry : std::filesystem::directory_iterator(spec))
+      if (entry.is_regular_file() && entry.path().extension() == ".ssmtrace")
+        paths.push_back(entry.path().string());
+    std::sort(paths.begin(), paths.end());
+  } else {
+    paths = splitList(spec);
+  }
+  if (paths.empty())
+    throw DataError("--replay resolved to no trace files: " + spec);
+  std::vector<std::shared_ptr<const engine::EpochTrace>> traces;
+  traces.reserve(paths.size());
+  for (const auto& p : paths)
+    traces.push_back(
+        std::make_shared<const engine::EpochTrace>(engine::loadTrace(p)));
+  return traces;
+}
+
 int cmdSweep(const Args& args) {
   fleet::SweepSpec spec;
-  spec.workloads = resolveSweepWorkloads(args.require("workloads"));
+  if (args.has("replay")) {
+    SSM_CHECK(!args.has("workloads"),
+              "--replay and --workloads are mutually exclusive");
+    SSM_CHECK(!args.has("faults"),
+              "fault injection is closed-loop; unsupported with --replay");
+    spec.replay = resolveReplayTraces(args.get("replay"));
+  } else {
+    spec.workloads = resolveSweepWorkloads(args.require("workloads"));
+  }
   spec.mechanisms = splitList(args.require("mechanisms"));
   if (args.has("presets")) {
     spec.presets.clear();
@@ -561,13 +743,107 @@ int cmdSweep(const Args& args) {
   return lines > 0 ? 0 : 1;
 }
 
+/// Per-command option summary, printed by `<command> --help`. Returns
+/// nullptr for unknown commands.
+const char* helpText(const std::string& cmd) {
+  if (cmd == "list-workloads")
+    return "ssmdvfs list-workloads\n"
+           "  prints the built-in kernel-profile registry (name, suite, "
+           "phases, warps, loops)";
+  if (cmd == "datagen")
+    return "ssmdvfs datagen --out corpus.csv [--workload NAME] [--runs N]\n"
+           "                [--breakpoint-epochs N] [--seed S] [--jobs N]\n"
+           "                [--profile-file FILE]\n"
+           "  generates the supervised training corpus (per-level replay\n"
+           "  windows, SIII.A); without --workload the full training set";
+  if (cmd == "train")
+    return "ssmdvfs train --data corpus.csv --out model.txt [--compressed]\n"
+           "              [--epochs N] [--prune]\n"
+           "  trains the Decision-maker + Calibrator pair on a datagen "
+           "corpus";
+  if (cmd == "eval")
+    return "ssmdvfs eval --model model.txt --data corpus.csv\n"
+           "  reports decision accuracy, calibrator MAPE and FLOPs";
+  if (cmd == "run")
+    return "ssmdvfs run --workload NAME --mechanism M [--preset P] [--seed "
+           "S]\n"
+           "            [--model model.txt] [--trace trace.csv] [--json "
+           "out.json]\n"
+           "            [--faults SPEC] [--harden] [--profile-file FILE]\n"
+           "  one governed simulation vs the static-default baseline\n"
+           "  M: baseline | static-<L> | ssmdvfs | ssmdvfs-nocal | pcstall "
+           "|\n"
+           "     flemma | ondemand\n"
+           "  SPEC: fault grammar of docs/faults.md, e.g. "
+           "\"noise:p=0.3,sigma=0.25\"";
+  if (cmd == "record")
+    return "ssmdvfs record --workload NAME --mechanism M --out "
+           "trace.ssmtrace\n"
+           "               [--preset P] [--seed S] [--max-ms N] [--clusters "
+           "N]\n"
+           "               [--model model.txt] [--profile-file FILE]\n"
+           "  simulates one governed run and writes every epoch (all 47\n"
+           "  counters per cluster) into the versioned, checksummed binary\n"
+           "  trace format of src/engine/trace_io (docs/engine.md)";
+  if (cmd == "replay")
+    return "ssmdvfs replay --trace trace.ssmtrace [--mechanism M] [--preset "
+           "P]\n"
+           "               [--model model.txt] [--harden] [--json out.json]\n"
+           "  streams the recorded epochs through a governor OPEN-LOOP:\n"
+           "  decisions are compared against the recorded policy's, never "
+           "fed\n"
+           "  back. Defaults to the recording mechanism (agreement 100% "
+           "for\n"
+           "  deterministic governors with recording-time config)";
+  if (cmd == "oracle")
+    return "ssmdvfs oracle --workload NAME [--seed S] [--profile-file FILE]\n"
+           "  exhaustive static-level search: per-level time/energy/EDP";
+  if (cmd == "hw-cost")
+    return "ssmdvfs hw-cost --model model.txt\n"
+           "  ASIC cost model: MACs, cycles/inference, area, power, energy";
+  if (cmd == "quantize")
+    return "ssmdvfs quantize --model model.txt --data corpus.csv\n"
+           "  int8/int16 post-training quantization drift and model bytes";
+  if (cmd == "list-counters")
+    return "ssmdvfs list-counters\n"
+           "  prints the 47-counter vector (SIII.B) with categories";
+  if (cmd == "corpus-stats")
+    return "ssmdvfs corpus-stats --data corpus.csv\n"
+           "  per-workload/per-level corpus composition and label stats";
+  if (cmd == "explain")
+    return "ssmdvfs explain --model model.txt --data corpus.csv --row N\n"
+           "                [--preset P]\n"
+           "  explains one decision: class distribution, per-level "
+           "calibrator\n"
+           "  estimates, min-frequency decode";
+  if (cmd == "sweep")
+    return "ssmdvfs sweep --workloads A,B|train|eval|all --mechanisms "
+           "M1,M2\n"
+           "              --out sweep.jsonl [--csv sweep.csv] [--jobs N]\n"
+           "              [--presets 0.10,0.20] [--seeds 777,778]\n"
+           "              [--model model.txt] [--max-ms 5] [--quiet]\n"
+           "              [--faults \"SPEC1|SPEC2\"] [--harden]\n"
+           "ssmdvfs sweep --replay DIR|t1.ssmtrace,t2.ssmtrace --mechanisms "
+           "...\n"
+           "  cartesian sweep on the work-stealing pool; byte-identical "
+           "for\n"
+           "  every --jobs value. --replay substitutes recorded traces "
+           "for\n"
+           "  the workload axis (open-loop, agreement columns; --faults "
+           "is\n"
+           "  rejected). A --replay directory takes every *.ssmtrace "
+           "inside,\n"
+           "  sorted by name.";
+  return nullptr;
+}
+
 void usage() {
   std::puts(
       "usage: ssmdvfs <command> [--key value ...]\n"
-      "commands: list-workloads | datagen | train | eval | run | oracle |\n"
-      "          hw-cost | quantize | list-counters | corpus-stats |\n"
-      "          explain | sweep\n"
-      "see the header of tools/ssmdvfs_cli.cpp for per-command options");
+      "commands: list-workloads | datagen | train | eval | run | record |\n"
+      "          replay | oracle | hw-cost | quantize | list-counters |\n"
+      "          corpus-stats | explain | sweep\n"
+      "run `ssmdvfs <command> --help` for that command's options");
 }
 
 }  // namespace
@@ -578,13 +854,28 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string cmd = argv[1];
+  if (cmd == "--help" || cmd == "help") {
+    usage();
+    return 0;
+  }
   const Args args(argc, argv, 2);
   try {
+    if (args.has("help")) {
+      const char* text = helpText(cmd);
+      if (text == nullptr) {
+        usage();
+        return 2;
+      }
+      std::puts(text);
+      return 0;
+    }
     if (cmd == "list-workloads") return cmdListWorkloads();
     if (cmd == "datagen") return cmdDatagen(args);
     if (cmd == "train") return cmdTrain(args);
     if (cmd == "eval") return cmdEval(args);
     if (cmd == "run") return cmdRun(args);
+    if (cmd == "record") return cmdRecord(args);
+    if (cmd == "replay") return cmdReplay(args);
     if (cmd == "oracle") return cmdOracle(args);
     if (cmd == "hw-cost") return cmdHwCost(args);
     if (cmd == "quantize") return cmdQuantize(args);
