@@ -226,7 +226,7 @@ double SsmModel::predictInstsK(const CounterBlock& counters,
                                InferenceScratch& s) const {
   SSM_CHECK(level >= 0 && level < cfg_.num_levels, "level out of range");
   const std::size_t feat = cfg_.features.size();
-  auto row = s.cal_rows.row(0);
+  const auto row = s.cal_rows.row(0);
   fillDecisionRow(counters, loss_preset, row.subspan(0, feat + 1));
   std::fill(row.begin() + static_cast<std::ptrdiff_t>(feat) + 1, row.end(),
             0.0);
@@ -245,7 +245,7 @@ void SsmModel::predictInstsKAllLevels(const CounterBlock& counters,
             "out must have one slot per level");
   const std::size_t feat = cfg_.features.size();
   const std::size_t levels = static_cast<std::size_t>(cfg_.num_levels);
-  auto first = s.cal_rows.row(0);
+  const auto first = s.cal_rows.row(0);
   fillDecisionRow(counters, loss_preset, first.subspan(0, feat + 1));
   std::fill(first.begin() + static_cast<std::ptrdiff_t>(feat) + 1,
             first.end(), 0.0);

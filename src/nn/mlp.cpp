@@ -48,8 +48,8 @@ std::int64_t DenseLayer::nonzeroWeights() const noexcept {
 }
 
 void DenseLayer::applyMask() noexcept {
-  auto w = w_.flat();
-  auto m = mask_.flat();
+  const auto w = w_.flat();
+  const auto m = mask_.flat();
   for (std::size_t i = 0; i < w.size(); ++i)
     if (m[i] == 0.0) w[i] = 0.0;
 }

@@ -176,7 +176,7 @@ void PackedMlp::forwardBatch(const Matrix& rows, Scratch& s,
   }
   for (std::size_t r = 0; r < n; ++r) {
     const double* src = a + r * stride;
-    auto dst = out.row(r);
+    const auto dst = out.row(r);
     for (int o = 0; o < output_dim_; ++o)
       dst[static_cast<std::size_t>(o)] = src[o];
     finishHead(dst.data());

@@ -84,11 +84,11 @@ void AdamTrainer::adamStep(Mlp& net, int t) {
       st.m_b.assign(layer.bias().size(), 0.0);
       st.v_b.assign(layer.bias().size(), 0.0);
     }
-    auto w = layer.weights().flat();
-    auto mask = layer.mask().flat();
+    const auto w = layer.weights().flat();
+    const auto mask = layer.mask().flat();
     for (std::size_t i = 0; i < w.size(); ++i) {
       if (mask[i] == 0.0) continue;  // pruned weights are frozen at zero
-      double g = grad_w_[l][i] * inv_batch + cfg_.l2 * w[i];
+      const double g = grad_w_[l][i] * inv_batch + cfg_.l2 * w[i];
       st.m_w[i] = cfg_.beta1 * st.m_w[i] + (1.0 - cfg_.beta1) * g;
       st.v_w[i] = cfg_.beta2 * st.v_w[i] + (1.0 - cfg_.beta2) * g * g;
       const double mhat = st.m_w[i] / bc1;

@@ -1,14 +1,24 @@
 // Unit tests for the ssm_lint engine (tools/ssm_lint): one positive and one
-// negative case per rule, suppression-comment handling, and allowlist
-// parsing/matching.
+// negative case per rule, suppression-comment handling, allowlist
+// parsing/matching, the repo-level graph and hygiene passes, the stale-entry
+// fixers, and the SARIF serializer.
+//
+// Rule registration is catalog-driven: kRuleFixtures maps every rule id to a
+// minimal repo snapshot that triggers it, and LintCatalog.EveryRuleHasAFixture
+// walks ruleCatalog() against that table — so a rule added to the engine
+// without a fixture here (or vice versa) fails loudly instead of silently
+// going untested.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <string>
 #include <vector>
 
+#include "ssm_lint/include_graph.hpp"
 #include "ssm_lint/lint.hpp"
+#include "ssm_lint/sarif.hpp"
 
 namespace ssm::lint {
 namespace {
@@ -18,16 +28,85 @@ bool hasRule(const std::vector<Finding>& fs, std::string_view rule) {
                      [&](const Finding& f) { return f.rule == rule; });
 }
 
-TEST(LintCatalog, AllTenRulesRegistered) {
+/// A flat one-layer map: every scan dir in one layer, so graph passes run
+/// but impose no ordering. Fixtures that test layering supply their own.
+constexpr std::string_view kFlatLayers =
+    "layer all\nsrc/\ntools/\nbench/\ntests/\nexamples/\n";
+
+/// Minimal repo snapshot that triggers exactly the named rule.
+struct RuleFixture {
+  RuleFixture(std::vector<SourceFile> f, std::string_view l = kFlatLayers,
+              std::string_view a = {})
+      : files(std::move(f)), layers(l), allowlist(a) {}
+  std::vector<SourceFile> files;
+  std::string_view layers;
+  std::string_view allowlist;
+};
+
+const std::map<std::string_view, RuleFixture>& ruleFixtures() {
+  static const std::map<std::string_view, RuleFixture> fixtures = {
+      {"pragma-once", {{{"src/a.hpp", "int f();\n"}}}},
+      {"using-namespace-header",
+       {{{"src/a.hpp", "#pragma once\nusing namespace std;\n"}}}},
+      {"raw-assert", {{{"src/a.cpp", "void f() { abort(); }\n"}}}},
+      {"nondeterminism", {{{"src/a.cpp", "int x = rand();\n"}}}},
+      {"hot-path-io", {{{"src/core/a.cpp", "#include <iostream>\n"}}}},
+      {"c-style-float-cast",
+       {{{"src/a.cpp", "double g(long n) { return (double)n; }\n"}}}},
+      {"raw-thread", {{{"src/a.cpp", "std::thread t;\n"}}}},
+      {"fault-hook-guard",
+       {{{"src/gpusim/a.cpp", "void f() { faults->onTelemetry(r); }\n"}}}},
+      {"hot-path-alloc",
+       {{{"src/core/ssm_governor.cpp", "void f() { buf_.resize(n); }\n"}}}},
+      {"gpu-stepping",
+       {{{"src/core/a.cpp", "auto r = gpu.runEpoch(l);\n"}}}},
+      {"layer-order",
+       {{{"src/common/a.hpp", "#pragma once\n#include \"core/b.hpp\"\n"},
+         {"src/core/b.hpp", "#pragma once\n"}},
+        "layer foundation\nsrc/common/\nlayer control\nsrc/core/\n"}},
+      {"include-cycle",
+       {{{"src/common/a.hpp", "#pragma once\n#include \"common/b.hpp\"\n"},
+         {"src/common/b.hpp", "#pragma once\n#include \"common/a.hpp\"\n"}}}},
+      {"unordered-iteration",
+       {{{"src/a.cpp",
+          "#include <unordered_map>\n"
+          "void f(std::ostream& os) {\n"
+          "  std::unordered_map<int, double> acc;\n"
+          "  for (const auto& kv : acc) os << kv.second;\n"
+          "}\n"}}}},
+      {"float-equality",
+       {{{"src/a.cpp", "bool b(double x) { return x == 0.25; }\n"}}}},
+      {"stale-allowlist",
+       {{{"src/a.cpp", "int x = 0;\n"}},
+        kFlatLayers,
+        "gpu-stepping src/nothing/\n"}},
+      {"stale-waiver",
+       {{{"src/a.cpp", "int x = 0;  // ssm-lint: allow(raw-assert)\n"}}}},
+  };
+  return fixtures;
+}
+
+RepoLintResult lintFixture(const RuleFixture& fx) {
+  RepoLintOptions opts;
+  opts.allowlist_text = std::string(fx.allowlist);
+  opts.layers_text = std::string(fx.layers);
+  return lintRepo(fx.files, opts);
+}
+
+TEST(LintCatalog, EveryRuleHasAFixtureAndEveryFixtureARule) {
   const auto rules = ruleCatalog();
-  ASSERT_EQ(rules.size(), 10u);
-  for (const char* id :
-       {"pragma-once", "using-namespace-header", "raw-assert",
-        "nondeterminism", "hot-path-io", "c-style-float-cast",
-        "raw-thread", "fault-hook-guard", "hot-path-alloc",
-        "gpu-stepping"}) {
-    EXPECT_TRUE(isKnownRule(id)) << id;
+  EXPECT_EQ(rules.size(), ruleFixtures().size());
+  for (const auto& r : rules) {
+    EXPECT_TRUE(isKnownRule(r.id)) << r.id;
+    EXPECT_FALSE(r.summary.empty()) << r.id;
+    const auto it = ruleFixtures().find(r.id);
+    ASSERT_NE(it, ruleFixtures().end())
+        << "rule '" << r.id << "' has no fixture in kRuleFixtures";
+    EXPECT_TRUE(hasRule(lintFixture(it->second).findings, r.id))
+        << "fixture for '" << r.id << "' does not trigger it";
   }
+  for (const auto& [id, fx] : ruleFixtures())
+    EXPECT_TRUE(isKnownRule(id)) << "fixture for unregistered rule " << id;
   EXPECT_TRUE(isKnownRule("*"));
   EXPECT_FALSE(isKnownRule("no-such-rule"));
 }
@@ -380,7 +459,7 @@ TEST(LintFormat, GccStyleDiagnostic) {
 }
 
 TEST(LintEngine, LineNumbersSurviveCommentsAndStrings) {
-  // The stripper must keep offsets: the violation sits on line 4, after a
+  // The lexer must keep line numbers: the violation sits on line 4, after a
   // block comment containing decoys and a string containing "rand()".
   const auto fs = lintSource("src/core/x.cpp",
                              "/* rand()\n"
@@ -390,6 +469,356 @@ TEST(LintEngine, LineNumbersSurviveCommentsAndStrings) {
   ASSERT_EQ(fs.size(), 1u);
   EXPECT_EQ(fs[0].rule, "nondeterminism");
   EXPECT_EQ(fs[0].line, 4u);
+}
+
+TEST(LintEngine, RawStringsAndWaiverTagsInStringsAreInert) {
+  // A raw string spanning lines must not swallow following code, and the
+  // waiver tag inside a string literal must not register as a waiver (it
+  // would otherwise surface as stale).
+  const auto fs = lintSource("src/core/x.cpp",
+                             "const char* r = R\"(rand()\n"
+                             "abort())\";\n"
+                             "const char* t = \"// ssm-lint: allow(raw-assert)\";\n"
+                             "int x = rand();\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "nondeterminism");
+  EXPECT_EQ(fs[0].line, 4u);
+}
+
+// --- hot-path-alloc: token-accurate extensions -----------------------------
+
+TEST(LintHotPathAlloc, FlagsMultiLineAllocationCalls) {
+  // The token stream does not care where the line breaks fall.
+  EXPECT_TRUE(hasRule(lintSource("src/core/ssm_governor.cpp",
+                                 "auto g = std::make_unique<\n"
+                                 "    Governor>(\n"
+                                 "    model, cfg);\n"),
+                      "hot-path-alloc"));
+  EXPECT_TRUE(hasRule(lintSource("src/nn/packed_mlp.hpp",
+                                 "auto* p =\n    new double[8];\n"),
+                      "hot-path-alloc"));
+}
+
+TEST(LintHotPathAlloc, FlagsByValueContainerParamsAndStdFunction) {
+  EXPECT_TRUE(hasRule(
+      lintSource("src/nn/packed_mlp.hpp",
+                 "void setWeights(std::vector<double> w);\n"),
+      "hot-path-alloc"));
+  EXPECT_TRUE(hasRule(
+      lintSource("src/core/ssm_governor.cpp",
+                 "void onDecision(std::function<void(int)> cb);\n"),
+      "hot-path-alloc"));
+  // Temporaries inside a call allocate too.
+  EXPECT_TRUE(hasRule(
+      lintSource("src/core/ssm_governor.cpp", "emit(std::string(name));\n"),
+      "hot-path-alloc"));
+}
+
+TEST(LintHotPathAlloc, AllowsReferencePointerAndNestedTypeUses) {
+  EXPECT_FALSE(hasRule(
+      lintSource("src/nn/packed_mlp.hpp",
+                 "void setWeights(const std::vector<double>& w);\n"
+                 "void take(std::vector<double>&& w);\n"
+                 "void scan(const std::vector<std::vector<int>>& m);\n"
+                 "std::size_t at(std::vector<double>::size_type i);\n"
+                 "void fill(std::vector<double>* out);\n"),
+      "hot-path-alloc"));
+  // Member declarations at class scope (paren depth 0) are preallocation,
+  // not per-decision allocation.
+  EXPECT_FALSE(hasRule(
+      lintSource("src/nn/packed_mlp.hpp", "std::vector<double> scratch_;\n"),
+      "hot-path-alloc"));
+}
+
+// --- unordered-iteration ---------------------------------------------------
+
+TEST(LintUnorderedIteration, FlagsRangeForFeedingASink) {
+  const char* body =
+      "#include <unordered_map>\n"
+      "void dump(std::ostream& os) {\n"
+      "  std::unordered_map<int, double> counts;\n"
+      "  for (const auto& [k, v] : counts) os << k << v;\n"
+      "}\n";
+  EXPECT_TRUE(hasRule(lintSource("src/core/x.cpp", body),
+                      "unordered-iteration"));
+  EXPECT_TRUE(hasRule(
+      lintSource("src/core/x.cpp",
+                 "std::unordered_set<int> seen_;\n"
+                 "void f(std::vector<int>& out) {\n"
+                 "  for (int v : seen_) out.push_back(v);\n"
+                 "}\n"),
+      "unordered-iteration"));
+}
+
+TEST(LintUnorderedIteration, AllowsOrderedContainersSinkFreeBodiesAndTests) {
+  // Ordered containers iterate deterministically.
+  EXPECT_FALSE(hasRule(
+      lintSource("src/core/x.cpp",
+                 "std::map<int, double> counts;\n"
+                 "void dump(std::ostream& os) {\n"
+                 "  for (const auto& [k, v] : counts) os << k;\n"
+                 "}\n"),
+      "unordered-iteration"));
+  // Reading without emitting (e.g. a max-reduce) is order-insensitive.
+  EXPECT_FALSE(hasRule(
+      lintSource("src/core/x.cpp",
+                 "std::unordered_map<int, double> counts;\n"
+                 "double maxOf() {\n"
+                 "  double m = 0.0;\n"
+                 "  for (const auto& [k, v] : counts) m = std::max(m, v);\n"
+                 "  return m;\n"
+                 "}\n"),
+      "unordered-iteration"));
+  // Tests may iterate however they like.
+  EXPECT_FALSE(hasRule(
+      lintSource("tests/t.cpp",
+                 "std::unordered_map<int, int> m;\n"
+                 "void f(std::ostream& os) {\n"
+                 "  for (auto& kv : m) os << kv.first;\n"
+                 "}\n"),
+      "unordered-iteration"));
+}
+
+// --- float-equality --------------------------------------------------------
+
+TEST(LintFloatEquality, FlagsComparisonAgainstNonZeroLiteral) {
+  EXPECT_TRUE(hasRule(
+      lintSource("src/core/x.cpp", "bool b = loss == 0.25;\n"),
+      "float-equality"));
+  EXPECT_TRUE(hasRule(
+      lintSource("tools/t.cpp", "if (1.5f != scale) { fix(); }\n"),
+      "float-equality"));
+}
+
+TEST(LintFloatEquality, AllowsZeroLiteralsIntegersAndTests) {
+  // Comparison against exact zero is the sanctioned mask/sentinel idiom.
+  EXPECT_FALSE(hasRule(
+      lintSource("src/core/x.cpp",
+                 "bool a = mask == 0.0;\nbool b = w != 0.0f;\n"),
+      "float-equality"));
+  // Integer literals are exact.
+  EXPECT_FALSE(hasRule(lintSource("src/core/x.cpp", "bool c = n == 4;\n"),
+                       "float-equality"));
+  // Pinned-golden tests compare replayed doubles exactly by design.
+  EXPECT_FALSE(hasRule(
+      lintSource("tests/t.cpp", "EXPECT_TRUE(x == 0.25);\n"),
+      "float-equality"));
+}
+
+// --- layer-order / include-cycle (repo-level) ------------------------------
+
+constexpr std::string_view kTwoLayers =
+    "layer foundation\nsrc/common/\nlayer control\nsrc/core/\n";
+
+TEST(LintLayering, RejectsUpwardIncludeAndAcceptsDownward) {
+  // Downward (control -> foundation) is the designed direction.
+  RepoLintOptions opts;
+  opts.layers_text = std::string(kTwoLayers);
+  const auto ok = lintRepo(
+      {{"src/common/a.hpp", "#pragma once\n"},
+       {"src/core/b.hpp", "#pragma once\n#include \"common/a.hpp\"\n"}},
+      opts);
+  EXPECT_FALSE(hasRule(ok.findings, "layer-order"));
+
+  // Upward (foundation -> control) is rejected, naming both layers.
+  const auto bad = lintRepo(
+      {{"src/common/a.hpp", "#pragma once\n#include \"core/b.hpp\"\n"},
+       {"src/core/b.hpp", "#pragma once\n"}},
+      opts);
+  ASSERT_TRUE(hasRule(bad.findings, "layer-order"));
+  const auto it = std::find_if(
+      bad.findings.begin(), bad.findings.end(),
+      [](const Finding& f) { return f.rule == "layer-order"; });
+  EXPECT_EQ(it->path, "src/common/a.hpp");
+  EXPECT_EQ(it->line, 2u);
+  EXPECT_NE(it->message.find("foundation"), std::string::npos);
+  EXPECT_NE(it->message.find("control"), std::string::npos);
+}
+
+TEST(LintLayering, FlagsUncoveredFilesAndUnresolvedIncludes) {
+  RepoLintOptions opts;
+  opts.layers_text = std::string(kTwoLayers);
+  const auto uncovered =
+      lintRepo({{"src/orphan/x.hpp", "#pragma once\n"}}, opts);
+  EXPECT_TRUE(hasRule(uncovered.findings, "layer-order"));
+
+  const auto unresolved = lintRepo(
+      {{"src/core/b.hpp", "#pragma once\n#include \"common/gone.hpp\"\n"}},
+      opts);
+  EXPECT_TRUE(hasRule(unresolved.findings, "layer-order"));
+}
+
+TEST(LintLayering, DetectsIncludeCycles) {
+  RepoLintOptions opts;
+  opts.layers_text = std::string(kFlatLayers);
+  const auto r = lintRepo(
+      {{"src/common/a.hpp", "#pragma once\n#include \"common/b.hpp\"\n"},
+       {"src/common/b.hpp", "#pragma once\n#include \"common/c.hpp\"\n"},
+       {"src/common/c.hpp", "#pragma once\n#include \"common/a.hpp\"\n"}},
+      opts);
+  ASSERT_TRUE(hasRule(r.findings, "include-cycle"));
+  const auto it = std::find_if(
+      r.findings.begin(), r.findings.end(),
+      [](const Finding& f) { return f.rule == "include-cycle"; });
+  // The report spells out the whole chain.
+  EXPECT_NE(it->message.find("src/common/a.hpp"), std::string::npos);
+  EXPECT_NE(it->message.find("src/common/b.hpp"), std::string::npos);
+  EXPECT_NE(it->message.find("src/common/c.hpp"), std::string::npos);
+}
+
+TEST(LintLayering, MalformedLayerMapThrows) {
+  RepoLintOptions opts;
+  opts.layers_text = "src/common/\n";  // prefix before any layer line
+  EXPECT_THROW(static_cast<void>(lintRepo({}, opts)), LayerMapError);
+  opts.layers_text = "layer a\nsrc/\nlayer a\n";
+  EXPECT_THROW(static_cast<void>(lintRepo({}, opts)), LayerMapError);
+}
+
+// --- allowlist/waiver hygiene (repo-level) ---------------------------------
+
+TEST(LintHygiene, StaleAllowlistEntryIsAHardError) {
+  RepoLintOptions opts;
+  opts.layers_text = std::string(kFlatLayers);
+  opts.allowlist_text = "# comment\ngpu-stepping src/nothing/\n";
+  const auto r = lintRepo({{"src/a.cpp", "int x = 0;\n"}}, opts);
+  ASSERT_TRUE(hasRule(r.findings, "stale-allowlist"));
+  ASSERT_EQ(r.stale_allowlist_lines.size(), 1u);
+  EXPECT_EQ(r.stale_allowlist_lines[0], 2u);  // 1-based, after the comment
+  // The finding points at the allowlist file itself.
+  const auto it = std::find_if(
+      r.findings.begin(), r.findings.end(),
+      [](const Finding& f) { return f.rule == "stale-allowlist"; });
+  EXPECT_EQ(it->path, opts.allowlist_path);
+  EXPECT_EQ(it->line, 2u);
+}
+
+TEST(LintHygiene, UsedAllowlistEntryIsNotStale) {
+  RepoLintOptions opts;
+  opts.layers_text = std::string(kFlatLayers);
+  opts.allowlist_text = "nondeterminism src/a.cpp\n";
+  const auto r = lintRepo({{"src/a.cpp", "int x = rand();\n"}}, opts);
+  EXPECT_FALSE(hasRule(r.findings, "stale-allowlist"));
+  EXPECT_FALSE(hasRule(r.findings, "nondeterminism"));
+}
+
+TEST(LintHygiene, StaleInlineWaiverIsAHardError) {
+  RepoLintOptions opts;
+  opts.layers_text = std::string(kFlatLayers);
+  const auto r = lintRepo(
+      {{"src/a.cpp", "int x = 0;  // ssm-lint: allow(raw-assert)\n"}}, opts);
+  ASSERT_TRUE(hasRule(r.findings, "stale-waiver"));
+  ASSERT_EQ(r.stale_waivers.size(), 1u);
+  EXPECT_EQ(r.stale_waivers[0].path, "src/a.cpp");
+  EXPECT_EQ(r.stale_waivers[0].line, 1u);
+  ASSERT_EQ(r.stale_waivers[0].rules.size(), 1u);
+  EXPECT_EQ(r.stale_waivers[0].rules[0], "raw-assert");
+}
+
+TEST(LintHygiene, UsedWaiverIsNotStaleAndShadowsTheAllowlist) {
+  RepoLintOptions opts;
+  opts.layers_text = std::string(kFlatLayers);
+  // The inline waiver suppresses the finding, so the allowlist entry for the
+  // same rule+file never fires — and is therefore reported stale.
+  opts.allowlist_text = "nondeterminism src/a.cpp\n";
+  const auto r = lintRepo(
+      {{"src/a.cpp", "int x = rand();  // ssm-lint: allow(nondeterminism)\n"}},
+      opts);
+  EXPECT_FALSE(hasRule(r.findings, "nondeterminism"));
+  EXPECT_FALSE(hasRule(r.findings, "stale-waiver"));
+  EXPECT_TRUE(hasRule(r.findings, "stale-allowlist"));
+}
+
+TEST(LintHygiene, SingleFileModeExemptsRepoLevelWaiversOnly) {
+  // lintSource cannot run the graph passes, so a waiver naming a repo-level
+  // rule is not reported stale there...
+  EXPECT_FALSE(hasRule(
+      lintSource("src/a.cpp", "int x = 0;  // ssm-lint: allow(layer-order)\n"),
+      "stale-waiver"));
+  // ...but a per-file-rule waiver that suppresses nothing still is.
+  EXPECT_TRUE(hasRule(
+      lintSource("src/a.cpp", "int x = 0;  // ssm-lint: allow(raw-assert)\n"),
+      "stale-waiver"));
+}
+
+// --- fixers ----------------------------------------------------------------
+
+TEST(LintFixers, RemoveAllowlistLinesDropsExactlyTheGivenLines) {
+  const std::string text = "# keep\nrule-a src/\nrule-b src/\n";
+  EXPECT_EQ(removeAllowlistLines(text, {2}), "# keep\nrule-b src/\n");
+  EXPECT_EQ(removeAllowlistLines(text, {2, 3}), "# keep\n");
+  EXPECT_EQ(removeAllowlistLines(text, {}), text);
+}
+
+TEST(LintFixers, RemoveStaleWaiverDropsWholeCommentOrRewritesArgList) {
+  // Whole-line comment: the line disappears entirely.
+  const StaleWaiver all{"src/a.cpp", 1, {"raw-assert"}};
+  const auto r1 =
+      removeStaleWaiver("// ssm-lint: allow(raw-assert)\nint x = 0;\n", all);
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_EQ(*r1, "int x = 0;\n");
+
+  // Trailing comment: only the comment goes, code stays.
+  const auto r2 = removeStaleWaiver(
+      "int x = 0;  // ssm-lint: allow(raw-assert)\n", all);
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(*r2, "int x = 0;\n");
+
+  // Partial staleness: the arg list is rewritten with the survivors.
+  const StaleWaiver partial{"src/a.cpp", 1, {"raw-assert"}};
+  const auto r3 = removeStaleWaiver(
+      "int x = rand();  // ssm-lint: allow(raw-assert, nondeterminism)\n",
+      partial);
+  ASSERT_TRUE(r3.has_value());
+  EXPECT_EQ(*r3, "int x = rand();  // ssm-lint: allow(nondeterminism)\n");
+
+  // Block-comment waivers cannot be rewritten mechanically.
+  const auto r4 = removeStaleWaiver(
+      "int x = 0;  /* ssm-lint: allow(raw-assert) */\n", all);
+  EXPECT_FALSE(r4.has_value());
+}
+
+// --- deterministic ordering ------------------------------------------------
+
+TEST(LintOrdering, RepoFindingsAreSortedByPathLineRule) {
+  RepoLintOptions opts;
+  opts.layers_text = std::string(kFlatLayers);
+  // Files handed over in reverse order; findings must come back sorted.
+  const auto r = lintRepo(
+      {{"src/z.cpp", "int a = rand();\nint b = rand();\n"},
+       {"src/a.cpp", "void f() { abort(); }\n"}},
+      opts);
+  ASSERT_EQ(r.findings.size(), 3u);
+  EXPECT_EQ(r.findings[0].path, "src/a.cpp");
+  EXPECT_EQ(r.findings[1].path, "src/z.cpp");
+  EXPECT_EQ(r.findings[1].line, 1u);
+  EXPECT_EQ(r.findings[2].path, "src/z.cpp");
+  EXPECT_EQ(r.findings[2].line, 2u);
+}
+
+// --- SARIF -----------------------------------------------------------------
+
+TEST(LintSarif, EmitsRuleCatalogAndPhysicalLocations) {
+  const std::vector<Finding> fs = {
+      {"src/a.cpp", 7, "raw-assert", "message with \"quotes\" and \\slash"}};
+  const std::string j = toSarif(fs);
+  EXPECT_NE(j.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(j.find("\"name\": \"ssm_lint\""), std::string::npos);
+  EXPECT_NE(j.find("\"ruleId\": \"raw-assert\""), std::string::npos);
+  EXPECT_NE(j.find("\"uri\": \"src/a.cpp\""), std::string::npos);
+  EXPECT_NE(j.find("\"startLine\": 7"), std::string::npos);
+  // Escaping round-trips quotes and backslashes.
+  EXPECT_NE(j.find("\\\"quotes\\\""), std::string::npos);
+  EXPECT_NE(j.find("\\\\slash"), std::string::npos);
+  // Every registered rule is described in tool.driver.rules.
+  for (const auto& r : ruleCatalog())
+    EXPECT_NE(j.find("\"id\": \"" + std::string(r.id) + "\""),
+              std::string::npos)
+        << r.id;
+}
+
+TEST(LintSarif, EmptyFindingsStillProduceAValidRun) {
+  const std::string j = toSarif({});
+  EXPECT_NE(j.find("\"results\": [\n      ]"), std::string::npos);
 }
 
 }  // namespace

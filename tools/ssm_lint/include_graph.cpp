@@ -1,0 +1,222 @@
+#include "ssm_lint/include_graph.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace ssm::lint {
+
+namespace {
+
+bool isSpace(char c) noexcept {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+
+std::string dirOf(std::string_view path) {
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string_view::npos ? std::string()
+                                         : std::string(path.substr(0, slash));
+}
+
+}  // namespace
+
+std::vector<IncludeRef> extractIncludes(const TokenStream& ts) {
+  std::vector<IncludeRef> out;
+  const auto& sig = ts.sig;
+  for (std::size_t k = 0; k + 2 < sig.size(); ++k) {
+    const Token& hash = ts.tokens[sig[k]];
+    if (hash.kind != TokKind::kPunct || hash.text != "#" ||
+        !hash.at_line_start)
+      continue;
+    const Token& kw = ts.tokens[sig[k + 1]];
+    if (kw.kind != TokKind::kIdentifier || kw.text != "include") continue;
+    const Token& name = ts.tokens[sig[k + 2]];
+    if (name.kind == TokKind::kString && name.text.size() >= 2) {
+      out.push_back({std::string(name.text.substr(1, name.text.size() - 2)),
+                     false, name.line});
+    } else if (name.kind == TokKind::kHeaderName && name.text.size() >= 2) {
+      const bool closed = name.text.back() == '>';
+      out.push_back(
+          {std::string(name.text.substr(1, name.text.size() - (closed ? 2 : 1))),
+           true, name.line});
+    }
+  }
+  return out;
+}
+
+LayerMap::LayerMap(std::vector<Layer> layers) : layers_(std::move(layers)) {}
+
+std::optional<std::size_t> LayerMap::rankOf(std::string_view path) const {
+  std::optional<std::size_t> best;
+  std::size_t best_len = 0;
+  for (std::size_t r = 0; r < layers_.size(); ++r) {
+    for (const std::string& p : layers_[r].prefixes) {
+      if (p.size() >= best_len && path.starts_with(p)) {
+        best = r;
+        best_len = p.size();
+      }
+    }
+  }
+  return best;
+}
+
+LayerMap parseLayerMap(std::string_view text) {
+  std::vector<LayerMap::Layer> layers;
+  std::size_t pos = 0;
+  std::size_t line_no = 0;
+  while (pos <= text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    ++line_no;
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+
+    std::vector<std::string> words;
+    std::size_t a = 0;
+    while (a < line.size()) {
+      while (a < line.size() && isSpace(line[a])) ++a;
+      std::size_t b = a;
+      while (b < line.size() && !isSpace(line[b])) ++b;
+      if (b > a) words.emplace_back(line.substr(a, b - a));
+      a = b;
+    }
+    if (words.empty()) continue;
+
+    const std::string where = "layer map line " + std::to_string(line_no);
+    if (words.front() == "layer") {
+      if (words.size() != 2)
+        throw LayerMapError(where + ": expected 'layer <name>'");
+      for (const auto& l : layers)
+        if (l.name == words[1])
+          throw LayerMapError(where + ": duplicate layer '" + words[1] + "'");
+      layers.push_back({words[1], {}});
+    } else {
+      if (layers.empty())
+        throw LayerMapError(where + ": path prefix before any 'layer' line");
+      for (const std::string& w : words) {
+        for (const auto& l : layers)
+          for (const std::string& p : l.prefixes)
+            if (p == w)
+              throw LayerMapError(where + ": duplicate prefix '" + w + "'");
+        layers.back().prefixes.push_back(w);
+      }
+    }
+  }
+  return LayerMap(std::move(layers));
+}
+
+std::optional<std::string> resolveInclude(
+    std::string_view includer, std::string_view target,
+    const std::map<std::string, std::vector<IncludeRef>>& files) {
+  const std::string dir = dirOf(includer);
+  const std::string candidates[] = {
+      "src/" + std::string(target),
+      "tools/" + std::string(target),
+      dir.empty() ? std::string(target) : dir + "/" + std::string(target),
+      std::string(target),
+  };
+  for (const std::string& c : candidates)
+    if (files.count(c) != 0) return c;
+  return std::nullopt;
+}
+
+std::vector<GraphFinding> runGraphPasses(
+    const std::map<std::string, std::vector<IncludeRef>>& files,
+    const LayerMap& layers) {
+  std::vector<GraphFinding> out;
+
+  // Resolved project-include adjacency, with the line of each edge.
+  struct Edge {
+    std::string to;
+    std::size_t line;
+  };
+  std::map<std::string, std::vector<Edge>> adj;
+
+  for (const auto& [path, incs] : files) {
+    const auto from_rank = layers.rankOf(path);
+    if (!from_rank.has_value()) {
+      out.push_back({path, 1, "layer-order",
+                     "file is not covered by any layer in "
+                     "tools/ssm_lint/layers.txt; assign it a layer"});
+    }
+    for (const IncludeRef& inc : incs) {
+      if (inc.system) continue;
+      const auto resolved = resolveInclude(path, inc.target, files);
+      if (!resolved.has_value()) {
+        out.push_back(
+            {path, inc.line, "layer-order",
+             "include \"" + inc.target +
+                 "\" does not resolve to any scanned project file; fix the "
+                 "path or use <...> for external headers"});
+        continue;
+      }
+      adj[path].push_back({*resolved, inc.line});
+      if (!from_rank.has_value()) continue;
+      const auto to_rank = layers.rankOf(*resolved);
+      if (!to_rank.has_value()) continue;  // reported on the target itself
+      if (*to_rank > *from_rank) {
+        out.push_back(
+            {path, inc.line, "layer-order",
+             "layer '" + layers.nameOf(*from_rank) + "' file includes \"" +
+                 *resolved + "\" from higher layer '" +
+                 layers.nameOf(*to_rank) +
+                 "'; depend downward only (tools/ssm_lint/layers.txt)"});
+      }
+    }
+  }
+
+  // Cycle pass: iterative DFS over the resolved graph. Files are visited in
+  // sorted order (std::map) and adjacency is in source order, so the first
+  // back edge found — and therefore the report — is deterministic.
+  enum class Mark { kWhite, kGrey, kBlack };
+  std::map<std::string, Mark> mark;
+  for (const auto& [path, _] : files) mark[path] = Mark::kWhite;
+
+  struct Frame {
+    std::string node;
+    std::size_t next = 0;
+  };
+  for (const auto& [start, _] : files) {
+    if (mark[start] != Mark::kWhite) continue;
+    std::vector<Frame> stack{{start, 0}};
+    mark[start] = Mark::kGrey;
+    static const std::vector<Edge> kNoEdges;
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const auto it = adj.find(f.node);
+      const std::vector<Edge>& edges = it != adj.end() ? it->second : kNoEdges;
+      if (f.next < edges.size()) {
+        const Edge& e = edges[f.next++];
+        if (mark[e.to] == Mark::kWhite) {
+          mark[e.to] = Mark::kGrey;
+          stack.push_back({e.to, 0});
+        } else if (mark[e.to] == Mark::kGrey) {
+          // Back edge: reconstruct the cycle from the DFS stack.
+          std::size_t first = 0;
+          for (std::size_t k = 0; k < stack.size(); ++k)
+            if (stack[k].node == e.to) first = k;
+          std::string chain;
+          for (std::size_t k = first; k < stack.size(); ++k)
+            chain += stack[k].node + " -> ";
+          out.push_back({stack.back().node, e.line, "include-cycle",
+                         "include cycle: " + chain + e.to});
+        }
+      } else {
+        mark[f.node] = Mark::kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const GraphFinding& a, const GraphFinding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
+  return out;
+}
+
+}  // namespace ssm::lint

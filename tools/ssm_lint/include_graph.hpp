@@ -1,0 +1,92 @@
+// Include-graph extraction and the two repo-level architecture passes.
+//
+// The project's layering is data, not folklore: `tools/ssm_lint/layers.txt`
+// lists the layers bottom-up, each naming the path prefixes it owns. A file
+// may include same-layer or lower-layer files only, and every scanned file
+// must be owned by exactly one layer (longest prefix wins, so a single file
+// like `src/sched/thread_pool.hpp` can sit below the rest of its directory).
+// On top of the same resolved graph, the cycle pass rejects any include
+// cycle among project files regardless of layers.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ssm_lint/lexer.hpp"
+
+namespace ssm::lint {
+
+/// One `#include` directive in a file.
+struct IncludeRef {
+  std::string target;    ///< path as written, delimiters stripped
+  bool system = false;   ///< <...> form (never resolved against the repo)
+  std::size_t line = 0;  ///< 1-based line of the directive
+};
+
+/// All `#include` directives in a token stream, in source order.
+[[nodiscard]] std::vector<IncludeRef> extractIncludes(const TokenStream& ts);
+
+class LayerMapError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Ordered layers, bottom-up: rank 0 may include nothing above itself, the
+/// top rank may include everything.
+class LayerMap {
+ public:
+  struct Layer {
+    std::string name;
+    std::vector<std::string> prefixes;
+  };
+
+  explicit LayerMap(std::vector<Layer> layers);
+
+  /// Rank of the layer owning `path` via longest-prefix match, or nullopt
+  /// when no prefix covers it.
+  [[nodiscard]] std::optional<std::size_t> rankOf(std::string_view path) const;
+  [[nodiscard]] const std::string& nameOf(std::size_t rank) const {
+    return layers_[rank].name;
+  }
+  [[nodiscard]] const std::vector<Layer>& layers() const { return layers_; }
+  [[nodiscard]] bool empty() const { return layers_.empty(); }
+
+ private:
+  std::vector<Layer> layers_;
+};
+
+/// Parses the layers.txt format: '#' comments; a line `layer <name>` opens
+/// the next (higher) layer; every other whitespace-separated token is a path
+/// prefix owned by the current layer. Throws LayerMapError on a prefix
+/// before any layer, a duplicate prefix, a duplicate layer name, or a
+/// `layer` line without a name.
+[[nodiscard]] LayerMap parseLayerMap(std::string_view text);
+
+/// A finding produced by a graph pass, before per-file waiver/allowlist
+/// filtering (the repo driver in lint.cpp owns that).
+struct GraphFinding {
+  std::string path;
+  std::size_t line = 0;
+  std::string rule;  ///< "layer-order" or "include-cycle"
+  std::string message;
+};
+
+/// Resolves `target` (as written in an include directive inside `includer`)
+/// against the repo file set: tries src/<t>, tools/<t>, <includer dir>/<t>,
+/// then <t> verbatim. Returns the repo-relative path of the first hit.
+[[nodiscard]] std::optional<std::string> resolveInclude(
+    std::string_view includer, std::string_view target,
+    const std::map<std::string, std::vector<IncludeRef>>& files);
+
+/// Runs the layering and cycle passes over `files` (path → extracted
+/// includes). Deterministic: findings come out sorted by (path, line, rule).
+[[nodiscard]] std::vector<GraphFinding> runGraphPasses(
+    const std::map<std::string, std::vector<IncludeRef>>& files,
+    const LayerMap& layers);
+
+}  // namespace ssm::lint

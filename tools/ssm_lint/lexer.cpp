@@ -1,0 +1,232 @@
+#include "ssm_lint/lexer.hpp"
+
+#include <array>
+#include <cctype>
+#include <string>
+
+namespace ssm::lint {
+
+namespace {
+
+bool isIdentChar(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool isIdentStart(char c) noexcept {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool isDigit(char c) noexcept {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+/// Multi-character punctuators, longest first so maximal munch is a prefix
+/// scan. ">>" is intentionally absent: emitting '>' '>' keeps template
+/// argument lists balanceable by counting single angle tokens.
+constexpr std::array<std::string_view, 19> kPuncts = {
+    "<<=", "...", "->*", "::", "->", "==", "!=", "<=", ">=", "&&",
+    "||",  "<<",  "+=",  "-=", "*=", "/=", "%=", "|=", "&="};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  TokenStream run() {
+    while (i_ < src_.size()) {
+      const char c = src_[i_];
+      if (c == '\n') {
+        ++line_;
+        at_line_start_ = true;
+        ++i_;
+      } else if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++i_;
+      } else if (c == '/' && peek(1) == '/') {
+        lexLineComment();
+      } else if (c == '/' && peek(1) == '*') {
+        lexBlockComment();
+      } else if (c == 'R' && peek(1) == '"') {
+        lexRawString();
+      } else if (c == '"') {
+        lexString();
+      } else if (c == '\'') {
+        lexCharLit();
+      } else if (c == '<' && pending_header_) {
+        lexHeaderName();
+      } else if (isIdentStart(c)) {
+        lexIdentifier();
+      } else if (isDigit(c) || (c == '.' && isDigit(peek(1)))) {
+        lexNumber();
+      } else {
+        lexPunct();
+      }
+    }
+    TokenStream ts;
+    ts.source = src_;
+    ts.tokens = std::move(tokens_);
+    ts.sig.reserve(ts.tokens.size());
+    for (std::size_t k = 0; k < ts.tokens.size(); ++k)
+      if (ts.tokens[k].kind != TokKind::kComment) ts.sig.push_back(k);
+    return ts;
+  }
+
+ private:
+  [[nodiscard]] char peek(std::size_t ahead) const noexcept {
+    return i_ + ahead < src_.size() ? src_[i_ + ahead] : '\0';
+  }
+
+  void emit(TokKind kind, std::size_t begin, std::size_t end,
+            std::size_t begin_line) {
+    tokens_.push_back({kind, src_.substr(begin, end - begin), begin,
+                       begin_line, at_line_start_});
+    if (kind != TokKind::kComment) at_line_start_ = false;
+    // Header-name context: a '<' opens a header-name only as the token right
+    // after `#include` at the start of a directive. Any other non-comment
+    // token ends the expectation.
+    if (kind == TokKind::kComment) return;
+    if (kind == TokKind::kPunct && src_[begin] == '#' && end - begin == 1) {
+      seen_hash_ = tokens_.back().at_line_start;
+      pending_header_ = false;
+    } else if (seen_hash_ && kind == TokKind::kIdentifier &&
+               src_.substr(begin, end - begin) == "include") {
+      pending_header_ = true;
+      seen_hash_ = false;
+    } else {
+      seen_hash_ = false;
+      pending_header_ = false;
+    }
+  }
+
+  void countLines(std::size_t begin, std::size_t end) {
+    for (std::size_t k = begin; k < end; ++k)
+      if (src_[k] == '\n') ++line_;
+  }
+
+  void lexLineComment() {
+    const std::size_t begin = i_;
+    const std::size_t begin_line = line_;
+    while (i_ < src_.size() && src_[i_] != '\n') ++i_;
+    emit(TokKind::kComment, begin, i_, begin_line);
+  }
+
+  void lexBlockComment() {
+    const std::size_t begin = i_;
+    const std::size_t begin_line = line_;
+    i_ += 2;
+    while (i_ < src_.size() && !(src_[i_] == '*' && peek(1) == '/')) ++i_;
+    i_ = i_ < src_.size() ? i_ + 2 : src_.size();
+    emit(TokKind::kComment, begin, i_, begin_line);
+    countLines(begin, i_);
+  }
+
+  void lexRawString() {
+    // R"delim( ... )delim" — but only when 'R' is not the tail of a longer
+    // identifier (the caller guarantees we start at 'R'). An identifier like
+    // `FooR` reaches lexIdentifier first, so no check is needed here.
+    const std::size_t begin = i_;
+    const std::size_t begin_line = line_;
+    std::size_t p = i_ + 2;
+    std::string close(")");
+    while (p < src_.size() && src_[p] != '(' && src_[p] != '\n' &&
+           close.size() < 18)
+      close += src_[p++];
+    close += '"';
+    if (p >= src_.size() || src_[p] != '(') {  // not a raw string after all
+      lexIdentifier();
+      return;
+    }
+    const std::size_t at = src_.find(close, p + 1);
+    i_ = at == std::string_view::npos ? src_.size() : at + close.size();
+    emit(TokKind::kString, begin, i_, begin_line);
+    countLines(begin, i_);
+  }
+
+  void lexString() {
+    const std::size_t begin = i_;
+    const std::size_t begin_line = line_;
+    ++i_;
+    while (i_ < src_.size() && src_[i_] != '"') {
+      if (src_[i_] == '\\' && i_ + 1 < src_.size()) ++i_;
+      if (src_[i_] == '\n') break;  // unterminated: stop at end of line
+      ++i_;
+    }
+    if (i_ < src_.size() && src_[i_] == '"') ++i_;
+    emit(TokKind::kString, begin, i_, begin_line);
+  }
+
+  void lexCharLit() {
+    const std::size_t begin = i_;
+    const std::size_t begin_line = line_;
+    ++i_;
+    while (i_ < src_.size() && src_[i_] != '\'') {
+      if (src_[i_] == '\\' && i_ + 1 < src_.size()) ++i_;
+      if (src_[i_] == '\n') break;
+      ++i_;
+    }
+    if (i_ < src_.size() && src_[i_] == '\'') ++i_;
+    emit(TokKind::kCharLit, begin, i_, begin_line);
+  }
+
+  void lexHeaderName() {
+    const std::size_t begin = i_;
+    const std::size_t begin_line = line_;
+    while (i_ < src_.size() && src_[i_] != '>' && src_[i_] != '\n') ++i_;
+    if (i_ < src_.size() && src_[i_] == '>') ++i_;
+    emit(TokKind::kHeaderName, begin, i_, begin_line);
+  }
+
+  void lexIdentifier() {
+    const std::size_t begin = i_;
+    while (i_ < src_.size() && isIdentChar(src_[i_])) ++i_;
+    emit(TokKind::kIdentifier, begin, i_, line_);
+  }
+
+  void lexNumber() {
+    // pp-number: digits, identifier chars, '.', digit separators, and a sign
+    // directly after an exponent marker (1e-3, 0x1p+2).
+    const std::size_t begin = i_;
+    ++i_;
+    while (i_ < src_.size()) {
+      const char c = src_[i_];
+      if (isIdentChar(c) || c == '.') {
+        ++i_;
+      } else if (c == '\'' && isIdentChar(peek(1))) {
+        i_ += 2;  // digit separator
+      } else if ((c == '+' || c == '-') && i_ > begin) {
+        const char prev = src_[i_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P')
+          ++i_;
+        else
+          break;
+      } else {
+        break;
+      }
+    }
+    emit(TokKind::kNumber, begin, i_, line_);
+  }
+
+  void lexPunct() {
+    for (std::string_view p : kPuncts) {
+      if (src_.compare(i_, p.size(), p) == 0) {
+        emit(TokKind::kPunct, i_, i_ + p.size(), line_);
+        i_ += p.size();
+        return;
+      }
+    }
+    emit(TokKind::kPunct, i_, i_ + 1, line_);
+    ++i_;
+  }
+
+  std::string_view src_;
+  std::vector<Token> tokens_;
+  std::size_t i_ = 0;
+  std::size_t line_ = 1;
+  bool at_line_start_ = true;
+  bool seen_hash_ = false;      ///< last sig token was a line-start '#'
+  bool pending_header_ = false; ///< next '<' opens a header-name
+};
+
+}  // namespace
+
+TokenStream tokenize(std::string_view source) { return Lexer(source).run(); }
+
+}  // namespace ssm::lint

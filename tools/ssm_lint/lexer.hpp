@@ -1,0 +1,55 @@
+// Token-level C++ lexer for ssm_lint.
+//
+// This is deliberately not a conforming phase-3 lexer: it produces exactly the
+// token stream the lint passes need — identifiers, pp-numbers, punctuators,
+// string/char literals (raw strings included), comments, and preprocessor
+// header-names — each tagged with its byte offset and 1-based line. Comments
+// and literals are real tokens rather than stripped text so that waiver
+// comments can be scanned without string literals masquerading as them, and
+// so `#include` targets can be read straight off the stream.
+//
+// Invariants the passes rely on:
+//  - `Token::text` is a view into the source buffer passed to `tokenize`
+//    (the caller keeps the buffer alive for the stream's lifetime);
+//  - token order equals source order and lines are exact, so findings
+//    anchored to a token are anchored to the right source line;
+//  - `sig` indexes the non-comment tokens, preserving order, which is what
+//    every syntactic rule iterates (comments never split a match).
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+namespace ssm::lint {
+
+enum class TokKind {
+  kIdentifier,  ///< [A-Za-z_][A-Za-z0-9_]*
+  kNumber,      ///< pp-number: 1'000, 0x1p3, 1e-3, .5f, ...
+  kPunct,       ///< operators/punctuation, maximal munch (see lexer.cpp)
+  kString,      ///< "..." or R"delim(...)delim", delimiters included
+  kCharLit,     ///< '...'
+  kComment,     ///< // ... or /* ... */, delimiters included
+  kHeaderName,  ///< <name> directly after `#include`, angle brackets included
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string_view text;        ///< raw source slice, delimiters included
+  std::size_t offset = 0;       ///< byte offset of the first character
+  std::size_t line = 0;         ///< 1-based line of the first character
+  bool at_line_start = false;   ///< only whitespace precedes it on its line
+};
+
+struct TokenStream {
+  std::string_view source;           ///< the buffer every token points into
+  std::vector<Token> tokens;         ///< all tokens, in source order
+  std::vector<std::size_t> sig;      ///< indices of non-comment tokens
+};
+
+/// Tokenizes `source`. Never throws: malformed input (unterminated literal,
+/// stray byte) degrades to best-effort tokens, which is the right behavior
+/// for a linter that must keep scanning past code it does not understand.
+[[nodiscard]] TokenStream tokenize(std::string_view source);
+
+}  // namespace ssm::lint

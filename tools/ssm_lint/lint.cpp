@@ -3,12 +3,18 @@
 #include <algorithm>
 #include <array>
 #include <cctype>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "ssm_lint/include_graph.hpp"
+#include "ssm_lint/lexer.hpp"
 
 namespace ssm::lint {
 
 namespace {
 
-constexpr std::array<RuleInfo, 10> kRules = {{
+constexpr std::array<RuleInfo, 16> kRules = {{
     {"pragma-once", "every header starts its include guard with #pragma once"},
     {"using-namespace-header",
      "no `using namespace` in headers (leaks into every includer)"},
@@ -35,158 +41,57 @@ constexpr std::array<RuleInfo, 10> kRules = {{
      "comparison and zero RNG draws"},
     {"hot-path-alloc",
      "no heap allocation in the packed decision path (src/nn/packed_mlp.hpp "
-     "and src/core/ssm_governor.cpp): no new/make_unique/make_shared/malloc "
-     "and no container-growth member calls (resize, reserve, push_back, "
-     "emplace_back, assign, insert, emplace) — preallocate at construction "
-     "or in makeScratch()"},
+     "and src/core/ssm_governor.cpp): no new/make_unique/make_shared/malloc, "
+     "no container-growth member calls (resize, reserve, push_back, "
+     "emplace_back, assign, insert, emplace), no by-value heap-container "
+     "parameters or temporaries, and no std::function — preallocate at "
+     "construction or in makeScratch()"},
     {"gpu-stepping",
      "no direct Gpu stepping (.runEpoch/.runEpochUniform/.runUntil calls) in "
      "src/ outside src/engine/ and src/gpusim/ — drive programs through the "
      "engine layer (engine::EpochLoop + EpochSource) so trace recording, "
      "fault hooks and replay stay loop concerns"},
+    {"layer-order",
+     "the include graph must respect the checked-in layer map "
+     "(tools/ssm_lint/layers.txt): a file may include same-layer or "
+     "lower-layer files only, and every scanned file must belong to a layer"},
+    {"include-cycle",
+     "no cycles in the project include graph — a cycle means the layering "
+     "is fiction and incremental builds are order-dependent"},
+    {"unordered-iteration",
+     "no iteration over std::unordered_{map,set,multimap,multiset} whose "
+     "loop body feeds an output/serialization/accumulation sink — iteration "
+     "order is unspecified and would leak into serialized bytes; sort keys "
+     "first or use an ordered container"},
+    {"float-equality",
+     "no floating-point ==/!= against non-zero literals in src/ and tools/ "
+     "— exact comparison against a rounded literal is a latent replay "
+     "divergence; compare against an exactly-representable sentinel or use "
+     "an epsilon (comparisons against 0.0 are the sanctioned mask/sentinel "
+     "idiom)"},
+    {"stale-allowlist",
+     "every checked-in allowlist entry must suppress at least one finding; "
+     "an entry that filters nothing is debt that hides future violations "
+     "(remove it, or run --fix-stale)"},
+    {"stale-waiver",
+     "every inline waiver comment must suppress at least one finding on its "
+     "own or the following line; a no-op waiver is debt that hides future "
+     "violations (remove it, or run --fix-stale)"},
 }};
 
 /// Files under the zero-allocation contract of docs/inference.md: every
 /// per-decision code path lives here, so any allocating construct is a
 /// regression. Cold compile/scratch code belongs in packed_mlp.cpp (not
-/// listed); justified cold spots inside these files carry an inline
-/// `// ssm-lint: allow(hot-path-alloc)`.
+/// listed); justified cold spots inside these files carry an inline waiver.
 constexpr std::array<std::string_view, 2> kAllocFreeFiles = {
     "src/nn/packed_mlp.hpp",
     "src/core/ssm_governor.cpp",
 };
 
-bool isIdentChar(char c) noexcept {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-bool isIdentStart(char c) noexcept {
-  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
+constexpr std::string_view kWaiverTag = "ssm-lint: allow(";
 
 bool isSpace(char c) noexcept {
   return std::isspace(static_cast<unsigned char>(c)) != 0;
-}
-
-/// Replaces comments, string literals, and char literals with spaces while
-/// preserving every byte offset and newline, so line numbers computed on the
-/// stripped text match the original file exactly. Handles raw strings.
-std::string stripCommentsAndStrings(std::string_view in) {
-  std::string out(in);
-  enum class State { kCode, kLine, kBlock, kStr, kChar, kRaw };
-  State st = State::kCode;
-  std::string raw_close;  // ")delim\"" terminating the active raw string
-  for (std::size_t i = 0; i < in.size(); ++i) {
-    const char c = in[i];
-    const char next = i + 1 < in.size() ? in[i + 1] : '\0';
-    switch (st) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          st = State::kLine;
-          out[i] = out[i + 1] = ' ';
-          ++i;
-        } else if (c == '/' && next == '*') {
-          st = State::kBlock;
-          out[i] = out[i + 1] = ' ';
-          ++i;
-        } else if (c == 'R' && next == '"' &&
-                   (i == 0 || !isIdentChar(in[i - 1]))) {
-          // Raw string: R"delim( ... )delim"
-          std::size_t p = i + 2;
-          std::string delim;
-          while (p < in.size() && in[p] != '(') delim += in[p++];
-          raw_close.assign(1, ')');
-          raw_close += delim;
-          raw_close += '"';
-          for (std::size_t k = i; k < std::min(p + 1, in.size()); ++k)
-            out[k] = ' ';
-          i = p;  // now inside the raw string body
-          st = State::kRaw;
-        } else if (c == '"') {
-          st = State::kStr;
-          out[i] = ' ';
-        } else if (c == '\'' && !(i > 0 && isIdentChar(in[i - 1]))) {
-          // Skip digit separators like 1'000 (previous char is a digit).
-          st = State::kChar;
-          out[i] = ' ';
-        }
-        break;
-      case State::kLine:
-        if (c == '\n')
-          st = State::kCode;
-        else
-          out[i] = ' ';
-        break;
-      case State::kBlock:
-        if (c == '*' && next == '/') {
-          out[i] = out[i + 1] = ' ';
-          ++i;
-          st = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kStr:
-        if (c == '\\' && next != '\0') {
-          out[i] = ' ';
-          if (next != '\n') out[i + 1] = ' ';
-          ++i;
-        } else if (c == '"') {
-          out[i] = ' ';
-          st = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kChar:
-        if (c == '\\' && next != '\0') {
-          out[i] = ' ';
-          if (next != '\n') out[i + 1] = ' ';
-          ++i;
-        } else if (c == '\'') {
-          out[i] = ' ';
-          st = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kRaw:
-        if (in.compare(i, raw_close.size(), raw_close) == 0) {
-          for (std::size_t k = i; k < i + raw_close.size(); ++k) out[k] = ' ';
-          i += raw_close.size() - 1;
-          st = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-    }
-  }
-  return out;
-}
-
-/// 1-based line number of byte offset `pos`.
-class LineIndex {
- public:
-  explicit LineIndex(std::string_view text) {
-    starts_.push_back(0);
-    for (std::size_t i = 0; i < text.size(); ++i)
-      if (text[i] == '\n') starts_.push_back(i + 1);
-  }
-  [[nodiscard]] std::size_t lineOf(std::size_t pos) const {
-    const auto it = std::upper_bound(starts_.begin(), starts_.end(), pos);
-    return static_cast<std::size_t>(it - starts_.begin());
-  }
-  [[nodiscard]] std::size_t lineCount() const noexcept {
-    return starts_.size();
-  }
-
- private:
-  std::vector<std::size_t> starts_;
-};
-
-std::size_t skipWs(std::string_view s, std::size_t i) {
-  while (i < s.size() && isSpace(s[i])) ++i;
-  return i;
 }
 
 /// Single-allocation concatenation. Also sidesteps GCC 12's -Wrestrict
@@ -200,55 +105,41 @@ std::string cat(std::initializer_list<std::string_view> parts) {
   return out;
 }
 
-/// Inline suppressions: which rules are waived on which lines.
-/// "// ssm-lint: allow(rule-a, rule-b)" waives those rules on its own line
-/// and on the following line (so the comment can sit above the statement).
-class Suppressions {
- public:
-  Suppressions(std::string_view raw, const LineIndex& lines) {
-    static constexpr std::string_view kTag = "ssm-lint: allow(";
-    std::size_t pos = 0;
-    while ((pos = raw.find(kTag, pos)) != std::string_view::npos) {
-      const std::size_t open = pos + kTag.size();
-      const std::size_t close = raw.find(')', open);
-      if (close == std::string_view::npos) break;
-      const std::size_t line = lines.lineOf(pos);
-      std::string_view args = raw.substr(open, close - open);
-      std::size_t start = 0;
-      while (start <= args.size()) {
-        std::size_t comma = args.find(',', start);
-        if (comma == std::string_view::npos) comma = args.size();
-        std::string rule(args.substr(start, comma - start));
-        rule.erase(std::remove_if(rule.begin(), rule.end(), isSpace),
-                   rule.end());
-        if (!rule.empty()) entries_.push_back({line, rule});
-        start = comma + 1;
-      }
-      pos = close;
-    }
-  }
-
-  [[nodiscard]] bool covers(std::size_t line, std::string_view rule) const {
-    return std::any_of(
-        entries_.begin(), entries_.end(), [&](const Entry& e) {
-          return (e.line == line || e.line + 1 == line) &&
-                 (e.rule == "*" || e.rule == rule);
-        });
-  }
-
- private:
-  struct Entry {
-    std::size_t line;
-    std::string rule;
-  };
-  std::vector<Entry> entries_;
+/// Rules waived by one inline waiver comment. A tag waives its rules on the
+/// comment's own line and on the following line (so the comment can sit
+/// above the statement it covers).
+struct Waiver {
+  std::size_t line = 0;  ///< line the tag sits on
+  std::string rule;
+  bool used = false;
 };
 
-bool allowlisted(const std::vector<AllowEntry>& allow, std::string_view path,
-                 std::string_view rule) {
-  return std::any_of(allow.begin(), allow.end(), [&](const AllowEntry& e) {
-    return (e.rule == "*" || e.rule == rule) && path.starts_with(e.path_prefix);
-  });
+/// Parses every waiver tag out of one comment token's text. `base_line` is
+/// the comment's first line; tags on later lines of a block comment are
+/// attributed to their actual line.
+void parseWaiverTags(std::string_view comment, std::size_t base_line,
+                     std::vector<Waiver>& out) {
+  std::size_t pos = 0;
+  while ((pos = comment.find(kWaiverTag, pos)) != std::string_view::npos) {
+    const std::size_t open = pos + kWaiverTag.size();
+    const std::size_t close = comment.find(')', open);
+    if (close == std::string_view::npos) break;
+    std::size_t line = base_line;
+    for (std::size_t k = 0; k < pos; ++k)
+      if (comment[k] == '\n') ++line;
+    std::string_view args = comment.substr(open, close - open);
+    std::size_t start = 0;
+    while (start <= args.size()) {
+      std::size_t comma = args.find(',', start);
+      if (comma == std::string_view::npos) comma = args.size();
+      std::string rule(args.substr(start, comma - start));
+      rule.erase(std::remove_if(rule.begin(), rule.end(), isSpace),
+                 rule.end());
+      if (!rule.empty()) out.push_back({line, rule, false});
+      start = comma + 1;
+    }
+    pos = close;
+  }
 }
 
 /// Per-file rule applicability derived from the repo-relative path.
@@ -258,6 +149,7 @@ struct PathClass {
   bool hot_path = false;     // src/core/**, src/gpusim/** or src/engine/**
   bool alloc_free = false;   // kAllocFreeFiles (packed decision path)
   bool gpu_stepper = false;  // src/engine/** or src/gpusim/** (may step a Gpu)
+  bool det_scope = false;    // src/** or tools/** (determinism dataflow rules)
 };
 
 PathClass classify(std::string_view path) {
@@ -271,198 +163,351 @@ PathClass classify(std::string_view path) {
                               [&](std::string_view f) { return path == f; });
   pc.gpu_stepper =
       path.starts_with("src/engine/") || path.starts_with("src/gpusim/");
+  pc.det_scope = pc.in_src || path.starts_with("tools/");
   return pc;
 }
 
-class FileLinter {
- public:
-  FileLinter(std::string_view path, std::string_view content,
-             const std::vector<AllowEntry>& allow)
-      : path_(path),
-        stripped_(stripCommentsAndStrings(content)),
-        lines_(content),
-        suppress_(content, lines_),
-        allow_(allow),
-        pc_(classify(path)) {}
+bool isFloatLiteral(const Token& t) {
+  if (t.kind != TokKind::kNumber) return false;
+  const std::string_view s = t.text;
+  if (s.starts_with("0x") || s.starts_with("0X")) return false;
+  if (s.find('.') != std::string_view::npos) return true;
+  if (s.find('e') != std::string_view::npos ||
+      s.find('E') != std::string_view::npos)
+    return true;
+  return s.ends_with("f") || s.ends_with("F");
+}
 
-  std::vector<Finding> run() {
-    if (pc_.header) checkPragmaOnce();
-    scanLines();
-    scanTokens();
-    std::sort(findings_.begin(), findings_.end(),
-              [](const Finding& a, const Finding& b) {
-                return a.line != b.line ? a.line < b.line : a.rule < b.rule;
-              });
-    return std::move(findings_);
+/// True for literals that are exactly zero (0.0, 0., .0, 0.00f, 0e0, ...),
+/// the sanctioned mask/sentinel comparison.
+bool isZeroFloatLiteral(std::string_view s) {
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == 'e' || c == 'E') break;       // exponent cannot un-zero a zero
+    if (c == 'f' || c == 'F' || c == 'l' || c == 'L') continue;
+    if (c != '0' && c != '.') return false;
+  }
+  return true;
+}
+
+/// Token-level per-file checker. Instances stay alive through lintRepo so
+/// the graph passes can route their findings through the same waiver and
+/// allowlist filtering, and so waiver-usage hygiene can run after all
+/// passes have had a chance to mark waivers used.
+class FileCheck {
+ public:
+  FileCheck(std::string_view path, std::string_view content,
+            const std::vector<AllowEntry>& allow,
+            std::vector<char>* allow_used)
+      : path_(path),
+        ts_(tokenize(content)),
+        allow_(allow),
+        allow_used_(allow_used),
+        pc_(classify(path)) {
+    includes_ = extractIncludes(ts_);
+    for (const Token& t : ts_.tokens)
+      if (t.kind == TokKind::kComment)
+        parseWaiverTags(t.text, t.line, waivers_);
   }
 
- private:
-  void report(std::size_t pos, std::string_view rule, std::string message) {
-    const std::size_t line = lines_.lineOf(pos);
-    if (suppress_.covers(line, rule)) return;
-    if (allowlisted(allow_, path_, rule)) return;
+  void runPerFilePasses() {
+    if (pc_.header) checkPragmaOnce();
+    checkIncludeDirectives();
+    collectUnorderedNames();
+    scanTokens();
+  }
+
+  /// Routes a (possibly repo-level) finding through this file's waiver and
+  /// allowlist filtering, recording usage. Appends when not suppressed.
+  void admit(std::size_t line, std::string_view rule, std::string message) {
+    bool suppressed = false;
+    for (Waiver& w : waivers_) {
+      if ((w.line == line || w.line + 1 == line) &&
+          (w.rule == "*" || w.rule == rule)) {
+        w.used = true;
+        suppressed = true;
+      }
+    }
+    if (suppressed) return;
+    for (std::size_t i = 0; i < allow_.size(); ++i) {
+      const AllowEntry& e = allow_[i];
+      if ((e.rule == "*" || e.rule == rule) &&
+          path_.starts_with(e.path_prefix)) {
+        if (allow_used_ != nullptr) (*allow_used_)[i] = 1;
+        suppressed = true;
+      }
+    }
+    if (suppressed) return;
     findings_.push_back(
         {std::string(path_), line, std::string(rule), std::move(message)});
   }
 
+  /// Waivers that suppressed nothing, grouped per line. With
+  /// `exempt_repo_rules` (single-file mode), waivers naming repo-level
+  /// rules or "*" are skipped: the passes that could use them did not run.
+  [[nodiscard]] std::vector<StaleWaiver> staleWaivers(
+      bool exempt_repo_rules) const {
+    std::map<std::size_t, std::vector<std::string>> by_line;
+    for (const Waiver& w : waivers_) {
+      if (w.used) continue;
+      if (exempt_repo_rules && (w.rule == "*" || isRepoLevelRule(w.rule)))
+        continue;
+      by_line[w.line].push_back(w.rule);
+    }
+    std::vector<StaleWaiver> out;
+    out.reserve(by_line.size());
+    for (auto& [line, rules] : by_line)
+      out.push_back({std::string(path_), line, std::move(rules)});
+    return out;
+  }
+
+  [[nodiscard]] std::vector<Finding> takeFindings() {
+    std::sort(findings_.begin(), findings_.end(),
+              [](const Finding& a, const Finding& b) {
+                if (a.line != b.line) return a.line < b.line;
+                if (a.rule != b.rule) return a.rule < b.rule;
+                return a.message < b.message;
+              });
+    return std::move(findings_);
+  }
+
+  [[nodiscard]] const std::vector<IncludeRef>& includes() const {
+    return includes_;
+  }
+
+ private:
+  // --- token helpers -------------------------------------------------------
+
+  [[nodiscard]] std::size_t sigCount() const { return ts_.sig.size(); }
+
+  [[nodiscard]] const Token& tok(std::size_t k) const {
+    return ts_.tokens[ts_.sig[k]];
+  }
+
+  /// Text of significant token `k`, or "" when out of range.
+  [[nodiscard]] std::string_view text(std::size_t k) const {
+    return k < sigCount() ? tok(k).text : std::string_view();
+  }
+
+  /// True when significant token `k` is `std::` - qualified, i.e. the two
+  /// preceding tokens are the identifier `std` and `::`.
+  [[nodiscard]] bool precededByStd(std::size_t k) const {
+    return k >= 2 && text(k - 1) == "::" && text(k - 2) == "std";
+  }
+
+  [[nodiscard]] bool precededByMemberAccess(std::size_t k) const {
+    return k >= 1 && (text(k - 1) == "." || text(k - 1) == "->");
+  }
+
+  /// Index just past a balanced template-argument list starting at `k`
+  /// (which must be "<"); returns `k` unchanged when text(k) != "<".
+  [[nodiscard]] std::size_t skipTemplateArgs(std::size_t k) const {
+    if (text(k) != "<") return k;
+    std::size_t depth = 0;
+    while (k < sigCount()) {
+      if (text(k) == "<") ++depth;
+      if (text(k) == ">" && --depth == 0) return k + 1;
+      ++k;
+    }
+    return k;
+  }
+
+  // --- reporting -----------------------------------------------------------
+
+  void report(std::size_t line, std::string_view rule, std::string message) {
+    admit(line, rule, std::move(message));
+  }
+
+  void reportNondet(std::size_t line, std::string what) {
+    report(line, "nondeterminism",
+           cat({"nondeterministic source '", what,
+                "' breaks bit-reproducible simulation; draw from ssm::Rng "
+                "(src/common/rng.hpp) or allowlist this file"}));
+  }
+
+  void reportAlloc(std::size_t line, std::string what) {
+    report(line, "hot-path-alloc",
+           cat({what,
+                " on the packed decision path; preallocate at construction "
+                "or in makeScratch(), or move the code off the hot path "
+                "(docs/inference.md)"}));
+  }
+
+  // --- passes --------------------------------------------------------------
+
   void checkPragmaOnce() {
-    std::string_view s = stripped_;
-    std::size_t pos = 0;
-    while (pos < s.size()) {
-      std::size_t eol = s.find('\n', pos);
-      if (eol == std::string_view::npos) eol = s.size();
-      std::size_t i = skipWs(s, pos);
-      if (i < eol && s[i] == '#') {
-        i = skipWs(s, i + 1);
-        if (s.compare(i, 6, "pragma") == 0) {
-          i = skipWs(s, i + 6);
-          if (s.compare(i, 4, "once") == 0) return;  // found
-        }
-      }
-      pos = eol + 1;
+    for (std::size_t k = 0; k + 2 < sigCount(); ++k) {
+      if (tok(k).kind == TokKind::kPunct && text(k) == "#" &&
+          tok(k).at_line_start && text(k + 1) == "pragma" &&
+          text(k + 2) == "once")
+        return;
     }
-    report(0, "pragma-once", "header is missing '#pragma once'");
+    report(1, "pragma-once", "header is missing '#pragma once'");
   }
 
-  void scanLines() {
-    std::string_view s = stripped_;
-    std::size_t pos = 0;
-    while (pos < s.size()) {
-      std::size_t eol = s.find('\n', pos);
-      if (eol == std::string_view::npos) eol = s.size();
-      const std::string_view line = s.substr(pos, eol - pos);
-      const bool directive = line.find('#') != std::string_view::npos;
-      if (pc_.hot_path && directive) {
-        for (std::string_view hdr :
-             {std::string_view("<iostream>"), std::string_view("<cstdio>"),
-              std::string_view("<stdio.h>"), std::string_view("<ostream>"),
-              std::string_view("<istream>")}) {
-          const std::size_t at = line.find(hdr);
-          if (at != std::string_view::npos)
-            report(pos + at, "hot-path-io",
-                   cat({"stream/stdio header ", hdr,
-                        " included in an epoch hot path; do I/O outside "
-                        "src/core/ and src/gpusim/"}));
-        }
-      }
-      if (directive) {
-        const std::size_t at = line.find("<thread>");
-        if (at != std::string_view::npos)
-          report(pos + at, "raw-thread",
-                 "#include <thread> outside src/sched/; parallelise through "
-                 "ssm::ThreadPool (src/sched/thread_pool.hpp)");
-      }
-      pos = eol + 1;
+  void checkIncludeDirectives() {
+    for (const IncludeRef& inc : includes_) {
+      if (!inc.system) continue;
+      if (pc_.hot_path &&
+          (inc.target == "iostream" || inc.target == "cstdio" ||
+           inc.target == "stdio.h" || inc.target == "ostream" ||
+           inc.target == "istream"))
+        report(inc.line, "hot-path-io",
+               cat({"stream/stdio header <", inc.target,
+                    "> included in an epoch hot path; do I/O outside "
+                    "src/core/ and src/gpusim/"}));
+      if (inc.target == "thread")
+        report(inc.line, "raw-thread",
+               "#include <thread> outside src/sched/; parallelise through "
+               "ssm::ThreadPool (src/sched/thread_pool.hpp)");
     }
   }
 
-  /// One left-to-right identifier scan drives every token-level rule.
+  /// Names declared in this file with an unordered-container type. Feeds
+  /// the unordered-iteration pass; member and local declarations both
+  /// register (`std::unordered_map<K, V> name` after template args).
+  void collectUnorderedNames() {
+    static constexpr std::array<std::string_view, 4> kUnordered = {
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset"};
+    for (std::size_t k = 0; k < sigCount(); ++k) {
+      if (tok(k).kind != TokKind::kIdentifier) continue;
+      if (std::find(kUnordered.begin(), kUnordered.end(), text(k)) ==
+          kUnordered.end())
+        continue;
+      const std::size_t after = skipTemplateArgs(k + 1);
+      if (after < sigCount() && tok(after).kind == TokKind::kIdentifier)
+        unordered_names_.insert(std::string(text(after)));
+    }
+  }
+
   void scanTokens() {
-    std::string_view s = stripped_;
-    for (std::size_t i = 0; i < s.size(); ++i) {
-      if (!isIdentStart(s[i]) || (i > 0 && isIdentChar(s[i - 1]))) continue;
-      std::size_t j = i;
-      while (j < s.size() && isIdentChar(s[j])) ++j;
-      const std::string_view word = s.substr(i, j - i);
-      const std::size_t after = skipWs(s, j);
-      const bool call = after < s.size() && s[after] == '(';
+    std::size_t paren_depth = 0;
+    for (std::size_t k = 0; k < sigCount(); ++k) {
+      const Token& t = tok(k);
+      if (t.kind == TokKind::kPunct) {
+        if (t.text == "(") ++paren_depth;
+        if (t.text == ")" && paren_depth > 0) --paren_depth;
+        if (pc_.det_scope && (t.text == "==" || t.text == "!="))
+          checkFloatEquality(k);
+        continue;
+      }
+      if (t.kind != TokKind::kIdentifier) continue;
+      const std::string_view word = t.text;
+      const bool call = text(k + 1) == "(";
 
-      if (word == "using" && pc_.header) checkUsingNamespace(s, i, after);
+      if (word == "using" && pc_.header && text(k + 1) == "namespace")
+        report(t.line, "using-namespace-header",
+               "'using namespace' in a header injects names into every "
+               "includer; qualify names instead");
 
       if (pc_.in_src && call && (word == "assert" || word == "abort"))
-        report(i, "raw-assert",
+        report(t.line, "raw-assert",
                cat({"'", word,
                     "(' aborts the process; throw via SSM_CHECK/ContractError "
                     "instead (src/common/check.hpp)"}));
 
       if (call && (word == "rand" || word == "srand"))
-        reportNondet(i, cat({word, "()"}));
-      if (word == "time" && call) checkTimeNull(s, i, after);
-      if (word == "random_device") reportNondet(i, "std::random_device");
-      if (word.ends_with("_clock")) checkClockNow(s, i, j, word);
+        reportNondet(t.line, cat({word, "()"}));
+      if (word == "time" && call) checkTimeNull(k);
+      if (word == "random_device") reportNondet(t.line, "std::random_device");
+      if (word.ends_with("_clock") && text(k + 1) == "::" &&
+          text(k + 2) == "now")
+        reportNondet(t.line, cat({word, "::now()"}));
 
       if (pc_.hot_path && (word == "cout" || word == "cerr" ||
                            word == "clog" ||
                            (call && (word == "printf" || word == "fprintf" ||
                                      word == "puts"))))
-        report(i, "hot-path-io",
+        report(t.line, "hot-path-io",
                cat({"'", word,
                     "' in an epoch hot path; do I/O outside src/core/ and "
                     "src/gpusim/"}));
 
-      if (word == "float" || word == "double") checkCStyleCast(s, i, j, word);
+      if ((word == "float" || word == "double") && text(k - 1) == "(" &&
+          k >= 1 && text(k + 1) == ")")
+        checkCStyleCast(k, word);
 
       if ((word == "thread" || word == "jthread" || word == "async") &&
-          precededByStd(s, i))
-        report(i, "raw-thread",
+          precededByStd(k))
+        report(t.line, "raw-thread",
                cat({"raw 'std::", word,
                     "' outside src/sched/; all concurrency goes through "
                     "ssm::ThreadPool (src/sched/thread_pool.hpp)"}));
 
-      if (pc_.hot_path && after + 1 < s.size() && s[after] == '-' &&
-          s[after + 1] == '>' && namesFaultHook(word))
-        checkFaultHookGuard(s, i, word);
+      if (pc_.hot_path && text(k + 1) == "->" && namesFaultHook(word))
+        checkFaultHookGuard(k, word);
 
       if (pc_.in_src && !pc_.gpu_stepper && call &&
           (word == "runEpoch" || word == "runEpochUniform" ||
            word == "runUntil") &&
-          precededByMemberAccess(s, i))
-        report(i, "gpu-stepping",
+          precededByMemberAccess(k))
+        report(t.line, "gpu-stepping",
                cat({"direct Gpu stepping '.", word,
                     "(' outside src/engine/ and src/gpusim/; drive programs "
                     "through the engine layer (engine::EpochLoop + "
                     "EpochSource) or allowlist this file"}));
 
-      if (pc_.alloc_free) checkHotPathAlloc(s, i, after, word, call);
+      if (pc_.alloc_free) checkHotPathAlloc(k, word, call, paren_depth);
 
-      i = j - 1;
+      if (pc_.det_scope && word == "for" && text(k + 1) == "(")
+        checkUnorderedIteration(k);
     }
   }
 
   /// Heap-allocating constructs banned from the packed decision path: the
   /// `new` keyword in any form, the allocating factories/libc allocators,
-  /// and container-growth member calls (`.resize(`, `->push_back(`, ...).
-  void checkHotPathAlloc(std::string_view s, std::size_t i, std::size_t after,
-                         std::string_view word, bool call) {
+  /// container-growth member calls, by-value heap-container parameters or
+  /// temporaries, and std::function (whose construction may allocate).
+  void checkHotPathAlloc(std::size_t k, std::string_view word, bool call,
+                         std::size_t paren_depth) {
     static constexpr std::array<std::string_view, 6> kAllocCalls = {
         "make_unique", "make_shared", "malloc", "calloc", "realloc", "strdup"};
     static constexpr std::array<std::string_view, 7> kGrowthCalls = {
         "resize",      "reserve", "push_back", "emplace_back",
         "assign",      "insert",  "emplace"};
+    static constexpr std::array<std::string_view, 11> kHeapContainers = {
+        "vector", "string",        "deque",         "map",     "set",
+        "list",   "unordered_map", "unordered_set", "multimap", "multiset",
+        "basic_string"};
+    const std::size_t line = tok(k).line;
     if (word == "new") {
-      reportAlloc(i, "'new' expression");
+      reportAlloc(line, "'new' expression");
       return;
     }
-    // The factories are invoked as make_unique<T>(...), so accept an opening
-    // template-argument list as well as a plain call.
-    const bool callish = call || (after < s.size() && s[after] == '<');
+    const bool callish = call || text(k + 1) == "<";
     if (callish && std::find(kAllocCalls.begin(), kAllocCalls.end(), word) !=
                        kAllocCalls.end()) {
-      reportAlloc(i, cat({"'", word, "(' call"}));
+      reportAlloc(line, cat({"'", word, "(' call"}));
       return;
     }
     if (call &&
         std::find(kGrowthCalls.begin(), kGrowthCalls.end(), word) !=
             kGrowthCalls.end() &&
-        precededByMemberAccess(s, i))
-      reportAlloc(i, cat({"container growth '.", word, "(' call"}));
-  }
-
-  /// True when the identifier starting at `i` follows `.` or `->`.
-  [[nodiscard]] static bool precededByMemberAccess(std::string_view s,
-                                                   std::size_t i) {
-    std::size_t p = i;
-    while (p > 0 && isSpace(s[p - 1])) --p;
-    if (p > 0 && s[p - 1] == '.') return true;
-    return p > 1 && s[p - 1] == '>' && s[p - 2] == '-';
-  }
-
-  void reportAlloc(std::size_t pos, std::string what) {
-    report(pos, "hot-path-alloc",
-           cat({what,
-                " on the packed decision path; preallocate at construction "
-                "or in makeScratch(), or move the code off the hot path "
-                "(docs/inference.md)"}));
+        precededByMemberAccess(k)) {
+      reportAlloc(line, cat({"container growth '.", word, "(' call"}));
+      return;
+    }
+    if (word == "function" && precededByStd(k)) {
+      reportAlloc(line, "'std::function' (type-erased callables allocate)");
+      return;
+    }
+    // By-value container parameter or temporary: a std::-qualified heap
+    // container inside a parenthesized context whose declarator is not a
+    // reference/pointer. `const std::vector<double>& v` and
+    // `std::vector<double>::size_type` pass; `std::vector<double> v` and
+    // `f(std::string(x))` do not. '>' and ',' follow a container used as a
+    // template argument (the enclosing type is judged on its own).
+    if (paren_depth >= 1 && precededByStd(k) &&
+        std::find(kHeapContainers.begin(), kHeapContainers.end(), word) !=
+            kHeapContainers.end()) {
+      const std::size_t after = skipTemplateArgs(k + 1);
+      const std::string_view next = text(after);
+      if (next != "&" && next != "*" && next != "&&" && next != "::" &&
+          next != ">" && next != "," && !next.empty())
+        reportAlloc(line, cat({"by-value 'std::", word,
+                               "' parameter or temporary"}));
+    }
   }
 
   /// Identifiers that look like fault-hook pointers ("faults", "fault_hook",
@@ -478,107 +523,146 @@ class FileLinter {
 
   /// The zero-cost contract of gpusim/fault_hook.hpp: every `faults->...`
   /// in a hot path must be dominated by a `!= nullptr` test close enough to
-  /// audit at a glance — we require the guard on the same or the preceding
-  /// line (`if (faults != nullptr) faults->...` or the ternary idiom).
-  void checkFaultHookGuard(std::string_view s, std::size_t i,
-                           std::string_view word) {
-    std::size_t line_start = s.rfind('\n', i);
-    line_start = line_start == std::string_view::npos ? 0 : line_start + 1;
-    std::size_t prev_start = 0;
-    if (line_start >= 2) {
-      const std::size_t p = s.rfind('\n', line_start - 2);
-      prev_start = p == std::string_view::npos ? 0 : p + 1;
-    }
-    std::size_t line_end = s.find('\n', i);
-    if (line_end == std::string_view::npos) line_end = s.size();
-    const std::string_view window = s.substr(prev_start, line_end - prev_start);
-    if (window.find("nullptr") == std::string_view::npos)
-      report(i, "fault-hook-guard",
-             cat({"'", word,
-                  "->' in an epoch hot path without a visible '!= nullptr' "
-                  "guard; fault hooks must compile out to one pointer "
-                  "comparison when no FaultSpec is active"}));
+  /// audit at a glance — we require `nullptr` to appear on the same or the
+  /// preceding line (`if (faults != nullptr) faults->...` or the ternary
+  /// idiom).
+  void checkFaultHookGuard(std::size_t k, std::string_view word) {
+    const std::size_t line = tok(k).line;
+    const std::size_t low = line > 1 ? line - 1 : 1;
+    for (std::size_t b = k; b-- > 0 && tok(b).line >= low;)
+      if (text(b) == "nullptr") return;
+    for (std::size_t f = k + 1; f < sigCount() && tok(f).line <= line; ++f)
+      if (text(f) == "nullptr") return;
+    report(line, "fault-hook-guard",
+           cat({"'", word,
+                "->' in an epoch hot path without a visible '!= nullptr' "
+                "guard; fault hooks must compile out to one pointer "
+                "comparison when no FaultSpec is active"}));
   }
 
-  /// True when the identifier starting at `i` is qualified as `std::`.
-  [[nodiscard]] static bool precededByStd(std::string_view s, std::size_t i) {
-    std::size_t p = i;
-    while (p > 0 && isSpace(s[p - 1])) --p;
-    if (p < 2 || s[p - 1] != ':' || s[p - 2] != ':') return false;
-    p -= 2;
-    while (p > 0 && isSpace(s[p - 1])) --p;
-    std::size_t b = p;
-    while (b > 0 && isIdentChar(s[b - 1])) --b;
-    return s.substr(b, p - b) == "std";
+  void checkTimeNull(std::size_t k) {
+    const std::string_view arg = text(k + 2);
+    if ((arg == "nullptr" || arg == "NULL" || arg == "0") &&
+        text(k + 3) == ")")
+      reportNondet(tok(k).line, cat({"time(", arg, ")"}));
   }
 
-  void checkUsingNamespace(std::string_view s, std::size_t i,
-                           std::size_t after) {
-    if (s.compare(after, 9, "namespace") == 0 &&
-        (after + 9 >= s.size() || !isIdentChar(s[after + 9])))
-      report(i, "using-namespace-header",
-             "'using namespace' in a header injects names into every "
-             "includer; qualify names instead");
-  }
-
-  void checkTimeNull(std::string_view s, std::size_t i, std::size_t open) {
-    std::size_t p = skipWs(s, open + 1);
-    for (std::string_view arg :
-         {std::string_view("nullptr"), std::string_view("NULL"),
-          std::string_view("0")}) {
-      if (s.compare(p, arg.size(), arg) == 0 &&
-          !isIdentChar(p + arg.size() < s.size() ? s[p + arg.size()] : ' ')) {
-        const std::size_t close = skipWs(s, p + arg.size());
-        if (close < s.size() && s[close] == ')')
-          reportNondet(i, cat({"time(", arg, ")"}));
-        return;
-      }
-    }
-  }
-
-  void checkClockNow(std::string_view s, std::size_t i, std::size_t j,
-                     std::string_view word) {
-    std::size_t p = skipWs(s, j);
-    if (s.compare(p, 2, "::") != 0) return;
-    p = skipWs(s, p + 2);
-    if (s.compare(p, 3, "now") == 0 &&
-        !isIdentChar(p + 3 < s.size() ? s[p + 3] : ' '))
-      reportNondet(i, cat({word, "::now()"}));
-  }
-
-  void reportNondet(std::size_t pos, std::string what) {
-    report(pos, "nondeterminism",
-           cat({"nondeterministic source '", what,
-                "' breaks bit-reproducible simulation; draw from ssm::Rng "
-                "(src/common/rng.hpp) or allowlist this file"}));
-  }
-
-  void checkCStyleCast(std::string_view s, std::size_t i, std::size_t j,
-                       std::string_view word) {
-    // Match "(float)" / "(double)" followed by an expression start — a
-    // C-style cast. Prototypes like "f(double);" fail the follow-set test.
-    std::size_t before = i;
-    while (before > 0 && isSpace(s[before - 1])) --before;
-    if (before == 0 || s[before - 1] != '(') return;
-    const std::size_t close = skipWs(s, j);
-    if (close >= s.size() || s[close] != ')') return;
-    const std::size_t follow = skipWs(s, close + 1);
-    if (follow >= s.size()) return;
-    const char f = s[follow];
-    if (isIdentChar(f) || f == '(' || f == '.' || f == '-' || f == '+')
-      report(before - 1, "c-style-float-cast",
+  void checkCStyleCast(std::size_t k, std::string_view word) {
+    // "(float)" / "(double)" followed by an expression start is a C-style
+    // cast. Prototypes like "f(double);" fail the follow-set test.
+    if (k + 2 >= sigCount()) return;
+    const Token& follow = tok(k + 2);
+    const bool expr_start =
+        follow.kind == TokKind::kIdentifier ||
+        follow.kind == TokKind::kNumber || follow.text == "(" ||
+        follow.text == "." || follow.text == "-" || follow.text == "+";
+    if (expr_start)
+      report(tok(k - 1).line, "c-style-float-cast",
              cat({"C-style cast to '", word, "' hides narrowing; write "
                   "static_cast<", word, ">(...)"}));
   }
 
+  void checkFloatEquality(std::size_t k) {
+    const Token* lit = nullptr;
+    if (k >= 1 && isFloatLiteral(tok(k - 1))) lit = &tok(k - 1);
+    if (k + 1 < sigCount() && isFloatLiteral(tok(k + 1))) lit = &tok(k + 1);
+    if (lit == nullptr || isZeroFloatLiteral(lit->text)) return;
+    report(tok(k).line, "float-equality",
+           cat({"floating-point '", text(k), "' against literal '", lit->text,
+                "' is a latent replay divergence; compare against an "
+                "exactly-representable sentinel or use an epsilon"}));
+  }
+
+  /// Range-for over a declared unordered container whose body reaches an
+  /// output/serialization/accumulation sink. Iterator-style loops over
+  /// .begin() are out of scope (none exist in the tree; see docs).
+  void checkUnorderedIteration(std::size_t k) {
+    if (unordered_names_.empty()) return;
+    // Find the range-for's closing paren and its top-level ':'.
+    std::size_t depth = 0;
+    std::size_t colon = 0;
+    std::size_t close = 0;
+    for (std::size_t m = k + 1; m < sigCount(); ++m) {
+      const std::string_view s = text(m);
+      if (s == "(") {
+        ++depth;
+      } else if (s == ")") {
+        if (--depth == 0) {
+          close = m;
+          break;
+        }
+      } else if (s == ":" && depth == 1 && colon == 0) {
+        colon = m;
+      }
+    }
+    if (close == 0 || colon == 0) return;  // not a range-for
+    // Last identifier of the range expression names the container
+    // (`m`, `this->counts_`, `obj.map_` all end in the member name).
+    std::string range_name;
+    for (std::size_t m = colon + 1; m < close; ++m)
+      if (tok(m).kind == TokKind::kIdentifier) range_name = text(m);
+    if (unordered_names_.count(range_name) == 0) return;
+    // Body: a braced block or a single statement up to ';'.
+    std::size_t body_end = close + 1;
+    if (text(close + 1) == "{") {
+      std::size_t bdepth = 0;
+      for (std::size_t m = close + 1; m < sigCount(); ++m) {
+        if (text(m) == "{") ++bdepth;
+        if (text(m) == "}" && --bdepth == 0) {
+          body_end = m;
+          break;
+        }
+      }
+    } else {
+      while (body_end < sigCount() && text(body_end) != ";") ++body_end;
+    }
+    for (std::size_t m = close + 1; m <= body_end && m < sigCount(); ++m) {
+      const std::string_view sink = sinkAt(m);
+      if (sink.empty()) continue;
+      report(tok(k).line, "unordered-iteration",
+             cat({"iteration over unordered container '", range_name,
+                  "' feeds sink '", sink,
+                  "'; iteration order is unspecified and would leak into "
+                  "the output — sort the keys first or use an ordered "
+                  "container"}));
+      return;
+    }
+  }
+
+  /// Returns the sink spelling when significant token `m` is an
+  /// output/serialization/accumulation sink, else "".
+  [[nodiscard]] std::string_view sinkAt(std::size_t m) const {
+    static constexpr std::array<std::string_view, 11> kSinkPrefixes = {
+        "write", "print",  "serial", "emit",  "append", "push_",
+        "emplace", "insert", "add",    "accum", "log"};
+    const Token& t = tok(m);
+    if (t.kind == TokKind::kPunct && (t.text == "<<" || t.text == "+="))
+      return t.text;
+    if (t.kind == TokKind::kIdentifier && text(m + 1) == "(") {
+      for (std::string_view p : kSinkPrefixes)
+        if (t.text.starts_with(p)) return t.text;
+    }
+    return {};
+  }
+
   std::string_view path_;
-  std::string stripped_;
-  LineIndex lines_;
-  Suppressions suppress_;
+  TokenStream ts_;
   const std::vector<AllowEntry>& allow_;
+  std::vector<char>* allow_used_;
   PathClass pc_;
+  std::vector<IncludeRef> includes_;
+  std::vector<Waiver> waivers_;
+  std::set<std::string> unordered_names_;
   std::vector<Finding> findings_;
 };
+
+std::string staleWaiverMessage(const StaleWaiver& w) {
+  std::string rules;
+  for (std::size_t i = 0; i < w.rules.size(); ++i)
+    rules += (i != 0 ? ", " : "") + w.rules[i];
+  return cat({"inline waiver for '", rules,
+              "' suppresses nothing; remove it or run --fix-stale"});
+}
 
 }  // namespace
 
@@ -590,6 +674,11 @@ bool isKnownRule(std::string_view rule) {
   if (rule == "*") return true;
   return std::any_of(kRules.begin(), kRules.end(),
                      [&](const RuleInfo& r) { return r.id == rule; });
+}
+
+bool isRepoLevelRule(std::string_view rule) {
+  return rule == "layer-order" || rule == "include-cycle" ||
+         rule == "stale-allowlist" || rule == "stale-waiver";
 }
 
 std::vector<AllowEntry> parseAllowlist(std::string_view text) {
@@ -604,33 +693,178 @@ std::vector<AllowEntry> parseAllowlist(std::string_view text) {
     pos = eol + 1;
     const std::size_t hash = line.find('#');
     if (hash != std::string_view::npos) line = line.substr(0, hash);
-    std::size_t a = skipWs(line, 0);
+    std::size_t a = 0;
+    while (a < line.size() && isSpace(line[a])) ++a;
     if (a >= line.size()) continue;
     std::size_t b = a;
     while (b < line.size() && !isSpace(line[b])) ++b;
     std::string rule(line.substr(a, b - a));
-    std::size_t c = skipWs(line, b);
+    std::size_t c = b;
+    while (c < line.size() && isSpace(line[c])) ++c;
     if (c >= line.size())
       throw AllowlistError(cat({"allowlist line ", std::to_string(line_no),
                                 ": expected '<rule|*> <path-prefix>'"}));
     std::size_t d = c;
     while (d < line.size() && !isSpace(line[d])) ++d;
     std::string path(line.substr(c, d - c));
-    if (skipWs(line, d) < line.size())
+    std::size_t e = d;
+    while (e < line.size() && isSpace(line[e])) ++e;
+    if (e < line.size())
       throw AllowlistError(cat({"allowlist line ", std::to_string(line_no),
                                 ": trailing tokens after path prefix"}));
     if (!isKnownRule(rule))
       throw AllowlistError(cat({"allowlist line ", std::to_string(line_no),
                                 ": unknown rule '", rule, "'"}));
     if (path.starts_with("./")) path.erase(0, 2);
-    out.push_back({std::move(rule), std::move(path)});
+    out.push_back({std::move(rule), std::move(path), line_no});
   }
   return out;
 }
 
 std::vector<Finding> lintSource(std::string_view path, std::string_view content,
                                 const std::vector<AllowEntry>& allow) {
-  return FileLinter(path, content, allow).run();
+  FileCheck check(path, content, allow, nullptr);
+  check.runPerFilePasses();
+  auto findings = check.takeFindings();
+  for (const StaleWaiver& w : check.staleWaivers(/*exempt_repo_rules=*/true))
+    findings.push_back({w.path, w.line, "stale-waiver", staleWaiverMessage(w)});
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+RepoLintResult lintRepo(const std::vector<SourceFile>& files,
+                        const RepoLintOptions& opts) {
+  const std::vector<AllowEntry> allow =
+      opts.allowlist_text.empty() ? std::vector<AllowEntry>{}
+                                  : parseAllowlist(opts.allowlist_text);
+  std::vector<char> allow_used(allow.size(), 0);
+
+  std::vector<std::unique_ptr<FileCheck>> checks;
+  std::map<std::string, FileCheck*> by_path;
+  std::map<std::string, std::vector<IncludeRef>> inc_map;
+  checks.reserve(files.size());
+  for (const SourceFile& f : files) {
+    checks.push_back(
+        std::make_unique<FileCheck>(f.path, f.content, allow, &allow_used));
+    checks.back()->runPerFilePasses();
+    by_path[f.path] = checks.back().get();
+    inc_map[f.path] = checks.back()->includes();
+  }
+
+  if (!opts.layers_text.empty()) {
+    const LayerMap layers = parseLayerMap(opts.layers_text);
+    for (const GraphFinding& g : runGraphPasses(inc_map, layers)) {
+      const auto it = by_path.find(g.path);
+      if (it != by_path.end()) it->second->admit(g.line, g.rule, g.message);
+    }
+  }
+
+  RepoLintResult result;
+  for (auto& check : checks)
+    for (Finding& f : check->takeFindings())
+      result.findings.push_back(std::move(f));
+
+  // Hygiene: waivers and allowlist entries must earn their keep.
+  for (const auto& check : checks) {
+    for (StaleWaiver& w : check->staleWaivers(/*exempt_repo_rules=*/false)) {
+      result.findings.push_back(
+          {w.path, w.line, "stale-waiver", staleWaiverMessage(w)});
+      result.stale_waivers.push_back(std::move(w));
+    }
+  }
+  for (std::size_t i = 0; i < allow.size(); ++i) {
+    if (allow_used[i] != 0) continue;
+    result.stale_allowlist_lines.push_back(allow[i].line);
+    result.findings.push_back(
+        {opts.allowlist_path, allow[i].line, "stale-allowlist",
+         cat({"allowlist entry '", allow[i].rule, " ", allow[i].path_prefix,
+              "' suppresses nothing; remove it or run --fix-stale"})});
+  }
+
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
+  return result;
+}
+
+std::string removeAllowlistLines(std::string_view text,
+                                 const std::vector<std::size_t>& lines) {
+  std::string out;
+  out.reserve(text.size());
+  std::size_t pos = 0;
+  std::size_t line_no = 0;
+  while (pos <= text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    const bool last = eol == std::string_view::npos;
+    if (last) eol = text.size();
+    ++line_no;
+    if (std::find(lines.begin(), lines.end(), line_no) == lines.end()) {
+      out += text.substr(pos, eol - pos);
+      if (!last) out += '\n';
+    }
+    if (last) break;
+    pos = eol + 1;
+  }
+  return out;
+}
+
+std::optional<std::string> removeStaleWaiver(std::string_view content,
+                                             const StaleWaiver& w) {
+  // Locate line w.line.
+  std::size_t pos = 0;
+  for (std::size_t l = 1; l < w.line; ++l) {
+    pos = content.find('\n', pos);
+    if (pos == std::string_view::npos) return std::nullopt;
+    ++pos;
+  }
+  std::size_t eol = content.find('\n', pos);
+  if (eol == std::string_view::npos) eol = content.size();
+  const std::string_view line = content.substr(pos, eol - pos);
+
+  const std::size_t tag = line.find(kWaiverTag);
+  if (tag == std::string_view::npos) return std::nullopt;
+  const std::size_t slashes = line.rfind("//", tag);
+  if (slashes == std::string_view::npos) return std::nullopt;  // block comment
+  const std::size_t close = line.find(')', tag);
+  if (close == std::string_view::npos) return std::nullopt;
+
+  // Which rules does the comment name, and which survive?
+  std::vector<Waiver> present;
+  parseWaiverTags(line.substr(tag), 1, present);
+  std::vector<std::string> survivors;
+  for (const Waiver& p : present)
+    if (std::find(w.rules.begin(), w.rules.end(), p.rule) == w.rules.end())
+      survivors.push_back(p.rule);
+
+  std::string new_line;
+  if (survivors.empty()) {
+    // Drop the whole comment; drop the whole line if only whitespace is left.
+    new_line = std::string(line.substr(0, slashes));
+    while (!new_line.empty() && isSpace(new_line.back())) new_line.pop_back();
+    if (new_line.empty()) {
+      std::string out(content.substr(0, pos));
+      out += content.substr(eol < content.size() ? eol + 1 : eol);
+      return out;
+    }
+  } else {
+    std::string args;
+    for (std::size_t i = 0; i < survivors.size(); ++i)
+      args += (i != 0 ? ", " : "") + survivors[i];
+    new_line = cat({line.substr(0, tag), kWaiverTag, args,
+                    line.substr(close)});
+  }
+  std::string out(content.substr(0, pos));
+  out += new_line;
+  out += content.substr(eol);
+  return out;
 }
 
 std::string formatFinding(const Finding& f) {

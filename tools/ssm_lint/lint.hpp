@@ -1,18 +1,29 @@
-// ssm_lint — dependency-free, token/line-level linter for repo invariants.
+// ssm_lint — dependency-free static-analysis engine for repo invariants.
 //
 // The rules encode conventions that keep the SSMDVFS simulation
 // bit-reproducible and its contract layer honest (see docs/static_analysis.md):
 // deterministic RNG only, SSM_CHECK instead of assert/abort, no stream I/O on
-// the epoch-loop hot paths, and explicit casts where counters narrow.
+// the epoch-loop hot paths, explicit casts where counters narrow, iteration
+// order that cannot leak into serialized output, and an include graph that
+// matches the checked-in layer map (tools/ssm_lint/layers.txt).
 //
-// The engine is deliberately not a C++ parser: it strips comments and string
-// literals (preserving byte offsets, so line numbers stay exact) and then
-// matches identifiers and small token sequences. That is enough for every
-// rule here and keeps the tool free of libclang, so it builds anywhere the
-// repo builds and runs in milliseconds as a CTest test (ssm_lint_repo).
+// The engine is deliberately not a C++ parser: a small lexer (lexer.hpp)
+// produces a comment/string/raw-string/preprocessor-aware token stream, and
+// every pass matches identifiers and short token sequences on it. That is
+// enough for every rule here and keeps the tool free of libclang, so it
+// builds anywhere the repo builds and runs in milliseconds as a CTest test
+// (ssm_lint_repo).
+//
+// Two entry points:
+//  - lintSource(): per-file passes only — what fixture tests and the CLI's
+//    explicit-file mode use.
+//  - lintRepo(): the full engine — per-file passes plus the include-graph
+//    layering and cycle passes and the allowlist/waiver hygiene passes,
+//    which need the whole file set to decide anything.
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -42,11 +53,17 @@ struct RuleInfo {
 /// True if `rule` names a registered rule (or is the wildcard "*").
 [[nodiscard]] bool isKnownRule(std::string_view rule);
 
+/// True if `rule` needs the whole repo to evaluate (layer/cycle/hygiene
+/// passes). Waivers naming these rules are exempt from staleness checking in
+/// lintSource(), where the passes cannot run.
+[[nodiscard]] bool isRepoLevelRule(std::string_view rule);
+
 /// One checked-in exemption: `rule` (or "*") is waived for every file whose
 /// repo-relative path starts with `path_prefix`.
 struct AllowEntry {
   std::string rule;
   std::string path_prefix;
+  std::size_t line = 0;  ///< 1-based line in the allowlist file (0 = synthetic)
 };
 
 /// Parses allowlist text: one "<rule-id|*> <path-prefix>" pair per line,
@@ -59,14 +76,64 @@ class AllowlistError : public std::runtime_error {
 };
 [[nodiscard]] std::vector<AllowEntry> parseAllowlist(std::string_view text);
 
-/// Lints one file. `path` must be the repo-relative path: it decides which
-/// rules apply (header rules, src/-only rules, hot-path dirs) and is what
-/// allowlist prefixes match against. Findings suppressed by an inline
-/// "// ssm-lint: allow(<rule>)" on the same or preceding line, or by an
-/// allowlist entry, are dropped.
+/// Lints one file with the per-file passes. `path` must be the repo-relative
+/// path: it decides which rules apply (header rules, src/-only rules,
+/// hot-path dirs) and is what allowlist prefixes match against. Findings
+/// suppressed by an inline waiver comment (the allow tag, written on the
+/// covered line or the line above it — see docs/static_analysis.md) or by an
+/// allowlist entry are dropped; a waiver that suppresses nothing is itself
+/// reported (rule `stale-waiver`).
 [[nodiscard]] std::vector<Finding> lintSource(
     std::string_view path, std::string_view content,
     const std::vector<AllowEntry>& allow = {});
+
+/// One file of the repo snapshot handed to lintRepo().
+struct SourceFile {
+  std::string path;     ///< repo-relative, forward slashes
+  std::string content;
+};
+
+/// An inline waiver that suppressed nothing, with every rule it names that
+/// went unused (the fixer needs them all to rewrite or drop the comment).
+struct StaleWaiver {
+  std::string path;
+  std::size_t line = 0;
+  std::vector<std::string> rules;
+};
+
+struct RepoLintOptions {
+  std::string allowlist_text;  ///< empty = no allowlist
+  std::string allowlist_path = "tools/ssm_lint/allowlist.txt";
+  std::string layers_text;     ///< empty = skip layering/cycle passes
+};
+
+struct RepoLintResult {
+  /// All findings, sorted by (path, line, rule, message) so output is stable
+  /// for golden-diffing and CI caching regardless of directory order.
+  std::vector<Finding> findings;
+  /// Allowlist entries that suppressed nothing (1-based lines), for --fix-stale.
+  std::vector<std::size_t> stale_allowlist_lines;
+  /// Inline waivers that suppressed nothing, for --fix-stale.
+  std::vector<StaleWaiver> stale_waivers;
+};
+
+/// The full engine: per-file passes over every file, include-graph layering
+/// and cycle passes (when `opts.layers_text` is non-empty), then hygiene —
+/// a stale allowlist entry or a no-op inline waiver is an error. Throws
+/// AllowlistError / LayerMapError on malformed configuration.
+[[nodiscard]] RepoLintResult lintRepo(const std::vector<SourceFile>& files,
+                                      const RepoLintOptions& opts);
+
+/// Drops the given 1-based lines from allowlist text (--fix-stale).
+[[nodiscard]] std::string removeAllowlistLines(
+    std::string_view text, const std::vector<std::size_t>& lines);
+
+/// Removes the stale waiver at `w.line` from `content`: the whole `//`
+/// comment when every rule it names is stale, otherwise the arg list is
+/// rewritten with the surviving rules. Returns nullopt when the comment
+/// cannot be rewritten mechanically (e.g. a block-comment waiver).
+[[nodiscard]] std::optional<std::string> removeStaleWaiver(
+    std::string_view content, const StaleWaiver& w);
 
 /// "path:line: warning: message [rule]" — GCC diagnostic format so editors
 /// and CI annotations pick the findings up for free.

@@ -1,33 +1,45 @@
-// ssm_lint CLI: walks the repo's source trees and reports rule violations in
-// GCC diagnostic format. Exit status 0 = clean, 1 = findings, 2 = usage or
-// I/O error. Registered as the `ssm_lint_repo` CTest test so the tier-1
-// suite enforces the invariants on every run.
+// ssm_lint CLI: walks the repo's source trees, runs the full engine
+// (per-file passes + include-graph layering/cycle passes + allowlist/waiver
+// hygiene) and reports rule violations in GCC diagnostic format, optionally
+// mirrored to a SARIF 2.1.0 file for CI upload. Exit status 0 = clean,
+// 1 = findings, 2 = usage or I/O error. Registered as the `ssm_lint_repo`
+// CTest test so the tier-1 suite enforces the invariants on every run.
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "ssm_lint/lint.hpp"
+#include "ssm_lint/sarif.hpp"
 
 namespace fs = std::filesystem;
 
 namespace {
 
 /// The trees the lint contract covers, relative to the repo root.
-constexpr const char* kScanDirs[] = {"src", "tools", "bench", "tests"};
+constexpr const char* kScanDirs[] = {"src", "tools", "bench", "tests",
+                                     "examples"};
 
 constexpr const char* kDefaultAllowlist = "tools/ssm_lint/allowlist.txt";
+constexpr const char* kDefaultLayers = "tools/ssm_lint/layers.txt";
 
 int usage(std::ostream& os, int code) {
   os << "usage: ssm_lint [--root <repo-root>] [--allowlist <file>]\n"
-        "                [--list-rules] [files...]\n"
+        "                [--layers <file>] [--sarif <out.sarif>]\n"
+        "                [--fix-stale] [--list-rules] [files...]\n"
         "\n"
-        "Lints src/, tools/, bench/, tests/ under the repo root (default:\n"
-        "the current directory). Explicit file arguments are linted instead\n"
-        "of walking; they are interpreted relative to the root.\n";
+        "Lints src/, tools/, bench/, tests/, examples/ under the repo root\n"
+        "(default: the current directory) with the full engine, including\n"
+        "the include-graph layering pass (tools/ssm_lint/layers.txt) and\n"
+        "allowlist/waiver staleness checks. Explicit file arguments run the\n"
+        "per-file passes only; they are interpreted relative to the root.\n"
+        "--fix-stale rewrites stale allowlist entries and inline waivers in\n"
+        "place, then re-lints. --sarif additionally writes the findings as\n"
+        "a SARIF 2.1.0 document.\n";
   return code;
 }
 
@@ -39,9 +51,59 @@ std::string readFile(const fs::path& p) {
   return ss.str();
 }
 
+void writeFile(const fs::path& p, std::string_view content) {
+  std::ofstream os(p, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("cannot write " + p.string());
+  os << content;
+  if (!os) throw std::runtime_error("short write to " + p.string());
+}
+
 bool lintableExtension(const fs::path& p) {
   const auto ext = p.extension();
   return ext == ".hpp" || ext == ".cpp";
+}
+
+/// Applies every mechanically-fixable stale entry in `result`: drops stale
+/// allowlist lines and rewrites/removes stale inline waivers on disk and in
+/// the in-memory snapshot, so the caller can re-lint without re-reading.
+/// Returns the number of fixes applied.
+std::size_t applyStaleFixes(const ssm::lint::RepoLintResult& result,
+                            const fs::path& root,
+                            const fs::path& allowlist_file,
+                            std::string& allowlist_text,
+                            std::vector<ssm::lint::SourceFile>& files) {
+  std::size_t fixed = 0;
+  if (!result.stale_allowlist_lines.empty()) {
+    allowlist_text = ssm::lint::removeAllowlistLines(
+        allowlist_text, result.stale_allowlist_lines);
+    writeFile(allowlist_file, allowlist_text);
+    fixed += result.stale_allowlist_lines.size();
+  }
+  // Per file, apply waivers bottom-up so earlier line numbers stay valid
+  // after a whole-line removal.
+  std::map<std::string, std::vector<const ssm::lint::StaleWaiver*>> by_path;
+  for (const auto& w : result.stale_waivers) by_path[w.path].push_back(&w);
+  for (auto& [path, waivers] : by_path) {
+    auto it = std::find_if(files.begin(), files.end(),
+                           [&](const auto& f) { return f.path == path; });
+    if (it == files.end()) continue;
+    std::sort(waivers.begin(), waivers.end(),
+              [](const auto* a, const auto* b) { return a->line > b->line; });
+    bool changed = false;
+    for (const auto* w : waivers) {
+      auto updated = ssm::lint::removeStaleWaiver(it->content, *w);
+      if (!updated.has_value()) {
+        std::cerr << "ssm_lint: cannot auto-fix waiver at " << path << ":"
+                  << w->line << " (not a plain // comment)\n";
+        continue;
+      }
+      it->content = std::move(*updated);
+      changed = true;
+      ++fixed;
+    }
+    if (changed) writeFile(root / path, it->content);
+  }
+  return fixed;
 }
 
 }  // namespace
@@ -49,7 +111,11 @@ bool lintableExtension(const fs::path& p) {
 int main(int argc, char** argv) {
   fs::path root = ".";
   fs::path allowlist_path;
+  fs::path layers_path;
+  fs::path sarif_path;
   bool allowlist_explicit = false;
+  bool layers_explicit = false;
+  bool fix_stale = false;
   std::vector<std::string> explicit_files;
 
   for (int i = 1; i < argc; ++i) {
@@ -59,6 +125,13 @@ int main(int argc, char** argv) {
     } else if (arg == "--allowlist" && i + 1 < argc) {
       allowlist_path = argv[++i];
       allowlist_explicit = true;
+    } else if (arg == "--layers" && i + 1 < argc) {
+      layers_path = argv[++i];
+      layers_explicit = true;
+    } else if (arg == "--sarif" && i + 1 < argc) {
+      sarif_path = argv[++i];
+    } else if (arg == "--fix-stale") {
+      fix_stale = true;
     } else if (arg == "--list-rules") {
       for (const auto& r : ssm::lint::ruleCatalog())
         std::cout << r.id << ": " << r.summary << "\n";
@@ -74,49 +147,94 @@ int main(int argc, char** argv) {
   }
 
   try {
-    std::vector<ssm::lint::AllowEntry> allow;
+    std::string allowlist_text;
     if (!allowlist_explicit) allowlist_path = root / kDefaultAllowlist;
     if (fs::exists(allowlist_path)) {
-      allow = ssm::lint::parseAllowlist(readFile(allowlist_path));
+      allowlist_text = readFile(allowlist_path);
     } else if (allowlist_explicit) {
-      std::cerr << "ssm_lint: allowlist not found: " << allowlist_path
-                << "\n";
+      std::cerr << "ssm_lint: allowlist not found: " << allowlist_path << "\n";
       return 2;
     }
+    const std::vector<ssm::lint::AllowEntry> allow =
+        allowlist_text.empty() ? std::vector<ssm::lint::AllowEntry>{}
+                               : ssm::lint::parseAllowlist(allowlist_text);
 
-    // Collect repo-relative paths, sorted so output and exit status are
-    // deterministic regardless of directory iteration order.
-    std::vector<std::string> files;
+    std::vector<ssm::lint::Finding> findings;
+    std::size_t file_count = 0;
+
     if (!explicit_files.empty()) {
-      files = explicit_files;
+      // Explicit-file mode: per-file passes only (the graph and hygiene
+      // passes need the whole repo snapshot to mean anything).
+      if (fix_stale) {
+        std::cerr << "ssm_lint: --fix-stale needs a full repo run; drop the "
+                     "explicit file arguments\n";
+        return 2;
+      }
+      file_count = explicit_files.size();
+      for (const std::string& rel : explicit_files) {
+        const std::string content = readFile(root / rel);
+        for (auto& f : ssm::lint::lintSource(rel, content, allow))
+          findings.push_back(std::move(f));
+      }
     } else {
+      if (!layers_explicit) layers_path = root / kDefaultLayers;
+      if (!fs::exists(layers_path)) {
+        std::cerr << "ssm_lint: layer map not found: " << layers_path << "\n";
+        return 2;
+      }
+
+      // Collect the repo snapshot, sorted so output and exit status are
+      // deterministic regardless of directory iteration order.
+      std::vector<std::string> paths;
       for (const char* dir : kScanDirs) {
         const fs::path base = root / dir;
         if (!fs::exists(base)) continue;
         for (const auto& entry : fs::recursive_directory_iterator(base)) {
           if (!entry.is_regular_file() || !lintableExtension(entry.path()))
             continue;
-          files.push_back(
-              fs::relative(entry.path(), root).generic_string());
+          paths.push_back(fs::relative(entry.path(), root).generic_string());
         }
       }
-      std::sort(files.begin(), files.end());
+      std::sort(paths.begin(), paths.end());
+      std::vector<ssm::lint::SourceFile> files;
+      files.reserve(paths.size());
+      for (std::string& rel : paths) {
+        std::string content = readFile(root / rel);
+        files.push_back({std::move(rel), std::move(content)});
+      }
+      file_count = files.size();
+
+      ssm::lint::RepoLintOptions opts;
+      opts.allowlist_text = allowlist_text;
+      opts.allowlist_path = allowlist_explicit
+                                ? allowlist_path.generic_string()
+                                : std::string(kDefaultAllowlist);
+      opts.layers_text = readFile(layers_path);
+
+      auto result = ssm::lint::lintRepo(files, opts);
+      if (fix_stale && (!result.stale_allowlist_lines.empty() ||
+                        !result.stale_waivers.empty())) {
+        const std::size_t fixed = applyStaleFixes(
+            result, root, allowlist_path, allowlist_text, files);
+        std::cerr << "ssm_lint: --fix-stale applied " << fixed
+                  << " fix(es); re-linting\n";
+        opts.allowlist_text = allowlist_text;
+        result = ssm::lint::lintRepo(files, opts);
+      }
+      findings = std::move(result.findings);
     }
 
-    std::size_t total = 0;
-    for (const std::string& rel : files) {
-      const std::string content = readFile(root / rel);
-      for (const auto& f : ssm::lint::lintSource(rel, content, allow)) {
-        std::cout << ssm::lint::formatFinding(f) << "\n";
-        ++total;
-      }
-    }
-    if (total > 0) {
-      std::cerr << "ssm_lint: " << total << " finding(s) in " << files.size()
-                << " file(s)\n";
+    for (const auto& f : findings)
+      std::cout << ssm::lint::formatFinding(f) << "\n";
+    if (!sarif_path.empty())
+      writeFile(sarif_path, ssm::lint::toSarif(findings));
+
+    if (!findings.empty()) {
+      std::cerr << "ssm_lint: " << findings.size() << " finding(s) in "
+                << file_count << " file(s)\n";
       return 1;
     }
-    std::cerr << "ssm_lint: " << files.size() << " file(s) clean\n";
+    std::cerr << "ssm_lint: " << file_count << " file(s) clean\n";
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "ssm_lint: " << e.what() << "\n";

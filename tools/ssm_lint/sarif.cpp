@@ -1,0 +1,97 @@
+#include "ssm_lint/sarif.hpp"
+
+#include <cstdio>
+
+namespace ssm::lint {
+
+namespace {
+
+/// JSON string escaping: control characters, quote, backslash.
+std::string jsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string toSarif(const std::vector<Finding>& findings) {
+  std::string j;
+  j.reserve(2048 + findings.size() * 256);
+  j +=
+      "{\n"
+      "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+      "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"ssm_lint\",\n"
+      "          \"informationUri\": \"docs/static_analysis.md\",\n"
+      "          \"rules\": [\n";
+  const auto rules = ruleCatalog();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    j += "            {\"id\": \"";
+    j += jsonEscape(rules[i].id);
+    j += "\", \"shortDescription\": {\"text\": \"";
+    j += jsonEscape(rules[i].summary);
+    j += "\"}}";
+    j += i + 1 < rules.size() ? ",\n" : "\n";
+  }
+  j +=
+      "          ]\n"
+      "        }\n"
+      "      },\n"
+      "      \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    j += "        {\"ruleId\": \"";
+    j += jsonEscape(f.rule);
+    j += "\", \"level\": \"error\", \"message\": {\"text\": \"";
+    j += jsonEscape(f.message);
+    j += "\"}, \"locations\": [{\"physicalLocation\": {\"artifactLocation\": "
+         "{\"uri\": \"";
+    j += jsonEscape(f.path);
+    j += "\"}, \"region\": {\"startLine\": ";
+    j += std::to_string(f.line == 0 ? 1 : f.line);
+    j += "}}}]}";
+    j += i + 1 < findings.size() ? ",\n" : "\n";
+  }
+  j +=
+      "      ]\n"
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  return j;
+}
+
+}  // namespace ssm::lint

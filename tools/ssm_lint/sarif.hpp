@@ -1,0 +1,22 @@
+// Minimal SARIF 2.1.0 serializer for ssm_lint findings.
+//
+// One run, one tool ("ssm_lint"), the full rule catalog under
+// tool.driver.rules, and one result per finding with a physical location
+// (repo-relative URI + 1-based start line). The output is deliberately
+// schema-lean: exactly the subset GitHub code scanning and the `sarif`
+// toolchain consume.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ssm_lint/lint.hpp"
+
+namespace ssm::lint {
+
+/// Serializes `findings` (pre-sorted by the caller) as a SARIF 2.1.0 JSON
+/// document. `findings` may be empty — an empty `results` array is how CI
+/// distinguishes "ran clean" from "did not run".
+[[nodiscard]] std::string toSarif(const std::vector<Finding>& findings);
+
+}  // namespace ssm::lint
