@@ -1,63 +1,64 @@
-// Scenario: an operator tuning a fleet-wide performance-loss preset.
+// Scenario: a power-capacity event in a small datacenter.
 //
-// A datacenter running mixed GPU jobs wants to trade a bounded slowdown for
-// energy savings (e.g., during a power-capacity event). This example sweeps
-// the SSMDVFS preset over a mixed workload set and prints the resulting
-// energy / latency / EDP frontier so the operator can pick the preset that
-// meets their SLA.
+// A rack of GPUs serves deadline-tagged inference traffic when the facility
+// asks for a lower rack power budget. This example sweeps the rack cap with
+// src/dc's hierarchical coordinator (rack integral loop on top, one
+// PowerCapController per chip below, idle headroom redistributed to loaded
+// chips) and prints what each budget costs: how far the burst peak is
+// shaved, what fraction of control rounds still land over budget, and what
+// happens to energy per job and the deadline-miss rate.
 //
-// Uses the shared artifact cache (ssm_artifacts/): the first run pays the
-// data-generation + training cost, later runs start instantly.
+// Everything is simulated and deterministic (seed 777); no trained model is
+// needed — the chips run the ondemand governor, throttled by the cap's hard
+// V/f ceiling.
 #include <cstdio>
 #include <vector>
 
-#include "compress/pipeline.hpp"
-#include "core/ssm_governor.hpp"
-#include "gpusim/runner.hpp"
+#include "dc/dc_sweep.hpp"
+#include "sched/thread_pool.hpp"
+#include "workloads/kernel_profile.hpp"
 
 int main() {
   using namespace ssm;
 
-  std::puts("building (or loading) the trained SSMDVFS system...");
-  const FullSystem sys = buildFullSystem(defaultPipelineConfig());
+  dc::DcSweepSpec spec;
+  spec.base.gpus = 8;
+  // Mixed serving traffic: compute-heavy and memory-bound kernels.
+  for (const char* name :
+       {"sgemm", "spmv", "streamcluster", "hotspot", "mriq", "bfs"})
+    spec.base.mix.push_back(workloadByName(name));
+  spec.base.traffic = dc::TrafficSpec::parse(
+      "shape=bursty;jobs=32;rate=3;burst=6;slack=5");
+  spec.base.policy = dc::DispatchPolicy::kDeadlineAware;
+  spec.base.idle_power_w = 20.0;
+  // A fully-loaded chip draws ~115 W here, so 2000 W (250 W per chip) never
+  // binds — the uncapped reference row; the later rows are the event.
+  spec.rack_caps_w = {2000.0, 560.0, 400.0};
 
-  const GpuConfig gpu;
-  const VfTable vf = VfTable::titanX();
-  // A mixed job set: inference-like compute, analytics-like memory traffic.
-  const std::vector<const char*> jobs = {"sgemm", "spmv", "streamcluster",
-                                         "hotspot", "mriq", "bfs"};
+  ThreadPool pool(ThreadPool::defaultJobs());
+  const dc::DcSweepRunner runner(spec, pool);
+  std::puts("simulating the rack under shrinking power budgets...");
+  const std::vector<dc::DcSweepResult> results = runner.run();
 
-  std::printf("\n%-8s %14s %14s %12s %12s\n", "preset", "energy vs base",
-              "latency vs base", "EDP vs base", "max latency");
-  for (const double preset : {0.05, 0.10, 0.15, 0.20, 0.30}) {
-    SsmGovernorConfig cfg;
-    cfg.loss_preset = preset;
-    const SsmGovernorFactory factory(sys.compressed, cfg);
-
-    double e = 0.0;
-    double l = 0.0;
-    double d = 0.0;
-    double lmax = 0.0;
-    for (const char* job : jobs) {
-      Gpu g(gpu, vf, workloadByName(job), 1234,
-            ChipPowerModel(gpu.num_clusters));
-      const RunResult base = runBaseline(g);
-      const RunResult run = runWithGovernor(g, factory, "ssmdvfs-comp");
-      e += run.energy_j / base.energy_j;
-      const double lat = static_cast<double>(run.exec_time_ns) /
-                         static_cast<double>(base.exec_time_ns);
-      l += lat;
-      lmax = lmax > lat ? lmax : lat;
-      d += run.edp / base.edp;
-    }
-    const auto n = static_cast<double>(jobs.size());
-    std::printf("%-8.0f%% %13.1f%% %13.1f%% %11.1f%% %11.2fx\n",
-                preset * 100.0, 100.0 * (e / n - 1.0), 100.0 * (l / n - 1.0),
-                100.0 * (d / n - 1.0), lmax);
+  std::printf("\n%10s %11s %11s %12s %11s %10s\n", "rack cap", "peak power",
+              "over-budget", "energy/job", "miss rate", "p99 lat");
+  for (const auto& r : results) {
+    const dc::RackResult& rack = r.rack;
+    std::printf("%8.0f W %9.0f W %10.3f %9.1f mJ %10.1f%% %7.0f us\n",
+                spec.rack_caps_w[r.job.cap], rack.max_rack_power_w,
+                rack.steady_violation_frac, rack.energy_per_job_j * 1e3,
+                100.0 * rack.deadline_miss_rate,
+                static_cast<double>(rack.p99_latency_ns) / 1e3);
   }
   std::puts(
-      "\nreading the frontier: pick the largest preset whose max latency\n"
-      "still satisfies the SLA; energy savings rise with the preset while\n"
-      "EDP bottoms out where the fleet's memory-bound share is exhausted.");
+      "\nreading the table: the hierarchical cap shaves roughly 200 W off\n"
+      "the burst peak at no cost — energy per job even dips slightly and\n"
+      "the deadline-miss rate does not move, because bursts are brief\n"
+      "enough that the V/f ceiling only trims speed the queue never\n"
+      "needed. 'over-budget' is the fraction of post-warmup control\n"
+      "rounds still above the cap (the integral loops cycle as bursts\n"
+      "arrive; a tighter budget is violated more often, less deeply).\n"
+      "Rerun with `ssmdvfs dc` to explore other traffic shapes, dispatch\n"
+      "policies and mechanisms.");
   return 0;
 }

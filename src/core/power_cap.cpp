@@ -28,6 +28,11 @@ double PowerCapController::onEpoch(double chip_power_w) {
   return preset_;
 }
 
+void PowerCapController::setCap(double cap_w) {
+  SSM_CHECK(cap_w > 0.0, "cap must be positive");
+  cfg_.cap_w = cap_w;
+}
+
 void PowerCapController::reset() {
   preset_ = std::clamp(cfg_.preset0, cfg_.preset_min, cfg_.preset_max);
   violations_ = 0;

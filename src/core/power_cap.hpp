@@ -44,9 +44,15 @@ class PowerCapController {
   double onEpoch(double chip_power_w);
 
   [[nodiscard]] double preset() const noexcept { return preset_; }
+  [[nodiscard]] double cap() const noexcept { return cfg_.cap_w; }
   [[nodiscard]] int violations() const noexcept { return violations_; }
   [[nodiscard]] int epochs() const noexcept { return epochs_; }
   void reset();
+
+  /// Retargets the cap without disturbing the integral state — the
+  /// hierarchical coordinator (src/dc) moves per-GPU caps every control
+  /// round while each chip's loop keeps its accumulated preset.
+  void setCap(double cap_w);
 
  private:
   PowerCapConfig cfg_;

@@ -1,0 +1,211 @@
+#include "dc/dc_sweep.hpp"
+
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/json_writer.hpp"
+#include "sched/fleet.hpp"
+
+namespace ssm::dc {
+
+namespace {
+
+/// The fault columns appear only when the template actually degrades
+/// chips — clean sweeps keep the lean schema (the fleet.cpp rule).
+bool faultsActive(const DcSweepSpec& spec) {
+  return spec.base.fault.active() && !spec.base.degraded.empty();
+}
+
+// Every axis falls back to the base's value when left empty, so a spec
+// with no axes set runs the base rack exactly once and a forgotten axis
+// can never silently replace a configured base field with a default.
+std::vector<double> capAxis(const DcSweepSpec& spec) {
+  return spec.rack_caps_w.empty()
+             ? std::vector<double>{spec.base.power.rack_cap_w}
+             : spec.rack_caps_w;
+}
+
+std::vector<TrafficSpec> trafficAxis(const DcSweepSpec& spec) {
+  return spec.traffic.empty() ? std::vector<TrafficSpec>{spec.base.traffic}
+                              : spec.traffic;
+}
+
+std::vector<DispatchPolicy> policyAxis(const DcSweepSpec& spec) {
+  return spec.policies.empty() ? std::vector<DispatchPolicy>{spec.base.policy}
+                               : spec.policies;
+}
+
+std::vector<std::string> mechanismAxis(const DcSweepSpec& spec) {
+  return spec.mechanisms.empty()
+             ? std::vector<std::string>{spec.base.mechanism}
+             : spec.mechanisms;
+}
+
+std::vector<std::uint64_t> seedAxis(const DcSweepSpec& spec) {
+  return spec.seeds.empty() ? std::vector<std::uint64_t>{spec.base.seed}
+                            : spec.seeds;
+}
+
+}  // namespace
+
+std::vector<DcSweepJob> expandDcJobs(const DcSweepSpec& spec) {
+  const std::size_t traffics = trafficAxis(spec).size();
+  const std::size_t policies = policyAxis(spec).size();
+  const std::size_t caps = capAxis(spec).size();
+  const std::size_t mechanisms = mechanismAxis(spec).size();
+  const std::size_t seeds = seedAxis(spec).size();
+
+  std::vector<DcSweepJob> jobs;
+  jobs.reserve(traffics * policies * caps * mechanisms * seeds);
+  for (std::size_t t = 0; t < traffics; ++t)
+    for (std::size_t p = 0; p < policies; ++p)
+      for (std::size_t c = 0; c < caps; ++c)
+        for (std::size_t m = 0; m < mechanisms; ++m)
+          for (std::size_t s = 0; s < seeds; ++s) {
+            DcSweepJob job;
+            job.index = jobs.size();
+            job.traffic = t;
+            job.policy = p;
+            job.cap = c;
+            job.mechanism = m;
+            job.seed = s;
+            jobs.push_back(job);
+          }
+  return jobs;
+}
+
+RackSpec cellSpec(const DcSweepSpec& spec, const DcSweepJob& job) {
+  RackSpec cell = spec.base;
+  cell.traffic = trafficAxis(spec)[job.traffic];
+  cell.policy = policyAxis(spec)[job.policy];
+  cell.power.rack_cap_w = capAxis(spec)[job.cap];
+  cell.mechanism = mechanismAxis(spec)[job.mechanism];
+  cell.seed = seedAxis(spec)[job.seed];
+  return cell;
+}
+
+DcSweepRunner::DcSweepRunner(const DcSweepSpec& spec, ThreadPool& pool)
+    : spec_(spec), pool_(pool), jobs_(expandDcJobs(spec)) {
+  // Fail fast on an unsatisfiable spec before any simulation time.
+  for (const auto& mech : mechanismAxis(spec_))
+    static_cast<void>(fleet::makeGovernorFactory(mech, spec_.base.vf, 0.10,
+                                                 spec_.base.model));
+}
+
+std::vector<DcSweepResult> DcSweepRunner::run() const {
+  std::vector<DcSweepResult> results(jobs_.size());
+  pool_.parallelFor(jobs_.size(), [&](std::size_t i) {
+    results[i].job = jobs_[i];
+    results[i].rack = runRack(cellSpec(spec_, jobs_[i]), &pool_);
+  });
+  return results;
+}
+
+std::size_t DcSweepRunner::runJsonl(std::ostream& os) const {
+  // Ordered streaming collector (the fleet.cpp idiom): lines buffer until
+  // their prefix is complete; a single writer touches `os`.
+  std::mutex mu;
+  std::map<std::size_t, std::string> ready;
+  std::size_t next = 0;
+  pool_.parallelFor(jobs_.size(), [&](std::size_t i) {
+    DcSweepResult r;
+    r.job = jobs_[i];
+    r.rack = runRack(cellSpec(spec_, jobs_[i]), &pool_);
+    std::string line = toJsonLine(spec_, r);
+    std::lock_guard<std::mutex> lk(mu);
+    ready.emplace(i, std::move(line));
+    while (!ready.empty() && ready.begin()->first == next) {
+      os << ready.begin()->second << '\n';
+      ready.erase(ready.begin());
+      ++next;
+    }
+  });
+  SSM_CHECK(next == jobs_.size(), "dc JSONL collector lost lines");
+  return next;
+}
+
+std::string toJsonLine(const DcSweepSpec& spec, const DcSweepResult& r) {
+  const RackResult& rack = r.rack;
+  std::ostringstream ss;
+  JsonWriter w(ss);
+  w.beginObject()
+      .value("traffic", trafficAxis(spec)[r.job.traffic].print())
+      .value("policy", policyName(policyAxis(spec)[r.job.policy]))
+      .value("rack_cap_w", capAxis(spec)[r.job.cap])
+      .value("mechanism", mechanismAxis(spec)[r.job.mechanism])
+      .value("seed",
+             static_cast<std::int64_t>(seedAxis(spec)[r.job.seed]))
+      .value("gpus", rack.gpus)
+      .value("jobs", static_cast<std::int64_t>(rack.jobs.size()))
+      .value("completed", rack.completed)
+      .value("unfinished", rack.unfinished)
+      .value("deadline_miss_rate", rack.deadline_miss_rate)
+      .value("energy_per_job_mj", rack.energy_per_job_j * 1e3)
+      .value("mean_rack_power_w", rack.mean_rack_power_w)
+      .value("max_rack_power_w", rack.max_rack_power_w)
+      .value("cap_violation_frac", rack.cap_violation_frac)
+      .value("steady_violation_frac", rack.steady_violation_frac)
+      .value("p50_latency_us",
+             static_cast<double>(rack.p50_latency_ns) / 1e3)
+      .value("p99_latency_us",
+             static_cast<double>(rack.p99_latency_ns) / 1e3)
+      .value("makespan_ms",
+             static_cast<double>(rack.makespan_ns) / 1e6)
+      .value("rounds", rack.rounds)
+      .value("busy_gpu_epochs",
+             static_cast<std::int64_t>(rack.busy_gpu_epochs));
+  if (faultsActive(spec)) {
+    w.value("faults", spec.base.fault.print())
+        .value("degraded_gpus",
+               static_cast<std::int64_t>(spec.base.degraded.size()))
+        .value("injected_faults", rack.fault_counts.total());
+  }
+  w.endObject();
+  return std::move(ss).str();
+}
+
+void writeCsv(const DcSweepSpec& spec,
+              const std::vector<DcSweepResult>& results, std::ostream& os) {
+  const bool with_faults = faultsActive(spec);
+  os << "traffic,policy,rack_cap_w,mechanism,seed,gpus,jobs,completed,"
+        "unfinished,deadline_miss_rate,energy_per_job_mj,mean_rack_power_w,"
+        "max_rack_power_w,cap_violation_frac,steady_violation_frac,"
+        "p50_latency_us,p99_latency_us,makespan_ms,rounds,busy_gpu_epochs";
+  if (with_faults) os << ",faults,degraded_gpus,injected_faults";
+  os << '\n';
+  std::ostringstream num;
+  num.precision(17);
+  for (const auto& r : results) {
+    const RackResult& rack = r.rack;
+    num.str({});
+    num << capAxis(spec)[r.job.cap] << ','
+        << mechanismAxis(spec)[r.job.mechanism] << ','
+        << seedAxis(spec)[r.job.seed] << ',' << rack.gpus << ','
+        << rack.jobs.size() << ',' << rack.completed << ','
+        << rack.unfinished << ',' << rack.deadline_miss_rate << ','
+        << rack.energy_per_job_j * 1e3 << ',' << rack.mean_rack_power_w
+        << ',' << rack.max_rack_power_w << ',' << rack.cap_violation_frac
+        << ',' << rack.steady_violation_frac << ','
+        << static_cast<double>(rack.p50_latency_ns) / 1e3 << ','
+        << static_cast<double>(rack.p99_latency_ns) / 1e3 << ','
+        << static_cast<double>(rack.makespan_ns) / 1e6 << ','
+        << rack.rounds << ',' << rack.busy_gpu_epochs;
+    if (with_faults) {
+      // The spec's canonical form contains ','; quote it per CSV rules
+      // (print() never emits a quote character).
+      num << ",\"" << spec.base.fault.print() << "\","
+          << spec.base.degraded.size() << ','
+          << rack.fault_counts.total();
+    }
+    // The traffic grammar also contains ';' and '='; quote it too.
+    os << '"' << trafficAxis(spec)[r.job.traffic].print() << "\","
+       << policyName(policyAxis(spec)[r.job.policy]) << ',' << num.str()
+       << '\n';
+  }
+}
+
+}  // namespace ssm::dc

@@ -1,0 +1,73 @@
+#include "dc/dispatcher.hpp"
+
+#include "common/check.hpp"
+
+namespace ssm::dc {
+
+DispatchPolicy parseDispatchPolicy(std::string_view name) {
+  if (name == "round-robin") return DispatchPolicy::kRoundRobin;
+  if (name == "least-loaded") return DispatchPolicy::kLeastLoaded;
+  if (name == "deadline-aware") return DispatchPolicy::kDeadlineAware;
+  std::string msg = "unknown dispatch policy '";
+  msg += name;
+  msg += "' (expected round-robin|least-loaded|deadline-aware)";
+  throw DataError(msg);
+}
+
+std::string policyName(DispatchPolicy policy) {
+  switch (policy) {
+    case DispatchPolicy::kRoundRobin: return "round-robin";
+    case DispatchPolicy::kLeastLoaded: return "least-loaded";
+    case DispatchPolicy::kDeadlineAware: return "deadline-aware";
+  }
+  return "least-loaded";
+}
+
+Dispatcher::Dispatcher(DispatchPolicy policy, int gpus)
+    : policy_(policy), gpus_(gpus) {
+  SSM_CHECK(gpus_ >= 1, "dispatcher needs at least one GPU");
+}
+
+int Dispatcher::assign(const JobSpec& job, std::span<const NodeLoad> loads) {
+  SSM_CHECK(loads.size() == static_cast<std::size_t>(gpus_),
+            "dispatcher load size mismatch");
+
+  if (policy_ == DispatchPolicy::kRoundRobin) {
+    const int gpu = rr_cursor_;
+    rr_cursor_ = (rr_cursor_ + 1) % gpus_;
+    return gpu;
+  }
+
+  // least-loaded: argmin estimated backlog, lowest id wins ties.
+  int best = 0;
+  for (int i = 1; i < gpus_; ++i) {
+    if (loads[static_cast<std::size_t>(i)].backlog_ns <
+        loads[static_cast<std::size_t>(best)].backlog_ns)
+      best = i;
+  }
+  if (policy_ == DispatchPolicy::kLeastLoaded) return best;
+
+  // deadline-aware: among GPUs whose estimated finish (backlog + service)
+  // fits the job's slack budget, take the least loaded; a healthy feasible
+  // GPU beats a degraded feasible one. No feasible GPU → least loaded.
+  const TimeNs budget_ns = job.deadline_ns - job.arrival_ns;
+  int feasible = -1;
+  bool feasible_healthy = false;
+  for (int i = 0; i < gpus_; ++i) {
+    const NodeLoad& load = loads[static_cast<std::size_t>(i)];
+    if (load.backlog_ns + job.est_service_ns > budget_ns) continue;
+    const bool healthy = !load.degraded;
+    const bool better =
+        feasible < 0 || (healthy && !feasible_healthy) ||
+        (healthy == feasible_healthy &&
+         load.backlog_ns <
+             loads[static_cast<std::size_t>(feasible)].backlog_ns);
+    if (better) {
+      feasible = i;
+      feasible_healthy = healthy;
+    }
+  }
+  return feasible >= 0 ? feasible : best;
+}
+
+}  // namespace ssm::dc

@@ -1,0 +1,69 @@
+// Job dispatch: which GPU serves which arrival.
+//
+// The dispatcher runs serially at the head of every control round (arrival
+// order is part of the determinism contract — assignments depend only on
+// the arrival stream and the nodes' published load, never on thread
+// timing). Three policies:
+//
+//   round-robin     arrivals rotate across GPUs regardless of load
+//   least-loaded    argmin of estimated backlog (ties → lowest GPU id)
+//   deadline-aware  least-loaded restricted to GPUs whose estimated finish
+//                   meets the job's deadline budget, preferring healthy
+//                   over degraded chips; falls back to global least-loaded
+//                   when no GPU can make the deadline
+//
+// Queue discipline at the node is fixed (priority-EDF: highest priority
+// first, earliest deadline next, id as the final tiebreak) — policies only
+// choose the GPU. dispatcher.cpp is under the hot-path-alloc lint contract:
+// assignment runs for every arrival of every rack simulation and never
+// allocates.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "dc/traffic.hpp"
+
+namespace ssm::dc {
+
+enum class DispatchPolicy { kRoundRobin, kLeastLoaded, kDeadlineAware };
+
+/// Parses the CLI vocabulary: round-robin | least-loaded | deadline-aware.
+/// Throws ssm::DataError on unknown names.
+[[nodiscard]] DispatchPolicy parseDispatchPolicy(std::string_view name);
+[[nodiscard]] std::string policyName(DispatchPolicy policy);
+
+/// One GPU's published load, refreshed before every assignment.
+struct NodeLoad {
+  TimeNs backlog_ns = 0;  ///< estimated remaining work incl. the active job
+  int queued = 0;
+  bool degraded = false;  ///< carries an active fault scenario
+};
+
+/// Fixed node queue discipline: does `a` start before `b`?
+[[nodiscard]] constexpr bool jobBefore(const JobSpec& a,
+                                       const JobSpec& b) noexcept {
+  if (a.priority != b.priority) return a.priority > b.priority;
+  if (a.deadline_ns != b.deadline_ns) return a.deadline_ns < b.deadline_ns;
+  return a.id < b.id;
+}
+
+class Dispatcher {
+ public:
+  Dispatcher(DispatchPolicy policy, int gpus);
+
+  /// Picks the GPU for `job`. `loads` must hold one entry per GPU and
+  /// reflect all previous assignments of the round.
+  [[nodiscard]] int assign(const JobSpec& job,
+                           std::span<const NodeLoad> loads);
+
+  [[nodiscard]] DispatchPolicy policy() const noexcept { return policy_; }
+
+ private:
+  DispatchPolicy policy_;
+  int gpus_;
+  int rr_cursor_ = 0;
+};
+
+}  // namespace ssm::dc

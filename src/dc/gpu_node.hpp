@@ -1,0 +1,160 @@
+// One GPU of the rack: queue, governors, per-chip power-cap loop, and the
+// per-epoch decision loop over a live SimBackend.
+//
+// Each node is an independent simulation domain — its own Gpu per job, its
+// own governor instances, its own PowerCapController, its own (optional)
+// FaultInjector — sharing only immutable inputs with its siblings. Nodes
+// advance in lockstep control rounds: the rack loop calls advance(R) on
+// every node (in parallel, one node per task slot) and recomputes caps in
+// between. Every random draw is keyed off (rack seed, job id) coordinates,
+// so a job simulates identically no matter which GPU runs it, in which
+// round it starts, or how many worker threads the pool has.
+//
+// The per-GPU cap is enforced two ways each epoch: the chip's integral
+// controller schedules a loss preset (soft — SSMDVFS-family governors aim
+// for it via setLossPreset), and the effective preset (chip preset + rack
+// bias) is decoded into a hard V/f ceiling applied after governor and fault
+// arbitration — the rail-level backstop that works for every mechanism and
+// that faults cannot push past.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/power_cap.hpp"
+#include "core/ssm_governor.hpp"
+#include "dc/dispatcher.hpp"
+#include "dc/traffic.hpp"
+#include "engine/sim_backend.hpp"
+#include "faults/fault_injector.hpp"
+
+namespace ssm::dc {
+
+/// Ledger entry for one job's trip through the rack.
+struct JobOutcome {
+  std::uint32_t id = 0;
+  int gpu = -1;
+  int priority = 0;
+  TimeNs arrival_ns = 0;
+  TimeNs deadline_ns = 0;
+  TimeNs start_ns = -1;
+  TimeNs finish_ns = -1;
+  double energy_j = 0.0;
+  std::int64_t instructions = 0;
+  bool completed = false;
+  bool missed = false;  ///< finished late, or never finished
+};
+
+/// What one node did during one control round.
+struct NodeRoundStats {
+  double power_sum_w = 0.0;  ///< Σ per-epoch chip power (idle epochs too)
+  int epochs = 0;
+  int busy_epochs = 0;
+  int cap_violations = 0;  ///< epochs over the node's current cap
+};
+
+class GpuNode {
+ public:
+  struct Init {
+    int gpu_id = 0;
+    const GpuConfig* gpu = nullptr;
+    const VfTable* vf = nullptr;
+    const std::vector<KernelProfile>* mix = nullptr;
+    /// nullptr runs the static-default baseline on every cluster.
+    const GovernorFactory* factory = nullptr;
+    PowerCapConfig cap;
+    double idle_power_w = 45.0;
+    std::uint64_t rack_seed = 0;
+    /// Active spec makes this a degraded chip; nullptr/inactive is clean.
+    const faults::FaultSpec* fault = nullptr;
+    std::size_t max_jobs = 0;  ///< queue capacity (total traffic size)
+  };
+
+  explicit GpuNode(const Init& init);
+
+  // --- dispatch interface (serial, between rounds) ----------------------
+  void enqueue(const JobSpec& job);
+  [[nodiscard]] bool busy() const noexcept { return sim_.has_value(); }
+  [[nodiscard]] int queuedJobs() const noexcept {
+    return static_cast<int>(queue_count_);
+  }
+  /// Estimated remaining work: queued service estimates plus what is left
+  /// of the active job's estimate (never less than one epoch while busy).
+  [[nodiscard]] TimeNs backlogNs() const noexcept;
+  [[nodiscard]] bool degraded() const noexcept { return fault_active_; }
+
+  /// Retargets the chip cap and rack bias for the coming round.
+  void setRoundCap(double cap_w, double rack_bias);
+
+  // --- simulation (one node per pool task; no shared mutable state) -----
+  /// Runs exactly `epochs` epochs (idle epochs burn idle power).
+  NodeRoundStats advance(int epochs);
+
+  // --- results (read after the rack loop finishes) -----------------------
+  [[nodiscard]] std::span<const JobOutcome> outcomes() const noexcept {
+    return completed_;
+  }
+  [[nodiscard]] int jobsRun() const noexcept {
+    return static_cast<int>(completed_.size());
+  }
+  [[nodiscard]] std::int64_t busyEpochs() const noexcept {
+    return busy_epochs_;
+  }
+  [[nodiscard]] double energyJ() const noexcept {
+    return job_energy_j_ + idle_energy_j_;
+  }
+  [[nodiscard]] double idleEnergyJ() const noexcept { return idle_energy_j_; }
+  [[nodiscard]] double capW() const noexcept { return cap_.cap(); }
+  [[nodiscard]] const faults::FaultCounts& faultCounts() const noexcept {
+    return fault_counts_;
+  }
+  [[nodiscard]] TimeNs nowNs() const noexcept { return now_ns_; }
+
+ private:
+  /// Pops the queue's best job (priority-EDF) and boots a fresh Gpu for it.
+  void startNextJob();
+  void finishJob();
+  /// Decodes the effective preset into a hard V/f ceiling (preset 0 → no
+  /// clamp, preset_max → slowest level).
+  [[nodiscard]] VfLevel ceilingForPreset(double preset) const noexcept;
+
+  int gpu_id_;
+  const GpuConfig* gpu_cfg_;
+  const VfTable* vf_;
+  const std::vector<KernelProfile>* mix_;
+  const GovernorFactory* factory_;
+  double idle_power_w_;
+  std::uint64_t rack_seed_;
+  const faults::FaultSpec* fault_;
+  bool fault_active_ = false;
+
+  PowerCapController cap_;
+  double preset_max_;  ///< cap config bound, decoded into the V/f ceiling
+  double rack_bias_ = 0.0;
+
+  // Queue: preallocated slots, swap-remove on pop (the priority-EDF scan
+  // picks a unique winner, so removal order never leaks into results).
+  std::vector<JobSpec> queue_;
+  std::size_t queue_count_ = 0;
+
+  // Active job state (reset per job; governors are reused via reset()).
+  std::optional<engine::SimBackend> sim_;
+  JobOutcome active_;
+  TimeNs active_est_ns_ = 0;  ///< dispatcher's service estimate for it
+  std::vector<std::unique_ptr<DvfsGovernor>> governors_;
+  std::vector<SsmdvfsGovernor*> presetable_;  ///< soft-preset path (or null)
+  std::vector<VfLevel> levels_;
+  std::unique_ptr<faults::FaultInjector> injector_;
+
+  // Accumulated over the node's lifetime.
+  std::vector<JobOutcome> completed_;
+  faults::FaultCounts fault_counts_;
+  TimeNs now_ns_ = 0;
+  std::int64_t busy_epochs_ = 0;
+  double job_energy_j_ = 0.0;
+  double idle_energy_j_ = 0.0;
+};
+
+}  // namespace ssm::dc

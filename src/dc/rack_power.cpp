@@ -1,0 +1,85 @@
+#include "dc/rack_power.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace ssm::dc {
+
+namespace {
+
+PowerCapConfig rackLoopConfig(const RackPowerConfig& cfg) {
+  PowerCapConfig c;
+  c.cap_w = cfg.rack_cap_w;
+  c.ki = cfg.rack_ki;
+  c.relax = cfg.rack_relax;
+  c.preset_min = 0.0;
+  c.preset_max = cfg.rack_bias_max;
+  c.preset0 = 0.0;
+  return c;
+}
+
+}  // namespace
+
+RackPowerCoordinator::RackPowerCoordinator(const RackPowerConfig& cfg,
+                                           int gpus)
+    : cfg_(cfg),
+      rack_(rackLoopConfig(cfg)),
+      caps_(static_cast<std::size_t>(gpus), cfg.rack_cap_w / gpus),
+      weights_(static_cast<std::size_t>(gpus), 0.0),
+      gpus_(gpus) {
+  SSM_CHECK(gpus_ >= 1, "rack needs at least one GPU");
+  SSM_CHECK(cfg_.rack_cap_w > 0.0, "rack cap must be positive");
+  SSM_CHECK(cfg_.idle_floor_w >= 0.0, "idle floor must be non-negative");
+  SSM_CHECK(cfg_.demand_margin >= 1.0, "demand margin must be >= 1");
+}
+
+void RackPowerCoordinator::onRound(std::span<const double> power_w,
+                                   std::span<const std::uint8_t> loaded) {
+  SSM_CHECK(power_w.size() == static_cast<std::size_t>(gpus_) &&
+                loaded.size() == static_cast<std::size_t>(gpus_),
+            "coordinator round size mismatch");
+
+  // Rack integral loop: total draw vs the rack budget → fleet-wide bias.
+  double total = 0.0;
+  for (double p : power_w) total += p;
+  static_cast<void>(rack_.onEpoch(total));
+
+  // Budget split. Idle GPUs keep what they draw (plus margin, above the
+  // floor, never above the equal share) and donate the remainder.
+  const double share = cfg_.rack_cap_w / gpus_;
+  double donated = 0.0;
+  double demand_sum = 0.0;
+  for (int i = 0; i < gpus_; ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    if (loaded[u] != 0) {
+      weights_[u] = std::max(power_w[u] * cfg_.demand_margin, share);
+      demand_sum += weights_[u];
+      caps_[u] = share;
+    } else {
+      weights_[u] = 0.0;
+      const double keep = std::min(
+          share, std::max(cfg_.idle_floor_w,
+                          power_w[u] * cfg_.demand_margin));
+      caps_[u] = keep;
+      donated += share - keep;
+    }
+  }
+  // Redistribute the donated headroom to loaded GPUs by demand. With no
+  // loaded GPU the headroom simply goes unused (sum stays under the cap).
+  if (donated > 0.0 && demand_sum > 0.0) {
+    for (int i = 0; i < gpus_; ++i) {
+      const auto u = static_cast<std::size_t>(i);
+      if (weights_[u] > 0.0) caps_[u] += donated * (weights_[u] / demand_sum);
+    }
+  }
+}
+
+void RackPowerCoordinator::reset() {
+  rack_.reset();
+  const double share = cfg_.rack_cap_w / gpus_;
+  for (double& c : caps_) c = share;
+  for (double& w : weights_) w = 0.0;
+}
+
+}  // namespace ssm::dc

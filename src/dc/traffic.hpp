@@ -1,0 +1,94 @@
+// Synthetic datacenter traffic: a deterministic, seed-keyed arrival process
+// of kernel jobs with deadlines and priorities.
+//
+// A TrafficSpec names WHICH load shape is offered and how intense it is; it
+// carries no randomness itself (the FaultSpec discipline). The textual form
+// is the CLI and sweep vocabulary (`--traffic`), designed to round-trip:
+//
+//   shape=bursty;jobs=64;rate=2;slack=3;burst=6;duty=0.25;period=4;prio=2
+//
+// Keys are ';'-separated `key=value` pairs (all optional):
+//   shape   steady | bursty | diurnal | adversarial
+//   jobs    total arrivals in the trace
+//   rate    mean arrival rate, jobs per millisecond
+//   slack   deadline = arrival + slack × estimated service time
+//   burst   bursty: rate multiplier inside a burst;
+//           adversarial: jobs per synchronized wave
+//   duty    bursty: fraction of each period spent inside the burst
+//   period  modulation period in milliseconds (bursty/diurnal/adversarial)
+//   prio    number of priority levels (0 = lowest)
+//
+// Every stochastic choice (inter-arrival gap, workload pick, priority,
+// deadline jitter) is drawn from an Rng forked off the trace seed — the same
+// spec + seed yields byte-identical traffic on any machine and --jobs count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/units.hpp"
+#include "gpusim/gpu_config.hpp"
+#include "power/vf_table.hpp"
+#include "workloads/kernel_profile.hpp"
+
+namespace ssm::dc {
+
+struct TrafficSpec {
+  enum class Shape { kSteady, kBursty, kDiurnal, kAdversarial };
+
+  Shape shape = Shape::kSteady;
+  int jobs = 64;
+  double rate_per_ms = 2.0;
+  double slack = 3.0;
+  double burst = 6.0;
+  double duty = 0.25;
+  double period_ms = 4.0;
+  int priorities = 2;
+
+  /// Canonical textual form; parse(print()) == *this for values expressible
+  /// at the printed precision.
+  [[nodiscard]] std::string print() const;
+
+  /// Parses the `--traffic` grammar above. The empty string yields the
+  /// default (steady) spec. Throws ssm::DataError on unknown keys,
+  /// out-of-range values, and malformed syntax.
+  [[nodiscard]] static TrafficSpec parse(std::string_view text);
+
+  /// Validates ranges; throws ssm::DataError on problems.
+  void validate() const;
+
+  friend bool operator==(const TrafficSpec&, const TrafficSpec&) = default;
+};
+
+/// One deadline-tagged job in the arrival stream.
+struct JobSpec {
+  std::uint32_t id = 0;       ///< position in the arrival stream
+  std::uint32_t workload = 0; ///< index into the traffic mix
+  int priority = 0;           ///< higher = more urgent
+  TimeNs arrival_ns = 0;
+  TimeNs deadline_ns = 0;
+  /// Analytic service-time estimate at the default V/f level; feeds the
+  /// deadline and the dispatcher's load bookkeeping (NOT the simulator).
+  TimeNs est_service_ns = 0;
+};
+
+/// Analytic service-time estimate for one kernel on one GPU at the table's
+/// default level: issue-bound time derated for the stall behaviour a 10 µs
+/// epoch actually observes. Deliberately coarse — deadlines derived from it
+/// are tight for memory-bound kernels and loose for compute-bound ones,
+/// which is exactly the heterogeneity a deadline-aware dispatcher faces.
+[[nodiscard]] TimeNs estimatedServiceNs(const KernelProfile& kernel,
+                                        const GpuConfig& gpu,
+                                        const VfTable& vf);
+
+/// Expands a TrafficSpec into a concrete arrival stream over `mix`, sorted
+/// by (arrival, id). Every draw is keyed off `seed`; the stream is
+/// byte-identical for the same (spec, mix, seed) regardless of caller
+/// threading. Throws ssm::DataError on an empty mix or invalid spec.
+[[nodiscard]] std::vector<JobSpec> generateTraffic(
+    const TrafficSpec& spec, const std::vector<KernelProfile>& mix,
+    const GpuConfig& gpu, const VfTable& vf, std::uint64_t seed);
+
+}  // namespace ssm::dc

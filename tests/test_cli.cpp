@@ -269,6 +269,44 @@ TEST_F(CliTest, SweepCsvExportAndBadInputsFail) {
   EXPECT_NE(runCli("sweep --workloads spmv --mechanisms baseline", &out), 0);
 }
 
+TEST_F(CliTest, DcSweepByteIdenticalAndSingleRunReportsHeadlines) {
+  std::string out;
+  const std::string serial = dir_ + "/dc1.jsonl";
+  const std::string parallel = dir_ + "/dc8.jsonl";
+  const std::string common =
+      "dc --gpus 4 --mix spmv,bfs --traffic \"shape=steady;jobs=4;rate=4\" "
+      "--policies least-loaded,deadline-aware --out ";
+  ASSERT_EQ(runCli(common + serial + " --jobs 1", &out), 0) << out;
+  ASSERT_EQ(runCli(common + parallel + " --jobs 8", &out), 0) << out;
+  const std::string a = slurp(serial);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, slurp(parallel));
+  // 1 traffic × 2 policies × 1 cap × 1 mechanism × 1 seed = 2 JSONL lines.
+  EXPECT_EQ(static_cast<int>(std::count(a.begin(), a.end(), '\n')), 2);
+  EXPECT_NE(a.find("\"deadline_miss_rate\""), std::string::npos);
+  EXPECT_NE(a.find("\"energy_per_job_mj\""), std::string::npos);
+  EXPECT_NE(a.find("\"steady_violation_frac\""), std::string::npos);
+
+  // Single-run mode prints the headline metrics for the operator.
+  ASSERT_EQ(runCli("dc --gpus 4 --mix spmv "
+                   "--traffic \"shape=steady;jobs=4;rate=4\"",
+                   &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("deadline_miss_rate"), std::string::npos) << out;
+  EXPECT_NE(out.find("energy_per_job"), std::string::npos) << out;
+  EXPECT_NE(out.find("rack power"), std::string::npos) << out;
+
+  // Bad inputs fail fast with a diagnostic.
+  EXPECT_NE(runCli("dc --mix spmv --policy fastest", &out), 0);
+  EXPECT_NE(out.find("error"), std::string::npos) << out;
+  EXPECT_NE(runCli("dc --mix spmv --traffic \"shape=lumpy\"", &out), 0);
+  EXPECT_NE(out.find("error"), std::string::npos) << out;
+  // Multiple cells without --out must refuse (JSONL mode is explicit).
+  EXPECT_NE(runCli("dc --mix spmv --policies least-loaded,round-robin", &out),
+            0);
+}
+
 // Failure paths must exit non-zero with a diagnostic on stderr (runCli
 // merges the streams) — never crash, never silently succeed.
 TEST_F(CliTest, BadInputsFailWithDiagnostics) {

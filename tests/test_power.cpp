@@ -1,7 +1,12 @@
-// Unit tests for src/power: the V/f table and the analytic power model.
+// Unit tests for src/power: the V/f table and the analytic power model —
+// plus the PowerCapController's saturation / reset / retarget edges (the
+// integrator every chip in a src/dc rack runs for millions of epochs).
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/check.hpp"
+#include "core/power_cap.hpp"
 #include "power/power_model.hpp"
 #include "power/vf_table.hpp"
 
@@ -155,6 +160,94 @@ TEST(EnergyAccountant, IgnoresNonPositiveDuration) {
   acc.add(100.0, 0);
   acc.add(100.0, -5);
   EXPECT_DOUBLE_EQ(acc.energyJ(), 0.0);
+}
+
+TEST(PowerCapController, PermanentViolationPinsAtPresetMaxWithoutOverflow) {
+  // Anti-windup: a cap that can never be met (power stuck far above it)
+  // must saturate the integrator at preset_max, not accumulate without
+  // bound — otherwise recovery after the violation clears would take as
+  // long as the violation lasted.
+  PowerCapConfig cfg;
+  cfg.cap_w = 100.0;
+  cfg.ki = 0.01;
+  PowerCapController ctl(cfg);
+  for (int i = 0; i < 100000; ++i) {
+    const double p = ctl.onEpoch(5000.0);
+    ASSERT_TRUE(std::isfinite(p));
+    ASSERT_LE(p, cfg.preset_max);
+    ASSERT_GE(p, cfg.preset_min);
+  }
+  EXPECT_DOUBLE_EQ(ctl.preset(), cfg.preset_max);
+  EXPECT_EQ(ctl.violations(), 100000);
+  EXPECT_EQ(ctl.epochs(), 100000);
+  // One epoch of headroom starts relaxing immediately — no hidden residue
+  // above the clamp to burn off first.
+  const double relaxed = ctl.onEpoch(0.0);
+  EXPECT_LT(relaxed, cfg.preset_max);
+  EXPECT_NEAR(relaxed, cfg.preset_max * (1.0 - cfg.relax), 1e-12);
+}
+
+TEST(PowerCapController, ResetRestoresPreset0AndCounters) {
+  PowerCapConfig cfg;
+  cfg.cap_w = 50.0;
+  cfg.preset0 = 0.25;
+  PowerCapController ctl(cfg);
+  EXPECT_DOUBLE_EQ(ctl.preset(), 0.25);
+  for (int i = 0; i < 10; ++i) static_cast<void>(ctl.onEpoch(500.0));
+  EXPECT_GT(ctl.preset(), 0.25);
+  EXPECT_EQ(ctl.violations(), 10);
+  ctl.reset();
+  EXPECT_DOUBLE_EQ(ctl.preset(), 0.25);
+  EXPECT_EQ(ctl.violations(), 0);
+  EXPECT_EQ(ctl.epochs(), 0);
+}
+
+TEST(PowerCapController, ZeroEpochSequenceIsInert) {
+  // A controller that never sees an epoch (an idle chip between jobs)
+  // reports zero activity and the construction-time preset; reset() on the
+  // fresh state is a no-op.
+  PowerCapConfig cfg;
+  cfg.preset0 = 0.1;
+  PowerCapController ctl(cfg);
+  EXPECT_EQ(ctl.epochs(), 0);
+  EXPECT_EQ(ctl.violations(), 0);
+  EXPECT_DOUBLE_EQ(ctl.preset(), 0.1);
+  ctl.reset();
+  EXPECT_EQ(ctl.epochs(), 0);
+  EXPECT_DOUBLE_EQ(ctl.preset(), 0.1);
+}
+
+TEST(PowerCapController, Preset0IsClampedToBoundsAtConstruction) {
+  PowerCapConfig cfg;
+  cfg.preset0 = 5.0;  // far above preset_max
+  PowerCapController ctl(cfg);
+  EXPECT_DOUBLE_EQ(ctl.preset(), cfg.preset_max);
+  cfg.preset0 = 0.4;
+  cfg.preset_min = 0.5;
+  cfg.preset_max = 0.6;
+  PowerCapController lifted(cfg);
+  EXPECT_DOUBLE_EQ(lifted.preset(), 0.5);
+}
+
+TEST(PowerCapController, SetCapRetargetsWithoutDisturbingIntegralState) {
+  // The dc coordinator moves per-chip caps every control round; the chip
+  // loop must keep its accumulated preset across the retarget and only
+  // respond to the new target on the next epoch.
+  PowerCapConfig cfg;
+  cfg.cap_w = 100.0;
+  cfg.ki = 0.001;
+  PowerCapController ctl(cfg);
+  for (int i = 0; i < 50; ++i) static_cast<void>(ctl.onEpoch(200.0));
+  const double held = ctl.preset();
+  EXPECT_GT(held, 0.0);
+  ctl.setCap(300.0);
+  EXPECT_DOUBLE_EQ(ctl.cap(), 300.0);
+  EXPECT_DOUBLE_EQ(ctl.preset(), held);
+  EXPECT_EQ(ctl.epochs(), 50);
+  // Same power is now headroom: the preset relaxes instead of growing.
+  EXPECT_LT(ctl.onEpoch(200.0), held);
+  EXPECT_THROW(ctl.setCap(0.0), ContractError);
+  EXPECT_THROW(ctl.setCap(-10.0), ContractError);
 }
 
 }  // namespace

@@ -1,37 +1,44 @@
-// bench_check — guardrail for the packed-inference benchmark report.
+// bench_check — guardrail for the machine-readable benchmark reports.
 //
-// bench_micro_perf emits BENCH_inference.json (flat JSON, one object of
-// string/number fields). This tool compares a freshly generated report
-// against the committed baseline in bench/baselines/ and fails when the
-// inference engine regresses:
+// The bench binaries emit flat JSON reports (one object of string/number
+// fields): bench_micro_perf writes BENCH_inference.json, bench_dc writes
+// BENCH_dc.json. This tool compares a freshly generated report against the
+// committed baseline in bench/baselines/ and fails when the measured layer
+// regresses:
 //
-//   * structural fields (model names, FLOP counts, layer/batch shape) must
-//     match the baseline exactly — they are machine-independent and any
-//     drift means the compiled network changed;
-//   * timing fields (..._ns, ..._per_sec) must stay within a multiplicative
-//     tolerance band of the baseline (default 4x either way: the baseline
-//     was recorded on a noisy single-core VM and CI boxes differ);
-//   * `speedup_packed_vs_reference` must additionally clear an absolute
-//     floor (default 3.0) — the PR's acceptance criterion, which holds on
-//     any machine because it is a ratio of two timings taken back to back;
-//   * `speedup_replay_vs_sim` must clear its own absolute floor (default
-//     100.0) — the engine layer's acceptance criterion that open-loop
-//     trace replay streams epochs at least 100x faster than the
-//     cycle-level simulator, again a back-to-back ratio.
+//   * structural fields (model names, FLOP counts, rack shape) must match
+//     the baseline exactly — they are machine-independent and any drift
+//     means the compiled configuration changed;
+//   * timing fields (..._ns, ..._per_sec, speedup_...) plus any keys named
+//     via --approx must stay within a multiplicative tolerance band of the
+//     baseline (default 4x either way: the baseline was recorded on a
+//     noisy single-core VM and CI boxes differ);
+//   * keys listed in --floors must clear an absolute minimum and keys in
+//     --ceilings must stay under an absolute maximum — the acceptance
+//     criteria that hold on any machine (back-to-back timing ratios,
+//     bounded violation fractions). Without --floors the historical
+//     defaults apply: speedup_packed_vs_reference >= 3.0 (--min-speedup)
+//     and speedup_replay_vs_sim >= 100.0 (--min-replay-speedup).
 //
 // Usage:
 //   bench_check [--baseline FILE] [--fresh FILE] [--tolerance X]
+//               [--floors key=min[,key=min...]]
+//               [--ceilings key=max[,key=max...]]
+//               [--approx key[,key...]]
 //               [--min-speedup X] [--min-replay-speedup X]
-//               [--run BENCH_BINARY]
+//               [--run BENCH_BINARY] [--out-env VAR]
 //
 // Defaults compare ./BENCH_inference.json against
 // bench/baselines/BENCH_inference.json. With --run, the tool first launches
-// the given bench_micro_perf binary (with --benchmark_filter=__none__ so
-// only the report generator executes) to produce the fresh file; that mode
-// is gated on SSM_BENCH_CHECK=1 in the environment and exits 77 (the ctest
-// skip code) when unset, so the default test suite stays fast and
-// deterministic while `SSM_BENCH_CHECK=1 ctest -R bench_inference_check`
-// runs the full tier-2 regression gate.
+// the given bench binary (with --benchmark_filter=__none__ so only the
+// report generator executes) to produce the fresh file, pointing the
+// binary at it through the environment variable named by --out-env
+// (default SSM_BENCH_INFERENCE_OUT); that mode is gated on
+// SSM_BENCH_CHECK=1 in the environment and exits 77 (the ctest skip code)
+// when unset, so the default test suite stays fast and deterministic while
+// `SSM_BENCH_CHECK=1 ctest -R 'bench_.*_check'` runs the full tier-2
+// regression gates.
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <cstdio>
@@ -150,10 +157,32 @@ struct Options {
   std::string baseline = "bench/baselines/BENCH_inference.json";
   std::string fresh = "BENCH_inference.json";
   std::string run_binary;  ///< when set, regenerate `fresh` first
+  std::string out_env = "SSM_BENCH_INFERENCE_OUT";
   double tolerance = 4.0;
   double min_speedup = 3.0;
   double min_replay_speedup = 100.0;
+  bool floors_overridden = false;       ///< --floors replaces the defaults
+  std::map<std::string, double> floors;
+  std::map<std::string, double> ceilings;
+  std::vector<std::string> approx;  ///< extra keys on the tolerance band
 };
+
+/// Splits "key=1.5,other=2" into a map. Returns false on a malformed item.
+bool parseBounds(const std::string& text, std::map<std::string, double>& out,
+                 const std::string& flag) {
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      std::fprintf(stderr, "bench_check: %s expects key=value, got \"%s\"\n",
+                   flag.c_str(), item.c_str());
+      return false;
+    }
+    out[item.substr(0, eq)] = std::strtod(item.c_str() + eq + 1, nullptr);
+  }
+  return true;
+}
 
 bool parseArgs(int argc, char** argv, Options& opt) {
   for (int i = 1; i < argc; ++i) {
@@ -175,6 +204,22 @@ bool parseArgs(int argc, char** argv, Options& opt) {
     } else if (key == "--run") {
       if ((val = next()) == nullptr) return false;
       opt.run_binary = val;
+    } else if (key == "--out-env") {
+      if ((val = next()) == nullptr) return false;
+      opt.out_env = val;
+    } else if (key == "--floors") {
+      if ((val = next()) == nullptr) return false;
+      opt.floors_overridden = true;
+      if (!parseBounds(val, opt.floors, key)) return false;
+    } else if (key == "--ceilings") {
+      if ((val = next()) == nullptr) return false;
+      if (!parseBounds(val, opt.ceilings, key)) return false;
+    } else if (key == "--approx") {
+      if ((val = next()) == nullptr) return false;
+      std::stringstream ss{std::string(val)};
+      std::string item;
+      while (std::getline(ss, item, ','))
+        if (!item.empty()) opt.approx.push_back(item);
     } else if (key == "--tolerance") {
       if ((val = next()) == nullptr) return false;
       opt.tolerance = std::strtod(val, nullptr);
@@ -193,6 +238,12 @@ bool parseArgs(int argc, char** argv, Options& opt) {
     std::fprintf(stderr, "bench_check: --tolerance must be >= 1\n");
     return false;
   }
+  // --floors replaces the historical inference floors; without it they
+  // stay in force (tunable via --min-speedup / --min-replay-speedup).
+  if (!opt.floors_overridden) {
+    opt.floors["speedup_packed_vs_reference"] = opt.min_speedup;
+    opt.floors["speedup_replay_vs_sim"] = opt.min_replay_speedup;
+  }
   return true;
 }
 
@@ -209,7 +260,7 @@ int main(int argc, char** argv) {
           "inference benchmark gate)\n");
       return kExitSkip;
     }
-    ::setenv("SSM_BENCH_INFERENCE_OUT", opt.fresh.c_str(), 1);
+    ::setenv(opt.out_env.c_str(), opt.fresh.c_str(), 1);
     // __none__ matches no registered benchmark, so only the report
     // generator in bench_micro_perf's main runs.
     const std::string cmd = opt.run_binary + " --benchmark_filter=__none__";
@@ -264,8 +315,14 @@ int main(int argc, char** argv) {
         std::printf("ok    %-32s %s\n", key.c_str(), fv.str.c_str());
       continue;
     }
-    if (isTimingKey(key)) {
-      const double ratio = bv.num != 0.0 ? fv.num / bv.num : 0.0;
+    const bool banded =
+        isTimingKey(key) ||
+        std::find(opt.approx.begin(), opt.approx.end(), key) !=
+            opt.approx.end();
+    if (banded) {
+      // A zero baseline only ever matches zero (e.g. unfinished == 0).
+      const double ratio =
+          bv.num != 0.0 ? fv.num / bv.num : (fv.num == 0.0 ? 1.0 : 0.0);
       if (!(ratio >= 1.0 / opt.tolerance && ratio <= opt.tolerance)) {
         std::ostringstream msg;
         msg << key << ": " << fv.num << " vs baseline " << bv.num << " ("
@@ -285,27 +342,27 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Acceptance floors are absolute, not relative: both speedups are ratios
-  // of two timings taken back to back on the machine running the check, so
-  // the floors hold regardless of how fast that machine is.
-  auto checkFloor = [&](const char* key, double floor) {
+  // Acceptance floors and ceilings are absolute, not relative: they encode
+  // criteria that hold on any machine (back-to-back timing ratios, bounded
+  // violation fractions), so they gate the fresh report directly.
+  auto checkBound = [&](const std::string& key, double bound, bool is_floor) {
     const auto sp = fresh.find(key);
     if (sp == fresh.end() || sp->second.is_string) {
-      fail(std::string(key) + ": missing from fresh report");
-    } else if (sp->second.num < floor) {
+      fail(key + ": missing from fresh report");
+    } else if (is_floor ? sp->second.num < bound : sp->second.num > bound) {
       std::ostringstream msg;
-      msg << key << ": " << sp->second.num << " below the acceptance floor "
-          << floor;
+      msg << key << ": " << sp->second.num << (is_floor ? " below" : " above")
+          << " the acceptance " << (is_floor ? "floor " : "ceiling ")
+          << bound;
       fail(msg.str());
     } else {
-      std::printf("ok    %-32s %g >= %g (acceptance floor)\n", key,
-                  sp->second.num, floor);
+      std::printf("ok    %-32s %g %s %g (acceptance %s)\n", key.c_str(),
+                  sp->second.num, is_floor ? ">=" : "<=", bound,
+                  is_floor ? "floor" : "ceiling");
     }
   };
-  // Packed single-decision inference vs the dense reference engine.
-  checkFloor("speedup_packed_vs_reference", opt.min_speedup);
-  // Open-loop trace replay vs the cycle-level simulator.
-  checkFloor("speedup_replay_vs_sim", opt.min_replay_speedup);
+  for (const auto& [key, floor] : opt.floors) checkBound(key, floor, true);
+  for (const auto& [key, ceil] : opt.ceilings) checkBound(key, ceil, false);
 
   if (failures != 0) {
     std::fprintf(stderr, "bench_check: %d failure(s) comparing %s vs %s\n",

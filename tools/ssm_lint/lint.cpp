@@ -40,8 +40,9 @@ constexpr std::array<RuleInfo, 16> kRules = {{
      "the preceding line, so a run without a FaultSpec costs one pointer "
      "comparison and zero RNG draws"},
     {"hot-path-alloc",
-     "no heap allocation in the packed decision path (src/nn/packed_mlp.hpp "
-     "and src/core/ssm_governor.cpp): no new/make_unique/make_shared/malloc, "
+     "no heap allocation in the per-decision paths (src/nn/packed_mlp.hpp, "
+     "src/core/ssm_governor.cpp, src/dc/dispatcher.cpp and "
+     "src/dc/rack_power.cpp): no new/make_unique/make_shared/malloc, "
      "no container-growth member calls (resize, reserve, push_back, "
      "emplace_back, assign, insert, emplace), no by-value heap-container "
      "parameters or temporaries, and no std::function — preallocate at "
@@ -83,9 +84,14 @@ constexpr std::array<RuleInfo, 16> kRules = {{
 /// per-decision code path lives here, so any allocating construct is a
 /// regression. Cold compile/scratch code belongs in packed_mlp.cpp (not
 /// listed); justified cold spots inside these files carry an inline waiver.
-constexpr std::array<std::string_view, 2> kAllocFreeFiles = {
+/// The src/dc entries are the datacenter per-round decision paths: job
+/// dispatch and the rack cap split both run every control round for every
+/// GPU (docs/datacenter.md).
+constexpr std::array<std::string_view, 4> kAllocFreeFiles = {
     "src/nn/packed_mlp.hpp",
     "src/core/ssm_governor.cpp",
+    "src/dc/dispatcher.cpp",
+    "src/dc/rack_power.cpp",
 };
 
 constexpr std::string_view kWaiverTag = "ssm-lint: allow(";

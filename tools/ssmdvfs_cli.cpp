@@ -76,6 +76,7 @@
 #include "faults/fault_injector.hpp"
 #include "datagen/corpus_stats.hpp"
 #include "datagen/generator.hpp"
+#include "dc/dc_sweep.hpp"
 #include "engine/replay_backend.hpp"
 #include "engine/trace_io.hpp"
 #include "gpusim/runner.hpp"
@@ -743,6 +744,144 @@ int cmdSweep(const Args& args) {
   return lines > 0 ? 0 : 1;
 }
 
+/// Splits a '|'-separated list (the separator for grammars that use ','
+/// and ';' internally, like --faults and --traffic). Empty segments drop.
+std::vector<std::string> splitBarList(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    std::size_t bar = s.find('|', start);
+    if (bar == std::string::npos) bar = s.size();
+    if (bar > start) out.push_back(s.substr(start, bar - start));
+    start = bar + 1;
+  }
+  return out;
+}
+
+int cmdDc(const Args& args) {
+  dc::DcSweepSpec spec;
+  dc::RackSpec& base = spec.base;
+  base.gpus = static_cast<int>(args.getInt("gpus", 16));
+  SSM_CHECK(base.gpus >= 1, "--gpus must be >= 1");
+  base.mix = resolveSweepWorkloads(args.get("mix", "eval"));
+  base.idle_power_w = args.getDouble("idle-power", 45.0);
+  base.epochs_per_round =
+      static_cast<int>(args.getInt("epochs-per-round", 5));
+  base.max_rounds = static_cast<int>(args.getInt("max-rounds", 20000));
+  base.warmup_rounds = static_cast<int>(args.getInt("warmup-rounds", 10));
+  base.preset = args.getDouble("preset", 0.10);
+  base.seed = static_cast<std::uint64_t>(args.getInt("seed", 777));
+  // Default rack budget: a deliberately binding 120 W per chip (the chip
+  // default cap is 180 W), so the hierarchical controller has work to do.
+  base.power.rack_cap_w = 120.0 * base.gpus;
+
+  if (args.has("faults"))
+    base.fault = faults::FaultSpec::parse(args.get("faults"));
+  if (args.has("degraded"))
+    for (const auto& id : splitList(args.get("degraded")))
+      base.degraded.push_back(std::atoi(id.c_str()));
+  SSM_CHECK(base.degraded.empty() || base.fault.active(),
+            "--degraded needs an active --faults scenario");
+
+  if (args.has("traffic")) {
+    spec.traffic.clear();
+    for (const auto& t : splitBarList(args.get("traffic")))
+      spec.traffic.push_back(dc::TrafficSpec::parse(t));
+    SSM_CHECK(!spec.traffic.empty(), "--traffic resolved to an empty list");
+  }
+  if (args.has("policies")) {
+    spec.policies.clear();
+    for (const auto& p : splitList(args.get("policies")))
+      spec.policies.push_back(dc::parseDispatchPolicy(p));
+  } else if (args.has("policy")) {
+    spec.policies = {dc::parseDispatchPolicy(args.get("policy"))};
+  }
+  if (args.has("rack-caps")) {
+    spec.rack_caps_w.clear();
+    for (const auto& c : splitList(args.get("rack-caps")))
+      spec.rack_caps_w.push_back(std::atof(c.c_str()));
+  } else if (args.has("rack-cap")) {
+    spec.rack_caps_w = {args.getDouble("rack-cap", base.power.rack_cap_w)};
+  }
+  if (args.has("mechanisms")) {
+    spec.mechanisms = splitList(args.get("mechanisms"));
+  } else if (args.has("mechanism")) {
+    spec.mechanisms = {args.get("mechanism")};
+  }
+  if (args.has("seeds")) {
+    spec.seeds.clear();
+    for (const auto& s : splitList(args.get("seeds")))
+      spec.seeds.push_back(static_cast<std::uint64_t>(std::atoll(s.c_str())));
+  }
+  bool needs_model = base.mechanism.rfind("ssmdvfs", 0) == 0;
+  for (const auto& m : spec.mechanisms)
+    if (m.rfind("ssmdvfs", 0) == 0) needs_model = true;
+  if (needs_model)
+    base.model =
+        std::make_shared<const SsmModel>(loadModel(args.require("model")));
+
+  const int jobs = static_cast<int>(args.getInt("jobs", 1));
+  SSM_CHECK(jobs >= 1, "--jobs must be >= 1");
+  ThreadPool pool(jobs);
+  const dc::DcSweepRunner runner(spec, pool);
+
+  if (args.has("out")) {
+    const std::string out = args.get("out");
+    std::size_t lines = 0;
+    if (args.has("csv")) {
+      const auto results = runner.run();
+      std::ofstream os(out);
+      for (const auto& r : results) os << dc::toJsonLine(spec, r) << '\n';
+      std::ofstream cs(args.get("csv"));
+      dc::writeCsv(spec, results, cs);
+      lines = results.size();
+      std::printf("wrote %zu results to %s and %s\n", lines, out.c_str(),
+                  args.get("csv").c_str());
+    } else {
+      std::ofstream os(out);
+      lines = runner.runJsonl(os);
+      std::printf("wrote %zu results to %s\n", lines, out.c_str());
+    }
+    return lines > 0 ? 0 : 1;
+  }
+
+  // Single-run mode: exactly one cell, human-readable rack report.
+  SSM_CHECK(runner.jobs().size() == 1,
+            "multiple sweep cells need --out (JSONL mode)");
+  const auto results = runner.run();
+  const dc::RackResult& rack = results[0].rack;
+  const dc::RackSpec cell = dc::cellSpec(spec, runner.jobs()[0]);
+  const double cap_w = cell.power.rack_cap_w;
+  std::printf("rack: %d GPUs under %.0f W (%s, %s policy, %s)\n", rack.gpus,
+              cap_w, cell.mechanism.c_str(),
+              dc::policyName(cell.policy).c_str(),
+              cell.traffic.print().c_str());
+  std::printf("jobs: %zu total, %d completed, %d unfinished\n",
+              rack.jobs.size(), rack.completed, rack.unfinished);
+  std::printf("deadline_miss_rate: %.4f   energy_per_job: %.3f mJ\n",
+              rack.deadline_miss_rate, rack.energy_per_job_j * 1e3);
+  std::printf("rack power: mean %.1f W, max %.1f W (cap %.0f W)\n",
+              rack.mean_rack_power_w, rack.max_rack_power_w, cap_w);
+  std::printf("cap violations: %.4f of rounds (%.4f after warmup)\n",
+              rack.cap_violation_frac, rack.steady_violation_frac);
+  std::printf("latency: p50 %.1f us, p99 %.1f us   makespan %.2f ms\n",
+              static_cast<double>(rack.p50_latency_ns) / 1e3,
+              static_cast<double>(rack.p99_latency_ns) / 1e3,
+              static_cast<double>(rack.makespan_ns) / 1e6);
+  std::printf("rounds: %d   busy gpu-epochs: %lld   idle energy: %.3f J\n",
+              rack.rounds, static_cast<long long>(rack.busy_gpu_epochs),
+              rack.idle_energy_j);
+  if (rack.fault_counts.total() > 0)
+    std::printf("injected faults: %lld across %zu degraded GPUs\n",
+                static_cast<long long>(rack.fault_counts.total()),
+                base.degraded.size());
+  if (args.has("json")) {
+    std::ofstream os(args.get("json"));
+    os << dc::toJsonLine(spec, results[0]) << '\n';
+  }
+  return 0;
+}
+
 /// Per-command option summary, printed by `<command> --help`. Returns
 /// nullptr for unknown commands.
 const char* helpText(const std::string& cmd) {
@@ -834,6 +973,27 @@ const char* helpText(const std::string& cmd) {
            "  rejected). A --replay directory takes every *.ssmtrace "
            "inside,\n"
            "  sorted by name.";
+  if (cmd == "dc")
+    return "ssmdvfs dc [--gpus 16] [--traffic \"SPEC1|SPEC2\"] [--seed S]\n"
+           "           [--policy P | --policies P1,P2] [--mechanism M |\n"
+           "           --mechanisms M1,M2] [--rack-cap W | --rack-caps "
+           "W1,W2]\n"
+           "           [--seeds S1,S2] [--mix eval|train|all|A,B] [--jobs "
+           "N]\n"
+           "           [--model model.txt] [--preset P] [--idle-power W]\n"
+           "           [--epochs-per-round N] [--max-rounds N] "
+           "[--warmup-rounds N]\n"
+           "           [--faults SPEC --degraded 0,3] [--out dc.jsonl]\n"
+           "           [--csv dc.csv] [--json out.json]\n"
+           "  a rack of GPUs under a hierarchical power cap serving\n"
+           "  deadline-tagged traffic (docs/datacenter.md). Without --out,\n"
+           "  runs the single cell and prints deadline_miss_rate,\n"
+           "  energy_per_job and cap compliance; with --out, sweeps the\n"
+           "  traffic x policy x cap x mechanism x seed product to JSONL\n"
+           "  (byte-identical for every --jobs value).\n"
+           "  SPEC: traffic grammar, e.g. "
+           "\"shape=bursty;jobs=64;rate=2;burst=6\"\n"
+           "  P: round-robin | least-loaded | deadline-aware";
   return nullptr;
 }
 
@@ -842,7 +1002,7 @@ void usage() {
       "usage: ssmdvfs <command> [--key value ...]\n"
       "commands: list-workloads | datagen | train | eval | run | record |\n"
       "          replay | oracle | hw-cost | quantize | list-counters |\n"
-      "          corpus-stats | explain | sweep\n"
+      "          corpus-stats | explain | sweep | dc\n"
       "run `ssmdvfs <command> --help` for that command's options");
 }
 
@@ -883,6 +1043,7 @@ int main(int argc, char** argv) {
     if (cmd == "explain") return cmdExplain(args);
     if (cmd == "corpus-stats") return cmdCorpusStats(args);
     if (cmd == "sweep") return cmdSweep(args);
+    if (cmd == "dc") return cmdDc(args);
     usage();
     return 2;
   } catch (const std::exception& e) {
