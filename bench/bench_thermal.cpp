@@ -1,0 +1,135 @@
+// Thermal-subsystem benchmark (google-benchmark): what the RC thermal
+// model plus throttle arbitration cost per epoch, and the machine-readable
+// BENCH_thermal.json regression report.
+//
+// The report pins a deliberately thermally-limited governed run: hot
+// intake (45 degC) with trip points just above it, so the throttle MUST
+// engage and the peak die temperature MUST stay clamped near the trip
+// point. Outcome columns (peak temperature, throttle-limited epochs,
+// energy, latency) are deterministic for the pinned spec and seed — drift
+// there means the RC integration, the leakage feedback or the throttle
+// state machine changed behaviour. The throughput figure
+// (thermal_epochs_per_sec) rides tools/bench_check's multiplicative
+// tolerance band like every other timing. Override the output path with
+// SSM_BENCH_THERMAL_OUT; pass --benchmark_filter=__none__ to skip the
+// interactive suite and emit only the report.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <limits>
+
+#include "baselines/pcstall.hpp"
+#include "bench_common.hpp"
+#include "gpusim/runner.hpp"
+#include "thermal/thermal_spec.hpp"
+#include "thermal/thermal_throttle.hpp"
+#include "workloads/kernel_profile.hpp"
+
+namespace ssm {
+namespace {
+
+/// The pinned thermally-limited cell: the sweep scenario the docs and the
+/// thermal tests use for a cell where protection hardware must act.
+constexpr const char* kScenario = "amb=45,trip=50,ptrip=48,hyst=2";
+constexpr std::uint64_t kSeed = 777;
+
+struct ThermalRunOutcome {
+  RunResult governed;
+  double ns_per_run = 0.0;
+};
+
+RunResult runThermalCell(const thermal::ThermalScenario& scenario) {
+  const GpuConfig cfg;
+  const VfTable vf = VfTable::titanX();
+  Gpu machine(cfg, vf, workloadByName("spmv"), kSeed,
+              ChipPowerModel(cfg.num_clusters));
+  machine.attachThermal(scenario.params);
+  thermal::ThermalThrottle throttle(scenario.throttle, cfg.num_clusters,
+                                    static_cast<int>(vf.defaultLevel()));
+  const PcstallFactory factory(vf, PcstallConfig{});
+  return runWithGovernor(machine, factory, "pcstall", 5 * kNsPerMs, nullptr,
+                         nullptr, &throttle);
+}
+
+void BM_ThermalGovernedRun(benchmark::State& state) {
+  const thermal::ThermalScenario scenario =
+      thermal::ThermalScenario::parse(kScenario);
+  std::int64_t epochs = 0;
+  for (auto _ : state) {
+    const RunResult run = runThermalCell(scenario);
+    epochs += run.epochs;
+    // rvalue on purpose: this benchmark lib's DoNotOptimize clobbers
+    // non-const lvalues.
+    benchmark::DoNotOptimize(run.peak_temp_c + 0.0);
+  }
+  state.SetItemsProcessed(epochs);  // items/s == simulated epochs per second
+}
+BENCHMARK(BM_ThermalGovernedRun)->Unit(benchmark::kMillisecond);
+
+/// Best (minimum) of `repeats` wall-clock samples of one full governed
+/// run, in ns — the robust-minimum estimate bench_micro_perf uses, since
+/// preemption on a shared core only ever inflates a sample.
+ThermalRunOutcome bestThermalRun(const thermal::ThermalScenario& scenario,
+                                 int repeats) {
+  ThermalRunOutcome out;
+  out.ns_per_run = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < repeats; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    RunResult run = runThermalCell(scenario);
+    const auto t1 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(run.peak_temp_c + 0.0);
+    out.ns_per_run = std::min(
+        out.ns_per_run,
+        std::chrono::duration<double, std::nano>(t1 - t0).count());
+    out.governed = std::move(run);
+  }
+  return out;
+}
+
+}  // namespace
+
+/// Runs the pinned thermally-limited cell and writes one flat JSON object.
+/// Keys are stable: tools/bench_check and CI parse them.
+void writeThermalReport(const std::string& path) {
+  const thermal::ThermalScenario scenario =
+      thermal::ThermalScenario::parse(kScenario);
+  const ThermalRunOutcome out = bestThermalRun(scenario, 5);
+  const RunResult& run = out.governed;
+  const double epochs_per_sec =
+      static_cast<double>(run.epochs) * 1e9 / out.ns_per_run;
+
+  std::ofstream os(path);
+  SSM_CHECK(os.good(), "cannot open BENCH_thermal.json output path");
+  os << "{\n"
+     << "  \"scenario\": \"" << scenario.print() << "\",\n"
+     << "  \"workload\": \"spmv\",\n"
+     << "  \"mechanism\": \"" << run.mechanism << "\",\n"
+     << "  \"trip_c\": " << scenario.throttle.trip_c << ",\n"
+     << "  \"epochs\": " << run.epochs << ",\n"
+     << "  \"peak_temp_c\": " << run.peak_temp_c << ",\n"
+     << "  \"throttle_epochs\": " << run.throttle_epochs << ",\n"
+     << "  \"exec_time_us\": "
+     << static_cast<double>(run.exec_time_ns) / 1e3 << ",\n"
+     << "  \"energy_mj\": " << run.energy_j * 1e3 << ",\n"
+     << "  \"thermal_epochs_per_sec\": " << epochs_per_sec << "\n"
+     << "}\n";
+  std::cout << "wrote " << path << " (peak " << run.peak_temp_c << " degC, "
+            << run.throttle_epochs << " throttled epochs, " << epochs_per_sec
+            << " epochs/s)\n";
+}
+
+}  // namespace ssm
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  const char* out = std::getenv("SSM_BENCH_THERMAL_OUT");
+  ssm::writeThermalReport(out != nullptr ? out : "BENCH_thermal.json");
+  return 0;
+}

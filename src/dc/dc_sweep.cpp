@@ -20,6 +20,11 @@ bool faultsActive(const DcSweepSpec& spec) {
   return spec.base.fault.active() && !spec.base.degraded.empty();
 }
 
+/// Thermal columns appear only when the template enables the scenario.
+bool thermalActive(const DcSweepSpec& spec) {
+  return spec.base.thermal.enabled;
+}
+
 // Every axis falls back to the base's value when left empty, so a spec
 // with no axes set runs the base rack exactly once and a forgotten axis
 // can never silently replace a configured base field with a default.
@@ -164,6 +169,11 @@ std::string toJsonLine(const DcSweepSpec& spec, const DcSweepResult& r) {
                static_cast<std::int64_t>(spec.base.degraded.size()))
         .value("injected_faults", rack.fault_counts.total());
   }
+  if (thermalActive(spec)) {
+    w.value("thermal", spec.base.thermal.print())
+        .value("peak_temp_c", rack.peak_temp_c)
+        .value("throttle_epochs", rack.throttle_epochs);
+  }
   w.endObject();
   return std::move(ss).str();
 }
@@ -171,11 +181,13 @@ std::string toJsonLine(const DcSweepSpec& spec, const DcSweepResult& r) {
 void writeCsv(const DcSweepSpec& spec,
               const std::vector<DcSweepResult>& results, std::ostream& os) {
   const bool with_faults = faultsActive(spec);
+  const bool with_thermal = thermalActive(spec);
   os << "traffic,policy,rack_cap_w,mechanism,seed,gpus,jobs,completed,"
         "unfinished,deadline_miss_rate,energy_per_job_mj,mean_rack_power_w,"
         "max_rack_power_w,cap_violation_frac,steady_violation_frac,"
         "p50_latency_us,p99_latency_us,makespan_ms,rounds,busy_gpu_epochs";
   if (with_faults) os << ",faults,degraded_gpus,injected_faults";
+  if (with_thermal) os << ",thermal,peak_temp_c,throttle_epochs";
   os << '\n';
   std::ostringstream num;
   num.precision(17);
@@ -200,6 +212,11 @@ void writeCsv(const DcSweepSpec& spec,
       num << ",\"" << spec.base.fault.print() << "\","
           << spec.base.degraded.size() << ','
           << rack.fault_counts.total();
+    }
+    if (with_thermal) {
+      // The scenario's canonical form may contain ','; quote like faults.
+      num << ",\"" << spec.base.thermal.print() << "\","
+          << rack.peak_temp_c << ',' << rack.throttle_epochs;
     }
     // The traffic grammar also contains ';' and '='; quote it too.
     os << '"' << trafficAxis(spec)[r.job.traffic].print() << "\","

@@ -26,12 +26,22 @@ GpuNode::GpuNode(const Init& init)
       rack_seed_(init.rack_seed),
       fault_(init.fault),
       cap_(init.cap),
-      preset_max_(init.cap.preset_max) {
+      preset_max_(init.cap.preset_max),
+      thermal_(init.thermal) {
   SSM_CHECK(gpu_cfg_ != nullptr && vf_ != nullptr && mix_ != nullptr,
             "GpuNode needs gpu config, vf table and a workload mix");
   SSM_CHECK(!mix_->empty(), "GpuNode mix must be non-empty");
   SSM_CHECK(idle_power_w_ >= 0.0, "idle power must be non-negative");
   fault_active_ = fault_ != nullptr && fault_->active();
+  thermal_enabled_ = thermal_ != nullptr && thermal_->enabled;
+  if (thermal_enabled_) {
+    idle_thermal_.emplace(thermal_->params, init.gpu->num_clusters);
+    throttle_.emplace(thermal_->throttle, init.gpu->num_clusters,
+                      static_cast<int>(init.vf->defaultLevel()));
+    zero_power_w_.assign(static_cast<std::size_t>(init.gpu->num_clusters),
+                         0.0);
+    peak_temp_c_ = thermal_->params.ambient_c;
+  }
 
   queue_.resize(std::max<std::size_t>(init.max_jobs, 1));
   completed_.reserve(std::max<std::size_t>(init.max_jobs, 1));
@@ -108,8 +118,15 @@ void GpuNode::startNextJob() {
   // job simulates identically on any GPU, under any policy, at any --jobs.
   const std::uint64_t sim_seed =
       Rng(rack_seed_).fork(kJobSimSalt).fork(job.id).nextU64();
-  sim_.emplace(Gpu((*gpu_cfg_), *vf_, (*mix_)[job.workload], sim_seed,
-                   ChipPowerModel(gpu_cfg_->num_clusters)));
+  Gpu machine((*gpu_cfg_), *vf_, (*mix_)[job.workload], sim_seed,
+              ChipPowerModel(gpu_cfg_->num_clusters));
+  if (thermal_enabled_) {
+    // The job inherits the node temperatures the idle model carried —
+    // back-to-back jobs start hot, a long-idle chip starts cooled down.
+    machine.attachThermal(thermal_->params);
+    machine.setThermalState(idle_thermal_->state());
+  }
+  sim_.emplace(std::move(machine));
 
   for (auto& gov : governors_) gov->reset();
   std::fill(levels_.begin(), levels_.end(), vf_->defaultLevel());
@@ -123,6 +140,9 @@ void GpuNode::startNextJob() {
 }
 
 void GpuNode::finishJob() {
+  // Hand the die temperatures back to the idle model so heat soaks across
+  // job boundaries instead of resetting to ambient.
+  if (thermal_enabled_) idle_thermal_->setState(sim_->gpu().thermalState());
   active_.finish_ns = now_ns_;
   active_.completed = true;
   active_.missed = active_.finish_ns > active_.deadline_ns;
@@ -137,6 +157,9 @@ void GpuNode::finishJob() {
     fault_counts_.failed += injector_->counts().failed;
     fault_counts_.stuck += injector_->counts().stuck;
     fault_counts_.jitter += injector_->counts().jitter;
+    fault_counts_.heatsoak += injector_->counts().heatsoak;
+    fault_counts_.tsensor += injector_->counts().tsensor;
+    fault_counts_.tjolt += injector_->counts().tjolt;
     injector_.reset();
   }
   sim_.reset();
@@ -155,13 +178,30 @@ NodeRoundStats GpuNode::advance(int epochs) {
       idle_energy_j_ += idle_power_w_ * epoch_s;
       stats.cap_violations += idle_power_w_ > cap_.cap();
       static_cast<void>(cap_.onEpoch(idle_power_w_));
+      if (thermal_enabled_) {
+        // The die cools toward ambient under the rail floor; the throttle
+        // keeps observing so it can recover while the chip is quiet.
+        idle_thermal_->step(zero_power_w_, idle_power_w_, gpu_cfg_->epoch_ns);
+        throttle_->observe(idle_thermal_->state().cluster_c,
+                           idle_thermal_->packageTempC());
+      }
       ++stats.epochs;
       now_ns_ += gpu_cfg_->epoch_ns;
       continue;
     }
 
     GpuEpochReport report = sim_->nextEpoch(levels_);
+    if (thermal_enabled_) {
+      // Physical peak, scanned before fault corruption touches the sensors.
+      peak_temp_c_ = std::max(peak_temp_c_, report.package_temp_c);
+      for (const double t : report.cluster_temps_c)
+        peak_temp_c_ = std::max(peak_temp_c_, t);
+    }
     if (injector_ != nullptr) injector_->onTelemetry(report);
+    // The throttle reads the (possibly fault-corrupted) sensor view, like
+    // real protection hardware behind a flaky sensor bus.
+    if (thermal_enabled_)
+      throttle_->observe(report.cluster_temps_c, report.package_temp_c);
     stats.power_sum_w += report.chip_power_w;
     stats.cap_violations += report.chip_power_w > cap_.cap();
     ++stats.busy_epochs;
@@ -181,8 +221,10 @@ NodeRoundStats GpuNode::advance(int epochs) {
       if (injector_ != nullptr)
         requested = injector_->onActuate(i, requested, obs.level);
       // Rail-level backstop: the cap ceiling binds after governor and
-      // fault arbitration, for every mechanism.
+      // fault arbitration, for every mechanism; the thermal throttle
+      // composes on top as a second hardware limiter.
       levels_[u] = std::min(requested, ceiling);
+      if (thermal_enabled_) levels_[u] = throttle_->clamp(i, levels_[u]);
     }
 
     ++stats.epochs;

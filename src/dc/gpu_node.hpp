@@ -29,6 +29,9 @@
 #include "dc/traffic.hpp"
 #include "engine/sim_backend.hpp"
 #include "faults/fault_injector.hpp"
+#include "thermal/thermal_model.hpp"
+#include "thermal/thermal_spec.hpp"
+#include "thermal/thermal_throttle.hpp"
 
 namespace ssm::dc {
 
@@ -69,6 +72,11 @@ class GpuNode {
     std::uint64_t rack_seed = 0;
     /// Active spec makes this a degraded chip; nullptr/inactive is clean.
     const faults::FaultSpec* fault = nullptr;
+    /// Enabled scenario gives the node RC thermal physics: die temperature
+    /// carries across jobs, cools during idle epochs, and a persistent
+    /// throttle backstops every commanded level. nullptr/disabled is the
+    /// pre-thermal node, byte for byte.
+    const thermal::ThermalScenario* thermal = nullptr;
     std::size_t max_jobs = 0;  ///< queue capacity (total traffic size)
   };
 
@@ -110,6 +118,12 @@ class GpuNode {
   [[nodiscard]] const faults::FaultCounts& faultCounts() const noexcept {
     return fault_counts_;
   }
+  /// Hottest die temperature the node ever reached (0 without thermal).
+  [[nodiscard]] double peakTempC() const noexcept { return peak_temp_c_; }
+  /// Epochs the node's throttle spent limiting (0 without thermal).
+  [[nodiscard]] std::int64_t throttleEpochs() const noexcept {
+    return throttle_ ? throttle_->throttleEpochs() : 0;
+  }
   [[nodiscard]] TimeNs nowNs() const noexcept { return now_ns_; }
 
  private:
@@ -147,6 +161,18 @@ class GpuNode {
   std::vector<SsmdvfsGovernor*> presetable_;  ///< soft-preset path (or null)
   std::vector<VfLevel> levels_;
   std::unique_ptr<faults::FaultInjector> injector_;
+
+  // Thermal carry-over (only populated when the scenario is enabled). The
+  // idle model owns the node temperatures between jobs: a starting job
+  // copies them in (setThermalState), a finishing job copies them back, and
+  // idle epochs integrate cooling under the rail floor. The throttle is one
+  // persistent state machine per node, observing across job boundaries.
+  const thermal::ThermalScenario* thermal_ = nullptr;
+  bool thermal_enabled_ = false;
+  std::optional<thermal::ThermalModel> idle_thermal_;
+  std::optional<thermal::ThermalThrottle> throttle_;
+  std::vector<double> zero_power_w_;  ///< idle clusters draw no dynamic power
+  double peak_temp_c_ = 0.0;
 
   // Accumulated over the node's lifetime.
   std::vector<JobOutcome> completed_;

@@ -61,6 +61,7 @@ RackResult runRack(const RackSpec& spec, ThreadPool* pool) {
         std::find(spec.degraded.begin(), spec.degraded.end(), g) !=
         spec.degraded.end();
     init.fault = degraded ? &spec.fault : nullptr;
+    init.thermal = &spec.thermal;
     init.max_jobs = traffic.size();
     nodes.push_back(std::make_unique<GpuNode>(init));
   }
@@ -184,6 +185,11 @@ RackResult runRack(const RackSpec& spec, ThreadPool* pool) {
     out.fault_counts.failed += node->faultCounts().failed;
     out.fault_counts.stuck += node->faultCounts().stuck;
     out.fault_counts.jitter += node->faultCounts().jitter;
+    out.fault_counts.heatsoak += node->faultCounts().heatsoak;
+    out.fault_counts.tsensor += node->faultCounts().tsensor;
+    out.fault_counts.tjolt += node->faultCounts().tjolt;
+    out.peak_temp_c = std::max(out.peak_temp_c, node->peakTempC());
+    out.throttle_epochs += node->throttleEpochs();
     GpuNodeSummary s;
     s.gpu_id = static_cast<int>(out.nodes.size());
     s.jobs_run = node->jobsRun();

@@ -22,6 +22,7 @@
 #include "dc/rack_power.hpp"
 #include "dc/traffic.hpp"
 #include "sched/thread_pool.hpp"
+#include "thermal/thermal_spec.hpp"
 
 namespace ssm::dc {
 
@@ -52,6 +53,11 @@ struct RackSpec {
   faults::FaultSpec fault;
   /// GPU ids running under `fault`; empty means every chip is healthy.
   std::vector<int> degraded;
+  /// Rack-wide thermal scenario. When enabled every node integrates the RC
+  /// network (die temperature carries across jobs and cools during idle
+  /// epochs) and runs a persistent thermal throttle; disabled (default)
+  /// keeps the rack byte-identical to the pre-thermal build.
+  thermal::ThermalScenario thermal;
 };
 
 struct GpuNodeSummary {
@@ -92,6 +98,10 @@ struct RackResult {
   TimeNs p50_latency_ns = 0;
   TimeNs p99_latency_ns = 0;
   faults::FaultCounts fault_counts;
+  /// Hottest die temperature across every node and epoch, and total
+  /// node-epochs spent throttle-limited (both 0 on a non-thermal rack).
+  double peak_temp_c = 0.0;
+  std::int64_t throttle_epochs = 0;
   std::vector<GpuNodeSummary> nodes;
 };
 

@@ -1,10 +1,12 @@
 #include "engine/epoch_loop.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/check.hpp"
 #include "gpusim/fault_hook.hpp"
 #include "gpusim/trace.hpp"
+#include "thermal/thermal_throttle.hpp"
 
 namespace ssm::engine {
 
@@ -40,6 +42,8 @@ RunResult EpochLoop::run(
               "chip-wide mode drives exactly one governor");
     SSM_CHECK(cfg_.faults == nullptr,
               "fault injection is per-cluster; unsupported in chip-wide mode");
+    SSM_CHECK(cfg_.throttle == nullptr,
+              "thermal throttle is per-cluster; unsupported in chip-wide mode");
     return runChipWide(source, sink, *governors.front(),
                        std::move(mechanism_name));
   }
@@ -61,20 +65,39 @@ RunResult EpochLoop::runPerCluster(
   RunResult result;
   result.mechanism = std::move(mechanism_name);
   double power_time_sum = 0.0;
+  const std::int64_t throttle_epochs_before =
+      cfg_.throttle != nullptr ? cfg_.throttle->throttleEpochs() : 0;
 
   while (!source.done() && source.nowNs() < cfg_.max_time_ns) {
     GpuEpochReport report = source.nextEpoch(levels);
+    // Physical peak temperature, captured before sensor-fault corruption:
+    // the die heats regardless of what a broken sensor reports.
+    if (report.hasThermal()) {
+      result.peak_temp_c = std::max(
+          result.peak_temp_c,
+          std::max(report.package_temp_c,
+                   *std::max_element(report.cluster_temps_c.begin(),
+                                     report.cluster_temps_c.end())));
+    }
     // Faulted telemetry is what both the governors and the trace observe;
     // the source's internal state and energy accounting stay truthful.
     if (cfg_.faults != nullptr) cfg_.faults->onTelemetry(report);
     if (cfg_.trace != nullptr) cfg_.trace->record(report);
+    // The throttle, like the governors, reads sensor (post-fault) values.
+    if (cfg_.throttle != nullptr && report.hasThermal())
+      cfg_.throttle->observe(report.cluster_temps_c, report.package_temp_c);
     ++result.epochs;
     power_time_sum += report.chip_power_w;
     for (int i = 0; i < n; ++i) {
       const auto& obs = report.clusters[static_cast<std::size_t>(i)];
       level_epochs[static_cast<std::size_t>(obs.level)] += 1.0;
-      const VfLevel requested =
+      VfLevel requested =
           vf.clamp(governors[static_cast<std::size_t>(i)]->decide(obs));
+      // Arbitration order mirrors hardware: the protection firmware caps
+      // the governor's request, then the actuator (fault seam) may still
+      // fail or stick the transition downstream of it.
+      if (cfg_.throttle != nullptr)
+        requested = cfg_.throttle->clamp(i, requested);
       const VfLevel commanded =
           cfg_.faults != nullptr
               ? cfg_.faults->onActuate(i, requested, obs.level)
@@ -94,6 +117,9 @@ RunResult EpochLoop::runPerCluster(
   result.instructions = stats.instructions;
   result.mean_power_w =
       result.epochs > 0 ? power_time_sum / result.epochs : 0.0;
+  if (cfg_.throttle != nullptr)
+    result.throttle_epochs = static_cast<int>(
+        cfg_.throttle->throttleEpochs() - throttle_epochs_before);
 
   const double total_cluster_epochs =
       static_cast<double>(result.epochs) * static_cast<double>(n);
@@ -120,6 +146,13 @@ RunResult EpochLoop::runChipWide(EpochSource& source, ActuationSink& sink,
 
   while (!source.done() && source.nowNs() < cfg_.max_time_ns) {
     const GpuEpochReport report = source.nextEpoch(levels);
+    if (report.hasThermal()) {
+      result.peak_temp_c = std::max(
+          result.peak_temp_c,
+          std::max(report.package_temp_c,
+                   *std::max_element(report.cluster_temps_c.begin(),
+                                     report.cluster_temps_c.end())));
+    }
     if (cfg_.trace != nullptr) cfg_.trace->record(report);
     ++result.epochs;
     power_sum += report.chip_power_w;

@@ -29,6 +29,10 @@ class EpochTraceRecorder;
 class EpochFaultHook;
 }  // namespace ssm
 
+namespace ssm::thermal {
+class ThermalThrottle;
+}  // namespace ssm::thermal
+
 namespace ssm::engine {
 
 /// Per-run loop configuration: the cross-cutting seams.
@@ -39,6 +43,12 @@ struct LoopConfig {
   /// Corrupts telemetry / arbitrates actuation when non-null. Zero-cost
   /// when null: one pointer comparison per call site, nothing else.
   EpochFaultHook* faults = nullptr;
+  /// Thermal throttle arbitrated between governor decision and actuation
+  /// when non-null: it observes the (possibly fault-corrupted) temperature
+  /// tracks each epoch and clamps commanded levels to its cap. Requires a
+  /// source whose reports carry thermal tracks; per-cluster mode only.
+  /// Zero-cost when null, like `faults`.
+  thermal::ThermalThrottle* throttle = nullptr;
   /// ONE governor sees the cluster-averaged observation and its decision is
   /// applied chip-wide (the §V.A ablation). Fault injection is per-cluster
   /// and not supported in this mode.

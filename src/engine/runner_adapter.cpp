@@ -23,12 +23,14 @@ namespace ssm {
 
 RunResult runWithGovernor(Gpu gpu, const GovernorFactory& factory,
                           std::string mechanism_name, TimeNs max_time_ns,
-                          EpochTraceRecorder* trace, EpochFaultHook* faults) {
+                          EpochTraceRecorder* trace, EpochFaultHook* faults,
+                          thermal::ThermalThrottle* throttle) {
   engine::SimBackend backend(std::move(gpu));
   engine::LoopConfig cfg;
   cfg.max_time_ns = max_time_ns;
   cfg.trace = trace;
   cfg.faults = faults;
+  cfg.throttle = throttle;
   return engine::EpochLoop(cfg).run(backend, backend, factory,
                                     std::move(mechanism_name));
 }
@@ -58,9 +60,11 @@ class StaticFactory final : public GovernorFactory {
 };
 }  // namespace
 
-RunResult runBaseline(Gpu gpu, TimeNs max_time_ns) {
+RunResult runBaseline(Gpu gpu, TimeNs max_time_ns,
+                      thermal::ThermalThrottle* throttle) {
   const StaticFactory factory(gpu.vfTable().defaultLevel());
-  return runWithGovernor(std::move(gpu), factory, "baseline", max_time_ns);
+  return runWithGovernor(std::move(gpu), factory, "baseline", max_time_ns,
+                         nullptr, nullptr, throttle);
 }
 
 std::vector<RunResult> runSequence(const std::vector<KernelProfile>& programs,

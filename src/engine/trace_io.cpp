@@ -94,7 +94,7 @@ class ByteReader {
   std::size_t pos_ = 0;
 };
 
-void writeRunResult(ByteWriter& w, const RunResult& r) {
+void writeRunResult(ByteWriter& w, const RunResult& r, std::uint32_t version) {
   w.str(r.workload);
   w.str(r.mechanism);
   w.i64(r.exec_time_ns);
@@ -105,9 +105,13 @@ void writeRunResult(ByteWriter& w, const RunResult& r) {
   w.f64(r.mean_power_w);
   w.u32(static_cast<std::uint32_t>(r.level_histogram.size()));
   for (double h : r.level_histogram) w.f64(h);
+  if (version >= 2) {
+    w.f64(r.peak_temp_c);
+    w.i32(r.throttle_epochs);
+  }
 }
 
-RunResult readRunResult(ByteReader& r) {
+RunResult readRunResult(ByteReader& r, std::uint32_t version) {
   RunResult out;
   out.workload = r.str();
   out.mechanism = r.str();
@@ -121,6 +125,10 @@ RunResult readRunResult(ByteReader& r) {
   out.level_histogram.reserve(hist);
   for (std::uint32_t i = 0; i < hist; ++i)
     out.level_histogram.push_back(r.f64());
+  if (version >= 2) {
+    out.peak_temp_c = r.f64();
+    out.throttle_epochs = r.i32();
+  }
   return out;
 }
 
@@ -149,7 +157,15 @@ EpochObservation readObservation(ByteReader& r) {
   return obs;
 }
 
-std::string buildPayload(const EpochTrace& trace) {
+/// The on-disk version a trace needs: v2 only when temperature tracks are
+/// present, so every thermal-free trace stays byte-identical to v1 goldens.
+std::uint32_t versionFor(const EpochTrace& trace) {
+  for (const GpuEpochReport& rep : trace.epochs)
+    if (rep.hasThermal()) return kTraceVersion;
+  return kTraceVersionV1;
+}
+
+std::string buildPayload(const EpochTrace& trace, std::uint32_t version) {
   ByteWriter w;
   w.str(trace.workload);
   w.str(trace.mechanism);
@@ -159,7 +175,7 @@ std::string buildPayload(const EpochTrace& trace) {
     w.f64(p.voltage_v);
     w.f64(p.freq_mhz);
   }
-  writeRunResult(w, trace.recorded);
+  writeRunResult(w, trace.recorded, version);
   w.u32(static_cast<std::uint32_t>(trace.epochs.size()));
   w.u32(static_cast<std::uint32_t>(trace.numClusters()));
   for (const GpuEpochReport& rep : trace.epochs) {
@@ -170,12 +186,20 @@ std::string buildPayload(const EpochTrace& trace) {
     w.i64(rep.epoch_start_ns);
     w.i64(rep.epoch_len_ns);
     w.u8(rep.all_done ? 1 : 0);
+    if (version >= 2) {
+      SSM_CHECK(rep.hasThermal() &&
+                    rep.cluster_temps_c.size() == rep.clusters.size(),
+                "every epoch of a thermal trace must carry one temperature "
+                "per cluster");
+      w.f64(rep.package_temp_c);
+      for (double t : rep.cluster_temps_c) w.f64(t);
+    }
     for (const EpochObservation& obs : rep.clusters) writeObservation(w, obs);
   }
   return w.take();
 }
 
-EpochTrace parsePayload(std::string_view payload) {
+EpochTrace parsePayload(std::string_view payload, std::uint32_t version) {
   ByteReader r(payload);
   EpochTrace trace;
   trace.workload = r.str();
@@ -193,7 +217,7 @@ EpochTrace parsePayload(std::string_view payload) {
     points.push_back(p);
   }
   trace.vf = VfTable(std::move(points));
-  trace.recorded = readRunResult(r);
+  trace.recorded = readRunResult(r, version);
   const std::uint32_t num_epochs = r.u32();
   const std::uint32_t num_clusters = r.u32();
   trace.epochs.reserve(num_epochs);
@@ -204,6 +228,12 @@ EpochTrace parsePayload(std::string_view payload) {
     rep.epoch_start_ns = r.i64();
     rep.epoch_len_ns = r.i64();
     rep.all_done = r.u8() != 0;
+    if (version >= 2) {
+      rep.package_temp_c = r.f64();
+      rep.cluster_temps_c.reserve(num_clusters);
+      for (std::uint32_t c = 0; c < num_clusters; ++c)
+        rep.cluster_temps_c.push_back(r.f64());
+    }
     rep.clusters.reserve(num_clusters);
     for (std::uint32_t c = 0; c < num_clusters; ++c)
       rep.clusters.push_back(readObservation(r));
@@ -229,9 +259,10 @@ Header parseHeader(std::string_view bytes) {
   std::memcpy(&h.version, bytes.data() + 8, sizeof h.version);
   std::memcpy(&h.payload_size, bytes.data() + 12, sizeof h.payload_size);
   std::memcpy(&h.checksum, bytes.data() + 20, sizeof h.checksum);
-  if (h.version != kTraceVersion)
+  if (h.version != kTraceVersionV1 && h.version != kTraceVersion)
     throw DataError("unsupported SSMTRACE version " + std::to_string(h.version) +
-                    " (this build reads version " +
+                    " (this build reads versions " +
+                    std::to_string(kTraceVersionV1) + "-" +
                     std::to_string(kTraceVersion) + ")");
   return h;
 }
@@ -266,8 +297,8 @@ EpochTrace traceFromRecorder(const EpochTraceRecorder& recorder,
 }
 
 std::string serializeTrace(const EpochTrace& trace) {
-  const std::string payload = buildPayload(trace);
-  const std::uint32_t version = kTraceVersion;
+  const std::uint32_t version = versionFor(trace);
+  const std::string payload = buildPayload(trace, version);
   const auto payload_size = static_cast<std::uint64_t>(payload.size());
   const std::uint64_t checksum = fnv1a64(payload);
 
@@ -293,7 +324,7 @@ EpochTrace deserializeTrace(std::string_view bytes) {
   const std::uint64_t actual = fnv1a64(payload);
   if (actual != h.checksum)
     throw DataError("SSMTRACE payload corrupted: checksum mismatch");
-  return parsePayload(payload);
+  return parsePayload(payload, h.version);
 }
 
 void saveTrace(const EpochTrace& trace, const std::string& path) {

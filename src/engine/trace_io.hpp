@@ -13,15 +13,22 @@
 //
 //   offset  size  field
 //   0       8     magic "SSMTRACE"
-//   8       4     u32 format version (currently 1)
+//   8       4     u32 format version (1 or 2)
 //   12      8     u64 payload_size — byte length of the payload that follows
 //   20      8     u64 checksum — FNV-1a 64 over the payload bytes
 //   28      ...   payload (payload_size bytes, nothing after it)
 //
+// Version history. v1 is the original format. v2 adds the thermal tracks:
+// the RunResult block gains peak_temp_c + throttle_epochs and every epoch
+// gains a package temperature plus one temperature per cluster. A trace
+// with no thermal tracks is ALWAYS written as v1 — byte-identical to what
+// a pre-thermal build produced — and both versions are read transparently,
+// so committed golden traces and old archives keep working unchanged.
+//
 // Integrity rules, enforced by deserializeTrace/loadTrace (all failures
 // throw DataError, never ContractError — a bad file is an input problem):
 //   * magic mismatch            -> "not an SSMTRACE file"
-//   * version != kTraceVersion  -> unsupported version
+//   * version not in {1, 2}     -> unsupported version
 //   * fewer payload bytes than payload_size announces -> truncated
 //   * trailing bytes after the payload               -> rejected
 //   * checksum mismatch         -> corrupted
@@ -48,7 +55,12 @@ class EpochTraceRecorder;
 namespace ssm::engine {
 
 inline constexpr std::string_view kTraceMagic = "SSMTRACE";
-inline constexpr std::uint32_t kTraceVersion = 1;
+/// Original format, and what every trace WITHOUT thermal tracks is still
+/// written as (byte-compatibility with committed goldens).
+inline constexpr std::uint32_t kTraceVersionV1 = 1;
+/// Current format: v1 plus temperature tracks. Written only when the
+/// recorded epochs actually carry them.
+inline constexpr std::uint32_t kTraceVersion = 2;
 
 /// A fully recorded run: metadata + final stats + every epoch report.
 struct EpochTrace {

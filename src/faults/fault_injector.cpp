@@ -15,6 +15,8 @@ constexpr std::uint64_t kStreamNoise = 2;
 constexpr std::uint64_t kStreamJitter = 3;
 constexpr std::uint64_t kStreamStuck = 4;
 constexpr std::uint64_t kStreamFail = 5;
+constexpr std::uint64_t kStreamTsensor = 6;
+constexpr std::uint64_t kStreamTjolt = 7;
 
 /// The telemetry payload a fault may replace: the counters plus the derived
 /// per-cluster scalars. Identity fields (level, timing, cluster_id, done)
@@ -38,6 +40,9 @@ FaultInjector::FaultInjector(FaultSpec spec, std::uint64_t seed)
   if (spec_.delay.p > 0.0) history_depth_ = static_cast<std::size_t>(spec_.delay.k);
   if (spec_.dropout.p > 0.0 && spec_.dropout.stale)
     history_depth_ = std::max<std::size_t>(history_depth_, 1);
+  if (spec_.tsensor.p > 0.0 &&
+      spec_.tsensor.mode == ThermalSensorFault::Mode::kLag)
+    temp_history_depth_ = static_cast<std::size_t>(spec_.tsensor.k);
 }
 
 Rng FaultInjector::cellRng(std::uint64_t stream, std::int64_t epoch,
@@ -62,12 +67,97 @@ void FaultInjector::onTelemetry(GpuEpochReport& report) {
       history_[c][slot] = report.clusters[c];
   }
 
+  // Pristine temperature history for the lagging-sensor class, recorded
+  // before any corruption (a lagging sensor replays what the die really
+  // read k epochs ago).
+  if (temp_history_depth_ > 0 && report.hasThermal()) {
+    const std::size_t tcap = temp_history_depth_ + 1;
+    if (temp_history_.size() < n)
+      temp_history_.resize(n, std::vector<double>(tcap, 0.0));
+    const std::size_t slot = static_cast<std::size_t>(epoch_) % tcap;
+    for (std::size_t c = 0; c < n; ++c)
+      temp_history_[c][slot] = report.cluster_temps_c[c];
+  }
+
+  // corruptThermal gates its own triggers on the window: a latched stuck
+  // sensor keeps holding past the window's end (triggers are gated,
+  // consequences are not), mirroring the stuck-level actuation class.
+  corruptThermal(report);
+
   if (!spec_.window.contains(epoch_)) return;
 
   for (std::size_t c = 0; c < n; ++c) {
     EpochObservation& obs = report.clusters[c];
     if (obs.cluster_done) continue;
     corruptCluster(obs, static_cast<int>(c));
+  }
+}
+
+void FaultInjector::corruptThermal(GpuEpochReport& report) {
+  if (!report.hasThermal()) return;
+  const bool in_window = spec_.window.contains(epoch_);
+  const std::size_t n = report.cluster_temps_c.size();
+
+  // Heat-soak: deterministic chip-wide additive episode, linear ramp from
+  // the window start. Touches every cluster sensor and the package sensor.
+  if (spec_.heatsoak.add_c > 0.0 && in_window) {
+    const auto since = static_cast<double>(epoch_ - spec_.window.start + 1);
+    const double frac =
+        std::min(1.0, since / static_cast<double>(spec_.heatsoak.ramp));
+    const double add = spec_.heatsoak.add_c * frac;
+    for (double& t : report.cluster_temps_c) t += add;
+    report.package_temp_c += add;
+    ++counts_.heatsoak;
+  }
+
+  if (spec_.tsensor.p > 0.0) {
+    if (sensor_stuck_until_.size() < n) {
+      sensor_stuck_until_.resize(n, 0);
+      sensor_stuck_value_.resize(n, 0.0);
+    }
+    for (std::size_t c = 0; c < n; ++c) {
+      double& t = report.cluster_temps_c[c];
+      // An already-latched sensor holds its reading regardless of window.
+      if (spec_.tsensor.mode == ThermalSensorFault::Mode::kStuck &&
+          epoch_ < sensor_stuck_until_[c]) {
+        t = sensor_stuck_value_[c];
+        ++counts_.tsensor;
+        continue;
+      }
+      if (!in_window ||
+          !cellRng(kStreamTsensor, epoch_, static_cast<int>(c))
+               .nextBernoulli(spec_.tsensor.p))
+        continue;
+      ++counts_.tsensor;
+      switch (spec_.tsensor.mode) {
+        case ThermalSensorFault::Mode::kLag: {
+          if (epoch_ >= spec_.tsensor.k) {
+            const std::size_t tcap = temp_history_depth_ + 1;
+            t = temp_history_[c][static_cast<std::size_t>(
+                                     epoch_ - spec_.tsensor.k) %
+                                 tcap];
+          }
+          break;
+        }
+        case ThermalSensorFault::Mode::kStuck:
+          sensor_stuck_value_[c] = t;
+          sensor_stuck_until_[c] = epoch_ + spec_.tsensor.k;
+          break;
+        case ThermalSensorFault::Mode::kDrop:
+          t = 0.0;  // dead sensor: reads nothing, masks real overheating
+          break;
+      }
+    }
+  }
+
+  if (spec_.tjolt.p > 0.0 && in_window) {
+    for (std::size_t c = 0; c < n; ++c) {
+      if (cellRng(kStreamTjolt, epoch_, static_cast<int>(c))
+              .nextBernoulli(spec_.tjolt.p)) {
+        report.cluster_temps_c[c] += spec_.tjolt.amp_c;
+        ++counts_.tjolt;
+      }
+    }
   }
 }
 

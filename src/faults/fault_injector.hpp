@@ -21,7 +21,8 @@
 
 namespace ssm::faults {
 
-/// How many cluster-epoch events each fault class actually injected.
+/// How many cluster-epoch events each fault class actually injected
+/// (heatsoak counts epochs — it is chip-wide, not per-cluster).
 struct FaultCounts {
   std::int64_t noise = 0;
   std::int64_t dropout = 0;
@@ -29,9 +30,13 @@ struct FaultCounts {
   std::int64_t failed = 0;
   std::int64_t stuck = 0;
   std::int64_t jitter = 0;
+  std::int64_t heatsoak = 0;
+  std::int64_t tsensor = 0;
+  std::int64_t tjolt = 0;
 
   [[nodiscard]] std::int64_t total() const noexcept {
-    return noise + dropout + delay + failed + stuck + jitter;
+    return noise + dropout + delay + failed + stuck + jitter + heatsoak +
+           tsensor + tjolt;
   }
   friend bool operator==(const FaultCounts&, const FaultCounts&) = default;
 };
@@ -59,6 +64,10 @@ class FaultInjector final : public EpochFaultHook {
 
   void corruptCluster(EpochObservation& obs, int cluster);
 
+  /// Corrupts the temperature tracks (heatsoak, tsensor, tjolt). No-op on
+  /// reports without thermal tracks: there is no sensor to corrupt.
+  void corruptThermal(GpuEpochReport& report);
+
   FaultSpec spec_;
   Rng root_;
   FaultCounts counts_;
@@ -70,6 +79,13 @@ class FaultInjector final : public EpochFaultHook {
   std::size_t history_depth_ = 0;
   /// First epoch index at which each cluster's stuck level unfreezes.
   std::vector<std::int64_t> stuck_until_;
+
+  /// Pristine per-cluster temperature history ring (tsensor mode=lag).
+  std::vector<std::vector<double>> temp_history_;
+  std::size_t temp_history_depth_ = 0;
+  /// tsensor mode=stuck latch: held reading and first epoch it releases.
+  std::vector<double> sensor_stuck_value_;
+  std::vector<std::int64_t> sensor_stuck_until_;
 };
 
 }  // namespace ssm::faults

@@ -111,7 +111,8 @@ std::string num(double v) {
 
 bool FaultSpec::active() const noexcept {
   return noise.p > 0.0 || dropout.p > 0.0 || delay.p > 0.0 || fail.p > 0.0 ||
-         stuck.p > 0.0 || jitter.p > 0.0;
+         stuck.p > 0.0 || jitter.p > 0.0 || heatsoak.add_c > 0.0 ||
+         tsensor.p > 0.0 || tjolt.p > 0.0;
 }
 
 FaultSpec FaultSpec::parse(std::string_view text) {
@@ -119,7 +120,7 @@ FaultSpec FaultSpec::parse(std::string_view text) {
   text = trim(text);
   if (text.empty() || text == "none") return spec;
 
-  bool seen[7] = {};
+  bool seen[10] = {};
   for (std::string_view raw : split(text, ';')) {
     const std::string_view clause_text = trim(raw);
     if (clause_text.empty()) continue;
@@ -187,6 +188,43 @@ FaultSpec FaultSpec::parse(std::string_view text) {
           spec.jitter.frac = parseNonNeg(name, kv.key, kv.value);
         else unknownKey(name, kv.key);
       }
+    } else if (name == "heatsoak") {
+      which = 7;
+      for (const auto& kv : kvs) {
+        if (kv.key == "add")
+          spec.heatsoak.add_c = parseNonNeg(name, kv.key, kv.value);
+        else if (kv.key == "ramp") {
+          const std::int64_t e = parseInt(name, kv.key, kv.value);
+          if (e < 1 || e > 100000) specError("heatsoak.ramp must be in [1,1e5]");
+          spec.heatsoak.ramp = static_cast<int>(e);
+        } else unknownKey(name, kv.key);
+      }
+    } else if (name == "tsensor") {
+      which = 8;
+      for (const auto& kv : kvs) {
+        if (kv.key == "p") spec.tsensor.p = parseProb(name, kv.key, kv.value);
+        else if (kv.key == "mode") {
+          if (kv.value == "lag") spec.tsensor.mode = ThermalSensorFault::Mode::kLag;
+          else if (kv.value == "stuck")
+            spec.tsensor.mode = ThermalSensorFault::Mode::kStuck;
+          else if (kv.value == "drop")
+            spec.tsensor.mode = ThermalSensorFault::Mode::kDrop;
+          else specError("tsensor.mode must be 'lag', 'stuck' or 'drop', got '" +
+                    std::string(kv.value) + "'");
+        } else if (kv.key == "k") {
+          const std::int64_t k = parseInt(name, kv.key, kv.value);
+          if (k < 1 || k > 64) specError("tsensor.k must be in [1,64]");
+          spec.tsensor.k = static_cast<int>(k);
+        } else unknownKey(name, kv.key);
+      }
+    } else if (name == "tjolt") {
+      which = 9;
+      for (const auto& kv : kvs) {
+        if (kv.key == "p") spec.tjolt.p = parseProb(name, kv.key, kv.value);
+        else if (kv.key == "amp")
+          spec.tjolt.amp_c = parseNonNeg(name, kv.key, kv.value);
+        else unknownKey(name, kv.key);
+      }
     } else if (name == "window") {
       which = 6;
       for (const auto& kv : kvs) {
@@ -203,7 +241,8 @@ FaultSpec FaultSpec::parse(std::string_view text) {
         specError("window.end must be > window.start");
     } else {
       specError("unknown clause '" + std::string(name) +
-           "' (expected noise|dropout|delay|fail|stuck|jitter|window)");
+           "' (expected noise|dropout|delay|fail|stuck|jitter|heatsoak|"
+           "tsensor|tjolt|window)");
     }
     if (seen[which]) specError("duplicate clause '" + std::string(name) + "'");
     seen[which] = true;
@@ -231,6 +270,19 @@ std::string FaultSpec::print() const {
            ",epochs=" + std::to_string(stuck.epochs));
   if (jitter.p > 0.0)
     clause("jitter:p=" + num(jitter.p) + ",frac=" + num(jitter.frac));
+  if (heatsoak.add_c > 0.0)
+    clause("heatsoak:add=" + num(heatsoak.add_c) +
+           ",ramp=" + std::to_string(heatsoak.ramp));
+  if (tsensor.p > 0.0) {
+    const char* mode = tsensor.mode == ThermalSensorFault::Mode::kLag ? "lag"
+                       : tsensor.mode == ThermalSensorFault::Mode::kStuck
+                           ? "stuck"
+                           : "drop";
+    clause("tsensor:p=" + num(tsensor.p) + ",mode=" + mode +
+           ",k=" + std::to_string(tsensor.k));
+  }
+  if (tjolt.p > 0.0)
+    clause("tjolt:p=" + num(tjolt.p) + ",amp=" + num(tjolt.amp_c));
   if (active() && window != FaultWindow{}) {
     std::string w = "window:start=" + std::to_string(window.start);
     if (window.end != FaultWindow::kNoEnd)

@@ -19,10 +19,22 @@
 //                            the current level for `epochs` epochs
 //   jitter  p, frac          transient clock jitter: the reported clock
 //                            counters (freq, cycles) read up to ±frac off
+//   heatsoak add, ramp       sensed temperatures climb by up to `add` degC,
+//                            ramping linearly over `ramp` epochs from the
+//                            window start (hot-aisle / blocked-fan episode)
+//   tsensor p, mode, k       thermal sensor pathology: mode=lag reports the
+//                            reading from k epochs ago, mode=stuck latches
+//                            the current reading for k epochs, mode=drop
+//                            reads 0 degC (dead sensor masks overheating)
+//   tjolt   p, amp           one-epoch sensed-temperature spike of `amp`
+//                            degC that can falsely trip the throttle
 //   window  start, end       restricts all clauses to epochs [start, end)
 //                            — transient bursts instead of run-long faults
 //
 // Probabilities are per cluster-epoch (per transition for fail/stuck).
+// The thermal clauses corrupt the temperature tracks of the epoch report;
+// on runs without thermal modeling they are accepted but inject nothing
+// (there is no sensor to corrupt).
 #pragma once
 
 #include <cstdint>
@@ -79,6 +91,37 @@ struct ClockJitterFault {
                          const ClockJitterFault&) = default;
 };
 
+/// Deterministic (no RNG) environmental episode: sensed temperatures climb
+/// by up to `add_c` degC, ramping linearly over `ramp` epochs from the
+/// fault window's start.
+struct HeatSoakFault {
+  double add_c = 0.0;
+  int ramp = 64;
+
+  friend bool operator==(const HeatSoakFault&, const HeatSoakFault&) = default;
+};
+
+/// Per-cluster thermal sensor pathology.
+struct ThermalSensorFault {
+  enum class Mode : std::uint8_t { kLag, kStuck, kDrop };
+
+  double p = 0.0;       ///< per cluster-epoch trigger probability
+  Mode mode = Mode::kLag;
+  int k = 4;            ///< lag depth (kLag) or latch duration (kStuck)
+
+  friend bool operator==(const ThermalSensorFault&,
+                         const ThermalSensorFault&) = default;
+};
+
+/// Transient one-epoch sensed-temperature spike.
+struct ThermalJoltFault {
+  double p = 0.0;
+  double amp_c = 15.0;
+
+  friend bool operator==(const ThermalJoltFault&,
+                         const ThermalJoltFault&) = default;
+};
+
 /// Epoch range [start, end) the faults are confined to. The default covers
 /// the whole run.
 struct FaultWindow {
@@ -99,6 +142,9 @@ struct FaultSpec {
   FailedTransitionFault fail;
   StuckLevelFault stuck;
   ClockJitterFault jitter;
+  HeatSoakFault heatsoak;
+  ThermalSensorFault tsensor;
+  ThermalJoltFault tjolt;
   FaultWindow window;
 
   /// True when any clause can fire. A spec that is all-defaults (or only a

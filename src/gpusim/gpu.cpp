@@ -27,6 +27,11 @@ Gpu::Gpu(const GpuConfig& cfg, VfTable vf, const KernelProfile& kernel,
   mem_env_.store_stall_prob = cfg_->store_stall_base;
 }
 
+void Gpu::attachThermal(const thermal::ThermalParams& params) {
+  thermal_.emplace(params, numClusters());
+  thermal_power_w_.assign(clusters_.size(), 0.0);
+}
+
 GpuEpochReport Gpu::runEpoch(std::span<const VfLevel> levels) {
   SSM_CHECK(static_cast<int>(levels.size()) == numClusters(),
             "one level per cluster required");
@@ -55,9 +60,16 @@ GpuEpochReport Gpu::runEpoch(std::span<const VfLevel> levels) {
                               .mem = r.mem_act,
                               .active = r.active_frac};
     const double p_dyn = power_.cluster().dynamicPowerW(vfp, act);
-    const double p_leak = power_.cluster().leakagePowerW(vfp);
+    // Leakage feedback: with a thermal model attached, evaluate at the
+    // cluster's epoch-start temperature; without one, the calibration-point
+    // path reproduces the historical voltage-only leakage bit-for-bit.
+    const double p_leak =
+        thermal_ ? power_.cluster().leakagePowerW(
+                       vfp, thermal_->clusterTempC(static_cast<int>(i)))
+                 : power_.cluster().leakagePowerW(vfp);
     const double p_total = p_dyn + p_leak;
     cluster_power_sum += p_total;
+    if (thermal_) thermal_power_w_[i] = p_total;
 
     r.counters.set(CounterId::kPowerClusterW, p_total);
     r.counters.set(CounterId::kPowerDynamicW, p_dyn);
@@ -100,6 +112,15 @@ GpuEpochReport Gpu::runEpoch(std::span<const VfLevel> levels) {
 
   report.chip_power_w = cluster_power_sum + power_.uncorePowerW(report.dram_util);
   report.all_done = allDone();
+
+  // Advance the RC network with this epoch's heat and expose the post-step
+  // temperatures; next epoch's leakage reads them back (explicit coupling).
+  if (thermal_) {
+    thermal_->step(thermal_power_w_, power_.uncorePowerW(report.dram_util),
+                   cfg_->epoch_ns);
+    report.cluster_temps_c = thermal_->state().cluster_c;
+    report.package_temp_c = thermal_->packageTempC();
+  }
 
   // Energy: integrate up to the retire point in the final epoch, full epoch
   // otherwise.

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "gpusim/sm_cluster.hpp"
 #include "power/power_model.hpp"
 #include "power/vf_table.hpp"
+#include "thermal/thermal_model.hpp"
 #include "workloads/kernel_profile.hpp"
 
 namespace ssm {
@@ -32,6 +34,14 @@ struct GpuEpochReport {
   TimeNs epoch_start_ns = 0;
   TimeNs epoch_len_ns = 0;
   bool all_done = false;
+  /// Post-step node temperatures when thermal modeling is attached; empty
+  /// (and package_temp_c == 0) otherwise. One entry per cluster.
+  std::vector<double> cluster_temps_c;
+  double package_temp_c = 0.0;
+
+  [[nodiscard]] bool hasThermal() const noexcept {
+    return !cluster_temps_c.empty();
+  }
 };
 
 class Gpu {
@@ -74,6 +84,26 @@ class Gpu {
     return last_epoch_insts_;
   }
 
+  /// Attaches the RC thermal model: leakage becomes temperature-dependent
+  /// (fed from the node temperatures at the start of each epoch) and every
+  /// subsequent report carries post-step temperature tracks. Never attached
+  /// by default — without it the simulator is bit-identical to the
+  /// pre-thermal code. Copying the Gpu snapshots the thermal state too.
+  void attachThermal(const thermal::ThermalParams& params);
+
+  [[nodiscard]] bool hasThermal() const noexcept {
+    return thermal_.has_value();
+  }
+  /// Thermal node snapshot; requires hasThermal().
+  [[nodiscard]] const thermal::ThermalState& thermalState() const {
+    return thermal_->state();
+  }
+  /// Overwrites node temperatures (datacenter carry-over between jobs);
+  /// requires hasThermal().
+  void setThermalState(const thermal::ThermalState& state) {
+    thermal_->setState(state);
+  }
+
  private:
   std::shared_ptr<const GpuConfig> cfg_;
   VfTable vf_;
@@ -84,6 +114,8 @@ class Gpu {
   EnergyAccountant energy_;
   TimeNs now_ns_ = 0;
   std::int64_t last_epoch_insts_ = 0;
+  std::optional<thermal::ThermalModel> thermal_;
+  std::vector<double> thermal_power_w_;  ///< per-epoch scratch, preallocated
 };
 
 }  // namespace ssm

@@ -30,10 +30,20 @@ struct RunResult {
   double mean_power_w = 0.0;
   /// Fraction of cluster-epochs spent at each V/f level.
   std::vector<double> level_histogram;
+  /// Hottest physical node temperature seen over the run (degC, pre-fault
+  /// truth); 0 when the run carried no thermal tracks.
+  double peak_temp_c = 0.0;
+  /// Epochs during which the thermal throttle capped at least one cluster;
+  /// 0 when no throttle was arbitrated.
+  int throttle_epochs = 0;
 };
 
 class EpochTraceRecorder;
 class EpochFaultHook;
+
+namespace thermal {
+class ThermalThrottle;
+}  // namespace thermal
 
 /// Runs `gpu` to completion (or `max_time_ns`) with one governor per
 /// cluster created from `factory`. When `trace` is non-null every epoch
@@ -41,15 +51,21 @@ class EpochFaultHook;
 /// telemetry the governors (and the trace) observe and arbitrates every
 /// commanded V/f transition; when null the run is byte-identical to a build
 /// without the seam (one pointer comparison per call site, nothing else).
-[[nodiscard]] RunResult runWithGovernor(Gpu gpu, const GovernorFactory& factory,
-                                        std::string mechanism_name,
-                                        TimeNs max_time_ns = 5 * kNsPerMs,
-                                        EpochTraceRecorder* trace = nullptr,
-                                        EpochFaultHook* faults = nullptr);
+/// When `throttle` is non-null (requires a Gpu with thermal modeling
+/// attached) it caps every governor-commanded level per the thermal
+/// protection state machine.
+[[nodiscard]] RunResult runWithGovernor(
+    Gpu gpu, const GovernorFactory& factory, std::string mechanism_name,
+    TimeNs max_time_ns = 5 * kNsPerMs, EpochTraceRecorder* trace = nullptr,
+    EpochFaultHook* faults = nullptr,
+    thermal::ThermalThrottle* throttle = nullptr);
 
 /// Convenience: runs the given workload at the fixed default level — the
-/// paper's baseline configuration.
-[[nodiscard]] RunResult runBaseline(Gpu gpu, TimeNs max_time_ns = 5 * kNsPerMs);
+/// paper's baseline configuration. The throttle still applies when given:
+/// hardware protection is mechanism-independent.
+[[nodiscard]] RunResult runBaseline(Gpu gpu, TimeNs max_time_ns = 5 * kNsPerMs,
+                                    thermal::ThermalThrottle* throttle =
+                                        nullptr);
 
 /// Chip-wide DVFS variant: ONE governor sees the cluster-averaged
 /// observation and its decision is applied to every cluster. Quantifies

@@ -30,8 +30,19 @@ double ClusterPowerModel::dynamicPowerW(
 }
 
 double ClusterPowerModel::leakagePowerW(const VfPoint& vf) const noexcept {
+  return leakagePowerW(vf, params_.leak_cal_temp_c);
+}
+
+double ClusterPowerModel::leakagePowerW(const VfPoint& vf,
+                                        double temp_c) const noexcept {
   const double v = vf.voltage_v;
-  const double p = params_.leak_lin * v + params_.leak_cub * v * v * v;
+  const double base = params_.leak_lin * v + params_.leak_cub * v * v * v;
+  // exp(0) == 1.0 exactly in IEEE-754, so the calibration-temperature path
+  // (and every caller that does not model heat) stays bit-identical to the
+  // historical voltage-only polynomial.
+  const double scale =
+      std::exp(params_.leak_temp_alpha * (temp_c - params_.leak_cal_temp_c));
+  const double p = base * scale;
   SSM_AUDIT_CHECK(std::isfinite(p) && p >= 0.0,
                   "leakage power must be finite and non-negative");
   return p;

@@ -32,9 +32,23 @@ struct ClusterPowerParams {
   double w_issue = 0.42;
   double w_alu = 0.22;
   double w_mem = 0.14;
-  /// Leakage P = leak_lin * V + leak_cub * V^3 (watts; V in volts).
+  /// Leakage P = (leak_lin * V + leak_cub * V^3) * exp(alpha * (T - T_cal))
+  /// (watts; V in volts, T in degrees Celsius). The voltage polynomial is
+  /// calibrated at `leak_cal_temp_c` so that a fully-active 24-cluster chip
+  /// at the default operating point lands in the Titan X 250 W TDP class;
+  /// callers that do not model temperature evaluate at the calibration
+  /// point, where the exponential is exactly 1.0 and the legacy
+  /// voltage-only behaviour is reproduced bit-for-bit.
   double leak_lin = 0.40;
   double leak_cub = 0.45;
+  /// Exponential leakage-temperature sensitivity in 1/degC. 0.028 doubles
+  /// leakage roughly every 25 degC, in line with published GPU leakage
+  /// fits (Mei et al., arXiv:1610.01784 survey, sec. on thermal effects).
+  double leak_temp_alpha = 0.028;
+  /// Temperature at which leak_lin/leak_cub were calibrated (degC): a
+  /// steady-state die temperature typical of an open-bench Titan X under
+  /// sustained load.
+  double leak_cal_temp_c = 60.0;
 };
 
 /// Uncore (frequency-domain-independent) power coefficients for the chip.
@@ -50,7 +64,12 @@ class ClusterPowerModel {
 
   [[nodiscard]] double dynamicPowerW(const VfPoint& vf,
                                      const ClusterActivity& a) const noexcept;
+  /// Leakage at the calibration temperature (voltage-only legacy path).
   [[nodiscard]] double leakagePowerW(const VfPoint& vf) const noexcept;
+  /// Temperature-aware leakage. At `temp_c == params().leak_cal_temp_c`
+  /// this is bit-identical to the single-argument overload.
+  [[nodiscard]] double leakagePowerW(const VfPoint& vf,
+                                     double temp_c) const noexcept;
   [[nodiscard]] double totalPowerW(const VfPoint& vf,
                                    const ClusterActivity& a) const noexcept;
 

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <ostream>
 #include <sstream>
 #include <utility>
@@ -16,6 +17,7 @@
 #include "core/hardened_governor.hpp"
 #include "core/ssm_governor.hpp"
 #include "engine/replay_backend.hpp"
+#include "thermal/thermal_throttle.hpp"
 
 namespace ssm::fleet {
 
@@ -35,6 +37,14 @@ bool faultAxisActive(const SweepSpec& spec) {
 }
 
 bool replayMode(const SweepSpec& spec) { return !spec.replay.empty(); }
+
+/// True when the sweep's thermal axis carries any enabled scenario — the
+/// trigger for the thermal JSONL/CSV fields, mirroring faultAxisActive.
+bool thermalAxisActive(const SweepSpec& spec) {
+  for (const auto& t : spec.thermal)
+    if (t.enabled) return true;
+  return false;
+}
 
 /// The cell's workload name: profile name in live mode, the trace's
 /// recorded workload in replay mode.
@@ -100,35 +110,42 @@ std::vector<SweepJob> expandJobs(const SweepSpec& spec) {
   SSM_CHECK(!spec.presets.empty(), "sweep needs at least one preset");
   SSM_CHECK(!spec.seeds.empty(), "sweep needs at least one seed");
   SSM_CHECK(!spec.faults.empty(), "sweep needs at least one fault cell");
+  SSM_CHECK(!spec.thermal.empty(), "sweep needs at least one thermal cell");
   if (replay) {
     for (const auto& trace : spec.replay)
       SSM_CHECK(trace != nullptr, "replay sweep has a null trace entry");
     SSM_CHECK(!faultAxisActive(spec),
               "fault injection is closed-loop; unsupported in replay sweeps");
+    SSM_CHECK(!thermalAxisActive(spec),
+              "thermal physics is closed-loop; unsupported in replay sweeps");
   }
 
   const std::size_t num_workloads =
       replay ? spec.replay.size() : spec.workloads.size();
   std::vector<SweepJob> jobs;
   jobs.reserve(num_workloads * spec.mechanisms.size() * spec.presets.size() *
-               spec.seeds.size() * spec.faults.size());
+               spec.seeds.size() * spec.faults.size() * spec.thermal.size());
   for (std::size_t w = 0; w < num_workloads; ++w) {
     for (std::size_t m = 0; m < spec.mechanisms.size(); ++m) {
       for (std::size_t p = 0; p < spec.presets.size(); ++p) {
         for (std::size_t s = 0; s < spec.seeds.size(); ++s) {
           for (std::size_t f = 0; f < spec.faults.size(); ++f) {
-            SweepJob job;
-            job.index = jobs.size();
-            job.workload = w;
-            job.mechanism = m;
-            job.preset = p;
-            job.seed = s;
-            job.fault = f;
-            // Independent stream per (seed, workload); mechanism, preset
-            // and fault deliberately do NOT enter, so a faulted cell runs
-            // the very same program as its clean/baseline siblings.
-            job.sim_seed = Rng(spec.seeds[s]).fork(w).nextU64();
-            jobs.push_back(job);
+            for (std::size_t t = 0; t < spec.thermal.size(); ++t) {
+              SweepJob job;
+              job.index = jobs.size();
+              job.workload = w;
+              job.mechanism = m;
+              job.preset = p;
+              job.seed = s;
+              job.fault = f;
+              job.thermal = t;
+              // Independent stream per (seed, workload); mechanism, preset,
+              // fault and thermal deliberately do NOT enter, so a faulted or
+              // thermally-limited cell runs the very same program as its
+              // clean/baseline siblings.
+              job.sim_seed = Rng(spec.seeds[s]).fork(w).nextU64();
+              jobs.push_back(job);
+            }
           }
         }
       }
@@ -186,12 +203,30 @@ SweepResult FleetRunner::runJob(const SweepJob& job) const {
   const std::string& mech = spec_.mechanisms[job.mechanism];
   const double preset = spec_.presets[job.preset];
 
-  const Gpu machine(spec_.gpu, spec_.vf, kernel, job.sim_seed,
-                    ChipPowerModel(spec_.gpu.num_clusters));
+  Gpu machine(spec_.gpu, spec_.vf, kernel, job.sim_seed,
+              ChipPowerModel(spec_.gpu.num_clusters));
+
+  // An enabled thermal cell attaches physics to the machine BEFORE it is
+  // copied into the runs, so baseline and governed both integrate the RC
+  // network and leakage feedback. Each run gets its own throttle instance
+  // (the state machine is per-run, like the governors).
+  const thermal::ThermalScenario& scenario = spec_.thermal[job.thermal];
+  if (scenario.enabled) machine.attachThermal(scenario.params);
+  const int max_level = static_cast<int>(spec_.vf.defaultLevel());
+  std::optional<thermal::ThermalThrottle> baseline_throttle;
+  std::optional<thermal::ThermalThrottle> governed_throttle;
+  if (scenario.enabled) {
+    baseline_throttle.emplace(scenario.throttle, spec_.gpu.num_clusters,
+                              max_level);
+    governed_throttle.emplace(scenario.throttle, spec_.gpu.num_clusters,
+                              max_level);
+  }
 
   SweepResult out;
   out.job = job;
-  out.baseline = runBaseline(machine, spec_.max_time_ns);
+  out.baseline = runBaseline(machine, spec_.max_time_ns,
+                             baseline_throttle ? &*baseline_throttle
+                                               : nullptr);
   out.baseline.workload = kernel.name;
 
   // Only the governed run sees faults: the baseline stays the clean
@@ -208,19 +243,23 @@ SweepResult FleetRunner::runJob(const SweepJob& job) const {
   const auto factory =
       makeGovernorFactory(mech, spec_.vf, preset, spec_.model);
   GovernorModeLog mode_log;
+  thermal::ThermalThrottle* throttle =
+      governed_throttle ? &*governed_throttle : nullptr;
   if (factory != nullptr && spec_.harden) {
     const HardenedGovernorFactory hardened(*factory, spec_.vf,
                                            HardenedConfig{}, &mode_log);
     out.governed = runWithGovernor(machine, hardened, mech, spec_.max_time_ns,
-                                   nullptr, injector.get());
+                                   nullptr, injector.get(), throttle);
   } else {
     out.governed = factory ? runWithGovernor(machine, *factory, mech,
                                              spec_.max_time_ns, nullptr,
-                                             injector.get())
+                                             injector.get(), throttle)
                            : out.baseline;
   }
   out.governed.workload = kernel.name;
   out.governed.mechanism = mech;
+  out.peak_temp_c = out.governed.peak_temp_c;
+  out.throttle_epochs = out.governed.throttle_epochs;
   if (injector != nullptr) out.fault_counts = injector->counts();
   out.fallbacks = mode_log.fallbacks();
   out.recoveries = mode_log.recoveries();
@@ -309,8 +348,16 @@ std::string toJsonLine(const SweepSpec& spec, const SweepResult& r) {
         .value("failed", r.fault_counts.failed)
         .value("stuck", r.fault_counts.stuck)
         .value("jitter", r.fault_counts.jitter)
+        .value("heatsoak", r.fault_counts.heatsoak)
+        .value("tsensor", r.fault_counts.tsensor)
+        .value("tjolt", r.fault_counts.tjolt)
         .value("total", r.fault_counts.total())
         .endObject();
+  }
+  if (thermalAxisActive(spec)) {
+    w.value("thermal", spec.thermal[r.job.thermal].print())
+        .value("peak_temp_c", r.peak_temp_c)
+        .value("throttle_epochs", r.throttle_epochs);
   }
   if (spec.harden)
     w.value("fallbacks", r.fallbacks).value("recoveries", r.recoveries);
@@ -333,11 +380,13 @@ void writeCsv(const SweepSpec& spec, const std::vector<SweepResult>& results,
   // Conditional columns mirror the JSONL rule: clean, unhardened sweeps
   // keep the exact pre-fault schema.
   const bool with_faults = faultAxisActive(spec);
+  const bool with_thermal = thermalAxisActive(spec);
   const bool replay = replayMode(spec);
   os << "workload,mechanism,preset,seed,exec_time_us,energy_mj,edp_uj_s,"
         "epochs,edp_ratio,latency_ratio";
   if (replay) os << ",replay_of,agreement,decisions,matches";
   if (with_faults) os << ",faults,injected_faults";
+  if (with_thermal) os << ",thermal,peak_temp_c,throttle_epochs";
   if (spec.harden) os << ",fallbacks,recoveries";
   os << '\n';
   std::ostringstream num;
@@ -364,6 +413,11 @@ void writeCsv(const SweepSpec& spec, const std::vector<SweepResult>& results,
       // (print() never emits a quote character).
       num << ",\"" << spec.faults[r.job.fault].print() << "\","
           << r.fault_counts.total();
+    }
+    if (with_thermal) {
+      // The scenario's canonical form may contain ','; quote like faults.
+      num << ",\"" << spec.thermal[r.job.thermal].print() << "\","
+          << r.peak_temp_c << ',' << r.throttle_epochs;
     }
     if (spec.harden) num << ',' << r.fallbacks << ',' << r.recoveries;
     os << workloadName(spec, r.job) << ','

@@ -28,6 +28,7 @@
 #include "faults/fault_spec.hpp"
 #include "gpusim/runner.hpp"
 #include "sched/thread_pool.hpp"
+#include "thermal/thermal_spec.hpp"
 #include "workloads/kernel_profile.hpp"
 
 namespace ssm::fleet {
@@ -54,6 +55,11 @@ struct SweepSpec {
   /// Fault axis: one cell per scenario. The default single inactive spec
   /// reproduces the pre-fault sweep byte-for-byte.
   std::vector<faults::FaultSpec> faults = {{}};
+  /// Thermal axis: one cell per scenario. The default single disabled
+  /// scenario reproduces the pre-thermal sweep byte-for-byte. Thermal
+  /// physics is closed-loop (temperature feeds back into leakage power),
+  /// so an active axis is rejected in replay sweeps, like faults.
+  std::vector<thermal::ThermalScenario> thermal = {{}};
   /// Wrap every governed run in the HardenedGovernor decorator and report
   /// its fallback/recovery counts.
   bool harden = false;
@@ -72,10 +78,12 @@ struct SweepJob {
   std::size_t preset = 0;
   std::size_t seed = 0;
   std::size_t fault = 0;
+  std::size_t thermal = 0;
   /// Simulator seed: forked from the sweep seed by workload coordinate,
   /// so one (workload, seed) pair simulates identically under every
-  /// mechanism, preset and fault scenario (baselines line up across the
-  /// sweep and a faulted cell is comparable to its clean sibling).
+  /// mechanism, preset, fault and thermal scenario (baselines line up
+  /// across the sweep and a faulted cell is comparable to its clean
+  /// sibling).
   std::uint64_t sim_seed = 0;
 };
 
@@ -94,10 +102,16 @@ struct SweepResult {
   double agreement = 1.0;
   std::int64_t decisions = 0;
   std::int64_t matches = 0;
+  /// Hottest die temperature of the governed run and how many of its
+  /// epochs ran throttle-limited (both 0 when the cell's thermal scenario
+  /// is disabled).
+  double peak_temp_c = 0.0;
+  int throttle_epochs = 0;
 };
 
 /// Expands the cartesian product in deterministic order: workload-major,
-/// then mechanism, preset, seed. Throws ContractError on an empty axis.
+/// then mechanism, preset, seed, fault, thermal. Throws ContractError on an
+/// empty axis.
 [[nodiscard]] std::vector<SweepJob> expandJobs(const SweepSpec& spec);
 
 /// Builds the governor factory for a mechanism name (the `run`/`sweep`

@@ -1,0 +1,60 @@
+#include "thermal/thermal_model.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace ssm::thermal {
+
+ThermalModel::ThermalModel(ThermalParams params, int num_clusters)
+    : params_(params) {
+  SSM_CHECK(num_clusters > 0, "thermal model needs at least one cluster");
+  SSM_CHECK(params_.r_cluster > 0.0 && params_.r_package > 0.0,
+            "thermal resistances must be positive");
+  SSM_CHECK(params_.c_cluster > 0.0 && params_.c_package > 0.0,
+            "heat capacities must be positive");
+  // ssm-lint: allow(hot-path-alloc) — one-time construction, not the loop
+  state_.cluster_c.assign(static_cast<std::size_t>(num_clusters),
+                          params_.ambient_c);
+  state_.package_c = params_.ambient_c;
+}
+
+void ThermalModel::step(std::span<const double> cluster_power_w,
+                        double uncore_power_w, TimeNs dt_ns) noexcept {
+  SSM_AUDIT_CHECK(cluster_power_w.size() == state_.cluster_c.size(),
+                  "thermal step needs one power sample per cluster");
+  if (dt_ns <= 0) return;
+  const double dt_s = secondsOf(dt_ns);
+  const double pkg_old = state_.package_c;
+  // Synchronous update: every flow below reads pre-step temperatures, so
+  // the result does not depend on cluster iteration order. Each cluster's
+  // outbound flow is captured before its node is overwritten.
+  double flow_sum_w = 0.0;
+  for (std::size_t i = 0; i < state_.cluster_c.size(); ++i) {
+    const double t_old = state_.cluster_c[i];
+    const double flow_w = (t_old - pkg_old) / params_.r_cluster;
+    flow_sum_w += flow_w;
+    state_.cluster_c[i] =
+        t_old + dt_s * (cluster_power_w[i] - flow_w) / params_.c_cluster;
+    SSM_AUDIT_CHECK(std::isfinite(state_.cluster_c[i]),
+                    "cluster temperature must stay finite");
+  }
+  const double sink_w = (pkg_old - params_.ambient_c) / params_.r_package;
+  state_.package_c =
+      pkg_old + dt_s * (flow_sum_w + uncore_power_w - sink_w) / params_.c_package;
+  SSM_AUDIT_CHECK(std::isfinite(state_.package_c),
+                  "package temperature must stay finite");
+}
+
+void ThermalModel::setState(const ThermalState& state) {
+  SSM_CHECK(state.cluster_c.size() == state_.cluster_c.size(),
+            "thermal state cluster count mismatch");
+  state_ = state;
+}
+
+void ThermalModel::reset() noexcept {
+  for (double& t : state_.cluster_c) t = params_.ambient_c;
+  state_.package_c = params_.ambient_c;
+}
+
+}  // namespace ssm::thermal

@@ -1,0 +1,105 @@
+// Lumped RC thermal network for the simulated chip.
+//
+// Each cluster is one thermal node coupled through a per-cluster spreading
+// resistance to a shared package/heatsink node, which in turn couples to an
+// ambient sink:
+//
+//     C_c dT_i/dt = P_i - (T_i - T_pkg) / R_c                (cluster i)
+//     C_p dT_p/dt = sum_i (T_i - T_pkg) / R_c + P_uncore
+//                   - (T_p - T_amb) / R_p                    (package)
+//
+// stepped with an explicit Euler update once per simulator epoch (10 us by
+// default). The update is synchronous — every heat flow is evaluated at the
+// pre-step temperatures — so the result is independent of cluster iteration
+// order and bit-identical across thread counts.
+//
+// The default time constants are deliberately compressed (~0.2 ms cluster,
+// ~2 ms package instead of the hundreds of milliseconds of real silicon) so
+// that heat-soak dynamics play out within the millisecond-scale runs this
+// simulator performs; the resistance ratios follow die/package physics, so
+// steady-state temperatures are realistic for the Titan X 250 W class chip
+// the power model is calibrated against (~60 degC package, ~80 degC hot
+// cluster at full load, 30 degC ambient).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace ssm::thermal {
+
+/// RC network coefficients. Defaults are the compressed-time Titan X
+/// calibration described in the header comment.
+struct ThermalParams {
+  double ambient_c = 30.0;      ///< ambient sink temperature (degC)
+  double r_cluster = 2.0;       ///< cluster -> package resistance (degC/W)
+  double c_cluster = 1.0e-4;    ///< cluster heat capacity (J/degC)
+  double r_package = 0.12;      ///< package -> ambient resistance (degC/W)
+  double c_package = 1.0 / 60.0;  ///< package heat capacity (J/degC)
+
+  friend bool operator==(const ThermalParams&, const ThermalParams&) = default;
+};
+
+/// Temperature snapshot, exposed for trace recording and for carrying heat
+/// across job boundaries in the datacenter loop.
+struct ThermalState {
+  std::vector<double> cluster_c;  ///< per-cluster node temperatures (degC)
+  double package_c = 0.0;         ///< package/heatsink node temperature
+
+  friend bool operator==(const ThermalState&, const ThermalState&) = default;
+};
+
+/// Steps the RC network from per-epoch power. Value-semantic: copying a Gpu
+/// snapshots its thermal state along with everything else.
+class ThermalModel {
+ public:
+  ThermalModel(ThermalParams params, int num_clusters);
+
+  /// Advances every node by `dt_ns` given this epoch's per-cluster power and
+  /// the uncore power (deposited into the package node). `cluster_power_w`
+  /// must have exactly `numClusters()` entries. No allocation.
+  void step(std::span<const double> cluster_power_w, double uncore_power_w,
+            TimeNs dt_ns) noexcept;
+
+  [[nodiscard]] int numClusters() const noexcept {
+    return static_cast<int>(state_.cluster_c.size());
+  }
+  [[nodiscard]] double clusterTempC(int cluster) const noexcept {
+    return state_.cluster_c[static_cast<std::size_t>(cluster)];
+  }
+  [[nodiscard]] double packageTempC() const noexcept {
+    return state_.package_c;
+  }
+  [[nodiscard]] const ThermalState& state() const noexcept { return state_; }
+  [[nodiscard]] const ThermalParams& params() const noexcept {
+    return params_;
+  }
+
+  /// Overwrites node temperatures (datacenter carry-over between jobs).
+  /// The state's cluster count must match `numClusters()`.
+  void setState(const ThermalState& state);
+
+  /// Resets every node to ambient (cold start).
+  void reset() noexcept;
+
+  /// Analytic steady-state package temperature for a constant total chip
+  /// power (clusters + uncore): T_amb + P_total * R_p.
+  [[nodiscard]] static double steadyPackageC(const ThermalParams& p,
+                                             double total_power_w) noexcept {
+    return p.ambient_c + total_power_w * p.r_package;
+  }
+  /// Analytic steady-state cluster temperature given the steady package
+  /// temperature and that cluster's constant power: T_pkg + P_i * R_c.
+  [[nodiscard]] static double steadyClusterC(const ThermalParams& p,
+                                             double package_c,
+                                             double cluster_power_w) noexcept {
+    return package_c + cluster_power_w * p.r_cluster;
+  }
+
+ private:
+  ThermalParams params_;
+  ThermalState state_;
+};
+
+}  // namespace ssm::thermal

@@ -1,0 +1,144 @@
+#include "thermal/thermal_spec.hpp"
+
+// ssm-lint: allow(hot-path-io) — snprintf for print(); cold config code
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace ssm::thermal {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+    s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t'))
+    s.remove_suffix(1);
+  return s;
+}
+
+[[noreturn]] void specError(const std::string& what) {
+  throw DataError("bad --thermal spec: " + what);
+}
+
+double parsePositive(std::string_view key, std::string_view value) {
+  char* end = nullptr;
+  const std::string v(value);
+  const double d = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || *end != '\0')
+    specError(std::string(key) + "='" + v + "' is not a number");
+  if (d <= 0.0)
+    specError(std::string(key) + " must be > 0, got " + v);
+  return d;
+}
+
+double parseTemp(std::string_view key, std::string_view value) {
+  char* end = nullptr;
+  const std::string v(value);
+  const double d = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || *end != '\0')
+    specError(std::string(key) + "='" + v + "' is not a number");
+  if (d < -273.15 || d > 1000.0)
+    specError(std::string(key) + " must be a plausible degC value, got " + v);
+  return d;
+}
+
+int parseSmallInt(std::string_view key, std::string_view value, int lo,
+                  int hi) {
+  char* end = nullptr;
+  const std::string v(value);
+  const long long i = std::strtoll(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0')
+    specError(std::string(key) + "='" + v + "' is not an integer");
+  if (i < lo || i > hi)
+    specError(std::string(key) + " must be in [" + std::to_string(lo) + "," +
+              std::to_string(hi) + "], got " + v);
+  return static_cast<int>(i);
+}
+
+/// %.17g: shortest form that survives a strtod round trip for doubles.
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+ThermalScenario ThermalScenario::parse(std::string_view text) {
+  ThermalScenario scenario;
+  text = trim(text);
+  if (text.empty() || text == "none") return scenario;
+  scenario.enabled = true;
+  if (text == "on") return scenario;
+
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t at = text.find(',', start);
+    if (at == std::string_view::npos) at = text.size();
+    const std::string_view kv = trim(text.substr(start, at - start));
+    start = at + 1;
+    if (kv.empty()) continue;
+    const std::size_t eq = kv.find('=');
+    if (eq == std::string_view::npos || eq == 0 || eq + 1 >= kv.size())
+      specError("expected key=value pairs, got '" + std::string(kv) + "'");
+    const std::string_view key = trim(kv.substr(0, eq));
+    const std::string_view value = trim(kv.substr(eq + 1));
+    if (key == "amb") scenario.params.ambient_c = parseTemp(key, value);
+    else if (key == "rc") scenario.params.r_cluster = parsePositive(key, value);
+    else if (key == "cc") scenario.params.c_cluster = parsePositive(key, value);
+    else if (key == "rp") scenario.params.r_package = parsePositive(key, value);
+    else if (key == "cp") scenario.params.c_package = parsePositive(key, value);
+    else if (key == "trip") scenario.throttle.trip_c = parseTemp(key, value);
+    else if (key == "ptrip")
+      scenario.throttle.package_trip_c = parseTemp(key, value);
+    else if (key == "hyst")
+      scenario.throttle.hysteresis_c = parsePositive(key, value);
+    else if (key == "floor")
+      scenario.throttle.floor_level = parseSmallInt(key, value, 0, 63);
+    else if (key == "recover")
+      scenario.throttle.recover_epochs = parseSmallInt(key, value, 1, 100000);
+    else
+      specError("unknown key '" + std::string(key) +
+                "' (expected amb|rc|cc|rp|cp|trip|ptrip|hyst|floor|recover)");
+  }
+  return scenario;
+}
+
+std::string ThermalScenario::print() const {
+  if (!enabled) return "none";
+  ThermalScenario defaults;
+  defaults.enabled = true;
+  std::string out;
+  const auto emit = [&](std::string_view key, const std::string& value) {
+    if (!out.empty()) out += ',';
+    out += key;
+    out += '=';
+    out += value;
+  };
+  if (params.ambient_c != defaults.params.ambient_c)
+    emit("amb", num(params.ambient_c));
+  if (params.r_cluster != defaults.params.r_cluster)
+    emit("rc", num(params.r_cluster));
+  if (params.c_cluster != defaults.params.c_cluster)
+    emit("cc", num(params.c_cluster));
+  if (params.r_package != defaults.params.r_package)
+    emit("rp", num(params.r_package));
+  if (params.c_package != defaults.params.c_package)
+    emit("cp", num(params.c_package));
+  if (throttle.trip_c != defaults.throttle.trip_c)
+    emit("trip", num(throttle.trip_c));
+  if (throttle.package_trip_c != defaults.throttle.package_trip_c)
+    emit("ptrip", num(throttle.package_trip_c));
+  if (throttle.hysteresis_c != defaults.throttle.hysteresis_c)
+    emit("hyst", num(throttle.hysteresis_c));
+  if (throttle.floor_level != defaults.throttle.floor_level)
+    emit("floor", std::to_string(throttle.floor_level));
+  if (throttle.recover_epochs != defaults.throttle.recover_epochs)
+    emit("recover", std::to_string(throttle.recover_epochs));
+  return out.empty() ? "on" : out;
+}
+
+}  // namespace ssm::thermal

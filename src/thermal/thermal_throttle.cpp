@@ -1,0 +1,76 @@
+#include "thermal/thermal_throttle.hpp"
+
+#include "common/check.hpp"
+
+namespace ssm::thermal {
+
+ThermalThrottle::ThermalThrottle(ThrottleConfig cfg, int num_clusters,
+                                 int max_level)
+    : cfg_(cfg), max_level_(max_level) {
+  SSM_CHECK(num_clusters > 0, "throttle needs at least one cluster");
+  SSM_CHECK(max_level >= 0, "max level must be non-negative");
+  SSM_CHECK(cfg_.hysteresis_c > 0.0, "hysteresis must be positive");
+  SSM_CHECK(cfg_.floor_level >= 0 && cfg_.floor_level <= max_level,
+            "floor level must lie within the V/f table");
+  SSM_CHECK(cfg_.recover_epochs > 0, "recovery ramp must take >= 1 epoch");
+  const auto n = static_cast<std::size_t>(num_clusters);
+  // ssm-lint: allow(hot-path-alloc) — one-time construction, not the loop
+  state_.assign(n, State::kClear);
+  cap_.assign(n, max_level);  // ssm-lint: allow(hot-path-alloc)
+  countdown_.assign(n, 0);    // ssm-lint: allow(hot-path-alloc)
+}
+
+void ThermalThrottle::observe(std::span<const double> cluster_temps_c,
+                              double package_temp_c) noexcept {
+  SSM_AUDIT_CHECK(cluster_temps_c.size() == cap_.size(),
+                  "throttle needs one temperature per cluster");
+  const bool pkg_hot = package_temp_c >= cfg_.package_trip_c;
+  const bool pkg_cool =
+      package_temp_c <= cfg_.package_trip_c - cfg_.hysteresis_c;
+  bool any_limiting = false;
+  for (std::size_t i = 0; i < cap_.size(); ++i) {
+    const double t = cluster_temps_c[i];
+    const bool hot = pkg_hot || t >= cfg_.trip_c;
+    const bool cool = pkg_cool && t <= cfg_.trip_c - cfg_.hysteresis_c;
+    switch (state_[i]) {
+      case State::kClear:
+        if (hot) {
+          state_[i] = State::kEngaged;
+          cap_[i] = cfg_.floor_level;
+        }
+        break;
+      case State::kEngaged:
+        if (cool) {
+          state_[i] = State::kRecovering;
+          countdown_[i] = cfg_.recover_epochs;
+        }
+        break;
+      case State::kRecovering:
+        if (hot) {
+          state_[i] = State::kEngaged;
+          cap_[i] = cfg_.floor_level;
+        } else if (--countdown_[i] <= 0) {
+          if (cap_[i] < max_level_) ++cap_[i];
+          if (cap_[i] >= max_level_) {
+            state_[i] = State::kClear;
+          } else {
+            countdown_[i] = cfg_.recover_epochs;
+          }
+        }
+        break;
+    }
+    any_limiting = any_limiting || cap_[i] < max_level_;
+  }
+  if (any_limiting) ++throttle_epochs_;
+}
+
+void ThermalThrottle::reset() noexcept {
+  for (std::size_t i = 0; i < cap_.size(); ++i) {
+    state_[i] = State::kClear;
+    cap_[i] = max_level_;
+    countdown_[i] = 0;
+  }
+  throttle_epochs_ = 0;
+}
+
+}  // namespace ssm::thermal

@@ -1,0 +1,86 @@
+// Thermal throttle: a hardware-protection constraint arbitrated between the
+// governor and the actuator in the engine's epoch loop.
+//
+// Per-cluster state machine with hysteresis and a staged recovery ramp:
+//
+//   Clear ──(T >= trip, or package >= package_trip)──> Engaged
+//   Engaged: V/f capped at `floor_level`
+//   Engaged ──(T <= trip - hysteresis, package cool)──> Recovering
+//   Recovering: cap raised one level every `recover_epochs` epochs;
+//               re-trips straight back to Engaged; cap at max ──> Clear
+//
+// Within the hysteresis band (trip - hysteresis, trip) neither transition
+// fires, so the throttle cannot chatter: a temperature oscillating inside
+// the band leaves the state unchanged. The throttle reads *sensor*
+// temperatures — downstream of any injected sensor fault — mirroring real
+// hardware, where a stuck or lagging sensor genuinely blinds the
+// protection loop.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ssm::thermal {
+
+/// Trip-point configuration. Defaults sit above the steady-state
+/// temperatures of the default calibration (~80 degC hot cluster), so the
+/// throttle only engages in deliberately thermally-limited scenarios.
+struct ThrottleConfig {
+  double trip_c = 92.0;          ///< per-cluster engage threshold (degC)
+  double package_trip_c = 85.0;  ///< package-wide engage threshold (degC)
+  double hysteresis_c = 8.0;     ///< release requires trip - hysteresis
+  int floor_level = 0;           ///< V/f cap while engaged
+  int recover_epochs = 32;       ///< epochs per one-level cap raise
+
+  friend bool operator==(const ThrottleConfig&,
+                         const ThrottleConfig&) = default;
+};
+
+class ThermalThrottle {
+ public:
+  /// `max_level` is the highest V/f level the table offers; a cap at
+  /// `max_level` is no constraint at all.
+  ThermalThrottle(ThrottleConfig cfg, int num_clusters, int max_level);
+
+  /// Advances the state machine once per epoch from the sensed
+  /// temperatures. `cluster_temps_c` must have one entry per cluster.
+  void observe(std::span<const double> cluster_temps_c,
+               double package_temp_c) noexcept;
+
+  /// Clamps a governor-commanded level for `cluster` to the current cap.
+  [[nodiscard]] int clamp(int cluster, int requested) const noexcept {
+    const int cap = cap_[static_cast<std::size_t>(cluster)];
+    return requested < cap ? requested : cap;
+  }
+
+  /// True while `cluster` is capped below the table maximum.
+  [[nodiscard]] bool limiting(int cluster) const noexcept {
+    return cap_[static_cast<std::size_t>(cluster)] < max_level_;
+  }
+
+  /// Epochs observed so far in which at least one cluster was capped.
+  [[nodiscard]] std::int64_t throttleEpochs() const noexcept {
+    return throttle_epochs_;
+  }
+
+  [[nodiscard]] const ThrottleConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] int numClusters() const noexcept {
+    return static_cast<int>(cap_.size());
+  }
+
+  /// Returns every cluster to Clear and zeroes the epoch counter.
+  void reset() noexcept;
+
+ private:
+  enum class State : std::uint8_t { kClear, kEngaged, kRecovering };
+
+  ThrottleConfig cfg_;
+  int max_level_;
+  std::vector<State> state_;
+  std::vector<int> cap_;
+  std::vector<int> countdown_;
+  std::int64_t throttle_epochs_ = 0;
+};
+
+}  // namespace ssm::thermal

@@ -232,6 +232,8 @@ void expectExactlyEqual(const RunResult& a, const RunResult& b) {
   ASSERT_EQ(a.level_histogram.size(), b.level_histogram.size());
   for (std::size_t l = 0; l < a.level_histogram.size(); ++l)
     EXPECT_EQ(a.level_histogram[l], b.level_histogram[l]) << "level " << l;
+  EXPECT_EQ(a.peak_temp_c, b.peak_temp_c);
+  EXPECT_EQ(a.throttle_epochs, b.throttle_epochs);
 }
 
 void expectExactlyEqual(const EpochObservation& a, const EpochObservation& b) {
@@ -266,6 +268,10 @@ void expectExactlyEqual(const engine::EpochTrace& a,
     EXPECT_EQ(ra.epoch_start_ns, rb.epoch_start_ns);
     EXPECT_EQ(ra.epoch_len_ns, rb.epoch_len_ns);
     EXPECT_EQ(ra.all_done, rb.all_done);
+    EXPECT_EQ(ra.package_temp_c, rb.package_temp_c);
+    ASSERT_EQ(ra.cluster_temps_c.size(), rb.cluster_temps_c.size());
+    for (std::size_t i = 0; i < ra.cluster_temps_c.size(); ++i)
+      EXPECT_EQ(ra.cluster_temps_c[i], rb.cluster_temps_c[i]);
     ASSERT_EQ(ra.clusters.size(), rb.clusters.size());
     for (std::size_t i = 0; i < ra.clusters.size(); ++i)
       expectExactlyEqual(ra.clusters[i], rb.clusters[i]);
@@ -381,7 +387,9 @@ TEST(TraceIo, FileRoundTripAndHeaderInfo) {
   engine::saveTrace(trace, path);
 
   const engine::TraceFileInfo info = engine::traceFileInfo(path);
-  EXPECT_EQ(info.version, engine::kTraceVersion);
+  // No thermal tracks were recorded, so the writer must choose v1: the
+  // committed golden traces depend on thermal-free traces staying v1 bytes.
+  EXPECT_EQ(info.version, engine::kTraceVersionV1);
   const std::string bytes = engine::serializeTrace(trace);
   EXPECT_EQ(info.payload_size, bytes.size() - 28);  // header is 28 bytes
   EXPECT_EQ(info.checksum, engine::fnv1a64(std::string_view(bytes).substr(28)));

@@ -1,0 +1,449 @@
+// Thermal subsystem tests: RC network properties (monotonicity, analytic
+// steady state), temperature-dependent leakage (default path bit-exact),
+// throttle hysteresis/no-chatter, the scenario grammar, the v2 trace
+// tracks, and sweep-level determinism of the thermal axis.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baselines/pcstall.hpp"
+#include "common/check.hpp"
+#include "engine/trace_io.hpp"
+#include "faults/fault_spec.hpp"
+#include "gpusim/runner.hpp"
+#include "gpusim/trace.hpp"
+#include "sched/fleet.hpp"
+#include "sched/thread_pool.hpp"
+#include "thermal/thermal_model.hpp"
+#include "thermal/thermal_spec.hpp"
+#include "thermal/thermal_throttle.hpp"
+#include "workloads/kernel_profile.hpp"
+
+namespace ssm {
+namespace {
+
+using thermal::ThermalModel;
+using thermal::ThermalParams;
+using thermal::ThermalScenario;
+using thermal::ThermalThrottle;
+using thermal::ThrottleConfig;
+
+constexpr TimeNs kDt = 10 * kNsPerUs;  // the simulator's default epoch
+
+// --- RC network ---------------------------------------------------------
+
+TEST(ThermalModel, ColdStartsAtAmbientEverywhere) {
+  const ThermalParams p;
+  const ThermalModel model(p, 4);
+  EXPECT_EQ(model.packageTempC(), p.ambient_c);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(model.clusterTempC(i), p.ambient_c);
+}
+
+TEST(ThermalModel, ConvergesToAnalyticSteadyState) {
+  const ThermalParams p;
+  const int n = 4;
+  ThermalModel model(p, n);
+  const std::vector<double> power(static_cast<std::size_t>(n), 8.0);
+  const double uncore = 50.0;
+  // ~50 package time constants: far past settling for the compressed
+  // calibration (tau_pkg ~ 2 ms, dt = 10 us -> 10000 epochs = 100 ms).
+  for (int e = 0; e < 10000; ++e) model.step(power, uncore, kDt);
+
+  const double total = 8.0 * n + uncore;
+  const double pkg = ThermalModel::steadyPackageC(p, total);
+  EXPECT_NEAR(model.packageTempC(), pkg, 1e-6);
+  for (int i = 0; i < n; ++i)
+    EXPECT_NEAR(model.clusterTempC(i),
+                ThermalModel::steadyClusterC(p, pkg, 8.0), 1e-6);
+}
+
+TEST(ThermalModel, StepIsMonotoneInPower) {
+  // More power never yields a lower temperature at any node, epoch by
+  // epoch, from identical starting states.
+  const ThermalParams p;
+  const int n = 3;
+  ThermalModel cool(p, n);
+  ThermalModel hot(p, n);
+  const std::vector<double> low{2.0, 4.0, 6.0};
+  const std::vector<double> high{3.0, 4.0, 9.0};  // >= low elementwise
+  for (int e = 0; e < 2000; ++e) {
+    cool.step(low, 30.0, kDt);
+    hot.step(high, 40.0, kDt);
+    EXPECT_GE(hot.packageTempC(), cool.packageTempC());
+    for (int i = 0; i < n; ++i)
+      EXPECT_GE(hot.clusterTempC(i), cool.clusterTempC(i));
+  }
+}
+
+TEST(ThermalModel, ZeroPowerCoolsBackToAmbient) {
+  const ThermalParams p;
+  ThermalModel model(p, 2);
+  const std::vector<double> power{20.0, 20.0};
+  for (int e = 0; e < 3000; ++e) model.step(power, 60.0, kDt);
+  EXPECT_GT(model.packageTempC(), p.ambient_c + 5.0);
+
+  const std::vector<double> off{0.0, 0.0};
+  for (int e = 0; e < 20000; ++e) model.step(off, 0.0, kDt);
+  EXPECT_NEAR(model.packageTempC(), p.ambient_c, 1e-6);
+  EXPECT_NEAR(model.clusterTempC(0), p.ambient_c, 1e-6);
+}
+
+TEST(ThermalModel, SetStateRoundTripsAndResetReturnsToAmbient) {
+  const ThermalParams p;
+  ThermalModel a(p, 2);
+  const std::vector<double> power{15.0, 5.0};
+  for (int e = 0; e < 500; ++e) a.step(power, 30.0, kDt);
+
+  ThermalModel b(p, 2);
+  b.setState(a.state());
+  EXPECT_EQ(a.state(), b.state());
+
+  b.reset();
+  EXPECT_EQ(b.packageTempC(), p.ambient_c);
+  EXPECT_EQ(b.clusterTempC(1), p.ambient_c);
+}
+
+// --- leakage feedback ---------------------------------------------------
+
+TEST(ThermalLeakage, DefaultTemperaturePathIsBitExact) {
+  // The voltage-only overload and the two-argument overload at the
+  // calibration temperature must both equal the legacy polynomial to the
+  // last bit — this is what keeps every pre-thermal golden output valid.
+  const ClusterPowerModel model;
+  const ClusterPowerParams& prm = model.params();
+  const VfTable vf = VfTable::titanX();
+  for (VfLevel l = 0; l < static_cast<VfLevel>(vf.size()); ++l) {
+    const VfPoint& pt = vf.at(l);
+    const double legacy =
+        prm.leak_lin * pt.voltage_v +
+        prm.leak_cub * pt.voltage_v * pt.voltage_v * pt.voltage_v;
+    EXPECT_EQ(model.leakagePowerW(pt), legacy);
+    EXPECT_EQ(model.leakagePowerW(pt, prm.leak_cal_temp_c),
+              model.leakagePowerW(pt));
+  }
+}
+
+TEST(ThermalLeakage, MonotoneAndExponentialInTemperature) {
+  const ClusterPowerModel model;
+  const VfTable vf = VfTable::titanX();
+  const VfPoint& pt = vf.at(vf.defaultLevel());
+  double prev = 0.0;
+  for (double t = 20.0; t <= 100.0; t += 10.0) {
+    const double leak = model.leakagePowerW(pt, t);
+    EXPECT_GT(leak, prev);
+    prev = leak;
+  }
+  // alpha = 0.028 -> leakage roughly doubles every ~25 degC.
+  const double ratio =
+      model.leakagePowerW(pt, 85.0) / model.leakagePowerW(pt, 60.0);
+  EXPECT_NEAR(ratio, 2.0, 0.05);
+}
+
+// --- throttle state machine --------------------------------------------
+
+TEST(ThermalThrottleTest, EngagesAtTripAndCapsAtFloor) {
+  ThrottleConfig cfg;
+  cfg.trip_c = 80.0;
+  cfg.floor_level = 1;
+  ThermalThrottle throttle(cfg, 2, 5);
+  const std::vector<double> cool{50.0, 50.0};
+  throttle.observe(cool, 40.0);
+  EXPECT_EQ(throttle.clamp(0, 5), 5);
+  EXPECT_EQ(throttle.throttleEpochs(), 0);
+
+  const std::vector<double> hot{85.0, 50.0};
+  throttle.observe(hot, 40.0);
+  EXPECT_EQ(throttle.clamp(0, 5), 1);  // engaged cluster capped at floor
+  EXPECT_EQ(throttle.clamp(1, 5), 5);  // sibling untouched
+  EXPECT_TRUE(throttle.limiting(0));
+  EXPECT_FALSE(throttle.limiting(1));
+  EXPECT_EQ(throttle.throttleEpochs(), 1);
+}
+
+TEST(ThermalThrottleTest, HysteresisBandNeverChatters) {
+  // A temperature oscillating anywhere inside (trip - hyst, trip) must
+  // leave the state machine exactly where it was — from Clear AND from
+  // Engaged — no matter how many epochs it bounces around.
+  ThrottleConfig cfg;
+  cfg.trip_c = 80.0;
+  cfg.hysteresis_c = 8.0;
+  cfg.floor_level = 0;
+  ThermalThrottle throttle(cfg, 1, 5);
+
+  // From Clear: band temps never engage.
+  for (int e = 0; e < 200; ++e) {
+    const double t = 72.5 + 7.0 * ((e % 10) / 10.0);  // within (72, 80)
+    throttle.observe(std::vector<double>{t}, 40.0);
+    EXPECT_EQ(throttle.clamp(0, 5), 5) << "engaged inside the band";
+  }
+  EXPECT_EQ(throttle.throttleEpochs(), 0);
+
+  // Engage, then oscillate in the band: stays engaged, never releases.
+  throttle.observe(std::vector<double>{81.0}, 40.0);
+  ASSERT_TRUE(throttle.limiting(0));
+  for (int e = 0; e < 200; ++e) {
+    const double t = 72.5 + 7.0 * ((e % 10) / 10.0);
+    throttle.observe(std::vector<double>{t}, 40.0);
+    EXPECT_EQ(throttle.clamp(0, 5), 0) << "released inside the band";
+  }
+}
+
+TEST(ThermalThrottleTest, RecoveryRampRaisesOneLevelPerPeriod) {
+  ThrottleConfig cfg;
+  cfg.trip_c = 80.0;
+  cfg.hysteresis_c = 8.0;
+  cfg.floor_level = 0;
+  cfg.recover_epochs = 4;
+  ThermalThrottle throttle(cfg, 1, 3);
+
+  throttle.observe(std::vector<double>{85.0}, 40.0);
+  ASSERT_EQ(throttle.clamp(0, 3), 0);
+
+  // Cool below trip - hyst: the cap ramps 0 -> 1 -> 2 -> 3, one step per
+  // recover_epochs observations, then the cluster clears.
+  const std::vector<double> cold{50.0};
+  int last_cap = 0;
+  for (int e = 0; e < 3 * cfg.recover_epochs + 2; ++e) {
+    throttle.observe(cold, 40.0);
+    const int cap = throttle.clamp(0, 3);
+    EXPECT_GE(cap, last_cap) << "recovery must never lower the cap";
+    EXPECT_LE(cap - last_cap, 1) << "recovery must raise one level at a time";
+    last_cap = cap;
+  }
+  EXPECT_EQ(last_cap, 3);
+  EXPECT_FALSE(throttle.limiting(0));
+
+  // Re-tripping mid-recovery drops straight back to the floor. One cold
+  // observation enters Recovering; `recover_epochs` more earn the first
+  // cap raise.
+  throttle.observe(std::vector<double>{85.0}, 40.0);
+  for (int e = 0; e < cfg.recover_epochs + 1; ++e) throttle.observe(cold, 40.0);
+  ASSERT_GT(throttle.clamp(0, 3), 0);
+  throttle.observe(std::vector<double>{85.0}, 40.0);
+  EXPECT_EQ(throttle.clamp(0, 3), 0);
+}
+
+TEST(ThermalThrottleTest, PackageTripEngagesEveryCluster) {
+  ThrottleConfig cfg;
+  cfg.trip_c = 90.0;
+  cfg.package_trip_c = 70.0;
+  cfg.floor_level = 0;
+  ThermalThrottle throttle(cfg, 3, 5);
+  throttle.observe(std::vector<double>{50.0, 50.0, 50.0}, 75.0);
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(throttle.limiting(i));
+}
+
+// --- scenario grammar ---------------------------------------------------
+
+TEST(ThermalSpec, ParsePrintRoundTrips) {
+  // Textual round trip: print() emits %.17g, so exercise values whose
+  // shortest decimal form survives it (dyadic fractions and integers).
+  for (const char* text :
+       {"none", "on", "amb=45", "amb=45,trip=70",
+        "amb=45,rc=1.5,cc=0.25,rp=0.125,cp=0.0625,trip=70,ptrip=65,hyst=5,"
+        "floor=1,recover=16"}) {
+    const ThermalScenario s = ThermalScenario::parse(text);
+    EXPECT_EQ(s.print(), text);
+    EXPECT_EQ(ThermalScenario::parse(s.print()), s);
+  }
+  // Scenario round trip holds for ANY parsed value (%.17g is exact
+  // through strtod even when the text form grows digits).
+  const ThermalScenario awkward =
+      ThermalScenario::parse("amb=45.3,rc=0.2,cc=0.0002,hyst=2.7");
+  EXPECT_EQ(ThermalScenario::parse(awkward.print()), awkward);
+  EXPECT_FALSE(ThermalScenario::parse("").enabled);
+  EXPECT_FALSE(ThermalScenario::parse("none").enabled);
+  EXPECT_TRUE(ThermalScenario::parse("on").enabled);
+  EXPECT_EQ(ThermalScenario::parse("on").params, ThermalParams{});
+  EXPECT_EQ(ThermalScenario::parse("trip=70").throttle.trip_c, 70.0);
+}
+
+TEST(ThermalSpec, MalformedSpecsThrowDataError) {
+  for (const char* bad : {"bogus", "amb", "amb=cold", "trip=70,wat=1",
+                          "rc=-1", "floor=99", "recover=0"}) {
+    EXPECT_THROW(static_cast<void>(ThermalScenario::parse(bad)), DataError)
+        << bad;
+  }
+}
+
+TEST(ThermalFaults, ThermalClausesParseAndRoundTrip) {
+  const faults::FaultSpec spec = faults::FaultSpec::parse(
+      "heatsoak:add=10,ramp=32;tsensor:p=0.5,mode=stuck,k=8;"
+      "tjolt:p=0.2,amp=20");
+  EXPECT_TRUE(spec.active());
+  EXPECT_EQ(spec.heatsoak.add_c, 10.0);
+  EXPECT_EQ(spec.tsensor.mode, faults::ThermalSensorFault::Mode::kStuck);
+  EXPECT_EQ(spec.tjolt.amp_c, 20.0);
+  EXPECT_EQ(faults::FaultSpec::parse(spec.print()).print(), spec.print());
+}
+
+// --- integration: runs, traces, sweeps ----------------------------------
+
+/// A deliberately thermally-limited scenario: hot intake and trip points
+/// just above ambient, so a millisecond-scale run engages the throttle.
+ThermalScenario tightScenario() {
+  return ThermalScenario::parse("amb=45,trip=50,ptrip=48,hyst=2");
+}
+
+TEST(ThermalRun, ThrottleEngagesAndClampsPeakTemperature) {
+  const GpuConfig cfg;
+  const VfTable vf = VfTable::titanX();
+  const ThermalScenario scenario = tightScenario();
+  Gpu machine(cfg, vf, workloadByName("spmv"), 777,
+              ChipPowerModel(cfg.num_clusters));
+  machine.attachThermal(scenario.params);
+  ThermalThrottle throttle(scenario.throttle, cfg.num_clusters,
+                           static_cast<int>(vf.defaultLevel()));
+
+  const PcstallFactory factory(vf, PcstallConfig{});
+  const RunResult run = runWithGovernor(machine, factory, "pcstall",
+                                        5 * kNsPerMs, nullptr, nullptr,
+                                        &throttle);
+  EXPECT_GT(run.throttle_epochs, 0);
+  EXPECT_GE(run.peak_temp_c, scenario.throttle.trip_c);
+  // The throttle caps the overshoot: the die may cross the trip point (it
+  // reacts one epoch late, at floor V/f heat still flows) but must hold it
+  // within a few degrees, far below the unthrottled trajectory.
+  EXPECT_LT(run.peak_temp_c, scenario.throttle.trip_c + 5.0);
+}
+
+TEST(ThermalRun, WithoutThermalNoTracksAndZeroPeak) {
+  const GpuConfig cfg;
+  const VfTable vf = VfTable::titanX();
+  const Gpu machine(cfg, vf, workloadByName("spmv"), 777,
+                    ChipPowerModel(cfg.num_clusters));
+  const RunResult run = runBaseline(machine);
+  EXPECT_EQ(run.peak_temp_c, 0.0);
+  EXPECT_EQ(run.throttle_epochs, 0);
+}
+
+std::uint32_t headerVersion(const std::string& bytes) {
+  std::uint32_t v = 0;
+  std::memcpy(&v, bytes.data() + 8, sizeof v);
+  return v;
+}
+
+TEST(ThermalTrace, V2RoundTripPreservesTemperatureTracks) {
+  const GpuConfig cfg;
+  const VfTable vf = VfTable::titanX();
+  Gpu machine(cfg, vf, workloadByName("spmv"), 777,
+              ChipPowerModel(cfg.num_clusters));
+  machine.attachThermal(ThermalParams{});
+
+  EpochTraceRecorder recorder;
+  recorder.enableReplayCapture();
+  const PcstallFactory factory(vf, PcstallConfig{});
+  RunResult run = runWithGovernor(machine, factory, "pcstall", 5 * kNsPerMs,
+                                  &recorder);
+  const engine::EpochTrace trace = engine::traceFromRecorder(
+      recorder, "spmv", "pcstall", 777, vf, std::move(run));
+
+  const std::string bytes = engine::serializeTrace(trace);
+  EXPECT_EQ(headerVersion(bytes), engine::kTraceVersion);
+
+  const engine::EpochTrace back = engine::deserializeTrace(bytes);
+  ASSERT_EQ(back.epochs.size(), trace.epochs.size());
+  for (std::size_t e = 0; e < trace.epochs.size(); ++e) {
+    EXPECT_EQ(back.epochs[e].package_temp_c, trace.epochs[e].package_temp_c);
+    ASSERT_EQ(back.epochs[e].cluster_temps_c,
+              trace.epochs[e].cluster_temps_c);
+  }
+  EXPECT_EQ(back.recorded.peak_temp_c, trace.recorded.peak_temp_c);
+  EXPECT_EQ(back.recorded.throttle_epochs, trace.recorded.throttle_epochs);
+  EXPECT_GT(back.recorded.peak_temp_c, ThermalParams{}.ambient_c);
+}
+
+TEST(ThermalTrace, ThermalFreeTraceStaysVersion1) {
+  const GpuConfig cfg;
+  const VfTable vf = VfTable::titanX();
+  const Gpu machine(cfg, vf, workloadByName("spmv"), 777,
+                    ChipPowerModel(cfg.num_clusters));
+  EpochTraceRecorder recorder;
+  recorder.enableReplayCapture();
+  const PcstallFactory factory(vf, PcstallConfig{});
+  RunResult run = runWithGovernor(machine, factory, "pcstall", 5 * kNsPerMs,
+                                  &recorder);
+  const engine::EpochTrace trace = engine::traceFromRecorder(
+      recorder, "spmv", "pcstall", 777, vf, std::move(run));
+  EXPECT_EQ(headerVersion(engine::serializeTrace(trace)),
+            engine::kTraceVersionV1);
+}
+
+fleet::SweepSpec thermalSweepSpec() {
+  fleet::SweepSpec spec;
+  spec.workloads = {workloadByName("spmv"), workloadByName("bfs")};
+  spec.mechanisms = {"baseline", "pcstall"};
+  spec.seeds = {777};
+  spec.thermal = {ThermalScenario{}, tightScenario()};
+  spec.max_time_ns = kNsPerMs;
+  return spec;
+}
+
+TEST(ThermalSweep, JsonlByteIdenticalAcrossJobCounts) {
+  const fleet::SweepSpec spec = thermalSweepSpec();
+  std::string serial;
+  {
+    ThreadPool pool(1);
+    std::ostringstream os;
+    const fleet::FleetRunner runner(spec, pool);
+    ASSERT_EQ(runner.runJsonl(os), runner.jobs().size());
+    serial = std::move(os).str();
+  }
+  std::string parallel;
+  {
+    ThreadPool pool(8);
+    std::ostringstream os;
+    const fleet::FleetRunner runner(spec, pool);
+    ASSERT_EQ(runner.runJsonl(os), runner.jobs().size());
+    parallel = std::move(os).str();
+  }
+  EXPECT_EQ(serial, parallel);
+  EXPECT_NE(serial.find("\"peak_temp_c\""), std::string::npos);
+  EXPECT_NE(serial.find("\"throttle_epochs\""), std::string::npos);
+}
+
+TEST(ThermalSweep, ThermallyLimitedCellThrottlesAndCleanCellDoesNot) {
+  const fleet::SweepSpec spec = thermalSweepSpec();
+  ThreadPool pool(2);
+  const fleet::FleetRunner runner(spec, pool);
+  const auto results = runner.run();
+  bool saw_throttled = false;
+  for (const auto& r : results) {
+    if (!spec.thermal[r.job.thermal].enabled) {
+      EXPECT_EQ(r.peak_temp_c, 0.0);
+      EXPECT_EQ(r.throttle_epochs, 0);
+    } else {
+      EXPECT_GT(r.peak_temp_c, 0.0);
+      saw_throttled = saw_throttled || r.throttle_epochs > 0;
+    }
+  }
+  EXPECT_TRUE(saw_throttled);
+}
+
+TEST(ThermalSweep, CleanSweepKeepsPreThermalSchema) {
+  fleet::SweepSpec spec = thermalSweepSpec();
+  spec.thermal = {ThermalScenario{}};  // single disabled cell (the default)
+  ThreadPool pool(1);
+  const fleet::FleetRunner runner(spec, pool);
+  std::ostringstream os;
+  ASSERT_GT(runner.runJsonl(os), 0u);
+  const std::string out = std::move(os).str();
+  EXPECT_EQ(out.find("thermal"), std::string::npos);
+  EXPECT_EQ(out.find("peak_temp_c"), std::string::npos);
+}
+
+TEST(ThermalSweep, ReplaySweepsRejectAnActiveThermalAxis) {
+  fleet::SweepSpec spec;
+  spec.replay = {std::make_shared<const engine::EpochTrace>()};
+  spec.mechanisms = {"pcstall"};
+  spec.thermal = {tightScenario()};
+  EXPECT_THROW(static_cast<void>(fleet::expandJobs(spec)), ContractError);
+}
+
+}  // namespace
+}  // namespace ssm

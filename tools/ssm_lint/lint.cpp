@@ -26,8 +26,8 @@ constexpr std::array<RuleInfo, 16> kRules = {{
      "std::random_device, *_clock::now) outside src/common/rng.* — "
      "simulations must be bit-reproducible"},
     {"hot-path-io",
-     "no iostream/stdio in the epoch hot paths src/core/, src/gpusim/ and "
-     "src/engine/"},
+     "no iostream/stdio in the epoch hot paths src/core/, src/gpusim/, "
+     "src/engine/ and src/thermal/"},
     {"c-style-float-cast",
      "float/double narrowing must be spelled static_cast, not a C-style "
      "cast"},
@@ -41,8 +41,9 @@ constexpr std::array<RuleInfo, 16> kRules = {{
      "comparison and zero RNG draws"},
     {"hot-path-alloc",
      "no heap allocation in the per-decision paths (src/nn/packed_mlp.hpp, "
-     "src/core/ssm_governor.cpp, src/dc/dispatcher.cpp and "
-     "src/dc/rack_power.cpp): no new/make_unique/make_shared/malloc, "
+     "src/core/ssm_governor.cpp, src/dc/dispatcher.cpp, "
+     "src/dc/rack_power.cpp, src/thermal/thermal_model.cpp and "
+     "src/thermal/thermal_throttle.cpp): no new/make_unique/make_shared/malloc, "
      "no container-growth member calls (resize, reserve, push_back, "
      "emplace_back, assign, insert, emplace), no by-value heap-container "
      "parameters or temporaries, and no std::function — preallocate at "
@@ -86,12 +87,16 @@ constexpr std::array<RuleInfo, 16> kRules = {{
 /// listed); justified cold spots inside these files carry an inline waiver.
 /// The src/dc entries are the datacenter per-round decision paths: job
 /// dispatch and the rack cap split both run every control round for every
-/// GPU (docs/datacenter.md).
-constexpr std::array<std::string_view, 4> kAllocFreeFiles = {
+/// GPU (docs/datacenter.md). The src/thermal entries run once per simulated
+/// epoch on every governed chip: the RC integration step and the throttle
+/// state machine (docs/thermal.md).
+constexpr std::array<std::string_view, 6> kAllocFreeFiles = {
     "src/nn/packed_mlp.hpp",
     "src/core/ssm_governor.cpp",
     "src/dc/dispatcher.cpp",
     "src/dc/rack_power.cpp",
+    "src/thermal/thermal_model.cpp",
+    "src/thermal/thermal_throttle.cpp",
 };
 
 constexpr std::string_view kWaiverTag = "ssm-lint: allow(";
@@ -152,7 +157,8 @@ void parseWaiverTags(std::string_view comment, std::size_t base_line,
 struct PathClass {
   bool header = false;       // *.hpp
   bool in_src = false;       // src/**
-  bool hot_path = false;     // src/core/**, src/gpusim/** or src/engine/**
+  bool hot_path = false;     // src/core/**, src/gpusim/**, src/engine/** or
+                             // src/thermal/**
   bool alloc_free = false;   // kAllocFreeFiles (packed decision path)
   bool gpu_stepper = false;  // src/engine/** or src/gpusim/** (may step a Gpu)
   bool det_scope = false;    // src/** or tools/** (determinism dataflow rules)
@@ -164,7 +170,8 @@ PathClass classify(std::string_view path) {
   pc.in_src = path.starts_with("src/");
   pc.hot_path = path.starts_with("src/core/") ||
                 path.starts_with("src/gpusim/") ||
-                path.starts_with("src/engine/");
+                path.starts_with("src/engine/") ||
+                path.starts_with("src/thermal/");
   pc.alloc_free = std::any_of(kAllocFreeFiles.begin(), kAllocFreeFiles.end(),
                               [&](std::string_view f) { return path == f; });
   pc.gpu_stepper =

@@ -10,6 +10,7 @@
 //   ssmdvfs run       --workload NAME --mechanism M [--preset P]
 //                     [--model model.txt] [--trace trace.csv] [--seed S]
 //                     [--json out.json] [--faults SPEC] [--harden]
+//                     [--thermal TSPEC]
 //       M in {baseline, static-<L>, ssmdvfs, ssmdvfs-nocal, pcstall,
 //             flemma, ondemand}
 //       SPEC is the fault grammar of docs/faults.md, e.g.
@@ -36,10 +37,12 @@
 //                     --out sweep.jsonl [--csv sweep.csv] [--jobs N]
 //                     [--presets 0.10,0.20] [--seeds 777,778]
 //                     [--model model.txt] [--max-ms 5] [--quiet]
-//                     [--faults "SPEC1|SPEC2"] [--harden]
+//                     [--faults "SPEC1|SPEC2"] [--thermal "T1|T2"] [--harden]
 //       --faults adds a fault-scenario axis ('|'-separated SPECs; the
 //       literal "none" is the clean cell); rows then carry injected-fault
-//       counts, and --harden adds fallback/recovery counts
+//       counts, and --harden adds fallback/recovery counts. --thermal adds
+//       a thermal-scenario axis the same way (docs/thermal.md); rows then
+//       carry peak_temp_c and throttle_epochs
 //   ssmdvfs sweep     --replay DIR|t1.ssmtrace,t2.ssmtrace --mechanisms ...
 //       replay mode: recorded traces replace the workload axis (a directory
 //       takes every *.ssmtrace inside, sorted by name); rows carry
@@ -63,6 +66,7 @@
 #include <cstring>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -85,6 +89,8 @@
 #include "nn/quantize.hpp"
 #include "sched/fleet.hpp"
 #include "sched/thread_pool.hpp"
+#include "thermal/thermal_spec.hpp"
+#include "thermal/thermal_throttle.hpp"
 #include "workloads/kernel_profile.hpp"
 #include "workloads/profile_io.hpp"
 
@@ -230,7 +236,23 @@ int cmdRun(const Args& args) {
   const VfTable vf = VfTable::titanX();
   Gpu machine(gpu, vf, resolveWorkload(args), seed,
               ChipPowerModel(gpu.num_clusters));
-  const RunResult base = runBaseline(machine);
+
+  // An enabled --thermal scenario attaches RC physics before the machine is
+  // copied into the runs; baseline and governed each get their own throttle
+  // (the protection state machine is per run, like the governors). Absent
+  // or "none" leaves the output byte-identical to a pre-thermal build.
+  const thermal::ThermalScenario scenario =
+      thermal::ThermalScenario::parse(args.get("thermal"));
+  if (scenario.enabled) machine.attachThermal(scenario.params);
+  std::optional<thermal::ThermalThrottle> base_throttle;
+  std::optional<thermal::ThermalThrottle> gov_throttle;
+  if (scenario.enabled) {
+    const int max_level = static_cast<int>(vf.defaultLevel());
+    base_throttle.emplace(scenario.throttle, gpu.num_clusters, max_level);
+    gov_throttle.emplace(scenario.throttle, gpu.num_clusters, max_level);
+  }
+  const RunResult base = runBaseline(
+      machine, 5 * kNsPerMs, base_throttle ? &*base_throttle : nullptr);
 
   std::shared_ptr<const SsmModel> model;
   if (mech == "ssmdvfs" || mech == "ssmdvfs-nocal")
@@ -253,14 +275,16 @@ int cmdRun(const Args& args) {
   RunResult run = base;
   if (factory) {
     EpochTraceRecorder* rec = args.has("trace") ? &trace : nullptr;
+    thermal::ThermalThrottle* throttle =
+        gov_throttle ? &*gov_throttle : nullptr;
     if (args.has("harden")) {
       const HardenedGovernorFactory hardened(*factory, vf, HardenedConfig{},
                                              &mode_log);
       run = runWithGovernor(machine, hardened, mech, 5 * kNsPerMs, rec,
-                            injector.get());
+                            injector.get(), throttle);
     } else {
       run = runWithGovernor(machine, *factory, mech, 5 * kNsPerMs, rec,
-                            injector.get());
+                            injector.get(), throttle);
     }
   }
 
@@ -278,7 +302,8 @@ int cmdRun(const Args& args) {
   if (injector != nullptr) {
     const auto& c = injector->counts();
     std::printf("faults '%s': injected %lld (noise %lld, dropout %lld, "
-                "delay %lld, failed %lld, stuck %lld, jitter %lld)\n",
+                "delay %lld, failed %lld, stuck %lld, jitter %lld, "
+                "heatsoak %lld, tsensor %lld, tjolt %lld)\n",
                 fault_spec.print().c_str(),
                 static_cast<long long>(c.total()),
                 static_cast<long long>(c.noise),
@@ -286,7 +311,18 @@ int cmdRun(const Args& args) {
                 static_cast<long long>(c.delay),
                 static_cast<long long>(c.failed),
                 static_cast<long long>(c.stuck),
-                static_cast<long long>(c.jitter));
+                static_cast<long long>(c.jitter),
+                static_cast<long long>(c.heatsoak),
+                static_cast<long long>(c.tsensor),
+                static_cast<long long>(c.tjolt));
+  }
+  if (scenario.enabled) {
+    const RunResult& governed = factory ? run : base;
+    std::printf("thermal '%s': peak %.1f degC, %d throttle-limited epochs "
+                "(baseline peak %.1f degC, %d limited)\n",
+                scenario.print().c_str(), governed.peak_temp_c,
+                governed.throttle_epochs, base.peak_temp_c,
+                base.throttle_epochs);
   }
   if (args.has("harden") && factory) {
     std::printf("hardened governor: %d fallbacks, %d recoveries\n",
@@ -316,8 +352,13 @@ int cmdRun(const Args& args) {
           .value("energy_mj", r.energy_j * 1e3)
           .value("edp_uj_s", r.edp * 1e6)
           .value("instructions", static_cast<std::int64_t>(r.instructions))
-          .value("epochs", r.epochs)
-          .beginArray("level_histogram");
+          .value("epochs", r.epochs);
+      // Thermal fields only when the scenario opts in: clean runs keep the
+      // exact pre-thermal JSON schema.
+      if (scenario.enabled)
+        w.value("peak_temp_c", r.peak_temp_c)
+            .value("throttle_epochs", r.throttle_epochs);
+      w.beginArray("level_histogram");
       for (double h : r.level_histogram) w.value(h);
       w.endArray().endObject();
     };
@@ -335,9 +376,13 @@ int cmdRun(const Args& args) {
           .value("failed", c.failed)
           .value("stuck", c.stuck)
           .value("jitter", c.jitter)
+          .value("heatsoak", c.heatsoak)
+          .value("tsensor", c.tsensor)
+          .value("tjolt", c.tjolt)
           .value("total", c.total())
           .endObject();
     }
+    if (scenario.enabled) w.value("thermal", scenario.print());
     if (args.has("harden"))
       w.value("fallbacks", mode_log.fallbacks())
           .value("recoveries", mode_log.recoveries());
@@ -382,14 +427,27 @@ int cmdRecord(const Args& args) {
   }
   const VfTable vf = VfTable::titanX();
   const KernelProfile kernel = resolveWorkload(args);
-  const Gpu machine(gpu, vf, kernel, seed, ChipPowerModel(gpu.num_clusters));
+  Gpu machine(gpu, vf, kernel, seed, ChipPowerModel(gpu.num_clusters));
+
+  // An enabled --thermal scenario records temperature tracks per epoch; the
+  // trace is then written in format v2 (thermal-free traces stay v1, so
+  // committed goldens keep their bytes).
+  const thermal::ThermalScenario scenario =
+      thermal::ThermalScenario::parse(args.get("thermal"));
+  std::optional<thermal::ThermalThrottle> throttle;
+  if (scenario.enabled) {
+    machine.attachThermal(scenario.params);
+    throttle.emplace(scenario.throttle, gpu.num_clusters,
+                     static_cast<int>(vf.defaultLevel()));
+  }
 
   const auto factory = recordReplayFactory(mech, vf, preset, modelFor(args, mech));
 
   EpochTraceRecorder recorder;
   recorder.enableReplayCapture();
   RunResult run =
-      runWithGovernor(machine, *factory, mech, max_time_ns, &recorder);
+      runWithGovernor(machine, *factory, mech, max_time_ns, &recorder,
+                      nullptr, throttle ? &*throttle : nullptr);
   run.workload = kernel.name;
 
   const engine::EpochTrace trace = engine::traceFromRecorder(
@@ -669,6 +727,8 @@ int cmdSweep(const Args& args) {
               "--replay and --workloads are mutually exclusive");
     SSM_CHECK(!args.has("faults"),
               "fault injection is closed-loop; unsupported with --replay");
+    SSM_CHECK(!args.has("thermal"),
+              "thermal physics is closed-loop; unsupported with --replay");
     spec.replay = resolveReplayTraces(args.get("replay"));
   } else {
     spec.workloads = resolveSweepWorkloads(args.require("workloads"));
@@ -699,6 +759,22 @@ int cmdSweep(const Args& args) {
       start = bar + 1;
     }
     if (!cells.empty()) spec.faults = std::move(cells);
+  }
+  if (args.has("thermal")) {
+    // Same '|' separation as --faults; the literal "none" is the cell
+    // without thermal physics.
+    std::vector<thermal::ThermalScenario> cells;
+    const std::string list = args.get("thermal");
+    std::size_t start = 0;
+    while (start <= list.size()) {
+      std::size_t bar = list.find('|', start);
+      if (bar == std::string::npos) bar = list.size();
+      if (bar > start)
+        cells.push_back(
+            thermal::ThermalScenario::parse(list.substr(start, bar - start)));
+      start = bar + 1;
+    }
+    if (!cells.empty()) spec.thermal = std::move(cells);
   }
   spec.harden = args.has("harden");
   spec.max_time_ns = args.getInt("max-ms", 5) * kNsPerMs;
@@ -782,6 +858,8 @@ int cmdDc(const Args& args) {
       base.degraded.push_back(std::atoi(id.c_str()));
   SSM_CHECK(base.degraded.empty() || base.fault.active(),
             "--degraded needs an active --faults scenario");
+  if (args.has("thermal"))
+    base.thermal = thermal::ThermalScenario::parse(args.get("thermal"));
 
   if (args.has("traffic")) {
     spec.traffic.clear();
@@ -875,6 +953,11 @@ int cmdDc(const Args& args) {
     std::printf("injected faults: %lld across %zu degraded GPUs\n",
                 static_cast<long long>(rack.fault_counts.total()),
                 base.degraded.size());
+  if (base.thermal.enabled)
+    std::printf("thermal '%s': peak %.1f degC, %lld throttle-limited "
+                "node-epochs\n",
+                base.thermal.print().c_str(), rack.peak_temp_c,
+                static_cast<long long>(rack.throttle_epochs));
   if (args.has("json")) {
     std::ofstream os(args.get("json"));
     os << dc::toJsonLine(spec, results[0]) << '\n';
@@ -908,22 +991,29 @@ const char* helpText(const std::string& cmd) {
            "S]\n"
            "            [--model model.txt] [--trace trace.csv] [--json "
            "out.json]\n"
-           "            [--faults SPEC] [--harden] [--profile-file FILE]\n"
+           "            [--faults SPEC] [--thermal TSPEC] [--harden]\n"
+           "            [--profile-file FILE]\n"
            "  one governed simulation vs the static-default baseline\n"
            "  M: baseline | static-<L> | ssmdvfs | ssmdvfs-nocal | pcstall "
            "|\n"
            "     flemma | ondemand\n"
            "  SPEC: fault grammar of docs/faults.md, e.g. "
-           "\"noise:p=0.3,sigma=0.25\"";
+           "\"noise:p=0.3,sigma=0.25\"\n"
+           "  TSPEC: thermal grammar of docs/thermal.md, e.g. "
+           "\"on\" or\n"
+           "  \"amb=45,trip=70\" (RC physics + leakage feedback + throttle)";
   if (cmd == "record")
     return "ssmdvfs record --workload NAME --mechanism M --out "
            "trace.ssmtrace\n"
            "               [--preset P] [--seed S] [--max-ms N] [--clusters "
            "N]\n"
            "               [--model model.txt] [--profile-file FILE]\n"
+           "               [--thermal TSPEC]\n"
            "  simulates one governed run and writes every epoch (all 47\n"
            "  counters per cluster) into the versioned, checksummed binary\n"
-           "  trace format of src/engine/trace_io (docs/engine.md)";
+           "  trace format of src/engine/trace_io (docs/engine.md).\n"
+           "  --thermal records per-epoch temperature tracks (format v2;\n"
+           "  thermal-free traces stay v1)";
   if (cmd == "replay")
     return "ssmdvfs replay --trace trace.ssmtrace [--mechanism M] [--preset "
            "P]\n"
@@ -961,18 +1051,22 @@ const char* helpText(const std::string& cmd) {
            "              --out sweep.jsonl [--csv sweep.csv] [--jobs N]\n"
            "              [--presets 0.10,0.20] [--seeds 777,778]\n"
            "              [--model model.txt] [--max-ms 5] [--quiet]\n"
-           "              [--faults \"SPEC1|SPEC2\"] [--harden]\n"
+           "              [--faults \"SPEC1|SPEC2\"] [--thermal "
+           "\"T1|T2\"]\n"
+           "              [--harden]\n"
            "ssmdvfs sweep --replay DIR|t1.ssmtrace,t2.ssmtrace --mechanisms "
            "...\n"
            "  cartesian sweep on the work-stealing pool; byte-identical "
            "for\n"
-           "  every --jobs value. --replay substitutes recorded traces "
+           "  every --jobs value. --thermal adds a thermal-scenario axis\n"
+           "  ('|'-separated specs, docs/thermal.md; \"none\" is the cell\n"
+           "  without physics); rows then carry peak_temp_c and\n"
+           "  throttle_epochs. --replay substitutes recorded traces "
            "for\n"
            "  the workload axis (open-loop, agreement columns; --faults "
-           "is\n"
-           "  rejected). A --replay directory takes every *.ssmtrace "
-           "inside,\n"
-           "  sorted by name.";
+           "and\n"
+           "  --thermal are rejected). A --replay directory takes every\n"
+           "  *.ssmtrace inside, sorted by name.";
   if (cmd == "dc")
     return "ssmdvfs dc [--gpus 16] [--traffic \"SPEC1|SPEC2\"] [--seed S]\n"
            "           [--policy P | --policies P1,P2] [--mechanism M |\n"
@@ -983,14 +1077,18 @@ const char* helpText(const std::string& cmd) {
            "           [--model model.txt] [--preset P] [--idle-power W]\n"
            "           [--epochs-per-round N] [--max-rounds N] "
            "[--warmup-rounds N]\n"
-           "           [--faults SPEC --degraded 0,3] [--out dc.jsonl]\n"
-           "           [--csv dc.csv] [--json out.json]\n"
+           "           [--faults SPEC --degraded 0,3] [--thermal TSPEC]\n"
+           "           [--out dc.jsonl] [--csv dc.csv] [--json out.json]\n"
            "  a rack of GPUs under a hierarchical power cap serving\n"
            "  deadline-tagged traffic (docs/datacenter.md). Without --out,\n"
            "  runs the single cell and prints deadline_miss_rate,\n"
            "  energy_per_job and cap compliance; with --out, sweeps the\n"
            "  traffic x policy x cap x mechanism x seed product to JSONL\n"
-           "  (byte-identical for every --jobs value).\n"
+           "  (byte-identical for every --jobs value). --thermal gives "
+           "every\n"
+           "  node RC physics: heat carries across jobs, cools during "
+           "idle,\n"
+           "  and a persistent per-node throttle backstops the cap.\n"
            "  SPEC: traffic grammar, e.g. "
            "\"shape=bursty;jobs=64;rate=2;burst=6\"\n"
            "  P: round-robin | least-loaded | deadline-aware";
