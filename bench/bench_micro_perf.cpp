@@ -30,7 +30,10 @@
 #include "gpusim/gpu.hpp"
 #include "gpusim/runner.hpp"
 #include "gpusim/trace.hpp"
+#include "nn/packed_int8.hpp"
 #include "nn/packed_mlp.hpp"
+#include "nn/quantize.hpp"
+#include "nn/simd.hpp"
 #include "workloads/kernel_profile.hpp"
 
 namespace ssm {
@@ -116,6 +119,32 @@ void BM_PackedInference(benchmark::State& state, bool compressed,
 BENCHMARK_CAPTURE(BM_PackedInference, uncompressed, false, false);
 BENCHMARK_CAPTURE(BM_PackedInference, compressed, true, false);
 BENCHMARK_CAPTURE(BM_PackedInference, compressed_pruned, true, true);
+
+/// The deployed pruned model compiled onto the §V.D int8 ASIC datapath:
+/// int8 weight codes, integer MAC accumulation, one requantize per layer.
+PackedInt8Mlp makeInt8(const Mlp& net, std::size_t calibration_rows) {
+  const QuantConfig qcfg{.weight_bits = QuantBits::kInt8,
+                         .quantize_activations = true};
+  Matrix calib(calibration_rows, static_cast<std::size_t>(net.inputDim()));
+  for (std::size_t r = 0; r < calib.rows(); ++r)
+    for (std::size_t c = 0; c < calib.cols(); ++c)
+      calib(r, c) = 1.5 - 0.05 * static_cast<double>(r) +
+                    0.2 * static_cast<double>(c);
+  return PackedInt8Mlp(QuantizedMlp(net, qcfg, calib));
+}
+
+void BM_PackedInt8Inference(benchmark::State& state) {
+  const Mlp net = makeNet(true, true);
+  const PackedInt8Mlp int8 = makeInt8(net, 64);
+  PackedInt8Mlp::Scratch scratch = int8.makeScratch();
+  const std::vector<double>& input = probeInput();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(int8.predictClass(input, scratch));
+  state.counters["asic_cycles"] =
+      static_cast<double>(int8.asicCyclesPerInference());
+  state.counters["model_bytes"] = static_cast<double>(int8.modelBytes());
+}
+BENCHMARK(BM_PackedInt8Inference);
 
 /// Fills an R x 6 feature batch with deterministic per-row perturbations of
 /// the probe input (one row per cluster in the batched-decision use case).
@@ -301,6 +330,15 @@ void writeInferenceReport(const std::string& path) {
       [&] { benchmark::DoNotOptimize(packed.predictClass(input, scratch)); },
       kOps, kRepeats);
 
+  // The same pruned model compiled onto the int8 ASIC datapath (§V.D).
+  // The cycle count and byte footprint are structural (the compiled
+  // configuration, not a timing); the decide latency rides the band.
+  const PackedInt8Mlp int8 = makeInt8(net, 64);
+  PackedInt8Mlp::Scratch int8_scratch = int8.makeScratch();
+  const double int8_decide_ns = bestNsPerOp(
+      [&] { benchmark::DoNotOptimize(int8.predictClass(input, int8_scratch)); },
+      kOps, kRepeats);
+
   const GpuConfig gpu_cfg;
   const auto rows = static_cast<std::size_t>(gpu_cfg.num_clusters);
   const Matrix batch = makeBatch(rows);
@@ -363,6 +401,7 @@ void writeInferenceReport(const std::string& path) {
   os << "{\n"
      << "  \"model\": \"decision_6-12-12-6_pruned_0.6_0.9\",\n"
      << "  \"reference_model\": \"decision_6-20x5-6_dense\",\n"
+     << "  \"simd_tier\": \"" << simdTierName(activeSimdTier()) << "\",\n"
      << "  \"reference_dense_decide_ns\": " << reference_dense_decide_ns
      << ",\n"
      << "  \"packed_decide_ns\": " << packed_decide_ns << ",\n"
@@ -377,6 +416,10 @@ void writeInferenceReport(const std::string& path) {
      << reference_decide_ns / packed_decide_ns << ",\n"
      << "  \"packed_batch_row_ns\": " << batch_row_ns << ",\n"
      << "  \"batch_rows\": " << rows << ",\n"
+     << "  \"packed_int8_decide_ns\": " << int8_decide_ns << ",\n"
+     << "  \"asic_cycles_per_inference\": " << int8.asicCyclesPerInference()
+     << ",\n"
+     << "  \"int8_model_bytes\": " << int8.modelBytes() << ",\n"
      << "  \"governor_decide_ns\": " << decide_ns << ",\n"
      << "  \"sweep_epochs_per_sec\": " << sweep_epochs_per_sec << ",\n"
      << "  \"replay_epochs_per_sec\": " << replay_epochs_per_sec << ",\n"

@@ -23,22 +23,6 @@ Rng Rng::fork(std::uint64_t salt) const noexcept {
   return child;
 }
 
-std::uint64_t Rng::nextU64() noexcept {
-  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
-}
-
-double Rng::nextDouble() noexcept {
-  return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
-}
-
 std::uint64_t Rng::nextBelow(std::uint64_t bound) noexcept {
   if (bound == 0) return 0;
   // Lemire's nearly-divisionless method.
@@ -60,12 +44,6 @@ std::int64_t Rng::nextInRange(std::int64_t lo, std::int64_t hi) noexcept {
   if (hi <= lo) return lo;
   const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
   return lo + static_cast<std::int64_t>(nextBelow(span));
-}
-
-bool Rng::nextBernoulli(double p) noexcept {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return nextDouble() < p;
 }
 
 double Rng::nextGaussian() noexcept {

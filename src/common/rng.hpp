@@ -8,6 +8,7 @@
 #pragma once
 
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -41,10 +42,25 @@ class Rng {
   /// Derives an independent child stream; `salt` distinguishes siblings.
   [[nodiscard]] Rng fork(std::uint64_t salt) const noexcept;
 
-  std::uint64_t nextU64() noexcept;
+  // The u64/double/Bernoulli trio is defined inline: the simulator draws
+  // from it several times per issued instruction, and an out-of-line call
+  // would dominate the draw itself.
+  std::uint64_t nextU64() noexcept {
+    const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = std::rotl(s_[3], 45);
+    return result;
+  }
 
   /// Uniform in [0, 1) with 53 bits of precision.
-  double nextDouble() noexcept;
+  double nextDouble() noexcept {
+    return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform integer in [0, bound) using Lemire's multiply-shift rejection.
   std::uint64_t nextBelow(std::uint64_t bound) noexcept;
@@ -53,7 +69,11 @@ class Rng {
   std::int64_t nextInRange(std::int64_t lo, std::int64_t hi) noexcept;
 
   /// true with probability p (clamped to [0,1]).
-  bool nextBernoulli(double p) noexcept;
+  bool nextBernoulli(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return nextDouble() < p;
+  }
 
   /// Standard normal via Box–Muller (deterministic, caches the spare value).
   double nextGaussian() noexcept;

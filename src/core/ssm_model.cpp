@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "nn/quantize.hpp"
 
 namespace ssm {
 
@@ -51,6 +52,16 @@ SsmModel::SsmModel(SsmModelConfig cfg)
 void SsmModel::recompilePacked() {
   packed_decision_ = PackedMlp(decision_);
   packed_calibrator_ = PackedMlp(calibrator_);
+}
+
+PackedInt8Mlp SsmModel::compileInt8Decision(
+    const Matrix& calibration_rows) const {
+  SSM_CHECK(trained_, "train the model before int8 compilation");
+  SSM_CHECK(calibration_rows.rows() > 0,
+            "activation calibration needs at least one row");
+  const QuantConfig qcfg{.weight_bits = QuantBits::kInt8,
+                         .quantize_activations = true};
+  return PackedInt8Mlp(QuantizedMlp(decision_, qcfg, calibration_rows));
 }
 
 void SsmModel::standardizeDecision(Matrix& m) const {

@@ -25,6 +25,7 @@
 #include "counters/counters.hpp"
 #include "datagen/dataset.hpp"
 #include "nn/mlp.hpp"
+#include "nn/packed_int8.hpp"
 #include "nn/packed_mlp.hpp"
 #include "nn/trainer.hpp"
 
@@ -128,6 +129,16 @@ class SsmModel {
   void predictInstsKAllLevels(const CounterBlock& counters, double loss_preset,
                               InferenceScratch& scratch,
                               std::span<double> out) const;
+
+  /// Compiles the Decision-maker onto the §V.D int8 ASIC datapath:
+  /// quantizes the trained head to int8 weights with activation scales
+  /// calibrated over `calibration_rows` (standardized decision-input rows,
+  /// width F+1 — e.g. a dataset run through decisionRow) and packs it into
+  /// the integer engine. The result's asicCyclesPerInference() prices the
+  /// hardware inference latency the paper reports (~192 cycles for the
+  /// compressed architecture).
+  [[nodiscard]] PackedInt8Mlp compileInt8Decision(
+      const Matrix& calibration_rows) const;
 
   /// Recompiles the packed engines from the current reference weights.
   /// Called automatically by the constructor, train(), deserialization and

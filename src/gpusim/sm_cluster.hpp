@@ -2,17 +2,19 @@
 //
 // The cluster executes the workload's per-warp instruction streams with an
 // event-accelerated cycle loop: per cycle it issues up to `issue_width`
-// instructions from ready warps; blocked warps sit in a wake heap keyed by
-// wall-clock readiness time, and fully-stalled stretches are skipped in one
-// step. Core-side latencies are counted in cycles (they scale with the
-// cluster frequency); L2/DRAM latencies are wall-clock nanoseconds (they do
-// not) — the asymmetry that gives every workload its frequency sensitivity.
+// instructions from ready warps; blocked warps sit in a packed wake heap
+// keyed by wall-clock readiness time, and fully-stalled stretches are
+// skipped in one step. Core-side latencies are counted in cycles (they
+// scale with the cluster frequency); L2/DRAM latencies are wall-clock
+// nanoseconds (they do not) — the asymmetry that gives every workload its
+// frequency sensitivity.
 //
 // The cluster is value-semantic: copying a cluster (as part of a Gpu copy)
 // snapshots the full microarchitectural state, which the data-generation
 // pipeline uses to replay the same execution at different V/f points.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <queue>
 #include <vector>
@@ -81,34 +83,139 @@ class SmCluster {
     bool done = false;
   };
 
+  /// Per-epoch scratch. The hot counter slots are accumulated in plain
+  /// fields (registers in the issue loop) and flushed into the epoch's
+  /// CounterBlock once at the end; each field mirrors one counter and sums
+  /// the same values in the same order, so the flush is bit-identical to
+  /// the per-event `add` calls it replaces.
   struct EpochCtx {
     CounterBlock* counters;
     const MemEnv* env;
+    /// Raw phase-table pointer, hoisted so the issue loop does not re-chase
+    /// the shared_ptr-owned KernelProfile on every instruction.
+    const PhaseProfile* phases;
     double ns_per_cycle;
+    TimeNs one_cycle_ns;
+    // Fixed core-side latencies converted to wall-clock once per epoch
+    // (`cyclesToNs` is a pure function of the latency and ns_per_cycle, so
+    // hoisting it out of the issue loop is exact).
+    /// Hazard latency (wall-clock) and stall charge (cycles, integer-valued)
+    /// per instruction class; only the single-hazard classes (ialu, falu,
+    /// sfu, branch) read theirs, letting one table-driven path replace four
+    /// switch arms.
+    std::array<TimeNs, 7> class_lat_ns{};
+    std::array<double, 7> class_stall{};
+    TimeNs l1_hit_lat_ns = 0;
+    TimeNs store_stall_ns = 0;
+    TimeNs shared_conflict_ns = 0;
+    TimeNs shared_lat_ns = 0;
     FreqMhz freq;
     std::int64_t issued = 0;
     std::int64_t alu_issued = 0;
     std::int64_t mem_issued = 0;
+    /// Per-class issue counts, indexed by InstClass.
+    std::array<std::int64_t, 7> inst_count{};
+    std::int64_t l1_read_access = 0;
+    std::int64_t l1_read_miss = 0;
+    std::int64_t l2_access = 0;
+    std::int64_t l2_miss = 0;
+    std::int64_t dram_reqs = 0;
+    std::int64_t l1_write_access = 0;
+    std::int64_t l1_write_miss = 0;
+    std::int64_t mshr_full_events = 0;
+    std::int64_t store_buf_full_events = 0;
+    double dram_bytes = 0.0;
+    double stall_exec_dep = 0.0;
+    double stall_mem_load = 0.0;
+    double stall_mem_other = 0.0;
+    double stall_control = 0.0;
+    double stall_no_ready = 0.0;
+    double mem_lat_sum = 0.0;
   };
 
   /// Issues one instruction from warp `w` at wall-clock `now`; returns the
   /// time at which the warp may issue again.
   TimeNs issueOne(int w, TimeNs now, EpochCtx& ctx);
 
-  InstClass sampleClass(const InstructionMix& mix, double u) const noexcept;
+  InstClass sampleClass(std::size_t phase, std::uint64_t m) const noexcept;
   void advanceWarpProgram(WarpState& warp, TimeNs now);
   void drainExpiredMisses(TimeNs now);
+
+  // Warp wake-up bookkeeping. The hot structure is a per-epoch bucket
+  // wheel indexed by wall-clock offset from the epoch's usable start:
+  // inserts are O(1) (bucket chains stay sorted by the packed key below,
+  // and same-bucket chains are almost always length one), and draining
+  // scans a bitmap word per 64 ns. Keys sort lexicographically by
+  // (ready_ns, warp) — identical to the priority_queue<pair> the wheel
+  // replaced — by packing the warp id into the low bits. A small binary
+  // min-heap over the same keys carries entries the wheel cannot hold:
+  // wake-ups beyond the current epoch (re-bucketed when the next epoch
+  // opens) and, for epochs longer than kWheelCapNs, the far tail.
+  static constexpr int kWakeWarpBits = 8;
+  static constexpr std::int64_t kWakeWarpMask = (1 << kWakeWarpBits) - 1;
+  static constexpr TimeNs kWheelCapNs = TimeNs{1} << 16;
+
+  static constexpr std::int64_t wakeKey(int w, TimeNs ready_ns) noexcept {
+    return (static_cast<std::int64_t>(ready_ns) << kWakeWarpBits) | w;
+  }
+
+  void heapPush(std::int64_t key) noexcept {
+    int i = wake_size_++;
+    std::int64_t* h = wake_heap_.data();
+    while (i > 0) {
+      const int parent = (i - 1) >> 1;
+      if (h[parent] <= key) break;
+      h[i] = h[parent];
+      i = parent;
+    }
+    h[i] = key;
+  }
+
+  /// Pops the minimal (ready_ns, warp) key; the heap must be non-empty.
+  std::int64_t heapPopKey() noexcept {
+    std::int64_t* h = wake_heap_.data();
+    const std::int64_t top = h[0];
+    const std::int64_t last = h[--wake_size_];
+    int i = 0;
+    for (;;) {
+      int child = 2 * i + 1;
+      if (child >= wake_size_) break;
+      child +=
+          static_cast<int>(child + 1 < wake_size_ && h[child + 1] < h[child]);
+      if (h[child] >= last) break;
+      h[i] = h[child];
+      i = child;
+    }
+    h[i] = last;
+    return top;
+  }
+
+  [[nodiscard]] TimeNs heapTopNs() const noexcept {
+    return static_cast<TimeNs>(wake_heap_[0] >> kWakeWarpBits);
+  }
 
   std::shared_ptr<const GpuConfig> cfg_;
   std::shared_ptr<const KernelProfile> kernel_;
   int cluster_id_;
 
   std::vector<WarpState> warps_;
-  /// (ready_at_ns, warp): min-heap of warps waiting to become issuable.
-  std::priority_queue<std::pair<TimeNs, int>,
-                      std::vector<std::pair<TimeNs, int>>,
-                      std::greater<>>
-      wait_;
+  /// Cumulative instruction-mix boundaries per phase, precomputed with the
+  /// same left-to-right additions `sampleClass` used to perform per event
+  /// and integerized against the raw 53-bit uniform draw (exact; see the
+  /// constructor).
+  std::vector<std::array<std::uint64_t, 6>> mix_cum_;
+  /// Packed wake-heap storage (capacity = warps; each warp appears at most
+  /// once across the heap and the wheel).
+  std::vector<std::int64_t> wake_heap_;
+  int wake_size_ = 0;
+  /// Bucket-wheel storage: per-offset chain heads plus an occupancy bitmap
+  /// (sized per epoch), and per-warp key/chain-link slots.
+  std::vector<std::int32_t> wheel_head_;
+  std::vector<std::uint64_t> wheel_bits_;
+  std::vector<std::int64_t> wheel_key_;
+  std::vector<std::int32_t> wheel_next_;
+  /// FIFO ring of issuable warps, reused across epochs (capacity = warps).
+  std::vector<int> ready_ring_;
   /// Completion times of in-flight L1 misses (MSHR occupancy).
   std::priority_queue<TimeNs, std::vector<TimeNs>, std::greater<>> misses_;
 

@@ -1,0 +1,72 @@
+// Compile side of the packed int8 engine (allocating; the hot forward
+// loops are inline in packed_int8.hpp).
+#include "nn/packed_int8.hpp"
+
+#include "nn/quantize.hpp"
+
+namespace ssm {
+
+PackedInt8Mlp::PackedInt8Mlp(const QuantizedMlp& net)
+    : head_(net.head()),
+      input_dim_(net.inputDim()),
+      input_scale_(net.inputScale()) {
+  SSM_CHECK(!net.layers().empty(), "cannot pack an empty network");
+  SSM_CHECK(net.weightBits() == QuantBits::kInt8,
+            "PackedInt8Mlp requires int8 weights");
+  SSM_CHECK(net.activationsQuantized(),
+            "PackedInt8Mlp requires calibrated activation scales");
+  output_dim_ = net.layers().back().out_dim;
+  max_width_ = input_dim_;
+  layers_.reserve(net.layers().size());
+  double in_scale = input_scale_;
+  for (std::size_t l = 0; l < net.layers().size(); ++l) {
+    const QuantLayer& src = net.layers()[l];
+    Layer ly;
+    ly.in = src.in_dim;
+    ly.out = src.out_dim;
+    ly.relu = l + 1 < net.layers().size();
+    ly.k = src.weight_scale * in_scale;
+    ly.act_scale = src.act_scale;
+    ly.w_off = w8_.size();
+    ly.bias_off = bias_.size();
+    w8_.reserve(w8_.size() + src.weights.size());
+    for (std::int32_t w : src.weights) {
+      SSM_CHECK(w >= -127 && w <= 127, "weight code out of int8 range");
+      w8_.push_back(static_cast<std::int8_t>(w));
+    }
+    bias_.insert(bias_.end(), src.bias.begin(), src.bias.end());
+    max_width_ = std::max(max_width_, ly.out);
+    layers_.push_back(ly);
+    in_scale = src.act_scale;
+  }
+}
+
+PackedInt8Mlp::Scratch PackedInt8Mlp::makeScratch() const {
+  SSM_CHECK(compiled(), "PackedInt8Mlp not compiled");
+  Scratch s;
+  s.qping.resize(static_cast<std::size_t>(max_width_));
+  s.qpong.resize(static_cast<std::size_t>(max_width_));
+  s.head.resize(static_cast<std::size_t>(output_dim_));
+  return s;
+}
+
+std::int64_t PackedInt8Mlp::asicCyclesPerInference(
+    const AsicEngineConfig& cfg) const noexcept {
+  const std::int64_t lanes = std::max(1, cfg.mac_lanes);
+  std::int64_t cycles = 0;
+  for (const Layer& ly : layers_) {
+    const std::int64_t macs =
+        static_cast<std::int64_t>(ly.in) * static_cast<std::int64_t>(ly.out);
+    cycles += (macs + lanes - 1) / lanes;
+    cycles += cfg.pipeline_depth;
+  }
+  return cycles;
+}
+
+std::int64_t PackedInt8Mlp::modelBytes() const noexcept {
+  std::int64_t total = static_cast<std::int64_t>(w8_.size());
+  total += static_cast<std::int64_t>(bias_.size()) * 4;  // FP32 bias
+  return total;
+}
+
+}  // namespace ssm

@@ -1,0 +1,186 @@
+// Packed int8 inference engine: the §V.D ASIC datapath, compiled.
+//
+// QuantizedMlp::forwardInt8 is the semantic oracle for the paper's
+// hardware engine — int8 weights and activations, integer MAC
+// accumulation, one dequantize-requantize per layer boundary. That
+// reference allocates per call and walks std::vector<int32_t> weight
+// rows; this class is its deployable counterpart:
+//
+//   * weights are narrowed to a fused std::int8_t pool (the storage the
+//     ASIC actually holds), biases and per-layer scale constants live in
+//     parallel pools — one stream per pass;
+//   * the caller owns the quantized ping-pong scratch, so a forward pass
+//     performs zero heap allocations (this header is a designated
+//     `hot-path-alloc` file, same contract as packed_mlp.hpp);
+//   * the per-layer dequantize constant k = weight_scale * in_scale is
+//     precomputed at compile time, exactly as forwardInt8 forms it, so
+//     the double arithmetic is reproduced operation-for-operation.
+//
+// Numerical contract: forward() is bit-exact with forwardInt8 on the
+// same inputs. The integer accumulation is order-insensitive (exact in
+// int64), and every double operation (k * acc + bias, ReLU, nearbyint
+// requant, final act_scale dequant, softmax) is performed in the same
+// order with the same precomputed constants.
+//
+// Cost model: asicCyclesPerInference() prices one forward pass on the
+// paper's engine — `mac_lanes` int8 MACs retire per cycle per layer walk
+// plus a fixed per-layer pipeline overhead (operand fetch, requantize,
+// handoff). With the compressed Decision-maker (6->12->12->6, 288 MACs)
+// and the defaults (2 lanes, 16 overhead cycles/layer) it reproduces the
+// paper's reported 192 cycles/inference exactly, giving SsmModel a
+// hardware-faithful latency input.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+#include "nn/mlp.hpp"
+
+namespace ssm {
+
+class QuantizedMlp;
+
+/// Parameters of the modeled ASIC MAC engine (§V.D).
+struct AsicEngineConfig {
+  /// int8 multiply-accumulate units working one layer in parallel.
+  int mac_lanes = 2;
+  /// Fixed per-layer cycles: operand fetch, requant, handoff.
+  int pipeline_depth = 16;
+};
+
+class PackedInt8Mlp {
+ public:
+  /// Caller-owned activation buffers. qping/qpong hold the int8-grid
+  /// activation codes (widened to int32, the accumulator feed width);
+  /// head holds the final dequantized output row.
+  struct Scratch {
+    std::vector<std::int32_t> qping;
+    std::vector<std::int32_t> qpong;
+    std::vector<double> head;
+  };
+
+  PackedInt8Mlp() = default;
+
+  /// Compiles a quantized network. Requires int8 weights and calibrated
+  /// activation scales (forwardInt8's own preconditions); the source net
+  /// is not referenced afterwards.
+  explicit PackedInt8Mlp(const QuantizedMlp& net);
+
+  [[nodiscard]] bool compiled() const noexcept { return !layers_.empty(); }
+  [[nodiscard]] int inputDim() const noexcept { return input_dim_; }
+  [[nodiscard]] int outputDim() const noexcept { return output_dim_; }
+  [[nodiscard]] Head head() const noexcept { return head_; }
+  [[nodiscard]] std::size_t layerCount() const noexcept {
+    return layers_.size();
+  }
+
+  /// Allocates scratch sized for single-row inference (cold path).
+  [[nodiscard]] Scratch makeScratch() const;
+
+  /// Single-row forward, bit-exact with QuantizedMlp::forwardInt8.
+  /// `out.size()` must equal outputDim(); the classifier head receives
+  /// softmax probabilities. Performs no heap allocation.
+  void forward(std::span<const double> input, Scratch& s,
+               std::span<double> out) const {
+    checkSingle(input, s);
+    SSM_CHECK(static_cast<int>(out.size()) == output_dim_,
+              "output width mismatch");
+    forwardRaw(input.data(), s, out.data());
+    if (head_ == Head::kSoftmaxClassifier)
+      softmaxInPlace({out.data(), static_cast<std::size_t>(output_dim_)});
+  }
+
+  /// Classifier convenience: argmax class. Allocation-free.
+  [[nodiscard]] int predictClass(std::span<const double> input,
+                                 Scratch& s) const {
+    SSM_CHECK(head_ == Head::kSoftmaxClassifier,
+              "predictClass requires a classifier head");
+    checkSingle(input, s);
+    forwardRaw(input.data(), s, s.head.data());
+    const double* h = s.head.data();
+    return static_cast<int>(std::max_element(h, h + output_dim_) - h);
+  }
+
+  /// Cycles one inference spends on the modeled MAC engine: every layer
+  /// retires ceil(in*out / mac_lanes) MAC cycles (the dense weight walk —
+  /// the ASIC stores the full panel) plus pipeline_depth overhead cycles.
+  [[nodiscard]] std::int64_t asicCyclesPerInference(
+      const AsicEngineConfig& cfg = {}) const noexcept;
+
+  /// On-chip storage: 1 byte per stored weight + FP32 bias words.
+  [[nodiscard]] std::int64_t modelBytes() const noexcept;
+
+ private:
+  struct Layer {
+    int in = 0;
+    int out = 0;
+    bool relu = false;      ///< hidden layer: clamp pre-requant at zero
+    double k = 1.0;         ///< weight_scale * in_scale (precomputed)
+    double act_scale = 1.0;
+    std::size_t w_off = 0;     ///< w8_: out*in int8 codes, row-major
+    std::size_t bias_off = 0;  ///< bias_: out doubles
+  };
+
+  void checkSingle(std::span<const double> input, const Scratch& s) const {
+    SSM_CHECK(compiled(), "PackedInt8Mlp not compiled");
+    SSM_CHECK(static_cast<int>(input.size()) == input_dim_,
+              "input width mismatch");
+    SSM_CHECK(s.qping.size() >= static_cast<std::size_t>(max_width_) &&
+                  s.qpong.size() >= static_cast<std::size_t>(max_width_) &&
+                  s.head.size() >= static_cast<std::size_t>(output_dim_),
+              "scratch too small; create it with makeScratch()");
+  }
+
+  /// Quantize one real value onto the symmetric int8 grid `scale`.
+  [[nodiscard]] static std::int32_t quantize(double v,
+                                             double scale) noexcept {
+    return static_cast<std::int32_t>(
+        std::clamp(std::nearbyint(v / scale), -127.0, 127.0));
+  }
+
+  /// Runs every layer ping-pong and writes the final dequantized row
+  /// (pre-softmax) into `out` (>= outputDim doubles).
+  void forwardRaw(const double* input, Scratch& s,
+                  double* out) const noexcept {
+    std::int32_t* cur = s.qping.data();
+    std::int32_t* nxt = s.qpong.data();
+    for (int i = 0; i < input_dim_; ++i)
+      cur[i] = quantize(input[i], input_scale_);
+    const std::size_t last = layers_.size() - 1;
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+      const Layer& ly = layers_[l];
+      const std::int8_t* w = w8_.data() + ly.w_off;
+      const double* bias = bias_.data() + ly.bias_off;
+      for (int o = 0; o < ly.out; ++o) {
+        // Integer MAC chain: int32 in the ASIC datapath, exact here.
+        std::int64_t acc = 0;
+        const std::int8_t* wr = w + static_cast<std::size_t>(o) *
+                                        static_cast<std::size_t>(ly.in);
+        for (int i = 0; i < ly.in; ++i)
+          acc += static_cast<std::int64_t>(wr[i]) * cur[i];
+        double v = static_cast<double>(acc) * ly.k + bias[o];
+        if (ly.relu) v = std::max(0.0, v);
+        const std::int32_t q = quantize(v, ly.act_scale);
+        nxt[o] = q;
+        if (l == last) out[o] = static_cast<double>(q) * ly.act_scale;
+      }
+      std::swap(cur, nxt);
+    }
+  }
+
+  Head head_ = Head::kRegression;
+  int input_dim_ = 0;
+  int output_dim_ = 0;
+  int max_width_ = 0;          ///< widest activation row across all layers
+  double input_scale_ = 1.0;   ///< input int8 grid (from calibration)
+  std::vector<Layer> layers_;
+  std::vector<std::int8_t> w8_;  ///< fused row-major int8 weight codes
+  std::vector<double> bias_;     ///< fused biases (float in hardware)
+};
+
+}  // namespace ssm

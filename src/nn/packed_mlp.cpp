@@ -58,7 +58,92 @@ void PackedMlp::packLayer(std::span<const double> weights,
     dense_w_.insert(dense_w_.end(), weights.begin(), weights.end());
   }
 
+  // SIMD layouts. Built unconditionally (a few KB for deployed models) so
+  // a tier override can take effect without repacking and the layouts stay
+  // covered on every platform.
+  const int ngroups = (out_dim + 3) / 4;
+  l.bbias_off = blk_bias_.size();
+  for (int o = 0; o < 4 * ngroups; ++o)
+    blk_bias_.push_back(o < out_dim ? bias[static_cast<std::size_t>(o)] : 0.0);
+
+  const auto rowAt = [&](int o) {
+    return weights.data() +
+           static_cast<std::size_t>(o) * static_cast<std::size_t>(in_dim);
+  };
+  // Blocked-interleaved dense panels: for each 4-row output block, the
+  // panel stores in_dim groups of 4 lane weights (tail rows zero-padded)
+  // so the kernel streams one contiguous buffer per block. Built for every
+  // layer: sparse-classified layers fall back to it when the SELL cost
+  // model below says gathers would not pay.
+  l.blk_off = blk_w_.size();
+  blk_w_.reserve(blk_w_.size() + static_cast<std::size_t>(4 * ngroups) *
+                                     static_cast<std::size_t>(in_dim));
+  for (int g = 0; g < ngroups; ++g)
+    for (int i = 0; i < in_dim; ++i)
+      for (int lane = 0; lane < 4; ++lane) {
+        const int o = 4 * g + lane;
+        blk_w_.push_back(o < out_dim ? rowAt(o)[i] : 0.0);
+      }
+
+  if (l.sparse) {
+    // SELL-4: rows grouped in fours, slot-major interleave, group width =
+    // the longest row in the group. Dead slots store val 0 / col 0 but are
+    // masked out by the true per-row nnz counts, never added.
+    l.sell_off = sell_vals_.size();
+    l.grp_off = sell_grpoff_.size();
+    l.nnz_off = sell_nnz_.size();
+    std::vector<std::int32_t> row_nnz(static_cast<std::size_t>(4 * ngroups), 0);
+    for (int o = 0; o < out_dim; ++o) {
+      const double* row = rowAt(o);
+      std::int32_t count = 0;
+      for (int i = 0; i < in_dim; ++i) count += (row[i] != 0.0);
+      row_nnz[static_cast<std::size_t>(o)] = count;
+    }
+    for (std::int32_t count : row_nnz) sell_nnz_.push_back(count);
+    std::size_t rel = 0;
+    sell_grpoff_.push_back(rel);
+    std::vector<std::int32_t> lane_cols(4);
+    for (int g = 0; g < ngroups; ++g) {
+      std::int32_t width = 0;
+      for (int lane = 0; lane < 4; ++lane)
+        width = std::max(width, row_nnz[static_cast<std::size_t>(4 * g + lane)]);
+      std::fill(lane_cols.begin(), lane_cols.end(), 0);
+      for (std::int32_t s = 0; s < width; ++s) {
+        for (int lane = 0; lane < 4; ++lane) {
+          const int o = 4 * g + lane;
+          double val = 0.0;
+          std::int32_t col = 0;
+          if (o < out_dim && s < row_nnz[static_cast<std::size_t>(o)]) {
+            // Advance this lane's cursor to its s-th stored weight.
+            const double* row = rowAt(o);
+            std::int32_t c = lane_cols[static_cast<std::size_t>(lane)];
+            while (row[c] == 0.0) ++c;
+            val = row[c];
+            col = c;
+            lane_cols[static_cast<std::size_t>(lane)] = c + 1;
+          }
+          sell_vals_.push_back(val);
+          sell_cols_.push_back(col);
+        }
+      }
+      rel += static_cast<std::size_t>(4 * width);
+      sell_grpoff_.push_back(rel);
+    }
+    // Vector-path kernel choice. A SELL slot (4-lane gather + liveness
+    // blend) costs roughly 2.5x a dense-panel slot (contiguous load +
+    // broadcast), so SELL must cut the slot count below ~40% of the dense
+    // walk to win: true for large sparse layers, false for the tiny
+    // pruned Decision-maker layers where gather overhead dominates. The
+    // scalar fallback path is untouched by this choice — it always walks
+    // CSR for sparse-classified layers.
+    const std::size_t sell_slots = rel / 4;
+    const std::size_t dense_slots = static_cast<std::size_t>(ngroups) *
+                                    static_cast<std::size_t>(in_dim);
+    l.vec_dense = 5 * sell_slots >= 2 * dense_slots;
+  }
+
   max_width_ = std::max(max_width_, std::max(in_dim, out_dim));
+  padded_width_ = std::max(padded_width_, std::max(in_dim, 4 * ngroups));
   layers_.push_back(l);
 }
 
@@ -74,6 +159,7 @@ PackedMlp::PackedMlp(const Mlp& net, const PackedMlpConfig& cfg)
               cfg.sparse_density_threshold);
     layers_.back().relu = l + 1 < net.layerCount();
   }
+  kernels_ = activeKernels();
 }
 
 PackedMlp::PackedMlp(const QuantizedMlp& net, const PackedMlpConfig& cfg)
@@ -101,6 +187,7 @@ PackedMlp::PackedMlp(const QuantizedMlp& net, const PackedMlpConfig& cfg)
     packed.act_scale = src.act_scale;
     packed.act_qmax = act_qmax;
   }
+  kernels_ = activeKernels();
 }
 
 std::size_t PackedMlp::sparseLayerCount() const noexcept {
@@ -129,8 +216,8 @@ std::int64_t PackedMlp::flopsExecuted() const noexcept {
 PackedMlp::Scratch PackedMlp::makeScratch() const {
   SSM_CHECK(compiled(), "PackedMlp not compiled");
   Scratch s;
-  s.ping.resize(static_cast<std::size_t>(max_width_));
-  s.pong.resize(static_cast<std::size_t>(max_width_));
+  s.ping.resize(static_cast<std::size_t>(padded_width_));
+  s.pong.resize(static_cast<std::size_t>(padded_width_));
   s.head.resize(static_cast<std::size_t>(output_dim_));
   return s;
 }
@@ -138,7 +225,7 @@ PackedMlp::Scratch PackedMlp::makeScratch() const {
 void PackedMlp::reserveBatchScratch(Scratch& s, std::size_t rows) const {
   SSM_CHECK(compiled(), "PackedMlp not compiled");
   const std::size_t need =
-      std::max<std::size_t>(rows, 1) * static_cast<std::size_t>(max_width_);
+      std::max<std::size_t>(rows, 1) * static_cast<std::size_t>(padded_width_);
   if (s.ping.size() < need) s.ping.resize(need);
   if (s.pong.size() < need) s.pong.resize(need);
   if (s.head.size() < static_cast<std::size_t>(output_dim_))
@@ -157,7 +244,7 @@ void PackedMlp::forwardBatch(const Matrix& rows, Scratch& s,
   if (n == 0) return;
   reserveBatchScratch(s, n);
 
-  const std::size_t stride = static_cast<std::size_t>(max_width_);
+  const std::size_t stride = static_cast<std::size_t>(padded_width_);
   double* a = s.ping.data();
   double* b = s.pong.data();
   for (std::size_t r = 0; r < n; ++r) {

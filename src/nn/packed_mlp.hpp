@@ -38,6 +38,7 @@
 
 #include "common/check.hpp"
 #include "nn/mlp.hpp"
+#include "nn/simd.hpp"
 
 namespace ssm {
 
@@ -141,6 +142,7 @@ class PackedMlp {
     int in = 0;
     int out = 0;
     bool sparse = false;   ///< CSR matvec instead of dense rows
+    bool vec_dense = true; ///< vector path: dense panel instead of SELL
     bool relu = false;     ///< hidden layer: clamp activations at zero
     bool requant = false;  ///< quantized-activation emulation post-op
     double act_scale = 1.0;
@@ -149,6 +151,13 @@ class PackedMlp {
     std::size_t val_off = 0;     ///< csr_vals_/csr_cols_ (sparse only)
     std::size_t rowptr_off = 0;  ///< csr_rowptr_: out+1 entries
     std::size_t bias_off = 0;    ///< bias_: out doubles
+    // SIMD layouts (see src/nn/simd.hpp): blocked-interleaved dense panel,
+    // padded bias, and the SELL-4 streams for sparse layers.
+    std::size_t blk_off = 0;     ///< blk_w_: ceil(out/4)*4*in doubles
+    std::size_t bbias_off = 0;   ///< blk_bias_: ceil(out/4)*4 doubles
+    std::size_t sell_off = 0;    ///< sell_vals_/sell_cols_ (sparse only)
+    std::size_t grp_off = 0;     ///< sell_grpoff_: ngroups+1 entries
+    std::size_t nnz_off = 0;     ///< sell_nnz_: ceil(out/4)*4 entries
   };
 
   /// Shared compile tail: lowers `layer` from a dense row-major weight
@@ -160,8 +169,8 @@ class PackedMlp {
     SSM_CHECK(compiled(), "PackedMlp not compiled");
     SSM_CHECK(static_cast<int>(input.size()) == input_dim_,
               "input width mismatch");
-    SSM_CHECK(s.ping.size() >= static_cast<std::size_t>(max_width_) &&
-                  s.pong.size() >= static_cast<std::size_t>(max_width_) &&
+    SSM_CHECK(s.ping.size() >= static_cast<std::size_t>(padded_width_) &&
+                  s.pong.size() >= static_cast<std::size_t>(padded_width_) &&
                   s.head.size() >= static_cast<std::size_t>(output_dim_),
               "scratch too small; create it with makeScratch()");
   }
@@ -180,9 +189,34 @@ class PackedMlp {
   }
 
   /// y = mask(W) x + b for one compiled layer, then the ReLU / requant
-  /// post-ops. Accumulation order matches Mlp::forward bit-for-bit.
+  /// post-ops. Accumulation order matches Mlp::forward bit-for-bit. When
+  /// the dispatcher selected a vector tier at compile time, the layer runs
+  /// through the SIMD kernels (one output neuron per lane, same per-lane
+  /// accumulation order — bit-identical results for finite inputs; see
+  /// src/nn/simd.hpp); otherwise the historical scalar loops below run,
+  /// which is also the SSMDVFS_FORCE_SCALAR golden path.
+  ///
+  /// Sparse-classified layers whose packed cost model found SELL
+  /// unprofitable (!l.vec_dense is SELL) run the dense vector kernel
+  /// instead: same term order as Mlp::forward, so exactness is preserved —
+  /// the dense walk adds the pruned weights' exact-zero products, which is
+  /// what the reference network itself does.
   void layerForward(const Layer& l, const double* in,
                     double* out) const noexcept {
+    if (kernels_ != nullptr) {
+      const SimdPostOp post{l.relu, l.requant, l.act_scale, l.act_qmax};
+      if (l.sparse && !l.vec_dense)
+        kernels_->sell(sell_vals_.data() + l.sell_off,
+                       sell_cols_.data() + l.sell_off,
+                       sell_grpoff_.data() + l.grp_off,
+                       sell_nnz_.data() + l.nnz_off,
+                       blk_bias_.data() + l.bbias_off, in, l.out, post, out);
+      else
+        kernels_->dense(blk_w_.data() + l.blk_off,
+                        blk_bias_.data() + l.bbias_off, in, l.in, l.out,
+                        post, out);
+      return;
+    }
     const double* bias = bias_.data() + l.bias_off;
     if (l.sparse) {
       const double* vals = csr_vals_.data() + l.val_off;
@@ -233,12 +267,26 @@ class PackedMlp {
   int input_dim_ = 0;
   int output_dim_ = 0;
   int max_width_ = 0;  ///< widest activation row across all layers
+  /// Scratch row width: max_width_ with every layer's output rounded up
+  /// to a multiple of 4, so the SIMD kernels' full-width vector stores
+  /// land inside the row regardless of ragged tails. Padding lanes hold
+  /// junk that no layer reads.
+  int padded_width_ = 0;
+  /// Kernel table the dispatcher selected when this model was compiled;
+  /// nullptr runs the scalar loops.
+  const SimdKernels* kernels_ = nullptr;
   std::vector<Layer> layers_;
   std::vector<double> dense_w_;        ///< fused dense rows
   std::vector<double> csr_vals_;       ///< fused CSR values
   std::vector<std::int32_t> csr_cols_; ///< fused CSR column indices
   std::vector<std::int32_t> csr_rowptr_;
   std::vector<double> bias_;           ///< fused biases
+  std::vector<double> blk_w_;          ///< blocked-interleaved dense panels
+  std::vector<double> blk_bias_;       ///< biases padded to 4-row blocks
+  std::vector<double> sell_vals_;      ///< SELL-4 values (slot-major)
+  std::vector<std::int32_t> sell_cols_;
+  std::vector<std::size_t> sell_grpoff_;
+  std::vector<std::int64_t> sell_nnz_; ///< per padded row true nnz
 };
 
 }  // namespace ssm

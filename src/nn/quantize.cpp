@@ -48,6 +48,13 @@ QuantizedMlp::QuantizedMlp(const Mlp& net, const QuantConfig& cfg,
   if (activations_quantized_) {
     SSM_CHECK(static_cast<int>(calibration_inputs.cols()) == input_dim_,
               "calibration width mismatch");
+    // Input grid for the integer datapath (forwardInt8): symmetric over
+    // the calibration set's value range.
+    double maxin = 1e-12;
+    for (std::size_t r = 0; r < calibration_inputs.rows(); ++r)
+      for (double v : calibration_inputs.row(r))
+        maxin = std::max(maxin, std::abs(v));
+    input_scale_ = maxin / qmax;
     std::vector<double> maxact(net.layerCount(), 1e-12);
     for (std::size_t r = 0; r < calibration_inputs.rows(); ++r) {
       std::vector<double> act(calibration_inputs.row(r).begin(),
@@ -107,6 +114,52 @@ std::vector<double> QuantizedMlp::forward(
   }
   if (head_ == Head::kSoftmaxClassifier) softmaxInPlace(act);
   return act;
+}
+
+std::vector<double> QuantizedMlp::forwardInt8(
+    std::span<const double> input) const {
+  SSM_CHECK(static_cast<int>(input.size()) == input_dim_,
+            "input width mismatch");
+  SSM_CHECK(cfg_.weight_bits == QuantBits::kInt8 && activations_quantized_,
+            "forwardInt8 requires int8 weights and calibrated activations");
+  const double qmax = 127.0;
+  // Quantize the input onto its int8 grid.
+  std::vector<std::int32_t> qact(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i)
+    qact[i] = static_cast<std::int32_t>(
+        quantClamp(input[i] / input_scale_, qmax));
+
+  std::vector<std::int32_t> qnext;
+  std::vector<double> real;
+  double in_scale = input_scale_;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const QuantLayer& layer = layers_[l];
+    const double k = layer.weight_scale * in_scale;
+    real.assign(static_cast<std::size_t>(layer.out_dim), 0.0);
+    qnext.assign(static_cast<std::size_t>(layer.out_dim), 0);
+    for (int o = 0; o < layer.out_dim; ++o) {
+      // Integer MAC chain — int32 in the ASIC datapath, exact here.
+      std::int64_t acc = 0;
+      const std::size_t base =
+          static_cast<std::size_t>(o) * static_cast<std::size_t>(layer.in_dim);
+      for (int i = 0; i < layer.in_dim; ++i)
+        acc += static_cast<std::int64_t>(
+                   layer.weights[base + static_cast<std::size_t>(i)]) *
+               qact[static_cast<std::size_t>(i)];
+      double v = static_cast<double>(acc) * k +
+                 layer.bias[static_cast<std::size_t>(o)];
+      if (l + 1 < layers_.size()) v = std::max(0.0, v);
+      qnext[static_cast<std::size_t>(o)] =
+          static_cast<std::int32_t>(quantClamp(v / layer.act_scale, qmax));
+      real[static_cast<std::size_t>(o)] =
+          static_cast<double>(qnext[static_cast<std::size_t>(o)]) *
+          layer.act_scale;
+    }
+    qact.swap(qnext);
+    in_scale = layer.act_scale;
+  }
+  if (head_ == Head::kSoftmaxClassifier) softmaxInPlace(real);
+  return real;
 }
 
 int QuantizedMlp::predictClass(std::span<const double> input) const {

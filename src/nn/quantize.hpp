@@ -49,6 +49,29 @@ class QuantizedMlp {
   [[nodiscard]] int predictClass(std::span<const double> input) const;
   [[nodiscard]] double predictScalar(std::span<const double> input) const;
 
+  /// Reference integer-datapath forward (the paper's §V.D ASIC engine):
+  /// activations are quantized to the int8 grid at every layer boundary
+  /// and the matvec accumulates integer products (int32 in hardware),
+  /// with one dequantize-requantize per layer:
+  ///
+  ///   q_in   = clamp(nearbyint(x / input_scale), ±qmax)
+  ///   acc    = sum_i w_q[o,i] * q_act[i]                 (integer)
+  ///   real   = double(acc) * (weight_scale * in_scale) + bias[o]
+  ///   hidden : real = max(0, real)
+  ///   q_next = clamp(nearbyint(real / act_scale), ±qmax)
+  ///
+  /// The final layer's dequantized activations feed the head. This is the
+  /// bit-exact oracle PackedInt8Mlp reproduces; it differs from forward()
+  /// (the float emulation) by per-term rounding, which quantizationDrift-
+  /// style decision-agreement tests bound. Requires int8 weights and
+  /// calibrated activations.
+  [[nodiscard]] std::vector<double> forwardInt8(
+      std::span<const double> input) const;
+
+  /// Input quantization scale (max |x| over the calibration set / qmax);
+  /// 1.0 when activations were not calibrated.
+  [[nodiscard]] double inputScale() const noexcept { return input_scale_; }
+
   [[nodiscard]] Head head() const noexcept { return head_; }
   [[nodiscard]] int inputDim() const noexcept { return input_dim_; }
   [[nodiscard]] const std::vector<QuantLayer>& layers() const noexcept {
@@ -71,6 +94,7 @@ class QuantizedMlp {
   Head head_;
   int input_dim_ = 0;
   bool activations_quantized_ = false;
+  double input_scale_ = 1.0;
   std::vector<QuantLayer> layers_;
 };
 

@@ -1,0 +1,181 @@
+// Kernel templates shared by every SIMD tier.
+//
+// Each tier supplies a 4-lane vector policy; the templates below lower to
+// that policy, so the scalar, AVX2 and NEON kernels are the same code and
+// differ only in which instructions carry each lane. Exactness rests on
+// two operand-order conventions the policies must honour:
+//
+//   * max(a, b) means "(a > b) ? a : b" with NaN and equal-valued
+//     operands resolving to b — the semantics of x86 MAXPD. ReLU is
+//     max(acc, 0): positive accs pass, NaN and -0.0 become +0.0, exactly
+//     like std::max(0.0, acc). min(a, b) mirrors MINPD ("(a < b) ? a : b",
+//     NaN/equal -> b).
+//   * the requant clamp is min(hi, max(lo, v)): both steps propagate a
+//     NaN v to the result, matching std::clamp's comparison behaviour.
+//
+// Multiplies and adds are issued separately (never fused), divisions and
+// nearbyint are single IEEE operations, so every lane reproduces the
+// scalar engine's arithmetic bit-for-bit.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "nn/simd.hpp"
+
+namespace ssm::simd_detail {
+
+template <class V>
+inline typename V::Vec applyPostOps(typename V::Vec acc,
+                                    const SimdPostOp& post) noexcept {
+  if (post.relu) acc = V::max(acc, V::broadcast(0.0));
+  if (post.requant) {
+    const typename V::Vec scale = V::broadcast(post.act_scale);
+    typename V::Vec q = V::nearbyint(V::div(acc, scale));
+    q = V::max(V::broadcast(-post.act_qmax), q);
+    q = V::min(V::broadcast(post.act_qmax), q);
+    acc = V::mul(q, scale);
+  }
+  return acc;
+}
+
+/// Dense matvec over the blocked-interleaved layout: output block `ob`
+/// reads its 4xin_dim weight panel at wblk + ob*in_dim (panels are stored
+/// back to back, so the offset collapses to ob*in_dim doubles).
+template <class V>
+void denseLayer(const double* wblk, const double* bias, const double* in,
+                int in_dim, int out_dim, const SimdPostOp& post,
+                double* out) noexcept {
+  for (int ob = 0; ob < out_dim; ob += 4) {
+    const double* w =
+        wblk + static_cast<std::size_t>(ob) * static_cast<std::size_t>(in_dim);
+    typename V::Vec acc = V::load(bias + ob);
+    for (int i = 0; i < in_dim; ++i)
+      acc = V::add(acc, V::mul(V::load(w + 4 * static_cast<std::size_t>(i)),
+                               V::broadcast(in[i])));
+    V::store(out + ob, applyPostOps<V>(acc, post));
+  }
+}
+
+/// SELL-4 sparse matvec. Dead slots (row shorter than the group width, or
+/// padding rows past out_dim) carry val 0 / col 0 but are excluded by the
+/// liveness mask rather than added: adding even an exact zero could flip a
+/// -0.0 accumulator to +0.0, which the requant post-op would expose.
+///
+/// Slots below every lane's nnz count are all-live, and a full-mask
+/// maskAdd is exactly a plain add — so the leading min(nnz) slots of each
+/// group run a blend-free inner loop and only the ragged tail pays for the
+/// liveness test. Bit-exact either way.
+template <class V>
+void sellLayer(const double* vals, const std::int32_t* cols,
+               const std::size_t* grpoff, const std::int64_t* nnz,
+               const double* bias, const double* in, int out_dim,
+               const SimdPostOp& post, double* out) noexcept {
+  const int ngroups = (out_dim + 3) / 4;
+  for (int g = 0; g < ngroups; ++g) {
+    const std::size_t base = grpoff[g];
+    const auto width = static_cast<int>((grpoff[g + 1] - base) / 4);
+    typename V::Vec acc = V::load(bias + 4 * g);
+    const std::int64_t* cnt = nnz + 4 * g;
+    const std::int64_t shortest =
+        std::min(std::min(cnt[0], cnt[1]), std::min(cnt[2], cnt[3]));
+    const int full = static_cast<int>(
+        std::min<std::int64_t>(shortest, static_cast<std::int64_t>(width)));
+    int s = 0;
+    for (; s < full; ++s) {
+      const double* v4 = vals + base + 4 * static_cast<std::size_t>(s);
+      const std::int32_t* c4 = cols + base + 4 * static_cast<std::size_t>(s);
+      acc = V::add(acc, V::mul(V::load(v4), V::gather(in, c4)));
+    }
+    if (s < width) {
+      const typename V::IVec live = V::loadCounts(cnt);
+      for (; s < width; ++s) {
+        const double* v4 = vals + base + 4 * static_cast<std::size_t>(s);
+        const std::int32_t* c4 = cols + base + 4 * static_cast<std::size_t>(s);
+        const typename V::Vec prod = V::mul(V::load(v4), V::gather(in, c4));
+        acc = V::maskAdd(acc, prod, V::slotLive(live, s));
+      }
+    }
+    V::store(out + 4 * g, applyPostOps<V>(acc, post));
+  }
+}
+
+/// Reference 4-lane policy in plain scalar arithmetic. Every operation is
+/// the lane-wise IEEE equivalent of the vector instruction the other
+/// policies issue, so kernels instantiated with this policy are the
+/// bit-exact oracle the property tests compare the vector tiers against.
+struct ScalarPolicy {
+  struct Vec {
+    double lane[4];
+  };
+  struct IVec {
+    std::int64_t lane[4];
+  };
+  struct Mask {
+    bool lane[4];
+  };
+
+  static Vec load(const double* p) noexcept {
+    return {{p[0], p[1], p[2], p[3]}};
+  }
+  static void store(double* p, Vec v) noexcept {
+    p[0] = v.lane[0];
+    p[1] = v.lane[1];
+    p[2] = v.lane[2];
+    p[3] = v.lane[3];
+  }
+  static Vec broadcast(double x) noexcept { return {{x, x, x, x}}; }
+  static Vec add(Vec a, Vec b) noexcept {
+    return {{a.lane[0] + b.lane[0], a.lane[1] + b.lane[1],
+             a.lane[2] + b.lane[2], a.lane[3] + b.lane[3]}};
+  }
+  static Vec mul(Vec a, Vec b) noexcept {
+    return {{a.lane[0] * b.lane[0], a.lane[1] * b.lane[1],
+             a.lane[2] * b.lane[2], a.lane[3] * b.lane[3]}};
+  }
+  static Vec div(Vec a, Vec b) noexcept {
+    return {{a.lane[0] / b.lane[0], a.lane[1] / b.lane[1],
+             a.lane[2] / b.lane[2], a.lane[3] / b.lane[3]}};
+  }
+  // MAXPD/MINPD operand semantics: NaN or equal operands resolve to b.
+  static Vec max(Vec a, Vec b) noexcept {
+    Vec r;
+    for (int l = 0; l < 4; ++l)
+      r.lane[l] = a.lane[l] > b.lane[l] ? a.lane[l] : b.lane[l];
+    return r;
+  }
+  static Vec min(Vec a, Vec b) noexcept {
+    Vec r;
+    for (int l = 0; l < 4; ++l)
+      r.lane[l] = a.lane[l] < b.lane[l] ? a.lane[l] : b.lane[l];
+    return r;
+  }
+  static Vec nearbyint(Vec a) noexcept {
+    return {{std::nearbyint(a.lane[0]), std::nearbyint(a.lane[1]),
+             std::nearbyint(a.lane[2]), std::nearbyint(a.lane[3])}};
+  }
+  static Vec gather(const double* base, const std::int32_t* idx) noexcept {
+    return {{base[idx[0]], base[idx[1]], base[idx[2]], base[idx[3]]}};
+  }
+  static IVec loadCounts(const std::int64_t* p) noexcept {
+    return {{p[0], p[1], p[2], p[3]}};
+  }
+  static Mask slotLive(IVec counts, int slot) noexcept {
+    return {{counts.lane[0] > slot, counts.lane[1] > slot,
+             counts.lane[2] > slot, counts.lane[3] > slot}};
+  }
+  static Vec maskAdd(Vec acc, Vec prod, Mask m) noexcept {
+    Vec r;
+    for (int l = 0; l < 4; ++l)
+      r.lane[l] = m.lane[l] ? acc.lane[l] + prod.lane[l] : acc.lane[l];
+    return r;
+  }
+};
+
+/// Tier tables provided by the per-tier translation units; nullptr when
+/// the tier is not compiled into this binary.
+[[nodiscard]] const SimdKernels* avx2Kernels() noexcept;
+[[nodiscard]] const SimdKernels* neonKernels() noexcept;
+
+}  // namespace ssm::simd_detail

@@ -1,0 +1,65 @@
+// AVX2 vector policy: 4 doubles per __m256d, one output neuron per lane.
+// This translation unit is the only x86 code compiled with -mavx2 (set in
+// src/nn/CMakeLists.txt); nothing here runs unless the runtime dispatcher
+// verified AVX2 support, so the rest of the library keeps the portable
+// baseline ISA.
+#include "nn/simd_kernels.hpp"
+
+#if defined(__x86_64__) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace ssm::simd_detail {
+
+namespace {
+
+struct Avx2Policy {
+  using Vec = __m256d;
+  using IVec = __m256i;
+  using Mask = __m256d;
+
+  static Vec load(const double* p) noexcept { return _mm256_loadu_pd(p); }
+  static void store(double* p, Vec v) noexcept { _mm256_storeu_pd(p, v); }
+  static Vec broadcast(double x) noexcept { return _mm256_set1_pd(x); }
+  static Vec add(Vec a, Vec b) noexcept { return _mm256_add_pd(a, b); }
+  static Vec mul(Vec a, Vec b) noexcept { return _mm256_mul_pd(a, b); }
+  static Vec div(Vec a, Vec b) noexcept { return _mm256_div_pd(a, b); }
+  static Vec max(Vec a, Vec b) noexcept { return _mm256_max_pd(a, b); }
+  static Vec min(Vec a, Vec b) noexcept { return _mm256_min_pd(a, b); }
+  static Vec nearbyint(Vec a) noexcept {
+    return _mm256_round_pd(a, _MM_FROUND_CUR_DIRECTION | _MM_FROUND_NO_EXC);
+  }
+  static Vec gather(const double* base, const std::int32_t* idx) noexcept {
+    return _mm256_set_pd(base[idx[3]], base[idx[2]], base[idx[1]],
+                         base[idx[0]]);
+  }
+  static IVec loadCounts(const std::int64_t* p) noexcept {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static Mask slotLive(IVec counts, int slot) noexcept {
+    return _mm256_castsi256_pd(
+        _mm256_cmpgt_epi64(counts, _mm256_set1_epi64x(slot)));
+  }
+  static Vec maskAdd(Vec acc, Vec prod, Mask m) noexcept {
+    return _mm256_blendv_pd(acc, _mm256_add_pd(acc, prod), m);
+  }
+};
+
+constexpr SimdKernels kAvx2Kernels{&denseLayer<Avx2Policy>,
+                                   &sellLayer<Avx2Policy>};
+
+}  // namespace
+
+const SimdKernels* avx2Kernels() noexcept { return &kAvx2Kernels; }
+
+}  // namespace ssm::simd_detail
+
+#else  // non-x86 build or AVX2 not enabled for this TU
+
+namespace ssm::simd_detail {
+
+const SimdKernels* avx2Kernels() noexcept { return nullptr; }
+
+}  // namespace ssm::simd_detail
+
+#endif

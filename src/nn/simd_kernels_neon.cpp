@@ -1,0 +1,99 @@
+// NEON vector policy: 4 lanes carried by a pair of float64x2_t. aarch64
+// guarantees Advanced SIMD, so no extra compile flags are needed; the
+// whole file is inert on other architectures.
+//
+// NaN caveat: FMAX/FMIN return the non-NaN operand where MAXPD/MINPD
+// return the second operand, so the requant clamp of a NaN accumulator
+// differs from x86/scalar on this tier. NaN activations only arise from
+// non-finite inputs, which the exactness contract already excludes.
+#include "nn/simd_kernels.hpp"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+namespace ssm::simd_detail {
+
+namespace {
+
+struct NeonPolicy {
+  struct Vec {
+    float64x2_t lo;
+    float64x2_t hi;
+  };
+  struct IVec {
+    int64x2_t lo;
+    int64x2_t hi;
+  };
+  struct Mask {
+    uint64x2_t lo;
+    uint64x2_t hi;
+  };
+
+  static Vec load(const double* p) noexcept {
+    return {vld1q_f64(p), vld1q_f64(p + 2)};
+  }
+  static void store(double* p, Vec v) noexcept {
+    vst1q_f64(p, v.lo);
+    vst1q_f64(p + 2, v.hi);
+  }
+  static Vec broadcast(double x) noexcept {
+    return {vdupq_n_f64(x), vdupq_n_f64(x)};
+  }
+  static Vec add(Vec a, Vec b) noexcept {
+    return {vaddq_f64(a.lo, b.lo), vaddq_f64(a.hi, b.hi)};
+  }
+  static Vec mul(Vec a, Vec b) noexcept {
+    return {vmulq_f64(a.lo, b.lo), vmulq_f64(a.hi, b.hi)};
+  }
+  static Vec div(Vec a, Vec b) noexcept {
+    return {vdivq_f64(a.lo, b.lo), vdivq_f64(a.hi, b.hi)};
+  }
+  static Vec max(Vec a, Vec b) noexcept {
+    return {vmaxq_f64(a.lo, b.lo), vmaxq_f64(a.hi, b.hi)};
+  }
+  static Vec min(Vec a, Vec b) noexcept {
+    return {vminq_f64(a.lo, b.lo), vminq_f64(a.hi, b.hi)};
+  }
+  static Vec nearbyint(Vec a) noexcept {
+    return {vrndiq_f64(a.lo), vrndiq_f64(a.hi)};
+  }
+  static Vec gather(const double* base, const std::int32_t* idx) noexcept {
+    Vec r;
+    r.lo = vsetq_lane_f64(base[idx[1]],
+                          vdupq_n_f64(base[idx[0]]), 1);
+    r.hi = vsetq_lane_f64(base[idx[3]],
+                          vdupq_n_f64(base[idx[2]]), 1);
+    return r;
+  }
+  static IVec loadCounts(const std::int64_t* p) noexcept {
+    return {vld1q_s64(p), vld1q_s64(p + 2)};
+  }
+  static Mask slotLive(IVec counts, int slot) noexcept {
+    const int64x2_t s = vdupq_n_s64(slot);
+    return {vcgtq_s64(counts.lo, s), vcgtq_s64(counts.hi, s)};
+  }
+  static Vec maskAdd(Vec acc, Vec prod, Mask m) noexcept {
+    return {vbslq_f64(m.lo, vaddq_f64(acc.lo, prod.lo), acc.lo),
+            vbslq_f64(m.hi, vaddq_f64(acc.hi, prod.hi), acc.hi)};
+  }
+};
+
+constexpr SimdKernels kNeonKernels{&denseLayer<NeonPolicy>,
+                                   &sellLayer<NeonPolicy>};
+
+}  // namespace
+
+const SimdKernels* neonKernels() noexcept { return &kNeonKernels; }
+
+}  // namespace ssm::simd_detail
+
+#else  // not aarch64
+
+namespace ssm::simd_detail {
+
+const SimdKernels* neonKernels() noexcept { return nullptr; }
+
+}  // namespace ssm::simd_detail
+
+#endif

@@ -89,6 +89,33 @@ TEST_F(CoreFixture, DecideLevelWithinRange) {
   }
 }
 
+TEST_F(CoreFixture, Int8DecisionCompilationAgreesWithFloatEngine) {
+  // §V.D ASIC datapath: quantize the trained Decision-maker to int8 and
+  // check the integer engine against the float decisions on the holdout.
+  Matrix rows = holdout_->decisionInputs((*model_)->config().features);
+  (*model_)->standardizeDecision(rows);
+  const PackedInt8Mlp int8 = (*model_)->compileInt8Decision(rows);
+  EXPECT_EQ(int8.inputDim(), (*model_)->decisionNet().inputDim());
+  EXPECT_EQ(int8.outputDim(), 6);
+  EXPECT_GT(int8.asicCyclesPerInference(), 0);
+  auto scratch = int8.makeScratch();
+  int agree = 0;
+  int total = 0;
+  for (std::size_t r = 0; r < rows.rows(); ++r) {
+    const auto row = rows.row(r);
+    const int f = (*model_)->decisionNet().predictClass(row);
+    agree += (int8.predictClass(row, scratch) == f);
+    ++total;
+  }
+  // Int8 quantization of a trained head flips only a small decision
+  // fraction (the drift the paper tolerates for the hardware engine).
+  EXPECT_GE(agree * 10, total * 7) << agree << " of " << total;
+  // An untrained model refuses int8 compilation.
+  const SsmModel fresh;
+  EXPECT_THROW(static_cast<void>(fresh.compileInt8Decision(rows)),
+               ContractError);
+}
+
 TEST_F(CoreFixture, DistributionSumsToOne) {
   const auto& p = holdout_->points().front();
   CounterBlock cb;

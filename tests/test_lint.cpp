@@ -76,6 +76,8 @@ const std::map<std::string_view, RuleFixture>& ruleFixtures() {
           "}\n"}}}},
       {"float-equality",
        {{{"src/a.cpp", "bool b(double x) { return x == 0.25; }\n"}}}},
+      {"simd-intrinsics",
+       {{{"src/a.cpp", "__m256d v = _mm256_setzero_pd();\n"}}}},
       {"stale-allowlist",
        {{{"src/a.cpp", "int x = 0;\n"}},
         kFlatLayers,
@@ -211,6 +213,45 @@ TEST(LintHotPathAlloc, SuppressionAndAllowlistEscapeHatchesWork) {
   EXPECT_FALSE(hasRule(lintSource("src/core/ssm_governor.cpp",
                                   "buf_.resize(n);\n", allow),
                        "hot-path-alloc"));
+}
+
+// --- simd-intrinsics -------------------------------------------------------
+
+TEST(LintSimdIntrinsics, FlagsIntrinsicHeadersOpsAndVectorTypes) {
+  EXPECT_TRUE(hasRule(lintSource("src/core/a.cpp", "#include <immintrin.h>\n"),
+                      "simd-intrinsics"));
+  EXPECT_TRUE(hasRule(lintSource("bench/b.cpp", "#include <arm_neon.h>\n"),
+                      "simd-intrinsics"));
+  for (const char* line :
+       {"auto v = _mm256_loadu_pd(p);\n", "__m512d acc;\n",
+        "auto m = _mm_max_pd(a, b);\n", "auto n = vmaxq_f64(a, b);\n",
+        "float64x2_t lanes;\n", "auto g = vld1q_f32(p);\n"}) {
+    EXPECT_TRUE(hasRule(lintSource("src/gpusim/a.cpp", line),
+                        "simd-intrinsics"))
+        << line;
+  }
+}
+
+TEST(LintSimdIntrinsics, AllowsSeamFilesSimilarNamesAndOutOfScopePaths) {
+  // The dispatch-seam kernel TUs are exempted by the checked-in allowlist.
+  const std::vector<AllowEntry> allow =
+      parseAllowlist("simd-intrinsics src/nn/simd_kernels_avx2.\n");
+  EXPECT_FALSE(hasRule(lintSource("src/nn/simd_kernels_avx2.cpp",
+                                  "auto v = _mm256_setzero_pd();\n", allow),
+                       "simd-intrinsics"));
+  // Lookalike identifiers that are not intrinsics.
+  for (const char* line :
+       {"int _max = 0;\n", "double volt_freq_u32 = 0.0;\n",
+        "auto x = vector_freq_mix();\n", "int matrix2_t = 0;\n",
+        "auto m = mm256_helper();\n"}) {
+    EXPECT_FALSE(hasRule(lintSource("src/core/a.cpp", line),
+                         "simd-intrinsics"))
+        << line;
+  }
+  // Outside src/, tools/ and bench/ the rule does not apply.
+  EXPECT_FALSE(hasRule(lintSource("examples/vec.cpp",
+                                  "auto v = _mm256_setzero_pd();\n"),
+                       "simd-intrinsics"));
 }
 
 // --- raw-thread ------------------------------------------------------------

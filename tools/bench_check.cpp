@@ -18,12 +18,21 @@
 //     criteria that hold on any machine (back-to-back timing ratios,
 //     bounded violation fractions). Without --floors the historical
 //     defaults apply: speedup_packed_vs_reference >= 3.0 (--min-speedup)
-//     and speedup_replay_vs_sim >= 100.0 (--min-replay-speedup).
+//     and speedup_replay_vs_sim >= 100.0 (--min-replay-speedup);
+//   * the "simd_tier" field is machine-dependent (which vector kernels the
+//     runtime dispatcher selected: "avx2", "neon" or "scalar") and is
+//     reported, never compared. Bounds given via --simd-floors /
+//     --simd-ceilings apply only when the fresh report's simd_tier is a
+//     vector tier; on a scalar host (or under SSMDVFS_FORCE_SCALAR=1)
+//     they are waived, so the SIMD acceptance numbers cannot fail a
+//     machine that never ran the SIMD kernels.
 //
 // Usage:
 //   bench_check [--baseline FILE] [--fresh FILE] [--tolerance X]
 //               [--floors key=min[,key=min...]]
 //               [--ceilings key=max[,key=max...]]
+//               [--simd-floors key=min[,key=min...]]
+//               [--simd-ceilings key=max[,key=max...]]
 //               [--approx key[,key...]]
 //               [--min-speedup X] [--min-replay-speedup X]
 //               [--run BENCH_BINARY] [--out-env VAR]
@@ -164,6 +173,8 @@ struct Options {
   bool floors_overridden = false;       ///< --floors replaces the defaults
   std::map<std::string, double> floors;
   std::map<std::string, double> ceilings;
+  std::map<std::string, double> simd_floors;    ///< waived on scalar hosts
+  std::map<std::string, double> simd_ceilings;  ///< waived on scalar hosts
   std::vector<std::string> approx;  ///< extra keys on the tolerance band
 };
 
@@ -214,6 +225,12 @@ bool parseArgs(int argc, char** argv, Options& opt) {
     } else if (key == "--ceilings") {
       if ((val = next()) == nullptr) return false;
       if (!parseBounds(val, opt.ceilings, key)) return false;
+    } else if (key == "--simd-floors") {
+      if ((val = next()) == nullptr) return false;
+      if (!parseBounds(val, opt.simd_floors, key)) return false;
+    } else if (key == "--simd-ceilings") {
+      if ((val = next()) == nullptr) return false;
+      if (!parseBounds(val, opt.simd_ceilings, key)) return false;
     } else if (key == "--approx") {
       if ((val = next()) == nullptr) return false;
       std::stringstream ss{std::string(val)};
@@ -309,10 +326,18 @@ int main(int argc, char** argv) {
       continue;
     }
     if (bv.is_string) {
-      if (bv.str != fv.str)
+      if (key == "simd_tier") {
+        // Which vector kernels the runtime dispatcher picked — a property
+        // of the host, not of the code. Reported for the record; the
+        // --simd-floors / --simd-ceilings gating below keys off the fresh
+        // value.
+        std::printf("info  %-32s %s (baseline recorded %s)\n", key.c_str(),
+                    fv.str.c_str(), bv.str.c_str());
+      } else if (bv.str != fv.str) {
         fail(key + ": \"" + fv.str + "\" != baseline \"" + bv.str + "\"");
-      else
+      } else {
         std::printf("ok    %-32s %s\n", key.c_str(), fv.str.c_str());
+      }
       continue;
     }
     const bool banded =
@@ -363,6 +388,29 @@ int main(int argc, char** argv) {
   };
   for (const auto& [key, floor] : opt.floors) checkBound(key, floor, true);
   for (const auto& [key, ceil] : opt.ceilings) checkBound(key, ceil, false);
+
+  // SIMD-conditional bounds: enforced only when the fresh report ran the
+  // vector kernels. A host whose dispatcher reports "scalar" (no AVX2/NEON,
+  // or SSMDVFS_FORCE_SCALAR=1) never executed the code the bound measures,
+  // so the bound is waived — loudly, not silently.
+  if (!opt.simd_floors.empty() || !opt.simd_ceilings.empty()) {
+    const auto tier = fresh.find("simd_tier");
+    const bool simd_active = tier != fresh.end() && tier->second.is_string &&
+                             tier->second.str != "scalar";
+    if (simd_active) {
+      for (const auto& [key, floor] : opt.simd_floors)
+        checkBound(key, floor, true);
+      for (const auto& [key, ceil] : opt.simd_ceilings)
+        checkBound(key, ceil, false);
+    } else {
+      for (const auto& [key, floor] : opt.simd_floors)
+        std::printf("skip  %-32s SIMD floor %g waived (simd_tier scalar)\n",
+                    key.c_str(), floor);
+      for (const auto& [key, ceil] : opt.simd_ceilings)
+        std::printf("skip  %-32s SIMD ceiling %g waived (simd_tier scalar)\n",
+                    key.c_str(), ceil);
+    }
+  }
 
   if (failures != 0) {
     std::fprintf(stderr, "bench_check: %d failure(s) comparing %s vs %s\n",

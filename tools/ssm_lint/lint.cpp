@@ -14,7 +14,7 @@ namespace ssm::lint {
 
 namespace {
 
-constexpr std::array<RuleInfo, 16> kRules = {{
+constexpr std::array<RuleInfo, 17> kRules = {{
     {"pragma-once", "every header starts its include guard with #pragma once"},
     {"using-namespace-header",
      "no `using namespace` in headers (leaks into every includer)"},
@@ -71,6 +71,12 @@ constexpr std::array<RuleInfo, 16> kRules = {{
      "divergence; compare against an exactly-representable sentinel or use "
      "an epsilon (comparisons against 0.0 are the sanctioned mask/sentinel "
      "idiom)"},
+    {"simd-intrinsics",
+     "no raw SIMD intrinsics (<immintrin.h>/<arm_neon.h> includes, _mm*/"
+     "__m<N>* identifiers, NEON v*q_* calls) outside the dispatch seam "
+     "src/nn/simd* — vector code must stay behind the runtime-dispatched "
+     "kernel tables so the scalar golden path and the same-result property "
+     "tests keep covering it"},
     {"stale-allowlist",
      "every checked-in allowlist entry must suppress at least one finding; "
      "an entry that filters nothing is debt that hides future violations "
@@ -90,8 +96,9 @@ constexpr std::array<RuleInfo, 16> kRules = {{
 /// GPU (docs/datacenter.md). The src/thermal entries run once per simulated
 /// epoch on every governed chip: the RC integration step and the throttle
 /// state machine (docs/thermal.md).
-constexpr std::array<std::string_view, 6> kAllocFreeFiles = {
+constexpr std::array<std::string_view, 7> kAllocFreeFiles = {
     "src/nn/packed_mlp.hpp",
+    "src/nn/packed_int8.hpp",
     "src/core/ssm_governor.cpp",
     "src/dc/dispatcher.cpp",
     "src/dc/rack_power.cpp",
@@ -162,6 +169,7 @@ struct PathClass {
   bool alloc_free = false;   // kAllocFreeFiles (packed decision path)
   bool gpu_stepper = false;  // src/engine/** or src/gpusim/** (may step a Gpu)
   bool det_scope = false;    // src/** or tools/** (determinism dataflow rules)
+  bool simd_scope = false;   // det_scope or bench/** (intrinsic containment)
 };
 
 PathClass classify(std::string_view path) {
@@ -177,6 +185,7 @@ PathClass classify(std::string_view path) {
   pc.gpu_stepper =
       path.starts_with("src/engine/") || path.starts_with("src/gpusim/");
   pc.det_scope = pc.in_src || path.starts_with("tools/");
+  pc.simd_scope = pc.det_scope || path.starts_with("bench/");
   return pc;
 }
 
@@ -369,6 +378,14 @@ class FileCheck {
                cat({"stream/stdio header <", inc.target,
                     "> included in an epoch hot path; do I/O outside "
                     "src/core/ and src/gpusim/"}));
+      if (pc_.simd_scope &&
+          (inc.target == "immintrin.h" || inc.target == "x86intrin.h" ||
+           inc.target == "emmintrin.h" || inc.target == "xmmintrin.h" ||
+           inc.target == "arm_neon.h"))
+        report(inc.line, "simd-intrinsics",
+               cat({"intrinsic header <", inc.target,
+                    "> outside src/nn/simd*; vector code belongs behind the "
+                    "runtime-dispatched kernel tables (src/nn/simd.hpp)"}));
       if (inc.target == "thread")
         report(inc.line, "raw-thread",
                "#include <thread> outside src/sched/; parallelise through "
@@ -440,6 +457,12 @@ class FileCheck {
       if ((word == "float" || word == "double") && text(k - 1) == "(" &&
           k >= 1 && text(k + 1) == ")")
         checkCStyleCast(k, word);
+
+      if (pc_.simd_scope && looksLikeIntrinsic(word))
+        report(t.line, "simd-intrinsics",
+               cat({"raw SIMD intrinsic '", word,
+                    "' outside src/nn/simd*; vector code belongs behind the "
+                    "runtime-dispatched kernel tables (src/nn/simd.hpp)"}));
 
       if ((word == "thread" || word == "jthread" || word == "async") &&
           precededByStd(k))
@@ -521,6 +544,35 @@ class FileCheck {
         reportAlloc(line, cat({"by-value 'std::", word,
                                "' parameter or temporary"}));
     }
+  }
+
+  /// Identifiers that spell a raw vector intrinsic or vector register type:
+  /// the x86 _mm*/_mm256_*/_mm512_* operations and __m<N> types, NEON's
+  /// v<op>q_<lane> operations (vmaxq_f64, vld1q_f32, ...) and its
+  /// <elem>x<lanes>_t vector types (float64x2_t, int32x4_t, ...).
+  [[nodiscard]] static bool looksLikeIntrinsic(std::string_view word) {
+    if (word.starts_with("_mm")) return true;
+    if (word.starts_with("__m") && word.size() > 3 &&
+        std::isdigit(static_cast<unsigned char>(word[3])) != 0)
+      return true;
+    static constexpr std::array<std::string_view, 12> kLaneSuffixes = {
+        "_f64", "_s64", "_u64", "_f32", "_s32", "_u32",
+        "_f16", "_s16", "_u16", "_s8",  "_u8",  "_p8"};
+    // NEON ops are v<op>q_<...>_<lane>: the first underscore comes right
+    // after the q (vmaxq_f64, vdupq_n_f64) — which keeps repo-style names
+    // like volt_freq_u32 out of the net.
+    const std::size_t us = word.find('_');
+    if (word.size() > 3 && word.front() == 'v' &&
+        us != std::string_view::npos && us > 1 && word[us - 1] == 'q') {
+      for (std::string_view s : kLaneSuffixes)
+        if (word.ends_with(s)) return true;
+    }
+    if ((word.starts_with("float") || word.starts_with("int") ||
+         word.starts_with("uint") || word.starts_with("poly")) &&
+        (word.ends_with("x2_t") || word.ends_with("x4_t") ||
+         word.ends_with("x8_t") || word.ends_with("x16_t")))
+      return true;
+    return false;
   }
 
   /// Identifiers that look like fault-hook pointers ("faults", "fault_hook",
